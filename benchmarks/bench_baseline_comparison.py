@@ -1,0 +1,133 @@
+"""A2 — comparison against the Section V related-work systems.
+
+Paper claims reproduced:
+
+* software on general-purpose/embedded processors is not real-time
+  capable for LVCSR (Sections I and V);
+* vs Mathew et al. (CASES'03): "our design has much less power
+  consumption", and their non-DMA model access contends with the CPU;
+* vs Nedevschi et al. (DAC'05): vocabulary capped at a couple hundred
+  words, and <30 phones "implies possibility of high error rate".
+"""
+
+import pytest
+
+from benchmarks.conftest import PAPER
+from repro.baselines.mathew import MathewAccelerator
+from repro.baselines.nedevschi import NedevschiDevice
+from repro.baselines.software_cpu import SoftwareBaseline
+from repro.core.soc import SpeechSoC
+from repro.decoder.recognizer import Recognizer
+from repro.decoder.word_decode import DecoderConfig
+from repro.eval.report import format_table
+from repro.eval.wer import corpus_wer
+from repro.workloads.tasks import command_task
+from repro.lexicon.dictionary import PronunciationDictionary
+from repro.workloads.wordgen import generate_words
+
+
+def test_software_not_real_time_at_scale(benchmark, dictation_cd):
+    """Full-budget senone load swamps the embedded core."""
+
+    def run():
+        recognizer = Recognizer.create(
+            dictation_cd.dictionary, dictation_cd.pool, dictation_cd.lm,
+            dictation_cd.tying, mode="reference",
+            config=DecoderConfig(use_feedback=False),  # Sphinx-style full eval
+        )
+        baseline = SoftwareBaseline(recognizer)
+        return baseline.decode(dictation_cd.corpus.test[0].features)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nsoftware on embedded core: {report.realtime.format()}")
+    assert not report.realtime.is_real_time
+    assert report.realtime.real_time_factor > 3.0
+
+
+def test_our_soc_is_real_time_on_same_load(benchmark, dictation_cd):
+    def run():
+        soc = SpeechSoC(
+            dictation_cd.dictionary, dictation_cd.pool, dictation_cd.lm,
+            dictation_cd.tying,
+        )
+        return soc.decode_features(dictation_cd.corpus.test[0].features)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nour SoC: {report.op_unit_reports[0].format()}")
+    assert report.is_real_time
+
+
+def test_mathew_power_and_bandwidth(benchmark, dictation_cd):
+    def run():
+        rec = Recognizer.create(
+            dictation_cd.dictionary, dictation_cd.pool, dictation_cd.lm,
+            dictation_cd.tying, mode="hardware",
+            config=DecoderConfig(use_feedback=False),
+        )
+        mathew = MathewAccelerator(rec)
+        mathew_report = mathew.decode(dictation_cd.corpus.test[0].features)
+        ours = SpeechSoC(
+            dictation_cd.dictionary, dictation_cd.pool, dictation_cd.lm,
+            dictation_cd.tying,
+        )
+        ours_report = ours.decode_features(dictation_cd.corpus.test[0].features)
+        return mathew_report, ours_report
+
+    mathew_report, ours_report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["system", "power mW", "bandwidth GB/s", "CPU stall"],
+            [
+                [
+                    "Mathew et al. (no feedback, no DMA)",
+                    f"{mathew_report.power.average_power_w * 1e3:.0f}",
+                    f"{mathew_report.bandwidth_gbps:.3f}",
+                    f"{mathew_report.cpu_stall_fraction:.1%}",
+                ],
+                [
+                    "this paper (feedback + DMA)",
+                    f"{ours_report.power.average_power_w * 1e3:.0f}",
+                    f"{ours_report.mean_bandwidth_gbps:.3f}",
+                    "0.0% (DMA)",
+                ],
+            ],
+            title="A2: accelerator comparison on the 6000-senone dictation load",
+        )
+    )
+    assert (
+        mathew_report.power.average_power_w
+        > 1.5 * ours_report.power.average_power_w
+    )
+    assert mathew_report.bandwidth_gbps > ours_report.mean_bandwidth_gbps
+    assert mathew_report.cpu_stall_fraction > 0.01
+
+
+def test_nedevschi_limitations(benchmark):
+    """Vocabulary cap + merged phones on the command task."""
+    task = command_task(seed=19)
+
+    def run():
+        device = NedevschiDevice(
+            task.dictionary, task.pool, task.lm, task.tying,
+            task.corpus.phone_set, num_phone_groups=12,
+        )
+        full = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying, mode="reference"
+        )
+        refs, device_hyps, full_hyps = [], [], []
+        for utt in task.corpus.test[:8]:
+            refs.append(utt.words)
+            device_hyps.append(device.decode(utt.features).words)
+            full_hyps.append(full.decode(utt.features).words)
+        return corpus_wer(refs, device_hyps), corpus_wer(refs, full_hyps)
+
+    device_wer, full_wer = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ncommand task WER: Nedevschi-style (12 phone groups) "
+          f"{device_wer.wer:.1%} vs ours {full_wer.wer:.1%}")
+    assert device_wer.wer > full_wer.wer
+
+    # The 200-word cap: a large-vocabulary dictionary must be rejected.
+    big = PronunciationDictionary.from_pronunciations(generate_words(300, seed=9))
+    with pytest.raises(ValueError):
+        NedevschiDevice(big, task.pool, task.lm, task.tying, task.corpus.phone_set)

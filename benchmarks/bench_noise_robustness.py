@@ -1,0 +1,110 @@
+"""A4 (extension) — noise robustness of the recognition pipeline.
+
+The paper targets mobile devices, where additive environmental noise
+is the norm; its evaluation uses clean read speech (WSJ).  This
+extension measures how the reproduced system degrades with additive
+white noise at falling SNR, and how much cepstral mean normalisation
+(already in the frontend) buys — the sanity curve any deployable
+recognizer publishes.
+"""
+
+import numpy as np
+
+from repro.decoder.recognizer import Recognizer
+from repro.eval.report import format_table
+from repro.eval.wer import corpus_wer
+from repro.frontend.features import Frontend, FrontendConfig
+from repro.workloads.corpus import _realize_sentence
+from repro.workloads.synthesizer import PhoneSynthesizer
+from repro.workloads.tasks import tiny_task
+
+
+def _noisy_testset(task, snr_db, seed=123, utterances=8):
+    """Re-synthesize the test sentences and add noise at ``snr_db``."""
+    rng = np.random.default_rng(seed)
+    synth = PhoneSynthesizer(task.corpus.phone_set)
+    frontend = Frontend()
+    pairs = []
+    for utt in task.corpus.test[:utterances]:
+        waveform, _ = _realize_sentence(
+            list(utt.words), task.dictionary, synth, rng
+        )
+        if snr_db is not None:
+            signal_power = float(np.mean(waveform**2))
+            noise_power = signal_power / 10.0 ** (snr_db / 10.0)
+            waveform = waveform + rng.normal(
+                0.0, np.sqrt(noise_power), size=waveform.size
+            )
+        pairs.append((list(utt.words), frontend.extract(waveform)))
+    return pairs
+
+
+def _wer_at(task, recognizer, snr_db):
+    refs, hyps = [], []
+    for words, features in _noisy_testset(task, snr_db):
+        refs.append(words)
+        hyps.append(recognizer.decode(features).words)
+    return corpus_wer(refs, hyps).wer
+
+
+def test_wer_degrades_gracefully_with_snr(benchmark):
+    task = tiny_task(seed=7)
+    recognizer = Recognizer.create(
+        task.dictionary, task.pool, task.lm, task.tying, mode="reference"
+    )
+
+    def run():
+        return {
+            "clean": _wer_at(task, recognizer, None),
+            "20 dB": _wer_at(task, recognizer, 20.0),
+            "10 dB": _wer_at(task, recognizer, 10.0),
+            "0 dB": _wer_at(task, recognizer, 0.0),
+        }
+
+    wers = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["condition", "WER"],
+            [[name, f"{wer:.1%}"] for name, wer in wers.items()],
+            title="A4: additive-noise robustness (models trained on clean speech)",
+        )
+    )
+    # Clean and mild noise stay usable; heavy noise degrades — the
+    # curve must be monotone-ish, not a cliff at the first noise step.
+    assert wers["clean"] < 0.10
+    assert wers["20 dB"] < 0.35
+    assert wers["0 dB"] >= wers["clean"]
+
+
+def test_cmn_helps_under_channel_mismatch(benchmark):
+    """CMN removes a constant spectral tilt (channel) mismatch."""
+    task = tiny_task(seed=7)
+
+    def run():
+        results = {}
+        for apply_cmn in (True, False):
+            frontend = Frontend(FrontendConfig(apply_cmn=apply_cmn))
+            # Train-side features came from the default (CMN) frontend,
+            # so only the CMN test frontend is matched; the no-CMN path
+            # additionally suffers the channel tilt.
+            rng = np.random.default_rng(5)
+            synth = PhoneSynthesizer(task.corpus.phone_set)
+            recognizer = Recognizer.create(
+                task.dictionary, task.pool, task.lm, task.tying, mode="reference"
+            )
+            refs, hyps = [], []
+            for utt in task.corpus.test[:8]:
+                waveform, _ = _realize_sentence(
+                    list(utt.words), task.dictionary, synth, rng
+                )
+                tilted = waveform * 0.25  # strong level mismatch
+                refs.append(list(utt.words))
+                hyps.append(recognizer.decode(frontend.extract(tilted)).words)
+            results["CMN" if apply_cmn else "no CMN"] = corpus_wer(refs, hyps).wer
+        return results
+
+    wers = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nchannel mismatch: CMN {wers['CMN']:.1%} vs no CMN {wers['no CMN']:.1%}")
+    assert wers["CMN"] <= wers["no CMN"]
+    assert wers["CMN"] < 0.15

@@ -1,0 +1,82 @@
+"""R6 — OP unit correctness vs the floating-point reference.
+
+Paper (Section IV-A): "The correctness is checked by floating point
+implementation of observation probability calculation."
+
+Measures the hardware path's score error (quantized parameters +
+float32 datapath + 512-byte logadd SRAM) against double-precision
+reference scores, across mantissa widths, plus the unit's scoring
+throughput in simulated-hardware terms.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import PAPER
+from repro.core.opunit import OpUnit, OpUnitSpec
+from repro.eval.report import format_table
+from repro.quant.float_formats import PAPER_FORMATS
+
+
+def _max_error(pool, fmt, frames=12, senones=400, seed=1):
+    rng = np.random.default_rng(seed)
+    table = pool.gaussian_table(fmt)
+    unit = OpUnit(OpUnitSpec(feature_dim=pool.dim))
+    subset = rng.choice(pool.num_senones, size=senones, replace=False)
+    worst = 0.0
+    for _ in range(frames):
+        obs = rng.normal(size=pool.dim)
+        reference = pool.score_frame(obs, subset)
+        result = unit.score_frame(table, obs, subset)
+        worst = max(worst, float(np.max(np.abs(result.scores[subset] - reference[subset]))))
+    return worst, unit
+
+
+def test_fidelity_across_formats(benchmark, full_scale_pool):
+    def run():
+        return {
+            fmt.name: _max_error(full_scale_pool, fmt)[0] for fmt in PAPER_FORMATS
+        }
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    logadd_bound = OpUnit().logadd.theoretical_error_bound() * (
+        PAPER["components"] - 1
+    )
+    print()
+    print(
+        format_table(
+            ["format", "max |hw - reference| (log domain)"],
+            [[name, err] for name, err in errors.items()],
+            title=f"R6: OP-unit score fidelity (logadd fold bound {logadd_bound:.3f})",
+        )
+    )
+    # Full-precision storage: error is the logadd table + float32 path.
+    assert errors["ieee-single"] < logadd_bound + 0.01
+    # Narrow storage errors stay far below any beam width (~200).
+    assert errors["mantissa-12"] < 1.0
+
+
+def test_logadd_table_error_bound(benchmark):
+    unit = OpUnit()
+    max_err = benchmark.pedantic(unit.logadd.max_error, rounds=1, iterations=1)
+    print(f"\nlogadd SRAM: {unit.logadd.sram_bytes} bytes, "
+          f"max error {max_err:.5f} (bound {unit.logadd.theoretical_error_bound():.5f})")
+    assert unit.logadd.sram_bytes == 512
+    assert max_err <= unit.logadd.theoretical_error_bound()
+
+
+def test_bench_frame_scoring_throughput(benchmark, full_scale_pool):
+    """Wall-clock throughput of the vectorised unit model (1000 senones)."""
+    table = full_scale_pool.gaussian_table()
+    unit = OpUnit(OpUnitSpec(feature_dim=full_scale_pool.dim))
+    obs = np.random.default_rng(0).normal(size=full_scale_pool.dim)
+    active = np.arange(1000)
+    benchmark(unit.score_frame, table, obs, active)
+
+
+def test_bench_serial_senone_scoring(benchmark, full_scale_pool):
+    """Wall-clock cost of the bit-faithful serial path (one senone)."""
+    table = full_scale_pool.gaussian_table()
+    unit = OpUnit(OpUnitSpec(feature_dim=full_scale_pool.dim))
+    unit.load_feature(np.random.default_rng(0).normal(size=full_scale_pool.dim))
+    benchmark(unit.score_senone, table, 0)

@@ -1,0 +1,82 @@
+"""T1 — the Section IV-B mantissa table.
+
+Paper:
+
+    Mantissa        23-bits   15-bit   12-bit
+    Memory (MB)     15.16     11.37    9.95
+    Bandwidth (GB/s) 1.516    1.137    0.995
+
+Regenerated here from the *actual* model: a 6000-senone, 8-component,
+39-dimensional pool is serialised to its bit-packed flash image at each
+mantissa width, the file bytes are measured, and worst-case bandwidth
+is that image streamed every 10 ms frame.
+"""
+
+import pytest
+
+from benchmarks.conftest import PAPER
+from repro.eval.report import check_within, format_comparison, format_table
+from repro.hmm.acoustic_model import AcousticModel, memory_bandwidth_table
+from repro.quant.float_formats import PAPER_FORMATS
+
+
+@pytest.fixture(scope="module")
+def model(full_scale_pool):
+    return AcousticModel(pool=full_scale_pool)
+
+
+def test_table1_memory_and_bandwidth(benchmark, model):
+    rows = benchmark.pedantic(
+        memory_bandwidth_table, args=(model, PAPER_FORMATS), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["mantissa", "memory MB (paper)", "memory MB", "GB/s (paper)", "GB/s"],
+            [
+                [
+                    r["mantissa_bits"],
+                    PAPER["memory_mb"][r["mantissa_bits"]],
+                    r["memory_mb"],
+                    PAPER["bandwidth_gbps"][r["mantissa_bits"]],
+                    r["bandwidth_gbps"],
+                ]
+                for r in rows
+            ],
+            title="T1: acoustic model storage and worst-case bandwidth",
+        )
+    )
+    for row in rows:
+        bits = row["mantissa_bits"]
+        assert check_within(row["memory_mb"], PAPER["memory_mb"][bits], 0.005)
+        assert check_within(row["bandwidth_gbps"], PAPER["bandwidth_gbps"][bits], 0.005)
+
+
+def test_packed_image_matches_arithmetic(benchmark, model):
+    """The measured flash image equals the table arithmetic (no padding)."""
+
+    def measure():
+        return {
+            fmt.name: model.parameter_image_bytes(fmt) for fmt in PAPER_FORMATS
+        }
+
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    for fmt in PAPER_FORMATS:
+        expected = model.storage_bytes(fmt)
+        assert measured[fmt.name] == pytest.approx(expected, abs=8)
+        print(
+            format_comparison(
+                f"packed image ({fmt.name})",
+                expected / 1e6,
+                measured[fmt.name] / 1e6,
+                "MB",
+            )
+        )
+
+
+@pytest.mark.parametrize("fmt", PAPER_FORMATS, ids=lambda f: f.name)
+def test_bench_quantize_throughput(benchmark, model, fmt):
+    """Throughput of storage quantization over the full pool."""
+    means = model.pool.means.astype("float32")
+    benchmark(fmt.quantize, means)

@@ -1,0 +1,72 @@
+"""R1 — WER vs mantissa width on the WSJ5K-analogue dictation task.
+
+Paper (Section IV-B): "The length of mantissa can be reduced by couple
+of bits without compromising the accuracy of speech recognition.  The
+word error rate for the Wall Street Journal 5000 (WSJ5K) is less than
+10% for mantissa of 12-bits and 23-bits."
+
+Here: the 5000-word synthetic dictation test set is decoded through
+the hardware scorer with the acoustic model stored at 23-, 15- and
+12-bit mantissas.  The reproduced claim is the *relative* one — WER
+under 10% at every width, and the narrow widths indistinguishable from
+full precision.
+"""
+
+import pytest
+
+from benchmarks.conftest import PAPER
+from repro.decoder.recognizer import Recognizer
+from repro.eval.report import format_table
+from repro.eval.wer import corpus_wer
+from repro.quant.float_formats import PAPER_FORMATS
+
+
+def _decode_testset(task, fmt):
+    recognizer = Recognizer.create(
+        task.dictionary, task.pool, task.lm, task.tying,
+        mode="hardware", storage_format=fmt, num_unit_pairs=2,
+    )
+    refs, hyps = [], []
+    for utt in task.corpus.test:
+        refs.append(utt.words)
+        hyps.append(recognizer.decode(utt.features).words)
+    return corpus_wer(refs, hyps)
+
+
+@pytest.mark.parametrize("fmt", PAPER_FORMATS, ids=lambda f: f.name)
+def test_wer_under_10_percent(benchmark, dictation, fmt):
+    counts = benchmark.pedantic(
+        _decode_testset, args=(dictation, fmt), rounds=1, iterations=1
+    )
+    print(
+        f"\n[{fmt.name}] WER {counts.wer:.2%} "
+        f"({counts.errors} errors / {counts.reference_length} words; "
+        f"sub {counts.substitutions}, del {counts.deletions}, "
+        f"ins {counts.insertions})"
+    )
+    assert counts.wer < PAPER["wer_limit"], (
+        f"{fmt.name}: WER {counts.wer:.2%} breaches the paper's <10% envelope"
+    )
+
+
+def test_narrow_mantissa_matches_full(benchmark, dictation):
+    """12-bit storage must not move WER materially vs 23-bit."""
+
+    def compare():
+        full = _decode_testset(dictation, PAPER_FORMATS[0])
+        narrow = _decode_testset(dictation, PAPER_FORMATS[2])
+        return full, narrow
+
+    full, narrow = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["mantissa", "WER", "errors"],
+            [
+                [23, f"{full.wer:.2%}", full.errors],
+                [12, f"{narrow.wer:.2%}", narrow.errors],
+            ],
+            title="R1: full vs reduced mantissa",
+        )
+    )
+    assert abs(narrow.wer - full.wer) <= 0.03

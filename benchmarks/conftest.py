@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures.
+
+The dictation task (vocabulary 5000, the paper's WSJ5K analogue) takes
+~20 s to build and train, so it is constructed once per benchmark
+session and shared by every experiment that needs it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hmm.senone import SenonePool
+from repro.workloads.tasks import (
+    TrainedTask,
+    dictation_task,
+    expand_to_context_dependent,
+)
+
+#: Paper constants (Section IV).
+PAPER = {
+    "senones": 6000,
+    "components": 8,
+    "dim": 39,
+    "frame_period_s": 0.010,
+    "clock_hz": 50e6,
+    "memory_mb": {23: 15.16, 15: 11.37, 12: 9.95},
+    "bandwidth_gbps": {23: 1.516, 15: 1.137, 12: 0.995},
+    "power_per_unit_w": 0.200,
+    "area_per_unit_mm2": 2.2,
+    "dictionary_mbit": 9.0,
+    "word_map_mbit": 2.0,
+    "wer_limit": 0.10,
+}
+
+
+@pytest.fixture(scope="session")
+def dictation() -> TrainedTask:
+    """The WSJ5K-like task: 5000 words, trained CI models."""
+    return dictation_task(
+        vocabulary_size=5000, train_sentences=120, test_sentences=12, seed=31
+    )
+
+
+@pytest.fixture(scope="session")
+def dictation_cd(dictation) -> TrainedTask:
+    """The dictation task re-tied over the paper's 6000-senone budget."""
+    return expand_to_context_dependent(dictation, num_senones=PAPER["senones"])
+
+
+@pytest.fixture(scope="session")
+def full_scale_pool() -> SenonePool:
+    """A 6000 x 8 x 39 pool with the paper's exact parameter layout."""
+    return SenonePool.random(
+        PAPER["senones"],
+        num_components=PAPER["components"],
+        dim=PAPER["dim"],
+        rng=np.random.default_rng(2006),
+    )

@@ -1,0 +1,82 @@
+"""A cycle-level walk through Figures 2 and 3.
+
+Scores one senone on the OP unit in its bit-faithful serial mode and
+runs one Viterbi column, printing:
+
+* the control module's mode sequence (boot -> feature -> Gaussian ->
+  logadd -> Viterbi) with per-mode clock-gated blocks,
+* the pipeline trace (issue/retire cycles per senone/column),
+* the logadd SRAM statistics,
+* the resulting score against the double-precision reference.
+
+Run:  python examples/hardware_trace.py
+"""
+
+import numpy as np
+
+from repro.core.controller import ModeController, UnitMode
+from repro.core.opunit import OpUnit, OpUnitSpec
+from repro.core.pipeline import PipelineTrace
+from repro.core.viterbi_unit import ViterbiUnit
+from repro.hmm.senone import SenonePool
+from repro.hmm.topology import HmmTopology
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    pool = SenonePool.random(4, num_components=8, dim=39, rng=rng)
+    table = pool.gaussian_table()
+    obs = rng.normal(size=39)
+
+    print("=== control module (Figure 2, coarse-grain modes) ===")
+    controller = ModeController()
+    schedule = [
+        (UnitMode.LOAD_TABLE, 256),   # boot: fill the 512-byte logadd SRAM
+        (UnitMode.LOAD_FEATURE, 39),  # latch the 39-dim feature vector
+        (UnitMode.GAUSSIAN, 319),     # stream 8 x 39 dims through (X-Y)^2*Z
+        (UnitMode.LOGADD, 15),        # fold 8 components through the SRAM
+        (UnitMode.VITERBI, 40),       # column updates on the same structure
+        (UnitMode.IDLE, 0),
+    ]
+    for mode, cycles in schedule:
+        controller.enter(mode, cycles=cycles)
+        gated = ", ".join(sorted(controller.gated_blocks())) or "(none)"
+        print(f"  {mode.value:<13} {cycles:>4} cycles   clock-gated: {gated}")
+    duty = controller.duty_cycle()
+    print(f"  duty cycle: gaussian {duty['gaussian']:.0%}, "
+          f"viterbi {duty['viterbi']:.0%}")
+
+    print("\n=== OP unit serial trace (Figure 2 datapath) ===")
+    trace = PipelineTrace()
+    unit = OpUnit(OpUnitSpec(), trace=trace)
+    unit.load_feature(obs)
+    for senone in range(pool.num_senones):
+        hw_score = unit.score_senone(table, senone)
+        ref_score = float(pool.score_frame(obs)[senone])
+        print(f"  senone[{senone}]  hw {hw_score:10.4f}   "
+              f"reference {ref_score:10.4f}   |err| {abs(hw_score - ref_score):.4f}")
+    print()
+    print(trace.format())
+    print(f"\n  logadd SRAM: {unit.logadd.sram_bytes} bytes, "
+          f"{unit.logadd.reads} reads, "
+          f"max table error {unit.logadd.max_error():.5f}")
+    print(f"  ops: {unit.fpu.counts}")
+    print(f"  Max '-ve' register (best score seen): {unit.running_max:.4f}")
+
+    print("\n=== Viterbi unit (Figure 3, add & compare) ===")
+    viterbi = ViterbiUnit()
+    topo = HmmTopology(num_states=3)
+    trans = topo.log_transition_matrix()[:3, :3]
+    delta = np.array([-5.0, -9.0, -14.0], dtype=np.float32)
+    obs_scores = np.array([-2.0, -1.5, -2.5], dtype=np.float32)
+    new_delta, backptr, cycles = viterbi.step_column(
+        delta, trans.astype(np.float32), obs_scores
+    )
+    print(f"  delta(t-1) = {delta}")
+    print(f"  delta(t)   = {np.round(new_delta, 3)}")
+    print(f"  backptr    = {backptr}   ({cycles} cycles, "
+          f"{viterbi.transitions_processed} add&compare ops at 2 cycles each)")
+
+
+if __name__ == "__main__":
+    main()

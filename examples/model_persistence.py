@@ -1,0 +1,68 @@
+"""Model persistence: the flash images a device would ship.
+
+Writes all three recognition models to disk exactly as the paper's
+flash would store them — the acoustic model as a bit-packed image at a
+chosen mantissa width, the dictionary in CMU text format, the language
+model in ARPA format — then reloads everything and shows recognition
+is unchanged.
+
+Run:  python examples/model_persistence.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.decoder import Recognizer
+from repro.hmm import AcousticModel
+from repro.lexicon import PronunciationDictionary
+from repro.lm import load_arpa, save_arpa
+from repro.quant import MANTISSA_12
+from repro.workloads import tiny_task
+from repro.workloads.corpus import monophone_hmms
+
+
+def main() -> None:
+    print("building and training the tiny task...")
+    task = tiny_task(seed=7)
+    utt = task.corpus.test[0]
+    original = Recognizer.create(
+        task.dictionary, task.pool, task.lm, task.tying, mode="reference"
+    )
+    before = original.decode(utt.features).words
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        # 1. Acoustic model: bit-packed flash image, 12-bit mantissa.
+        hmms = monophone_hmms(task.corpus.phone_set, task.tying, task.topology)
+        am_path = root / "acoustic.bin"
+        written = AcousticModel(pool=task.pool, hmms=hmms).save(am_path, MANTISSA_12)
+        # 2. Dictionary: CMU text format.
+        dict_path = root / "words.dict"
+        task.dictionary.save(dict_path)
+        # 3. Language model: ARPA.
+        lm_path = root / "model.arpa"
+        save_arpa(task.lm, lm_path)
+        print(f"  acoustic model  {written:>8,} bytes  (12-bit mantissa image)")
+        print(f"  dictionary      {dict_path.stat().st_size:>8,} bytes")
+        print(f"  language model  {lm_path.stat().st_size:>8,} bytes")
+
+        # Reload everything from disk.
+        loaded_am, fmt = AcousticModel.load(am_path)
+        loaded_dict = PronunciationDictionary.load(dict_path)
+        loaded_lm = load_arpa(lm_path, task.corpus.vocabulary)
+        print(f"  reloaded: {loaded_am.num_senones} senones at "
+              f"{fmt.mantissa_bits}-bit mantissa, {len(loaded_dict)} words, "
+              f"order-{loaded_lm.order} LM")
+
+        reloaded = Recognizer.create(
+            loaded_dict, loaded_am.pool, loaded_lm, task.tying, mode="reference"
+        )
+        after = reloaded.decode(utt.features).words
+
+    print(f"\nbefore round trip: {' '.join(before)}")
+    print(f"after  round trip: {' '.join(after)}")
+    print("identical" if before == after else "MISMATCH")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro — reproduction of "Architecture for Low Power Large Vocabulary
+Speech Recognition" (Chandra, Pazhayaveetil, Franzon; SOCC 2006).
+
+An HMM/GMM large-vocabulary speech recognizer built from scratch
+(frontend, acoustic models, lexicon, language model, staged decoder)
+plus cycle-accurate Python models of the paper's dedicated hardware:
+the Observation Probability unit, the Viterbi decoder unit, the logadd
+SRAM, the flash/DMA memory system and the activity-based power model.
+
+Quick start::
+
+    from repro.workloads import tiny_task
+    from repro.decoder import Recognizer
+
+    task = tiny_task()
+    rec = Recognizer.create(task.dictionary, task.pool, task.lm,
+                            task.tying, mode="hardware")
+    result = rec.decode(task.corpus.test[0].features)
+    print(result.words)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every experiment.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "decoder",
+    "eval",
+    "frontend",
+    "hmm",
+    "lexicon",
+    "lm",
+    "quant",
+    "workloads",
+    "baselines",
+]

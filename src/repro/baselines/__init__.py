@@ -1,0 +1,25 @@
+"""Comparison systems from the paper's Section V (related work)."""
+
+from repro.baselines.mathew import MathewAccelerator, MathewConfig, MathewReport
+from repro.baselines.nedevschi import (
+    NedevschiDevice,
+    merge_phone_groups,
+    merged_pool,
+)
+from repro.baselines.software_cpu import (
+    SoftwareBaseline,
+    SoftwareBaselineReport,
+    SoftwareCpuCosts,
+)
+
+__all__ = [
+    "SoftwareBaseline",
+    "SoftwareBaselineReport",
+    "SoftwareCpuCosts",
+    "MathewAccelerator",
+    "MathewConfig",
+    "MathewReport",
+    "NedevschiDevice",
+    "merge_phone_groups",
+    "merged_pool",
+]

@@ -1,0 +1,114 @@
+"""Baseline: the Mathew/Davis/Fang CASES'03 SPHINX-3 accelerator.
+
+Section V: "A dedicated hardware accelerator has been proposed to
+speed up the software implementation by Mathew et al.  This
+implementation meets real-time performance ... Though the power
+requirement is low for Gaussian calculation, our design has much less
+power consumption.  The speech recognition application is memory
+intensive ... and the acoustic models are not accessed through a DMA,
+therefore, performance may be poor because of resource contention."
+
+The model captures the three contrasts the paper draws:
+
+* it scores **every senone every frame** (no word-decode feedback), so
+  its bandwidth is the full-model stream;
+* its Gaussian datapath burns more energy per operation (a wider,
+  higher-clocked design synthesized for throughput, not power);
+* model fetches go through the processor bus instead of a DMA channel,
+  so the host core pays stall cycles per fetched byte (the "resource
+  contention" the paper warns about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.power import EnergyTable, PowerModel, PowerReport
+from repro.decoder.recognizer import RecognitionResult, Recognizer
+from repro.eval.realtime import RealTimeReport, analyze_unit_cycles
+
+__all__ = ["MathewConfig", "MathewReport", "MathewAccelerator"]
+
+
+@dataclass(frozen=True)
+class MathewConfig:
+    """Design-point constants of the comparison accelerator."""
+
+    energy_scale: float = 2.4  # per-op energy vs our 0.18um units
+    clock_hz: float = 100e6  # higher clock to absorb the full senone load
+    stall_cycles_per_kb: float = 60.0  # CPU stall per KB fetched (no DMA)
+    cpu_clock_hz: float = 200e6
+
+
+@dataclass
+class MathewReport:
+    """Outcome of one accelerator decode."""
+
+    recognition: RecognitionResult
+    realtime: RealTimeReport
+    power: PowerReport
+    bandwidth_gbps: float
+    cpu_stall_fraction: float
+
+    @property
+    def words(self) -> tuple[str, ...]:
+        return self.recognition.words
+
+
+class MathewAccelerator:
+    """Full-senone accelerator with bus-attached model memory."""
+
+    def __init__(self, recognizer: Recognizer, config: MathewConfig | None = None):
+        if recognizer.mode != "hardware":
+            raise ValueError("accelerator baseline requires hardware mode")
+        if recognizer.config.use_feedback:
+            raise ValueError(
+                "Mathew baseline scores all senones: build the recognizer "
+                "with DecoderConfig(use_feedback=False)"
+            )
+        self.recognizer = recognizer
+        self.config = config or MathewConfig()
+        base = EnergyTable()
+        scale = self.config.energy_scale
+        self._power_model = PowerModel(
+            energy=EnergyTable(
+                sdm_op=base.sdm_op * scale,
+                add_op=base.add_op * scale,
+                fma_op=base.fma_op * scale,
+                compare_op=base.compare_op * scale,
+                sram_read=base.sram_read * scale,
+                fetch_per_byte=base.fetch_per_byte * scale,
+                control_per_cycle=base.control_per_cycle * scale,
+                clock_per_cycle=base.clock_per_cycle * scale,
+                leakage_w=base.leakage_w * scale,
+            ),
+            clock_hz=self.config.clock_hz,
+            clock_gating=False,  # throughput design, free-running clock
+        )
+
+    def decode(self, features: np.ndarray) -> MathewReport:
+        result = self.recognizer.decode(features)
+        audio_s = result.audio_seconds
+        assert result.frame_critical_cycles is not None
+        realtime = analyze_unit_cycles(
+            result.frame_critical_cycles,
+            clock_hz=self.config.clock_hz,
+            frame_period_s=self.recognizer.frame_period_s,
+        )
+        activities = [u.activity() for u in self.recognizer.op_units]
+        if result.viterbi_activity is not None:
+            activities.append(result.viterbi_activity)
+        power = self._power_model.combined_report(activities, audio_s)
+        total_bytes = sum(a.get("parameter_bytes", 0.0) for a in activities)
+        bandwidth = total_bytes / audio_s / 1e9 if audio_s else 0.0
+        stall_cycles = total_bytes / 1e3 * self.config.stall_cycles_per_kb
+        stall_fraction = stall_cycles / (self.config.cpu_clock_hz * audio_s)
+        return MathewReport(
+            recognition=result,
+            realtime=realtime,
+            power=power,
+            bandwidth_gbps=float(bandwidth),
+            cpu_stall_fraction=float(stall_fraction),
+        )

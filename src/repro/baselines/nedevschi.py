@@ -1,0 +1,123 @@
+"""Baseline: the Nedevschi/Patra/Brewer DAC'05 low-cost device.
+
+Section V: "The low power device proposed by Sergui et al. uses SRAM
+and Flash memory ... The vocabulary is limited to only couple of
+hundred words.  Therefore, large vocabulary recognition is not
+possible.  The recognition is not triphone based and has less than 30
+phones, which implies possibility of high error rate."
+
+The model reproduces both limitations:
+
+* a **hard vocabulary cap** (default 200 words) enforced at
+  construction — pointing a 5000-word task at it raises;
+* a **reduced phone inventory**: the 51 phones are merged into < 30
+  groups (by articulatory class and index), and every senone's
+  parameters are replaced by its group representative's.  Decoding
+  still runs through our standard machinery, but acoustically
+  distinct phones have become identical — the "high error rate"
+  mechanism the paper describes, measured rather than asserted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.decoder.recognizer import Recognizer
+from repro.decoder.word_decode import DecoderConfig
+from repro.hmm.senone import SenonePool
+from repro.lexicon.dictionary import PronunciationDictionary
+from repro.lexicon.phones import PhoneSet
+from repro.lexicon.triphone import SenoneTying
+from repro.lm.ngram import NGramModel
+
+__all__ = ["merge_phone_groups", "merged_pool", "NedevschiDevice"]
+
+
+def merge_phone_groups(
+    phone_set: PhoneSet, num_groups: int = 28
+) -> dict[str, str]:
+    """Map each phone to a group representative (< 30 groups).
+
+    Phones are bucketed by (articulatory class, index modulo the class
+    budget); the lowest-index phone of each bucket represents it.  The
+    map is deterministic and keeps silence separate.
+    """
+    if not 2 <= num_groups < len(phone_set):
+        raise ValueError(
+            f"num_groups must be in [2, {len(phone_set)}), got {num_groups}"
+        )
+    by_class: dict[object, list] = {}
+    for phone in phone_set:
+        by_class.setdefault(phone.phone_class, []).append(phone)
+    classes = sorted(by_class, key=lambda c: c.value)
+    # Distribute the group budget over classes by their size.
+    total = len(phone_set)
+    budgets = {
+        cls: max(1, round(num_groups * len(by_class[cls]) / total))
+        for cls in classes
+    }
+    mapping: dict[str, str] = {}
+    for cls in classes:
+        phones = sorted(by_class[cls], key=lambda p: p.index)
+        buckets = budgets[cls]
+        for i, phone in enumerate(phones):
+            representative = phones[i % buckets]
+            mapping[phone.name] = representative.name
+    return mapping
+
+
+def merged_pool(
+    pool: SenonePool,
+    tying: SenoneTying,
+    phone_set: PhoneSet,
+    num_groups: int = 28,
+) -> SenonePool:
+    """A pool where merged phones share their representative's senones."""
+    mapping = merge_phone_groups(phone_set, num_groups)
+    means = pool.means.copy()
+    variances = pool.variances.copy()
+    weights = pool.weights.copy()
+    for phone in phone_set:
+        rep = mapping[phone.name]
+        if rep == phone.name:
+            continue
+        for state in range(tying.states_per_hmm):
+            src = tying.ci_senone(rep, state)
+            dst = tying.ci_senone(phone.name, state)
+            means[dst] = pool.means[src]
+            variances[dst] = pool.variances[src]
+            weights[dst] = pool.weights[src]
+    return SenonePool(means, variances, weights)
+
+
+class NedevschiDevice:
+    """Small-vocabulary, reduced-phone recognizer model."""
+
+    MAX_WORDS = 200
+
+    def __init__(
+        self,
+        dictionary: PronunciationDictionary,
+        pool: SenonePool,
+        lm: NGramModel,
+        tying: SenoneTying,
+        phone_set: PhoneSet,
+        num_phone_groups: int = 28,
+        config: DecoderConfig | None = None,
+        max_words: int | None = None,
+    ) -> None:
+        cap = max_words if max_words is not None else self.MAX_WORDS
+        if len(dictionary) > cap:
+            raise ValueError(
+                f"vocabulary of {len(dictionary)} exceeds the device's "
+                f"{cap}-word capacity (the paper's Section V limitation)"
+            )
+        self.phone_groups = num_phone_groups
+        reduced = merged_pool(pool, tying, phone_set, num_phone_groups)
+        self.recognizer = Recognizer.create(
+            dictionary, reduced, lm, tying, mode="reference", config=config
+        )
+
+    def decode(self, features: np.ndarray):
+        """Decode with the reduced-phone acoustic models."""
+        return self.recognizer.decode(features)

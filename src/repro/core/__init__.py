@@ -1,0 +1,70 @@
+"""Hardware models: the paper's dedicated units, memories and power.
+
+This package is the paper's primary contribution rendered as
+cycle-accurate Python: the Observation Probability unit (Figure 2),
+the Viterbi decoder unit (Figure 3), the logadd SRAM, the control
+module, the flash/DMA/SRAM memory system, the embedded-processor cost
+model and the activity-based power/area model.
+"""
+
+from repro.core.controller import ModeController, UnitMode
+from repro.core.fpu import FloatUnit, OpCounts
+from repro.core.logadd import LOG2, LogAddTable, logadd_exact
+from repro.core.memory import (
+    GB,
+    MB,
+    BandwidthMeter,
+    DmaChannel,
+    FlashMemory,
+    FlashRegion,
+    Mbit,
+    Sram,
+)
+from repro.core.opunit import FrameScoreResult, GaussianTable, OpUnit, OpUnitSpec
+from repro.core.pipeline import PipelineSpec, PipelineTrace, TraceEvent
+from repro.core.power import AreaTable, EnergyTable, PowerModel, PowerReport
+from repro.core.processor import EmbeddedProcessor, SoftwareCosts, StageCharge
+from repro.core.scheduler import FrameSchedule, ScheduleConfig, SenoneScheduler
+from repro.core.viterbi_unit import (
+    ChainUpdateResult,
+    ViterbiUnit,
+    ViterbiUnitSpec,
+)
+
+__all__ = [
+    "OpUnit",
+    "OpUnitSpec",
+    "GaussianTable",
+    "FrameScoreResult",
+    "ViterbiUnit",
+    "ViterbiUnitSpec",
+    "ChainUpdateResult",
+    "LogAddTable",
+    "logadd_exact",
+    "LOG2",
+    "FloatUnit",
+    "OpCounts",
+    "PipelineSpec",
+    "PipelineTrace",
+    "TraceEvent",
+    "PowerModel",
+    "PowerReport",
+    "EnergyTable",
+    "AreaTable",
+    "FlashMemory",
+    "FlashRegion",
+    "DmaChannel",
+    "Sram",
+    "BandwidthMeter",
+    "MB",
+    "GB",
+    "Mbit",
+    "EmbeddedProcessor",
+    "SoftwareCosts",
+    "StageCharge",
+    "SenoneScheduler",
+    "ScheduleConfig",
+    "FrameSchedule",
+    "ModeController",
+    "UnitMode",
+]

@@ -1,0 +1,161 @@
+"""Floating-point datapath blocks of the dedicated units (Figure 2/3).
+
+The OP unit's datapath is built from three arithmetic blocks:
+
+* ``(X - Y)^2 * Z`` — the squared-difference-times-precision stage that
+  implements one term of ``sum_i (O_i - mu_i)^2 * delta_i``;
+* a 32-bit adder closing the accumulation loop over the feature
+  dimension;
+* a fused multiply-add performing the scale-and-weight adjustment
+  (``C_jk`` and the mixture weight) before the logadd unit.
+
+The Viterbi unit reuses the adder plus a comparator ("Add & Compare,
+2 cycles" in Figure 3).
+
+:class:`FloatUnit` models these blocks functionally (IEEE-754 single
+precision by default, or any :class:`~repro.quant.FloatFormat` to study
+narrow datapaths) and counts every elementary operation so the power
+model can translate activity into energy.  Counting is per scalar
+operation even when invoked on arrays — the hardware performs them one
+per cycle through the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.quant.float_formats import IEEE_SINGLE, FloatFormat
+
+__all__ = ["FloatUnit", "OpCounts"]
+
+
+@dataclass
+class OpCounts:
+    """Elementary-operation counters for one hardware unit."""
+
+    square_diff_multiply: int = 0
+    add: int = 0
+    fused_multiply_add: int = 0
+    compare: int = 0
+
+    def total(self) -> int:
+        return (
+            self.square_diff_multiply
+            + self.add
+            + self.fused_multiply_add
+            + self.compare
+        )
+
+    def reset(self) -> None:
+        self.square_diff_multiply = 0
+        self.add = 0
+        self.fused_multiply_add = 0
+        self.compare = 0
+
+    def snapshot(self) -> "OpCounts":
+        return OpCounts(
+            square_diff_multiply=self.square_diff_multiply,
+            add=self.add,
+            fused_multiply_add=self.fused_multiply_add,
+            compare=self.compare,
+        )
+
+
+@dataclass
+class FloatUnit:
+    """Functional model of the units' floating-point blocks.
+
+    Parameters
+    ----------
+    compute_format:
+        Format every block's *result* is rounded to.  The paper's
+        hardware computes in full IEEE single precision
+        (:data:`~repro.quant.IEEE_SINGLE`), which makes the rounding a
+        no-op beyond float32; narrower formats let experiments probe
+        datapath (not just storage) truncation.
+    """
+
+    compute_format: FloatFormat = IEEE_SINGLE
+    counts: OpCounts = field(default_factory=OpCounts)
+
+    def _round(self, values: np.ndarray) -> np.ndarray:
+        return self.compute_format.quantize(values)
+
+    @staticmethod
+    def _size(values: np.ndarray) -> int:
+        return int(np.asarray(values).size)
+
+    # ------------------------------------------------------------------
+    # Figure 2 blocks
+    # ------------------------------------------------------------------
+    def square_diff_multiply(
+        self,
+        x: np.ndarray | float,
+        y: np.ndarray | float,
+        z: np.ndarray | float,
+    ) -> np.ndarray:
+        """The ``(X - Y)^2 * Z`` block.
+
+        One elementary operation per output element.  Internally the
+        subtraction result is rounded before squaring, as the cascaded
+        hardware would.
+        """
+        diff = self._round(np.subtract(x, y, dtype=np.float32))
+        squared = self._round(np.multiply(diff, diff, dtype=np.float32))
+        out = self._round(np.multiply(squared, z, dtype=np.float32))
+        self.counts.square_diff_multiply += self._size(out)
+        return out
+
+    def add(self, a: np.ndarray | float, b: np.ndarray | float) -> np.ndarray:
+        """The 32-bit adder (accumulation loop / Viterbi add)."""
+        out = self._round(np.add(a, b, dtype=np.float32))
+        self.counts.add += self._size(out)
+        return out
+
+    def fused_multiply_add(
+        self,
+        a: np.ndarray | float,
+        b: np.ndarray | float,
+        c: np.ndarray | float,
+    ) -> np.ndarray:
+        """The scale-and-weight-adjust FMA: ``a * b + c``.
+
+        A fused unit rounds once, after the addition.
+        """
+        product = np.multiply(
+            np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)
+        )
+        out = self._round((product + np.asarray(c, dtype=np.float64)).astype(np.float32))
+        self.counts.fused_multiply_add += self._size(out)
+        return out
+
+    def accumulate(self, values: np.ndarray, initial: float = 0.0) -> float:
+        """Serial accumulation through the adder, in hardware order.
+
+        The OP unit adds one ``(O_i - mu_i)^2 * delta_i`` term per
+        cycle; summation order therefore matters for rounding and is
+        preserved here (left to right over ``values``).
+        """
+        arr = np.asarray(values, dtype=np.float32).ravel()
+        acc = np.float32(initial)
+        for v in arr:
+            acc = np.float32(self.add(acc, v))
+        return float(acc)
+
+    # ------------------------------------------------------------------
+    # Figure 3 blocks
+    # ------------------------------------------------------------------
+    def compare_max(
+        self, a: np.ndarray | float, b: np.ndarray | float
+    ) -> np.ndarray:
+        """The comparator: element-wise maximum."""
+        out = np.maximum(
+            np.asarray(a, dtype=np.float32), np.asarray(b, dtype=np.float32)
+        )
+        self.counts.compare += self._size(out)
+        return out
+
+    def reset(self) -> None:
+        self.counts.reset()

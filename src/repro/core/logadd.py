@@ -1,0 +1,186 @@
+"""The logadd unit and its 512-byte SRAM lookup table (Figure 2).
+
+The OP unit sums mixture components in the log domain:
+
+    log(A + B) = log(A) + log(1 + B/A)          with B <= A
+
+The correction term ``log(1 + B/A)`` lies in ``[0, log 2 = 0.693]``; the
+hardware stores it in a small SRAM — 512 bytes, i.e. 256 entries of 16
+bits, each a pure binary fraction ("16 bits binary value after the
+decimal") — indexed by a few bits of ``log(B) - log(A)``.  The table is
+filled at system start-up.
+
+:class:`LogAddTable` models that SRAM bit-exactly: entry values are
+quantized to 16 fractional bits, lookups count SRAM reads (for the
+power model), and the difference axis is binned exactly as a hardware
+indexer would.  :func:`logadd_exact` is the floating-point reference the
+paper validated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LogAddTable", "logadd_exact", "LOG2"]
+
+#: Natural log of 2 — the maximum of the correction term.
+LOG2 = float(np.log(2.0))
+
+#: Past this difference the 16-bit correction underflows to zero:
+#: log1p(exp(-d)) < 2**-17  <=>  d > 17 * ln 2 ~= 11.78.
+_DEFAULT_MAX_DIFFERENCE = 12.0
+
+
+def logadd_exact(log_a: np.ndarray | float, log_b: np.ndarray | float) -> np.ndarray:
+    """Reference ``log(exp(log_a) + exp(log_b))`` in double precision."""
+    return np.logaddexp(np.asarray(log_a, dtype=np.float64), np.asarray(log_b))
+
+
+@dataclass
+class LogAddTable:
+    """SRAM-backed approximation of ``log(A+B)`` from ``log A, log B``.
+
+    Parameters
+    ----------
+    num_entries:
+        Table length.  The paper's 512-byte SRAM with 16-bit entries
+        gives 256.
+    value_bits:
+        Fractional bits per stored entry (16 in the paper).  Entries
+        are in ``[0, log 2)`` so no integer bits are needed.
+    max_difference:
+        Differences ``d = log A - log B`` at or beyond this value skip
+        the table: the correction is below the representable resolution
+        and the unit simply forwards ``log A``.
+    """
+
+    num_entries: int = 256
+    value_bits: int = 16
+    max_difference: float = _DEFAULT_MAX_DIFFERENCE
+    _entries: np.ndarray = field(init=False, repr=False)
+    _reads: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_entries < 2:
+            raise ValueError(f"num_entries must be >= 2, got {self.num_entries}")
+        if not 1 <= self.value_bits <= 32:
+            raise ValueError(f"value_bits must be in [1, 32], got {self.value_bits}")
+        if self.max_difference <= 0:
+            raise ValueError(
+                f"max_difference must be positive, got {self.max_difference}"
+            )
+        self._entries = self._build_entries()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_entries(self) -> np.ndarray:
+        """Fill the SRAM as the boot code would.
+
+        Each bin stores the correction evaluated at the bin centre,
+        rounded to ``value_bits`` fractional bits.  Bin centres minimise
+        the worst-case error within a bin for this monotone curve.
+        """
+        centers = (np.arange(self.num_entries) + 0.5) * self.bin_width
+        exact = np.log1p(np.exp(-centers))
+        scale = 2.0**self.value_bits
+        return np.rint(exact * scale) / scale
+
+    @property
+    def bin_width(self) -> float:
+        """Width of one difference bin along ``d = log A - log B``."""
+        return self.max_difference / self.num_entries
+
+    @property
+    def sram_bytes(self) -> int:
+        """Size of the table SRAM (512 bytes in the paper)."""
+        return self.num_entries * self.value_bits // 8
+
+    @property
+    def reads(self) -> int:
+        """Number of SRAM lookups performed so far."""
+        return self._reads
+
+    def reset_reads(self) -> None:
+        self._reads = 0
+
+    # ------------------------------------------------------------------
+    # Operation
+    # ------------------------------------------------------------------
+    def correction(self, difference: np.ndarray | float) -> np.ndarray:
+        """Table lookup of ``log(1 + exp(-d))`` for ``d >= 0``.
+
+        Differences beyond ``max_difference`` return 0.0 without an
+        SRAM access, matching the hardware short-circuit.
+        """
+        d = np.asarray(difference, dtype=np.float64)
+        if np.any(d < 0):
+            raise ValueError("difference must be non-negative (operands swapped?)")
+        index = np.minimum(
+            (d / self.bin_width).astype(np.int64), self.num_entries - 1
+        )
+        in_range = d < self.max_difference
+        self._reads += int(np.count_nonzero(in_range))
+        values = self._entries[index]
+        return np.where(in_range, values, 0.0)
+
+    def logadd(
+        self, log_a: np.ndarray | float, log_b: np.ndarray | float
+    ) -> np.ndarray:
+        """Approximate ``log(exp(log_a) + exp(log_b))`` via the SRAM.
+
+        Operands are ordered internally so the correction argument is
+        non-negative (the comparator before the logadd path in
+        Figure 2).  ``-inf`` operands (true zero probability) are
+        handled by forwarding the other operand unchanged.
+        """
+        a = np.asarray(log_a, dtype=np.float64)
+        b = np.asarray(log_b, dtype=np.float64)
+        hi = np.maximum(a, b)
+        lo = np.minimum(a, b)
+        both_inf = np.isneginf(hi)
+        lo_inf = np.isneginf(lo)
+        # Difference is only meaningful when the smaller operand is finite.
+        with np.errstate(invalid="ignore"):
+            raw_diff = hi - lo
+        diff = np.where(lo_inf, self.max_difference, raw_diff)
+        result = hi + self.correction(diff)
+        result = np.where(lo_inf, hi, result)
+        return np.where(both_inf, -np.inf, result)
+
+    def logadd_many(self, log_values: np.ndarray) -> float:
+        """Fold :meth:`logadd` over a 1-D array (mixture accumulation).
+
+        The OP unit accumulates mixture components one at a time as
+        they exit the FMA stage; this mirrors that serial order.
+        """
+        values = np.asarray(log_values, dtype=np.float64).ravel()
+        if values.size == 0:
+            raise ValueError("logadd_many needs at least one value")
+        acc = float(values[0])
+        for v in values[1:]:
+            acc = float(self.logadd(acc, float(v)))
+        return acc
+
+    # ------------------------------------------------------------------
+    # Accuracy characterisation
+    # ------------------------------------------------------------------
+    def max_error(self, samples: int = 20000) -> float:
+        """Empirical worst-case absolute error of the correction term."""
+        d = np.linspace(0.0, self.max_difference * 1.25, samples)
+        reads_before = self._reads
+        approx = self.correction(d)
+        self._reads = reads_before  # characterisation should not count
+        exact = np.log1p(np.exp(-d))
+        return float(np.max(np.abs(approx - exact)))
+
+    def theoretical_error_bound(self) -> float:
+        """Half the max bin slope excursion plus value rounding.
+
+        The correction's derivative magnitude is at most 1/2 (at d=0),
+        so a centred bin contributes at most ``bin_width / 4``; the
+        16-bit value rounding adds half an LSB.
+        """
+        return self.bin_width / 4.0 + 2.0 ** (-self.value_bits - 1)

@@ -1,0 +1,97 @@
+"""Pipeline timing primitives shared by the OP and Viterbi units.
+
+Both dedicated units are pipelined datapaths ("The design is
+pipelined", Section III-B).  For cycle accounting we model a pipeline
+by its fill depth and initiation interval: ``n`` items issued
+back-to-back occupy ``depth + (n - 1) * interval`` cycles.
+
+:class:`PipelineTrace` optionally records per-item issue/retire cycles
+so examples can print the kind of stage-by-stage trace a waveform
+viewer would show (used by ``examples/hardware_trace.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PipelineSpec", "PipelineTrace", "TraceEvent"]
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """Static timing description of one pipelined block.
+
+    Parameters
+    ----------
+    name:
+        Block name, e.g. ``"(X-Y)^2*Z"`` or ``"add&compare"``.
+    depth:
+        Cycles from issue of an item to its result (pipeline fill).
+    initiation_interval:
+        Cycles between successive issues (1 = fully pipelined; the
+        Viterbi add & compare takes 2 per Figure 3).
+    """
+
+    name: str
+    depth: int
+    initiation_interval: int = 1
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError(f"depth must be >= 1, got {self.depth}")
+        if self.initiation_interval < 1:
+            raise ValueError(
+                f"initiation_interval must be >= 1, got {self.initiation_interval}"
+            )
+
+    def cycles(self, items: int) -> int:
+        """Total cycles to stream ``items`` through the block."""
+        if items < 0:
+            raise ValueError(f"items must be non-negative, got {items}")
+        if items == 0:
+            return 0
+        return self.depth + (items - 1) * self.initiation_interval
+
+    def throughput_cycles(self, items: int) -> int:
+        """Steady-state cycles ignoring the initial fill."""
+        if items < 0:
+            raise ValueError(f"items must be non-negative, got {items}")
+        return items * self.initiation_interval
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One item's passage through a pipeline block."""
+
+    block: str
+    item: str
+    issue_cycle: int
+    retire_cycle: int
+
+
+@dataclass
+class PipelineTrace:
+    """Accumulates :class:`TraceEvent` records during a simulation."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(self, block: str, item: str, issue_cycle: int, retire_cycle: int) -> None:
+        if not self.enabled:
+            return
+        if retire_cycle < issue_cycle:
+            raise ValueError("retire_cycle must be >= issue_cycle")
+        self.events.append(TraceEvent(block, item, issue_cycle, retire_cycle))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def format(self, limit: int | None = None) -> str:
+        """Human-readable trace table, oldest event first."""
+        rows = self.events if limit is None else self.events[:limit]
+        lines = [f"{'cycle':>7}  {'retire':>7}  {'block':<16} item"]
+        for ev in rows:
+            lines.append(
+                f"{ev.issue_cycle:>7}  {ev.retire_cycle:>7}  {ev.block:<16} {ev.item}"
+            )
+        return "\n".join(lines)

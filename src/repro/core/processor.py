@@ -1,0 +1,120 @@
+"""Cycle-cost model of the embedded processor running the software stages.
+
+The paper partitions the recognizer so that the frontend, the word
+decode stage and the global best path search run in software on a
+low-power embedded core (ARM946E-S class with a VFP9-S floating-point
+co-processor), while the dedicated units absorb the heavy Gaussian and
+Viterbi arithmetic.
+
+For real-time analysis we only need each software stage's cycle
+budget.  :class:`EmbeddedProcessor` charges named stages with cycle
+costs and reports utilisation against the frame period.  The default
+per-stage cost constants in :class:`SoftwareCosts` are sized from the
+paper's characterisation of the stages as "lightweight" relative to
+observation-probability computation, with the frontend dominated by
+the FFT and the word decode scaling with active words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SoftwareCosts", "EmbeddedProcessor", "StageCharge"]
+
+
+@dataclass(frozen=True)
+class SoftwareCosts:
+    """Cycle-cost constants for the software stages.
+
+    All values are cycles on the embedded core.  They are intentionally
+    conservative (high) so that real-time conclusions are not flattered
+    by the software model.
+    """
+
+    frontend_per_frame: int = 60_000  # 512-pt FFT + filterbank + DCT + deltas
+    word_decode_per_active_word: int = 220  # token bookkeeping per word per frame
+    word_decode_base_per_frame: int = 8_000  # pruning, list management
+    lattice_insert: int = 400  # per word-lattice entry
+    best_path_per_edge: int = 90  # LM lookup + relax per lattice edge
+    feedback_per_phone: int = 25  # "phones for evaluation" list build
+
+
+@dataclass
+class StageCharge:
+    """Accumulated cycles for one named software stage."""
+
+    name: str
+    cycles: int = 0
+    invocations: int = 0
+
+
+class EmbeddedProcessor:
+    """The low-power core executing the dotted-box stages of Figure 1."""
+
+    def __init__(
+        self,
+        clock_hz: float = 200e6,
+        costs: SoftwareCosts | None = None,
+    ) -> None:
+        if clock_hz <= 0:
+            raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+        self.clock_hz = clock_hz
+        self.costs = costs or SoftwareCosts()
+        self._stages: dict[str, StageCharge] = {}
+
+    def charge(self, stage: str, cycles: int) -> None:
+        """Add ``cycles`` of work to a named stage."""
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        entry = self._stages.setdefault(stage, StageCharge(name=stage))
+        entry.cycles += cycles
+        entry.invocations += 1
+
+    # Convenience wrappers for the standard stages -----------------------
+    def charge_frontend(self, frames: int = 1) -> None:
+        self.charge("frontend", frames * self.costs.frontend_per_frame)
+
+    def charge_word_decode(self, active_words: int) -> None:
+        self.charge(
+            "word-decode",
+            self.costs.word_decode_base_per_frame
+            + active_words * self.costs.word_decode_per_active_word,
+        )
+
+    def charge_lattice(self, entries: int) -> None:
+        self.charge("word-lattice", entries * self.costs.lattice_insert)
+
+    def charge_best_path(self, edges: int) -> None:
+        self.charge("best-path", edges * self.costs.best_path_per_edge)
+
+    def charge_feedback(self, phones: int) -> None:
+        self.charge("phone-feedback", phones * self.costs.feedback_per_phone)
+
+    # Reporting ----------------------------------------------------------
+    @property
+    def total_cycles(self) -> int:
+        return sum(s.cycles for s in self._stages.values())
+
+    def busy_seconds(self) -> float:
+        return self.total_cycles / self.clock_hz
+
+    def stages(self) -> list[StageCharge]:
+        return sorted(self._stages.values(), key=lambda s: -s.cycles)
+
+    def utilization(self, elapsed_s: float) -> float:
+        """Fraction of the core consumed over ``elapsed_s`` wall time."""
+        if elapsed_s <= 0:
+            raise ValueError(f"elapsed_s must be positive, got {elapsed_s}")
+        return self.busy_seconds() / elapsed_s
+
+    def reset(self) -> None:
+        self._stages.clear()
+
+    def format(self) -> str:
+        lines = [f"embedded core @ {self.clock_hz / 1e6:.0f} MHz"]
+        for s in self.stages():
+            lines.append(
+                f"  {s.name:<16} {s.cycles:>12,} cycles  ({s.invocations} calls)"
+            )
+        lines.append(f"  {'total':<16} {self.total_cycles:>12,} cycles")
+        return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Senone scheduling across the dedicated structures.
+
+The paper provisions *two* identical structures and streams each
+frame's active senones to them over DMA.  How the list is split
+matters: senone parameter blocks arrive as contiguous DMA bursts, so a
+scheduler balances three concerns —
+
+* **load balance**: both units should finish the frame together (the
+  frame's critical path is the slower unit);
+* **burst efficiency**: contiguous senone ranges coalesce into fewer,
+  longer DMA transfers (each transfer pays a setup cost);
+* **prefetch overlap**: with double buffering, a unit computes senone
+  ``k`` while the DMA fetches ``k+1`` — the frame takes
+  ``max(compute, fetch) + first-fetch`` rather than their sum.
+
+:class:`SenoneScheduler` implements contiguous-range splitting with
+those cost models and reports per-frame critical paths, imbalance and
+DMA statistics — extending experiment R3 with the memory-system
+dimension the paper's bandwidth numbers imply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.opunit import OpUnitSpec
+
+__all__ = ["ScheduleConfig", "FrameSchedule", "SenoneScheduler"]
+
+
+@dataclass(frozen=True)
+class ScheduleConfig:
+    """Cost constants of the DMA path."""
+
+    dma_setup_cycles: int = 16  # per transfer (50 MHz unit-clock cycles)
+    dma_bytes_per_cycle: float = 32.0  # burst bandwidth toward the units
+    double_buffered: bool = True
+
+    def __post_init__(self) -> None:
+        if self.dma_setup_cycles < 0:
+            raise ValueError("dma_setup_cycles must be >= 0")
+        if self.dma_bytes_per_cycle <= 0:
+            raise ValueError("dma_bytes_per_cycle must be positive")
+
+
+@dataclass
+class FrameSchedule:
+    """One frame's assignment and timing."""
+
+    unit_senones: list[np.ndarray]
+    unit_compute_cycles: list[int]
+    unit_fetch_cycles: list[int]
+    transfers: int
+
+    @property
+    def critical_cycles(self) -> int:
+        """Frame finish time over all units."""
+        totals = []
+        for compute, fetch in zip(self.unit_compute_cycles, self.unit_fetch_cycles):
+            totals.append(max(compute, fetch))
+        return max(totals, default=0)
+
+    @property
+    def imbalance(self) -> float:
+        """(max - min) / max over unit compute loads (0 = perfect)."""
+        loads = self.unit_compute_cycles
+        peak = max(loads, default=0)
+        if peak == 0:
+            return 0.0
+        return (peak - min(loads)) / peak
+
+
+class SenoneScheduler:
+    """Splits each frame's active senones across the structures."""
+
+    def __init__(
+        self,
+        num_units: int,
+        spec: OpUnitSpec | None = None,
+        components: int = 8,
+        bytes_per_senone: float | None = None,
+        config: ScheduleConfig | None = None,
+    ) -> None:
+        if num_units < 1:
+            raise ValueError(f"num_units must be >= 1, got {num_units}")
+        self.num_units = num_units
+        self.spec = spec or OpUnitSpec()
+        self.components = components
+        self.config = config or ScheduleConfig()
+        if bytes_per_senone is None:
+            bytes_per_senone = components * (2 * self.spec.feature_dim + 1) * 4.0
+        self.bytes_per_senone = bytes_per_senone
+        self._frames: list[FrameSchedule] = []
+
+    # ------------------------------------------------------------------
+    def schedule_frame(self, active_senones: np.ndarray) -> FrameSchedule:
+        """Assign one frame's active list to the units.
+
+        The sorted active list is cut into ``num_units`` contiguous
+        ranges of near-equal size — contiguity maximises DMA burst
+        length, and with homogeneous per-senone cost equal counts give
+        equal loads.
+        """
+        active = np.unique(np.asarray(active_senones, dtype=np.int64))
+        shares = np.array_split(active, self.num_units)
+        per_senone = self.spec.cycles_per_senone(self.components)
+        cfg = self.config
+        compute, fetch = [], []
+        transfers = 0
+        for share in shares:
+            compute.append(int(share.size) * per_senone)
+            if share.size == 0:
+                fetch.append(0)
+                continue
+            # Contiguous ID runs coalesce into single DMA transfers.
+            runs = 1 + int(np.count_nonzero(np.diff(share) > 1))
+            transfers += runs
+            burst_bytes = share.size * self.bytes_per_senone
+            stream_cycles = int(np.ceil(burst_bytes / cfg.dma_bytes_per_cycle))
+            setup = runs * cfg.dma_setup_cycles
+            if cfg.double_buffered:
+                # Fetch overlaps compute; only the first senone's
+                # parameters are on the critical path, plus setup.
+                first = int(
+                    np.ceil(self.bytes_per_senone / cfg.dma_bytes_per_cycle)
+                )
+                fetch.append(setup + first + max(stream_cycles - compute[-1], 0))
+            else:
+                fetch.append(setup + stream_cycles + compute[-1])
+        schedule = FrameSchedule(
+            unit_senones=list(shares),
+            unit_compute_cycles=compute,
+            unit_fetch_cycles=fetch,
+            transfers=transfers,
+        )
+        self._frames.append(schedule)
+        return schedule
+
+    # ------------------------------------------------------------------
+    @property
+    def frames(self) -> int:
+        return len(self._frames)
+
+    def critical_cycles_per_frame(self) -> np.ndarray:
+        return np.array([f.critical_cycles for f in self._frames])
+
+    def mean_imbalance(self) -> float:
+        if not self._frames:
+            return 0.0
+        return float(np.mean([f.imbalance for f in self._frames]))
+
+    def total_transfers(self) -> int:
+        return sum(f.transfers for f in self._frames)
+
+    def reset(self) -> None:
+        self._frames.clear()

@@ -1,0 +1,211 @@
+"""The complete SoC: processor + dedicated structures + memories.
+
+This is the paper's Figure 1 system assembled: the MFCC frontend and
+the word-decode/best-path stages run on the embedded-processor cost
+model, senone scoring and Viterbi updates run on the dedicated unit
+models (two structures by default, as the paper concludes), the
+acoustic model / dictionary / LM live in flash behind a DMA channel,
+and every decode yields a consolidated report: recognized words,
+real-time factors, memory footprints, sustained and worst-case
+bandwidth, and the power breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.memory import BandwidthMeter, DmaChannel, FlashMemory, MB
+from repro.core.power import AreaTable, PowerModel, PowerReport
+from repro.core.processor import EmbeddedProcessor
+from repro.decoder.recognizer import RecognitionResult, Recognizer
+from repro.decoder.word_decode import DecoderConfig
+from repro.eval.realtime import RealTimeReport, analyze_unit_cycles
+from repro.frontend.features import Frontend, FrontendConfig
+from repro.hmm.senone import SenonePool
+from repro.lexicon.dictionary import PronunciationDictionary
+from repro.lexicon.triphone import SenoneTying
+from repro.lm.ngram import NGramModel
+from repro.quant.float_formats import IEEE_SINGLE, FloatFormat
+
+__all__ = ["SpeechSoC", "SocDecodeReport"]
+
+
+@dataclass
+class SocDecodeReport:
+    """Everything one SoC decode produced."""
+
+    recognition: RecognitionResult
+    op_unit_reports: list[RealTimeReport]
+    power: PowerReport
+    processor_utilization: float
+    mean_bandwidth_gbps: float
+    peak_bandwidth_gbps: float
+    flash_footprint_mb: dict[str, float]
+    area_mm2: float
+
+    @property
+    def words(self) -> tuple[str, ...]:
+        return self.recognition.words
+
+    @property
+    def is_real_time(self) -> bool:
+        """All dedicated units and the processor fit their budgets."""
+        units_ok = all(r.is_real_time for r in self.op_unit_reports)
+        return units_ok and self.processor_utilization <= 1.0
+
+    def format(self) -> str:
+        lines = [f"recognized: {' '.join(self.words) or '(empty)'}"]
+        for i, report in enumerate(self.op_unit_reports):
+            lines.append(f"structure[{i}]: {report.format()}")
+        lines.append(
+            f"processor utilization: {100 * self.processor_utilization:.1f} %"
+        )
+        lines.append(
+            f"bandwidth: mean {self.mean_bandwidth_gbps:.3f} GB/s, "
+            f"peak {self.peak_bandwidth_gbps:.3f} GB/s"
+        )
+        footprint = ", ".join(
+            f"{name} {mb:.2f} MB" for name, mb in self.flash_footprint_mb.items()
+        )
+        lines.append(f"flash: {footprint}")
+        lines.append(f"area (dedicated structures): {self.area_mm2:.1f} mm^2")
+        lines.append(
+            f"power: {self.power.average_power_w * 1e3:.1f} mW "
+            f"over {self.power.duration_s:.2f} s audio"
+        )
+        return "\n".join(lines)
+
+
+class SpeechSoC:
+    """The assembled low-power recognizer SoC.
+
+    Parameters
+    ----------
+    dictionary, pool, lm, tying:
+        The recognition models (stored to flash at construction).
+    num_structures:
+        Dedicated OP+Viterbi structure pairs (the paper uses 2).
+    storage_format:
+        Acoustic model storage precision (mantissa study, T1/R1).
+    clock_gating:
+        Paper's power-saving feature; switchable for the R4 ablation.
+    """
+
+    def __init__(
+        self,
+        dictionary: PronunciationDictionary,
+        pool: SenonePool,
+        lm: NGramModel,
+        tying: SenoneTying,
+        decoder_config: DecoderConfig | None = None,
+        num_structures: int = 2,
+        storage_format: FloatFormat = IEEE_SINGLE,
+        clock_gating: bool = True,
+        frontend_config: FrontendConfig | None = None,
+        flash_capacity_mb: float = 64.0,
+        frame_period_s: float = 0.010,
+    ) -> None:
+        if num_structures < 1:
+            raise ValueError(f"num_structures must be >= 1, got {num_structures}")
+        self.storage_format = storage_format
+        self.frame_period_s = frame_period_s
+        self.frontend = Frontend(frontend_config)
+        self.processor = EmbeddedProcessor()
+        self.recognizer = Recognizer.create(
+            dictionary,
+            pool,
+            lm,
+            tying,
+            mode="hardware",
+            storage_format=storage_format,
+            num_unit_pairs=num_structures,
+            config=decoder_config,
+            frame_period_s=frame_period_s,
+        )
+        self.power_model = PowerModel(
+            clock_hz=self.recognizer.op_units[0].spec.clock_hz,
+            clock_gating=clock_gating,
+        )
+        self.area = AreaTable()
+        self.num_structures = num_structures
+        # Flash image: acoustic model + dictionary + LM, behind DMA.
+        self.flash = FlashMemory(capacity_bytes=flash_capacity_mb * MB)
+        self._model_bytes = pool.storage_bytes(storage_format)
+        self.flash.store("acoustic-model", self._model_bytes)
+        dict_bits = dictionary.storage_bits()
+        self.flash.store("dictionary", dict_bits["total_bits"] / 8)
+        self.flash.store("language-model", lm.storage_bytes())
+        self.dma = DmaChannel(self.flash)
+        self._senone_bytes = (
+            self.recognizer.pool.gaussian_table(storage_format).senone_bytes()
+        )
+
+    # ------------------------------------------------------------------
+    def decode_waveform(self, waveform: np.ndarray) -> SocDecodeReport:
+        """Full pipeline: audio in, report out (frontend on the CPU)."""
+        features = self.frontend.extract(np.asarray(waveform, dtype=np.float64))
+        if features.shape[0] == 0:
+            raise ValueError("waveform too short for a single frame")
+        self.processor.charge_frontend(frames=features.shape[0])
+        return self.decode_features(features, frontend_charged=True)
+
+    def decode_features(
+        self, features: np.ndarray, frontend_charged: bool = False
+    ) -> SocDecodeReport:
+        """Decode pre-extracted features through the dedicated units."""
+        if not frontend_charged:
+            self.processor.reset()
+        result = self.recognizer.decode(features)
+        audio_s = result.audio_seconds
+
+        # Software stage costs (Figure 1 dotted boxes).
+        meter = BandwidthMeter(self.frame_period_s)
+        for stats in result.frame_stats:
+            active_words = max(stats.active_states // 3, 1)
+            self.processor.charge_word_decode(active_words)
+            self.processor.charge_feedback(stats.requested_senones)
+            frame_bytes = stats.requested_senones * self._senone_bytes
+            self.dma.transfer("acoustic-model", frame_bytes)
+            meter.record_frame(frame_bytes)
+        self.processor.charge_lattice(result.lattice_size)
+        self.processor.charge_best_path(result.lattice_size)
+
+        # Per-structure real-time reports: the OP stream dominates; the
+        # Viterbi unit's transitions are divided across structures.
+        op_reports = []
+        viterbi_cycles = (
+            result.viterbi_activity["cycles_busy"] if result.viterbi_activity else 0.0
+        )
+        viterbi_share = viterbi_cycles / (self.num_structures * max(result.frames, 1))
+        assert result.frame_critical_cycles is not None
+        critical = np.asarray(result.frame_critical_cycles, dtype=np.float64)
+        per_frame = critical + viterbi_share
+        clock = self.recognizer.op_units[0].spec.clock_hz
+        for _ in range(self.num_structures):
+            op_reports.append(
+                analyze_unit_cycles(per_frame, clock, self.frame_period_s)
+            )
+
+        activities = [u.activity() for u in self.recognizer.op_units]
+        if result.viterbi_activity is not None:
+            activities.append(result.viterbi_activity)
+        power = self.power_model.combined_report(activities, audio_s)
+        return SocDecodeReport(
+            recognition=result,
+            op_unit_reports=op_reports,
+            power=power,
+            processor_utilization=self.processor.utilization(audio_s),
+            mean_bandwidth_gbps=meter.mean_gb_per_second(),
+            peak_bandwidth_gbps=meter.peak_gb_per_second(),
+            flash_footprint_mb={
+                region.name: region.num_bytes / MB for region in self.flash.regions()
+            },
+            area_mm2=self.area.total() * self.num_structures,
+        )
+
+    # ------------------------------------------------------------------
+    def worst_case_bandwidth_gbps(self) -> float:
+        """All senones streamed every frame (the paper's worst case)."""
+        return (self._model_bytes / self.frame_period_s) / 1e9

@@ -1,0 +1,63 @@
+"""The staged decoder (Figure 1): phone decode, word decode, best path."""
+
+from repro.decoder.beam import BeamConfig, apply_beam
+from repro.decoder.best_path import BestPath, find_best_path, n_best_paths
+from repro.decoder.confidence import WordConfidence, score_confidence
+from repro.decoder.fast_gmm import FastGmmConfig, FastGmmScorer, FastGmmStats
+from repro.decoder.lattice import WordExit, WordLattice
+from repro.decoder.lattice_tools import (
+    LatticeReport,
+    analyze_lattice,
+    oracle_paths,
+    prune_lattice,
+)
+from repro.decoder.lextree import TreeLexiconNetwork, TreeWordDecodeStage
+from repro.decoder.network import FlatLexiconNetwork
+from repro.decoder.phone_decode import PhoneDecodeStage
+from repro.decoder.recognizer import RecognitionResult, Recognizer
+from repro.decoder.scorer import (
+    HardwareScorer,
+    ReferenceScorer,
+    ScoringStats,
+    SenoneScorer,
+)
+from repro.decoder.streaming import StreamingEvent, StreamingRecognizer
+from repro.decoder.viterbi import ViterbiResult, viterbi_decode, viterbi_score
+from repro.decoder.word_decode import DecoderConfig, FrameStats, WordDecodeStage
+
+__all__ = [
+    "Recognizer",
+    "RecognitionResult",
+    "DecoderConfig",
+    "FrameStats",
+    "WordDecodeStage",
+    "PhoneDecodeStage",
+    "FlatLexiconNetwork",
+    "WordLattice",
+    "WordExit",
+    "BestPath",
+    "find_best_path",
+    "n_best_paths",
+    "BeamConfig",
+    "apply_beam",
+    "SenoneScorer",
+    "ScoringStats",
+    "ReferenceScorer",
+    "HardwareScorer",
+    "FastGmmConfig",
+    "FastGmmScorer",
+    "FastGmmStats",
+    "viterbi_decode",
+    "viterbi_score",
+    "ViterbiResult",
+    "TreeLexiconNetwork",
+    "TreeWordDecodeStage",
+    "StreamingRecognizer",
+    "StreamingEvent",
+    "LatticeReport",
+    "analyze_lattice",
+    "oracle_paths",
+    "prune_lattice",
+    "WordConfidence",
+    "score_confidence",
+]

@@ -1,0 +1,66 @@
+"""Beam and histogram pruning.
+
+"To achieve real-time performance, threshold values are introduced to
+reduce the amount of computation which in-turn reduces the accuracy of
+recognition" (Section I).  The decoder applies two standard prunes per
+frame: a *beam* relative to the frame-best path score, and an optional
+*histogram* cap on the number of live states.  Word exits use their
+own (tighter) beam.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BeamConfig", "apply_beam"]
+
+LOG_ZERO = -1.0e30
+
+
+@dataclass(frozen=True)
+class BeamConfig:
+    """Pruning thresholds, all in natural-log units."""
+
+    state_beam: float = 220.0
+    word_beam: float = 160.0
+    max_active_states: int = 0  # 0 disables the histogram prune
+
+    def __post_init__(self) -> None:
+        if self.state_beam <= 0:
+            raise ValueError(f"state_beam must be positive, got {self.state_beam}")
+        if self.word_beam <= 0:
+            raise ValueError(f"word_beam must be positive, got {self.word_beam}")
+        if self.max_active_states < 0:
+            raise ValueError(
+                f"max_active_states must be >= 0, got {self.max_active_states}"
+            )
+
+
+def apply_beam(delta: np.ndarray, config: BeamConfig) -> tuple[np.ndarray, int]:
+    """Prune ``delta`` in place; returns (active mask, survivors).
+
+    States outside ``state_beam`` of the frame best (or beyond the
+    histogram cap) are reset to ``LOG_ZERO``.
+    """
+    best = float(delta.max())
+    if best <= LOG_ZERO:
+        return np.zeros(delta.shape, dtype=bool), 0
+    threshold = best - config.state_beam
+    alive = delta > threshold
+    if config.max_active_states and int(alive.sum()) > config.max_active_states:
+        # Keep exactly the top-N scores (ties broken arbitrarily).
+        live_scores = delta[alive]
+        cut = np.partition(live_scores, -config.max_active_states)[
+            -config.max_active_states
+        ]
+        alive &= delta >= cut
+        # A plateau of equal scores can still exceed the cap; trim it.
+        if int(alive.sum()) > config.max_active_states:
+            idx = np.flatnonzero(alive)
+            order = np.argsort(delta[idx])[::-1]
+            alive[:] = False
+            alive[idx[order[: config.max_active_states]]] = True
+    delta[~alive] = LOG_ZERO
+    return alive, int(alive.sum())

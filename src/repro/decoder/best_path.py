@@ -1,0 +1,144 @@
+"""Global best path search over the word lattice (Figure 1).
+
+"The global best path search iterates over the word lattice and
+combines the language model to produce the utterance."
+
+Because the word decode stage applies LM mass at word *entry*, every
+lattice exit already scores a complete LM-weighted path prefix; this
+stage adds the end-of-sentence LM term, selects the best final exit,
+and walks the predecessor chain back to ``<s>``.  It also produces an
+n-best list over distinct final exits, which the evaluation uses for
+oracle analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.decoder.lattice import WordExit, WordLattice
+from repro.decoder.network import FlatLexiconNetwork
+from repro.lm.ngram import NGramModel
+
+__all__ = ["BestPath", "find_best_path", "n_best_paths"]
+
+
+@dataclass(frozen=True)
+class BestPath:
+    """A decoded utterance hypothesis."""
+
+    words: tuple[str, ...]
+    score: float
+    exits: tuple[WordExit, ...]
+
+    @property
+    def num_words(self) -> int:
+        return len(self.words)
+
+
+def _final_candidates(
+    lattice: WordLattice, final_frame: int
+) -> list[WordExit]:
+    """Exits eligible to end the utterance.
+
+    Prefer exits on the final frame; if the beam starved it, fall back
+    to the most recent frame that produced any.
+    """
+    frame = lattice.last_frame_with_exits(final_frame)
+    if frame is None:
+        return []
+    return lattice.exits_at(frame)
+
+
+def _exit_history(
+    record: WordExit,
+    lattice: WordLattice,
+    network: FlatLexiconNetwork,
+    lm: NGramModel,
+) -> tuple[int, ...]:
+    """LM context of a final exit (silence-transparent; trigram-aware)."""
+    vocab = lm.vocabulary
+
+    def last_real(index: int) -> WordExit | None:
+        while index >= 0:
+            r = lattice.exit(index)
+            if r.word != network.silence_word:
+                return r
+            index = r.predecessor
+        return None
+
+    first = (
+        record
+        if record.word != network.silence_word
+        else last_real(record.predecessor)
+    )
+    if first is None:
+        return (vocab.bos_id,)
+    if lm.order < 3:
+        return (first.lm_history,)
+    second = last_real(first.predecessor)
+    prev = vocab.bos_id if second is None else second.lm_history
+    return (prev, first.lm_history)
+
+
+def _final_score(
+    record: WordExit,
+    lattice: WordLattice,
+    network: FlatLexiconNetwork,
+    lm: NGramModel,
+    lm_scale: float,
+) -> float:
+    history = _exit_history(record, lattice, network, lm)
+    return record.score + lm_scale * lm.eos_log_prob(history)
+
+
+def _path_from_exit(
+    record: WordExit,
+    lattice: WordLattice,
+    network: FlatLexiconNetwork,
+    final_score: float,
+) -> BestPath:
+    chain = lattice.backtrace(record.index)
+    words = tuple(
+        network.word_name(e.word) for e in chain if e.word != network.silence_word
+    )
+    return BestPath(words=words, score=final_score, exits=tuple(chain))
+
+
+def find_best_path(
+    lattice: WordLattice,
+    lm: NGramModel,
+    network: FlatLexiconNetwork,
+    final_frame: int,
+    lm_scale: float = 1.0,
+) -> BestPath | None:
+    """The single best utterance, or None for an empty lattice."""
+    candidates = _final_candidates(lattice, final_frame)
+    if not candidates:
+        return None
+    scored = [
+        (_final_score(e, lattice, network, lm, lm_scale), e) for e in candidates
+    ]
+    best_score, best_exit = max(scored, key=lambda pair: pair[0])
+    return _path_from_exit(best_exit, lattice, network, best_score)
+
+
+def n_best_paths(
+    lattice: WordLattice,
+    lm: NGramModel,
+    network: FlatLexiconNetwork,
+    final_frame: int,
+    n: int = 5,
+    lm_scale: float = 1.0,
+) -> list[BestPath]:
+    """Up to ``n`` hypotheses from distinct final exits, best first."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    candidates = _final_candidates(lattice, final_frame)
+    scored = sorted(
+        ((_final_score(e, lattice, network, lm, lm_scale), e) for e in candidates),
+        key=lambda pair: -pair[0],
+    )
+    return [
+        _path_from_exit(record, lattice, network, score)
+        for score, record in scored[:n]
+    ]

@@ -1,0 +1,103 @@
+"""Word confidence estimation from lattice agreement.
+
+A deployed recognizer (the paper's dictation and command scenarios)
+needs to know *when it might be wrong* — to trigger confirmation
+dialogs or reject commands.  The classic lattice-based estimate is
+used here: a word's confidence is the posterior-like fraction of
+probability mass, over the n-best complete lattice paths, carried by
+paths that contain that word at (approximately) the same time.
+
+Scores are computed from the existing word lattice — no extra decoding
+work — and normalised with a temperature so the dynamic range of
+log-domain path scores does not collapse everything to 0/1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.decoder.best_path import BestPath, n_best_paths
+from repro.decoder.lattice import WordLattice
+from repro.decoder.network import FlatLexiconNetwork
+from repro.lm.ngram import NGramModel
+
+__all__ = ["WordConfidence", "score_confidence"]
+
+
+@dataclass(frozen=True)
+class WordConfidence:
+    """One recognized word with its confidence in [0, 1]."""
+
+    word: str
+    entry_frame: int
+    exit_frame: int
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError(f"confidence {self.confidence} outside [0, 1]")
+
+
+def _overlaps(a_start: int, a_stop: int, b_start: int, b_stop: int) -> bool:
+    """Half-open time-interval overlap."""
+    return a_start < b_stop and b_start < a_stop
+
+
+def score_confidence(
+    lattice: WordLattice,
+    lm: NGramModel,
+    network: FlatLexiconNetwork,
+    final_frame: int,
+    n: int = 16,
+    temperature: float = 8.0,
+) -> list[WordConfidence]:
+    """Confidence for each word of the best path.
+
+    Parameters
+    ----------
+    n:
+        How many n-best paths vote.
+    temperature:
+        Softmax temperature over path scores (log domain); higher
+        values flatten the vote so near-miss alternatives count.
+    """
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    paths = n_best_paths(lattice, lm, network, final_frame, n=n)
+    if not paths:
+        return []
+    best = paths[0]
+    scores = np.array([p.score for p in paths])
+    weights = np.exp((scores - scores.max()) / temperature)
+    weights /= weights.sum()
+    out: list[WordConfidence] = []
+    for exit_record in best.exits:
+        if exit_record.word == network.silence_word:
+            continue
+        mass = 0.0
+        for path, weight in zip(paths, weights):
+            if _path_contains(path, network, exit_record):
+                mass += float(weight)
+        out.append(
+            WordConfidence(
+                word=network.word_name(exit_record.word),
+                entry_frame=exit_record.entry_frame,
+                exit_frame=exit_record.exit_frame,
+                confidence=min(mass, 1.0),
+            )
+        )
+    return out
+
+
+def _path_contains(path: BestPath, network: FlatLexiconNetwork, record) -> bool:
+    """Does ``path`` contain the same word overlapping in time?"""
+    for e in path.exits:
+        if e.word != record.word or e.word == network.silence_word:
+            continue
+        if _overlaps(
+            e.entry_frame, e.exit_frame + 1, record.entry_frame, record.exit_frame + 1
+        ):
+            return True
+    return False

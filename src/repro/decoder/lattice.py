@@ -1,0 +1,112 @@
+"""Word lattice: the exit records the word decode stage emits.
+
+"The word decode generates a lattice of probable words spoken.  The
+global best path search iterates over the word lattice and combines
+the language model to produce the utterance."  (Section III-C)
+
+Every time a word's final HMM state scores above the word beam, the
+stage appends a :class:`WordExit`: which word, when its token entered,
+which earlier exit it continued from, its path score, and the LM
+history it exposes (silence is transparent — it forwards its
+predecessor's history).  The :class:`WordLattice` is the container the
+global best path search consumes; it also reports the paper-relevant
+statistics (entries per frame, lattice size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["WordExit", "WordLattice"]
+
+
+@dataclass(frozen=True)
+class WordExit:
+    """One word-lattice entry."""
+
+    index: int  # dense ID within the lattice
+    word: int  # network word index (silence = network.silence_word)
+    entry_frame: int  # frame the token entered the word
+    exit_frame: int  # frame the exit was recorded
+    predecessor: int  # index of the preceding WordExit, -1 for BOS
+    score: float  # accumulated path log-score at exit
+    lm_history: int  # vocabulary word ID exposed to the LM (-1 = BOS)
+
+
+class WordLattice:
+    """Append-only store of :class:`WordExit` records."""
+
+    def __init__(self) -> None:
+        self._exits: list[WordExit] = []
+        self._by_frame: dict[int, list[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._exits)
+
+    def add(
+        self,
+        word: int,
+        entry_frame: int,
+        exit_frame: int,
+        predecessor: int,
+        score: float,
+        lm_history: int,
+    ) -> int:
+        """Append an exit; returns its dense index."""
+        if predecessor >= len(self._exits):
+            raise ValueError(
+                f"predecessor {predecessor} not yet in lattice (size {len(self._exits)})"
+            )
+        if entry_frame > exit_frame:
+            raise ValueError(
+                f"entry_frame {entry_frame} after exit_frame {exit_frame}"
+            )
+        index = len(self._exits)
+        self._exits.append(
+            WordExit(
+                index=index,
+                word=word,
+                entry_frame=entry_frame,
+                exit_frame=exit_frame,
+                predecessor=predecessor,
+                score=score,
+                lm_history=lm_history,
+            )
+        )
+        self._by_frame.setdefault(exit_frame, []).append(index)
+        return index
+
+    def exit(self, index: int) -> WordExit:
+        if not 0 <= index < len(self._exits):
+            raise IndexError(f"exit {index} out of range [0, {len(self._exits)})")
+        return self._exits[index]
+
+    def exits_at(self, frame: int) -> list[WordExit]:
+        return [self._exits[i] for i in self._by_frame.get(frame, [])]
+
+    def last_frame_with_exits(self, at_or_before: int) -> int | None:
+        frames = [f for f in self._by_frame if f <= at_or_before]
+        return max(frames) if frames else None
+
+    def backtrace(self, index: int) -> list[WordExit]:
+        """The exit chain ending at ``index``, in time order."""
+        chain: list[WordExit] = []
+        cursor = index
+        while cursor >= 0:
+            record = self.exit(cursor)
+            chain.append(record)
+            cursor = record.predecessor
+        chain.reverse()
+        return chain
+
+    def entries_per_frame(self) -> dict[int, int]:
+        """Lattice growth statistics (word-decode workload measure)."""
+        return {frame: len(ids) for frame, ids in sorted(self._by_frame.items())}
+
+    def mean_entries_per_frame(self) -> float:
+        if not self._by_frame:
+            return 0.0
+        counts = [len(ids) for ids in self._by_frame.values()]
+        return float(np.mean(counts))

@@ -1,0 +1,151 @@
+"""Word-lattice analysis: oracle WER, density, pruning.
+
+The word lattice is the interface between the word decode stage and
+the global best path search (Figure 1).  These tools quantify its
+quality — the standard lattice diagnostics a recognizer ships with:
+
+* **oracle WER** — the error rate of the *best path present in the
+  lattice*, a lower bound on what any rescoring pass could achieve;
+* **lattice density** — lattice words per reference word, the
+  size/quality knob `max_exits_per_frame` trades against;
+* **pruning** — drop exits outside a posterior-like beam of the best
+  complete path, shrinking the lattice for storage or rescoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.decoder.lattice import WordExit, WordLattice
+from repro.decoder.network import FlatLexiconNetwork
+from repro.eval.wer import align_words
+
+__all__ = ["LatticeReport", "oracle_paths", "analyze_lattice", "prune_lattice"]
+
+
+@dataclass(frozen=True)
+class LatticeReport:
+    """Diagnostics of one decode's lattice."""
+
+    exits: int
+    distinct_words: int
+    density: float
+    oracle_wer: float
+    best_wer: float
+
+    def format(self) -> str:
+        return (
+            f"exits={self.exits}  distinct words={self.distinct_words}  "
+            f"density={self.density:.1f}  best WER={self.best_wer:.1%}  "
+            f"oracle WER={self.oracle_wer:.1%}"
+        )
+
+
+def _complete_paths(
+    lattice: WordLattice, final_frame: int, limit: int
+) -> list[list[WordExit]]:
+    """Backtraces of up to ``limit`` exits near the final frame."""
+    frame = lattice.last_frame_with_exits(final_frame)
+    if frame is None:
+        return []
+    finals = sorted(lattice.exits_at(frame), key=lambda e: -e.score)[:limit]
+    return [lattice.backtrace(e.index) for e in finals]
+
+
+def oracle_paths(
+    lattice: WordLattice,
+    network: FlatLexiconNetwork,
+    final_frame: int,
+    limit: int = 64,
+) -> list[tuple[str, ...]]:
+    """Word sequences of complete lattice paths (silence stripped)."""
+    paths = _complete_paths(lattice, final_frame, limit)
+    out = []
+    for chain in paths:
+        out.append(
+            tuple(
+                network.word_name(e.word)
+                for e in chain
+                if e.word != network.silence_word
+            )
+        )
+    return out
+
+
+def analyze_lattice(
+    lattice: WordLattice,
+    network: FlatLexiconNetwork,
+    reference: list[str],
+    final_frame: int,
+    limit: int = 64,
+) -> LatticeReport:
+    """Oracle/best WER and density against a reference transcript."""
+    candidates = oracle_paths(lattice, network, final_frame, limit)
+    if not candidates:
+        return LatticeReport(
+            exits=len(lattice),
+            distinct_words=0,
+            density=0.0,
+            oracle_wer=1.0 if reference else 0.0,
+            best_wer=1.0 if reference else 0.0,
+        )
+    wers = [align_words(reference, list(c)).wer for c in candidates]
+    distinct = {
+        e.word
+        for t in range(final_frame + 1)
+        for e in lattice.exits_at(t)
+        if e.word != network.silence_word
+    }
+    density = len(lattice) / max(len(reference), 1)
+    return LatticeReport(
+        exits=len(lattice),
+        distinct_words=len(distinct),
+        density=density,
+        oracle_wer=min(wers),
+        best_wer=wers[0],  # candidates come best-score-first
+    )
+
+
+def prune_lattice(
+    lattice: WordLattice, beam: float, final_frame: int
+) -> WordLattice:
+    """Keep exits within ``beam`` of the frame-best exit score.
+
+    The surviving predecessor chains are preserved (a kept exit keeps
+    its whole backtrace even if intermediate exits scored outside the
+    per-frame beam — the lattice must stay traceable).
+    """
+    if beam <= 0:
+        raise ValueError(f"beam must be positive, got {beam}")
+    keep: set[int] = set()
+    for frame in range(final_frame + 1):
+        exits = lattice.exits_at(frame)
+        if not exits:
+            continue
+        best = max(e.score for e in exits)
+        for e in exits:
+            if e.score >= best - beam:
+                keep.add(e.index)
+    # Close over predecessors.
+    stack = list(keep)
+    while stack:
+        record = lattice.exit(stack.pop())
+        if record.predecessor >= 0 and record.predecessor not in keep:
+            keep.add(record.predecessor)
+            stack.append(record.predecessor)
+    pruned = WordLattice()
+    remap: dict[int, int] = {}
+    for index in sorted(keep):
+        record = lattice.exit(index)
+        predecessor = (
+            remap[record.predecessor] if record.predecessor >= 0 else -1
+        )
+        remap[index] = pruned.add(
+            word=record.word,
+            entry_frame=record.entry_frame,
+            exit_frame=record.exit_frame,
+            predecessor=predecessor,
+            score=record.score,
+            lm_history=record.lm_history,
+        )
+    return pruned

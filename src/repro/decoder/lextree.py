@@ -1,0 +1,356 @@
+"""Tree-structured lexicon decoding (the Sphinx-3 "lextree").
+
+The flat decoder (`repro.decoder.network`) gives every word its own
+HMM chain; vocabularies share nothing and the state bank grows as
+`words x phones x states`.  Production LVCSR decoders of the paper's
+era instead arrange the lexicon as a **prefix tree**: words sharing an
+initial phone sequence share those HMM states, shrinking the bank and
+the active-state set — at the cost of applying the language model only
+when a *leaf* (complete word) is reached, since a token inside a
+shared prefix does not yet know which word it is.
+
+Sharing granularity: two words share a node only when the node's full
+triphone matches, i.e. nodes are keyed by (parent, base phone, right
+context).  This keeps the acoustic scores identical to the flat
+network's — the tree is a pure search-space reorganisation.
+
+:class:`TreeLexiconNetwork` compiles the dictionary into dense arrays
+(one predecessor per state, so the Viterbi unit's
+:meth:`~repro.core.viterbi_unit.ViterbiUnit.update_tokens` fast path
+applies) and :class:`TreeWordDecodeStage` runs token passing over it,
+producing the same :class:`~repro.decoder.lattice.WordLattice` the
+global best path search consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.viterbi_unit import BP_ENTRY, BP_FORWARD, BP_SELF, ViterbiUnit
+from repro.decoder.beam import BeamConfig, apply_beam
+from repro.decoder.lattice import WordLattice
+from repro.decoder.phone_decode import PhoneDecodeStage
+from repro.decoder.word_decode import DecoderConfig, FrameStats
+from repro.hmm.topology import HmmTopology
+from repro.lexicon.dictionary import PronunciationDictionary
+from repro.lexicon.phones import SILENCE
+from repro.lexicon.triphone import SenoneTying, Triphone
+from repro.lm.ngram import NGramModel
+
+__all__ = ["TreeLexiconNetwork", "TreeWordDecodeStage"]
+
+LOG_ZERO = -1.0e30
+_DEAD = LOG_ZERO / 2
+
+
+@dataclass
+class TreeLexiconNetwork:
+    """Dense state bank of the lexicon prefix tree."""
+
+    words: tuple[str, ...]
+    senone_id: np.ndarray  # (K,)
+    self_logp: np.ndarray  # (K,)
+    pred_state: np.ndarray  # (K,) predecessor state, -1 at tree roots
+    pred_logp: np.ndarray  # (K,) arc log-prob into each state
+    is_root_start: np.ndarray  # (K,) bool: first state of a root node
+    leaf_word: np.ndarray  # (K,) word index at a leaf's last state, else -1
+    exit_logp: np.ndarray  # (K,) exit-arc log-prob at leaf last states
+    num_senones: int
+    silence_word: int = -1
+    num_nodes: int = 0
+    flat_states_equivalent: int = 0
+
+    @property
+    def num_states(self) -> int:
+        return int(self.senone_id.shape[0])
+
+    @property
+    def num_words(self) -> int:
+        return len(self.words)
+
+    @property
+    def has_silence(self) -> bool:
+        return self.silence_word >= 0
+
+    @property
+    def sharing_factor(self) -> float:
+        """Flat states / tree states — the compression the tree buys."""
+        if self.num_states == 0:
+            return 1.0
+        return self.flat_states_equivalent / self.num_states
+
+    def word_name(self, index: int) -> str:
+        if index == self.silence_word:
+            return "<sil>"
+        return self.words[index]
+
+    @classmethod
+    def build(
+        cls,
+        dictionary: PronunciationDictionary,
+        tying: SenoneTying,
+        topology: HmmTopology | None = None,
+        include_silence: bool = True,
+    ) -> "TreeLexiconNetwork":
+        """Compile the dictionary into the prefix tree."""
+        topology = topology or HmmTopology(num_states=tying.states_per_hmm)
+        if topology.num_states != tying.states_per_hmm:
+            raise ValueError(
+                f"topology has {topology.num_states} states but tying was "
+                f"built for {tying.states_per_hmm}"
+            )
+        self_lp, fwd_lp = topology.chain_log_probs()
+        states = tying.states_per_hmm
+        words = dictionary.words()
+        if not words:
+            raise ValueError("dictionary is empty")
+
+        senone_ids: list[int] = []
+        pred_state: list[int] = []
+        is_root: list[bool] = []
+        leaf_word: list[int] = []
+        # node key -> index of the node's *last* state.
+        node_last_state: dict[tuple[int, str, str], int] = {}
+        flat_equivalent = 0
+
+        def add_node(parent_last: int, left: str, base: str, right: str) -> int:
+            """Materialise one tree node (``states`` HMM states)."""
+            tri = Triphone(base=base, left=left, right=right)
+            ids = tying.senone_ids(tri)
+            first = len(senone_ids)
+            for k, sid in enumerate(ids):
+                senone_ids.append(sid)
+                pred_state.append(parent_last if k == 0 else first + k - 1)
+                is_root.append(k == 0 and parent_last < 0)
+                leaf_word.append(-1)
+            return first + states - 1
+
+        for w, word in enumerate(words):
+            phones = dictionary.pronunciation(word)
+            flat_equivalent += len(phones) * states
+            parent_last = -1
+            parent_base = SILENCE
+            for i, base in enumerate(phones):
+                right = phones[i + 1] if i + 1 < len(phones) else SILENCE
+                key = (parent_last, base, right)
+                if key in node_last_state:
+                    last = node_last_state[key]
+                else:
+                    last = add_node(parent_last, parent_base, base, right)
+                    node_last_state[key] = last
+                parent_last = last
+                parent_base = base
+            if leaf_word[parent_last] >= 0 and leaf_word[parent_last] != w:
+                raise ValueError(
+                    f"homophone collision: {words[leaf_word[parent_last]]!r} "
+                    f"and {word!r} share a pronunciation"
+                )
+            leaf_word[parent_last] = w
+
+        silence_word = -1
+        if include_silence:
+            silence_word = len(words)
+            flat_equivalent += states
+            last = add_node(-1, SILENCE, SILENCE, SILENCE)
+            leaf_word[last] = silence_word
+
+        k = len(senone_ids)
+        return cls(
+            words=words,
+            senone_id=np.asarray(senone_ids, dtype=np.int64),
+            self_logp=np.full(k, self_lp, dtype=np.float32),
+            pred_state=np.asarray(pred_state, dtype=np.int64),
+            pred_logp=np.full(k, fwd_lp, dtype=np.float32),
+            is_root_start=np.asarray(is_root, dtype=bool),
+            leaf_word=np.asarray(leaf_word, dtype=np.int64),
+            exit_logp=np.full(k, fwd_lp, dtype=np.float32),
+            num_senones=tying.num_senones,
+            silence_word=silence_word,
+            num_nodes=len(node_last_state) + (1 if include_silence else 0),
+            flat_states_equivalent=flat_equivalent,
+        )
+
+
+class TreeWordDecodeStage:
+    """Token passing over the prefix tree (LM applied at word exits).
+
+    Mirrors :class:`~repro.decoder.word_decode.WordDecodeStage`'s
+    interface: ``process_frame`` per frame, a ``lattice`` of word
+    exits, ``frame_stats``.  Differences inherent to the tree:
+
+    * word entries carry no LM mass (tokens in shared prefixes are
+      word-agnostic); the LM row of the predecessor's history is added
+      when a leaf exits;
+    * all roots receive the same entry score (best LM'd exit so far).
+    """
+
+    def __init__(
+        self,
+        network: TreeLexiconNetwork,
+        lm: NGramModel,
+        phone_decode: PhoneDecodeStage,
+        config: DecoderConfig | None = None,
+        viterbi_unit: ViterbiUnit | None = None,
+    ) -> None:
+        if lm.vocabulary.size != network.num_words:
+            raise ValueError(
+                f"LM vocabulary ({lm.vocabulary.size}) != network words "
+                f"({network.num_words})"
+            )
+        self.network = network
+        self.lm = lm
+        self.phone_decode = phone_decode
+        self.config = config or DecoderConfig()
+        self.viterbi = viterbi_unit or ViterbiUnit()
+        self._leaf_states = np.flatnonzero(network.leaf_word >= 0)
+        self._reset_state()
+
+    def _reset_state(self) -> None:
+        net = self.network
+        self.delta = np.full(net.num_states, LOG_ZERO, dtype=np.float32)
+        self.entry_frame = np.full(net.num_states, -1, dtype=np.int64)
+        self.payload = np.full(net.num_states, -1, dtype=np.int64)
+        self.lattice = WordLattice()
+        self.frame_stats: list[FrameStats] = []
+        self._frame = 0
+        # Root entry: BOS context, no LM yet (applied at the leaf).
+        self._pending_entry = float(self.config.word_insertion_penalty)
+        self._pending_src = -1
+
+    # ------------------------------------------------------------------
+    def process_frame(self, observation: np.ndarray) -> FrameStats:
+        net = self.network
+        cfg = self.config
+        t = self._frame
+        alive = self.delta > _DEAD
+        candidates = alive.copy()
+        # Children of live states: state s is a candidate if its
+        # predecessor is alive.
+        has_pred = net.pred_state >= 0
+        safe = np.where(has_pred, net.pred_state, 0)
+        candidates |= has_pred & alive[safe]
+        if self._pending_entry > _DEAD:
+            candidates |= net.is_root_start
+        requested = np.unique(net.senone_id[candidates])
+        scores = self.phone_decode.score_frame(observation, requested)
+        scored_count = (
+            int(requested.size)
+            if self.phone_decode.use_feedback
+            else self.phone_decode.scorer.num_senones
+        )
+        obs_vec = scores[net.senone_id].astype(np.float32)
+        entry_scores = np.full(net.num_states, LOG_ZERO, dtype=np.float32)
+        entry_scores[net.is_root_start] = self._pending_entry
+
+        result = self.viterbi.update_tokens(
+            self.delta,
+            net.self_logp,
+            net.pred_state,
+            net.pred_logp,
+            obs_vec,
+            entry_scores=entry_scores,
+            entry_mask=net.is_root_start,
+        )
+        backptr = result.backpointer
+        pred_payload = self.payload[safe]
+        pred_entry_frame = self.entry_frame[safe]
+        self.payload = np.select(
+            [backptr == BP_SELF, backptr == BP_FORWARD],
+            [self.payload, pred_payload],
+            default=self._pending_src,
+        )
+        self.entry_frame = np.select(
+            [backptr == BP_SELF, backptr == BP_FORWARD],
+            [self.entry_frame, pred_entry_frame],
+            default=t,
+        )
+        # A forward move within a word keeps the word's entry frame; a
+        # move *into a root's first state* via entry sets it above.  A
+        # forward move from a parent node keeps the inherited frame,
+        # which is correct: the token entered the (eventual) word at
+        # the tree root.
+        self.delta = result.delta
+        _, n_active = apply_beam(self.delta, cfg.beam)
+        exits = self._record_exits(t)
+        stats = FrameStats(
+            frame=t,
+            active_states=n_active,
+            requested_senones=scored_count,
+            word_exits=len(exits),
+        )
+        self.frame_stats.append(stats)
+        self._frame += 1
+        return stats
+
+    # ------------------------------------------------------------------
+    def _record_exits(self, t: int) -> list[int]:
+        """LM-weighted exits at leaf states; refresh the root entry."""
+        net = self.network
+        cfg = self.config
+        vocab = self.lm.vocabulary
+        leaves = self._leaf_states
+        leaf_delta = self.delta[leaves].astype(np.float64)
+        viable = leaf_delta > _DEAD
+        if not viable.any():
+            self._pending_entry = LOG_ZERO
+            self._pending_src = -1
+            return []
+        raw_scores = leaf_delta + net.exit_logp[leaves]
+        best_raw = float(raw_scores[viable].max())
+        threshold = best_raw - cfg.beam.word_beam
+        order = np.flatnonzero(viable & (raw_scores >= threshold))
+        if order.size > cfg.max_exits_per_frame:
+            top = np.argsort(raw_scores[order])[::-1][: cfg.max_exits_per_frame]
+            order = order[top]
+        new_exits: list[int] = []
+        best_entry, best_src = LOG_ZERO, -1
+        for leaf_pos in order.tolist():
+            state = int(leaves[leaf_pos])
+            word = int(net.leaf_word[state])
+            predecessor = int(self.payload[state])
+            if word == net.silence_word:
+                lm_history = (
+                    self.lattice.exit(predecessor).lm_history
+                    if predecessor >= 0
+                    else -1
+                )
+                lm_term = cfg.silence_penalty
+            else:
+                lm_history = word
+                history = (
+                    (vocab.bos_id,)
+                    if predecessor < 0
+                    else (self.lattice.exit(predecessor).lm_history,)
+                )
+                history = (vocab.bos_id,) if history[0] < 0 else history
+                lm_term = cfg.lm_scale * float(
+                    self.lm.log_prob_row(history)[word]
+                )
+            score = float(raw_scores[leaf_pos]) + lm_term
+            index = self.lattice.add(
+                word=word,
+                entry_frame=int(self.entry_frame[state]),
+                exit_frame=t,
+                predecessor=predecessor,
+                score=score,
+                lm_history=lm_history,
+            )
+            new_exits.append(index)
+            entry_candidate = score + cfg.word_insertion_penalty
+            if entry_candidate > best_entry:
+                best_entry, best_src = entry_candidate, index
+        self._pending_entry = best_entry
+        self._pending_src = best_src
+        return new_exits
+
+    # ------------------------------------------------------------------
+    @property
+    def frames_processed(self) -> int:
+        return self._frame
+
+    def reset(self) -> None:
+        self.phone_decode.reset()
+        self.viterbi.reset_counters()
+        self._reset_state()

@@ -1,0 +1,62 @@
+"""The phone decode stage (Figure 1).
+
+"These acoustic vectors then go through the phone decode stage, where
+the observation probability is evaluated and senone scores are
+obtained and thereby lattice of phones/triphones are generated
+depending on the feasible senone permutation."
+
+The stage owns a scoring backend and, per frame, evaluates exactly the
+senones the word decode stage requested ("Phones for evaluation" — the
+feedback arrow in Figure 1).  Its output is the scored phone lattice:
+for our flat network that is the dense senone-score vector plus the
+bookkeeping of which senones were alive.  Disabling the feedback
+(``use_feedback=False``) scores *every* senone each frame — the
+configuration the paper's worst-case bandwidth number assumes, and the
+ablation baseline for experiment R2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.decoder.scorer import LOG_ZERO, SenoneScorer
+
+__all__ = ["PhoneDecodeStage"]
+
+
+class PhoneDecodeStage:
+    """Senone evaluation with word-decode feedback."""
+
+    def __init__(self, scorer: SenoneScorer, use_feedback: bool = True) -> None:
+        self.scorer = scorer
+        self.use_feedback = use_feedback
+        self._frame = 0
+
+    @property
+    def frames_processed(self) -> int:
+        return self._frame
+
+    def score_frame(
+        self, observation: np.ndarray, requested_senones: np.ndarray
+    ) -> np.ndarray:
+        """Scores for one frame.
+
+        ``requested_senones`` comes from the word decode stage; with
+        feedback disabled the full senone set is evaluated instead
+        (the paper's worst case).
+        """
+        if self.use_feedback:
+            senones = np.unique(np.asarray(requested_senones, dtype=np.int64))
+        else:
+            senones = np.arange(self.scorer.num_senones, dtype=np.int64)
+        scores = self.scorer.score(self._frame, observation, senones)
+        self._frame += 1
+        return scores
+
+    def reset(self) -> None:
+        self._frame = 0
+        self.scorer.reset()
+
+    @property
+    def log_zero(self) -> float:
+        return LOG_ZERO

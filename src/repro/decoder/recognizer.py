@@ -1,0 +1,202 @@
+"""The end-to-end recognizer facade.
+
+Wires the stages of Figure 1 together — phone decode (senone scoring),
+word decode (token passing + lattice) and global best path search —
+over a chosen scoring backend:
+
+* ``mode="reference"`` — double-precision software decode (the paper's
+  correctness baseline);
+* ``mode="hardware"`` — senone scores flow through the OP-unit models
+  (quantized parameters, logadd SRAM) and chain updates through the
+  Viterbi-unit model, with cycles/activity/bandwidth accounted;
+* ``mode="fast"`` — the four-layer fast-GMM scorer (ablation A1).
+
+The recognizer is reusable across utterances; per-utterance state is
+reset at each :meth:`Recognizer.decode`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.opunit import OpUnit, OpUnitSpec
+from repro.core.viterbi_unit import ViterbiUnit, ViterbiUnitSpec
+from repro.decoder.best_path import BestPath, find_best_path
+from repro.decoder.fast_gmm import FastGmmConfig, FastGmmScorer
+from repro.decoder.network import FlatLexiconNetwork
+from repro.decoder.phone_decode import PhoneDecodeStage
+from repro.decoder.scorer import HardwareScorer, ReferenceScorer, ScoringStats
+from repro.decoder.word_decode import DecoderConfig, FrameStats, WordDecodeStage
+from repro.hmm.senone import SenonePool
+from repro.hmm.topology import HmmTopology
+from repro.lexicon.dictionary import PronunciationDictionary
+from repro.lexicon.triphone import SenoneTying
+from repro.lm.ngram import NGramModel
+from repro.quant.float_formats import IEEE_SINGLE, FloatFormat
+
+__all__ = ["Recognizer", "RecognitionResult"]
+
+
+@dataclass
+class RecognitionResult:
+    """Everything one decode produced."""
+
+    words: tuple[str, ...]
+    score: float
+    frames: int
+    frame_stats: list[FrameStats]
+    scoring_stats: ScoringStats
+    lattice_size: int
+    frame_period_s: float
+    op_unit_activities: list[dict[str, float]] | None = None
+    viterbi_activity: dict[str, float] | None = None
+    frame_critical_cycles: list[int] | None = None
+
+    @property
+    def audio_seconds(self) -> float:
+        return self.frames * self.frame_period_s
+
+    @property
+    def mean_active_senone_fraction(self) -> float:
+        return self.scoring_stats.mean_active_fraction
+
+    @property
+    def peak_active_senone_fraction(self) -> float:
+        return self.scoring_stats.peak_active_fraction
+
+    @property
+    def mean_active_states(self) -> float:
+        if not self.frame_stats:
+            return 0.0
+        return float(np.mean([s.active_states for s in self.frame_stats]))
+
+
+class Recognizer:
+    """Facade over the staged decoder (see module docstring)."""
+
+    def __init__(
+        self,
+        network: FlatLexiconNetwork,
+        pool: SenonePool,
+        lm: NGramModel,
+        config: DecoderConfig | None = None,
+        mode: str = "reference",
+        storage_format: FloatFormat = IEEE_SINGLE,
+        num_unit_pairs: int = 2,
+        tying: SenoneTying | None = None,
+        fast_config: FastGmmConfig | None = None,
+        frame_period_s: float = 0.010,
+    ) -> None:
+        if mode not in ("reference", "hardware", "fast"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if pool.num_senones != network.num_senones:
+            raise ValueError(
+                f"pool has {pool.num_senones} senones, network expects "
+                f"{network.num_senones}"
+            )
+        if tuple(lm.vocabulary.words()) != tuple(network.words):
+            raise ValueError("LM vocabulary order must match network words")
+        self.network = network
+        self.pool = pool
+        self.lm = lm
+        self.mode = mode
+        self.storage_format = storage_format
+        self.config = config or DecoderConfig()
+        self.frame_period_s = frame_period_s
+        self.op_units: list[OpUnit] = []
+        self.viterbi_unit: ViterbiUnit | None = None
+
+        if mode == "hardware":
+            if num_unit_pairs < 1:
+                raise ValueError(f"num_unit_pairs must be >= 1, got {num_unit_pairs}")
+            spec = OpUnitSpec(feature_dim=pool.dim)
+            self.op_units = [OpUnit(spec) for _ in range(num_unit_pairs)]
+            table = pool.gaussian_table(storage_format)
+            scorer = HardwareScorer(self.op_units, table)
+            self.viterbi_unit = ViterbiUnit(ViterbiUnitSpec())
+        elif mode == "fast":
+            scorer = FastGmmScorer(
+                self._storage_pool(), tying=tying, config=fast_config
+            )
+        else:
+            scorer = ReferenceScorer(self._storage_pool())
+        self.scorer = scorer
+        self.phone_stage = PhoneDecodeStage(
+            scorer, use_feedback=self.config.use_feedback
+        )
+        self.word_stage = WordDecodeStage(
+            network=network,
+            lm=lm,
+            phone_decode=self.phone_stage,
+            config=self.config,
+            viterbi_unit=self.viterbi_unit,
+        )
+
+    def _storage_pool(self) -> SenonePool:
+        """The pool as stored in flash (quantized when narrow)."""
+        if self.storage_format.mantissa_bits == 23:
+            return self.pool
+        return self.pool.quantized(self.storage_format)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        dictionary: PronunciationDictionary,
+        pool: SenonePool,
+        lm: NGramModel,
+        tying: SenoneTying,
+        topology: HmmTopology | None = None,
+        **kwargs,
+    ) -> "Recognizer":
+        """Build the network from a dictionary and wire everything."""
+        network = FlatLexiconNetwork.build(dictionary, tying, topology)
+        return cls(network=network, pool=pool, lm=lm, tying=tying, **kwargs)
+
+    # ------------------------------------------------------------------
+    def decode(self, features: np.ndarray) -> RecognitionResult:
+        """Recognize one utterance from its feature matrix (T, L)."""
+        feats = np.asarray(features, dtype=np.float64)
+        if feats.ndim != 2 or feats.shape[1] != self.pool.dim:
+            raise ValueError(
+                f"features must be (T, {self.pool.dim}), got {feats.shape}"
+            )
+        if feats.shape[0] == 0:
+            raise ValueError("cannot decode an empty utterance")
+        self.word_stage.reset()
+        if self.viterbi_unit is not None:
+            self.viterbi_unit.reset_counters()
+        for frame in feats:
+            self.word_stage.process_frame(frame)
+        final_frame = feats.shape[0] - 1
+        best: BestPath | None = find_best_path(
+            self.word_stage.lattice,
+            self.lm,
+            self.network,
+            final_frame,
+            lm_scale=self.config.lm_scale,
+        )
+        words = best.words if best is not None else ()
+        score = best.score if best is not None else float("-inf")
+        return RecognitionResult(
+            words=words,
+            score=score,
+            frames=feats.shape[0],
+            frame_stats=list(self.word_stage.frame_stats),
+            scoring_stats=self.scorer.stats,
+            lattice_size=len(self.word_stage.lattice),
+            frame_period_s=self.frame_period_s,
+            op_unit_activities=(
+                [u.activity() for u in self.op_units] if self.op_units else None
+            ),
+            viterbi_activity=(
+                self.viterbi_unit.activity() if self.viterbi_unit else None
+            ),
+            frame_critical_cycles=(
+                list(self.scorer.frame_critical_cycles)
+                if isinstance(self.scorer, HardwareScorer)
+                else None
+            ),
+        )

@@ -1,0 +1,159 @@
+"""Senone scoring backends for the phone decode stage.
+
+The decoder asks, per frame, for the scores of an *active* senone
+subset (the "phones for evaluation" feedback of Figure 1).  Three
+backends satisfy that contract:
+
+* :class:`ReferenceScorer` — double-precision exact math (the paper's
+  floating-point correctness reference);
+* :class:`HardwareScorer` — the senones are split across one or more
+  :class:`~repro.core.opunit.OpUnit` instances, scoring through the
+  quantized parameter tables and the logadd SRAM with full cycle,
+  bandwidth and activity accounting;
+* :class:`~repro.decoder.fast_gmm.FastGmmScorer` — wraps either of the
+  above with the four-layer fast-GMM scheme (defined in its own
+  module).
+
+All backends return a dense ``(num_senones,)`` array holding real
+scores at the requested indices and ``LOG_ZERO`` elsewhere, and track
+the per-frame active-senone counts that experiment R2 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.opunit import GaussianTable, OpUnit
+from repro.hmm.senone import SenonePool
+
+__all__ = ["SenoneScorer", "ScoringStats", "ReferenceScorer", "HardwareScorer", "LOG_ZERO"]
+
+LOG_ZERO = -1.0e30
+
+
+@dataclass
+class ScoringStats:
+    """Per-decode scoring activity (drives R2 and the power model)."""
+
+    frames: int = 0
+    senones_requested: int = 0
+    senone_budget: int = 0
+    active_per_frame: list[int] = field(default_factory=list)
+
+    def record(self, requested: int) -> None:
+        self.frames += 1
+        self.senones_requested += requested
+        self.active_per_frame.append(requested)
+
+    @property
+    def mean_active(self) -> float:
+        if not self.active_per_frame:
+            return 0.0
+        return float(np.mean(self.active_per_frame))
+
+    @property
+    def mean_active_fraction(self) -> float:
+        if self.senone_budget == 0:
+            return 0.0
+        return self.mean_active / self.senone_budget
+
+    @property
+    def peak_active_fraction(self) -> float:
+        if self.senone_budget == 0 or not self.active_per_frame:
+            return 0.0
+        return max(self.active_per_frame) / self.senone_budget
+
+
+class SenoneScorer(Protocol):
+    """Contract between phone decode and any scoring backend."""
+
+    num_senones: int
+    stats: ScoringStats
+
+    def score(
+        self, frame_index: int, observation: np.ndarray, senones: np.ndarray
+    ) -> np.ndarray:
+        """Dense score array; ``LOG_ZERO`` at unrequested indices."""
+        ...  # pragma: no cover - protocol definition
+
+    def reset(self) -> None:
+        """Clear per-decode statistics."""
+        ...  # pragma: no cover - protocol definition
+
+
+class ReferenceScorer:
+    """Double-precision exact scorer (the software gold model)."""
+
+    def __init__(self, pool: SenonePool) -> None:
+        self.pool = pool
+        self.num_senones = pool.num_senones
+        self.stats = ScoringStats(senone_budget=pool.num_senones)
+
+    def score(
+        self, frame_index: int, observation: np.ndarray, senones: np.ndarray
+    ) -> np.ndarray:
+        senones = np.asarray(senones, dtype=np.int64)
+        self.stats.record(int(senones.size))
+        if senones.size == 0:
+            return np.full(self.num_senones, LOG_ZERO)
+        out = self.pool.score_frame(np.asarray(observation), senones)
+        out[np.isneginf(out)] = LOG_ZERO
+        return out
+
+    def reset(self) -> None:
+        self.stats = ScoringStats(senone_budget=self.num_senones)
+
+
+class HardwareScorer:
+    """Scores through the OP unit models (one or more units).
+
+    The active senone list is split evenly across the available units,
+    mirroring the paper's two parallel dedicated structures.  Cycle
+    counts, parameter-fetch bytes and arithmetic activity accumulate
+    inside each :class:`OpUnit`; the scorer additionally records the
+    per-frame maximum unit cycle count (the critical path that decides
+    real-time feasibility).
+    """
+
+    def __init__(self, units: list[OpUnit], table: GaussianTable) -> None:
+        if not units:
+            raise ValueError("need at least one OP unit")
+        dims = {u.spec.feature_dim for u in units}
+        if dims != {table.feature_dim}:
+            raise ValueError(
+                f"unit feature dims {dims} != table dim {table.feature_dim}"
+            )
+        self.units = units
+        self.table = table
+        self.num_senones = table.num_senones
+        self.stats = ScoringStats(senone_budget=table.num_senones)
+        self.frame_critical_cycles: list[int] = []
+
+    def score(
+        self, frame_index: int, observation: np.ndarray, senones: np.ndarray
+    ) -> np.ndarray:
+        senones = np.asarray(senones, dtype=np.int64)
+        self.stats.record(int(senones.size))
+        out = np.full(self.num_senones, LOG_ZERO)
+        if senones.size == 0:
+            self.frame_critical_cycles.append(0)
+            return out
+        shares = np.array_split(senones, len(self.units))
+        worst = 0
+        for unit, share in zip(self.units, shares):
+            if share.size == 0:
+                continue
+            result = unit.score_frame(self.table, observation, share)
+            out[share] = result.scores[share]
+            worst = max(worst, result.cycles)
+        self.frame_critical_cycles.append(worst)
+        return out
+
+    def reset(self) -> None:
+        self.stats = ScoringStats(senone_budget=self.num_senones)
+        self.frame_critical_cycles = []
+        for unit in self.units:
+            unit.reset_counters()

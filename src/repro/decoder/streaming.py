@@ -1,0 +1,147 @@
+"""Streaming (online) decoding with decoder-driven endpointing.
+
+The paper's use cases — dictation on a phone, command and control —
+are streaming: audio arrives frame by frame and the device must emit
+words with bounded latency, then detect the end of the utterance and
+gate the units off.  This module adds that mode on top of the staged
+decoder:
+
+* :meth:`StreamingRecognizer.feed` consumes one feature frame and
+  returns a :class:`StreamingEvent` carrying the current partial
+  hypothesis (refreshed every ``partial_interval`` frames) and an
+  endpoint flag;
+* endpointing is decoder-driven, the standard technique: when the
+  best-scoring active HMM state has belonged to the silence model for
+  ``endpoint_silence_frames`` consecutive frames, the utterance is
+  declared finished — no separate VAD needed (though the frontend VAD
+  can pre-gate frames to save power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.decoder.best_path import BestPath, find_best_path
+from repro.decoder.recognizer import Recognizer
+
+__all__ = ["StreamingEvent", "StreamingRecognizer"]
+
+_DEAD = -5e29
+
+
+@dataclass(frozen=True)
+class StreamingEvent:
+    """What one fed frame produced."""
+
+    frame: int
+    partial: tuple[str, ...] | None  # refreshed hypothesis, when computed
+    endpoint: bool  # True when the utterance just ended
+
+
+class StreamingRecognizer:
+    """Frame-at-a-time wrapper over a :class:`Recognizer`.
+
+    Parameters
+    ----------
+    recognizer:
+        A configured recognizer (any mode).  Its network must include
+        the silence word — endpointing tracks it.
+    partial_interval:
+        Emit a partial hypothesis every this many frames (0 disables).
+    endpoint_silence_frames:
+        Consecutive frames the best state must sit in the silence
+        model before an endpoint fires (30 frames = 300 ms).
+    """
+
+    def __init__(
+        self,
+        recognizer: Recognizer,
+        partial_interval: int = 20,
+        endpoint_silence_frames: int = 30,
+    ) -> None:
+        if not recognizer.network.has_silence:
+            raise ValueError("endpointing needs the silence word in the network")
+        if partial_interval < 0:
+            raise ValueError("partial_interval must be >= 0")
+        if endpoint_silence_frames < 1:
+            raise ValueError("endpoint_silence_frames must be >= 1")
+        self.recognizer = recognizer
+        self.partial_interval = partial_interval
+        self.endpoint_silence_frames = endpoint_silence_frames
+        self._silence_run = 0
+        self._frames = 0
+        self._saw_speech = False
+        self._ended = False
+        self.recognizer.word_stage.reset()
+
+    # ------------------------------------------------------------------
+    @property
+    def frames_fed(self) -> int:
+        return self._frames
+
+    @property
+    def ended(self) -> bool:
+        return self._ended
+
+    def feed(self, frame: np.ndarray) -> StreamingEvent:
+        """Consume one feature frame."""
+        if self._ended:
+            raise RuntimeError("utterance already endpointed; call reset()")
+        stage = self.recognizer.word_stage
+        stage.process_frame(np.asarray(frame, dtype=np.float64))
+        self._frames += 1
+        self._update_endpoint_state()
+        partial = None
+        if (
+            self.partial_interval
+            and self._frames % self.partial_interval == 0
+            and not self._ended
+        ):
+            best = self._current_best()
+            partial = best.words if best else ()
+        return StreamingEvent(
+            frame=self._frames - 1, partial=partial, endpoint=self._ended
+        )
+
+    def _update_endpoint_state(self) -> None:
+        stage = self.recognizer.word_stage
+        net = self.recognizer.network
+        delta = stage.delta
+        best_state = int(np.argmax(delta))
+        if delta[best_state] <= _DEAD:
+            return  # nothing alive yet
+        in_silence = int(net.word_of_state[best_state]) == net.silence_word
+        if in_silence and self._saw_speech:
+            self._silence_run += 1
+            if self._silence_run >= self.endpoint_silence_frames:
+                self._ended = True
+        else:
+            self._silence_run = 0
+            if not in_silence:
+                self._saw_speech = True
+
+    def _current_best(self) -> BestPath | None:
+        stage = self.recognizer.word_stage
+        return find_best_path(
+            stage.lattice,
+            self.recognizer.lm,
+            self.recognizer.network,
+            final_frame=self._frames - 1,
+            lm_scale=self.recognizer.config.lm_scale,
+        )
+
+    def finalize(self) -> BestPath | None:
+        """The finished hypothesis (callable whether or not endpointed)."""
+        if self._frames == 0:
+            return None
+        return self._current_best()
+
+    def reset(self) -> None:
+        """Prepare for the next utterance."""
+        self.recognizer.word_stage.reset()
+        self._silence_run = 0
+        self._frames = 0
+        self._saw_speech = False
+        self._ended = False

@@ -1,0 +1,359 @@
+"""The word decode stage (Figure 1) — token passing over the lexicon.
+
+"The word decode stage combines the triphones based on high
+probability values and valid triphone combination according to the
+words in the dictionary. ... The word decode also decides which
+senones are to be evaluated by the phone decode based on the phone
+combinations of the active words in the dictionary.  The word decode
+generates a lattice of probable words spoken."
+
+Implementation: time-synchronous Viterbi token passing over the
+:class:`~repro.decoder.network.FlatLexiconNetwork`.  Each frame:
+
+1. determine candidate states (alive, their right neighbours, and
+   word-start states holding a pending entry) — the union of their
+   senones is the *feedback list* sent to the phone decode stage;
+2. run the left-to-right chain recurrence — through the
+   :class:`~repro.core.viterbi_unit.ViterbiUnit` model in hardware
+   mode, or in double precision in reference mode;
+3. propagate token payloads (word entry frame, predecessor lattice
+   exit) along the winning arcs;
+4. prune with the state beam / histogram cap;
+5. record word exits above the word beam into the
+   :class:`~repro.decoder.lattice.WordLattice`, and convert them into
+   LM-weighted *pending entries* offered to every word (and the
+   silence model) at the next frame.
+
+The language model is applied at word entry (bigram/trigram row of the
+exiting word's history), so the lattice scores already contain LM mass
+and the global best path search reduces to an exact traceback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.viterbi_unit import BP_ENTRY, BP_FORWARD, BP_SELF, ViterbiUnit
+from repro.decoder.beam import BeamConfig, apply_beam
+from repro.decoder.lattice import WordLattice
+from repro.decoder.network import FlatLexiconNetwork
+from repro.decoder.phone_decode import PhoneDecodeStage
+from repro.lm.ngram import NGramModel
+
+__all__ = ["DecoderConfig", "FrameStats", "WordDecodeStage"]
+
+LOG_ZERO = -1.0e30
+_DEAD = LOG_ZERO / 2  # anything at or below this counts as "no path"
+
+
+@dataclass(frozen=True)
+class DecoderConfig:
+    """Search parameters of the staged decoder."""
+
+    beam: BeamConfig = field(default_factory=BeamConfig)
+    lm_scale: float = 2.0
+    word_insertion_penalty: float = -4.0
+    silence_penalty: float = -2.0
+    max_exits_per_frame: int = 24
+    use_feedback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.lm_scale <= 0:
+            raise ValueError(f"lm_scale must be positive, got {self.lm_scale}")
+        if self.max_exits_per_frame < 1:
+            raise ValueError(
+                f"max_exits_per_frame must be >= 1, got {self.max_exits_per_frame}"
+            )
+
+
+@dataclass
+class FrameStats:
+    """Per-frame search statistics."""
+
+    frame: int
+    active_states: int
+    requested_senones: int
+    word_exits: int
+
+
+class WordDecodeStage:
+    """Per-utterance token passer (see module docstring).
+
+    Parameters
+    ----------
+    network:
+        The compiled lexicon.
+    lm:
+        Language model; its vocabulary order must match
+        ``network.words`` (the recognizer guarantees this).
+    phone_decode:
+        The scoring stage to send feedback to.
+    config:
+        Beams, LM scale, penalties.
+    viterbi_unit:
+        When given, chain updates run through the hardware model
+        (float32, cycle/activity counted); otherwise a double-precision
+        reference recurrence is used.
+    """
+
+    def __init__(
+        self,
+        network: FlatLexiconNetwork,
+        lm: NGramModel,
+        phone_decode: PhoneDecodeStage,
+        config: DecoderConfig | None = None,
+        viterbi_unit: ViterbiUnit | None = None,
+    ) -> None:
+        self.network = network
+        self.lm = lm
+        self.phone_decode = phone_decode
+        self.config = config or DecoderConfig()
+        self.viterbi_unit = viterbi_unit
+        if lm.vocabulary.size != network.num_words:
+            raise ValueError(
+                f"LM vocabulary ({lm.vocabulary.size}) != network words "
+                f"({network.num_words})"
+            )
+        self._reset_state()
+
+    # ------------------------------------------------------------------
+    def _reset_state(self) -> None:
+        net = self.network
+        dtype = np.float32 if self.viterbi_unit is not None else np.float64
+        self._dtype = dtype
+        self.delta = np.full(net.num_states, LOG_ZERO, dtype=dtype)
+        self.entry_frame = np.full(net.num_states, -1, dtype=np.int64)
+        self.payload = np.full(net.num_states, -1, dtype=np.int64)
+        total_words = net.num_words + (1 if net.has_silence else 0)
+        self._total_words = total_words
+        self.pending_entry = np.full(total_words, LOG_ZERO, dtype=np.float64)
+        self.pending_src = np.full(total_words, -1, dtype=np.int64)
+        self.lattice = WordLattice()
+        self.frame_stats: list[FrameStats] = []
+        self._frame = 0
+        self._prime_from_bos()
+
+    def _prime_from_bos(self) -> None:
+        """Initial entries: LM row conditioned on ``<s>``."""
+        cfg = self.config
+        bos = (self.lm.vocabulary.bos_id,)
+        row = cfg.lm_scale * self.lm.log_prob_row(bos)
+        self.pending_entry[: self.network.num_words] = (
+            row + cfg.word_insertion_penalty
+        )
+        self.pending_src[: self.network.num_words] = -1
+        if self.network.has_silence:
+            self.pending_entry[self.network.silence_word] = cfg.silence_penalty
+            self.pending_src[self.network.silence_word] = -1
+
+    # ------------------------------------------------------------------
+    # Per-frame processing
+    # ------------------------------------------------------------------
+    def process_frame(self, observation: np.ndarray) -> FrameStats:
+        """Advance the search by one frame."""
+        net = self.network
+        cfg = self.config
+        t = self._frame
+        alive = self.delta > _DEAD
+        candidates = alive.copy()
+        # Right neighbours of live states (within the same chain).
+        shifted = np.zeros_like(alive)
+        shifted[1:] = alive[:-1]
+        shifted &= ~net.is_start
+        candidates |= shifted
+        # Word-start states holding a pending entry.
+        entries_live = self.pending_entry > _DEAD
+        start_states = net.start_state[entries_live]
+        candidates[start_states] = True
+        requested = np.unique(net.senone_id[candidates])
+        scores = self.phone_decode.score_frame(observation, requested)
+        # With feedback off the phone stage scored the whole budget.
+        scored_count = (
+            int(requested.size)
+            if self.phone_decode.use_feedback
+            else self.phone_decode.scorer.num_senones
+        )
+        obs_vec = scores[net.senone_id].astype(self._dtype)
+        entry_state_scores = np.full(net.num_states, LOG_ZERO, dtype=self._dtype)
+        entry_state_scores[net.start_state] = self.pending_entry.astype(self._dtype)
+
+        if self.viterbi_unit is not None:
+            result = self.viterbi_unit.update_chain(
+                self.delta,
+                net.self_logp,
+                net.fwd_logp,
+                obs_vec,
+                entry_state_scores,
+                net.is_start,
+            )
+            new_delta, backptr = result.delta, result.backpointer
+        else:
+            new_delta, backptr = self._reference_chain_update(
+                obs_vec.astype(np.float64), entry_state_scores.astype(np.float64)
+            )
+
+        # Token payload propagation along the winning arcs.
+        prev_payload = np.empty_like(self.payload)
+        prev_payload[0] = -1
+        prev_payload[1:] = self.payload[:-1]
+        prev_entry_frame = np.empty_like(self.entry_frame)
+        prev_entry_frame[0] = -1
+        prev_entry_frame[1:] = self.entry_frame[:-1]
+        entry_payload = np.full(net.num_states, -1, dtype=np.int64)
+        entry_payload[net.start_state] = self.pending_src
+        self.payload = np.select(
+            [backptr == BP_SELF, backptr == BP_FORWARD],
+            [self.payload, prev_payload],
+            default=entry_payload,
+        )
+        self.entry_frame = np.select(
+            [backptr == BP_SELF, backptr == BP_FORWARD],
+            [self.entry_frame, prev_entry_frame],
+            default=t,
+        )
+        self.delta = new_delta.astype(self._dtype)
+
+        _, n_active = apply_beam(self.delta, cfg.beam)
+        exits = self._record_exits(t)
+        self._compute_pending_entries(exits)
+        stats = FrameStats(
+            frame=t,
+            active_states=n_active,
+            requested_senones=scored_count,
+            word_exits=len(exits),
+        )
+        self.frame_stats.append(stats)
+        self._frame += 1
+        return stats
+
+    def _reference_chain_update(
+        self, obs_vec: np.ndarray, entry_scores: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Double-precision version of ``ViterbiUnit.update_chain``."""
+        net = self.network
+        delta = self.delta.astype(np.float64)
+        stay = delta + net.self_logp
+        from_prev = np.full(net.num_states, LOG_ZERO)
+        from_prev[1:] = delta[:-1] + net.fwd_logp[:-1]
+        from_prev[net.is_start] = LOG_ZERO
+        enter = np.where(net.is_start, entry_scores, LOG_ZERO)
+        best = stay
+        backptr = np.full(net.num_states, BP_SELF, dtype=np.int8)
+        better = from_prev > best
+        best = np.where(better, from_prev, best)
+        backptr[better] = BP_FORWARD
+        better = enter > best
+        best = np.where(better, enter, best)
+        backptr[better] = BP_ENTRY
+        new_delta = best + obs_vec
+        new_delta[best <= _DEAD] = LOG_ZERO
+        new_delta[obs_vec <= _DEAD] = LOG_ZERO
+        return new_delta, backptr
+
+    # ------------------------------------------------------------------
+    # Word exits and LM-weighted entries
+    # ------------------------------------------------------------------
+    def _record_exits(self, t: int) -> list[int]:
+        """Append this frame's word exits to the lattice."""
+        net = self.network
+        cfg = self.config
+        end_delta = self.delta[net.end_state].astype(np.float64)
+        exit_scores = end_delta + net.fwd_logp[net.end_state]
+        viable = end_delta > _DEAD
+        if not viable.any():
+            return []
+        best = float(exit_scores[viable].max())
+        threshold = best - cfg.beam.word_beam
+        candidates = np.flatnonzero(viable & (exit_scores >= threshold))
+        if candidates.size > cfg.max_exits_per_frame:
+            order = np.argsort(exit_scores[candidates])[::-1]
+            candidates = candidates[order[: cfg.max_exits_per_frame]]
+        new_exits: list[int] = []
+        for w in candidates.tolist():
+            end_state = int(net.end_state[w])
+            predecessor = int(self.payload[end_state])
+            if w == net.silence_word:
+                lm_history = (
+                    self.lattice.exit(predecessor).lm_history
+                    if predecessor >= 0
+                    else -1
+                )
+            else:
+                lm_history = w  # network order == vocabulary order
+            index = self.lattice.add(
+                word=w,
+                entry_frame=int(self.entry_frame[end_state]),
+                exit_frame=t,
+                predecessor=predecessor,
+                score=float(exit_scores[w]),
+                lm_history=lm_history,
+            )
+            new_exits.append(index)
+        return new_exits
+
+    def _last_real_exit(self, index: int):
+        """Nearest non-silence exit at or before ``index`` (None = BOS)."""
+        while index >= 0:
+            record = self.lattice.exit(index)
+            if record.word != self.network.silence_word:
+                return record
+            index = record.predecessor
+        return None
+
+    def _lm_history_of(self, record) -> tuple[int, ...]:
+        """The LM context a lattice exit exposes.
+
+        For bigram models this is the last real word; for trigram
+        models the last two.  Silence records are transparent: the
+        walk skips them, so "w1 <sil> w2" exposes ``(w1, w2)``.
+        ``<s>`` fills missing positions.
+        """
+        vocab = self.lm.vocabulary
+        first = (
+            record
+            if record.word != self.network.silence_word
+            else self._last_real_exit(record.predecessor)
+        )
+        if first is None:
+            return (vocab.bos_id,)
+        if self.lm.order < 3:
+            return (first.lm_history,)
+        second = self._last_real_exit(first.predecessor)
+        prev = vocab.bos_id if second is None else second.lm_history
+        return (prev, first.lm_history)
+
+    def _compute_pending_entries(self, exit_indices: list[int]) -> None:
+        """Turn this frame's exits into next frame's word entries."""
+        net = self.network
+        cfg = self.config
+        self.pending_entry.fill(LOG_ZERO)
+        self.pending_src.fill(-1)
+        for index in exit_indices:
+            record = self.lattice.exit(index)
+            history = self._lm_history_of(record)
+            row = cfg.lm_scale * self.lm.log_prob_row(history)
+            candidate = record.score + row + cfg.word_insertion_penalty
+            better = candidate > self.pending_entry[: net.num_words]
+            self.pending_entry[: net.num_words] = np.where(
+                better, candidate, self.pending_entry[: net.num_words]
+            )
+            self.pending_src[: net.num_words] = np.where(
+                better, index, self.pending_src[: net.num_words]
+            )
+            if net.has_silence:
+                sil_candidate = record.score + cfg.silence_penalty
+                if sil_candidate > self.pending_entry[net.silence_word]:
+                    self.pending_entry[net.silence_word] = sil_candidate
+                    self.pending_src[net.silence_word] = index
+
+    # ------------------------------------------------------------------
+    @property
+    def frames_processed(self) -> int:
+        return self._frame
+
+    def reset(self) -> None:
+        """Prepare for a new utterance."""
+        self.phone_decode.reset()
+        self._reset_state()

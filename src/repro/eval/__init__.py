@@ -1,0 +1,18 @@
+"""Evaluation metrics: WER, real-time factor, report formatting."""
+
+from repro.eval.realtime import RealTimeReport, analyze_unit_cycles, frame_cycle_budget
+from repro.eval.report import check_within, format_comparison, format_table
+from repro.eval.wer import ErrorCounts, align_words, corpus_wer, word_error_rate
+
+__all__ = [
+    "ErrorCounts",
+    "align_words",
+    "word_error_rate",
+    "corpus_wer",
+    "RealTimeReport",
+    "analyze_unit_cycles",
+    "frame_cycle_budget",
+    "format_table",
+    "format_comparison",
+    "check_within",
+]

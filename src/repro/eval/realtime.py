@@ -1,0 +1,85 @@
+"""Real-time feasibility analysis (experiment R3).
+
+At 50 MHz a 10 ms frame gives each dedicated structure a budget of
+500,000 cycles.  The paper's claim: two structures, scoring only the
+active senones, fit inside it.  This module converts cycle counts into
+real-time factors and utilisations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RealTimeReport", "frame_cycle_budget", "analyze_unit_cycles"]
+
+
+def frame_cycle_budget(clock_hz: float = 50e6, frame_period_s: float = 0.010) -> int:
+    """Cycles one unit has per frame (500,000 at the paper's point)."""
+    if clock_hz <= 0 or frame_period_s <= 0:
+        raise ValueError("clock_hz and frame_period_s must be positive")
+    return int(round(clock_hz * frame_period_s))
+
+
+@dataclass(frozen=True)
+class RealTimeReport:
+    """Cycle statistics of one unit over a decode."""
+
+    frames: int
+    mean_cycles_per_frame: float
+    peak_cycles_per_frame: float
+    budget_cycles: int
+
+    @property
+    def mean_utilization(self) -> float:
+        """Fraction of the per-frame budget used on average."""
+        return self.mean_cycles_per_frame / self.budget_cycles
+
+    @property
+    def real_time_factor(self) -> float:
+        """Processing time / audio time; <= 1 means real time."""
+        return self.mean_utilization
+
+    @property
+    def peak_utilization(self) -> float:
+        return self.peak_cycles_per_frame / self.budget_cycles
+
+    @property
+    def is_real_time(self) -> bool:
+        """Sustained real time: the *average* frame fits the budget.
+
+        A bounded amount of buffering absorbs individual frames that
+        overshoot, which is how streaming recognizers operate; peak
+        utilisation is still reported for the latency discussion.
+        """
+        return self.mean_utilization <= 1.0
+
+    def format(self) -> str:
+        return (
+            f"frames={self.frames}  mean={self.mean_cycles_per_frame:,.0f}  "
+            f"peak={self.peak_cycles_per_frame:,.0f}  "
+            f"budget={self.budget_cycles:,}  "
+            f"util={100 * self.mean_utilization:.1f}%  "
+            f"RTF={self.real_time_factor:.3f}  "
+            f"{'REAL-TIME' if self.is_real_time else 'NOT real-time'}"
+        )
+
+
+def analyze_unit_cycles(
+    per_frame_cycles: list[int] | np.ndarray,
+    clock_hz: float = 50e6,
+    frame_period_s: float = 0.010,
+) -> RealTimeReport:
+    """Summarise a decode's per-frame cycle counts for one unit."""
+    cycles = np.asarray(per_frame_cycles, dtype=np.float64)
+    if cycles.size == 0:
+        raise ValueError("need at least one frame of cycle data")
+    if np.any(cycles < 0):
+        raise ValueError("cycle counts must be non-negative")
+    return RealTimeReport(
+        frames=int(cycles.size),
+        mean_cycles_per_frame=float(cycles.mean()),
+        peak_cycles_per_frame=float(cycles.max()),
+        budget_cycles=frame_cycle_budget(clock_hz, frame_period_s),
+    )

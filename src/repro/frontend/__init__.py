@@ -1,0 +1,45 @@
+"""MFCC frontend (Figure 1 'Frontend'; software on the embedded core)."""
+
+from repro.frontend.dsp import (
+    apply_window,
+    frame_signal,
+    hamming_window,
+    pre_emphasis,
+)
+from repro.frontend.features import (
+    Frontend,
+    FrontendConfig,
+    cepstral_mean_normalize,
+    delta_features,
+)
+from repro.frontend.filterbank import (
+    apply_filterbank,
+    hz_to_mel,
+    mel_filterbank,
+    mel_to_hz,
+)
+from repro.frontend.mfcc import cepstra, dct_matrix, lifter, power_spectrum
+from repro.frontend.vad import EnergyVad, VadConfig, frame_log_energy, speech_bounds
+
+__all__ = [
+    "EnergyVad",
+    "VadConfig",
+    "frame_log_energy",
+    "speech_bounds",
+    "Frontend",
+    "FrontendConfig",
+    "delta_features",
+    "cepstral_mean_normalize",
+    "pre_emphasis",
+    "frame_signal",
+    "hamming_window",
+    "apply_window",
+    "mel_filterbank",
+    "apply_filterbank",
+    "hz_to_mel",
+    "mel_to_hz",
+    "power_spectrum",
+    "cepstra",
+    "dct_matrix",
+    "lifter",
+]

@@ -1,0 +1,85 @@
+"""Time-domain DSP for the frontend: pre-emphasis, framing, windowing.
+
+"The prime function of the Frontend is to divide the input speech into
+blocks (time intervals) and from each block, derive a smoothened
+spectral estimate.  The intervals are typically spaced 10 msecs.
+Blocks are overlapped to give a longer analysis window, typically
+25 msecs."  (Section III-A)
+
+Parameters default to the Sphinx-3 frontend the paper used: 16 kHz
+audio, 0.97 pre-emphasis, 25 ms Hamming windows every 10 ms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pre_emphasis", "frame_signal", "hamming_window", "apply_window"]
+
+
+def pre_emphasis(signal: np.ndarray, coefficient: float = 0.97) -> np.ndarray:
+    """First-order high-pass: ``y[n] = x[n] - a x[n-1]``.
+
+    Boosts the spectral tilt of voiced speech before analysis.
+    """
+    x = np.asarray(signal, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"signal must be 1-D, got shape {x.shape}")
+    if not 0.0 <= coefficient < 1.0:
+        raise ValueError(f"coefficient must be in [0, 1), got {coefficient}")
+    if x.size == 0:
+        return x.copy()
+    out = np.empty_like(x)
+    out[0] = x[0]
+    out[1:] = x[1:] - coefficient * x[:-1]
+    return out
+
+
+def frame_signal(
+    signal: np.ndarray,
+    frame_length: int,
+    frame_shift: int,
+) -> np.ndarray:
+    """Slice a signal into overlapping frames, shape (T, frame_length).
+
+    The last partial frame is dropped (Sphinx behaviour).  Returns an
+    empty (0, frame_length) array for signals shorter than one frame.
+    """
+    x = np.asarray(signal, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"signal must be 1-D, got shape {x.shape}")
+    if frame_length < 1:
+        raise ValueError(f"frame_length must be >= 1, got {frame_length}")
+    if frame_shift < 1:
+        raise ValueError(f"frame_shift must be >= 1, got {frame_shift}")
+    if x.size < frame_length:
+        return np.empty((0, frame_length))
+    num_frames = 1 + (x.size - frame_length) // frame_shift
+    idx = (
+        np.arange(frame_length)[None, :]
+        + frame_shift * np.arange(num_frames)[:, None]
+    )
+    return x[idx]
+
+
+def hamming_window(length: int, alpha: float = 0.54) -> np.ndarray:
+    """Generalised Hamming window of ``length`` samples."""
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    if length == 1:
+        return np.ones(1)
+    n = np.arange(length)
+    return alpha - (1.0 - alpha) * np.cos(2.0 * np.pi * n / (length - 1))
+
+
+def apply_window(frames: np.ndarray, window: np.ndarray) -> np.ndarray:
+    """Multiply every frame by the analysis window."""
+    frames = np.asarray(frames, dtype=np.float64)
+    window = np.asarray(window, dtype=np.float64)
+    if frames.ndim != 2:
+        raise ValueError(f"frames must be 2-D, got shape {frames.shape}")
+    if window.shape != (frames.shape[1],):
+        raise ValueError(
+            f"window length {window.shape} != frame length {frames.shape[1]}"
+        )
+    return frames * window[None, :]

@@ -1,0 +1,137 @@
+"""The complete frontend pipeline: waveform -> 39-dim feature stream.
+
+Combines :mod:`repro.frontend.dsp`, :mod:`repro.frontend.filterbank`
+and :mod:`repro.frontend.mfcc` into the Sphinx-3-style chain the paper
+runs in software on the embedded core:
+
+    pre-emphasis -> 25 ms Hamming frames every 10 ms -> 512-pt power
+    spectrum -> 40 mel filters -> log -> DCT (13 cepstra) -> CMN ->
+    delta + delta-delta  =>  39 dimensions per frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.frontend.dsp import apply_window, frame_signal, hamming_window, pre_emphasis
+from repro.frontend.filterbank import apply_filterbank, mel_filterbank
+from repro.frontend.mfcc import cepstra, lifter, power_spectrum
+
+__all__ = ["FrontendConfig", "Frontend", "delta_features", "cepstral_mean_normalize"]
+
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Sphinx-3-compatible frontend parameters."""
+
+    sample_rate: float = 16000.0
+    frame_length_s: float = 0.025
+    frame_shift_s: float = 0.010
+    pre_emphasis: float = 0.97
+    fft_size: int = 512
+    num_filters: int = 40
+    num_cepstra: int = 13
+    lifter_order: int = 22
+    apply_cmn: bool = True
+    delta_window: int = 2
+
+    def __post_init__(self) -> None:
+        if self.sample_rate <= 0:
+            raise ValueError(f"sample_rate must be positive, got {self.sample_rate}")
+        if self.frame_shift_s <= 0 or self.frame_length_s < self.frame_shift_s:
+            raise ValueError("need frame_length_s >= frame_shift_s > 0")
+        if self.frame_samples > self.fft_size:
+            raise ValueError(
+                f"frame of {self.frame_samples} samples exceeds fft_size {self.fft_size}"
+            )
+        if self.delta_window < 1:
+            raise ValueError(f"delta_window must be >= 1, got {self.delta_window}")
+
+    @property
+    def frame_samples(self) -> int:
+        return int(round(self.frame_length_s * self.sample_rate))
+
+    @property
+    def shift_samples(self) -> int:
+        return int(round(self.frame_shift_s * self.sample_rate))
+
+    @property
+    def feature_dim(self) -> int:
+        """Static + delta + delta-delta dimensions (39 by default)."""
+        return 3 * self.num_cepstra
+
+
+def delta_features(static: np.ndarray, window: int = 2) -> np.ndarray:
+    """Regression deltas over ``±window`` frames (HTK formula).
+
+    Edges are handled by repeating the first/last frame, matching the
+    common frontend behaviour.
+    """
+    x = np.asarray(static, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"static features must be 2-D, got shape {x.shape}")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if x.shape[0] == 0:
+        return x.copy()
+    padded = np.vstack([x[:1]] * window + [x] + [x[-1:]] * window)
+    num = np.zeros_like(x)
+    for d in range(1, window + 1):
+        num += d * (padded[window + d : window + d + x.shape[0]]
+                    - padded[window - d : window - d + x.shape[0]])
+    denom = 2.0 * sum(d * d for d in range(1, window + 1))
+    return num / denom
+
+
+def cepstral_mean_normalize(features: np.ndarray) -> np.ndarray:
+    """Subtract the per-utterance mean of each coefficient (CMN)."""
+    x = np.asarray(features, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"features must be 2-D, got shape {x.shape}")
+    if x.shape[0] == 0:
+        return x.copy()
+    return x - x.mean(axis=0, keepdims=True)
+
+
+class Frontend:
+    """Waveform to 39-dimensional acoustic vectors (Figure 1 'Frontend')."""
+
+    def __init__(self, config: FrontendConfig | None = None) -> None:
+        self.config = config or FrontendConfig()
+        cfg = self.config
+        self._window = hamming_window(cfg.frame_samples)
+        self._bank = mel_filterbank(cfg.num_filters, cfg.fft_size, cfg.sample_rate)
+
+    def static_cepstra(self, waveform: np.ndarray) -> np.ndarray:
+        """The 13 static MFCCs per frame, shape (T, num_cepstra)."""
+        cfg = self.config
+        emphasized = pre_emphasis(waveform, cfg.pre_emphasis)
+        frames = frame_signal(emphasized, cfg.frame_samples, cfg.shift_samples)
+        if frames.shape[0] == 0:
+            return np.empty((0, cfg.num_cepstra))
+        windowed = apply_window(frames, self._window)
+        spectra = power_spectrum(windowed, cfg.fft_size)
+        energies = np.log(apply_filterbank(spectra, self._bank))
+        ceps = cepstra(energies, cfg.num_cepstra)
+        return lifter(ceps, cfg.lifter_order)
+
+    def extract(self, waveform: np.ndarray) -> np.ndarray:
+        """Full 39-dim features: statics (CMN'd) + deltas + delta-deltas."""
+        cfg = self.config
+        static = self.static_cepstra(waveform)
+        if static.shape[0] == 0:
+            return np.empty((0, cfg.feature_dim))
+        if cfg.apply_cmn:
+            static = cepstral_mean_normalize(static)
+        d1 = delta_features(static, cfg.delta_window)
+        d2 = delta_features(d1, cfg.delta_window)
+        return np.hstack([static, d1, d2])
+
+    def num_frames(self, num_samples: int) -> int:
+        """Frames produced from ``num_samples`` of audio."""
+        cfg = self.config
+        if num_samples < cfg.frame_samples:
+            return 0
+        return 1 + (num_samples - cfg.frame_samples) // cfg.shift_samples

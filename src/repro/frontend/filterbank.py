@@ -1,0 +1,70 @@
+"""Mel-scale triangular filterbank (Sphinx-3 compatible)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["hz_to_mel", "mel_to_hz", "mel_filterbank", "apply_filterbank"]
+
+
+def hz_to_mel(hz: np.ndarray | float) -> np.ndarray:
+    """O'Shaughnessy mel scale: ``2595 log10(1 + f/700)``."""
+    return 2595.0 * np.log10(1.0 + np.asarray(hz, dtype=np.float64) / 700.0)
+
+
+def mel_to_hz(mel: np.ndarray | float) -> np.ndarray:
+    """Inverse of :func:`hz_to_mel`."""
+    return 700.0 * (10.0 ** (np.asarray(mel, dtype=np.float64) / 2595.0) - 1.0)
+
+
+def mel_filterbank(
+    num_filters: int,
+    fft_size: int,
+    sample_rate: float,
+    low_hz: float = 133.33,
+    high_hz: float | None = None,
+) -> np.ndarray:
+    """Triangular filters on the mel scale, shape (num_filters, bins).
+
+    ``bins = fft_size // 2 + 1`` (one-sided spectrum).  Defaults follow
+    the Sphinx-3 frontend: 40 filters from 133.33 Hz to 6855.5 Hz at
+    16 kHz.
+    """
+    if num_filters < 1:
+        raise ValueError(f"num_filters must be >= 1, got {num_filters}")
+    if fft_size < 4 or fft_size & (fft_size - 1):
+        raise ValueError(f"fft_size must be a power of two >= 4, got {fft_size}")
+    if sample_rate <= 0:
+        raise ValueError(f"sample_rate must be positive, got {sample_rate}")
+    nyquist = sample_rate / 2.0
+    if high_hz is None:
+        high_hz = min(6855.4976, nyquist)
+    if not 0 <= low_hz < high_hz <= nyquist:
+        raise ValueError(
+            f"need 0 <= low_hz < high_hz <= nyquist, got {low_hz}, {high_hz}, {nyquist}"
+        )
+    bins = fft_size // 2 + 1
+    mel_points = np.linspace(
+        hz_to_mel(low_hz), hz_to_mel(high_hz), num_filters + 2
+    )
+    hz_points = mel_to_hz(mel_points)
+    bin_freqs = np.arange(bins) * sample_rate / fft_size
+    bank = np.zeros((num_filters, bins))
+    for f in range(num_filters):
+        left, center, right = hz_points[f], hz_points[f + 1], hz_points[f + 2]
+        rising = (bin_freqs - left) / (center - left)
+        falling = (right - bin_freqs) / (right - center)
+        bank[f] = np.clip(np.minimum(rising, falling), 0.0, None)
+    return bank
+
+
+def apply_filterbank(power_spectra: np.ndarray, bank: np.ndarray) -> np.ndarray:
+    """Filterbank energies, floored to keep the log finite."""
+    spectra = np.asarray(power_spectra, dtype=np.float64)
+    if spectra.ndim != 2:
+        raise ValueError(f"power_spectra must be 2-D, got shape {spectra.shape}")
+    if spectra.shape[1] != bank.shape[1]:
+        raise ValueError(
+            f"spectrum bins {spectra.shape[1]} != filterbank bins {bank.shape[1]}"
+        )
+    return np.maximum(spectra @ bank.T, 1e-10)

@@ -1,0 +1,62 @@
+"""Cepstral analysis: power spectrum, DCT-II cepstra, liftering."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["power_spectrum", "dct_matrix", "cepstra", "lifter"]
+
+
+def power_spectrum(frames: np.ndarray, fft_size: int) -> np.ndarray:
+    """One-sided power spectrum of each windowed frame.
+
+    Shape (T, fft_size // 2 + 1).  Frames shorter than ``fft_size``
+    are zero-padded (the Sphinx 410-sample frame into a 512-point FFT).
+    """
+    frames = np.asarray(frames, dtype=np.float64)
+    if frames.ndim != 2:
+        raise ValueError(f"frames must be 2-D, got shape {frames.shape}")
+    if fft_size < frames.shape[1]:
+        raise ValueError(
+            f"fft_size {fft_size} smaller than frame length {frames.shape[1]}"
+        )
+    spectrum = np.fft.rfft(frames, n=fft_size, axis=1)
+    return (spectrum.real**2 + spectrum.imag**2) / fft_size
+
+
+def dct_matrix(num_cepstra: int, num_filters: int) -> np.ndarray:
+    """Orthonormal DCT-II basis, shape (num_cepstra, num_filters)."""
+    if not 1 <= num_cepstra <= num_filters:
+        raise ValueError(
+            f"need 1 <= num_cepstra <= num_filters, got {num_cepstra}, {num_filters}"
+        )
+    n = np.arange(num_filters)
+    k = np.arange(num_cepstra)[:, None]
+    basis = np.cos(np.pi * k * (2 * n + 1) / (2.0 * num_filters))
+    basis *= np.sqrt(2.0 / num_filters)
+    basis[0] /= np.sqrt(2.0)
+    return basis
+
+
+def cepstra(log_energies: np.ndarray, num_cepstra: int) -> np.ndarray:
+    """DCT of log filterbank energies: MFCCs, shape (T, num_cepstra)."""
+    energies = np.asarray(log_energies, dtype=np.float64)
+    if energies.ndim != 2:
+        raise ValueError(f"log_energies must be 2-D, got shape {energies.shape}")
+    basis = dct_matrix(num_cepstra, energies.shape[1])
+    return energies @ basis.T
+
+
+def lifter(cepstra_block: np.ndarray, lifter_order: int = 22) -> np.ndarray:
+    """Sinusoidal liftering to rescale higher cepstra.
+
+    ``lifter_order <= 0`` disables (identity).
+    """
+    block = np.asarray(cepstra_block, dtype=np.float64)
+    if block.ndim != 2:
+        raise ValueError(f"cepstra must be 2-D, got shape {block.shape}")
+    if lifter_order <= 0:
+        return block.copy()
+    n = np.arange(block.shape[1])
+    weights = 1.0 + (lifter_order / 2.0) * np.sin(np.pi * n / lifter_order)
+    return block * weights[None, :]

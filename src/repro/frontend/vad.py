@@ -1,0 +1,112 @@
+"""Energy-based voice activity detection (VAD).
+
+A mobile recognizer only spends power when someone is speaking: the
+frontend gates the dedicated units with a frame-level speech/silence
+decision.  This is the classic two-threshold energy VAD with hangover:
+
+* per-frame log energy is compared against a noise floor estimated
+  from the first frames (assumed non-speech, as push-to-talk devices
+  do);
+* speech starts when energy exceeds ``onset_db`` over the floor and
+  ends after ``hangover_frames`` below ``offset_db`` — the hangover
+  bridges the short intra-word dips that would otherwise chop words.
+
+Used by the streaming recognizer for endpointing and by the SoC to
+extend clock gating to whole silent regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["VadConfig", "EnergyVad", "frame_log_energy"]
+
+
+def frame_log_energy(frames: np.ndarray) -> np.ndarray:
+    """Log mean-square energy per frame (dB), shape (T,)."""
+    frames = np.asarray(frames, dtype=np.float64)
+    if frames.ndim != 2:
+        raise ValueError(f"frames must be 2-D, got shape {frames.shape}")
+    power = np.mean(frames * frames, axis=1)
+    return 10.0 * np.log10(np.maximum(power, 1e-12))
+
+
+@dataclass(frozen=True)
+class VadConfig:
+    """Thresholds of the two-level energy detector."""
+
+    noise_floor_frames: int = 8  # initial frames used to estimate the floor
+    onset_db: float = 9.0  # dB over the floor to enter speech
+    offset_db: float = 5.0  # dB over the floor to stay in speech
+    hangover_frames: int = 8  # silence frames before speech ends
+
+    def __post_init__(self) -> None:
+        if self.noise_floor_frames < 1:
+            raise ValueError("noise_floor_frames must be >= 1")
+        if self.offset_db > self.onset_db:
+            raise ValueError("offset_db must not exceed onset_db (hysteresis)")
+        if self.hangover_frames < 0:
+            raise ValueError("hangover_frames must be >= 0")
+
+
+class EnergyVad:
+    """Streaming frame classifier: feed energies, read speech flags."""
+
+    def __init__(self, config: VadConfig | None = None) -> None:
+        self.config = config or VadConfig()
+        self._floor_samples: list[float] = []
+        self._in_speech = False
+        self._silence_run = 0
+
+    @property
+    def noise_floor_db(self) -> float | None:
+        """The estimated floor, or None until enough frames were seen."""
+        if len(self._floor_samples) < self.config.noise_floor_frames:
+            return None
+        return float(np.median(self._floor_samples))
+
+    def step(self, energy_db: float) -> bool:
+        """Classify one frame; returns True while in speech."""
+        cfg = self.config
+        if len(self._floor_samples) < cfg.noise_floor_frames:
+            self._floor_samples.append(float(energy_db))
+            return False
+        floor = self.noise_floor_db
+        assert floor is not None
+        if not self._in_speech:
+            if energy_db >= floor + cfg.onset_db:
+                self._in_speech = True
+                self._silence_run = 0
+        else:
+            if energy_db >= floor + cfg.offset_db:
+                self._silence_run = 0
+            else:
+                self._silence_run += 1
+                if self._silence_run > cfg.hangover_frames:
+                    self._in_speech = False
+        return self._in_speech
+
+    def classify(self, energies_db: np.ndarray) -> np.ndarray:
+        """Vector version of :meth:`step` (stateful, in order)."""
+        return np.array([self.step(float(e)) for e in np.asarray(energies_db)])
+
+    def reset(self) -> None:
+        self._floor_samples.clear()
+        self._in_speech = False
+        self._silence_run = 0
+
+
+def speech_bounds(flags: np.ndarray, pad_frames: int = 3) -> tuple[int, int] | None:
+    """First/last speech frame (padded), or None if all silence."""
+    flags = np.asarray(flags, dtype=bool)
+    indices = np.flatnonzero(flags)
+    if indices.size == 0:
+        return None
+    start = max(int(indices[0]) - pad_frames, 0)
+    stop = min(int(indices[-1]) + pad_frames + 1, flags.size)
+    return start, stop
+
+
+__all__.append("speech_bounds")

@@ -1,0 +1,237 @@
+"""The acoustic model container and its flash serialization.
+
+An :class:`AcousticModel` bundles the senone pool with the phone /
+triphone HMM inventory, and knows how to serialise itself into the
+bit-packed flash image whose size the paper's Section IV-B table
+reports:
+
+    6000 senones x 8 components x (39 mu + 39 sigma + 1 weight)
+    x 32 bits  =  15.168 MB          (23-bit mantissa)
+    x 24 bits  =  11.376 MB          (15-bit mantissa)
+    x 21 bits  =   9.954 MB          (12-bit mantissa)
+
+``save``/``load`` write and read that image exactly (values quantized
+to the chosen format, packed back-to-back with no padding), so the
+benchmark measures real file bytes rather than arithmetic.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hmm.senone import SenonePool
+from repro.hmm.topology import HmmTopology, PhoneHmm
+from repro.quant.float_formats import IEEE_SINGLE, FloatFormat
+from repro.quant.packing import pack_bits, unpack_bits
+
+__all__ = ["AcousticModel", "memory_bandwidth_table"]
+
+_MAGIC = b"RPAM"
+_VERSION = 2
+
+
+@dataclass
+class AcousticModel:
+    """Senone pool + HMM inventory.
+
+    Parameters
+    ----------
+    pool:
+        The senone parameters.
+    hmms:
+        Phone/triphone name -> :class:`PhoneHmm`.  Every referenced
+        senone ID must exist in the pool.
+    frame_period_s:
+        Decoder frame rate the model was trained at (10 ms).
+    """
+
+    pool: SenonePool
+    hmms: dict[str, PhoneHmm] = field(default_factory=dict)
+    frame_period_s: float = 0.010
+
+    def __post_init__(self) -> None:
+        if self.frame_period_s <= 0:
+            raise ValueError(
+                f"frame_period_s must be positive, got {self.frame_period_s}"
+            )
+        for name, hmm in self.hmms.items():
+            if max(hmm.senone_ids, default=-1) >= self.pool.num_senones:
+                raise ValueError(
+                    f"HMM {name!r} references senone "
+                    f">= pool size {self.pool.num_senones}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_senones(self) -> int:
+        return self.pool.num_senones
+
+    @property
+    def num_hmms(self) -> int:
+        return len(self.hmms)
+
+    def hmm(self, name: str) -> PhoneHmm:
+        if name not in self.hmms:
+            raise KeyError(f"no HMM named {name!r}")
+        return self.hmms[name]
+
+    def add_hmm(self, hmm: PhoneHmm) -> None:
+        if max(hmm.senone_ids, default=-1) >= self.pool.num_senones:
+            raise ValueError(
+                f"HMM {hmm.name!r} references senone >= pool size "
+                f"{self.pool.num_senones}"
+            )
+        self.hmms[hmm.name] = hmm
+
+    # ------------------------------------------------------------------
+    # Size / bandwidth accounting (T1)
+    # ------------------------------------------------------------------
+    def storage_bytes(self, fmt: FloatFormat = IEEE_SINGLE) -> float:
+        """Flash bytes of the senone parameters in ``fmt``."""
+        return self.pool.storage_bytes(fmt)
+
+    def worst_case_bandwidth(self, fmt: FloatFormat = IEEE_SINGLE) -> float:
+        """Bytes/second if *every* senone streams every frame.
+
+        This is the paper's worst case: the full model per 10 ms frame.
+        """
+        return self.storage_bytes(fmt) / self.frame_period_s
+
+    # ------------------------------------------------------------------
+    # Flash image serialization
+    # ------------------------------------------------------------------
+    def save(self, path_or_file, fmt: FloatFormat = IEEE_SINGLE) -> int:
+        """Write the bit-packed flash image; returns bytes written."""
+        if hasattr(path_or_file, "write"):
+            return self._write(path_or_file, fmt)
+        with open(path_or_file, "wb") as fh:
+            return self._write(fh, fmt)
+
+    def _write(self, fh, fmt: FloatFormat) -> int:
+        pool = self.pool
+        start = fh.tell() if hasattr(fh, "tell") else 0
+        header = struct.pack(
+            "<4sHHIIIId",
+            _MAGIC,
+            _VERSION,
+            fmt.mantissa_bits,
+            pool.num_senones,
+            pool.num_components,
+            pool.dim,
+            len(self.hmms),
+            self.frame_period_s,
+        )
+        fh.write(header)
+        for arr in (
+            pool.means.astype(np.float32),
+            pool.variances.astype(np.float32),
+            pool.weights.astype(np.float32),
+        ):
+            patterns = fmt.encode(arr.ravel())
+            fh.write(pack_bits(patterns, fmt.total_bits))
+        for name in sorted(self.hmms):
+            hmm = self.hmms[name]
+            encoded = name.encode("utf-8")
+            fh.write(struct.pack("<H", len(encoded)))
+            fh.write(encoded)
+            topo = hmm.topology
+            fh.write(
+                struct.pack(
+                    "<BdBd",
+                    topo.num_states,
+                    topo.self_loop_prob,
+                    int(topo.allow_skip),
+                    topo.skip_prob,
+                )
+            )
+            fh.write(struct.pack(f"<{topo.num_states}I", *hmm.senone_ids))
+        end = fh.tell() if hasattr(fh, "tell") else 0
+        return end - start
+
+    @classmethod
+    def load(cls, path_or_file) -> tuple["AcousticModel", FloatFormat]:
+        """Read a flash image; returns the model and its storage format.
+
+        Parameters come back *as stored*, i.e. already quantized to the
+        narrow format — the same values the DMA would stream.
+        """
+        if hasattr(path_or_file, "read"):
+            return cls._read(path_or_file)
+        with open(path_or_file, "rb") as fh:
+            return cls._read(fh)
+
+    @classmethod
+    def _read(cls, fh) -> tuple["AcousticModel", FloatFormat]:
+        header_size = struct.calcsize("<4sHHIIIId")
+        raw = fh.read(header_size)
+        if len(raw) != header_size:
+            raise ValueError("truncated acoustic model header")
+        magic, version, mantissa, n, m, dim, num_hmms, frame_period = struct.unpack(
+            "<4sHHIIIId", raw
+        )
+        if magic != _MAGIC:
+            raise ValueError(f"bad magic {magic!r}; not an acoustic model image")
+        if version != _VERSION:
+            raise ValueError(f"unsupported image version {version}")
+        fmt = IEEE_SINGLE if mantissa == 23 else FloatFormat(mantissa_bits=mantissa)
+        arrays = []
+        for count in (n * m * dim, n * m * dim, n * m):
+            nbytes = (count * fmt.total_bits + 7) // 8
+            blob = fh.read(nbytes)
+            patterns = unpack_bits(blob, fmt.total_bits, count)
+            arrays.append(fmt.decode(patterns).astype(np.float64))
+        means = arrays[0].reshape(n, m, dim)
+        variances = arrays[1].reshape(n, m, dim)
+        weights = arrays[2].reshape(n, m)
+        weights = weights / weights.sum(axis=1, keepdims=True)
+        pool = SenonePool(means, variances, weights)
+        hmms: dict[str, PhoneHmm] = {}
+        for _ in range(num_hmms):
+            (name_len,) = struct.unpack("<H", fh.read(2))
+            name = fh.read(name_len).decode("utf-8")
+            states, self_loop, allow_skip, skip = struct.unpack("<BdBd", fh.read(18))
+            topo = HmmTopology(
+                num_states=states,
+                self_loop_prob=self_loop,
+                allow_skip=bool(allow_skip),
+                skip_prob=skip,
+            )
+            ids = struct.unpack(f"<{states}I", fh.read(4 * states))
+            hmms[name] = PhoneHmm(name=name, topology=topo, senone_ids=ids)
+        model = cls(pool=pool, hmms=hmms, frame_period_s=frame_period)
+        return model, fmt
+
+    def parameter_image_bytes(self, fmt: FloatFormat = IEEE_SINGLE) -> int:
+        """Exact bytes of the packed parameter payload (no header/HMMs)."""
+        buf = io.BytesIO()
+        pool = self.pool
+        for arr in (pool.means, pool.variances, pool.weights):
+            patterns = fmt.encode(arr.astype(np.float32).ravel())
+            buf.write(pack_bits(patterns, fmt.total_bits))
+        return buf.getbuffer().nbytes
+
+
+def memory_bandwidth_table(
+    model: AcousticModel, formats: tuple[FloatFormat, ...]
+) -> list[dict[str, float | str]]:
+    """Rows of the paper's Section IV-B table for ``model``.
+
+    Each row: format name, mantissa bits, storage MB (decimal) and
+    worst-case bandwidth GB/s at the model's frame period.
+    """
+    rows: list[dict[str, float | str]] = []
+    for fmt in formats:
+        nbytes = model.storage_bytes(fmt)
+        rows.append(
+            {
+                "format": fmt.name,
+                "mantissa_bits": fmt.mantissa_bits,
+                "memory_mb": nbytes / 1e6,
+                "bandwidth_gbps": model.worst_case_bandwidth(fmt) / 1e9,
+            }
+        )
+    return rows

@@ -1,0 +1,137 @@
+"""Speaker adaptation: diagonal MLLR mean transformation.
+
+The paper stresses that its architecture "can incorporate recent
+changes in the speech research" (Section VI) — the flagship example of
+that era being maximum-likelihood linear regression (MLLR) speaker
+adaptation, which moves the Gaussian means with an affine transform
+estimated from a little adaptation speech, *without* touching the
+decoder or hardware (the units just stream transformed means from
+flash).
+
+This module implements the diagonal variant: per dimension ``i``,
+means transform as ``mu' = a_i * mu + b_i`` with ``(a, b)`` the
+least-squares fit between aligned adaptation frames and the means of
+the senones they align to — the closed-form diagonal-MLLR estimate
+under equal-occupancy weighting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hmm.senone import SenonePool
+from repro.hmm.train import forced_alignment
+
+__all__ = ["MeanTransform", "estimate_transform", "align_and_adapt"]
+
+
+@dataclass(frozen=True)
+class MeanTransform:
+    """Per-dimension affine transform of the Gaussian means."""
+
+    scale: np.ndarray  # (L,)
+    offset: np.ndarray  # (L,)
+
+    def __post_init__(self) -> None:
+        if self.scale.shape != self.offset.shape or self.scale.ndim != 1:
+            raise ValueError("scale and offset must be 1-D and equal length")
+
+    @property
+    def dim(self) -> int:
+        return int(self.scale.shape[0])
+
+    def apply(self, pool: SenonePool) -> SenonePool:
+        """A new pool with transformed means (variances untouched)."""
+        if pool.dim != self.dim:
+            raise ValueError(f"transform dim {self.dim} != pool dim {pool.dim}")
+        means = pool.means * self.scale[None, None, :] + self.offset[None, None, :]
+        return SenonePool(means, pool.variances.copy(), pool.weights.copy())
+
+    @classmethod
+    def identity(cls, dim: int) -> "MeanTransform":
+        return cls(scale=np.ones(dim), offset=np.zeros(dim))
+
+
+def estimate_transform(
+    observations: np.ndarray,
+    target_means: np.ndarray,
+    regularization: float = 1e-3,
+) -> MeanTransform:
+    """Least-squares ``(a, b)`` mapping model means onto observations.
+
+    Parameters
+    ----------
+    observations:
+        Adaptation frames, shape (N, L).
+    target_means:
+        The senone mean each frame aligns to, shape (N, L).
+    regularization:
+        Shrinkage of ``a`` toward 1 and ``b`` toward 0, keeping the
+        estimate stable with little adaptation data.
+    """
+    obs = np.asarray(observations, dtype=np.float64)
+    mu = np.asarray(target_means, dtype=np.float64)
+    if obs.shape != mu.shape or obs.ndim != 2:
+        raise ValueError(
+            f"observations {obs.shape} and target_means {mu.shape} must match (N, L)"
+        )
+    n = obs.shape[0]
+    if n < 2:
+        raise ValueError("need at least 2 aligned frames to estimate a transform")
+    mu_mean = mu.mean(axis=0)
+    obs_mean = obs.mean(axis=0)
+    mu_centered = mu - mu_mean
+    obs_centered = obs - obs_mean
+    var = (mu_centered**2).mean(axis=0)
+    cov = (mu_centered * obs_centered).mean(axis=0)
+    scale = (cov + regularization) / (var + regularization)
+    offset = obs_mean - scale * mu_mean
+    return MeanTransform(scale=scale, offset=offset)
+
+
+def align_and_adapt(
+    pool: SenonePool,
+    utterances: list[np.ndarray],
+    transcripts: list[list[int]],
+    self_logp: float,
+    forward_logp: float,
+    regularization: float = 1e-3,
+) -> tuple[SenonePool, MeanTransform]:
+    """Unsupervised-style adaptation loop: align, estimate, apply.
+
+    Parameters
+    ----------
+    pool:
+        The speaker-independent models.
+    utterances:
+        Adaptation feature matrices, each (T, L).
+    transcripts:
+        For each utterance, its senone chain (one ID per HMM state in
+        order) — from known text via the lexicon, as supervised MLLR
+        uses.
+    self_logp / forward_logp:
+        Chain transition constants for the forced alignment.
+    """
+    if len(utterances) != len(transcripts):
+        raise ValueError(
+            f"{len(utterances)} utterances but {len(transcripts)} transcripts"
+        )
+    if not utterances:
+        raise ValueError("need at least one adaptation utterance")
+    frames_list, means_list = [], []
+    for features, chain in zip(utterances, transcripts):
+        feats = np.asarray(features, dtype=np.float64)
+        chain_arr = np.asarray(chain, dtype=np.int64)
+        scores = pool.score_frames(feats)[:, chain_arr]
+        alignment = forced_alignment(scores, self_logp, forward_logp)
+        senone_per_frame = chain_arr[alignment]
+        # Component-blind target: the senone's weighted mean.
+        weighted = (pool.means * pool.weights[:, :, None]).sum(axis=1)
+        frames_list.append(feats)
+        means_list.append(weighted[senone_per_frame])
+    transform = estimate_transform(
+        np.vstack(frames_list), np.vstack(means_list), regularization
+    )
+    return transform.apply(pool), transform

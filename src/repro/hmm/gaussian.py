@@ -1,0 +1,74 @@
+"""Diagonal-covariance multivariate Gaussians (equation 4 of the paper).
+
+The acoustic model represents every senone as a mixture of
+diagonal-covariance Gaussians over the L-dimensional feature vector:
+
+    N(O; mu, sigma) = (2 pi)^(-L/2) * prod_i sigma_i^(-1)
+                      * exp( -sum_i (O_i - mu_i)^2 / (2 sigma_i^2) )
+
+All scoring is done in the log domain.  This module is the
+double-precision *reference* implementation ("correctness is checked
+by floating point implementation", Section IV-A); the hardware path
+lives in :mod:`repro.core.opunit`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "log_gaussian",
+    "log_normalizer",
+    "precision_halves",
+    "validate_gaussian_params",
+]
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+#: Variances are floored to keep precisions finite; Sphinx applies the
+#: same guard during training.
+VARIANCE_FLOOR = 1e-4
+
+
+def validate_gaussian_params(mean: np.ndarray, variance: np.ndarray) -> None:
+    """Raise ``ValueError`` on malformed parameters."""
+    mean = np.asarray(mean)
+    variance = np.asarray(variance)
+    if mean.shape != variance.shape:
+        raise ValueError(
+            f"mean shape {mean.shape} != variance shape {variance.shape}"
+        )
+    if np.any(~np.isfinite(mean)):
+        raise ValueError("mean contains non-finite values")
+    if np.any(variance <= 0):
+        raise ValueError("variance must be strictly positive")
+
+
+def log_normalizer(variance: np.ndarray) -> np.ndarray:
+    """``-L/2 log(2 pi) - 1/2 sum_i log sigma_i^2`` over the last axis."""
+    variance = np.asarray(variance, dtype=np.float64)
+    dim = variance.shape[-1]
+    return -0.5 * (dim * _LOG_2PI + np.log(variance).sum(axis=-1))
+
+
+def precision_halves(variance: np.ndarray) -> np.ndarray:
+    """The paper's ``delta = -1 / (2 sigma^2)`` (negative values)."""
+    variance = np.asarray(variance, dtype=np.float64)
+    return -0.5 / variance
+
+
+def log_gaussian(
+    observation: np.ndarray, mean: np.ndarray, variance: np.ndarray
+) -> np.ndarray:
+    """Log density of ``observation`` under a diagonal Gaussian.
+
+    Broadcasts over leading axes: ``observation`` may be (L,) or
+    (..., L), ``mean``/``variance`` (L,) or (..., L).  Returns the log
+    density with the last axis reduced.
+    """
+    observation = np.asarray(observation, dtype=np.float64)
+    mean = np.asarray(mean, dtype=np.float64)
+    variance = np.asarray(variance, dtype=np.float64)
+    diff = observation - mean
+    quad = (diff * diff * precision_halves(variance)).sum(axis=-1)
+    return log_normalizer(variance) + quad

@@ -1,0 +1,129 @@
+"""Mixture-of-Gaussians observation densities (equation 3 of the paper).
+
+    b_j(O_t) = sum_m c_jm N(O_t; mu_jm, sigma_jm)
+
+evaluated in the log domain with exact ``logsumexp`` (reference path)
+or through the hardware logadd table (see :mod:`repro.core.opunit`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hmm.gaussian import (
+    VARIANCE_FLOOR,
+    log_gaussian,
+    log_normalizer,
+    precision_halves,
+    validate_gaussian_params,
+)
+
+__all__ = ["GaussianMixture"]
+
+
+@dataclass
+class GaussianMixture:
+    """One senone's observation density.
+
+    Parameters
+    ----------
+    weights:
+        Mixture weights, shape (M,); must sum to 1 (tolerance 1e-6).
+    means:
+        Component means, shape (M, L).
+    variances:
+        Diagonal variances, shape (M, L), floored at
+        :data:`~repro.hmm.gaussian.VARIANCE_FLOOR`.
+    """
+
+    weights: np.ndarray
+    means: np.ndarray
+    variances: np.ndarray
+    _log_weights: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+        self.means = np.asarray(self.means, dtype=np.float64)
+        self.variances = np.asarray(self.variances, dtype=np.float64)
+        if self.weights.ndim != 1:
+            raise ValueError(f"weights must be 1-D, got shape {self.weights.shape}")
+        if self.means.ndim != 2:
+            raise ValueError(f"means must be 2-D, got shape {self.means.shape}")
+        if self.means.shape != self.variances.shape:
+            raise ValueError(
+                f"means shape {self.means.shape} != variances {self.variances.shape}"
+            )
+        if self.means.shape[0] != self.weights.shape[0]:
+            raise ValueError(
+                f"{self.weights.shape[0]} weights for {self.means.shape[0]} components"
+            )
+        if np.any(self.weights < 0):
+            raise ValueError("weights must be non-negative")
+        total = float(self.weights.sum())
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise ValueError(f"weights must sum to 1, got {total}")
+        self.variances = np.maximum(self.variances, VARIANCE_FLOOR)
+        validate_gaussian_params(self.means, self.variances)
+        with np.errstate(divide="ignore"):
+            self._log_weights = np.log(self.weights)
+
+    @property
+    def num_components(self) -> int:
+        return int(self.means.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self.means.shape[1])
+
+    # ------------------------------------------------------------------
+    # Reference scoring
+    # ------------------------------------------------------------------
+    def component_log_probs(self, observation: np.ndarray) -> np.ndarray:
+        """Per-component ``log(c_m N_m(O))``, shape (..., M)."""
+        obs = np.asarray(observation, dtype=np.float64)
+        per_comp = log_gaussian(obs[..., None, :], self.means, self.variances)
+        return per_comp + self._log_weights
+
+    def log_prob(self, observation: np.ndarray) -> np.ndarray:
+        """Exact ``log b_j(O)`` via double-precision logsumexp."""
+        comp = self.component_log_probs(observation)
+        peak = comp.max(axis=-1, keepdims=True)
+        return (peak + np.log(np.exp(comp - peak).sum(axis=-1, keepdims=True)))[..., 0]
+
+    # ------------------------------------------------------------------
+    # Hardware parameter export
+    # ------------------------------------------------------------------
+    def hardware_params(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Parameters in the OP unit's stored form.
+
+        Returns ``(means, precisions, offsets)`` where
+        ``precisions = -1/(2 sigma^2)`` (shape (M, L)) and
+        ``offsets[m] = log c_m + log_normalizer(sigma_m)`` (shape (M,)),
+        i.e. the ``C_jk`` of equation (6).
+        """
+        precisions = precision_halves(self.variances)
+        offsets = self._log_weights + log_normalizer(self.variances)
+        return self.means.copy(), precisions, offsets
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_data(
+        cls,
+        frames: np.ndarray,
+        num_components: int,
+        rng: np.random.Generator,
+        em_iterations: int = 8,
+    ) -> "GaussianMixture":
+        """Fit a mixture to frames with k-means init + EM.
+
+        A thin convenience wrapper over
+        :func:`repro.hmm.train.fit_gmm`; see that module for the
+        algorithm.  Imported lazily to avoid a cycle.
+        """
+        from repro.hmm.train import fit_gmm
+
+        return fit_gmm(frames, num_components, rng=rng, iterations=em_iterations)

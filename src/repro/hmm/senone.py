@@ -1,0 +1,194 @@
+"""The senone pool: tied HMM-state distributions (Hwang & Huang [2]).
+
+"In absence of enough training data, the states of different triphones
+are represented by the same distribution — these are called senones."
+
+A :class:`SenonePool` stores every senone's mixture parameters in
+dense senone-major arrays so a whole frame's scores vectorise, and
+exports the flash-resident :class:`~repro.core.opunit.GaussianTable`
+the OP unit streams.  The pool is the single source of truth for the
+paper's memory arithmetic: 6000 senones x 8 components x (39 means +
+39 variances + 1 weight) x 4 bytes = 15.168 MB.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.opunit import GaussianTable
+from repro.hmm.gaussian import (
+    VARIANCE_FLOOR,
+    log_normalizer,
+    precision_halves,
+)
+from repro.hmm.gmm import GaussianMixture
+from repro.quant.float_formats import IEEE_SINGLE, FloatFormat
+
+__all__ = ["SenonePool"]
+
+
+class SenonePool:
+    """Dense container of all senones' mixture parameters.
+
+    Parameters
+    ----------
+    means:
+        Shape (N, M, L).
+    variances:
+        Shape (N, M, L), strictly positive (floored on entry).
+    weights:
+        Shape (N, M), rows sum to 1.
+    """
+
+    def __init__(
+        self, means: np.ndarray, variances: np.ndarray, weights: np.ndarray
+    ) -> None:
+        self.means = np.asarray(means, dtype=np.float64)
+        self.variances = np.maximum(
+            np.asarray(variances, dtype=np.float64), VARIANCE_FLOOR
+        )
+        self.weights = np.asarray(weights, dtype=np.float64)
+        if self.means.ndim != 3:
+            raise ValueError(f"means must be 3-D, got shape {self.means.shape}")
+        if self.variances.shape != self.means.shape:
+            raise ValueError(
+                f"variances shape {self.variances.shape} != means {self.means.shape}"
+            )
+        if self.weights.shape != self.means.shape[:2]:
+            raise ValueError(
+                f"weights shape {self.weights.shape} != {self.means.shape[:2]}"
+            )
+        if np.any(self.weights < 0):
+            raise ValueError("weights must be non-negative")
+        sums = self.weights.sum(axis=1)
+        if not np.allclose(sums, 1.0, atol=1e-5):
+            raise ValueError("each senone's weights must sum to 1")
+        with np.errstate(divide="ignore"):
+            self._log_weights = np.log(self.weights)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_senones(self) -> int:
+        return int(self.means.shape[0])
+
+    @property
+    def num_components(self) -> int:
+        return int(self.means.shape[1])
+
+    @property
+    def dim(self) -> int:
+        return int(self.means.shape[2])
+
+    @property
+    def values_per_senone(self) -> int:
+        """Stored scalars per senone (means + variances + weights)."""
+        return self.num_components * (2 * self.dim + 1)
+
+    def storage_bytes(self, fmt: FloatFormat = IEEE_SINGLE) -> float:
+        """Flash footprint of the pool in ``fmt`` (paper Section IV-B)."""
+        return fmt.storage_bytes(self.num_senones * self.values_per_senone)
+
+    # ------------------------------------------------------------------
+    # Reference scoring
+    # ------------------------------------------------------------------
+    def score_frame(
+        self, observation: np.ndarray, senones: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Exact log scores for one frame.
+
+        Returns an array of length ``num_senones`` filled with the
+        scores of ``senones`` (default: all); unscored entries are
+        ``-inf``.
+        """
+        obs = np.asarray(observation, dtype=np.float64)
+        if obs.shape != (self.dim,):
+            raise ValueError(f"observation shape {obs.shape} != ({self.dim},)")
+        if senones is None:
+            idx = slice(None)
+            out = np.empty(self.num_senones)
+        else:
+            idx = np.asarray(senones, dtype=np.int64)
+            out = np.full(self.num_senones, -np.inf)
+        means = self.means[idx]
+        variances = self.variances[idx]
+        diff = obs[None, None, :] - means
+        quad = (diff * diff * precision_halves(variances)).sum(axis=-1)
+        comp = quad + log_normalizer(variances) + self._log_weights[idx]
+        peak = comp.max(axis=-1)
+        out[idx] = peak + np.log(np.exp(comp - peak[..., None]).sum(axis=-1))
+        return out
+
+    def score_frames(self, observations: np.ndarray) -> np.ndarray:
+        """Exact log scores for many frames: shape (T, num_senones)."""
+        obs = np.asarray(observations, dtype=np.float64)
+        if obs.ndim != 2 or obs.shape[1] != self.dim:
+            raise ValueError(f"observations must be (T, {self.dim}), got {obs.shape}")
+        diff = obs[:, None, None, :] - self.means[None]
+        quad = (diff * diff * precision_halves(self.variances)[None]).sum(axis=-1)
+        comp = quad + (log_normalizer(self.variances) + self._log_weights)[None]
+        peak = comp.max(axis=-1)
+        return peak + np.log(np.exp(comp - peak[..., None]).sum(axis=-1))
+
+    # ------------------------------------------------------------------
+    # Views and exports
+    # ------------------------------------------------------------------
+    def mixture(self, senone: int) -> GaussianMixture:
+        """A :class:`GaussianMixture` view of one senone."""
+        if not 0 <= senone < self.num_senones:
+            raise IndexError(f"senone {senone} out of range [0, {self.num_senones})")
+        return GaussianMixture(
+            weights=self.weights[senone],
+            means=self.means[senone],
+            variances=self.variances[senone],
+        )
+
+    def gaussian_table(self, fmt: FloatFormat = IEEE_SINGLE) -> GaussianTable:
+        """Export the flash-resident table the OP unit streams.
+
+        Means, precisions (``-1/(2 sigma^2)``) and offsets (``C_jk``)
+        are quantized to the storage format, exactly as the bits the
+        DMA would deliver.
+        """
+        precisions = precision_halves(self.variances)
+        offsets = self._log_weights + log_normalizer(self.variances)
+        return GaussianTable(
+            means=fmt.quantize(self.means.astype(np.float32)),
+            precisions=fmt.quantize(precisions.astype(np.float32)),
+            offsets=fmt.quantize(offsets.astype(np.float32)),
+            storage_format=fmt,
+        )
+
+    def quantized(self, fmt: FloatFormat) -> "SenonePool":
+        """A pool whose raw parameters have been stored in ``fmt``.
+
+        This models *storage* quantization: means and variances round
+        to the narrow format (weights are renormalised after rounding
+        so downstream invariants hold).
+        """
+        q_means = fmt.quantize(self.means.astype(np.float32)).astype(np.float64)
+        q_vars = fmt.quantize(self.variances.astype(np.float32)).astype(np.float64)
+        q_weights = fmt.quantize(self.weights.astype(np.float32)).astype(np.float64)
+        q_weights = q_weights / q_weights.sum(axis=1, keepdims=True)
+        return SenonePool(q_means, np.maximum(q_vars, VARIANCE_FLOOR), q_weights)
+
+    @classmethod
+    def random(
+        cls,
+        num_senones: int,
+        num_components: int = 8,
+        dim: int = 39,
+        rng: np.random.Generator | None = None,
+        spread: float = 3.0,
+    ) -> "SenonePool":
+        """A synthetic pool for scale experiments (T1, R3...).
+
+        Senone means are drawn apart by ``spread`` so scores are
+        well-conditioned; variances are log-uniform in [0.3, 2.0].
+        """
+        rng = rng or np.random.default_rng(0)
+        means = rng.normal(0.0, spread, size=(num_senones, num_components, dim))
+        variances = np.exp(rng.uniform(np.log(0.3), np.log(2.0),
+                                       size=(num_senones, num_components, dim)))
+        raw = rng.uniform(0.5, 1.5, size=(num_senones, num_components))
+        weights = raw / raw.sum(axis=1, keepdims=True)
+        return cls(means, variances, weights)

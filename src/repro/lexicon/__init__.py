@@ -1,0 +1,28 @@
+"""Lexicon substrate: phones, G2P, dictionary, triphones, senone tying."""
+
+from repro.lexicon.dictionary import DictionaryLayout, PronunciationDictionary
+from repro.lexicon.g2p import GRAPHEME_MAP, phones_to_spelling, spelling_to_phones
+from repro.lexicon.phones import (
+    SILENCE,
+    Phone,
+    PhoneClass,
+    PhoneSet,
+    default_phone_set,
+)
+from repro.lexicon.triphone import SenoneTying, Triphone, word_to_triphones
+
+__all__ = [
+    "Phone",
+    "PhoneClass",
+    "PhoneSet",
+    "default_phone_set",
+    "SILENCE",
+    "phones_to_spelling",
+    "spelling_to_phones",
+    "GRAPHEME_MAP",
+    "PronunciationDictionary",
+    "DictionaryLayout",
+    "Triphone",
+    "word_to_triphones",
+    "SenoneTying",
+]

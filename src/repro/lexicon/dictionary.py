@@ -1,0 +1,195 @@
+"""The pronunciation dictionary and its flash memory layout.
+
+Section IV-B sizes the dictionary for the 20,000-word Wall Street
+Journal task at an average of 9 triphones per word with 3-state HMMs:
+"around 11 Mb (9 Mb for dictionary and 2 Mb of word ID to ASCII
+mapping)".
+
+That arithmetic pins the storage record down precisely:
+
+* 20,000 words x 9 triphones = 180,000 triphone slots at **50 bits**
+  each = 9.0 Mbit.  A 50-bit slot holds the 3 tied senone IDs
+  (3 x 13 bits — 13 bits address 6000 senones) plus 11 bits of
+  topology/linkage.
+* 20,000 fixed **100-bit** word-ID -> ASCII records = 2.0 Mbit
+  (12 characters + a length nibble, within rounding).
+
+:class:`DictionaryLayout` encodes those records; :class:`PronunciationDictionary`
+stores the actual word -> phone-string map (text save/load in the CMU
+dict format) and reports its exact layout footprint, which the R5
+benchmark compares against the paper's 11 Mb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lexicon.g2p import phones_to_spelling, spelling_to_phones
+from repro.lexicon.phones import PhoneSet, default_phone_set
+
+__all__ = ["DictionaryLayout", "PronunciationDictionary"]
+
+
+@dataclass(frozen=True)
+class DictionaryLayout:
+    """Bit widths of the flash-resident dictionary records."""
+
+    senone_id_bits: int = 13  # addresses up to 8192 senones (paper: 6000)
+    states_per_hmm: int = 3
+    link_bits: int = 11  # topology select + next-entry linkage
+    ascii_record_bits: int = 100  # fixed word-ID -> spelling record
+
+    def __post_init__(self) -> None:
+        for name in ("senone_id_bits", "states_per_hmm", "link_bits", "ascii_record_bits"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    @property
+    def triphone_slot_bits(self) -> int:
+        """Bits per stored triphone instance (50 with defaults)."""
+        return self.states_per_hmm * self.senone_id_bits + self.link_bits
+
+    def dictionary_bits(self, total_triphones: int) -> int:
+        """Pronunciation store: one slot per triphone instance."""
+        if total_triphones < 0:
+            raise ValueError(f"total_triphones must be >= 0, got {total_triphones}")
+        return total_triphones * self.triphone_slot_bits
+
+    def word_map_bits(self, num_words: int) -> int:
+        """The word-ID -> ASCII table."""
+        if num_words < 0:
+            raise ValueError(f"num_words must be >= 0, got {num_words}")
+        return num_words * self.ascii_record_bits
+
+    def total_bits(self, num_words: int, total_triphones: int) -> int:
+        return self.dictionary_bits(total_triphones) + self.word_map_bits(num_words)
+
+
+class PronunciationDictionary:
+    """Word -> phone-string map with flash-layout accounting."""
+
+    def __init__(
+        self,
+        phone_set: PhoneSet | None = None,
+        layout: DictionaryLayout | None = None,
+    ) -> None:
+        self.phone_set = phone_set or default_phone_set()
+        self.layout = layout or DictionaryLayout()
+        self._prons: dict[str, tuple[str, ...]] = {}
+        self._sorted_cache: tuple[str, ...] | None = None
+        self._id_cache: dict[str, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Population and lookup
+    # ------------------------------------------------------------------
+    def add(self, word: str, phones: tuple[str, ...] | list[str]) -> None:
+        """Insert (or replace) a word's pronunciation."""
+        word = word.strip().lower()
+        if not word:
+            raise ValueError("word must be non-empty")
+        seq = tuple(phones)
+        if not seq:
+            raise ValueError(f"word {word!r} has an empty pronunciation")
+        for p in seq:
+            if p not in self.phone_set:
+                raise KeyError(f"word {word!r}: unknown phone {p!r}")
+        self._prons[word] = seq
+        self._sorted_cache = None
+        self._id_cache = None
+
+    def add_from_spelling(self, word: str) -> None:
+        """Insert a word, deriving its pronunciation by rule G2P."""
+        self.add(word, spelling_to_phones(word, self.phone_set))
+
+    def pronunciation(self, word: str) -> tuple[str, ...]:
+        word = word.strip().lower()
+        if word not in self._prons:
+            raise KeyError(f"word {word!r} not in dictionary")
+        return self._prons[word]
+
+    def __contains__(self, word: str) -> bool:
+        return word.strip().lower() in self._prons
+
+    def __len__(self) -> int:
+        return len(self._prons)
+
+    def words(self) -> tuple[str, ...]:
+        """All words, sorted (stable word IDs by sort position)."""
+        if self._sorted_cache is None:
+            self._sorted_cache = tuple(sorted(self._prons))
+        return self._sorted_cache
+
+    def word_id(self, word: str) -> int:
+        """The word's dense integer ID (its sorted position)."""
+        if self._id_cache is None:
+            self._id_cache = {w: i for i, w in enumerate(self.words())}
+        word = word.strip().lower()
+        if word not in self._id_cache:
+            raise KeyError(f"word {word!r} not in dictionary")
+        return self._id_cache[word]
+
+    # ------------------------------------------------------------------
+    # Layout accounting (experiment R5)
+    # ------------------------------------------------------------------
+    def total_triphones(self) -> int:
+        """Total triphone instances across all pronunciations."""
+        return sum(len(p) for p in self._prons.values())
+
+    def average_triphones_per_word(self) -> float:
+        if not self._prons:
+            return 0.0
+        return self.total_triphones() / len(self._prons)
+
+    def storage_bits(self) -> dict[str, int]:
+        """Exact layout footprint: pronunciation store + word map."""
+        dictionary = self.layout.dictionary_bits(self.total_triphones())
+        word_map = self.layout.word_map_bits(len(self._prons))
+        return {
+            "dictionary_bits": dictionary,
+            "word_map_bits": word_map,
+            "total_bits": dictionary + word_map,
+        }
+
+    # ------------------------------------------------------------------
+    # Text serialization (CMU dict format)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            for word in self.words():
+                fh.write(f"{word} {' '.join(self._prons[word])}\n")
+
+    @classmethod
+    def load(
+        cls,
+        path,
+        phone_set: PhoneSet | None = None,
+        layout: DictionaryLayout | None = None,
+    ) -> "PronunciationDictionary":
+        dictionary = cls(phone_set=phone_set, layout=layout)
+        with open(path, "r", encoding="utf-8") as fh:
+            for line_no, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split()
+                if len(parts) < 2:
+                    raise ValueError(f"{path}:{line_no}: malformed entry {line!r}")
+                dictionary.add(parts[0], tuple(parts[1:]))
+        return dictionary
+
+    @classmethod
+    def from_pronunciations(
+        cls,
+        pronunciations: dict[str, tuple[str, ...]],
+        phone_set: PhoneSet | None = None,
+        layout: DictionaryLayout | None = None,
+    ) -> "PronunciationDictionary":
+        dictionary = cls(phone_set=phone_set, layout=layout)
+        for word, phones in pronunciations.items():
+            dictionary.add(word, phones)
+        return dictionary
+
+    @staticmethod
+    def spell(phones: tuple[str, ...] | list[str]) -> str:
+        """Spelling of a phone string (see :mod:`repro.lexicon.g2p`)."""
+        return phones_to_spelling(phones)

@@ -1,0 +1,95 @@
+"""Grapheme <-> phoneme conversion for the synthetic vocabulary.
+
+The workload generator builds pseudo-English words directly as phone
+strings and *spells* them with a deterministic phone-to-grapheme map;
+this module provides that map plus the inverse longest-match parser,
+so out-of-dictionary words can still be pronounced (rule-based G2P,
+the fallback real systems use for OOV words).
+
+The grapheme chunks form a **prefix code**: every chunk is one or two
+letters, single-letter chunks use letters that never start a
+two-letter chunk, and all two-letter chunks are distinct.  Longest
+match parsing is therefore unambiguous and ``spelling_to_phones``
+exactly inverts ``phones_to_spelling`` for any phone sequence (silence
+phones excepted — they spell as nothing).  This invariant is
+property-tested in the suite.
+"""
+
+from __future__ import annotations
+
+from repro.lexicon.phones import PhoneSet, default_phone_set
+
+__all__ = ["phones_to_spelling", "spelling_to_phones", "GRAPHEME_MAP"]
+
+#: Phone -> grapheme chunk (prefix code; see module docstring).
+#: Single-letter chunks use {b d e f g h i j k l m n p q r s t u v w x z};
+#: two-letter chunks start only with {a, c, o, y}.
+GRAPHEME_MAP: dict[str, str] = {
+    # Single-letter consonants and lax vowels.
+    "B": "b", "D": "d", "G": "g", "K": "k", "P": "p", "T": "t",
+    "JH": "j", "F": "f", "HH": "h", "S": "s", "V": "v", "Z": "z",
+    "M": "m", "N": "n", "L": "l", "R": "r", "W": "w",
+    "AH": "u", "EH": "e", "IH": "i",
+    "EPI": "q", "PAU": "x",
+    # 'a'-initial doubles: open vowels and r-coloured vowels.
+    "AA": "aa", "AE": "ae", "AO": "ao", "AW": "aw", "AY": "ai",
+    "ER": "ar", "EY": "ay", "AX": "ah", "AXR": "ax",
+    # 'o'-initial doubles: back/round vowels.
+    "OW": "oa", "OY": "oy", "UH": "oo", "UW": "ou", "IX": "oi", "UX": "oe",
+    # 'c'-initial doubles: palatals and dentals.
+    "CH": "ch", "SH": "ce", "TH": "ct", "DH": "cd", "ZH": "cz",
+    # 'y'-initial doubles: glides, syllabics, flaps.
+    "Y": "ya", "IY": "ye", "NG": "yn", "DX": "yd", "NX": "yx",
+    "EL": "yl", "EM": "ym", "EN": "yc",
+    # Silence spells as nothing.
+    "SIL": "",
+}
+
+
+def phones_to_spelling(phones: tuple[str, ...] | list[str]) -> str:
+    """Spell a phone sequence; silence phones contribute nothing."""
+    parts = []
+    for name in phones:
+        if name not in GRAPHEME_MAP:
+            raise KeyError(f"phone {name!r} has no grapheme mapping")
+        parts.append(GRAPHEME_MAP[name])
+    spelling = "".join(parts)
+    if not spelling:
+        raise ValueError("phone sequence spells an empty word")
+    return spelling
+
+
+def spelling_to_phones(
+    word: str, phone_set: PhoneSet | None = None
+) -> tuple[str, ...]:
+    """Rule-based G2P: parse a spelling back into phones.
+
+    Longest-match left-to-right over the grapheme chunks; because the
+    chunks form a prefix code this parse is unique.  Raises
+    ``ValueError`` when a residue cannot be matched — the caller then
+    knows the word cannot be pronounced.
+    """
+    phone_set = phone_set or default_phone_set()
+    by_grapheme = {
+        grapheme: phone
+        for phone, grapheme in GRAPHEME_MAP.items()
+        if grapheme and phone in phone_set
+    }
+    max_len = max(len(g) for g in by_grapheme)
+    word = word.lower().strip()
+    if not word:
+        raise ValueError("cannot pronounce an empty word")
+    phones: list[str] = []
+    pos = 0
+    while pos < len(word):
+        for length in range(min(max_len, len(word) - pos), 0, -1):
+            chunk = word[pos : pos + length]
+            if chunk in by_grapheme:
+                phones.append(by_grapheme[chunk])
+                pos += length
+                break
+        else:
+            raise ValueError(
+                f"cannot pronounce {word!r}: no grapheme rule at position {pos}"
+            )
+    return tuple(phones)

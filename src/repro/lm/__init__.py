@@ -1,0 +1,16 @@
+"""Language model substrate (Figure 1 'Language Model')."""
+
+from repro.lm.arpa import ArpaModel, load_arpa, save_arpa
+from repro.lm.ngram import NGramModel
+from repro.lm.vocabulary import BOS, EOS, UNK, Vocabulary
+
+__all__ = [
+    "NGramModel",
+    "Vocabulary",
+    "BOS",
+    "EOS",
+    "UNK",
+    "ArpaModel",
+    "save_arpa",
+    "load_arpa",
+]

@@ -1,0 +1,189 @@
+"""ARPA-format serialization for the n-gram language model.
+
+The language model lives in flash next to the dictionary (Figure 1);
+this module provides the standard text interchange format so models
+can be stored, inspected and reloaded.  Files carry, per n-gram, the
+conditional probability (log10, as ARPA prescribes) and — for n-grams
+that act as histories of longer ones — the back-off weight
+``alpha(history)``, so a reloaded model reproduces the original's
+probabilities *exactly* (round-trip tested).
+
+The loaded representation is :class:`ArpaModel` — a frozen probability
+table with the same query interface the decoder uses
+(``log_prob_row`` / ``eos_log_prob`` / ``prob``), a drop-in
+replacement for a trained :class:`~repro.lm.ngram.NGramModel`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.lm.ngram import NGramModel
+from repro.lm.vocabulary import BOS, EOS, UNK, Vocabulary
+
+__all__ = ["save_arpa", "load_arpa", "ArpaModel"]
+
+_LN10 = math.log(10.0)
+
+
+def save_arpa(model: NGramModel, path) -> None:
+    """Write a trained model in ARPA text format.
+
+    Line format: ``log10(P)  w1 ... wn  [log10(alpha)]`` — the back-off
+    field is emitted for every n-gram that occurs as the history of a
+    higher-order table (standard ARPA).
+    """
+    vocab = model.vocabulary
+    counts = model.num_ngrams()
+    # The unigram section lists the *whole* ID space (zero-count words
+    # included, at their smoothed probabilities) so reloaded queries
+    # are exact without needing the empty-history back-off weight.
+    counts[1] = len(vocab)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\\data\\\n")
+        for order in range(1, model.order + 1):
+            fh.write(f"ngram {order}={counts.get(order, 0)}\n")
+        fh.write("\n")
+        for order in range(1, model.order + 1):
+            fh.write(f"\\{order}-grams:\n")
+            table = model._counts[order - 1]
+            higher = model._counts[order] if order < model.order else {}
+            if order == 1:
+                entries = [((), w) for w in range(len(vocab))]
+            else:
+                entries = [
+                    (history, word_id)
+                    for history in sorted(table)
+                    for word_id in sorted(table[history])
+                ]
+            for history, word_id in entries:
+                log10 = model.log_prob(word_id, history) / _LN10
+                tokens = [vocab.word(w) for w in history] + [vocab.word(word_id)]
+                line = f"{log10:.6f}\t{' '.join(tokens)}"
+                as_history = history + (word_id,)
+                if as_history in higher:
+                    alpha = model.backoff_weight(as_history) / _LN10
+                    line += f"\t{alpha:.6f}"
+                fh.write(line + "\n")
+            fh.write("\n")
+        fh.write("\\end\\\n")
+
+
+class ArpaModel:
+    """A frozen LM loaded from ARPA text (decoder-compatible queries)."""
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        order: int,
+        tables: list[dict[tuple[int, ...], dict[int, float]]],
+        backoffs: list[dict[tuple[int, ...], float]] | None = None,
+    ) -> None:
+        self.vocabulary = vocabulary
+        self.order = order
+        self._tables = tables  # natural-log conditional probabilities
+        self._backoffs = backoffs or [{} for _ in range(order)]
+        self._uniform = -math.log(len(vocabulary))
+        self._row_cache: dict[tuple[int, ...], np.ndarray] = {}
+
+    # -- query interface matching NGramModel --------------------------
+    def log_prob(self, word_id: int, history: tuple[int, ...] = ()) -> float:
+        history = tuple(history)[-(self.order - 1):] if self.order > 1 else ()
+        return self._log_prob_backoff(word_id, history)
+
+    def _log_prob_backoff(self, word_id: int, history: tuple[int, ...]) -> float:
+        n = len(history) + 1
+        bucket = self._tables[n - 1].get(history)
+        if bucket and word_id in bucket:
+            return bucket[word_id]
+        if n == 1:
+            return self._uniform  # word absent even from the unigrams
+        alpha = self._backoffs[len(history) - 1].get(history, 0.0)
+        return alpha + self._log_prob_backoff(word_id, history[1:])
+
+    def prob(self, word_id: int, history: tuple[int, ...] = ()) -> float:
+        return math.exp(self.log_prob(word_id, history))
+
+    def log_prob_row(self, history: tuple[int, ...] = ()) -> np.ndarray:
+        history = tuple(history)[-(self.order - 1):] if self.order > 1 else ()
+        if history in self._row_cache:
+            return self._row_cache[history]
+        v = self.vocabulary.size
+        row = np.empty(v)
+        for w in range(v):
+            row[w] = self.log_prob(w, history)
+        self._row_cache[history] = row
+        return row
+
+    def eos_log_prob(self, history: tuple[int, ...] = ()) -> float:
+        return self.log_prob(self.vocabulary.eos_id, history)
+
+
+def load_arpa(path, vocabulary: Vocabulary | None = None) -> ArpaModel:
+    """Read an ARPA file written by :func:`save_arpa`.
+
+    If ``vocabulary`` is omitted it is rebuilt from the unigram
+    section (pseudo-words excluded).
+    """
+    sections: dict[int, list[tuple[float, list[str], float | None]]] = {}
+    declared: dict[int, int] = {}
+    current: int | None = None
+    with open(path, "r", encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line:
+                continue
+            if line == "\\data\\" or line == "\\end\\":
+                current = None
+                continue
+            if line.startswith("ngram "):
+                order_s, count_s = line[len("ngram "):].split("=")
+                declared[int(order_s)] = int(count_s)
+                continue
+            if line.endswith("-grams:") and line.startswith("\\"):
+                current = int(line[1:].split("-")[0])
+                sections[current] = []
+                continue
+            if current is None:
+                raise ValueError(f"unexpected ARPA line outside any section: {line!r}")
+            parts = line.split()
+            if len(parts) == current + 1:
+                log10, tokens, alpha10 = float(parts[0]), parts[1:], None
+            elif len(parts) == current + 2:
+                log10, tokens = float(parts[0]), parts[1:-1]
+                alpha10 = float(parts[-1])
+            else:
+                raise ValueError(
+                    f"{current}-gram line has {len(parts) - 1} tokens: {line!r}"
+                )
+            sections[current].append((log10, tokens, alpha10))
+    if 1 not in sections:
+        raise ValueError("ARPA file has no unigram section")
+    for order, expected in declared.items():
+        got = len(sections.get(order, []))
+        if got != expected:
+            raise ValueError(
+                f"ARPA header declares {expected} {order}-grams, found {got}"
+            )
+    if vocabulary is None:
+        words = [
+            tokens[0]
+            for _, tokens, _ in sections[1]
+            if tokens[0] not in (BOS, EOS, UNK)
+        ]
+        vocabulary = Vocabulary(words)
+    order = max(sections)
+    tables: list[dict[tuple[int, ...], dict[int, float]]] = [{} for _ in range(order)]
+    backoffs: list[dict[tuple[int, ...], float]] = [{} for _ in range(order)]
+    for n, entries in sections.items():
+        for log10, tokens, alpha10 in entries:
+            ids = [vocabulary.word_id(t) for t in tokens]
+            history = tuple(ids[:-1])
+            tables[n - 1].setdefault(history, {})[ids[-1]] = log10 * _LN10
+            if alpha10 is not None:
+                backoffs[n - 1][tuple(ids)] = alpha10 * _LN10
+    return ArpaModel(
+        vocabulary=vocabulary, order=order, tables=tables, backoffs=backoffs
+    )

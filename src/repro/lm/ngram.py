@@ -1,0 +1,241 @@
+"""Back-off n-gram language model (Figure 1 'Language Model').
+
+A trigram-capable model with absolute-discount back-off:
+
+    P(w | h) = max(c(h w) - D, 0) / c(h)  +  alpha(h) * P(w | h')
+
+where ``h'`` drops the oldest history word and ``alpha(h)`` returns the
+discount mass.  Absolute discounting is chosen over Katz/Good-Turing
+because it is robust at the small corpus sizes of the synthetic tasks
+while exercising the identical decoder interface (row queries of
+``log P(w' | w)`` at word exits).
+
+The model also *generates* text (sampling with the same distribution),
+which the workload generator uses to write training and test sentences
+for the recognition experiments.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.lm.vocabulary import Vocabulary
+
+__all__ = ["NGramModel"]
+
+_DISCOUNT = 0.5
+
+
+class NGramModel:
+    """Absolute-discount back-off model of order 1..3."""
+
+    def __init__(self, vocabulary: Vocabulary, order: int = 2) -> None:
+        if not 1 <= order <= 3:
+            raise ValueError(f"order must be 1, 2 or 3, got {order}")
+        self.vocabulary = vocabulary
+        self.order = order
+        # counts[n][history_tuple][word_id], histories are length n-1.
+        self._counts: list[dict[tuple[int, ...], dict[int, int]]] = [
+            defaultdict(lambda: defaultdict(int)) for _ in range(order)
+        ]
+        self._trained = False
+        self._row_cache: dict[tuple[int, ...], np.ndarray] = {}
+        self._row_cache_limit = 512
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train(self, sentences: list[list[str]]) -> None:
+        """Count n-grams over tokenised sentences."""
+        if not sentences:
+            raise ValueError("need at least one training sentence")
+        for sentence in sentences:
+            ids = self.vocabulary.encode(sentence)
+            for n in range(1, self.order + 1):
+                for i in range(n - 1, len(ids)):
+                    history = tuple(ids[i - n + 1 : i])
+                    self._counts[n - 1][history][ids[i]] += 1
+        self._trained = True
+        self._row_cache.clear()
+
+    def _require_trained(self) -> None:
+        if not self._trained:
+            raise RuntimeError("model must be trained before use")
+
+    # ------------------------------------------------------------------
+    # Probability queries
+    # ------------------------------------------------------------------
+    def prob(self, word_id: int, history: tuple[int, ...] = ()) -> float:
+        """``P(word | history)`` with back-off; never zero.
+
+        ``history`` is truncated to the model order; out-of-model
+        histories back off transparently.
+        """
+        self._require_trained()
+        history = tuple(history)[-(self.order - 1) :] if self.order > 1 else ()
+        return self._prob_backoff(word_id, history)
+
+    def _prob_backoff(self, word_id: int, history: tuple[int, ...]) -> float:
+        n = len(history) + 1
+        table = self._counts[n - 1]
+        bucket = table.get(history)
+        if bucket:
+            total = sum(bucket.values())
+            count = bucket.get(word_id, 0)
+            types = len(bucket)
+            discounted = max(count - _DISCOUNT, 0.0) / total
+            alpha = _DISCOUNT * types / total
+        else:
+            discounted = 0.0
+            alpha = 1.0
+        if n == 1:
+            # Unigram backs off to uniform over the full ID space.
+            uniform = 1.0 / len(self.vocabulary)
+            return discounted + alpha * uniform
+        return discounted + alpha * self._prob_backoff(word_id, history[1:])
+
+    def log_prob(self, word_id: int, history: tuple[int, ...] = ()) -> float:
+        return float(np.log(self.prob(word_id, history)))
+
+    def backoff_weight(self, history: tuple[int, ...]) -> float:
+        """Natural-log back-off mass ``alpha(history)``.
+
+        The probability routed to the lower order for words unseen
+        after ``history``; 0 (alpha=1) when the history itself is
+        unseen.  Needed by the ARPA writer for exact round trips.
+        """
+        self._require_trained()
+        n = len(history) + 1
+        if n > self.order:
+            raise ValueError(
+                f"history of length {len(history)} exceeds order {self.order}"
+            )
+        bucket = self._counts[n - 1].get(tuple(history))
+        if not bucket:
+            return 0.0
+        total = sum(bucket.values())
+        return float(np.log(_DISCOUNT * len(bucket) / total))
+
+    def sentence_log_prob(self, sentence: list[str]) -> float:
+        """Log probability of a sentence including ``</s>``."""
+        self._require_trained()
+        ids = self.vocabulary.encode(sentence)
+        total = 0.0
+        for i in range(1, len(ids)):
+            history = tuple(ids[max(0, i - self.order + 1) : i])
+            total += self.log_prob(ids[i], history)
+        return total
+
+    def perplexity(self, sentences: list[list[str]]) -> float:
+        """Corpus perplexity (per predicted token, ``</s>`` included)."""
+        self._require_trained()
+        log_sum = 0.0
+        tokens = 0
+        for sentence in sentences:
+            log_sum += self.sentence_log_prob(sentence)
+            tokens += len(sentence) + 1
+        return float(np.exp(-log_sum / max(tokens, 1)))
+
+    # ------------------------------------------------------------------
+    # Decoder interface: dense rows of log P(. | history)
+    # ------------------------------------------------------------------
+    def _dense_prob(self, history: tuple[int, ...]) -> np.ndarray:
+        """``P(w | history)`` over the *full* ID space, vectorised.
+
+        Implements the back-off recursion once per row instead of once
+        per word: the discounted sparse counts are scattered into the
+        back-off row scaled by alpha.  Rows are cached per history.
+        """
+        if history in self._row_cache:
+            return self._row_cache[history]
+        n = len(history) + 1
+        full = len(self.vocabulary)
+        bucket = self._counts[n - 1].get(history)
+        if n == 1:
+            uniform = 1.0 / full
+            if bucket:
+                total = sum(bucket.values())
+                alpha = _DISCOUNT * len(bucket) / total
+                row = np.full(full, alpha * uniform)
+                ids = np.fromiter(bucket.keys(), dtype=np.int64)
+                counts = np.fromiter(bucket.values(), dtype=np.float64)
+                row[ids] += np.maximum(counts - _DISCOUNT, 0.0) / total
+            else:  # untrained unigram table cannot happen post-train
+                row = np.full(full, uniform)
+        else:
+            backoff = self._dense_prob(history[1:])
+            if bucket:
+                total = sum(bucket.values())
+                alpha = _DISCOUNT * len(bucket) / total
+                row = alpha * backoff
+                ids = np.fromiter(bucket.keys(), dtype=np.int64)
+                counts = np.fromiter(bucket.values(), dtype=np.float64)
+                row[ids] += np.maximum(counts - _DISCOUNT, 0.0) / total
+            else:
+                row = backoff.copy()
+        if len(self._row_cache) >= self._row_cache_limit:
+            self._row_cache.pop(next(iter(self._row_cache)))
+        self._row_cache[history] = row
+        return row
+
+    def log_prob_row(self, history: tuple[int, ...] = ()) -> np.ndarray:
+        """``log P(w | history)`` for every regular word, shape (V,).
+
+        Rows are cached (the decoder queries the same exiting words
+        every frame); the cache is bounded and cleared on retrain.
+        """
+        self._require_trained()
+        history = tuple(history)[-(self.order - 1) :] if self.order > 1 else ()
+        return np.log(self._dense_prob(history)[: self.vocabulary.size])
+
+    def eos_log_prob(self, history: tuple[int, ...] = ()) -> float:
+        """``log P(</s> | history)`` for utterance-final scoring."""
+        return self.log_prob(self.vocabulary.eos_id, history)
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def sample_sentence(
+        self,
+        rng: np.random.Generator,
+        max_words: int = 25,
+        min_words: int = 1,
+    ) -> list[str]:
+        """Sample a sentence from the model distribution."""
+        self._require_trained()
+        vocab = self.vocabulary
+        history: tuple[int, ...] = (vocab.bos_id,) if self.order > 1 else ()
+        words: list[str] = []
+        while len(words) < max_words:
+            trimmed = history[-(self.order - 1) :] if self.order > 1 else ()
+            full_row = self._dense_prob(trimmed)
+            probs = np.empty(vocab.size + 1)
+            probs[: vocab.size] = full_row[: vocab.size]
+            probs[vocab.size] = (
+                full_row[vocab.eos_id] if len(words) >= min_words else 0.0
+            )
+            probs /= probs.sum()
+            choice = int(rng.choice(vocab.size + 1, p=probs))
+            if choice == vocab.size:
+                break
+            words.append(vocab.word(choice))
+            if self.order > 1:
+                history = (history + (choice,))[-(self.order - 1) :]
+        return words
+
+    # ------------------------------------------------------------------
+    # Storage accounting (flash image)
+    # ------------------------------------------------------------------
+    def num_ngrams(self) -> dict[int, int]:
+        """Count of stored n-grams per order."""
+        self._require_trained()
+        return {
+            n + 1: sum(len(bucket) for bucket in table.values())
+            for n, table in enumerate(self._counts)
+        }
+
+    def storage_bytes(self, bytes_per_entry: int = 8) -> int:
+        """Flash estimate: each n-gram entry packs IDs + quantized prob."""
+        return sum(self.num_ngrams().values()) * bytes_per_entry

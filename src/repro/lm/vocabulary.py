@@ -1,0 +1,77 @@
+"""Closed vocabulary with sentence-boundary pseudo-words."""
+
+from __future__ import annotations
+
+__all__ = ["Vocabulary", "BOS", "EOS", "UNK"]
+
+BOS = "<s>"
+EOS = "</s>"
+UNK = "<unk>"
+
+
+class Vocabulary:
+    """Word <-> dense-ID map over a closed word list.
+
+    Regular words get IDs ``0 .. V-1`` in sorted order; the boundary
+    pseudo-words ``<s>``, ``</s>`` and ``<unk>`` live above them.
+    """
+
+    def __init__(self, words: list[str] | tuple[str, ...]) -> None:
+        cleaned = sorted({w.strip().lower() for w in words if w.strip()})
+        if not cleaned:
+            raise ValueError("vocabulary must contain at least one word")
+        for reserved in (BOS, EOS, UNK):
+            if reserved in cleaned:
+                raise ValueError(f"{reserved!r} is reserved")
+        self._words: tuple[str, ...] = tuple(cleaned)
+        self._ids = {w: i for i, w in enumerate(self._words)}
+        base = len(self._words)
+        self._ids[BOS] = base
+        self._ids[EOS] = base + 1
+        self._ids[UNK] = base + 2
+
+    @property
+    def size(self) -> int:
+        """Number of regular words (excludes pseudo-words)."""
+        return len(self._words)
+
+    @property
+    def bos_id(self) -> int:
+        return self._ids[BOS]
+
+    @property
+    def eos_id(self) -> int:
+        return self._ids[EOS]
+
+    @property
+    def unk_id(self) -> int:
+        return self._ids[UNK]
+
+    def __contains__(self, word: str) -> bool:
+        return word.strip().lower() in self._ids
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def word_id(self, word: str) -> int:
+        """ID of ``word``; unknown words map to ``<unk>``."""
+        return self._ids.get(word.strip().lower(), self._ids[UNK])
+
+    def word(self, word_id: int) -> str:
+        if 0 <= word_id < len(self._words):
+            return self._words[word_id]
+        for name in (BOS, EOS, UNK):
+            if self._ids[name] == word_id:
+                return name
+        raise IndexError(f"word id {word_id} out of range")
+
+    def words(self) -> tuple[str, ...]:
+        """Regular words in ID order."""
+        return self._words
+
+    def encode(self, sentence: list[str] | tuple[str, ...]) -> list[int]:
+        """IDs of a sentence, ``<s>`` ... ``</s>`` included."""
+        ids = [self.bos_id]
+        ids.extend(self.word_id(w) for w in sentence)
+        ids.append(self.eos_id)
+        return ids

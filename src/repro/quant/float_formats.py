@@ -1,0 +1,210 @@
+"""Parametric reduced-precision floating point formats.
+
+The paper stores every acoustic-model value as an IEEE-754 single
+(1 sign + 8 exponent + 23 mantissa bits) and studies truncating the
+mantissa to 15 and 12 bits to shrink storage and memory bandwidth
+(Section IV-B, the mantissa/memory/bandwidth table).
+
+This module models such formats bit-faithfully on top of numpy's
+float32:
+
+* :class:`FloatFormat` describes a (sign, exponent, mantissa) layout.
+* :meth:`FloatFormat.quantize` rounds a float array to the nearest
+  representable value of the format (round-to-nearest-even on the kept
+  mantissa bits), returning ordinary float32 so downstream arithmetic
+  stays simple while the *values* are exactly what the narrow format
+  can represent.
+* :meth:`FloatFormat.encode` / :meth:`FloatFormat.decode` convert to and
+  from the packed integer bit patterns actually stored in flash.
+
+The three formats the paper evaluates are exposed as module constants
+``IEEE_SINGLE`` (23-bit mantissa), ``MANTISSA_15`` and ``MANTISSA_12``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FloatFormat",
+    "IEEE_SINGLE",
+    "MANTISSA_15",
+    "MANTISSA_12",
+    "PAPER_FORMATS",
+]
+
+_F32_MANTISSA_BITS = 23
+_F32_EXPONENT_BITS = 8
+_F32_EXPONENT_BIAS = 127
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """A sign/exponent/mantissa floating point layout.
+
+    Parameters
+    ----------
+    mantissa_bits:
+        Number of stored fraction bits (the implicit leading 1 is not
+        counted).  Must be between 1 and 23 — the container type used
+        for arithmetic is float32.
+    exponent_bits:
+        Number of exponent bits.  The paper keeps the IEEE-754 8-bit
+        exponent in all configurations, so this defaults to 8 and only
+        8 is supported for encode/decode round trips.
+    name:
+        Human-readable label used in reports.
+    """
+
+    mantissa_bits: int
+    exponent_bits: int = _F32_EXPONENT_BITS
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.mantissa_bits <= _F32_MANTISSA_BITS:
+            raise ValueError(
+                f"mantissa_bits must be in [1, {_F32_MANTISSA_BITS}], "
+                f"got {self.mantissa_bits}"
+            )
+        if self.exponent_bits != _F32_EXPONENT_BITS:
+            raise ValueError(
+                "only the IEEE-754 8-bit exponent is supported, got "
+                f"{self.exponent_bits}"
+            )
+        if not self.name:
+            object.__setattr__(self, "name", f"m{self.mantissa_bits}")
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+    @property
+    def total_bits(self) -> int:
+        """Bits per stored value: sign + exponent + mantissa."""
+        return 1 + self.exponent_bits + self.mantissa_bits
+
+    def storage_bytes(self, count: int) -> float:
+        """Exact (possibly fractional) bytes to store ``count`` values.
+
+        The paper's table scales the 32-bit model size by
+        ``total_bits / 32`` — values are bit-packed with no per-value
+        padding, so fractional bytes are meaningful for large counts.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return count * self.total_bits / 8
+
+    # ------------------------------------------------------------------
+    # Quantization
+    # ------------------------------------------------------------------
+    def quantize(self, values: np.ndarray | float) -> np.ndarray:
+        """Round ``values`` to the nearest representable value.
+
+        Uses round-to-nearest-even on the dropped mantissa bits, which
+        is what a hardware rounder would implement.  The result is
+        float32 whose low ``23 - mantissa_bits`` mantissa bits are zero.
+        NaN and infinity pass through unchanged; values are *not*
+        flushed to a narrower exponent range because the format keeps
+        the full 8-bit exponent.
+        """
+        arr = np.asarray(values, dtype=np.float32)
+        drop = _F32_MANTISSA_BITS - self.mantissa_bits
+        if drop == 0:
+            return arr.copy()
+        bits = arr.view(np.uint32)
+        finite = np.isfinite(arr)
+        rounded = _round_mantissa_nearest_even(bits, drop)
+        out_bits = np.where(finite, rounded, bits)
+        return out_bits.view(np.float32).reshape(arr.shape)
+
+    def quantization_step(self, value: float) -> float:
+        """The spacing between representable values near ``value``."""
+        if value == 0.0 or not np.isfinite(value):
+            return 0.0
+        exponent = np.floor(np.log2(abs(float(value))))
+        return float(2.0 ** (exponent - self.mantissa_bits))
+
+    # ------------------------------------------------------------------
+    # Bit-pattern encode / decode
+    # ------------------------------------------------------------------
+    def encode(self, values: np.ndarray | float) -> np.ndarray:
+        """Return the packed integer bit patterns (as uint32).
+
+        Layout, MSB first: sign | exponent | mantissa.  The values are
+        quantized first, then the dropped mantissa bits are removed, so
+        ``decode(encode(x))`` equals ``quantize(x)`` exactly.
+        """
+        arr = self.quantize(values)
+        bits = arr.view(np.uint32)
+        drop = _F32_MANTISSA_BITS - self.mantissa_bits
+        sign = bits >> np.uint32(31)
+        exponent = (bits >> np.uint32(_F32_MANTISSA_BITS)) & np.uint32(0xFF)
+        mantissa = (bits & np.uint32((1 << _F32_MANTISSA_BITS) - 1)) >> np.uint32(drop)
+        packed = (
+            (sign << np.uint32(self.exponent_bits + self.mantissa_bits))
+            | (exponent << np.uint32(self.mantissa_bits))
+            | mantissa
+        )
+        return packed.astype(np.uint32)
+
+    def decode(self, patterns: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`encode`: bit patterns back to float32."""
+        packed = np.asarray(patterns, dtype=np.uint32)
+        drop = _F32_MANTISSA_BITS - self.mantissa_bits
+        mantissa_mask = np.uint32((1 << self.mantissa_bits) - 1)
+        sign = packed >> np.uint32(self.exponent_bits + self.mantissa_bits)
+        exponent = (packed >> np.uint32(self.mantissa_bits)) & np.uint32(0xFF)
+        mantissa = (packed & mantissa_mask) << np.uint32(drop)
+        bits = (
+            (sign << np.uint32(31))
+            | (exponent << np.uint32(_F32_MANTISSA_BITS))
+            | mantissa
+        )
+        return bits.astype(np.uint32).view(np.float32)
+
+    def relative_error_bound(self) -> float:
+        """Worst-case relative rounding error (half ULP) of the format."""
+        return float(2.0 ** (-self.mantissa_bits - 1))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FloatFormat({self.name}: 1s/{self.exponent_bits}e/"
+            f"{self.mantissa_bits}m, {self.total_bits} bits)"
+        )
+
+
+def _round_mantissa_nearest_even(bits: np.ndarray, drop: int) -> np.ndarray:
+    """Round float32 bit patterns to ``23 - drop`` mantissa bits.
+
+    Operates on the raw integer representation, implementing the IEEE
+    round-to-nearest, ties-to-even rule on the dropped bits.  Overflow
+    of the mantissa naturally carries into the exponent, which is the
+    correct behaviour (e.g. 1.999... rounds to 2.0).
+    """
+    bits = bits.astype(np.uint64)
+    half = np.uint64(1) << np.uint64(drop - 1)
+    low_mask = (np.uint64(1) << np.uint64(drop)) - np.uint64(1)
+    low = bits & low_mask
+    keep_lsb = (bits >> np.uint64(drop)) & np.uint64(1)
+    round_up = (low > half) | ((low == half) & (keep_lsb == np.uint64(1)))
+    truncated = bits & ~low_mask
+    rounded = truncated + np.where(round_up, np.uint64(1) << np.uint64(drop), np.uint64(0))
+    # Saturate rounding that carried into the infinity encoding.
+    exp_mask = np.uint64(0xFF) << np.uint64(_F32_MANTISSA_BITS)
+    became_inf = (rounded & exp_mask) == exp_mask
+    rounded = np.where(became_inf, truncated, rounded)
+    return rounded.astype(np.uint32)
+
+
+#: IEEE-754 single precision: the paper's 23-bit-mantissa baseline.
+IEEE_SINGLE = FloatFormat(mantissa_bits=23, name="ieee-single")
+
+#: 15-bit mantissa variant (24-bit values) from the Section IV-B table.
+MANTISSA_15 = FloatFormat(mantissa_bits=15, name="mantissa-15")
+
+#: 12-bit mantissa variant (21-bit values) from the Section IV-B table.
+MANTISSA_12 = FloatFormat(mantissa_bits=12, name="mantissa-12")
+
+#: The three formats evaluated in the paper, in table order.
+PAPER_FORMATS = (IEEE_SINGLE, MANTISSA_15, MANTISSA_12)

@@ -1,0 +1,66 @@
+"""Bit-packed storage of reduced-precision values.
+
+The paper's memory table assumes the acoustic model is stored with *no
+padding*: a 21-bit value (12-bit mantissa) occupies exactly 21 bits of
+flash.  This module packs arrays of fixed-width bit patterns into a
+contiguous byte stream and unpacks them again, so model files measured
+on disk land exactly on the paper's numbers.
+
+The layout is big-endian at the bit level: the first value occupies the
+most significant bits of the first byte, values follow back to back,
+and the final byte is zero-padded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pack_bits", "unpack_bits", "packed_size_bytes"]
+
+_MAX_WIDTH = 32
+
+
+def packed_size_bytes(count: int, width: int) -> int:
+    """Bytes needed to store ``count`` values of ``width`` bits each."""
+    _check_width(width)
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return (count * width + 7) // 8
+
+
+def pack_bits(patterns: np.ndarray, width: int) -> bytes:
+    """Pack uint32 bit patterns into a contiguous byte string.
+
+    Each value contributes exactly ``width`` bits; any bits of the
+    input above ``width`` must be zero (raises ``ValueError`` if not,
+    because silently dropping them would corrupt the model).
+    """
+    _check_width(width)
+    values = np.ascontiguousarray(patterns, dtype=np.uint32).ravel()
+    if values.size and int(values.max()) >> width:
+        raise ValueError(f"input contains patterns wider than {width} bits")
+    # Expand every value into its bits (MSB first), then pack.
+    shifts = np.arange(width - 1, -1, -1, dtype=np.uint32)
+    bits = ((values[:, None] >> shifts[None, :]) & np.uint32(1)).astype(np.uint8)
+    return np.packbits(bits.ravel()).tobytes()
+
+
+def unpack_bits(data: bytes, width: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: recover ``count`` uint32 patterns."""
+    _check_width(width)
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    needed = packed_size_bytes(count, width)
+    if len(data) < needed:
+        raise ValueError(
+            f"need {needed} bytes for {count} x {width}-bit values, got {len(data)}"
+        )
+    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8, count=needed))
+    bits = bits[: count * width].reshape(count, width).astype(np.uint32)
+    shifts = np.arange(width - 1, -1, -1, dtype=np.uint32)
+    return (bits << shifts[None, :]).sum(axis=1, dtype=np.uint32)
+
+
+def _check_width(width: int) -> None:
+    if not 1 <= width <= _MAX_WIDTH:
+        raise ValueError(f"width must be in [1, {_MAX_WIDTH}], got {width}")

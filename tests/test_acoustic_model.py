@@ -1,0 +1,125 @@
+"""Tests for repro.hmm.acoustic_model — container and flash image."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.hmm.acoustic_model import AcousticModel, memory_bandwidth_table
+from repro.hmm.senone import SenonePool
+from repro.hmm.topology import HmmTopology, PhoneHmm
+from repro.quant.float_formats import (
+    IEEE_SINGLE,
+    MANTISSA_12,
+    MANTISSA_15,
+    PAPER_FORMATS,
+)
+
+
+@pytest.fixture()
+def model(small_pool):
+    topo = HmmTopology(num_states=3)
+    hmms = {
+        "AA": PhoneHmm(name="AA", topology=topo, senone_ids=(0, 1, 2)),
+        "B": PhoneHmm(name="B", topology=topo, senone_ids=(3, 4, 5)),
+    }
+    return AcousticModel(pool=small_pool, hmms=hmms)
+
+
+class TestContainer:
+    def test_hmm_lookup(self, model):
+        assert model.hmm("AA").senone_ids == (0, 1, 2)
+        with pytest.raises(KeyError):
+            model.hmm("ZZ")
+
+    def test_senone_reference_validated(self, small_pool):
+        topo = HmmTopology(num_states=3)
+        bad = PhoneHmm(name="X", topology=topo, senone_ids=(0, 1, 999))
+        with pytest.raises(ValueError):
+            AcousticModel(pool=small_pool, hmms={"X": bad})
+
+    def test_add_hmm_validates(self, model):
+        topo = HmmTopology(num_states=3)
+        with pytest.raises(ValueError):
+            model.add_hmm(PhoneHmm(name="Y", topology=topo, senone_ids=(0, 1, 9999)))
+
+    def test_frame_period_validated(self, small_pool):
+        with pytest.raises(ValueError):
+            AcousticModel(pool=small_pool, frame_period_s=0.0)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("fmt", PAPER_FORMATS, ids=lambda f: f.name)
+    def test_roundtrip(self, model, fmt):
+        buf = io.BytesIO()
+        model.save(buf, fmt)
+        buf.seek(0)
+        loaded, loaded_fmt = AcousticModel.load(buf)
+        assert loaded_fmt.mantissa_bits == fmt.mantissa_bits
+        # Stored parameters equal the quantized originals.
+        expected = fmt.quantize(model.pool.means.astype(np.float32)).astype(np.float64)
+        assert np.allclose(loaded.pool.means, expected)
+        assert set(loaded.hmms) == set(model.hmms)
+        assert loaded.hmm("AA").senone_ids == (0, 1, 2)
+        assert loaded.frame_period_s == model.frame_period_s
+
+    def test_roundtrip_is_stable(self, model):
+        """Quantize -> save -> load -> save produces identical bytes."""
+        buf1 = io.BytesIO()
+        model.save(buf1, MANTISSA_12)
+        buf1.seek(0)
+        loaded, _ = AcousticModel.load(buf1)
+        buf2 = io.BytesIO()
+        loaded.save(buf2, MANTISSA_12)
+        # Weight renormalisation on load may perturb the weight block;
+        # means/variances (the bulk) must be bit-identical.
+        n = loaded.pool.num_senones * loaded.pool.num_components * loaded.pool.dim
+        header = 32
+        body1 = buf1.getvalue()[header:]
+        body2 = buf2.getvalue()[header:]
+        span = (2 * n * 21) // 8
+        assert body1[:span] == body2[:span]
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            AcousticModel.load(io.BytesIO(b"NOPE" + b"\x00" * 60))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            AcousticModel.load(io.BytesIO(b"RP"))
+
+    def test_file_roundtrip(self, model, tmp_path):
+        path = tmp_path / "model.bin"
+        written = model.save(path, MANTISSA_15)
+        assert path.stat().st_size == written
+        loaded, fmt = AcousticModel.load(path)
+        assert fmt.mantissa_bits == 15
+        assert loaded.num_hmms == model.num_hmms
+
+
+class TestSizeAccounting:
+    def test_parameter_image_scales_with_mantissa(self, model):
+        full = model.parameter_image_bytes(IEEE_SINGLE)
+        narrow = model.parameter_image_bytes(MANTISSA_12)
+        assert narrow == pytest.approx(full * 21 / 32, abs=3)
+
+    def test_memory_bandwidth_table_rows(self, model):
+        rows = memory_bandwidth_table(model, PAPER_FORMATS)
+        assert [r["mantissa_bits"] for r in rows] == [23, 15, 12]
+        assert rows[0]["memory_mb"] > rows[1]["memory_mb"] > rows[2]["memory_mb"]
+        # Bandwidth = memory / frame period.
+        for row in rows:
+            assert row["bandwidth_gbps"] == pytest.approx(
+                row["memory_mb"] / 1e3 / model.frame_period_s, rel=1e-9
+            )
+
+    def test_paper_scale_numbers(self):
+        """Full WSJ configuration reproduces the Section IV-B table."""
+        pool = SenonePool.random(60, 8, 39)  # 1% scale, same layout
+        model = AcousticModel(pool=pool)
+        rows = memory_bandwidth_table(model, PAPER_FORMATS)
+        scale = 6000 / 60
+        assert rows[0]["memory_mb"] * scale == pytest.approx(15.168)
+        assert rows[1]["memory_mb"] * scale == pytest.approx(11.376)
+        assert rows[2]["memory_mb"] * scale == pytest.approx(9.954)
+        assert rows[0]["bandwidth_gbps"] * scale == pytest.approx(1.5168)

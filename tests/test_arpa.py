@@ -1,0 +1,126 @@
+"""Tests for repro.lm.arpa — ARPA-format LM serialization."""
+
+import numpy as np
+import pytest
+
+from repro.lm.arpa import ArpaModel, load_arpa, save_arpa
+from repro.lm.ngram import NGramModel
+from repro.lm.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def trained():
+    vocab = Vocabulary(["the", "cat", "dog", "runs"])
+    lm = NGramModel(vocab, order=2)
+    lm.train(
+        [["the", "cat", "runs"], ["the", "dog", "runs"], ["the", "cat", "runs"]]
+    )
+    return vocab, lm
+
+
+class TestRoundtrip:
+    def test_probabilities_preserved(self, trained, tmp_path):
+        vocab, lm = trained
+        path = tmp_path / "model.arpa"
+        save_arpa(lm, path)
+        loaded = load_arpa(path, vocab)
+        for w in range(vocab.size):
+            for history in [(), (vocab.word_id("the"),), (vocab.bos_id,)]:
+                assert loaded.log_prob(w, history) == pytest.approx(
+                    lm.log_prob(w, history), abs=1e-4
+                )
+
+    def test_row_queries_match(self, trained, tmp_path):
+        vocab, lm = trained
+        path = tmp_path / "model.arpa"
+        save_arpa(lm, path)
+        loaded = load_arpa(path, vocab)
+        history = (vocab.word_id("the"),)
+        assert np.allclose(
+            loaded.log_prob_row(history), lm.log_prob_row(history), atol=1e-4
+        )
+
+    def test_eos_preserved(self, trained, tmp_path):
+        vocab, lm = trained
+        path = tmp_path / "model.arpa"
+        save_arpa(lm, path)
+        loaded = load_arpa(path, vocab)
+        history = (vocab.word_id("runs"),)
+        assert loaded.eos_log_prob(history) == pytest.approx(
+            lm.eos_log_prob(history), abs=1e-4
+        )
+
+    def test_vocabulary_rebuilt_from_file(self, trained, tmp_path):
+        vocab, lm = trained
+        path = tmp_path / "model.arpa"
+        save_arpa(lm, path)
+        loaded = load_arpa(path)  # no vocabulary given
+        assert set(loaded.vocabulary.words()) == set(vocab.words())
+
+    def test_file_structure(self, trained, tmp_path):
+        _, lm = trained
+        path = tmp_path / "model.arpa"
+        save_arpa(lm, path)
+        text = path.read_text()
+        assert text.startswith("\\data\\")
+        assert "\\1-grams:" in text and "\\2-grams:" in text
+        assert text.rstrip().endswith("\\end\\")
+
+    def test_header_counts_match_body(self, trained, tmp_path):
+        _, lm = trained
+        path = tmp_path / "model.arpa"
+        save_arpa(lm, path)
+        # load_arpa validates declared counts against the body.
+        load_arpa(path)
+
+
+class TestLoaderValidation:
+    def test_rejects_missing_unigrams(self, tmp_path):
+        path = tmp_path / "bad.arpa"
+        path.write_text("\\data\\\nngram 2=1\n\n\\2-grams:\n-0.5\ta b\n\\end\\\n")
+        with pytest.raises(ValueError):
+            load_arpa(path)
+
+    def test_rejects_wrong_token_count(self, tmp_path):
+        path = tmp_path / "bad.arpa"
+        path.write_text(
+            "\\data\\\nngram 1=1\n\n\\1-grams:\n-0.5\ta b\n\\end\\\n"
+        )
+        with pytest.raises(ValueError):
+            load_arpa(path)
+
+    def test_rejects_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.arpa"
+        path.write_text("\\data\\\nngram 1=2\n\n\\1-grams:\n-0.5\ta\n\\end\\\n")
+        with pytest.raises(ValueError):
+            load_arpa(path)
+
+    def test_rejects_stray_line(self, tmp_path):
+        path = tmp_path / "bad.arpa"
+        path.write_text("\\data\\\nngram 1=1\n\nstray\n\\1-grams:\n-0.5\ta\n\\end\\\n")
+        with pytest.raises(ValueError):
+            load_arpa(path)
+
+
+class TestArpaModelBackoff:
+    def test_unseen_word_gets_uniform_floor(self, trained, tmp_path):
+        vocab, lm = trained
+        path = tmp_path / "model.arpa"
+        save_arpa(lm, path)
+        loaded = load_arpa(path, vocab)
+        # A word with no unigram entry in a tiny hand-made table:
+        empty = ArpaModel(vocab, order=1, tables=[{}])
+        assert empty.prob(0) == pytest.approx(1.0 / len(vocab))
+
+    def test_decoder_accepts_arpa_model(self, task, tmp_path):
+        """An ARPA-loaded LM is a drop-in for the recognizer."""
+        from repro.decoder import Recognizer
+
+        path = tmp_path / "task.arpa"
+        save_arpa(task.lm, path)
+        loaded = load_arpa(path, task.corpus.vocabulary)
+        rec = Recognizer.create(
+            task.dictionary, task.pool, loaded, task.tying, mode="reference"
+        )
+        utt = task.corpus.test[0]
+        assert rec.decode(utt.features).words == tuple(utt.words)

@@ -1,0 +1,149 @@
+"""Tests for repro.baselines — the Section V comparison systems."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mathew import MathewAccelerator, MathewConfig
+from repro.baselines.nedevschi import (
+    NedevschiDevice,
+    merge_phone_groups,
+    merged_pool,
+)
+from repro.baselines.software_cpu import SoftwareBaseline, SoftwareCpuCosts
+from repro.core.soc import SpeechSoC
+from repro.decoder.recognizer import Recognizer
+from repro.decoder.word_decode import DecoderConfig
+from repro.eval.wer import corpus_wer
+
+
+class TestSoftwareBaseline:
+    def test_requires_reference_mode(self, task):
+        hw = Recognizer.create(task.dictionary, task.pool, task.lm, task.tying,
+                               mode="hardware")
+        with pytest.raises(ValueError):
+            SoftwareBaseline(hw)
+
+    def test_words_unchanged(self, task):
+        rec = Recognizer.create(task.dictionary, task.pool, task.lm, task.tying,
+                                mode="reference")
+        baseline = SoftwareBaseline(rec)
+        utt = task.corpus.test[0]
+        assert baseline.decode(utt.features).words == tuple(utt.words)
+
+    def test_cpu_costs_exceed_dedicated_units(self, task):
+        """The architecture claim: software on the embedded core is far
+        more expensive per frame than the dedicated units."""
+        rec = Recognizer.create(task.dictionary, task.pool, task.lm, task.tying,
+                                mode="reference")
+        baseline = SoftwareBaseline(rec)
+        report = baseline.decode(task.corpus.test[0].features)
+        soc = SpeechSoC(task.dictionary, task.pool, task.lm, task.tying)
+        soc_report = soc.decode_features(task.corpus.test[0].features)
+        # Compare time per frame: CPU vs dedicated unit.
+        cpu_s = report.realtime.mean_cycles_per_frame / SoftwareCpuCosts().clock_hz
+        unit_s = (
+            soc_report.op_unit_reports[0].mean_cycles_per_frame
+            / soc.recognizer.op_units[0].spec.clock_hz
+        )
+        assert cpu_s > 2 * unit_s
+
+    def test_energy_positive(self, task):
+        rec = Recognizer.create(task.dictionary, task.pool, task.lm, task.tying,
+                                mode="reference")
+        report = SoftwareBaseline(rec).decode(task.corpus.test[0].features)
+        assert report.energy_j > 0
+
+
+class TestMathew:
+    def _accelerator(self, task):
+        rec = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying,
+            mode="hardware", config=DecoderConfig(use_feedback=False),
+        )
+        return MathewAccelerator(rec)
+
+    def test_requires_no_feedback(self, task):
+        rec = Recognizer.create(task.dictionary, task.pool, task.lm, task.tying,
+                                mode="hardware")
+        with pytest.raises(ValueError):
+            MathewAccelerator(rec)
+
+    def test_higher_power_than_ours(self, task):
+        """Section V: 'our design has much less power consumption'."""
+        accelerator = self._accelerator(task)
+        utt = task.corpus.test[0]
+        mathew = accelerator.decode(utt.features)
+        ours = SpeechSoC(task.dictionary, task.pool, task.lm, task.tying)
+        our_report = ours.decode_features(utt.features)
+        assert (
+            mathew.power.average_power_w
+            > 3 * our_report.power.average_power_w
+        )
+
+    def test_higher_bandwidth_than_feedback_decode(self, task):
+        accelerator = self._accelerator(task)
+        utt = task.corpus.test[0]
+        mathew = accelerator.decode(utt.features)
+        ours = SpeechSoC(task.dictionary, task.pool, task.lm, task.tying)
+        our_report = ours.decode_features(utt.features)
+        assert mathew.bandwidth_gbps > our_report.mean_bandwidth_gbps
+
+    def test_cpu_stalls_reported(self, task):
+        report = self._accelerator(task).decode(task.corpus.test[0].features)
+        assert report.cpu_stall_fraction > 0
+
+    def test_words_still_correct(self, task):
+        utt = task.corpus.test[0]
+        report = self._accelerator(task).decode(utt.features)
+        assert report.words == tuple(utt.words)
+
+
+class TestNedevschi:
+    def test_vocabulary_cap_enforced(self, task):
+        from repro.workloads.wordgen import generate_words
+        from repro.lexicon.dictionary import PronunciationDictionary
+
+        big_words = generate_words(250, seed=77)
+        big = PronunciationDictionary.from_pronunciations(big_words)
+        with pytest.raises(ValueError):
+            NedevschiDevice(big, task.pool, task.lm, task.tying,
+                            task.corpus.phone_set)
+
+    def test_phone_merge_under_30_groups(self, task):
+        mapping = merge_phone_groups(task.corpus.phone_set, num_groups=28)
+        groups = set(mapping.values())
+        assert len(groups) < 30
+        assert set(mapping) == set(task.corpus.phone_set.names())
+
+    def test_merge_bounds_validated(self, task):
+        with pytest.raises(ValueError):
+            merge_phone_groups(task.corpus.phone_set, num_groups=1)
+        with pytest.raises(ValueError):
+            merge_phone_groups(task.corpus.phone_set, num_groups=51)
+
+    def test_merged_pool_shares_parameters(self, task):
+        pool = merged_pool(task.pool, task.tying, task.corpus.phone_set, 28)
+        mapping = merge_phone_groups(task.corpus.phone_set, 28)
+        merged = [(p, r) for p, r in mapping.items() if p != r]
+        assert merged, "expected at least one merged phone"
+        phone, rep = merged[0]
+        src = task.tying.ci_senone(rep, 0)
+        dst = task.tying.ci_senone(phone, 0)
+        assert np.array_equal(pool.means[dst], pool.means[src])
+
+    def test_reduced_phones_hurt_wer(self, task):
+        """Section V: merged phones imply 'high error rate'."""
+        device = NedevschiDevice(
+            task.dictionary, task.pool, task.lm, task.tying,
+            task.corpus.phone_set, num_phone_groups=12,
+        )
+        full = Recognizer.create(task.dictionary, task.pool, task.lm, task.tying,
+                                 mode="reference")
+        refs, dev_hyps, full_hyps = [], [], []
+        for utt in task.corpus.test:
+            refs.append(utt.words)
+            dev_hyps.append(device.decode(utt.features).words)
+            full_hyps.append(full.decode(utt.features).words)
+        dev_wer = corpus_wer(refs, dev_hyps).wer
+        full_wer = corpus_wer(refs, full_hyps).wer
+        assert dev_wer > full_wer

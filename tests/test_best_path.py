@@ -1,0 +1,110 @@
+"""Tests for repro.decoder.best_path."""
+
+import pytest
+
+from repro.decoder.best_path import find_best_path, n_best_paths
+from repro.decoder.lattice import WordLattice
+from repro.decoder.network import FlatLexiconNetwork
+from repro.lexicon.dictionary import PronunciationDictionary
+from repro.lexicon.triphone import SenoneTying
+from repro.lm.ngram import NGramModel
+from repro.lm.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def world():
+    d = PronunciationDictionary()
+    d.add("kaet", ("K", "AE", "T"))
+    d.add("dig", ("D", "IH", "G"))
+    tying = SenoneTying(num_senones=51 * 3)
+    network = FlatLexiconNetwork.build(d, tying)
+    vocab = Vocabulary(list(d.words()))
+    lm = NGramModel(vocab, order=2)
+    lm.train([["kaet", "dig"], ["dig"], ["kaet"]])
+    return network, lm
+
+
+class TestFindBestPath:
+    def test_empty_lattice(self, world):
+        network, lm = world
+        assert find_best_path(WordLattice(), lm, network, 10) is None
+
+    def test_single_exit(self, world):
+        network, lm = world
+        lat = WordLattice()
+        kaet = network.words.index("kaet")
+        lat.add(word=kaet, entry_frame=0, exit_frame=9, predecessor=-1,
+                score=-40.0, lm_history=kaet)
+        best = find_best_path(lat, lm, network, 9)
+        assert best is not None
+        assert best.words == ("kaet",)
+        assert best.score < -40.0  # eos term is negative
+
+    def test_prefers_higher_scoring_final_exit(self, world):
+        network, lm = world
+        lat = WordLattice()
+        kaet = network.words.index("kaet")
+        dig = network.words.index("dig")
+        lat.add(word=kaet, entry_frame=0, exit_frame=9, predecessor=-1,
+                score=-40.0, lm_history=kaet)
+        lat.add(word=dig, entry_frame=0, exit_frame=9, predecessor=-1,
+                score=-90.0, lm_history=dig)
+        best = find_best_path(lat, lm, network, 9)
+        assert best.words == ("kaet",)
+
+    def test_falls_back_to_earlier_frame(self, world):
+        network, lm = world
+        lat = WordLattice()
+        kaet = network.words.index("kaet")
+        lat.add(word=kaet, entry_frame=0, exit_frame=5, predecessor=-1,
+                score=-40.0, lm_history=kaet)
+        best = find_best_path(lat, lm, network, final_frame=30)
+        assert best is not None and best.words == ("kaet",)
+
+    def test_silence_filtered_from_words(self, world):
+        network, lm = world
+        lat = WordLattice()
+        kaet = network.words.index("kaet")
+        first = lat.add(word=kaet, entry_frame=0, exit_frame=5, predecessor=-1,
+                        score=-40.0, lm_history=kaet)
+        lat.add(word=network.silence_word, entry_frame=6, exit_frame=9,
+                predecessor=first, score=-50.0, lm_history=kaet)
+        best = find_best_path(lat, lm, network, 9)
+        assert best.words == ("kaet",)
+        assert len(best.exits) == 2
+
+    def test_multi_word_backtrace(self, world):
+        network, lm = world
+        lat = WordLattice()
+        kaet = network.words.index("kaet")
+        dig = network.words.index("dig")
+        first = lat.add(word=kaet, entry_frame=0, exit_frame=5, predecessor=-1,
+                        score=-40.0, lm_history=kaet)
+        lat.add(word=dig, entry_frame=6, exit_frame=12, predecessor=first,
+                score=-80.0, lm_history=dig)
+        best = find_best_path(lat, lm, network, 12)
+        assert best.words == ("kaet", "dig")
+
+
+class TestNBest:
+    def test_ordering_and_count(self, world):
+        network, lm = world
+        lat = WordLattice()
+        kaet = network.words.index("kaet")
+        dig = network.words.index("dig")
+        lat.add(word=kaet, entry_frame=0, exit_frame=9, predecessor=-1,
+                score=-40.0, lm_history=kaet)
+        lat.add(word=dig, entry_frame=0, exit_frame=9, predecessor=-1,
+                score=-45.0, lm_history=dig)
+        paths = n_best_paths(lat, lm, network, 9, n=5)
+        assert len(paths) == 2
+        assert paths[0].score >= paths[1].score
+
+    def test_n_validation(self, world):
+        network, lm = world
+        with pytest.raises(ValueError):
+            n_best_paths(WordLattice(), lm, network, 0, n=0)
+
+    def test_empty(self, world):
+        network, lm = world
+        assert n_best_paths(WordLattice(), lm, network, 5) == []

@@ -1,0 +1,88 @@
+"""Tests for repro.decoder.confidence."""
+
+import numpy as np
+import pytest
+
+from repro.decoder.confidence import WordConfidence, score_confidence
+from repro.decoder.lattice import WordLattice
+from repro.decoder.recognizer import Recognizer
+
+
+@pytest.fixture(scope="module")
+def decoded(task):
+    rec = Recognizer.create(
+        task.dictionary, task.pool, task.lm, task.tying, mode="reference"
+    )
+    utt = task.corpus.test[0]
+    result = rec.decode(utt.features)
+    return rec, result, utt
+
+
+class TestScoreConfidence:
+    def test_one_score_per_word(self, task, decoded):
+        rec, result, utt = decoded
+        scores = score_confidence(
+            rec.word_stage.lattice, task.lm, rec.network, result.frames - 1
+        )
+        assert [s.word for s in scores] == list(result.words)
+
+    def test_scores_in_unit_interval(self, task, decoded):
+        rec, result, _ = decoded
+        for s in score_confidence(
+            rec.word_stage.lattice, task.lm, rec.network, result.frames - 1
+        ):
+            assert 0.0 <= s.confidence <= 1.0
+
+    def test_correct_words_confident(self, task, decoded):
+        """A clean correct decode should be confident throughout."""
+        rec, result, utt = decoded
+        scores = score_confidence(
+            rec.word_stage.lattice, task.lm, rec.network, result.frames - 1
+        )
+        assert tuple(utt.words) == result.words
+        assert min(s.confidence for s in scores) > 0.5
+
+    def test_time_spans_are_ordered(self, task, decoded):
+        rec, result, _ = decoded
+        scores = score_confidence(
+            rec.word_stage.lattice, task.lm, rec.network, result.frames - 1
+        )
+        for a, b in zip(scores, scores[1:]):
+            assert a.exit_frame < b.exit_frame
+
+    def test_empty_lattice(self, task, decoded):
+        rec, _, _ = decoded
+        assert score_confidence(WordLattice(), task.lm, rec.network, 10) == []
+
+    def test_temperature_validation(self, task, decoded):
+        rec, result, _ = decoded
+        with pytest.raises(ValueError):
+            score_confidence(
+                rec.word_stage.lattice, task.lm, rec.network,
+                result.frames - 1, temperature=0.0,
+            )
+
+    def test_confidence_dataclass_validates(self):
+        with pytest.raises(ValueError):
+            WordConfidence(word="x", entry_frame=0, exit_frame=1, confidence=1.5)
+
+    def test_noisy_decode_less_confident(self, task):
+        """Degrading the features lowers the minimum word confidence."""
+        rec = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying, mode="reference"
+        )
+        rng = np.random.default_rng(3)
+        utt = task.corpus.test[1]
+        clean = rec.decode(utt.features)
+        clean_scores = score_confidence(
+            rec.word_stage.lattice, task.lm, rec.network, clean.frames - 1
+        )
+        noisy_feats = utt.features + rng.normal(0, 6.0, size=utt.features.shape)
+        noisy = rec.decode(noisy_feats)
+        noisy_scores = score_confidence(
+            rec.word_stage.lattice, task.lm, rec.network, noisy.frames - 1
+        )
+        if noisy_scores:  # the noisy decode may produce any words
+            assert min(s.confidence for s in noisy_scores) <= min(
+                s.confidence for s in clean_scores
+            ) + 1e-9

@@ -1,0 +1,78 @@
+"""Tests for repro.core.controller — mode sequencing and gating."""
+
+import pytest
+
+from repro.core.controller import ModeController, UnitMode
+
+
+class TestSequencing:
+    def test_boot_sequence(self):
+        ctl = ModeController()
+        ctl.enter(UnitMode.LOAD_TABLE, cycles=256)
+        ctl.enter(UnitMode.LOAD_FEATURE, cycles=39)
+        ctl.enter(UnitMode.GAUSSIAN, cycles=312)
+        ctl.enter(UnitMode.LOGADD, cycles=14)
+        ctl.enter(UnitMode.VITERBI, cycles=100)
+        assert ctl.mode is UnitMode.VITERBI
+
+    def test_gaussian_requires_feature(self):
+        ctl = ModeController(table_loaded=True)
+        with pytest.raises(RuntimeError):
+            # IDLE -> GAUSSIAN is not even a legal edge.
+            ctl.enter(UnitMode.GAUSSIAN)
+
+    def test_scoring_requires_table(self):
+        ctl = ModeController()
+        ctl.enter(UnitMode.LOAD_FEATURE)
+        with pytest.raises(RuntimeError):
+            ctl.enter(UnitMode.GAUSSIAN)
+
+    def test_idle_clears_feature(self):
+        ctl = ModeController(table_loaded=True)
+        ctl.enter(UnitMode.LOAD_FEATURE)
+        ctl.enter(UnitMode.IDLE)
+        ctl.enter(UnitMode.LOAD_FEATURE)
+        ctl.enter(UnitMode.GAUSSIAN)  # legal again
+
+    def test_illegal_transition(self):
+        ctl = ModeController()
+        with pytest.raises(RuntimeError):
+            ctl.enter(UnitMode.VITERBI)
+
+    def test_rejects_negative_cycles(self):
+        ctl = ModeController()
+        with pytest.raises(ValueError):
+            ctl.enter(UnitMode.LOAD_TABLE, cycles=-1)
+
+
+class TestGating:
+    def test_idle_gates_everything(self):
+        ctl = ModeController()
+        assert not ctl.active_blocks()
+        assert "datapath" in ctl.gated_blocks()
+
+    def test_gaussian_mode_blocks(self):
+        ctl = ModeController(table_loaded=True)
+        ctl.enter(UnitMode.LOAD_FEATURE)
+        ctl.enter(UnitMode.GAUSSIAN)
+        active = ctl.active_blocks()
+        assert "datapath" in active and "buffers" in active
+        assert "viterbi" in ctl.gated_blocks()
+
+    def test_active_and_gated_partition(self):
+        ctl = ModeController(table_loaded=True)
+        ctl.enter(UnitMode.LOAD_FEATURE)
+        for mode in (UnitMode.GAUSSIAN, UnitMode.LOGADD, UnitMode.VITERBI):
+            ctl.enter(mode)
+            assert not (ctl.active_blocks() & ctl.gated_blocks())
+
+    def test_duty_cycle(self):
+        ctl = ModeController(table_loaded=True)
+        ctl.enter(UnitMode.LOAD_FEATURE, cycles=40)
+        ctl.enter(UnitMode.GAUSSIAN, cycles=360)
+        duty = ctl.duty_cycle()
+        assert duty["gaussian"] == pytest.approx(0.9)
+        assert duty["load-feature"] == pytest.approx(0.1)
+
+    def test_duty_cycle_empty(self):
+        assert all(v == 0.0 for v in ModeController().duty_cycle().values())

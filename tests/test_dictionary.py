@@ -1,0 +1,122 @@
+"""Tests for repro.lexicon.dictionary — including the paper's 11 Mb sizing."""
+
+import pytest
+
+from repro.lexicon.dictionary import DictionaryLayout, PronunciationDictionary
+
+
+class TestLayout:
+    def test_default_slot_is_50_bits(self):
+        """3 senone IDs x 13 bits + 11 link bits = 50 bits/triphone."""
+        assert DictionaryLayout().triphone_slot_bits == 50
+
+    def test_paper_wsj_arithmetic(self):
+        """20k words x 9 triphones -> 9 Mb; word map -> 2 Mb (Section IV-B)."""
+        layout = DictionaryLayout()
+        assert layout.dictionary_bits(20_000 * 9) == 9_000_000
+        assert layout.word_map_bits(20_000) == 2_000_000
+        assert layout.total_bits(20_000, 180_000) == 11_000_000
+
+    def test_rejects_bad_widths(self):
+        with pytest.raises(ValueError):
+            DictionaryLayout(senone_id_bits=0)
+
+    def test_rejects_negative_counts(self):
+        layout = DictionaryLayout()
+        with pytest.raises(ValueError):
+            layout.dictionary_bits(-1)
+        with pytest.raises(ValueError):
+            layout.word_map_bits(-1)
+
+    def test_senone_id_width_covers_budget(self):
+        """13 bits address 8192 senones — enough for the paper's 6000."""
+        assert 2 ** DictionaryLayout().senone_id_bits >= 6000
+
+
+class TestDictionary:
+    def test_add_and_lookup(self):
+        d = PronunciationDictionary()
+        d.add("kaet", ("K", "AE", "T"))
+        assert "kaet" in d
+        assert d.pronunciation("kaet") == ("K", "AE", "T")
+
+    def test_case_and_whitespace_normalised(self):
+        d = PronunciationDictionary()
+        d.add(" KaEt ", ("K", "AE", "T"))
+        assert d.pronunciation("kaet") == ("K", "AE", "T")
+
+    def test_unknown_word(self):
+        with pytest.raises(KeyError):
+            PronunciationDictionary().pronunciation("nope")
+
+    def test_unknown_phone_rejected(self):
+        with pytest.raises(KeyError):
+            PronunciationDictionary().add("x", ("QQ",))
+
+    def test_empty_word_or_pron_rejected(self):
+        d = PronunciationDictionary()
+        with pytest.raises(ValueError):
+            d.add("", ("K",))
+        with pytest.raises(ValueError):
+            d.add("x", ())
+
+    def test_add_from_spelling(self):
+        d = PronunciationDictionary()
+        d.add_from_spelling("kaet")
+        assert d.pronunciation("kaet") == ("K", "AE", "T")
+
+    def test_word_ids_sorted_and_stable(self):
+        d = PronunciationDictionary()
+        d.add("b", ("B", "AA"))
+        d.add("a", ("AA",))
+        assert d.words() == ("a", "b")
+        assert d.word_id("a") == 0 and d.word_id("b") == 1
+        d.add("aa", ("AA", "AA"))
+        assert d.word_id("aa") == 1  # cache invalidated on add
+
+    def test_word_id_unknown(self):
+        with pytest.raises(KeyError):
+            PronunciationDictionary().word_id("zzz")
+
+    def test_triphone_counting(self):
+        d = PronunciationDictionary()
+        d.add("a", ("AA",))
+        d.add("bc", ("B", "IY"))
+        assert d.total_triphones() == 3
+        assert d.average_triphones_per_word() == 1.5
+
+    def test_storage_bits(self):
+        d = PronunciationDictionary()
+        d.add("a", ("AA",))
+        d.add("bc", ("B", "IY"))
+        bits = d.storage_bits()
+        layout = d.layout
+        assert bits["dictionary_bits"] == 3 * layout.triphone_slot_bits
+        assert bits["word_map_bits"] == 2 * layout.ascii_record_bits
+        assert bits["total_bits"] == bits["dictionary_bits"] + bits["word_map_bits"]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        d = PronunciationDictionary()
+        d.add("kaet", ("K", "AE", "T"))
+        d.add("dig", ("D", "IH", "G"))
+        path = tmp_path / "dict.txt"
+        d.save(path)
+        loaded = PronunciationDictionary.load(path)
+        assert loaded.words() == d.words()
+        assert loaded.pronunciation("dig") == ("D", "IH", "G")
+
+    def test_load_skips_comments(self, tmp_path):
+        path = tmp_path / "dict.txt"
+        path.write_text("# comment\n\nkaet K AE T\n")
+        loaded = PronunciationDictionary.load(path)
+        assert len(loaded) == 1
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "dict.txt"
+        path.write_text("loneword\n")
+        with pytest.raises(ValueError):
+            PronunciationDictionary.load(path)
+
+    def test_from_pronunciations(self):
+        d = PronunciationDictionary.from_pronunciations({"kaet": ("K", "AE", "T")})
+        assert len(d) == 1

@@ -1,0 +1,73 @@
+"""Tests for repro.eval.realtime and repro.eval.report."""
+
+import pytest
+
+from repro.eval.realtime import analyze_unit_cycles, frame_cycle_budget
+from repro.eval.report import check_within, format_comparison, format_table
+
+
+class TestRealtime:
+    def test_paper_budget(self):
+        """50 MHz x 10 ms = 500,000 cycles per frame."""
+        assert frame_cycle_budget(50e6, 0.010) == 500_000
+
+    def test_report_math(self):
+        report = analyze_unit_cycles([100_000, 300_000], 50e6, 0.010)
+        assert report.mean_cycles_per_frame == 200_000
+        assert report.peak_cycles_per_frame == 300_000
+        assert report.mean_utilization == pytest.approx(0.4)
+        assert report.peak_utilization == pytest.approx(0.6)
+        assert report.is_real_time
+
+    def test_not_real_time(self):
+        report = analyze_unit_cycles([600_000, 700_000], 50e6, 0.010)
+        assert not report.is_real_time
+        assert report.real_time_factor > 1.0
+
+    def test_format(self):
+        report = analyze_unit_cycles([250_000], 50e6, 0.010)
+        assert "REAL-TIME" in report.format()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analyze_unit_cycles([])
+        with pytest.raises(ValueError):
+            analyze_unit_cycles([-1])
+        with pytest.raises(ValueError):
+            frame_cycle_budget(0, 0.01)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 1.5], ["b", 22.123456]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "alpha" in lines[3]  # title, header, rule, first row
+        assert "22.12" in text  # 4 significant digits
+
+    def test_format_table_validates_width(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_format_comparison(self):
+        line = format_comparison("memory", 15.16, 15.168, unit="MB")
+        assert "paper" in line and "measured" in line and "+0.1" in line
+
+    def test_format_comparison_zero_paper(self):
+        line = format_comparison("x", 0.0, 0.0)
+        assert "0" in line
+
+    def test_check_within(self):
+        assert check_within(1.05, 1.0, 0.10)
+        assert not check_within(1.25, 1.0, 0.10)
+        assert check_within(0.0, 0.0, 0.01)
+        with pytest.raises(ValueError):
+            check_within(1.0, 1.0, -0.1)

@@ -1,0 +1,29 @@
+"""The fast examples must run end to end (they are documentation)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(_EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "script, expectations",
+    [
+        ("quickstart.py", ["WER", "active senones"]),
+        ("hardware_trace.py", ["logadd SRAM: 512 bytes", "add&compare", "senone[0]"]),
+        ("streaming_demo.py", ["endpoint", "final:", "correct"]),
+        ("model_persistence.py", ["round trip", "identical"]),
+    ],
+)
+def test_example_runs(script, expectations, capsys):
+    out = _run(script, capsys)
+    for needle in expectations:
+        assert needle in out, f"{script}: {needle!r} missing from output"

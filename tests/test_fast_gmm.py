@@ -1,0 +1,189 @@
+"""Tests for repro.decoder.fast_gmm — the four-layer scheme."""
+
+import numpy as np
+import pytest
+
+from repro.decoder.fast_gmm import FastGmmConfig, FastGmmScorer
+from repro.decoder.scorer import LOG_ZERO
+from repro.hmm.senone import SenonePool
+from repro.lexicon.triphone import SenoneTying
+
+
+@pytest.fixture()
+def pool_and_tying():
+    tying = SenoneTying(num_senones=6000)
+    pool = SenonePool.random(6000, num_components=4, dim=13,
+                             rng=np.random.default_rng(8))
+    return pool, tying
+
+
+def _exact(pool, obs, senones):
+    return pool.score_frame(obs, senones)[senones]
+
+
+class TestBaselineEquivalence:
+    def test_all_layers_off_is_exact(self, small_pool, rng):
+        scorer = FastGmmScorer(small_pool, config=FastGmmConfig())
+        obs = rng.normal(size=small_pool.dim)
+        senones = np.arange(small_pool.num_senones)
+        out = scorer.score(0, obs, senones)
+        assert np.allclose(out[senones], _exact(small_pool, obs, senones))
+
+
+class TestLayer1Cds:
+    def test_skips_similar_frames(self, small_pool, rng):
+        cfg = FastGmmConfig(cds_enabled=True, cds_distance=1e9)
+        scorer = FastGmmScorer(small_pool, config=cfg)
+        senones = np.arange(small_pool.num_senones)
+        obs = rng.normal(size=small_pool.dim)
+        scorer.score(0, obs, senones)
+        scorer.score(1, obs + 1e-6, senones)
+        assert scorer.fast_stats.frames_skipped == 1
+
+    def test_skip_reuses_previous_scores(self, small_pool, rng):
+        cfg = FastGmmConfig(cds_enabled=True, cds_distance=1e9)
+        scorer = FastGmmScorer(small_pool, config=cfg)
+        senones = np.arange(small_pool.num_senones)
+        obs = rng.normal(size=small_pool.dim)
+        first = scorer.score(0, obs, senones)
+        second = scorer.score(1, obs + 10.0, senones)  # forced reuse
+        assert np.allclose(first, second)
+
+    def test_max_run_limits_skipping(self, small_pool, rng):
+        cfg = FastGmmConfig(cds_enabled=True, cds_distance=1e9, cds_max_run=2)
+        scorer = FastGmmScorer(small_pool, config=cfg)
+        senones = np.arange(small_pool.num_senones)
+        for t in range(6):
+            scorer.score(t, rng.normal(size=small_pool.dim) * 1e-3, senones)
+        # Pattern: score, skip, skip, score, skip, skip.
+        assert scorer.fast_stats.frames_skipped == 4
+
+    def test_distant_frames_not_skipped(self, small_pool, rng):
+        cfg = FastGmmConfig(cds_enabled=True, cds_distance=1e-9)
+        scorer = FastGmmScorer(small_pool, config=cfg)
+        senones = np.arange(small_pool.num_senones)
+        scorer.score(0, rng.normal(size=small_pool.dim), senones)
+        scorer.score(1, rng.normal(size=small_pool.dim) + 5, senones)
+        assert scorer.fast_stats.frames_skipped == 0
+
+    def test_missing_senones_filled_on_skip(self, small_pool, rng):
+        cfg = FastGmmConfig(cds_enabled=True, cds_distance=1e9)
+        scorer = FastGmmScorer(small_pool, config=cfg)
+        obs = rng.normal(size=small_pool.dim)
+        scorer.score(0, obs, np.array([0, 1]))
+        out = scorer.score(1, obs, np.array([0, 5]))  # 5 never scored
+        assert out[5] > LOG_ZERO / 2
+
+
+class TestLayer2CiSelection:
+    def test_requires_tying(self, small_pool):
+        with pytest.raises(ValueError):
+            FastGmmScorer(small_pool, config=FastGmmConfig(ci_selection_enabled=True))
+
+    def test_cd_scores_exact_when_selected(self, pool_and_tying, rng):
+        pool, tying = pool_and_tying
+        cfg = FastGmmConfig(ci_selection_enabled=True, ci_margin=1e9)
+        scorer = FastGmmScorer(pool, tying=tying, config=cfg)
+        obs = rng.normal(size=pool.dim)
+        senones = np.arange(200, 230)
+        out = scorer.score(0, obs, senones)
+        assert np.allclose(out[senones], _exact(pool, obs, senones))
+
+    def test_tight_margin_approximates(self, pool_and_tying, rng):
+        pool, tying = pool_and_tying
+        cfg = FastGmmConfig(ci_selection_enabled=True, ci_margin=0.5)
+        scorer = FastGmmScorer(pool, tying=tying, config=cfg)
+        obs = rng.normal(size=pool.dim)
+        senones = np.arange(200, 400)
+        scorer.score(0, obs, senones)
+        stats = scorer.fast_stats
+        assert stats.senones_approximated > 0
+        assert stats.senones_full + stats.senones_approximated >= senones.size
+
+
+class TestLayer3GaussianSelection:
+    def test_reduces_gaussians(self, small_pool, rng):
+        cfg = FastGmmConfig(gaussian_selection_enabled=True, gs_shortlist=2)
+        scorer = FastGmmScorer(small_pool, config=cfg, codebook_data=None)
+        obs = rng.normal(size=small_pool.dim)
+        senones = np.arange(small_pool.num_senones)
+        scorer.score(0, obs, senones)
+        stats = scorer.fast_stats
+        assert stats.gaussian_fraction == pytest.approx(
+            2 / small_pool.num_components
+        )
+
+    def test_scores_lower_bound_exact(self, small_pool, rng):
+        """Dropping components can only lower a mixture score."""
+        cfg = FastGmmConfig(gaussian_selection_enabled=True, gs_shortlist=2)
+        scorer = FastGmmScorer(small_pool, config=cfg)
+        obs = rng.normal(size=small_pool.dim)
+        senones = np.arange(small_pool.num_senones)
+        out = scorer.score(0, obs, senones)
+        exact = _exact(small_pool, obs, senones)
+        assert np.all(out[senones] <= exact + 1e-9)
+        # And close: the shortlist keeps the dominant components.
+        assert np.median(exact - out[senones]) < 1.0
+
+
+class TestLayer4Pde:
+    def test_exact_for_surviving_components(self, small_pool, rng):
+        cfg = FastGmmConfig(pde_enabled=True, pde_margin=1e9)
+        scorer = FastGmmScorer(small_pool, config=cfg)
+        obs = rng.normal(size=small_pool.dim)
+        senones = np.arange(small_pool.num_senones)
+        out = scorer.score(0, obs, senones)
+        assert np.allclose(out[senones], _exact(small_pool, obs, senones))
+
+    def test_saves_dimensions(self, small_pool, rng):
+        cfg = FastGmmConfig(pde_enabled=True, pde_margin=2.0, pde_chunk=4)
+        scorer = FastGmmScorer(small_pool, config=cfg)
+        obs = rng.normal(size=small_pool.dim)
+        senones = np.arange(small_pool.num_senones)
+        scorer.score(0, obs, senones)
+        assert scorer.fast_stats.dim_fraction < 1.0
+
+    def test_best_component_survives(self, small_pool, rng):
+        """PDE must never kill a senone entirely."""
+        cfg = FastGmmConfig(pde_enabled=True, pde_margin=0.1, pde_chunk=2)
+        scorer = FastGmmScorer(small_pool, config=cfg)
+        obs = rng.normal(size=small_pool.dim)
+        senones = np.arange(small_pool.num_senones)
+        out = scorer.score(0, obs, senones)
+        assert np.all(out[senones] > LOG_ZERO / 2)
+
+
+class TestActivityExport:
+    def test_activity_reflects_savings(self, small_pool, rng):
+        full = FastGmmScorer(small_pool, config=FastGmmConfig())
+        lean = FastGmmScorer(
+            small_pool,
+            config=FastGmmConfig(gaussian_selection_enabled=True, gs_shortlist=1),
+        )
+        obs = rng.normal(size=small_pool.dim)
+        senones = np.arange(small_pool.num_senones)
+        full.score(0, obs, senones)
+        lean.score(0, obs, senones)
+        assert (
+            lean.equivalent_activity()["sdm_ops"]
+            < full.equivalent_activity()["sdm_ops"]
+        )
+
+    def test_reset(self, small_pool, rng):
+        scorer = FastGmmScorer(small_pool, config=FastGmmConfig(cds_enabled=True))
+        scorer.score(0, rng.normal(size=small_pool.dim), np.arange(5))
+        scorer.reset()
+        assert scorer.fast_stats.frames == 0
+        assert scorer.stats.frames == 0
+
+
+class TestConfigValidation:
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError):
+            FastGmmConfig(cds_distance=0)
+        with pytest.raises(ValueError):
+            FastGmmConfig(cds_max_run=0)
+        with pytest.raises(ValueError):
+            FastGmmConfig(gs_codebook_size=0)
+        with pytest.raises(ValueError):
+            FastGmmConfig(pde_chunk=0)

@@ -1,0 +1,195 @@
+"""Tests for repro.quant.float_formats."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.quant.float_formats import (
+    IEEE_SINGLE,
+    MANTISSA_12,
+    MANTISSA_15,
+    PAPER_FORMATS,
+    FloatFormat,
+)
+
+
+class TestConstruction:
+    def test_paper_formats_bits(self):
+        assert IEEE_SINGLE.total_bits == 32
+        assert MANTISSA_15.total_bits == 24
+        assert MANTISSA_12.total_bits == 21
+
+    def test_paper_formats_tuple_order(self):
+        assert [f.mantissa_bits for f in PAPER_FORMATS] == [23, 15, 12]
+
+    def test_rejects_zero_mantissa(self):
+        with pytest.raises(ValueError):
+            FloatFormat(mantissa_bits=0)
+
+    def test_rejects_wide_mantissa(self):
+        with pytest.raises(ValueError):
+            FloatFormat(mantissa_bits=24)
+
+    def test_rejects_nonstandard_exponent(self):
+        with pytest.raises(ValueError):
+            FloatFormat(mantissa_bits=12, exponent_bits=5)
+
+    def test_default_name(self):
+        assert FloatFormat(mantissa_bits=10).name == "m10"
+
+
+class TestQuantize:
+    def test_identity_for_ieee_single(self):
+        x = np.array([1.5, -2.25, 3.14159], dtype=np.float32)
+        assert np.array_equal(IEEE_SINGLE.quantize(x), x)
+
+    def test_low_mantissa_bits_cleared(self):
+        x = np.random.default_rng(0).normal(size=500).astype(np.float32)
+        q = MANTISSA_12.quantize(x)
+        bits = q.view(np.uint32)
+        assert not np.any(bits & np.uint32((1 << 11) - 1))
+
+    def test_exact_values_preserved(self):
+        # 1.5 = 1.1b needs only 1 mantissa bit.
+        for fmt in PAPER_FORMATS:
+            assert fmt.quantize(1.5) == np.float32(1.5)
+            assert fmt.quantize(-0.25) == np.float32(-0.25)
+
+    def test_round_to_nearest(self):
+        # 1 + 2^-13 rounds to 1.0 at 12 mantissa bits (tie -> even).
+        value = np.float32(1.0) + np.float32(2.0**-13)
+        assert MANTISSA_12.quantize(value) == np.float32(1.0)
+
+    def test_round_up_above_half(self):
+        value = np.float32(1.0 + 2.0**-12 * 0.75)
+        assert MANTISSA_12.quantize(value) == np.float32(1.0 + 2.0**-12)
+
+    def test_relative_error_bound(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(scale=100.0, size=5000).astype(np.float32)
+        x = x[x != 0]
+        for fmt in (MANTISSA_15, MANTISSA_12):
+            q = fmt.quantize(x)
+            rel = np.abs((q.astype(np.float64) - x) / x)
+            assert rel.max() <= fmt.relative_error_bound() * (1 + 1e-7)
+
+    def test_idempotent(self):
+        x = np.random.default_rng(2).normal(size=1000).astype(np.float32)
+        q1 = MANTISSA_12.quantize(x)
+        q2 = MANTISSA_12.quantize(q1)
+        assert np.array_equal(q1, q2)
+
+    def test_nan_inf_passthrough(self):
+        x = np.array([np.nan, np.inf, -np.inf], dtype=np.float32)
+        q = MANTISSA_12.quantize(x)
+        assert np.isnan(q[0]) and np.isposinf(q[1]) and np.isneginf(q[2])
+
+    def test_zero_preserved(self):
+        assert MANTISSA_12.quantize(0.0) == 0.0
+
+    def test_sign_preserved(self):
+        x = np.array([-1.000244140625], dtype=np.float32)
+        assert MANTISSA_12.quantize(x)[0] < 0
+
+    def test_scalar_input(self):
+        q = MANTISSA_15.quantize(3.14159)
+        assert q.shape == ()
+
+    def test_shape_preserved(self):
+        x = np.zeros((3, 4, 5), dtype=np.float32)
+        assert MANTISSA_12.quantize(x).shape == (3, 4, 5)
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("fmt", PAPER_FORMATS, ids=lambda f: f.name)
+    def test_roundtrip_equals_quantize(self, fmt):
+        x = np.random.default_rng(5).normal(scale=10, size=2000).astype(np.float32)
+        assert np.array_equal(fmt.decode(fmt.encode(x)), fmt.quantize(x))
+
+    def test_encode_width(self):
+        x = np.random.default_rng(6).normal(size=100).astype(np.float32)
+        patterns = MANTISSA_12.encode(x)
+        assert int(patterns.max()) < (1 << 21)
+
+    def test_negative_sign_bit(self):
+        pattern = MANTISSA_12.encode(np.float32(-1.0))
+        assert (int(pattern) >> 20) & 1 == 1
+
+    def test_storage_bytes(self):
+        assert IEEE_SINGLE.storage_bytes(1000) == 4000
+        assert MANTISSA_15.storage_bytes(1000) == 3000
+        assert MANTISSA_12.storage_bytes(8) == 21.0
+
+    def test_storage_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            IEEE_SINGLE.storage_bytes(-1)
+
+    def test_quantization_step(self):
+        assert MANTISSA_12.quantization_step(1.0) == 2.0**-12
+        assert MANTISSA_12.quantization_step(0.0) == 0.0
+
+
+class TestPaperArithmetic:
+    """The Section IV-B table identities."""
+
+    def test_acoustic_model_sizes(self):
+        values = 6000 * 8 * (39 + 39 + 1)
+        assert IEEE_SINGLE.storage_bytes(values) / 1e6 == pytest.approx(15.168)
+        assert MANTISSA_15.storage_bytes(values) / 1e6 == pytest.approx(11.376)
+        assert MANTISSA_12.storage_bytes(values) / 1e6 == pytest.approx(9.954)
+
+    def test_bandwidth_scaling(self):
+        values = 6000 * 8 * (39 + 39 + 1)
+        for fmt, gbps in zip(PAPER_FORMATS, (1.5168, 1.1376, 0.9954)):
+            bandwidth = fmt.storage_bytes(values) / 0.010 / 1e9
+            assert bandwidth == pytest.approx(gbps)
+
+
+@given(
+    st.floats(
+        min_value=-2.0**83,
+        max_value=2.0**83,
+        allow_nan=False,
+        allow_infinity=False,
+        width=32,
+    ),
+    st.integers(min_value=1, max_value=23),
+)
+@settings(max_examples=200, deadline=None)
+def test_property_quantize_within_ulp(value, mantissa_bits):
+    """|q - x| <= 2^-m * |x| (half-ULP rounding, doubled for safety)."""
+    # Subnormals have no implicit leading 1; the relative bound does
+    # not apply to them (hardware flushes them anyway).
+    assume(value == 0.0 or abs(np.float32(value)) >= 2.0**-126)
+    fmt = FloatFormat(mantissa_bits=mantissa_bits)
+    q = float(fmt.quantize(np.float32(value)))
+    x = float(np.float32(value))
+    assert abs(q - x) <= 2.0**-mantissa_bits * abs(x)
+
+
+@given(
+    st.lists(
+        st.floats(
+            min_value=-2.0**63, max_value=2.0**63, allow_nan=False, width=32
+        ),
+        min_size=1,
+        max_size=50,
+    ),
+    st.integers(min_value=1, max_value=23),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_encode_decode_roundtrip(values, mantissa_bits):
+    fmt = FloatFormat(mantissa_bits=mantissa_bits)
+    arr = np.asarray(values, dtype=np.float32)
+    assert np.array_equal(fmt.decode(fmt.encode(arr)), fmt.quantize(arr))
+
+
+@given(st.integers(min_value=1, max_value=23))
+@settings(max_examples=23, deadline=None)
+def test_property_monotone_quantize(mantissa_bits):
+    """Quantization preserves ordering."""
+    fmt = FloatFormat(mantissa_bits=mantissa_bits)
+    x = np.sort(np.random.default_rng(0).normal(size=300).astype(np.float32))
+    q = fmt.quantize(x)
+    assert np.all(np.diff(q) >= 0)

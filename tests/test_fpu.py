@@ -1,0 +1,100 @@
+"""Tests for repro.core.fpu — the arithmetic datapath blocks."""
+
+import numpy as np
+import pytest
+
+from repro.core.fpu import FloatUnit, OpCounts
+from repro.quant.float_formats import MANTISSA_12
+
+
+class TestBlocks:
+    def test_square_diff_multiply(self):
+        fpu = FloatUnit()
+        out = fpu.square_diff_multiply(3.0, 1.0, 0.5)
+        assert float(out) == pytest.approx(2.0)
+
+    def test_square_diff_multiply_vector(self):
+        fpu = FloatUnit()
+        x = np.array([1.0, 2.0], dtype=np.float32)
+        y = np.array([0.0, 0.0], dtype=np.float32)
+        z = np.array([1.0, 2.0], dtype=np.float32)
+        out = fpu.square_diff_multiply(x, y, z)
+        assert np.allclose(out, [1.0, 8.0])
+
+    def test_add(self):
+        fpu = FloatUnit()
+        assert float(fpu.add(1.25, 2.5)) == 3.75
+
+    def test_fma_single_rounding(self):
+        fpu = FloatUnit()
+        out = fpu.fused_multiply_add(2.0, 3.0, 1.0)
+        assert float(out) == 7.0
+
+    def test_compare_max(self):
+        fpu = FloatUnit()
+        assert float(fpu.compare_max(-3.0, -1.0)) == -1.0
+
+    def test_accumulate_order(self):
+        fpu = FloatUnit()
+        values = np.array([1e8, 1.0, -1e8], dtype=np.float32)
+        # Serial left-to-right float32: 1e8 + 1 == 1e8 (absorbed).
+        assert fpu.accumulate(values) == 0.0
+
+    def test_accumulate_initial(self):
+        fpu = FloatUnit()
+        assert fpu.accumulate(np.array([1.0, 2.0]), initial=10.0) == 13.0
+
+
+class TestCounting:
+    def test_counts_scalar_ops(self):
+        fpu = FloatUnit()
+        fpu.square_diff_multiply(1.0, 2.0, 3.0)
+        fpu.add(1.0, 2.0)
+        fpu.fused_multiply_add(1.0, 2.0, 3.0)
+        fpu.compare_max(1.0, 2.0)
+        c = fpu.counts
+        assert (c.square_diff_multiply, c.add, c.fused_multiply_add, c.compare) == (
+            1,
+            1,
+            1,
+            1,
+        )
+        assert c.total() == 4
+
+    def test_counts_vector_ops(self):
+        fpu = FloatUnit()
+        fpu.add(np.zeros(7, dtype=np.float32), np.ones(7, dtype=np.float32))
+        assert fpu.counts.add == 7
+
+    def test_reset(self):
+        fpu = FloatUnit()
+        fpu.add(1.0, 1.0)
+        fpu.reset()
+        assert fpu.counts.total() == 0
+
+    def test_snapshot_is_independent(self):
+        fpu = FloatUnit()
+        fpu.add(1.0, 1.0)
+        snap = fpu.counts.snapshot()
+        fpu.add(1.0, 1.0)
+        assert snap.add == 1
+        assert fpu.counts.add == 2
+
+    def test_opcounts_reset(self):
+        c = OpCounts(square_diff_multiply=3, add=2, fused_multiply_add=1, compare=9)
+        c.reset()
+        assert c.total() == 0
+
+
+class TestNarrowCompute:
+    def test_results_rounded_to_format(self):
+        fpu = FloatUnit(compute_format=MANTISSA_12)
+        out = fpu.add(np.float32(1.0), np.float32(2.0**-20))
+        # The tiny addend is below the 12-bit mantissa resolution.
+        assert float(out) == 1.0
+
+    def test_narrow_differs_from_full(self):
+        full = FloatUnit()
+        narrow = FloatUnit(compute_format=MANTISSA_12)
+        a, b = np.float32(1.0), np.float32(1.0 + 2**-11 + 2**-13)
+        assert float(full.add(a, b)) != float(narrow.add(a, b))

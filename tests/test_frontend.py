@@ -1,0 +1,175 @@
+"""Tests for repro.frontend — DSP, filterbank, MFCC, feature pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.frontend.dsp import apply_window, frame_signal, hamming_window, pre_emphasis
+from repro.frontend.features import (
+    Frontend,
+    FrontendConfig,
+    cepstral_mean_normalize,
+    delta_features,
+)
+from repro.frontend.filterbank import (
+    apply_filterbank,
+    hz_to_mel,
+    mel_filterbank,
+    mel_to_hz,
+)
+from repro.frontend.mfcc import cepstra, dct_matrix, lifter, power_spectrum
+
+
+class TestDsp:
+    def test_pre_emphasis_dc_removal(self):
+        # A DC signal should be almost entirely removed (first sample aside).
+        out = pre_emphasis(np.ones(100), 0.97)
+        assert np.allclose(out[1:], 0.03)
+
+    def test_pre_emphasis_empty(self):
+        assert pre_emphasis(np.array([])).size == 0
+
+    def test_pre_emphasis_rejects_bad_coefficient(self):
+        with pytest.raises(ValueError):
+            pre_emphasis(np.ones(10), 1.0)
+
+    def test_frame_count(self):
+        frames = frame_signal(np.arange(1000, dtype=float), 400, 160)
+        assert frames.shape == (4, 400)  # 1 + (1000-400)//160 = 4
+
+    def test_frame_overlap(self):
+        frames = frame_signal(np.arange(1000, dtype=float), 400, 160)
+        assert frames[1, 0] == 160.0
+
+    def test_short_signal_empty(self):
+        assert frame_signal(np.arange(10, dtype=float), 400, 160).shape == (0, 400)
+
+    def test_hamming_endpoints(self):
+        w = hamming_window(400)
+        assert w[0] == pytest.approx(0.08)
+        assert w.max() == pytest.approx(1.0, abs=1e-3)  # even length: peak off-grid
+
+    def test_window_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            apply_window(np.zeros((2, 10)), np.ones(11))
+
+
+class TestFilterbank:
+    def test_mel_roundtrip(self):
+        hz = np.array([100.0, 1000.0, 4000.0])
+        assert np.allclose(mel_to_hz(hz_to_mel(hz)), hz)
+
+    def test_bank_shape_and_coverage(self):
+        bank = mel_filterbank(40, 512, 16000)
+        assert bank.shape == (40, 257)
+        assert np.all(bank >= 0)
+        # Every filter has some mass.
+        assert np.all(bank.sum(axis=1) > 0)
+
+    def test_triangles_peak_once(self):
+        bank = mel_filterbank(20, 512, 16000)
+        for f in range(20):
+            peak = bank[f].argmax()
+            left = bank[f, :peak]
+            right = bank[f, peak:]
+            assert np.all(np.diff(left) >= -1e-12)
+            assert np.all(np.diff(right) <= 1e-12)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            mel_filterbank(0, 512, 16000)
+        with pytest.raises(ValueError):
+            mel_filterbank(40, 500, 16000)  # not a power of two
+        with pytest.raises(ValueError):
+            mel_filterbank(40, 512, 16000, low_hz=9000)
+
+    def test_energies_floored(self):
+        bank = mel_filterbank(10, 64, 8000)
+        energies = apply_filterbank(np.zeros((3, 33)), bank)
+        assert np.all(energies >= 1e-10)
+
+
+class TestMfcc:
+    def test_power_spectrum_parseval(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 256))
+        ps = power_spectrum(x, 256)
+        # One-sided power spectrum sums to ~signal energy / N terms.
+        two_sided = np.abs(np.fft.fft(x[0], 256)) ** 2 / 256
+        assert ps[0, 0] == pytest.approx(two_sided[0])
+
+    def test_dct_orthonormal_rows(self):
+        basis = dct_matrix(13, 40)
+        gram = basis @ basis.T
+        assert np.allclose(gram, np.eye(13), atol=1e-12)
+
+    def test_cepstra_shape(self):
+        ceps = cepstra(np.zeros((5, 40)), 13)
+        assert ceps.shape == (5, 13)
+
+    def test_lifter_identity_when_disabled(self):
+        block = np.random.default_rng(1).normal(size=(4, 13))
+        assert np.array_equal(lifter(block, 0), block)
+
+    def test_lifter_weights_first_coefficient_unchanged(self):
+        block = np.ones((1, 13))
+        out = lifter(block, 22)
+        assert out[0, 0] == pytest.approx(1.0)
+
+
+class TestFeaturePipeline:
+    def test_output_dimension(self):
+        fe = Frontend()
+        feats = fe.extract(np.random.default_rng(0).normal(size=8000))
+        assert feats.shape[1] == 39
+
+    def test_frame_count_formula(self):
+        fe = Frontend()
+        n = 8000
+        feats = fe.extract(np.random.default_rng(0).normal(size=n))
+        assert feats.shape[0] == fe.num_frames(n)
+
+    def test_cmn_zero_mean(self):
+        x = np.random.default_rng(2).normal(size=(50, 13)) + 5.0
+        normalized = cepstral_mean_normalize(x)
+        assert np.allclose(normalized.mean(axis=0), 0.0, atol=1e-12)
+
+    def test_delta_of_constant_is_zero(self):
+        static = np.ones((20, 13)) * 3.0
+        assert np.allclose(delta_features(static), 0.0)
+
+    def test_delta_of_linear_ramp(self):
+        # d/dt of a unit ramp is 1 away from the edges.
+        static = np.arange(30, dtype=float)[:, None]
+        deltas = delta_features(static, window=2)
+        assert np.allclose(deltas[5:-5], 1.0)
+
+    def test_empty_waveform(self):
+        fe = Frontend()
+        assert fe.extract(np.zeros(10)).shape == (0, 39)
+
+    def test_different_phones_distinct_features(self):
+        """The synthetic phones must be separable after MFCC.
+
+        Raw cepstra are compared — per-utterance CMN would remove the
+        mean of a single steady phone by construction.
+        """
+        from repro.workloads.synthesizer import PhoneSynthesizer
+
+        rng = np.random.default_rng(3)
+        synth = PhoneSynthesizer()
+        fe = Frontend()
+        a = fe.static_cepstra(synth.synthesize_phone("AA", 0.3, rng))
+        s = fe.static_cepstra(synth.synthesize_phone("S", 0.3, rng))
+        gap = np.linalg.norm(a.mean(axis=0) - s.mean(axis=0))
+        assert gap > 3.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FrontendConfig(sample_rate=0)
+        with pytest.raises(ValueError):
+            FrontendConfig(frame_length_s=0.005, frame_shift_s=0.010)
+        with pytest.raises(ValueError):
+            FrontendConfig(fft_size=128)  # 400-sample frame > 128
+
+    def test_feature_dim_property(self):
+        assert FrontendConfig(num_cepstra=13).feature_dim == 39

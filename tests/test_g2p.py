@@ -1,0 +1,63 @@
+"""Tests for repro.lexicon.g2p — the prefix-code grapheme map."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lexicon.g2p import GRAPHEME_MAP, phones_to_spelling, spelling_to_phones
+from repro.lexicon.phones import default_phone_set
+
+_NON_SILENT = [p for p, g in GRAPHEME_MAP.items() if g]
+
+
+class TestPrefixCode:
+    def test_no_chunk_prefixes_another(self):
+        chunks = [g for g in GRAPHEME_MAP.values() if g]
+        for a in chunks:
+            for b in chunks:
+                if a != b:
+                    assert not b.startswith(a), (a, b)
+
+    def test_all_chunks_distinct(self):
+        chunks = [g for g in GRAPHEME_MAP.values() if g]
+        assert len(set(chunks)) == len(chunks)
+
+    def test_covers_whole_inventory(self):
+        ps = default_phone_set()
+        for phone in ps:
+            assert phone.name in GRAPHEME_MAP
+
+
+class TestRoundtrip:
+    def test_simple_word(self):
+        assert spelling_to_phones("kaet") == ("K", "AE", "T")
+
+    def test_silence_spells_nothing(self):
+        assert phones_to_spelling(("SIL", "K", "SIL")) == "k"
+
+    def test_empty_spelling_rejected(self):
+        with pytest.raises(ValueError):
+            phones_to_spelling(("SIL",))
+        with pytest.raises(ValueError):
+            spelling_to_phones("")
+
+    def test_unknown_phone_rejected(self):
+        with pytest.raises(KeyError):
+            phones_to_spelling(("QQ",))
+
+    def test_unpronounceable_residue(self):
+        with pytest.raises(ValueError):
+            spelling_to_phones("c")  # 'c' only starts two-letter chunks
+
+    def test_case_insensitive(self):
+        assert spelling_to_phones("KAET") == ("K", "AE", "T")
+
+
+@given(
+    st.lists(st.sampled_from(_NON_SILENT), min_size=1, max_size=12)
+)
+@settings(max_examples=300, deadline=None)
+def test_property_roundtrip_any_phone_string(phones):
+    """Spelling then parsing recovers any non-silent phone string."""
+    spelling = phones_to_spelling(tuple(phones))
+    assert spelling_to_phones(spelling) == tuple(phones)

@@ -1,0 +1,73 @@
+"""Tests for repro.hmm.gaussian against closed-form values."""
+
+import numpy as np
+import pytest
+
+from repro.hmm.gaussian import (
+    log_gaussian,
+    log_normalizer,
+    precision_halves,
+    validate_gaussian_params,
+)
+
+
+class TestLogGaussian:
+    def test_standard_normal_at_mean(self):
+        # log N(0; 0, 1) = -L/2 log(2 pi) for unit variance.
+        dim = 5
+        value = log_gaussian(np.zeros(dim), np.zeros(dim), np.ones(dim))
+        assert float(value) == pytest.approx(-0.5 * dim * np.log(2 * np.pi))
+
+    def test_univariate_closed_form(self):
+        x, mu, var = 1.3, 0.2, 2.5
+        expected = -0.5 * np.log(2 * np.pi * var) - (x - mu) ** 2 / (2 * var)
+        value = log_gaussian(np.array([x]), np.array([mu]), np.array([var]))
+        assert float(value) == pytest.approx(expected)
+
+    def test_broadcasting_over_frames(self):
+        rng = np.random.default_rng(0)
+        frames = rng.normal(size=(10, 4))
+        mean = rng.normal(size=4)
+        var = rng.uniform(0.5, 2.0, size=4)
+        batch = log_gaussian(frames, mean, var)
+        assert batch.shape == (10,)
+        for t in range(10):
+            single = log_gaussian(frames[t], mean, var)
+            assert float(single) == pytest.approx(float(batch[t]))
+
+    def test_density_integrates_to_one_1d(self):
+        # Riemann check in one dimension.
+        xs = np.linspace(-10, 10, 20001)[:, None]
+        log_p = log_gaussian(xs, np.array([0.3]), np.array([1.7]))
+        integral = np.trapezoid(np.exp(log_p), xs[:, 0])
+        assert integral == pytest.approx(1.0, abs=1e-6)
+
+    def test_score_decreases_away_from_mean(self):
+        mean = np.zeros(3)
+        var = np.ones(3)
+        near = float(log_gaussian(0.1 * np.ones(3), mean, var))
+        far = float(log_gaussian(3.0 * np.ones(3), mean, var))
+        assert near > far
+
+
+class TestHelpers:
+    def test_precision_halves_negative(self):
+        prec = precision_halves(np.array([0.5, 2.0]))
+        assert np.allclose(prec, [-1.0, -0.25])
+
+    def test_log_normalizer_unit_variance(self):
+        dim = 7
+        value = log_normalizer(np.ones(dim))
+        assert float(value) == pytest.approx(-0.5 * dim * np.log(2 * np.pi))
+
+    def test_validate_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            validate_gaussian_params(np.zeros(3), np.ones(4))
+
+    def test_validate_rejects_nonpositive_variance(self):
+        with pytest.raises(ValueError):
+            validate_gaussian_params(np.zeros(3), np.array([1.0, 0.0, 1.0]))
+
+    def test_validate_rejects_nan_mean(self):
+        with pytest.raises(ValueError):
+            validate_gaussian_params(np.array([np.nan]), np.array([1.0]))

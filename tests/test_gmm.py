@@ -1,0 +1,115 @@
+"""Tests for repro.hmm.gmm."""
+
+import numpy as np
+import pytest
+
+from repro.hmm.gaussian import log_gaussian
+from repro.hmm.gmm import GaussianMixture
+
+
+def _mixture(rng, m=3, dim=4):
+    raw = rng.uniform(0.5, 1.5, size=m)
+    return GaussianMixture(
+        weights=raw / raw.sum(),
+        means=rng.normal(size=(m, dim)),
+        variances=rng.uniform(0.5, 2.0, size=(m, dim)),
+    )
+
+
+class TestValidation:
+    def test_weights_must_sum_to_one(self, rng):
+        with pytest.raises(ValueError):
+            GaussianMixture(
+                weights=np.array([0.5, 0.2]),
+                means=np.zeros((2, 3)),
+                variances=np.ones((2, 3)),
+            )
+
+    def test_weights_must_be_nonnegative(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(
+                weights=np.array([1.5, -0.5]),
+                means=np.zeros((2, 3)),
+                variances=np.ones((2, 3)),
+            )
+
+    def test_component_count_consistency(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(
+                weights=np.array([0.5, 0.5]),
+                means=np.zeros((3, 2)),
+                variances=np.ones((3, 2)),
+            )
+
+    def test_variance_floored(self):
+        gmm = GaussianMixture(
+            weights=np.array([1.0]),
+            means=np.zeros((1, 2)),
+            variances=np.full((1, 2), 1e-12),
+        )
+        assert np.all(gmm.variances >= 1e-4)
+
+
+class TestScoring:
+    def test_log_prob_vs_manual_logsumexp(self, rng):
+        gmm = _mixture(rng)
+        obs = rng.normal(size=gmm.dim)
+        comps = [
+            np.log(gmm.weights[m])
+            + float(log_gaussian(obs, gmm.means[m], gmm.variances[m]))
+            for m in range(gmm.num_components)
+        ]
+        expected = np.log(np.sum(np.exp(comps)))
+        assert float(gmm.log_prob(obs)) == pytest.approx(expected)
+
+    def test_single_component_equals_gaussian(self, rng):
+        mean = rng.normal(size=3)
+        var = rng.uniform(0.5, 2.0, size=3)
+        gmm = GaussianMixture(
+            weights=np.array([1.0]), means=mean[None], variances=var[None]
+        )
+        obs = rng.normal(size=3)
+        assert float(gmm.log_prob(obs)) == pytest.approx(
+            float(log_gaussian(obs, mean, var))
+        )
+
+    def test_mixture_at_least_best_weighted_component(self, rng):
+        gmm = _mixture(rng)
+        obs = rng.normal(size=gmm.dim)
+        comp = gmm.component_log_probs(obs)
+        assert float(gmm.log_prob(obs)) >= float(comp.max()) - 1e-12
+
+    def test_batch_scoring(self, rng):
+        gmm = _mixture(rng)
+        frames = rng.normal(size=(6, gmm.dim))
+        batch = gmm.log_prob(frames)
+        assert batch.shape == (6,)
+        for t in range(6):
+            assert float(gmm.log_prob(frames[t])) == pytest.approx(float(batch[t]))
+
+
+class TestHardwareExport:
+    def test_hardware_params_reconstruct_score(self, rng):
+        """C_jk + sum (O-mu)^2 * delta must equal the component log prob."""
+        gmm = _mixture(rng)
+        obs = rng.normal(size=gmm.dim)
+        means, precisions, offsets = gmm.hardware_params()
+        rebuilt = offsets + ((obs[None] - means) ** 2 * precisions).sum(axis=1)
+        assert np.allclose(rebuilt, gmm.component_log_probs(obs))
+
+    def test_precisions_negative(self, rng):
+        _, precisions, _ = _mixture(rng).hardware_params()
+        assert np.all(precisions < 0)
+
+
+class TestFitting:
+    def test_from_data_recovers_two_clusters(self):
+        rng = np.random.default_rng(9)
+        a = rng.normal(-3.0, 0.5, size=(300, 2))
+        b = rng.normal(+3.0, 0.5, size=(300, 2))
+        data = np.vstack([a, b])
+        gmm = GaussianMixture.from_data(data, num_components=2, rng=rng)
+        centers = np.sort(gmm.means[:, 0])
+        assert centers[0] == pytest.approx(-3.0, abs=0.3)
+        assert centers[1] == pytest.approx(3.0, abs=0.3)
+        assert gmm.weights[0] == pytest.approx(0.5, abs=0.1)

@@ -1,0 +1,120 @@
+"""Cross-module integration tests: the full system end to end."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.soc import SpeechSoC
+from repro.decoder.recognizer import Recognizer
+from repro.eval.wer import corpus_wer
+from repro.hmm.acoustic_model import AcousticModel
+from repro.quant.float_formats import MANTISSA_12, PAPER_FORMATS
+from repro.workloads.corpus import monophone_hmms
+
+
+class TestRecognitionQuality:
+    def test_tiny_task_wer_low(self, task):
+        """End-to-end: trained models decode held-out speech well."""
+        rec = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying, mode="reference"
+        )
+        refs, hyps = [], []
+        for utt in task.corpus.test:
+            refs.append(utt.words)
+            hyps.append(rec.decode(utt.features).words)
+        counts = corpus_wer(refs, hyps)
+        assert counts.wer < 0.10, f"WER {counts.wer:.2%} too high"
+
+    def test_mantissa_12_preserves_wer(self, task):
+        """The paper's R1 relative claim on the tiny task."""
+        refs, full_hyps, narrow_hyps = [], [], []
+        full = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying, mode="hardware"
+        )
+        narrow = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying,
+            mode="hardware", storage_format=MANTISSA_12,
+        )
+        for utt in task.corpus.test:
+            refs.append(utt.words)
+            full_hyps.append(full.decode(utt.features).words)
+            narrow_hyps.append(narrow.decode(utt.features).words)
+        full_wer = corpus_wer(refs, full_hyps).wer
+        narrow_wer = corpus_wer(refs, narrow_hyps).wer
+        assert abs(narrow_wer - full_wer) <= 0.05
+
+    def test_active_senones_stay_below_half(self, task):
+        """R2 on held-out data: feedback keeps evaluation sparse."""
+        rec = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying, mode="reference"
+        )
+        for utt in task.corpus.test[:4]:
+            result = rec.decode(utt.features)
+            assert result.mean_active_senone_fraction < 0.5
+
+
+class TestModelPersistence:
+    def test_save_quantize_load_decode(self, task, tmp_path):
+        """Flash image round trip changes nothing about recognition."""
+        hmms = monophone_hmms(task.corpus.phone_set, task.tying, task.topology)
+        model = AcousticModel(pool=task.pool, hmms=hmms)
+        path = tmp_path / "am.bin"
+        model.save(path, MANTISSA_12)
+        loaded, fmt = AcousticModel.load(path)
+        assert fmt.mantissa_bits == 12
+        rec = Recognizer.create(
+            task.dictionary, loaded.pool, task.lm, task.tying, mode="reference"
+        )
+        utt = task.corpus.test[0]
+        assert rec.decode(utt.features).words == tuple(utt.words)
+
+    def test_image_sizes_scale_with_mantissa(self, task):
+        hmms = monophone_hmms(task.corpus.phone_set, task.tying, task.topology)
+        model = AcousticModel(pool=task.pool, hmms=hmms)
+        sizes = []
+        for fmt in PAPER_FORMATS:
+            buf = io.BytesIO()
+            model.save(buf, fmt)
+            sizes.append(buf.getbuffer().nbytes)
+        assert sizes[0] > sizes[1] > sizes[2]
+        # Parameter payload dominates; ratios approach 24/32 and 21/32.
+        assert sizes[1] / sizes[0] == pytest.approx(24 / 32, abs=0.02)
+        assert sizes[2] / sizes[0] == pytest.approx(21 / 32, abs=0.02)
+
+
+class TestSocConsistency:
+    def test_soc_and_recognizer_agree(self, task):
+        soc = SpeechSoC(task.dictionary, task.pool, task.lm, task.tying)
+        rec = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying, mode="hardware"
+        )
+        utt = task.corpus.test[1]
+        assert soc.decode_features(utt.features).words == rec.decode(utt.features).words
+
+    def test_one_vs_two_structures_same_words(self, task):
+        one = SpeechSoC(task.dictionary, task.pool, task.lm, task.tying,
+                        num_structures=1)
+        two = SpeechSoC(task.dictionary, task.pool, task.lm, task.tying,
+                        num_structures=2)
+        utt = task.corpus.test[2]
+        r1 = one.decode_features(utt.features)
+        r2 = two.decode_features(utt.features)
+        assert r1.words == r2.words
+        # Two structures halve the per-unit senone stream.
+        assert (
+            r2.op_unit_reports[0].mean_cycles_per_frame
+            < r1.op_unit_reports[0].mean_cycles_per_frame
+        )
+
+    def test_command_task_decodes(self):
+        """A second trained scenario exercises the whole stack."""
+        from repro.workloads.tasks import command_task
+
+        task = command_task(seed=19)
+        soc = SpeechSoC(task.dictionary, task.pool, task.lm, task.tying)
+        refs, hyps = [], []
+        for utt in task.corpus.test[:6]:
+            refs.append(utt.words)
+            hyps.append(soc.decode_features(utt.features).words)
+        assert corpus_wer(refs, hyps).wer < 0.15

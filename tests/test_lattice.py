@@ -1,0 +1,70 @@
+"""Tests for repro.decoder.lattice."""
+
+import pytest
+
+from repro.decoder.lattice import WordLattice
+
+
+class TestWordLattice:
+    def test_add_and_lookup(self):
+        lat = WordLattice()
+        idx = lat.add(word=3, entry_frame=0, exit_frame=5, predecessor=-1,
+                      score=-10.0, lm_history=3)
+        assert idx == 0
+        record = lat.exit(0)
+        assert record.word == 3 and record.exit_frame == 5
+
+    def test_predecessor_must_exist(self):
+        lat = WordLattice()
+        with pytest.raises(ValueError):
+            lat.add(word=0, entry_frame=0, exit_frame=1, predecessor=5,
+                    score=0.0, lm_history=0)
+
+    def test_entry_before_exit(self):
+        lat = WordLattice()
+        with pytest.raises(ValueError):
+            lat.add(word=0, entry_frame=5, exit_frame=2, predecessor=-1,
+                    score=0.0, lm_history=0)
+
+    def test_exits_at_frame(self):
+        lat = WordLattice()
+        lat.add(word=0, entry_frame=0, exit_frame=3, predecessor=-1, score=-1.0, lm_history=0)
+        lat.add(word=1, entry_frame=0, exit_frame=3, predecessor=-1, score=-2.0, lm_history=1)
+        lat.add(word=2, entry_frame=4, exit_frame=7, predecessor=0, score=-3.0, lm_history=2)
+        assert len(lat.exits_at(3)) == 2
+        assert len(lat.exits_at(7)) == 1
+        assert lat.exits_at(5) == []
+
+    def test_last_frame_with_exits(self):
+        lat = WordLattice()
+        lat.add(word=0, entry_frame=0, exit_frame=3, predecessor=-1, score=0.0, lm_history=0)
+        lat.add(word=1, entry_frame=4, exit_frame=9, predecessor=0, score=0.0, lm_history=1)
+        assert lat.last_frame_with_exits(20) == 9
+        assert lat.last_frame_with_exits(8) == 3
+        assert lat.last_frame_with_exits(2) is None
+
+    def test_backtrace_order(self):
+        lat = WordLattice()
+        a = lat.add(word=0, entry_frame=0, exit_frame=3, predecessor=-1, score=0.0, lm_history=0)
+        b = lat.add(word=1, entry_frame=4, exit_frame=8, predecessor=a, score=0.0, lm_history=1)
+        c = lat.add(word=2, entry_frame=9, exit_frame=12, predecessor=b, score=0.0, lm_history=2)
+        chain = lat.backtrace(c)
+        assert [e.word for e in chain] == [0, 1, 2]
+
+    def test_out_of_range_exit(self):
+        with pytest.raises(IndexError):
+            WordLattice().exit(0)
+
+    def test_entries_per_frame_stats(self):
+        lat = WordLattice()
+        lat.add(word=0, entry_frame=0, exit_frame=3, predecessor=-1, score=0.0, lm_history=0)
+        lat.add(word=1, entry_frame=0, exit_frame=3, predecessor=-1, score=0.0, lm_history=1)
+        lat.add(word=2, entry_frame=0, exit_frame=5, predecessor=-1, score=0.0, lm_history=2)
+        assert lat.entries_per_frame() == {3: 2, 5: 1}
+        assert lat.mean_entries_per_frame() == 1.5
+
+    def test_len(self):
+        lat = WordLattice()
+        assert len(lat) == 0
+        lat.add(word=0, entry_frame=0, exit_frame=1, predecessor=-1, score=0.0, lm_history=0)
+        assert len(lat) == 1

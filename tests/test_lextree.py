@@ -1,0 +1,176 @@
+"""Tests for repro.decoder.lextree — the prefix-tree decoder."""
+
+import numpy as np
+import pytest
+
+from repro.decoder.best_path import find_best_path
+from repro.decoder.lextree import TreeLexiconNetwork, TreeWordDecodeStage
+from repro.decoder.network import FlatLexiconNetwork
+from repro.decoder.phone_decode import PhoneDecodeStage
+from repro.decoder.scorer import ReferenceScorer
+from repro.hmm.topology import HmmTopology
+from repro.lexicon.dictionary import PronunciationDictionary
+from repro.lexicon.triphone import SenoneTying
+
+
+@pytest.fixture()
+def shared_dictionary():
+    """Words engineered to share prefixes: kae-t, kae-n, kae-t-s, dig."""
+    d = PronunciationDictionary()
+    d.add("kaet", ("K", "AE", "T"))
+    d.add("kaen", ("K", "AE", "N"))
+    d.add("kaets", ("K", "AE", "T", "S"))
+    d.add("dig", ("D", "IH", "G"))
+    return d
+
+
+@pytest.fixture()
+def tying():
+    return SenoneTying(num_senones=6000)
+
+
+class TestBuild:
+    def test_prefix_sharing(self, shared_dictionary, tying):
+        tree = TreeLexiconNetwork.build(
+            shared_dictionary, tying, include_silence=False
+        )
+        flat = FlatLexiconNetwork.build(
+            shared_dictionary, tying, include_silence=False
+        )
+        assert tree.num_states < flat.num_states
+        assert tree.sharing_factor > 1.0
+        # "kaet" and "kaets" share K and AE+T-context nodes; "kaen"
+        # shares only K (its AE has right-context N).
+        assert tree.flat_states_equivalent == flat.num_states
+
+    def test_each_word_has_exactly_one_leaf(self, shared_dictionary, tying):
+        tree = TreeLexiconNetwork.build(shared_dictionary, tying)
+        leaves = tree.leaf_word[tree.leaf_word >= 0]
+        expected = tree.num_words + 1  # + silence
+        assert len(leaves) == expected
+        assert len(set(leaves.tolist())) == expected
+
+    def test_in_degree_one(self, shared_dictionary, tying):
+        """Every state has exactly one predecessor (or none at roots)."""
+        tree = TreeLexiconNetwork.build(shared_dictionary, tying)
+        roots = np.flatnonzero(tree.pred_state < 0)
+        assert np.array_equal(roots, np.flatnonzero(tree.is_root_start))
+        valid = tree.pred_state[tree.pred_state >= 0]
+        assert valid.max() < tree.num_states
+
+    def test_senones_match_flat_network(self, shared_dictionary, tying):
+        """The tree is a reorganisation: same triphone senones."""
+        tree = TreeLexiconNetwork.build(shared_dictionary, tying, include_silence=False)
+        flat = FlatLexiconNetwork.build(shared_dictionary, tying, include_silence=False)
+        assert set(tree.senone_id.tolist()) == set(flat.senone_id.tolist())
+
+    def test_homophones_rejected(self, tying):
+        d = PronunciationDictionary()
+        d.add("ab", ("AA", "B"))
+        d.add("aab", ("AA", "B"))  # same phones, different spelling
+        with pytest.raises(ValueError):
+            TreeLexiconNetwork.build(d, tying)
+
+    def test_empty_dictionary_rejected(self, tying):
+        with pytest.raises(ValueError):
+            TreeLexiconNetwork.build(PronunciationDictionary(), tying)
+
+    def test_topology_mismatch_rejected(self, shared_dictionary):
+        tying5 = SenoneTying(num_senones=6000, states_per_hmm=5)
+        with pytest.raises(ValueError):
+            TreeLexiconNetwork.build(
+                shared_dictionary, tying5, HmmTopology(num_states=3)
+            )
+
+    def test_word_names(self, shared_dictionary, tying):
+        tree = TreeLexiconNetwork.build(shared_dictionary, tying)
+        assert tree.word_name(0) == tree.words[0]
+        assert tree.word_name(tree.silence_word) == "<sil>"
+
+
+class TestDecoding:
+    def _decode(self, task, stage, features):
+        stage.reset()
+        for frame in features:
+            stage.process_frame(frame)
+        return find_best_path(
+            stage.lattice,
+            task.lm,
+            stage.network,
+            stage.frames_processed - 1,
+            lm_scale=stage.config.lm_scale,
+        )
+
+    def test_matches_flat_decoder_words(self, task):
+        """Tree and flat decoders agree on the tiny test set."""
+        tree = TreeLexiconNetwork.build(task.dictionary, task.tying, task.topology)
+        stage = TreeWordDecodeStage(
+            tree, task.lm, PhoneDecodeStage(ReferenceScorer(task.pool))
+        )
+        from repro.decoder.recognizer import Recognizer
+
+        flat_rec = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying, mode="reference"
+        )
+        for utt in task.corpus.test[:5]:
+            tree_best = self._decode(task, stage, utt.features)
+            flat_words = flat_rec.decode(utt.features).words
+            assert tree_best is not None
+            assert tree_best.words == flat_words
+
+    def test_fewer_active_states_than_flat(self, task):
+        tree = TreeLexiconNetwork.build(task.dictionary, task.tying, task.topology)
+        stage = TreeWordDecodeStage(
+            tree, task.lm, PhoneDecodeStage(ReferenceScorer(task.pool))
+        )
+        from repro.decoder.recognizer import Recognizer
+
+        flat_rec = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying, mode="reference"
+        )
+        utt = task.corpus.test[0]
+        self._decode(task, stage, utt.features)
+        tree_active = np.mean([s.active_states for s in stage.frame_stats])
+        flat_result = flat_rec.decode(utt.features)
+        assert tree_active <= flat_result.mean_active_states
+
+    def test_entry_frames_tracked_through_tree(self, task):
+        tree = TreeLexiconNetwork.build(task.dictionary, task.tying, task.topology)
+        stage = TreeWordDecodeStage(
+            tree, task.lm, PhoneDecodeStage(ReferenceScorer(task.pool))
+        )
+        utt = task.corpus.test[0]
+        best = self._decode(task, stage, utt.features)
+        assert best is not None
+        # Exits must be time-ordered and non-overlapping.
+        words = [e for e in best.exits]
+        for a, b in zip(words, words[1:]):
+            assert a.exit_frame < b.exit_frame
+            assert b.entry_frame > a.entry_frame
+
+    def test_viterbi_unit_activity_counted(self, task):
+        from repro.core.viterbi_unit import ViterbiUnit
+
+        tree = TreeLexiconNetwork.build(task.dictionary, task.tying, task.topology)
+        unit = ViterbiUnit()
+        stage = TreeWordDecodeStage(
+            tree, task.lm, PhoneDecodeStage(ReferenceScorer(task.pool)),
+            viterbi_unit=unit,
+        )
+        utt = task.corpus.test[0]
+        self._decode(task, stage, utt.features)
+        assert unit.transitions_processed > 0
+        assert unit.cycles_busy > 0
+
+    def test_lm_vocab_mismatch_rejected(self, task):
+        from repro.lm.ngram import NGramModel
+        from repro.lm.vocabulary import Vocabulary
+
+        tree = TreeLexiconNetwork.build(task.dictionary, task.tying, task.topology)
+        other = Vocabulary(["zzz"])
+        lm = NGramModel(other, order=1)
+        lm.train([["zzz"]])
+        with pytest.raises(ValueError):
+            TreeWordDecodeStage(
+                tree, lm, PhoneDecodeStage(ReferenceScorer(task.pool))
+            )

@@ -1,0 +1,170 @@
+"""Tests for repro.lm — vocabulary and back-off n-gram model."""
+
+import numpy as np
+import pytest
+
+from repro.lm.ngram import NGramModel
+from repro.lm.vocabulary import BOS, EOS, UNK, Vocabulary
+
+
+@pytest.fixture()
+def vocab():
+    return Vocabulary(["the", "cat", "dog", "runs", "sleeps"])
+
+
+@pytest.fixture()
+def bigram(vocab):
+    lm = NGramModel(vocab, order=2)
+    lm.train(
+        [
+            ["the", "cat", "runs"],
+            ["the", "dog", "runs"],
+            ["the", "cat", "sleeps"],
+            ["the", "dog", "sleeps"],
+            ["the", "cat", "runs"],
+        ]
+    )
+    return lm
+
+
+class TestVocabulary:
+    def test_sorted_ids(self, vocab):
+        assert vocab.words() == ("cat", "dog", "runs", "sleeps", "the")
+        assert vocab.word_id("cat") == 0
+
+    def test_pseudo_words_above_regular(self, vocab):
+        assert vocab.bos_id == vocab.size
+        assert vocab.eos_id == vocab.size + 1
+        assert vocab.unk_id == vocab.size + 2
+        assert len(vocab) == vocab.size + 3
+
+    def test_unknown_maps_to_unk(self, vocab):
+        assert vocab.word_id("zebra") == vocab.unk_id
+
+    def test_word_lookup_roundtrip(self, vocab):
+        for w in vocab.words():
+            assert vocab.word(vocab.word_id(w)) == w
+        assert vocab.word(vocab.bos_id) == BOS
+        assert vocab.word(vocab.eos_id) == EOS
+        assert vocab.word(vocab.unk_id) == UNK
+
+    def test_out_of_range(self, vocab):
+        with pytest.raises(IndexError):
+            vocab.word(999)
+
+    def test_reserved_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary(["<s>", "x"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary([])
+
+    def test_encode(self, vocab):
+        ids = vocab.encode(["the", "cat"])
+        assert ids[0] == vocab.bos_id and ids[-1] == vocab.eos_id
+        assert len(ids) == 4
+
+    def test_duplicates_collapsed(self):
+        v = Vocabulary(["a", "a", "b"])
+        assert v.size == 2
+
+
+class TestNGramModel:
+    def test_requires_training(self, vocab):
+        lm = NGramModel(vocab, order=2)
+        with pytest.raises(RuntimeError):
+            lm.prob(0)
+
+    def test_order_bounds(self, vocab):
+        with pytest.raises(ValueError):
+            NGramModel(vocab, order=0)
+        with pytest.raises(ValueError):
+            NGramModel(vocab, order=4)
+
+    def test_probabilities_positive(self, bigram, vocab):
+        for w in range(vocab.size):
+            assert bigram.prob(w) > 0
+
+    def test_full_distribution_sums_to_one(self, bigram, vocab):
+        """P(. | h) over the full ID space must be a distribution."""
+        for history in [(), (vocab.word_id("the"),), (vocab.bos_id,)]:
+            total = sum(
+                bigram.prob(w, history) for w in range(len(vocab))
+            )
+            assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_seen_bigram_beats_unseen(self, bigram, vocab):
+        the = vocab.word_id("the")
+        assert bigram.prob(vocab.word_id("cat"), (the,)) > bigram.prob(
+            vocab.word_id("runs"), (the,)
+        )
+
+    def test_row_matches_scalar(self, bigram, vocab):
+        history = (vocab.word_id("cat"),)
+        row = bigram.log_prob_row(history)
+        for w in range(vocab.size):
+            assert row[w] == pytest.approx(bigram.log_prob(w, history))
+
+    def test_eos_probability(self, bigram, vocab):
+        # "runs" and "sleeps" always end sentences.
+        assert bigram.eos_log_prob((vocab.word_id("runs"),)) > bigram.eos_log_prob(
+            (vocab.word_id("the"),)
+        )
+
+    def test_sentence_log_prob_negative(self, bigram):
+        assert bigram.sentence_log_prob(["the", "cat", "runs"]) < 0
+
+    def test_perplexity_sane(self, bigram):
+        ppl = bigram.perplexity([["the", "cat", "runs"]])
+        assert 1.0 < ppl < len(bigram.vocabulary)
+
+    def test_bigram_beats_unigram_perplexity(self, vocab):
+        text = [
+            ["the", "cat", "runs"],
+            ["the", "dog", "sleeps"],
+            ["the", "cat", "sleeps"],
+        ] * 3
+        uni = NGramModel(vocab, order=1)
+        uni.train(text)
+        bi = NGramModel(vocab, order=2)
+        bi.train(text)
+        assert bi.perplexity(text) < uni.perplexity(text)
+
+    def test_trigram_backoff(self, vocab):
+        tri = NGramModel(vocab, order=3)
+        tri.train([["the", "cat", "runs"], ["the", "dog", "runs"]])
+        history = (vocab.word_id("the"), vocab.word_id("cat"))
+        assert tri.prob(vocab.word_id("runs"), history) > 0.3
+
+    def test_history_truncated_to_order(self, bigram, vocab):
+        long_history = (vocab.word_id("dog"), vocab.word_id("cat"))
+        short = bigram.prob(vocab.word_id("runs"), (vocab.word_id("cat"),))
+        assert bigram.prob(vocab.word_id("runs"), long_history) == pytest.approx(short)
+
+    def test_sampling_generates_known_words(self, bigram, vocab):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            sentence = bigram.sample_sentence(rng, max_words=6)
+            assert all(w in vocab.words() for w in sentence)
+
+    def test_sampling_respects_min_words(self, bigram):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            assert len(bigram.sample_sentence(rng, min_words=2, max_words=8)) >= 2
+
+    def test_ngram_counts_and_storage(self, bigram):
+        counts = bigram.num_ngrams()
+        assert counts[1] > 0 and counts[2] > 0
+        assert bigram.storage_bytes() == sum(counts.values()) * 8
+
+    def test_empty_training_rejected(self, vocab):
+        with pytest.raises(ValueError):
+            NGramModel(vocab).train([])
+
+    def test_row_cache_eviction(self, bigram, vocab):
+        bigram._row_cache_limit = 2
+        bigram.log_prob_row(())
+        bigram.log_prob_row((0,))
+        bigram.log_prob_row((1,))
+        assert len(bigram._row_cache) <= 2

@@ -1,0 +1,100 @@
+"""Tests for repro.decoder.network — the flat lexicon state bank."""
+
+import numpy as np
+import pytest
+
+from repro.decoder.network import FlatLexiconNetwork
+from repro.hmm.topology import HmmTopology
+from repro.lexicon.dictionary import PronunciationDictionary
+from repro.lexicon.triphone import SenoneTying
+
+
+@pytest.fixture()
+def dictionary():
+    d = PronunciationDictionary()
+    d.add("kaet", ("K", "AE", "T"))
+    d.add("dig", ("D", "IH", "G"))
+    d.add("a", ("AA",))
+    return d
+
+
+@pytest.fixture()
+def tying():
+    return SenoneTying(num_senones=6000)
+
+
+class TestBuild:
+    def test_state_counts(self, dictionary, tying):
+        net = FlatLexiconNetwork.build(dictionary, tying)
+        # words sorted: a (1 phone), dig (3), kaet (3) + silence word.
+        assert net.num_words == 3
+        assert net.has_silence
+        assert net.num_states == (1 + 3 + 3) * 3 + 3
+
+    def test_without_silence(self, dictionary, tying):
+        net = FlatLexiconNetwork.build(dictionary, tying, include_silence=False)
+        assert not net.has_silence
+        assert net.num_states == 21
+
+    def test_word_ranges_partition_states(self, dictionary, tying):
+        net = FlatLexiconNetwork.build(dictionary, tying)
+        covered = []
+        total_words = net.num_words + 1
+        for w in range(total_words):
+            covered.extend(net.states_of_word(w).tolist())
+        assert sorted(covered) == list(range(net.num_states))
+
+    def test_is_start_marks_word_heads(self, dictionary, tying):
+        net = FlatLexiconNetwork.build(dictionary, tying)
+        starts = np.flatnonzero(net.is_start)
+        assert set(starts.tolist()) == set(net.start_state.tolist())
+
+    def test_word_of_state_consistent(self, dictionary, tying):
+        net = FlatLexiconNetwork.build(dictionary, tying)
+        for w in range(net.num_words):
+            states = net.states_of_word(w)
+            assert np.all(net.word_of_state[states] == w)
+
+    def test_senones_within_budget(self, dictionary, tying):
+        net = FlatLexiconNetwork.build(dictionary, tying)
+        assert int(net.senone_id.max()) < tying.num_senones
+
+    def test_word_names(self, dictionary, tying):
+        net = FlatLexiconNetwork.build(dictionary, tying)
+        assert net.word_name(0) == "a"
+        assert net.word_name(net.silence_word) == "<sil>"
+
+    def test_transition_constants(self, dictionary, tying):
+        topo = HmmTopology(num_states=3, self_loop_prob=0.7)
+        net = FlatLexiconNetwork.build(dictionary, tying, topo)
+        assert np.allclose(net.self_logp, np.log(0.7), atol=1e-6)
+        assert np.allclose(net.fwd_logp, np.log(0.3), atol=1e-6)
+
+    def test_topology_mismatch_rejected(self, dictionary):
+        tying5 = SenoneTying(num_senones=6000, states_per_hmm=5)
+        topo3 = HmmTopology(num_states=3)
+        with pytest.raises(ValueError):
+            FlatLexiconNetwork.build(dictionary, tying5, topo3)
+
+    def test_empty_dictionary_rejected(self, tying):
+        with pytest.raises(ValueError):
+            FlatLexiconNetwork.build(PronunciationDictionary(), tying)
+
+    def test_five_state_topology(self, dictionary):
+        tying5 = SenoneTying(num_senones=6000, states_per_hmm=5)
+        topo5 = HmmTopology(num_states=5)
+        net = FlatLexiconNetwork.build(dictionary, tying5, topo5)
+        assert net.num_states == (1 + 3 + 3) * 5 + 5
+
+    def test_shared_senones_across_words(self, tying):
+        """Tying: the same triphone in two words shares senones."""
+        d = PronunciationDictionary()
+        d.add("kaet", ("K", "AE", "T"))
+        d.add("kaets", ("K", "AE", "T", "S"))
+        net = FlatLexiconNetwork.build(d, tying, include_silence=False)
+        kaet = net.states_of_word(net.words.index("kaet"))
+        kaets = net.states_of_word(net.words.index("kaets"))
+        # First two triphones (SIL-K+AE, K-AE+T) are identical.
+        assert np.array_equal(
+            net.senone_id[kaet[:6]], net.senone_id[kaets[:6]]
+        )

@@ -1,0 +1,226 @@
+"""Tests for repro.core.opunit — the Observation Probability unit."""
+
+import numpy as np
+import pytest
+
+from repro.core.opunit import LOG_ZERO, GaussianTable, OpUnit, OpUnitSpec
+from repro.core.pipeline import PipelineTrace
+from repro.quant.float_formats import MANTISSA_12
+
+
+@pytest.fixture()
+def unit_and_table(small_pool):
+    unit = OpUnit(OpUnitSpec(feature_dim=small_pool.dim))
+    table = small_pool.gaussian_table()
+    return unit, table
+
+
+class TestSpec:
+    def test_cycles_per_senone_structure(self):
+        spec = OpUnitSpec(feature_dim=39)
+        # 8 components: stream of 312 dims + FMA tail + 7 logadds.
+        cycles = spec.cycles_per_senone(8)
+        stream = spec.sdm_pipeline.cycles(8 * 39)
+        tail = spec.fma_pipeline.depth + spec.logadd_pipeline.cycles(7)
+        assert cycles == stream + tail
+
+    def test_cycles_monotone_in_components(self):
+        spec = OpUnitSpec(feature_dim=39)
+        assert spec.cycles_per_senone(8) > spec.cycles_per_senone(4)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            OpUnitSpec(clock_hz=0)
+        with pytest.raises(ValueError):
+            OpUnitSpec(feature_dim=0)
+        with pytest.raises(ValueError):
+            OpUnitSpec(feature_dim=100, feature_buffer_words=64)
+
+    def test_rejects_zero_components(self):
+        with pytest.raises(ValueError):
+            OpUnitSpec().cycles_per_senone(0)
+
+    def test_realtime_budget_consistency(self):
+        """The paper's sizing: ~45% of 6000 senones on 2 units fits 10 ms."""
+        spec = OpUnitSpec(feature_dim=39)
+        per_senone = spec.cycles_per_senone(8)
+        budget = int(spec.clock_hz * 0.010)
+        senones_per_unit_frame = budget // per_senone
+        # Two units must together cover > 2400 senones (40%).
+        assert 2 * senones_per_unit_frame > 2400
+
+
+class TestGaussianTable:
+    def test_shapes_validated(self, small_pool):
+        table = small_pool.gaussian_table()
+        with pytest.raises(ValueError):
+            GaussianTable(table.means, table.precisions[:, :1], table.offsets)
+        with pytest.raises(ValueError):
+            GaussianTable(table.means, table.precisions, table.offsets[:, :1])
+
+    def test_rejects_positive_precisions(self, small_pool):
+        table = small_pool.gaussian_table()
+        with pytest.raises(ValueError):
+            GaussianTable(table.means, -table.precisions, table.offsets)
+
+    def test_storage_accounting(self, small_pool):
+        table = small_pool.gaussian_table()
+        values = small_pool.num_components * (2 * small_pool.dim + 1)
+        assert table.values_per_senone == values
+        assert table.senone_bytes() == values * 4
+        assert table.storage_bytes() == small_pool.num_senones * values * 4
+
+    def test_quantized_table(self, small_pool):
+        table = small_pool.gaussian_table()
+        narrow = table.quantized(MANTISSA_12)
+        assert narrow.storage_format is MANTISSA_12
+        assert narrow.senone_bytes() == table.values_per_senone * 21 / 8
+
+
+class TestSerialScoring:
+    def test_matches_reference_within_logadd_error(self, small_pool, rng):
+        unit = OpUnit(OpUnitSpec(feature_dim=small_pool.dim))
+        table = small_pool.gaussian_table()
+        obs = rng.normal(size=small_pool.dim)
+        reference = small_pool.score_frame(obs)
+        unit.load_feature(obs)
+        bound = (small_pool.num_components - 1) * unit.logadd.theoretical_error_bound()
+        for senone in range(small_pool.num_senones):
+            hw = unit.score_senone(table, senone)
+            assert abs(hw - reference[senone]) <= bound + 5e-3  # + float32 rounding
+
+    def test_cycles_accumulate(self, unit_and_table, rng):
+        unit, table = unit_and_table
+        unit.load_feature(rng.normal(size=table.feature_dim))
+        unit.score_senone(table, 0)
+        expected = unit.spec.cycles_per_senone(table.num_components)
+        assert unit.cycles_busy == expected
+        unit.score_senone(table, 1)
+        assert unit.cycles_busy == 2 * expected
+
+    def test_running_max_register(self, unit_and_table, rng):
+        unit, table = unit_and_table
+        unit.load_feature(rng.normal(size=table.feature_dim))
+        scores = [unit.score_senone(table, s) for s in range(5)]
+        assert unit.running_max == pytest.approx(max(scores))
+
+    def test_pde_prunes_dims(self, small_pool, rng):
+        unit = OpUnit(OpUnitSpec(feature_dim=small_pool.dim))
+        table = small_pool.gaussian_table()
+        obs = rng.normal(size=small_pool.dim)
+        unit.load_feature(obs)
+        unit.score_senone(table, 0)
+        full_dims = unit.dims_evaluated
+        unit.reset_counters()
+        unit.load_feature(obs)
+        unit.score_senone(table, 0, prune_threshold=-10.0)
+        assert unit.dims_evaluated <= full_dims
+
+    def test_pde_reduces_cycles(self, small_pool, rng):
+        unit = OpUnit(OpUnitSpec(feature_dim=small_pool.dim))
+        table = small_pool.gaussian_table()
+        obs = rng.normal(scale=10.0, size=small_pool.dim)  # far from means
+        unit.load_feature(obs)
+        unit.score_senone(table, 0, prune_threshold=-5.0)
+        pruned_cycles = unit.cycles_busy
+        unit.reset_counters()
+        unit.load_feature(obs)
+        unit.score_senone(table, 0)
+        assert pruned_cycles <= unit.cycles_busy
+
+    def test_feature_length_validated(self, unit_and_table):
+        unit, _ = unit_and_table
+        with pytest.raises(ValueError):
+            unit.load_feature(np.zeros(7))
+
+    def test_senone_range_validated(self, unit_and_table, rng):
+        unit, table = unit_and_table
+        unit.load_feature(rng.normal(size=table.feature_dim))
+        with pytest.raises(IndexError):
+            unit.score_senone(table, table.num_senones)
+
+    def test_trace_records(self, small_pool, rng):
+        trace = PipelineTrace()
+        unit = OpUnit(OpUnitSpec(feature_dim=small_pool.dim), trace=trace)
+        table = small_pool.gaussian_table()
+        unit.load_feature(rng.normal(size=small_pool.dim))
+        unit.score_senone(table, 3)
+        assert trace.events and "senone[3]" in trace.events[0].item
+
+
+class TestBatchScoring:
+    def test_matches_serial(self, small_pool, rng):
+        obs = rng.normal(size=small_pool.dim)
+        table = small_pool.gaussian_table()
+        serial_unit = OpUnit(OpUnitSpec(feature_dim=small_pool.dim))
+        serial_unit.load_feature(obs)
+        serial = np.array(
+            [serial_unit.score_senone(table, s) for s in range(table.num_senones)]
+        )
+        batch_unit = OpUnit(OpUnitSpec(feature_dim=small_pool.dim))
+        batch = batch_unit.score_frame(table, obs).scores
+        # Same logadd table and component order; only the dim-loop
+        # float32 summation order differs.
+        assert np.max(np.abs(batch - serial)) < 1e-3
+
+    def test_subset_scoring(self, unit_and_table, rng):
+        unit, table = unit_and_table
+        active = np.array([1, 5, 7])
+        result = unit.score_frame(table, rng.normal(size=table.feature_dim), active)
+        assert result.senones_scored == 3
+        scored = result.scores > LOG_ZERO / 2
+        assert scored.sum() == 3
+        assert set(np.flatnonzero(scored)) == {1, 5, 7}
+
+    def test_empty_active(self, unit_and_table, rng):
+        unit, table = unit_and_table
+        result = unit.score_frame(table, rng.normal(size=table.feature_dim), np.array([], dtype=np.int64))
+        assert result.cycles == 0 and result.senones_scored == 0
+
+    def test_cycles_match_formula(self, unit_and_table, rng):
+        unit, table = unit_and_table
+        result = unit.score_frame(table, rng.normal(size=table.feature_dim))
+        expected = table.num_senones * unit.spec.cycles_per_senone(table.num_components)
+        assert result.cycles == expected
+
+    def test_bandwidth_accounting(self, unit_and_table, rng):
+        unit, table = unit_and_table
+        unit.score_frame(table, rng.normal(size=table.feature_dim))
+        assert unit.parameter_bytes == table.num_senones * table.senone_bytes()
+
+    def test_out_of_range_active_rejected(self, unit_and_table, rng):
+        unit, table = unit_and_table
+        with pytest.raises(IndexError):
+            unit.score_frame(
+                table, rng.normal(size=table.feature_dim), np.array([999999])
+            )
+
+    def test_activity_snapshot(self, unit_and_table, rng):
+        unit, table = unit_and_table
+        unit.score_frame(table, rng.normal(size=table.feature_dim))
+        act = unit.activity()
+        n, m, dim = table.num_senones, table.num_components, table.feature_dim
+        assert act["sdm_ops"] == n * m * dim
+        assert act["fma_ops"] == n * m
+        assert act["senones"] == n
+        assert act["cycles_busy"] == unit.cycles_busy
+
+    def test_reset_counters(self, unit_and_table, rng):
+        unit, table = unit_and_table
+        unit.score_frame(table, rng.normal(size=table.feature_dim))
+        unit.reset_counters()
+        assert unit.cycles_busy == 0
+        assert unit.activity()["sdm_ops"] == 0
+
+
+class TestQuantizedScoring:
+    def test_narrow_storage_changes_little(self, small_pool, rng):
+        obs = rng.normal(size=small_pool.dim)
+        wide = OpUnit(OpUnitSpec(feature_dim=small_pool.dim))
+        narrow = OpUnit(OpUnitSpec(feature_dim=small_pool.dim))
+        full = wide.score_frame(small_pool.gaussian_table(), obs).scores
+        q12 = narrow.score_frame(
+            small_pool.gaussian_table(MANTISSA_12), obs
+        ).scores
+        # 12-bit mantissa storage moves scores by far less than a beam.
+        assert np.max(np.abs(full - q12)) < 1.0

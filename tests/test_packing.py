@@ -1,0 +1,77 @@
+"""Tests for repro.quant.packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.packing import pack_bits, packed_size_bytes, unpack_bits
+
+
+class TestPackedSize:
+    def test_exact_byte_multiple(self):
+        assert packed_size_bytes(8, 8) == 8
+        assert packed_size_bytes(8, 21) == 21  # 168 bits
+
+    def test_rounds_up(self):
+        assert packed_size_bytes(3, 21) == 8  # 63 bits -> 8 bytes
+        assert packed_size_bytes(1, 1) == 1
+
+    def test_zero_count(self):
+        assert packed_size_bytes(0, 32) == 0
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            packed_size_bytes(10, 0)
+        with pytest.raises(ValueError):
+            packed_size_bytes(10, 33)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            packed_size_bytes(-1, 8)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("width", [1, 7, 8, 13, 21, 24, 32])
+    def test_random_patterns(self, width):
+        rng = np.random.default_rng(width)
+        if width == 32:
+            values = rng.integers(0, 2**32, size=257, dtype=np.uint64).astype(np.uint32)
+        else:
+            values = rng.integers(0, 2**width, size=257).astype(np.uint32)
+        data = pack_bits(values, width)
+        assert len(data) == packed_size_bytes(257, width)
+        recovered = unpack_bits(data, width, 257)
+        assert np.array_equal(recovered, values)
+
+    def test_empty(self):
+        assert pack_bits(np.array([], dtype=np.uint32), 21) == b""
+        assert unpack_bits(b"", 21, 0).size == 0
+
+    def test_rejects_overwide_values(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([1 << 21], dtype=np.uint32), 21)
+
+    def test_rejects_truncated_data(self):
+        data = pack_bits(np.arange(10, dtype=np.uint32), 16)
+        with pytest.raises(ValueError):
+            unpack_bits(data[:-1], 16, 10)
+
+    def test_msb_first_layout(self):
+        # Value 1 at width 8 -> byte 0x01; at width 1, bit in MSB.
+        assert pack_bits(np.array([1], dtype=np.uint32), 8) == b"\x01"
+        assert pack_bits(np.array([1], dtype=np.uint32), 1) == b"\x80"
+
+    def test_final_byte_zero_padded(self):
+        data = pack_bits(np.array([0b111], dtype=np.uint32), 3)
+        assert data == bytes([0b11100000])
+
+
+@given(
+    st.integers(min_value=1, max_value=32),
+    st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=0, max_size=100),
+)
+@settings(max_examples=150, deadline=None)
+def test_property_roundtrip(width, raw):
+    values = np.asarray([v & ((1 << width) - 1) for v in raw], dtype=np.uint32)
+    assert np.array_equal(unpack_bits(pack_bits(values, width), width, len(values)), values)

@@ -1,0 +1,58 @@
+"""Tests for repro.lexicon.phones."""
+
+import pytest
+
+from repro.lexicon.phones import PhoneClass, PhoneSet, SILENCE, default_phone_set
+
+
+class TestInventory:
+    def test_paper_phone_count(self):
+        """Section II: 'there are 51 phones in English language'."""
+        assert len(default_phone_set()) == 51
+
+    def test_indices_dense_and_stable(self):
+        ps = default_phone_set()
+        indices = [p.index for p in ps]
+        assert indices == list(range(51))
+
+    def test_lookup_by_name_and_index(self):
+        ps = default_phone_set()
+        phone = ps.phone("AA")
+        assert ps.by_index(phone.index).name == "AA"
+
+    def test_unknown_phone(self):
+        with pytest.raises(KeyError):
+            default_phone_set().phone("QQ")
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            default_phone_set().by_index(51)
+
+    def test_silence(self):
+        ps = default_phone_set()
+        assert ps.silence.name == SILENCE
+        assert ps.silence.is_silence
+        assert not ps.phone("AA").is_silence
+
+    def test_non_silence_excludes_all_silence_class(self):
+        ps = default_phone_set()
+        for phone in ps.non_silence():
+            assert phone.phone_class is not PhoneClass.SILENCE
+
+    def test_contains(self):
+        ps = default_phone_set()
+        assert "K" in ps
+        assert "XX" not in ps
+
+    def test_class_index_dense(self):
+        ps = default_phone_set()
+        assert 0 <= ps.class_index("AA") < len(PhoneClass)
+
+    def test_every_class_populated(self):
+        ps = default_phone_set()
+        present = {p.phone_class for p in ps}
+        assert present == set(PhoneClass)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            PhoneSet((("A", PhoneClass.VOWEL), ("A", PhoneClass.STOP)))

@@ -1,0 +1,64 @@
+"""Tests for repro.core.pipeline."""
+
+import pytest
+
+from repro.core.pipeline import PipelineSpec, PipelineTrace
+
+
+class TestPipelineSpec:
+    def test_cycles_fully_pipelined(self):
+        spec = PipelineSpec("p", depth=8, initiation_interval=1)
+        assert spec.cycles(1) == 8
+        assert spec.cycles(10) == 17
+
+    def test_cycles_ii2(self):
+        spec = PipelineSpec("p", depth=4, initiation_interval=2)
+        assert spec.cycles(1) == 4
+        assert spec.cycles(5) == 4 + 8
+
+    def test_zero_items(self):
+        assert PipelineSpec("p", depth=5).cycles(0) == 0
+
+    def test_throughput_cycles(self):
+        spec = PipelineSpec("p", depth=4, initiation_interval=2)
+        assert spec.throughput_cycles(10) == 20
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            PipelineSpec("p", depth=0)
+        with pytest.raises(ValueError):
+            PipelineSpec("p", depth=1, initiation_interval=0)
+        with pytest.raises(ValueError):
+            PipelineSpec("p", depth=1).cycles(-1)
+
+
+class TestTrace:
+    def test_records_events(self):
+        trace = PipelineTrace()
+        trace.record("blk", "item0", 0, 10)
+        trace.record("blk", "item1", 1, 11)
+        assert len(trace.events) == 2
+        assert trace.events[0].retire_cycle == 10
+
+    def test_disabled_trace_ignores(self):
+        trace = PipelineTrace(enabled=False)
+        trace.record("blk", "x", 0, 1)
+        assert not trace.events
+
+    def test_rejects_retire_before_issue(self):
+        with pytest.raises(ValueError):
+            PipelineTrace().record("blk", "x", 5, 4)
+
+    def test_format_and_clear(self):
+        trace = PipelineTrace()
+        trace.record("op-unit", "senone[3]", 0, 338)
+        text = trace.format()
+        assert "op-unit" in text and "senone[3]" in text
+        trace.clear()
+        assert not trace.events
+
+    def test_format_limit(self):
+        trace = PipelineTrace()
+        for i in range(10):
+            trace.record("b", f"i{i}", i, i + 1)
+        assert len(trace.format(limit=3).splitlines()) == 4  # header + 3

@@ -1,0 +1,108 @@
+"""Tests for repro.core.power — calibration, gating, breakdowns."""
+
+import pytest
+
+from repro.core.power import AreaTable, EnergyTable, PowerModel, PowerReport
+
+
+def _full_busy_activity(duration_s: float = 1.0, clock_hz: float = 50e6):
+    """Activity of a unit streaming Gaussians for the whole interval."""
+    cycles = duration_s * clock_hz
+    dims_per_senone = 8 * 39
+    cycles_per_senone = 338.0  # OpUnitSpec default for M=8, L=39
+    senones = cycles / cycles_per_senone
+    return {
+        "cycles_busy": cycles,
+        "sdm_ops": senones * dims_per_senone,
+        "add_ops": senones * dims_per_senone,
+        "fma_ops": senones * 8,
+        "compare_ops": senones,
+        "sram_reads": senones * 7,
+        "parameter_bytes": senones * 2528.0,
+        "senones": senones,
+    }
+
+
+class TestCalibration:
+    def test_fully_busy_unit_near_200mw(self):
+        """The paper's synthesis point: 200 mW at 50 MHz (R4)."""
+        model = PowerModel()
+        report = model.unit_report(_full_busy_activity(), 1.0)
+        assert report.average_power_w == pytest.approx(0.200, rel=0.10)
+
+    def test_area_totals_2p2mm2(self):
+        assert AreaTable().total() == pytest.approx(2.2, abs=0.01)
+
+    def test_area_breakdown_sums(self):
+        area = AreaTable()
+        assert sum(area.breakdown().values()) == pytest.approx(area.total())
+
+
+class TestClockGating:
+    def test_idle_unit_gated_vs_ungated(self):
+        """Clock gating must slash idle power (the paper's mechanism)."""
+        idle = {"cycles_busy": 0.0}
+        gated = PowerModel(clock_gating=True).unit_report(idle, 1.0)
+        ungated = PowerModel(clock_gating=False).unit_report(idle, 1.0)
+        assert gated.average_power_w < 0.5 * ungated.average_power_w
+
+    def test_gating_irrelevant_when_fully_busy(self):
+        act = _full_busy_activity()
+        gated = PowerModel(clock_gating=True).unit_report(act, 1.0)
+        ungated = PowerModel(clock_gating=False).unit_report(act, 1.0)
+        assert gated.energy_j == pytest.approx(ungated.energy_j)
+
+    def test_low_duty_cycle_power_scales(self):
+        """At 10% duty the gated unit burns far less than 200 mW."""
+        act = _full_busy_activity()
+        tenth = {k: v * 0.1 for k, v in act.items()}
+        report = PowerModel(clock_gating=True).unit_report(tenth, 1.0)
+        assert report.average_power_w < 0.05
+
+
+class TestReports:
+    def test_breakdown_sums_to_total(self):
+        report = PowerModel().unit_report(_full_busy_activity(), 1.0)
+        assert sum(report.breakdown_j.values()) == pytest.approx(report.energy_j)
+
+    def test_leakage_always_present(self):
+        report = PowerModel().unit_report({"cycles_busy": 0.0}, 2.0)
+        assert report.breakdown_j["leakage"] == pytest.approx(
+            EnergyTable().leakage_w * 2.0
+        )
+
+    def test_combined_report_adds(self):
+        model = PowerModel()
+        act = _full_busy_activity()
+        single = model.unit_report(act, 1.0)
+        combined = model.combined_report([act, act], 1.0)
+        assert combined.energy_j == pytest.approx(2 * single.energy_j)
+
+    def test_zero_duration(self):
+        report = PowerReport(duration_s=0.0, energy_j=0.0)
+        assert report.average_power_w == 0.0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            PowerModel().unit_report({}, -1.0)
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            PowerModel(clock_hz=0)
+
+    def test_format_contains_breakdown(self):
+        report = PowerModel().unit_report(_full_busy_activity(), 0.5)
+        text = report.format()
+        assert "datapath" in text and "mW" in text
+
+    def test_missing_keys_default_to_zero(self):
+        report = PowerModel().unit_report({"cycles_busy": 1000.0}, 0.001)
+        assert report.energy_j > 0
+
+    def test_two_structures_near_400mw(self):
+        """Section VI: 'the power is about 400mW (2X200mW)'."""
+        model = PowerModel()
+        combined = model.combined_report(
+            [_full_busy_activity(), _full_busy_activity()], 1.0
+        )
+        assert combined.average_power_w == pytest.approx(0.400, rel=0.10)

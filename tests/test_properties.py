@@ -1,0 +1,120 @@
+"""Cross-module property tests (hypothesis) on system invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.logadd import LogAddTable
+from repro.decoder.beam import LOG_ZERO, BeamConfig, apply_beam
+from repro.hmm.train import forced_alignment, uniform_alignment
+from repro.lm.ngram import NGramModel
+from repro.lm.vocabulary import Vocabulary
+from repro.quant.float_formats import FloatFormat
+from repro.quant.packing import pack_bits, unpack_bits
+
+
+@given(
+    st.integers(min_value=1, max_value=23),
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=32),
+        min_size=1,
+        max_size=64,
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_flash_image_roundtrip(mantissa_bits, values):
+    """encode -> pack -> unpack -> decode is lossless past quantize."""
+    fmt = FloatFormat(mantissa_bits=mantissa_bits)
+    arr = np.asarray(values, dtype=np.float32)
+    patterns = fmt.encode(arr)
+    blob = pack_bits(patterns, fmt.total_bits)
+    recovered = fmt.decode(unpack_bits(blob, fmt.total_bits, arr.size))
+    assert np.array_equal(recovered, fmt.quantize(arr))
+
+
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_forced_alignment_valid(num_states, seed):
+    """Any alignment is monotone, total, and hits both endpoints."""
+    rng = np.random.default_rng(seed)
+    num_frames = num_states + int(rng.integers(0, 30))
+    scores = rng.normal(-5, 3, size=(num_frames, num_states))
+    alignment = forced_alignment(scores, np.log(0.6), np.log(0.4))
+    assert alignment.shape == (num_frames,)
+    assert alignment[0] == 0
+    assert alignment[-1] == num_states - 1
+    assert np.all(np.isin(np.diff(alignment), [0, 1]))
+
+
+@given(
+    st.integers(min_value=1, max_value=200),
+    st.integers(min_value=1, max_value=50),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_uniform_alignment_covers_prefix(num_frames, num_states):
+    assignment = uniform_alignment(num_frames, num_states)
+    assert assignment[0] == 0
+    assert np.all(np.diff(assignment) >= 0)
+    assert assignment.max() < num_states
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1000, max_value=0, allow_nan=False),
+        min_size=1,
+        max_size=80,
+    ),
+    st.floats(min_value=1.0, max_value=300.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_beam_keeps_exactly_the_beam(deltas, beam):
+    """Post-prune: survivors are exactly those within the beam."""
+    arr = np.asarray(deltas, dtype=np.float64)
+    best = arr.max()
+    expected = arr > best - beam
+    alive, count = apply_beam(arr, BeamConfig(state_beam=beam))
+    assert count == int(expected.sum())
+    assert np.array_equal(alive, expected)
+    assert np.all(arr[~alive] == LOG_ZERO)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_property_lm_rows_are_subdistributions(seed):
+    """Every LM row (over regular words) has mass <= 1, and the full
+    ID space sums to exactly 1."""
+    rng = np.random.default_rng(seed)
+    words = [f"w{i}" for i in range(int(rng.integers(2, 12)))]
+    vocab = Vocabulary(words)
+    sentences = [
+        [words[int(rng.integers(len(words)))] for _ in range(int(rng.integers(1, 6)))]
+        for _ in range(int(rng.integers(1, 10)))
+    ]
+    lm = NGramModel(vocab, order=2)
+    lm.train(sentences)
+    for history in [(), (0,), (vocab.bos_id,)]:
+        row_mass = float(np.exp(lm.log_prob_row(history)).sum())
+        assert row_mass <= 1.0 + 1e-9
+        full = sum(lm.prob(w, history) for w in range(len(vocab)))
+        assert full == pytest.approx(1.0, abs=1e-9)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-60, max_value=-0.5, allow_nan=False),
+        min_size=2,
+        max_size=16,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_property_logadd_fold_order_insensitive_within_bound(values):
+    """Folding in any order stays within the accumulated table bound."""
+    table = LogAddTable()
+    forward = table.logadd_many(np.asarray(values))
+    backward = table.logadd_many(np.asarray(values[::-1]))
+    bound = 2 * len(values) * table.theoretical_error_bound()
+    assert abs(forward - backward) <= bound

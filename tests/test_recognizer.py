@@ -1,0 +1,111 @@
+"""Tests for repro.decoder.recognizer (uses the session tiny task)."""
+
+import numpy as np
+import pytest
+
+from repro.decoder.recognizer import Recognizer
+from repro.decoder.fast_gmm import FastGmmConfig
+from repro.lm.ngram import NGramModel
+from repro.lm.vocabulary import Vocabulary
+from repro.quant.float_formats import MANTISSA_12
+
+
+class TestModes:
+    def test_reference_mode_decodes(self, task):
+        rec = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying, mode="reference"
+        )
+        utt = task.corpus.test[0]
+        result = rec.decode(utt.features)
+        assert result.words == tuple(utt.words)
+        assert result.frames == utt.num_frames
+        assert result.op_unit_activities is None
+
+    def test_hardware_mode_matches_reference(self, task):
+        ref = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying, mode="reference"
+        )
+        hw = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying, mode="hardware"
+        )
+        for utt in task.corpus.test[:4]:
+            assert hw.decode(utt.features).words == ref.decode(utt.features).words
+
+    def test_hardware_mode_accounting(self, task):
+        rec = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying,
+            mode="hardware", num_unit_pairs=2,
+        )
+        result = rec.decode(task.corpus.test[0].features)
+        assert result.op_unit_activities is not None
+        assert len(result.op_unit_activities) == 2
+        assert result.viterbi_activity is not None
+        assert result.frame_critical_cycles is not None
+        assert len(result.frame_critical_cycles) == result.frames
+        assert result.op_unit_activities[0]["cycles_busy"] > 0
+
+    def test_fast_mode_decodes(self, task):
+        rec = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying,
+            mode="fast",
+            fast_config=FastGmmConfig(cds_enabled=True, pde_enabled=True),
+        )
+        utt = task.corpus.test[0]
+        result = rec.decode(utt.features)
+        assert result.words == tuple(utt.words)
+
+    def test_quantized_storage_decodes(self, task):
+        rec = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying,
+            mode="reference", storage_format=MANTISSA_12,
+        )
+        utt = task.corpus.test[0]
+        assert rec.decode(utt.features).words == tuple(utt.words)
+
+    def test_unknown_mode_rejected(self, task):
+        with pytest.raises(ValueError):
+            Recognizer.create(
+                task.dictionary, task.pool, task.lm, task.tying, mode="quantum"
+            )
+
+    def test_vocab_mismatch_rejected(self, task):
+        other = Vocabulary(["zzz"])
+        lm = NGramModel(other, order=1)
+        lm.train([["zzz"]])
+        with pytest.raises(ValueError):
+            Recognizer.create(task.dictionary, task.pool, lm, task.tying)
+
+
+class TestResultMetrics:
+    def test_active_senone_fraction_below_half(self, task):
+        """The paper's R2 claim holds even on the tiny task."""
+        rec = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying, mode="reference"
+        )
+        result = rec.decode(task.corpus.test[0].features)
+        assert 0.0 < result.mean_active_senone_fraction < 0.5
+
+    def test_audio_seconds(self, task):
+        rec = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying, mode="reference"
+        )
+        result = rec.decode(task.corpus.test[0].features)
+        assert result.audio_seconds == pytest.approx(result.frames * 0.010)
+
+    def test_feature_validation(self, task):
+        rec = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying, mode="reference"
+        )
+        with pytest.raises(ValueError):
+            rec.decode(np.zeros((10, 7)))
+        with pytest.raises(ValueError):
+            rec.decode(np.zeros((0, 39)))
+
+    def test_recognizer_reusable_across_utterances(self, task):
+        rec = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying, mode="reference"
+        )
+        first = rec.decode(task.corpus.test[0].features)
+        second = rec.decode(task.corpus.test[0].features)
+        assert first.words == second.words
+        assert first.score == pytest.approx(second.score)

@@ -1,0 +1,108 @@
+"""Tests for repro.core.scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core.opunit import OpUnitSpec
+from repro.core.scheduler import FrameSchedule, ScheduleConfig, SenoneScheduler
+
+
+class TestScheduling:
+    def test_even_split(self):
+        scheduler = SenoneScheduler(num_units=2)
+        schedule = scheduler.schedule_frame(np.arange(100))
+        sizes = [s.size for s in schedule.unit_senones]
+        assert sizes == [50, 50]
+        assert schedule.imbalance == 0.0
+
+    def test_odd_split_near_even(self):
+        scheduler = SenoneScheduler(num_units=2)
+        schedule = scheduler.schedule_frame(np.arange(101))
+        sizes = sorted(s.size for s in schedule.unit_senones)
+        assert sizes == [50, 51]
+        assert schedule.imbalance < 0.05
+
+    def test_compute_cycles_formula(self):
+        spec = OpUnitSpec()
+        scheduler = SenoneScheduler(num_units=2, spec=spec, components=8)
+        schedule = scheduler.schedule_frame(np.arange(10))
+        per = spec.cycles_per_senone(8)
+        assert schedule.unit_compute_cycles == [5 * per, 5 * per]
+
+    def test_contiguous_ids_one_transfer_each(self):
+        scheduler = SenoneScheduler(num_units=2)
+        schedule = scheduler.schedule_frame(np.arange(40))
+        assert schedule.transfers == 2
+
+    def test_scattered_ids_many_transfers(self):
+        scheduler = SenoneScheduler(num_units=1)
+        schedule = scheduler.schedule_frame(np.arange(0, 100, 5))
+        assert schedule.transfers == 20
+
+    def test_double_buffering_hides_fetch(self):
+        buffered = SenoneScheduler(
+            num_units=1, config=ScheduleConfig(double_buffered=True)
+        )
+        serial = SenoneScheduler(
+            num_units=1, config=ScheduleConfig(double_buffered=False)
+        )
+        active = np.arange(200)
+        fast = buffered.schedule_frame(active).critical_cycles
+        slow = serial.schedule_frame(active).critical_cycles
+        assert fast < slow
+
+    def test_empty_frame(self):
+        scheduler = SenoneScheduler(num_units=2)
+        schedule = scheduler.schedule_frame(np.array([], dtype=np.int64))
+        assert schedule.critical_cycles == 0
+        assert schedule.transfers == 0
+
+    def test_duplicates_removed(self):
+        scheduler = SenoneScheduler(num_units=1)
+        schedule = scheduler.schedule_frame(np.array([3, 3, 3, 7]))
+        assert schedule.unit_senones[0].size == 2
+
+    def test_two_units_halve_critical_path(self):
+        one = SenoneScheduler(num_units=1)
+        two = SenoneScheduler(num_units=2)
+        active = np.arange(3000)
+        c1 = one.schedule_frame(active).critical_cycles
+        c2 = two.schedule_frame(active).critical_cycles
+        assert c2 == pytest.approx(c1 / 2, rel=0.02)
+
+    def test_accumulated_stats(self):
+        scheduler = SenoneScheduler(num_units=2)
+        for n in (10, 20, 30):
+            scheduler.schedule_frame(np.arange(n))
+        assert scheduler.frames == 3
+        assert scheduler.critical_cycles_per_frame().shape == (3,)
+        assert scheduler.mean_imbalance() < 0.1
+        scheduler.reset()
+        assert scheduler.frames == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SenoneScheduler(num_units=0)
+        with pytest.raises(ValueError):
+            ScheduleConfig(dma_setup_cycles=-1)
+        with pytest.raises(ValueError):
+            ScheduleConfig(dma_bytes_per_cycle=0)
+
+
+class TestPaperOperatingPoint:
+    def test_45_percent_active_on_two_units_fits_budget(self):
+        """R3 with the DMA path in the loop: still real time."""
+        scheduler = SenoneScheduler(num_units=2)
+        active = np.arange(int(6000 * 0.45))
+        schedule = scheduler.schedule_frame(active)
+        assert schedule.critical_cycles <= 500_000
+
+    def test_bandwidth_does_not_bottleneck(self):
+        """At 32 B/cycle the DMA outruns the compute stream."""
+        scheduler = SenoneScheduler(num_units=2)
+        active = np.arange(3000)
+        schedule = scheduler.schedule_frame(active)
+        for compute, fetch in zip(
+            schedule.unit_compute_cycles, schedule.unit_fetch_cycles
+        ):
+            assert fetch < compute

@@ -1,0 +1,104 @@
+"""Tests for repro.decoder.scorer — reference and hardware backends."""
+
+import numpy as np
+import pytest
+
+from repro.core.opunit import OpUnit, OpUnitSpec
+from repro.decoder.scorer import (
+    LOG_ZERO,
+    HardwareScorer,
+    ReferenceScorer,
+    ScoringStats,
+)
+
+
+class TestScoringStats:
+    def test_fractions(self):
+        stats = ScoringStats(senone_budget=100)
+        stats.record(20)
+        stats.record(40)
+        assert stats.mean_active == 30.0
+        assert stats.mean_active_fraction == pytest.approx(0.30)
+        assert stats.peak_active_fraction == pytest.approx(0.40)
+
+    def test_empty(self):
+        stats = ScoringStats(senone_budget=100)
+        assert stats.mean_active == 0.0
+        assert stats.mean_active_fraction == 0.0
+        assert stats.peak_active_fraction == 0.0
+
+
+class TestReferenceScorer:
+    def test_scores_requested_only(self, small_pool, rng):
+        scorer = ReferenceScorer(small_pool)
+        obs = rng.normal(size=small_pool.dim)
+        out = scorer.score(0, obs, np.array([1, 4]))
+        assert out[1] > LOG_ZERO / 2 and out[4] > LOG_ZERO / 2
+        assert out[0] == LOG_ZERO
+
+    def test_matches_pool(self, small_pool, rng):
+        scorer = ReferenceScorer(small_pool)
+        obs = rng.normal(size=small_pool.dim)
+        out = scorer.score(0, obs, np.arange(small_pool.num_senones))
+        assert np.allclose(out, small_pool.score_frame(obs))
+
+    def test_stats_and_reset(self, small_pool, rng):
+        scorer = ReferenceScorer(small_pool)
+        scorer.score(0, rng.normal(size=small_pool.dim), np.array([0, 1, 2]))
+        assert scorer.stats.frames == 1
+        assert scorer.stats.senones_requested == 3
+        scorer.reset()
+        assert scorer.stats.frames == 0
+
+    def test_empty_request(self, small_pool, rng):
+        scorer = ReferenceScorer(small_pool)
+        out = scorer.score(0, rng.normal(size=small_pool.dim), np.array([], dtype=np.int64))
+        assert np.all(out == LOG_ZERO)
+
+
+class TestHardwareScorer:
+    def _scorer(self, small_pool, n_units=2):
+        units = [OpUnit(OpUnitSpec(feature_dim=small_pool.dim)) for _ in range(n_units)]
+        return HardwareScorer(units, small_pool.gaussian_table()), units
+
+    def test_close_to_reference(self, small_pool, rng):
+        scorer, _ = self._scorer(small_pool)
+        obs = rng.normal(size=small_pool.dim)
+        senones = np.arange(small_pool.num_senones)
+        hw = scorer.score(0, obs, senones)
+        ref = small_pool.score_frame(obs)
+        assert np.max(np.abs(hw - ref)) < 5e-3
+
+    def test_work_split_across_units(self, small_pool, rng):
+        scorer, units = self._scorer(small_pool, n_units=2)
+        scorer.score(0, rng.normal(size=small_pool.dim), np.arange(24))
+        assert units[0].senones_scored == 12
+        assert units[1].senones_scored == 12
+
+    def test_critical_path_recorded(self, small_pool, rng):
+        scorer, units = self._scorer(small_pool)
+        scorer.score(0, rng.normal(size=small_pool.dim), np.arange(10))
+        assert len(scorer.frame_critical_cycles) == 1
+        per = units[0].spec.cycles_per_senone(small_pool.num_components)
+        assert scorer.frame_critical_cycles[0] == 5 * per
+
+    def test_empty_frame(self, small_pool, rng):
+        scorer, _ = self._scorer(small_pool)
+        scorer.score(0, rng.normal(size=small_pool.dim), np.array([], dtype=np.int64))
+        assert scorer.frame_critical_cycles == [0]
+
+    def test_reset_clears_units(self, small_pool, rng):
+        scorer, units = self._scorer(small_pool)
+        scorer.score(0, rng.normal(size=small_pool.dim), np.arange(24))
+        scorer.reset()
+        assert units[0].cycles_busy == 0
+        assert scorer.frame_critical_cycles == []
+
+    def test_requires_units(self, small_pool):
+        with pytest.raises(ValueError):
+            HardwareScorer([], small_pool.gaussian_table())
+
+    def test_dim_mismatch_rejected(self, small_pool):
+        units = [OpUnit(OpUnitSpec(feature_dim=small_pool.dim + 1))]
+        with pytest.raises(ValueError):
+            HardwareScorer(units, small_pool.gaussian_table())

@@ -1,0 +1,105 @@
+"""Tests for repro.hmm.senone — the senone pool."""
+
+import numpy as np
+import pytest
+
+from repro.hmm.senone import SenonePool
+from repro.quant.float_formats import IEEE_SINGLE, MANTISSA_12, MANTISSA_15
+
+
+class TestValidation:
+    def test_shape_checks(self, rng):
+        means = rng.normal(size=(4, 2, 3))
+        with pytest.raises(ValueError):
+            SenonePool(means, np.ones((4, 2, 2)), np.full((4, 2), 0.5))
+        with pytest.raises(ValueError):
+            SenonePool(means, np.ones((4, 2, 3)), np.full((4, 3), 0.5))
+
+    def test_weight_normalization_required(self, rng):
+        means = rng.normal(size=(2, 2, 3))
+        with pytest.raises(ValueError):
+            SenonePool(means, np.ones((2, 2, 3)), np.full((2, 2), 0.3))
+
+    def test_negative_weights_rejected(self, rng):
+        means = rng.normal(size=(1, 2, 3))
+        weights = np.array([[1.5, -0.5]])
+        with pytest.raises(ValueError):
+            SenonePool(means, np.ones((1, 2, 3)), weights)
+
+
+class TestScoring:
+    def test_matches_mixture_view(self, small_pool, rng):
+        obs = rng.normal(size=small_pool.dim)
+        scores = small_pool.score_frame(obs)
+        for senone in (0, 7, 23):
+            gmm = small_pool.mixture(senone)
+            assert float(gmm.log_prob(obs)) == pytest.approx(float(scores[senone]))
+
+    def test_subset_scoring(self, small_pool, rng):
+        obs = rng.normal(size=small_pool.dim)
+        subset = np.array([2, 9])
+        scores = small_pool.score_frame(obs, subset)
+        assert np.isneginf(scores[0])
+        full = small_pool.score_frame(obs)
+        assert scores[2] == pytest.approx(full[2])
+
+    def test_score_frames_matches_per_frame(self, small_pool, rng):
+        frames = rng.normal(size=(5, small_pool.dim))
+        batch = small_pool.score_frames(frames)
+        assert batch.shape == (5, small_pool.num_senones)
+        for t in range(5):
+            assert np.allclose(batch[t], small_pool.score_frame(frames[t]))
+
+    def test_wrong_dim_rejected(self, small_pool):
+        with pytest.raises(ValueError):
+            small_pool.score_frame(np.zeros(small_pool.dim + 1))
+        with pytest.raises(ValueError):
+            small_pool.score_frames(np.zeros((3, small_pool.dim + 1)))
+
+    def test_mixture_out_of_range(self, small_pool):
+        with pytest.raises(IndexError):
+            small_pool.mixture(small_pool.num_senones)
+
+
+class TestStorage:
+    def test_paper_full_scale_size(self):
+        """6000 senones x 8 comp x 39 dims = 15.168 MB (Section IV-B)."""
+        pool = SenonePool.random(10, 8, 39)  # layout only; scale the count
+        per_senone = pool.values_per_senone
+        assert per_senone == 8 * (2 * 39 + 1)
+        full_bytes = IEEE_SINGLE.storage_bytes(6000 * per_senone)
+        assert full_bytes / 1e6 == pytest.approx(15.168)
+
+    def test_storage_scales_with_format(self, small_pool):
+        full = small_pool.storage_bytes(IEEE_SINGLE)
+        assert small_pool.storage_bytes(MANTISSA_15) == pytest.approx(full * 24 / 32)
+        assert small_pool.storage_bytes(MANTISSA_12) == pytest.approx(full * 21 / 32)
+
+    def test_gaussian_table_quantized_params(self, small_pool):
+        table = small_pool.gaussian_table(MANTISSA_12)
+        bits = table.means.view(np.uint32)
+        assert not np.any(bits & np.uint32((1 << 11) - 1))
+        assert table.storage_format is MANTISSA_12
+
+    def test_quantized_pool_scores_close(self, small_pool, rng):
+        obs = rng.normal(size=small_pool.dim)
+        exact = small_pool.score_frame(obs)
+        quantized = small_pool.quantized(MANTISSA_12).score_frame(obs)
+        assert np.max(np.abs(exact - quantized)) < 0.5
+
+    def test_quantized_pool_weights_renormalized(self, small_pool):
+        q = small_pool.quantized(MANTISSA_12)
+        assert np.allclose(q.weights.sum(axis=1), 1.0)
+
+
+class TestRandomPool:
+    def test_deterministic_with_seed(self):
+        a = SenonePool.random(5, 2, 7, rng=np.random.default_rng(3))
+        b = SenonePool.random(5, 2, 7, rng=np.random.default_rng(3))
+        assert np.array_equal(a.means, b.means)
+
+    def test_shapes(self):
+        pool = SenonePool.random(11, 3, 5)
+        assert pool.num_senones == 11
+        assert pool.num_components == 3
+        assert pool.dim == 5

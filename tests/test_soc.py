@@ -1,0 +1,99 @@
+"""Tests for repro.core.soc — the assembled system."""
+
+import numpy as np
+import pytest
+
+from repro.core.soc import SpeechSoC
+from repro.quant.float_formats import MANTISSA_12
+
+
+@pytest.fixture(scope="module")
+def soc(task):
+    return SpeechSoC(task.dictionary, task.pool, task.lm, task.tying)
+
+
+class TestDecode:
+    def test_decode_features_words(self, soc, task):
+        utt = task.corpus.test[0]
+        report = soc.decode_features(utt.features)
+        assert report.words == tuple(utt.words)
+
+    def test_decode_waveform_end_to_end(self, task):
+        """Audio in, words out — the full Figure 1 pipeline."""
+        from repro.workloads.corpus import _realize_sentence
+        from repro.workloads.synthesizer import PhoneSynthesizer
+
+        soc = SpeechSoC(task.dictionary, task.pool, task.lm, task.tying)
+        rng = np.random.default_rng(99)
+        synth = PhoneSynthesizer(task.corpus.phone_set)
+        words = list(task.corpus.test[0].words[:2])
+        waveform, _ = _realize_sentence(words, task.dictionary, synth, rng)
+        report = soc.decode_waveform(waveform)
+        assert report.words == tuple(words)
+
+    def test_real_time_on_tiny_task(self, soc, task):
+        report = soc.decode_features(task.corpus.test[0].features)
+        assert report.is_real_time
+        for unit_report in report.op_unit_reports:
+            assert unit_report.mean_utilization < 0.5
+
+    def test_processor_utilization_low(self, soc, task):
+        report = soc.decode_features(task.corpus.test[0].features)
+        assert 0.0 < report.processor_utilization < 0.5
+
+    def test_power_reported(self, soc, task):
+        report = soc.decode_features(task.corpus.test[0].features)
+        assert report.power.average_power_w > 0
+        # Mostly idle tiny task: far below the 400 mW full-load point.
+        assert report.power.average_power_w < 0.4
+
+    def test_bandwidth_below_worst_case(self, soc, task):
+        report = soc.decode_features(task.corpus.test[0].features)
+        assert 0 < report.peak_bandwidth_gbps < soc.worst_case_bandwidth_gbps()
+
+    def test_flash_regions(self, soc):
+        assert set(soc.flash.regions()[0].name.split()) # non-empty names
+        names = {r.name for r in soc.flash.regions()}
+        assert names == {"acoustic-model", "dictionary", "language-model"}
+
+    def test_area_scales_with_structures(self, task):
+        one = SpeechSoC(task.dictionary, task.pool, task.lm, task.tying,
+                        num_structures=1)
+        report = one.decode_features(task.corpus.test[0].features)
+        assert report.area_mm2 == pytest.approx(2.2, abs=0.01)
+
+    def test_format_output(self, soc, task):
+        report = soc.decode_features(task.corpus.test[0].features)
+        text = report.format()
+        assert "recognized:" in text and "GB/s" in text and "mm^2" in text
+
+
+class TestConfiguration:
+    def test_narrow_storage_shrinks_flash(self, task):
+        wide = SpeechSoC(task.dictionary, task.pool, task.lm, task.tying)
+        narrow = SpeechSoC(
+            task.dictionary, task.pool, task.lm, task.tying,
+            storage_format=MANTISSA_12,
+        )
+        wide_mb = wide.flash.region("acoustic-model").num_bytes
+        narrow_mb = narrow.flash.region("acoustic-model").num_bytes
+        assert narrow_mb == pytest.approx(wide_mb * 21 / 32)
+
+    def test_clock_gating_saves_energy(self, task):
+        utt = task.corpus.test[0]
+        gated = SpeechSoC(task.dictionary, task.pool, task.lm, task.tying,
+                          clock_gating=True)
+        free = SpeechSoC(task.dictionary, task.pool, task.lm, task.tying,
+                         clock_gating=False)
+        e_gated = gated.decode_features(utt.features).power.energy_j
+        e_free = free.decode_features(utt.features).power.energy_j
+        assert e_gated < e_free
+
+    def test_rejects_zero_structures(self, task):
+        with pytest.raises(ValueError):
+            SpeechSoC(task.dictionary, task.pool, task.lm, task.tying,
+                      num_structures=0)
+
+    def test_worst_case_bandwidth_formula(self, soc, task):
+        expected = task.pool.storage_bytes() / 0.010 / 1e9
+        assert soc.worst_case_bandwidth_gbps() == pytest.approx(expected)

@@ -1,0 +1,80 @@
+"""Tests for repro.hmm.topology."""
+
+import numpy as np
+import pytest
+
+from repro.hmm.topology import HmmTopology, PhoneHmm
+
+
+class TestTopology:
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_supported_sizes(self, n):
+        topo = HmmTopology(num_states=n)
+        assert topo.log_transition_matrix().shape == (n + 1, n + 1)
+
+    def test_unsupported_size_rejected(self):
+        with pytest.raises(ValueError):
+            HmmTopology(num_states=4)
+
+    def test_rows_stochastic(self):
+        for n in (3, 5, 7):
+            assert HmmTopology(num_states=n).rows_stochastic()
+
+    def test_rows_stochastic_with_skip(self):
+        topo = HmmTopology(num_states=5, allow_skip=True, skip_prob=0.1)
+        assert topo.rows_stochastic()
+
+    def test_skip_prob_bounded(self):
+        with pytest.raises(ValueError):
+            HmmTopology(num_states=3, self_loop_prob=0.6, allow_skip=True, skip_prob=0.5)
+
+    def test_self_loop_prob_bounds(self):
+        with pytest.raises(ValueError):
+            HmmTopology(self_loop_prob=0.0)
+        with pytest.raises(ValueError):
+            HmmTopology(self_loop_prob=1.0)
+
+    def test_chain_log_probs(self):
+        topo = HmmTopology(self_loop_prob=0.6)
+        self_lp, fwd_lp = topo.chain_log_probs()
+        assert self_lp == pytest.approx(np.log(0.6))
+        assert fwd_lp == pytest.approx(np.log(0.4))
+
+    def test_exit_state_absorbs(self):
+        mat = HmmTopology(num_states=3).log_transition_matrix()
+        assert mat[3, 3] == 0.0
+        assert np.isneginf(mat[3, :3]).all()
+
+    def test_left_to_right_structure(self):
+        mat = HmmTopology(num_states=3).log_transition_matrix()
+        # No backward arcs.
+        assert np.isneginf(mat[1, 0]) and np.isneginf(mat[2, 1])
+
+
+class TestPhoneHmm:
+    def test_senone_count_must_match_states(self):
+        topo = HmmTopology(num_states=3)
+        with pytest.raises(ValueError):
+            PhoneHmm(name="AA", topology=topo, senone_ids=(1, 2))
+
+    def test_negative_senone_rejected(self):
+        topo = HmmTopology(num_states=3)
+        with pytest.raises(ValueError):
+            PhoneHmm(name="AA", topology=topo, senone_ids=(0, -1, 2))
+
+    def test_sample_state_sequence_monotone(self):
+        topo = HmmTopology(num_states=3)
+        hmm = PhoneHmm(name="AA", topology=topo, senone_ids=(0, 1, 2))
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            path = hmm.sample_state_sequence(rng)
+            assert path[0] == 0
+            assert all(b - a in (0, 1) for a, b in zip(path, path[1:]))
+            assert path[-1] == 2 or len(set(path)) <= 3
+
+    def test_sample_min_frames(self):
+        topo = HmmTopology(num_states=3)
+        hmm = PhoneHmm(name="AA", topology=topo, senone_ids=(0, 1, 2))
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            assert len(hmm.sample_state_sequence(rng, min_frames=6)) >= 6

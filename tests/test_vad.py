@@ -1,0 +1,104 @@
+"""Tests for repro.frontend.vad."""
+
+import numpy as np
+import pytest
+
+from repro.frontend.dsp import frame_signal
+from repro.frontend.vad import (
+    EnergyVad,
+    VadConfig,
+    frame_log_energy,
+    speech_bounds,
+)
+
+
+def _energies(silence_frames=10, speech_frames=20, tail_frames=15):
+    quiet = np.full(silence_frames, -60.0)
+    loud = np.full(speech_frames, -20.0)
+    tail = np.full(tail_frames, -60.0)
+    return np.concatenate([quiet, loud, tail])
+
+
+class TestFrameLogEnergy:
+    def test_scaling(self):
+        frames = np.ones((1, 100))
+        assert float(frame_log_energy(frames)[0]) == pytest.approx(0.0)
+        quiet = np.full((1, 100), 0.1)
+        assert float(frame_log_energy(quiet)[0]) == pytest.approx(-20.0)
+
+    def test_silence_floor(self):
+        assert float(frame_log_energy(np.zeros((1, 10)))[0]) == pytest.approx(-120.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            frame_log_energy(np.zeros(10))
+
+
+class TestEnergyVad:
+    def test_detects_speech_segment(self):
+        vad = EnergyVad(VadConfig(noise_floor_frames=5, hangover_frames=3))
+        flags = vad.classify(_energies())
+        assert not flags[:10].any()  # leading silence
+        assert flags[10:30].all()  # speech
+        assert not flags[-5:].any()  # trailing silence after hangover
+
+    def test_hangover_bridges_dips(self):
+        vad = EnergyVad(VadConfig(noise_floor_frames=4, hangover_frames=4))
+        energies = np.full(30, -20.0)
+        energies[:4] = -60.0
+        energies[15:17] = -55.0  # 2-frame dip < hangover
+        flags = vad.classify(energies)
+        assert flags[14] and flags[15] and flags[17]
+
+    def test_floor_estimated_from_lead_in(self):
+        vad = EnergyVad(VadConfig(noise_floor_frames=6))
+        assert vad.noise_floor_db is None
+        vad.classify(np.full(6, -55.0))
+        assert vad.noise_floor_db == pytest.approx(-55.0)
+
+    def test_reset(self):
+        vad = EnergyVad(VadConfig(noise_floor_frames=3))
+        vad.classify(_energies())
+        vad.reset()
+        assert vad.noise_floor_db is None
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            VadConfig(noise_floor_frames=0)
+        with pytest.raises(ValueError):
+            VadConfig(onset_db=3.0, offset_db=5.0)
+        with pytest.raises(ValueError):
+            VadConfig(hangover_frames=-1)
+
+    def test_on_synthetic_speech(self):
+        """The VAD finds the speech region of a synthesized sentence."""
+        from repro.workloads.synthesizer import PhoneSynthesizer
+
+        rng = np.random.default_rng(0)
+        synth = PhoneSynthesizer()
+        waveform = synth.synthesize_sentence([("K", "AE", "T")], rng)
+        frames = frame_signal(waveform, 400, 160)
+        vad = EnergyVad()
+        flags = vad.classify(frame_log_energy(frames))
+        bounds = speech_bounds(flags)
+        assert bounds is not None
+        start, stop = bounds
+        edge_frames = int(synth.config.edge_silence_s / 0.010)
+        # Speech starts near the end of the leading silence.
+        assert abs(start - edge_frames) <= 6
+        assert stop > start + 10
+
+
+class TestSpeechBounds:
+    def test_none_when_all_silence(self):
+        assert speech_bounds(np.zeros(10, dtype=bool)) is None
+
+    def test_padding_clamped(self):
+        flags = np.zeros(10, dtype=bool)
+        flags[0] = flags[9] = True
+        assert speech_bounds(flags, pad_frames=5) == (0, 10)
+
+    def test_basic(self):
+        flags = np.zeros(20, dtype=bool)
+        flags[8:12] = True
+        assert speech_bounds(flags, pad_frames=2) == (6, 14)

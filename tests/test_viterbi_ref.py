@@ -1,0 +1,89 @@
+"""Tests for repro.decoder.viterbi — the exact reference decoder."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decoder.viterbi import viterbi_decode, viterbi_score
+
+
+def _brute_force_best(log_trans, log_obs, log_init):
+    """Enumerate every state path (exponential; tiny cases only)."""
+    t_max, s = log_obs.shape
+    best_score, best_path = -np.inf, None
+    for path in itertools.product(range(s), repeat=t_max):
+        score = log_init[path[0]] + log_obs[0, path[0]]
+        for t in range(1, t_max):
+            score += log_trans[path[t - 1], path[t]] + log_obs[t, path[t]]
+        if score > best_score:
+            best_score, best_path = score, path
+    return best_score, best_path
+
+
+class TestViterbiExact:
+    def test_matches_brute_force(self, rng):
+        s, t = 3, 5
+        trans = np.log(rng.dirichlet(np.ones(s), size=s))
+        obs = rng.normal(-2, 1, size=(t, s))
+        init = np.log(rng.dirichlet(np.ones(s)))
+        result = viterbi_decode(trans, obs, init)
+        brute_score, brute_path = _brute_force_best(trans, obs, init)
+        assert result.log_prob == pytest.approx(brute_score)
+        assert result.states == brute_path
+
+    def test_respects_forbidden_transitions(self):
+        with np.errstate(divide="ignore"):
+            trans = np.log(np.array([[0.5, 0.5], [0.0, 1.0]]))
+        trans[1, 0] = -np.inf
+        obs = np.zeros((4, 2))
+        init = np.array([0.0, -np.inf])
+        result = viterbi_decode(trans, obs, init)
+        # Once in state 1, cannot return to 0.
+        entered = False
+        for state in result.states:
+            if state == 1:
+                entered = True
+            if entered:
+                assert state == 1
+
+    def test_single_frame(self):
+        trans = np.zeros((2, 2))
+        obs = np.array([[-1.0, -0.5]])
+        init = np.array([0.0, 0.0])
+        result = viterbi_decode(trans, obs, init)
+        assert result.states == (1,)
+        assert result.log_prob == pytest.approx(-0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            viterbi_decode(np.zeros((2, 3)), np.zeros((2, 2)), np.zeros(2))
+        with pytest.raises(ValueError):
+            viterbi_decode(np.zeros((2, 2)), np.zeros((2, 3)), np.zeros(2))
+        with pytest.raises(ValueError):
+            viterbi_decode(np.zeros((2, 2)), np.zeros((0, 2)), np.zeros(2))
+        with pytest.raises(ValueError):
+            viterbi_decode(np.zeros((2, 2)), np.zeros((2, 2)), np.zeros(3))
+
+    def test_score_helper(self, rng):
+        trans = np.log(rng.dirichlet(np.ones(2), size=2))
+        obs = rng.normal(size=(3, 2))
+        init = np.log(np.array([0.5, 0.5]))
+        assert viterbi_score(trans, obs, init) == viterbi_decode(
+            trans, obs, init
+        ).log_prob
+
+
+@given(st.integers(min_value=2, max_value=3), st.integers(min_value=2, max_value=4),
+       st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60, deadline=None)
+def test_property_viterbi_equals_brute_force(n_states, n_frames, seed):
+    rng = np.random.default_rng(seed)
+    trans = np.log(rng.dirichlet(np.ones(n_states), size=n_states))
+    obs = rng.normal(-2, 1, size=(n_frames, n_states))
+    init = np.log(rng.dirichlet(np.ones(n_states)))
+    result = viterbi_decode(trans, obs, init)
+    brute_score, _ = _brute_force_best(trans, obs, init)
+    assert result.log_prob == pytest.approx(brute_score)

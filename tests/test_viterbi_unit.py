@@ -1,0 +1,218 @@
+"""Tests for repro.core.viterbi_unit against the exact reference."""
+
+import numpy as np
+import pytest
+
+from repro.core.viterbi_unit import (
+    BP_ENTRY,
+    BP_FORWARD,
+    BP_SELF,
+    LOG_ZERO,
+    ViterbiUnit,
+    ViterbiUnitSpec,
+)
+from repro.decoder.viterbi import viterbi_decode
+from repro.hmm.topology import HmmTopology
+
+
+def _left_right_transitions(n_states: int, self_p: float = 0.6) -> np.ndarray:
+    mat = np.full((n_states, n_states), -np.inf)
+    for i in range(n_states):
+        mat[i, i] = np.log(self_p)
+        if i + 1 < n_states:
+            mat[i, i + 1] = np.log(1 - self_p)
+    return mat
+
+
+class TestDenseColumn:
+    def test_matches_reference_decoder(self, rng):
+        unit = ViterbiUnit()
+        trans = _left_right_transitions(3)
+        obs = rng.normal(-3, 1, size=(6, 3))
+        init = np.array([0.0, -np.inf, -np.inf])
+        # Run the unit frame by frame.
+        delta = (init + obs[0]).astype(np.float32)
+        for t in range(1, 6):
+            delta, _, _ = unit.step_column(delta, trans, obs[t].astype(np.float32))
+        exact = viterbi_decode(trans, obs, init)
+        assert float(delta.max()) == pytest.approx(exact.log_prob, abs=1e-3)
+
+    def test_backpointers_recover_path(self, rng):
+        unit = ViterbiUnit()
+        trans = _left_right_transitions(3)
+        obs = rng.normal(-2, 1, size=(7, 3))
+        init = np.array([0.0, -np.inf, -np.inf])
+        delta = (init + obs[0]).astype(np.float32)
+        backptrs = []
+        for t in range(1, 7):
+            delta, bp, _ = unit.step_column(delta, trans, obs[t].astype(np.float32))
+            backptrs.append(bp)
+        state = int(delta.argmax())
+        path = [state]
+        for bp in reversed(backptrs):
+            state = int(bp[state])
+            path.append(state)
+        path.reverse()
+        exact = viterbi_decode(trans, obs, init)
+        assert tuple(path) == exact.states
+
+    def test_cycles_follow_transition_count(self):
+        unit = ViterbiUnit()
+        trans = _left_right_transitions(3)  # 5 arcs: 3 self + 2 fwd
+        delta = np.array([-1.0, -2.0, -3.0], dtype=np.float32)
+        _, _, cycles = unit.step_column(delta, trans, np.zeros(3, dtype=np.float32))
+        assert cycles == unit.spec.cycles_for_transitions(5)
+
+    @pytest.mark.parametrize("n_states", [3, 5, 7])
+    def test_supported_topologies(self, n_states, rng):
+        unit = ViterbiUnit()
+        trans = _left_right_transitions(n_states)
+        delta = rng.normal(-5, 1, size=n_states).astype(np.float32)
+        new_delta, bp, _ = unit.step_column(
+            delta, trans, np.zeros(n_states, dtype=np.float32)
+        )
+        assert new_delta.shape == (n_states,)
+
+    def test_unsupported_state_count_rejected(self):
+        unit = ViterbiUnit()
+        trans = _left_right_transitions(4)
+        with pytest.raises(ValueError):
+            unit.step_column(
+                np.zeros(4, dtype=np.float32), trans, np.zeros(4, dtype=np.float32)
+            )
+
+    def test_shape_validation(self):
+        unit = ViterbiUnit()
+        with pytest.raises(ValueError):
+            unit.step_column(
+                np.zeros(3, dtype=np.float32),
+                np.zeros((3, 4)),
+                np.zeros(3, dtype=np.float32),
+            )
+
+    def test_skip_transitions_handled(self, rng):
+        topo = HmmTopology(num_states=5, allow_skip=True, skip_prob=0.1)
+        full = topo.log_transition_matrix()[:5, :5]
+        unit = ViterbiUnit()
+        delta = rng.normal(-4, 1, size=5).astype(np.float32)
+        obs = rng.normal(-2, 1, size=5).astype(np.float32)
+        new_delta, _, _ = unit.step_column(delta, full.astype(np.float32), obs)
+        # Exact single step in float64.
+        expected = (delta[:, None] + full).max(axis=0) + obs
+        assert np.allclose(new_delta, expected, atol=1e-3)
+
+
+class TestChainUpdate:
+    def test_matches_dense_on_single_chain(self, rng):
+        """The vectorised chain path equals the dense path for an L-R HMM."""
+        unit_dense = ViterbiUnit()
+        unit_chain = ViterbiUnit()
+        topo = HmmTopology(num_states=3)
+        self_lp, fwd_lp = topo.chain_log_probs()
+        trans = _left_right_transitions(3, topo.self_loop_prob)
+        delta = rng.normal(-5, 1, size=3).astype(np.float32)
+        obs = rng.normal(-2, 1, size=3).astype(np.float32)
+        dense, _, _ = unit_dense.step_column(delta, trans, obs)
+        chain = unit_chain.update_chain(
+            delta,
+            np.full(3, self_lp, dtype=np.float32),
+            np.full(3, fwd_lp, dtype=np.float32),
+            obs,
+            chain_start=np.array([True, False, False]),
+        )
+        assert np.allclose(dense, chain.delta, atol=1e-4)
+
+    def test_entry_wins_when_better(self):
+        unit = ViterbiUnit()
+        delta = np.full(3, LOG_ZERO, dtype=np.float32)
+        entry = np.array([-1.0, LOG_ZERO, LOG_ZERO], dtype=np.float32)
+        result = unit.update_chain(
+            delta,
+            np.full(3, -0.5, dtype=np.float32),
+            np.full(3, -0.7, dtype=np.float32),
+            np.zeros(3, dtype=np.float32),
+            entry_scores=entry,
+            chain_start=np.array([True, False, False]),
+        )
+        assert result.backpointer[0] == BP_ENTRY
+        assert result.delta[0] == pytest.approx(-1.0)
+        assert result.delta[1] == LOG_ZERO
+
+    def test_forward_propagation(self):
+        unit = ViterbiUnit()
+        delta = np.array([-1.0, LOG_ZERO, LOG_ZERO], dtype=np.float32)
+        result = unit.update_chain(
+            delta,
+            np.full(3, np.log(0.5), dtype=np.float32),
+            np.full(3, np.log(0.5), dtype=np.float32),
+            np.zeros(3, dtype=np.float32),
+            chain_start=np.array([True, False, False]),
+        )
+        assert result.backpointer[1] == BP_FORWARD
+        assert result.delta[1] == pytest.approx(-1.0 + np.log(0.5), abs=1e-5)
+        assert result.backpointer[0] == BP_SELF
+
+    def test_chain_boundary_isolation(self):
+        """Probability must not leak across chain starts."""
+        unit = ViterbiUnit()
+        delta = np.array([-1.0, -1.0, -1.0, LOG_ZERO], dtype=np.float32)
+        starts = np.array([True, False, False, True])  # two chains: 3 + 1
+        result = unit.update_chain(
+            delta,
+            np.full(4, np.log(0.6), dtype=np.float32),
+            np.full(4, np.log(0.4), dtype=np.float32),
+            np.zeros(4, dtype=np.float32),
+            chain_start=starts,
+        )
+        # State 3 heads a new chain: no forward arc from state 2.
+        assert result.delta[3] == LOG_ZERO
+
+    def test_transition_counting(self):
+        unit = ViterbiUnit()
+        delta = np.zeros(4, dtype=np.float32)
+        starts = np.array([True, False, True, False])
+        result = unit.update_chain(
+            delta,
+            np.zeros(4, dtype=np.float32),
+            np.zeros(4, dtype=np.float32),
+            np.zeros(4, dtype=np.float32),
+            entry_scores=np.zeros(4, dtype=np.float32),
+            chain_start=starts,
+        )
+        # 4 self + 2 forward + 2 entry = 8.
+        assert result.transitions == 8
+        assert result.cycles == unit.spec.cycles_for_transitions(8)
+
+    def test_shape_validation(self):
+        unit = ViterbiUnit()
+        with pytest.raises(ValueError):
+            unit.update_chain(
+                np.zeros(3, dtype=np.float32),
+                np.zeros(2, dtype=np.float32),
+                np.zeros(3, dtype=np.float32),
+                np.zeros(3, dtype=np.float32),
+            )
+
+    def test_activity_and_reset(self):
+        unit = ViterbiUnit()
+        unit.update_chain(
+            np.zeros(3, dtype=np.float32),
+            np.zeros(3, dtype=np.float32),
+            np.zeros(3, dtype=np.float32),
+            np.zeros(3, dtype=np.float32),
+        )
+        act = unit.activity()
+        assert act["columns"] == 1
+        assert act["transitions"] > 0
+        unit.reset_counters()
+        assert unit.activity()["transitions"] == 0
+
+
+class TestSpecValidation:
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            ViterbiUnitSpec(clock_hz=0)
+
+    def test_seconds(self):
+        unit = ViterbiUnit()
+        assert unit.seconds(50_000_000) == pytest.approx(1.0)
