@@ -1,0 +1,159 @@
+"""Serving throughput: BatchRecognizer vs sequential decode.
+
+Measures utterances/sec and real-time factor for the sequential
+:class:`~repro.decoder.recognizer.Recognizer` against the batched
+:class:`~repro.runtime.BatchRecognizer` (batch size 8,
+length-sorted packing) on the synthetic command-and-control task, in
+reference and hardware modes, verifying word-identical outputs.
+
+Unlike the pytest-benchmark experiments in this directory, this is a
+standalone script so CI can track the perf trajectory:
+
+    python benchmarks/bench_throughput.py --quick --out BENCH_throughput.json
+
+The JSON records utterances/sec, RTF and the batch-vs-sequential
+speedup per mode; the headline ``speedup`` field is the reference-mode
+(serving-configuration) number.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.decoder.recognizer import Recognizer  # noqa: E402
+from repro.workloads.tasks import command_task  # noqa: E402
+
+BATCH_SIZE = 8
+FRAME_PERIOD_S = 0.010
+
+
+def pack_batches(features: list[np.ndarray], batch_size: int) -> list[list[np.ndarray]]:
+    """Length-sorted packing: batches of similar length waste fewer
+    padded frame-steps (the standard serving bucketing trick)."""
+    order = sorted(range(len(features)), key=lambda i: -features[i].shape[0])
+    ordered = [features[i] for i in order]
+    return [ordered[i : i + batch_size] for i in range(0, len(ordered), batch_size)]
+
+
+def best_of(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def bench_mode(task, features, mode: str, repeats: int) -> dict:
+    rec = Recognizer.create(
+        task.dictionary, task.pool, task.lm, task.tying, mode=mode
+    )
+    batch = rec.as_batch()
+    batches = pack_batches(features, BATCH_SIZE)
+
+    # Warm up (also primes the LM row cache both paths share).
+    sequential = [rec.decode(f) for f in features]
+    batched = [lane for g in batches for lane in batch.decode_batch(g).results]
+
+    # Word-identity between the two paths (order-insensitive check via
+    # re-packing): compare against the sorted feature order.
+    order = sorted(range(len(features)), key=lambda i: -features[i].shape[0])
+    word_identical = all(
+        sequential[i].words == lane.words and sequential[i].score == lane.score
+        for i, lane in zip(order, batched)
+    )
+
+    t_seq = best_of(lambda: [rec.decode(f) for f in features], repeats)
+    t_batch = best_of(
+        lambda: [batch.decode_batch(g) for g in batches], repeats
+    )
+    n = len(features)
+    audio_s = sum(f.shape[0] for f in features) * FRAME_PERIOD_S
+    return {
+        "sequential": {
+            "seconds": round(t_seq, 4),
+            "utterances_per_sec": round(n / t_seq, 2),
+            "rtf": round(t_seq / audio_s, 4),
+        },
+        "batch": {
+            "seconds": round(t_batch, 4),
+            "utterances_per_sec": round(n / t_batch, 2),
+            "rtf": round(t_batch / audio_s, 4),
+        },
+        "speedup": round(t_seq / t_batch, 2),
+        "word_identical": bool(word_identical),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: fewer timing repeats and utterances",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_throughput.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    out_path = Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)  # fail early, not post-bench
+    repeat_pool = 2 if args.quick else 3
+    timing_repeats = 3 if args.quick else 7
+
+    print("building and training the command-and-control task...")
+    task = command_task(seed=19)
+    features = [u.features for u in task.corpus.test] * repeat_pool
+    audio_s = sum(f.shape[0] for f in features) * FRAME_PERIOD_S
+    print(
+        f"{len(features)} utterances, {audio_s:.1f} s audio, "
+        f"batch size {BATCH_SIZE}"
+    )
+
+    report = {
+        "benchmark": "batched decoding throughput",
+        "task": "command_task(seed=19)",
+        "utterances": len(features),
+        "audio_seconds": round(audio_s, 2),
+        "batch_size": BATCH_SIZE,
+        "quick": bool(args.quick),
+        "modes": {},
+    }
+    for mode in ("reference", "hardware"):
+        print(f"\n--- {mode} mode ---")
+        result = bench_mode(task, features, mode, timing_repeats)
+        report["modes"][mode] = result
+        print(
+            f"sequential: {result['sequential']['utterances_per_sec']:7.1f} utt/s "
+            f"(RTF {result['sequential']['rtf']:.3f})"
+        )
+        print(
+            f"batch(B={BATCH_SIZE}): {result['batch']['utterances_per_sec']:7.1f} utt/s "
+            f"(RTF {result['batch']['rtf']:.3f})"
+        )
+        print(
+            f"speedup: {result['speedup']:.2f}x  "
+            f"word-identical: {result['word_identical']}"
+        )
+
+    # Headline: the reference (serving) configuration.
+    report["speedup"] = report["modes"]["reference"]["speedup"]
+    report["word_identical"] = all(
+        m["word_identical"] for m in report["modes"].values()
+    )
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+    ok = report["speedup"] >= 3.0 and report["word_identical"]
+    print("PASS" if ok else "BELOW TARGET", "- target: >= 3x, word-identical")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,7 @@ __all__ = [
     "lexicon",
     "lm",
     "quant",
+    "runtime",
     "workloads",
     "baselines",
 ]

@@ -61,6 +61,7 @@ class LogAddTable:
     max_difference: float = _DEFAULT_MAX_DIFFERENCE
     _entries: np.ndarray = field(init=False, repr=False)
     _reads: int = field(default=0, init=False, repr=False)
+    _fold_scratch: dict = field(default_factory=dict, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.num_entries < 2:
@@ -149,6 +150,79 @@ class LogAddTable:
         result = hi + self.correction(diff)
         result = np.where(lo_inf, hi, result)
         return np.where(both_inf, -np.inf, result)
+
+    def _scratch(self, capacity: int) -> dict[str, np.ndarray]:
+        """Preallocated fold buffers, grown geometrically on demand."""
+        if self._fold_scratch.get("capacity", 0) < capacity:
+            cap = max(capacity, 2 * self._fold_scratch.get("capacity", 0))
+            self._fold_scratch = {
+                "capacity": cap,
+                "hi": np.empty(cap),
+                "lo": np.empty(cap),
+                "diff": np.empty(cap),
+                "fdiv": np.empty(cap),
+                "vals": np.empty(cap),
+                "res": np.empty(cap),
+                "idx": np.empty(cap, dtype=np.int64),
+                "lo_inf": np.empty(cap, dtype=bool),
+                "both_inf": np.empty(cap, dtype=bool),
+                "in_range": np.empty(cap, dtype=bool),
+                "out_range": np.empty(cap, dtype=bool),
+            }
+        return self._fold_scratch
+
+    def logadd_fold(self, log_values: np.ndarray) -> np.ndarray:
+        """Serial :meth:`logadd` fold over axis 1 of a ``(n, M)`` block.
+
+        Performs the mixture accumulation for ``n`` senones at once:
+        column 0 seeds the accumulator and columns ``1..M-1`` fold in
+        left to right, exactly as the OP unit's logadd stage consumes
+        FMA results — the fold order, the SRAM binning and the read
+        count are bit-identical to ``M-1`` sequential :meth:`logadd`
+        calls.  All intermediates live in preallocated scratch, so the
+        decoder's per-frame cost is one table-indexed reduction with no
+        temporaries.
+        """
+        values = np.asarray(log_values, dtype=np.float64)
+        if values.ndim != 2 or values.shape[1] < 1:
+            raise ValueError(
+                f"logadd_fold needs a (n, M>=1) block, got shape {values.shape}"
+            )
+        n, m = values.shape
+        acc = values[:, 0].copy()
+        if m == 1 or n == 0:
+            return acc
+        s = self._scratch(n)
+        hi, lo, diff = s["hi"][:n], s["lo"][:n], s["diff"][:n]
+        fdiv, vals, res = s["fdiv"][:n], s["vals"][:n], s["res"][:n]
+        idx = s["idx"][:n]
+        lo_inf, both_inf = s["lo_inf"][:n], s["both_inf"][:n]
+        in_range, out_range = s["in_range"][:n], s["out_range"][:n]
+        top = self.num_entries - 1
+        for k in range(1, m):
+            col = values[:, k]
+            np.maximum(acc, col, out=hi)
+            np.minimum(acc, col, out=lo)
+            np.isneginf(hi, out=both_inf)
+            np.isneginf(lo, out=lo_inf)
+            with np.errstate(invalid="ignore"):
+                np.subtract(hi, lo, out=diff)
+            diff[lo_inf] = self.max_difference
+            # Inline of :meth:`correction` on scratch (same binning,
+            # same short-circuit, same read count).
+            np.divide(diff, self.bin_width, out=fdiv)
+            np.copyto(idx, fdiv, casting="unsafe")  # trunc == astype
+            np.minimum(idx, top, out=idx)
+            np.less(diff, self.max_difference, out=in_range)
+            self._reads += int(np.count_nonzero(in_range))
+            np.take(self._entries, idx, out=vals)
+            np.logical_not(in_range, out=out_range)
+            vals[out_range] = 0.0
+            np.add(hi, vals, out=res)
+            np.copyto(res, hi, where=lo_inf)
+            res[both_inf] = -np.inf
+            np.copyto(acc, res)
+        return acc
 
     def logadd_many(self, log_values: np.ndarray) -> float:
         """Fold :meth:`logadd` over a 1-D array (mixture accumulation).

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.core.fpu import FloatUnit
 from repro.core.logadd import LogAddTable
+from repro.core.scratch import DenseScratch
 from repro.core.pipeline import PipelineSpec, PipelineTrace
 from repro.quant.float_formats import IEEE_SINGLE, FloatFormat
 
@@ -209,6 +210,7 @@ class OpUnit:
         self.fpu = float_unit or FloatUnit()
         self.trace = trace
         self._feature = np.zeros(self.spec.feature_dim, dtype=np.float32)
+        self._scores: DenseScratch | None = None
         self._cycles_busy = 0
         self._senones_scored = 0
         self._gaussians_evaluated = 0
@@ -368,6 +370,55 @@ class OpUnit:
     # ------------------------------------------------------------------
     # Vectorised frame scoring (decoder fast path)
     # ------------------------------------------------------------------
+    def _frame_scores(self, num_senones: int) -> np.ndarray:
+        """The dense per-frame output buffer, dirty entries re-zeroed.
+
+        The buffer is owned by the unit and reused every frame; callers
+        must consume (or copy) it before the next scoring call.
+        """
+        if self._scores is None or self._scores.array.shape[0] != num_senones:
+            self._scores = DenseScratch(num_senones, LOG_ZERO)
+        return self._scores.clean()
+
+    def _mixture_logs(
+        self, table: GaussianTable, feature_rows: np.ndarray, idx: np.ndarray
+    ) -> np.ndarray:
+        """Mixture log-scores for (feature, senone) work items.
+
+        ``feature_rows`` broadcasts against the gathered ``(n, M, L)``
+        parameter block: shape (1, 1, L) scores one latched frame for
+        all of ``idx``; shape (n, 1, L) scores per-item features (the
+        batched runtime's pooled evaluation).  The arithmetic is the
+        exact float32 sequence of the original frame path — squared
+        difference times precision, a float32 dimension reduction, the
+        SWA offset, then the serial SRAM logadd fold — so scores are
+        bit-identical however work items are pooled.  Only the
+        parameter gathers allocate; every intermediate reuses them.
+        """
+        work = table.means.take(idx, axis=0)  # (n, M, L)
+        np.subtract(feature_rows, work, out=work)  # diff
+        np.multiply(work, work, out=work)  # diff^2
+        np.multiply(work, table.precisions.take(idx, axis=0), out=work)  # terms
+        comp = work.sum(axis=2, dtype=np.float32)  # (n, M)
+        np.add(comp, table.offsets.take(idx, axis=0), out=comp)
+        return self.logadd.logadd_fold(comp)
+
+    def _account_block(self, table: GaussianTable, n: int) -> tuple[int, float]:
+        """Bookkeeping equivalent to the serial path for ``n`` senones."""
+        dims = n * table.num_components * table.feature_dim
+        self.fpu.counts.square_diff_multiply += dims
+        self.fpu.counts.add += dims
+        self.fpu.counts.fused_multiply_add += n * table.num_components
+        self.fpu.counts.compare += n
+        self._gaussians_evaluated += n * table.num_components
+        self._dims_evaluated += dims
+        self._senones_scored += n
+        param_bytes = n * table.senone_bytes()
+        self._parameter_bytes += param_bytes
+        cycles = n * self.spec.cycles_per_senone(table.num_components)
+        self._cycles_busy += cycles
+        return cycles, param_bytes
+
     def score_frame(
         self,
         table: GaussianTable,
@@ -380,7 +431,9 @@ class OpUnit:
         summation-order effects in the dimension loop (the logadd fold
         over components is performed in the same serial order through
         the same SRAM table).  Cycle counts use
-        :meth:`OpUnitSpec.cycles_per_senone`.
+        :meth:`OpUnitSpec.cycles_per_senone`.  The returned ``scores``
+        array is a unit-owned scratch buffer, valid until the next
+        scoring call on this unit.
         """
         self.load_feature(feature)
         if active is None:
@@ -389,36 +442,58 @@ class OpUnit:
             idx = np.asarray(active, dtype=np.int64)
             if idx.size and (idx.min() < 0 or idx.max() >= table.num_senones):
                 raise IndexError("active senone index out of range")
-        scores = np.full(table.num_senones, LOG_ZERO, dtype=np.float64)
+        scores = self._frame_scores(table.num_senones)
         n = int(idx.size)
         if n == 0:
             return FrameScoreResult(scores, 0, 0, 0.0)
-        means = table.means[idx]  # (n, M, L)
-        precisions = table.precisions[idx]
-        offsets = table.offsets[idx]  # (n, M)
-        diff = (self._feature[None, None, :] - means).astype(np.float32)
-        terms = (diff * diff * precisions).astype(np.float32)
-        comp_log = terms.sum(axis=2, dtype=np.float32) + offsets  # (n, M)
-        mixture = comp_log[:, 0].astype(np.float64)
-        for k in range(1, table.num_components):
-            mixture = self.logadd.logadd(mixture, comp_log[:, k].astype(np.float64))
+        mixture = self._mixture_logs(table, self._feature[None, None, :], idx)
         scores[idx] = mixture
-        # Bookkeeping equivalent to the serial path.
-        dims = n * table.num_components * table.feature_dim
-        self.fpu.counts.square_diff_multiply += dims
-        self.fpu.counts.add += dims
-        self.fpu.counts.fused_multiply_add += n * table.num_components
-        self.fpu.counts.compare += n
-        self._gaussians_evaluated += n * table.num_components
-        self._dims_evaluated += dims
-        self._senones_scored += n
-        self._parameter_bytes += n * table.senone_bytes()
-        cycles = n * self.spec.cycles_per_senone(table.num_components)
-        self._cycles_busy += cycles
+        self._scores.publish(idx)
+        cycles, param_bytes = self._account_block(table, n)
         self._running_max = np.float32(max(float(self._running_max), float(mixture.max())))
         return FrameScoreResult(
             scores=scores,
             senones_scored=n,
             cycles=cycles,
-            parameter_bytes=n * table.senone_bytes(),
+            parameter_bytes=param_bytes,
         )
+
+    def score_pairs(
+        self,
+        table: GaussianTable,
+        features: np.ndarray,
+        pair_rows: np.ndarray,
+        pair_senones: np.ndarray,
+    ) -> tuple[np.ndarray, int]:
+        """Pooled evaluation of explicit (feature-row, senone) pairs.
+
+        The batched runtime fans a ``(B, L)`` observation block through
+        one evaluation: ``pair_rows[p]`` selects the feature row and
+        ``pair_senones[p]`` the senone of work item ``p``.  Scores are
+        bit-identical to scoring each row's senones through
+        :meth:`score_frame` separately (see :meth:`_mixture_logs`).
+
+        Returns ``(compact_scores (P,), cycles)``; activity counters
+        accumulate exactly as for ``P`` single-frame senone evaluations.
+        """
+        feats = np.asarray(features, dtype=np.float32)
+        if feats.ndim != 2 or feats.shape[1] != self.spec.feature_dim:
+            raise ValueError(
+                f"features must be (B, {self.spec.feature_dim}), got {feats.shape}"
+            )
+        rows = np.asarray(pair_rows, dtype=np.int64)
+        idx = np.asarray(pair_senones, dtype=np.int64)
+        if rows.shape != idx.shape:
+            raise ValueError(f"pair shapes differ: {rows.shape} vs {idx.shape}")
+        if idx.size == 0:
+            return np.empty(0, dtype=np.float64), 0
+        if idx.min() < 0 or idx.max() >= table.num_senones:
+            raise IndexError("pair senone index out of range")
+        if rows.min() < 0 or rows.max() >= feats.shape[0]:
+            raise IndexError("pair feature row out of range")
+        mixture = self._mixture_logs(table, feats[rows][:, None, :], idx)
+        cycles, _ = self._account_block(table, int(idx.size))
+        self._running_max = np.float32(
+            max(float(self._running_max), float(mixture.max()))
+        )
+        return mixture, cycles

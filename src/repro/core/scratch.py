@@ -1,0 +1,49 @@
+"""Reusable dense scratch buffers for per-frame hot paths.
+
+Several scoring paths publish a dense array that is mostly a fill
+value (``LOG_ZERO``) with scores scattered at a small set of indices,
+a fresh set every frame.  Allocating (or even re-filling) the whole
+array per frame dominates small-task decoding, so the idiom is: keep
+one buffer, remember which indices were written, and re-zero only
+those on the next frame.  :class:`DenseScratch` single-sources that
+invariant for the sequential scorers, the OP unit and the batched
+runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DenseScratch"]
+
+
+class DenseScratch:
+    """A dense buffer re-zeroed only at previously written indices.
+
+    Usage per frame::
+
+        out = scratch.clean()      # previous frame's writes re-zeroed
+        out[idx] = values
+        scratch.publish(idx)       # remember what to re-zero next time
+
+    ``index`` may be anything numpy fancy-indexing accepts (an integer
+    array, or a tuple of arrays for multi-dimensional buffers).  The
+    buffer is owned by the scratch and shared with callers; consumers
+    must use (or copy) it before the next :meth:`clean`.
+    """
+
+    def __init__(self, shape: int | tuple[int, ...], fill: float) -> None:
+        self.fill = fill
+        self.array = np.full(shape, fill)
+        self._dirty = None
+
+    def clean(self) -> np.ndarray:
+        """The buffer with all previously published writes re-zeroed."""
+        if self._dirty is not None:
+            self.array[self._dirty] = self.fill
+            self._dirty = None
+        return self.array
+
+    def publish(self, index) -> None:
+        """Record the indices written this frame."""
+        self._dirty = index

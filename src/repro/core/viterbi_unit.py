@@ -82,6 +82,7 @@ class ViterbiUnit:
         self._cycles_busy = 0
         self._transitions = 0
         self._columns = 0
+        self._bank_cache: dict | None = None
 
     @property
     def cycles_busy(self) -> int:
@@ -278,6 +279,82 @@ class ViterbiUnit:
         self._columns += 1
         return ChainUpdateResult(
             delta=new_delta, backpointer=backptr, cycles=cycles, transitions=transitions
+        )
+
+    # ------------------------------------------------------------------
+    # Batched multi-utterance chain update (the BatchRecognizer path)
+    # ------------------------------------------------------------------
+    def update_chain_bank(
+        self,
+        prev_delta: np.ndarray,
+        self_logp: np.ndarray,
+        forward_logp: np.ndarray,
+        obs_logprobs: np.ndarray,
+        entry_scores: np.ndarray,
+        chain_start: np.ndarray,
+    ) -> ChainUpdateResult:
+        """One :meth:`update_chain` over ``B`` stacked utterances.
+
+        ``prev_delta``/``obs_logprobs``/``entry_scores`` are ``(B, S)``
+        banks sharing the network's ``(S,)`` transition constants and
+        start mask.  The bank is flattened row-major and swept in a
+        single chain update; because every chain's first state is a
+        start state, row boundaries are sealed exactly like word
+        boundaries, and all arithmetic is elementwise float32 — each
+        row's deltas and backpointers are bit-identical to updating
+        that utterance alone.  Cycles/transitions account for the whole
+        bank (B x S states per frame).
+
+        Returns a :class:`ChainUpdateResult` whose ``delta`` and
+        ``backpointer`` are reshaped back to ``(B, S)``.
+        """
+        prev = np.asarray(prev_delta, dtype=np.float32)
+        if prev.ndim != 2:
+            raise ValueError(f"prev_delta must be (B, S), got {prev.shape}")
+        b, s = prev.shape
+        starts = np.asarray(chain_start, dtype=bool)
+        if starts.shape != (s,):
+            raise ValueError(f"chain_start shape {starts.shape} != ({s},)")
+        if s and not starts[0]:
+            raise ValueError("state 0 must be a chain start to seal row seams")
+        obs = np.asarray(obs_logprobs, dtype=np.float32)
+        entry = np.asarray(entry_scores, dtype=np.float32)
+        for name, arr in (("obs_logprobs", obs), ("entry_scores", entry)):
+            if arr.shape != (b, s):
+                raise ValueError(f"{name} shape {arr.shape} != ({b}, {s})")
+        # The tiled network constants are identical every frame of a
+        # batched decode; cache them keyed on the source arrays (held
+        # by reference, so identity comparison is sound).
+        cache = self._bank_cache
+        if (
+            cache is None
+            or cache["b"] != b
+            or cache["self_src"] is not self_logp
+            or cache["fwd_src"] is not forward_logp
+            or cache["start_src"] is not chain_start
+        ):
+            cache = self._bank_cache = {
+                "b": b,
+                "self_src": self_logp,
+                "fwd_src": forward_logp,
+                "start_src": chain_start,
+                "self": np.tile(np.asarray(self_logp, dtype=np.float32), b),
+                "fwd": np.tile(np.asarray(forward_logp, dtype=np.float32), b),
+                "starts": np.tile(starts, b),
+            }
+        result = self.update_chain(
+            np.ascontiguousarray(prev).ravel(),
+            cache["self"],
+            cache["fwd"],
+            np.ascontiguousarray(obs).ravel(),
+            np.ascontiguousarray(entry).ravel(),
+            cache["starts"],
+        )
+        return ChainUpdateResult(
+            delta=result.delta.reshape(b, s),
+            backpointer=result.backpointer.reshape(b, s),
+            cycles=result.cycles,
+            transitions=result.transitions,
         )
 
     # ------------------------------------------------------------------

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["BeamConfig", "apply_beam"]
+__all__ = ["BeamConfig", "apply_beam", "apply_beam_batch"]
 
 LOG_ZERO = -1.0e30
 
@@ -38,6 +38,20 @@ class BeamConfig:
             )
 
 
+def _histogram_trim(delta: np.ndarray, alive: np.ndarray, cap: int) -> None:
+    """Trim a live mask to the ``cap`` best scores, in place."""
+    # Keep exactly the top-N scores (ties broken arbitrarily).
+    live_scores = delta[alive]
+    cut = np.partition(live_scores, -cap)[-cap]
+    alive &= delta >= cut
+    # A plateau of equal scores can still exceed the cap; trim it.
+    if int(alive.sum()) > cap:
+        idx = np.flatnonzero(alive)
+        order = np.argsort(delta[idx])[::-1]
+        alive[:] = False
+        alive[idx[order[:cap]]] = True
+
+
 def apply_beam(delta: np.ndarray, config: BeamConfig) -> tuple[np.ndarray, int]:
     """Prune ``delta`` in place; returns (active mask, survivors).
 
@@ -50,17 +64,48 @@ def apply_beam(delta: np.ndarray, config: BeamConfig) -> tuple[np.ndarray, int]:
     threshold = best - config.state_beam
     alive = delta > threshold
     if config.max_active_states and int(alive.sum()) > config.max_active_states:
-        # Keep exactly the top-N scores (ties broken arbitrarily).
-        live_scores = delta[alive]
-        cut = np.partition(live_scores, -config.max_active_states)[
-            -config.max_active_states
-        ]
-        alive &= delta >= cut
-        # A plateau of equal scores can still exceed the cap; trim it.
-        if int(alive.sum()) > config.max_active_states:
-            idx = np.flatnonzero(alive)
-            order = np.argsort(delta[idx])[::-1]
-            alive[:] = False
-            alive[idx[order[: config.max_active_states]]] = True
+        _histogram_trim(delta, alive, config.max_active_states)
     delta[~alive] = LOG_ZERO
     return alive, int(alive.sum())
+
+
+def make_beam_scratch(shape: tuple[int, int]) -> dict[str, np.ndarray]:
+    """Reusable mask buffers for :func:`apply_beam_batch`."""
+    return {
+        "alive": np.empty(shape, dtype=bool),
+        "kill": np.empty(shape, dtype=bool),
+    }
+
+
+def apply_beam_batch(
+    delta: np.ndarray,
+    config: BeamConfig,
+    scratch: dict[str, np.ndarray] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise :func:`apply_beam` over a ``(B, S)`` state bank.
+
+    Each row is pruned against its own frame best with the exact
+    per-utterance arithmetic, in one vectorised pass; returns the
+    ``(B, S)`` live mask and the ``(B,)`` survivor counts.  Passing a
+    :func:`make_beam_scratch` dict makes the per-frame call
+    allocation-light; the returned mask then aliases the scratch.
+    """
+    if delta.ndim != 2:
+        raise ValueError(f"delta must be 2-D, got shape {delta.shape}")
+    if scratch is None:
+        scratch = make_beam_scratch(delta.shape)
+    alive, kill = scratch["alive"], scratch["kill"]
+    best = delta.max(axis=1)
+    dead_rows = best <= LOG_ZERO
+    threshold = best - config.state_beam
+    np.greater(delta, threshold[:, None], out=alive)
+    alive[dead_rows] = False
+    counts = np.count_nonzero(alive, axis=1)
+    if config.max_active_states:
+        for b in np.flatnonzero(counts > config.max_active_states):
+            _histogram_trim(delta[b], alive[b], config.max_active_states)
+            counts[b] = int(alive[b].sum())
+    np.logical_not(alive, out=kill)
+    kill[dead_rows] = False  # dead rows stay untouched, as in apply_beam
+    np.copyto(delta, LOG_ZERO, where=kill)
+    return alive, counts

@@ -36,7 +36,36 @@ from repro.lexicon.triphone import SenoneTying
 from repro.lm.ngram import NGramModel
 from repro.quant.float_formats import IEEE_SINGLE, FloatFormat
 
-__all__ = ["Recognizer", "RecognitionResult"]
+__all__ = [
+    "Recognizer",
+    "RecognitionResult",
+    "resolve_storage_pool",
+    "validate_decoder_models",
+]
+
+
+def resolve_storage_pool(pool: SenonePool, storage_format: FloatFormat) -> SenonePool:
+    """The pool as stored in flash (quantized when narrow).
+
+    Shared by the sequential and batched recognizers so both always
+    score through the same stored bits.
+    """
+    if storage_format.mantissa_bits == 23:
+        return pool
+    return pool.quantized(storage_format)
+
+
+def validate_decoder_models(
+    network: FlatLexiconNetwork, pool: SenonePool, lm: NGramModel
+) -> None:
+    """The invariants every decoder front end relies on."""
+    if pool.num_senones != network.num_senones:
+        raise ValueError(
+            f"pool has {pool.num_senones} senones, network expects "
+            f"{network.num_senones}"
+        )
+    if tuple(lm.vocabulary.words()) != tuple(network.words):
+        raise ValueError("LM vocabulary order must match network words")
 
 
 @dataclass
@@ -91,13 +120,7 @@ class Recognizer:
     ) -> None:
         if mode not in ("reference", "hardware", "fast"):
             raise ValueError(f"unknown mode {mode!r}")
-        if pool.num_senones != network.num_senones:
-            raise ValueError(
-                f"pool has {pool.num_senones} senones, network expects "
-                f"{network.num_senones}"
-            )
-        if tuple(lm.vocabulary.words()) != tuple(network.words):
-            raise ValueError("LM vocabulary order must match network words")
+        validate_decoder_models(network, pool, lm)
         self.network = network
         self.pool = pool
         self.lm = lm
@@ -136,9 +159,7 @@ class Recognizer:
 
     def _storage_pool(self) -> SenonePool:
         """The pool as stored in flash (quantized when narrow)."""
-        if self.storage_format.mantissa_bits == 23:
-            return self.pool
-        return self.pool.quantized(self.storage_format)
+        return resolve_storage_pool(self.pool, self.storage_format)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -154,6 +175,18 @@ class Recognizer:
         """Build the network from a dictionary and wire everything."""
         network = FlatLexiconNetwork.build(dictionary, tying, topology)
         return cls(network=network, pool=pool, lm=lm, tying=tying, **kwargs)
+
+    # ------------------------------------------------------------------
+    def as_batch(self):
+        """A :class:`~repro.runtime.BatchRecognizer` twin of this decoder.
+
+        Shares the compiled network and models; decodes B utterances
+        frame-synchronously with outputs identical to sequential
+        :meth:`decode` calls (reference and hardware modes).
+        """
+        from repro.runtime.batch import BatchRecognizer
+
+        return BatchRecognizer.from_recognizer(self)
 
     # ------------------------------------------------------------------
     def decode(self, features: np.ndarray) -> RecognitionResult:

@@ -27,6 +27,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.core.opunit import GaussianTable, OpUnit
+from repro.core.scratch import DenseScratch
 from repro.hmm.senone import SenonePool
 
 __all__ = ["SenoneScorer", "ScoringStats", "ReferenceScorer", "HardwareScorer", "LOG_ZERO"]
@@ -85,22 +86,33 @@ class SenoneScorer(Protocol):
 
 
 class ReferenceScorer:
-    """Double-precision exact scorer (the software gold model)."""
+    """Double-precision exact scorer (the software gold model).
+
+    The dense output array is a scorer-owned scratch buffer refilled
+    with ``LOG_ZERO`` only at previously written indices, so the
+    per-frame hot path allocates nothing; callers consume it before the
+    next :meth:`score` call (the decoder gathers it into its own state
+    immediately).
+    """
 
     def __init__(self, pool: SenonePool) -> None:
         self.pool = pool
         self.num_senones = pool.num_senones
         self.stats = ScoringStats(senone_budget=pool.num_senones)
+        self._out = DenseScratch(pool.num_senones, LOG_ZERO)
 
     def score(
         self, frame_index: int, observation: np.ndarray, senones: np.ndarray
     ) -> np.ndarray:
         senones = np.asarray(senones, dtype=np.int64)
         self.stats.record(int(senones.size))
+        out = self._out.clean()
         if senones.size == 0:
-            return np.full(self.num_senones, LOG_ZERO)
-        out = self.pool.score_frame(np.asarray(observation), senones)
-        out[np.isneginf(out)] = LOG_ZERO
+            return out
+        compact = self.pool.score_senones(np.asarray(observation), senones)
+        compact[np.isneginf(compact)] = LOG_ZERO
+        out[senones] = compact
+        self._out.publish(senones)
         return out
 
     def reset(self) -> None:
@@ -131,13 +143,14 @@ class HardwareScorer:
         self.num_senones = table.num_senones
         self.stats = ScoringStats(senone_budget=table.num_senones)
         self.frame_critical_cycles: list[int] = []
+        self._out = DenseScratch(table.num_senones, LOG_ZERO)
 
     def score(
         self, frame_index: int, observation: np.ndarray, senones: np.ndarray
     ) -> np.ndarray:
         senones = np.asarray(senones, dtype=np.int64)
         self.stats.record(int(senones.size))
-        out = np.full(self.num_senones, LOG_ZERO)
+        out = self._out.clean()
         if senones.size == 0:
             self.frame_critical_cycles.append(0)
             return out
@@ -149,6 +162,7 @@ class HardwareScorer:
             result = unit.score_frame(self.table, observation, share)
             out[share] = result.scores[share]
             worst = max(worst, result.cycles)
+        self._out.publish(senones)
         self.frame_critical_cycles.append(worst)
         return out
 

@@ -42,7 +42,17 @@ from repro.decoder.network import FlatLexiconNetwork
 from repro.decoder.phone_decode import PhoneDecodeStage
 from repro.lm.ngram import NGramModel
 
-__all__ = ["DecoderConfig", "FrameStats", "WordDecodeStage"]
+__all__ = [
+    "DecoderConfig",
+    "FrameStats",
+    "WordDecodeStage",
+    "chain_update_reference",
+    "prime_entries",
+    "record_exits",
+    "compute_pending_entries",
+    "last_real_exit",
+    "lm_history_of",
+]
 
 LOG_ZERO = -1.0e30
 _DEAD = LOG_ZERO / 2  # anything at or below this counts as "no path"
@@ -76,6 +86,229 @@ class FrameStats:
     active_states: int
     requested_senones: int
     word_exits: int
+
+
+# ----------------------------------------------------------------------
+# Shared search kernels
+#
+# The per-frame recurrences below are written over the *trailing* state
+# axis so the same code drives the single-utterance stage (shape (S,))
+# and the batched runtime (shape (B, S) — one row per utterance in
+# :class:`repro.runtime.BatchRecognizer`).  Everything is elementwise or
+# a per-row reduction, so stacking utterances changes no value.
+# ----------------------------------------------------------------------
+
+
+def prime_entries(
+    network: FlatLexiconNetwork,
+    config: DecoderConfig,
+    lm: NGramModel,
+    pending_entry: np.ndarray,
+    pending_src: np.ndarray,
+) -> None:
+    """Initial word entries: LM row conditioned on ``<s>``.
+
+    Writes into ``pending_entry``/``pending_src`` in place; both may be
+    1-D (one utterance) or 2-D (a batch — rows are identical because
+    every utterance starts from BOS).
+    """
+    bos = (lm.vocabulary.bos_id,)
+    row = config.lm_scale * lm.log_prob_row(bos)
+    pending_entry[..., : network.num_words] = row + config.word_insertion_penalty
+    pending_src[..., : network.num_words] = -1
+    if network.has_silence:
+        pending_entry[..., network.silence_word] = config.silence_penalty
+        pending_src[..., network.silence_word] = -1
+
+
+def make_chain_scratch(shape: tuple[int, ...]) -> dict[str, np.ndarray]:
+    """Reusable buffers for :func:`chain_update_reference`."""
+    return {
+        "best": np.empty(shape),
+        "from_prev": np.empty(shape),
+        "enter": np.empty(shape),
+        "mask": np.empty(shape, dtype=bool),
+        "backptr": np.empty(shape, dtype=np.int8),
+    }
+
+
+def chain_update_reference(
+    delta: np.ndarray,
+    self_logp: np.ndarray,
+    fwd_logp: np.ndarray,
+    obs: np.ndarray,
+    entry_scores: np.ndarray,
+    is_start: np.ndarray,
+    out: np.ndarray | None = None,
+    scratch: dict[str, np.ndarray] | None = None,
+    entry_premasked: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Double-precision version of ``ViterbiUnit.update_chain``.
+
+    ``delta``/``obs``/``entry_scores`` may be ``(S,)`` or ``(B, S)``;
+    the transition constants and start mask are shared ``(S,)`` arrays.
+    A steady-state caller (the batched runtime) passes ``out`` — the
+    new-delta destination, which may alias ``delta`` (the old bank is
+    fully consumed before the single output write) — and a
+    :func:`make_chain_scratch` dict so the per-frame update allocates
+    nothing; the returned backpointers then live in ``scratch`` until
+    the next call.  ``entry_premasked`` asserts that ``entry_scores``
+    already holds ``LOG_ZERO`` at every non-start state (true for both
+    decoder frame loops, which scatter pending entries into a
+    ``LOG_ZERO`` bank), skipping the masking pass.
+    """
+    if scratch is None:
+        scratch = make_chain_scratch(delta.shape)
+    if out is None:
+        out = np.empty(delta.shape)
+    best = scratch["best"]
+    np.add(delta, self_logp, out=best)  # stay
+    from_prev = scratch["from_prev"]
+    np.add(delta[..., :-1], fwd_logp[:-1], out=from_prev[..., 1:])
+    from_prev[..., 0] = LOG_ZERO
+    from_prev[..., is_start] = LOG_ZERO
+    if entry_premasked:
+        enter = entry_scores
+    else:
+        enter = scratch["enter"]
+        enter.fill(LOG_ZERO)
+        np.copyto(enter, entry_scores, where=is_start)
+    backptr = scratch["backptr"]
+    backptr.fill(BP_SELF)
+    mask = scratch["mask"]
+    np.greater(from_prev, best, out=mask)
+    np.copyto(best, from_prev, where=mask)
+    backptr[mask] = BP_FORWARD
+    np.greater(enter, best, out=mask)
+    np.copyto(best, enter, where=mask)
+    backptr[mask] = BP_ENTRY
+    np.add(best, obs, out=out)
+    np.less_equal(best, _DEAD, out=mask)
+    out[mask] = LOG_ZERO
+    np.less_equal(obs, _DEAD, out=mask)
+    out[mask] = LOG_ZERO
+    return out, backptr
+
+
+def record_exits(
+    network: FlatLexiconNetwork,
+    config: DecoderConfig,
+    lattice: WordLattice,
+    payload: np.ndarray,
+    entry_frame: np.ndarray,
+    t: int,
+    exit_scores: np.ndarray,
+    viable: np.ndarray,
+) -> list[int]:
+    """Append one utterance's frame-``t`` word exits to its lattice.
+
+    ``exit_scores``/``viable`` are the per-word exit scores and
+    liveness mask the caller computed from its ``delta`` row; ``payload``
+    and ``entry_frame`` are that utterance's (S,) token-payload arrays.
+    """
+    if not viable.any():
+        return []
+    best = float(exit_scores[viable].max())
+    threshold = best - config.beam.word_beam
+    candidates = np.flatnonzero(viable & (exit_scores >= threshold))
+    if candidates.size > config.max_exits_per_frame:
+        order = np.argsort(exit_scores[candidates])[::-1]
+        candidates = candidates[order[: config.max_exits_per_frame]]
+    new_exits: list[int] = []
+    for w in candidates.tolist():
+        end_state = int(network.end_state[w])
+        predecessor = int(payload[end_state])
+        if w == network.silence_word:
+            lm_history = (
+                lattice.exit(predecessor).lm_history if predecessor >= 0 else -1
+            )
+        else:
+            lm_history = w  # network order == vocabulary order
+        index = lattice.add(
+            word=w,
+            entry_frame=int(entry_frame[end_state]),
+            exit_frame=t,
+            predecessor=predecessor,
+            score=float(exit_scores[w]),
+            lm_history=lm_history,
+        )
+        new_exits.append(index)
+    return new_exits
+
+
+def last_real_exit(lattice: WordLattice, network: FlatLexiconNetwork, index: int):
+    """Nearest non-silence exit at or before ``index`` (None = BOS)."""
+    while index >= 0:
+        record = lattice.exit(index)
+        if record.word != network.silence_word:
+            return record
+        index = record.predecessor
+    return None
+
+
+def lm_history_of(
+    lattice: WordLattice,
+    network: FlatLexiconNetwork,
+    lm: NGramModel,
+    record,
+) -> tuple[int, ...]:
+    """The LM context a lattice exit exposes.
+
+    For bigram models this is the last real word; for trigram models
+    the last two.  Silence records are transparent: the walk skips
+    them, so "w1 <sil> w2" exposes ``(w1, w2)``.  ``<s>`` fills missing
+    positions.
+    """
+    vocab = lm.vocabulary
+    first = (
+        record
+        if record.word != network.silence_word
+        else last_real_exit(lattice, network, record.predecessor)
+    )
+    if first is None:
+        return (vocab.bos_id,)
+    if lm.order < 3:
+        return (first.lm_history,)
+    second = last_real_exit(lattice, network, first.predecessor)
+    prev = vocab.bos_id if second is None else second.lm_history
+    return (prev, first.lm_history)
+
+
+def compute_pending_entries(
+    network: FlatLexiconNetwork,
+    config: DecoderConfig,
+    lm: NGramModel,
+    lattice: WordLattice,
+    exit_indices: list[int],
+    pending_entry: np.ndarray,
+    pending_src: np.ndarray,
+) -> None:
+    """Turn one utterance's frame exits into next-frame word entries.
+
+    Operates in place on the utterance's ``pending_entry``/
+    ``pending_src`` rows (1-D views work, so the batched runtime passes
+    slices of its stacked arrays).
+    """
+    pending_entry.fill(LOG_ZERO)
+    pending_src.fill(-1)
+    v = network.num_words
+    for index in exit_indices:
+        record = lattice.exit(index)
+        history = lm_history_of(lattice, network, lm, record)
+        # record.score + lm_scale * row + penalty, built in place on
+        # the one scaled-row temporary (IEEE addition is commutative,
+        # so folding the scalars in is bit-identical).
+        candidate = config.lm_scale * lm.log_prob_row(history)
+        np.add(candidate, record.score, out=candidate)
+        np.add(candidate, config.word_insertion_penalty, out=candidate)
+        better = candidate > pending_entry[:v]
+        np.copyto(pending_entry[:v], candidate, where=better)
+        np.copyto(pending_src[:v], index, where=better)
+        if network.has_silence:
+            sil_candidate = record.score + config.silence_penalty
+            if sil_candidate > pending_entry[network.silence_word]:
+                pending_entry[network.silence_word] = sil_candidate
+                pending_src[network.silence_word] = index
 
 
 class WordDecodeStage:
@@ -137,16 +370,9 @@ class WordDecodeStage:
 
     def _prime_from_bos(self) -> None:
         """Initial entries: LM row conditioned on ``<s>``."""
-        cfg = self.config
-        bos = (self.lm.vocabulary.bos_id,)
-        row = cfg.lm_scale * self.lm.log_prob_row(bos)
-        self.pending_entry[: self.network.num_words] = (
-            row + cfg.word_insertion_penalty
+        prime_entries(
+            self.network, self.config, self.lm, self.pending_entry, self.pending_src
         )
-        self.pending_src[: self.network.num_words] = -1
-        if self.network.has_silence:
-            self.pending_entry[self.network.silence_word] = cfg.silence_penalty
-            self.pending_src[self.network.silence_word] = -1
 
     # ------------------------------------------------------------------
     # Per-frame processing
@@ -233,24 +459,14 @@ class WordDecodeStage:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Double-precision version of ``ViterbiUnit.update_chain``."""
         net = self.network
-        delta = self.delta.astype(np.float64)
-        stay = delta + net.self_logp
-        from_prev = np.full(net.num_states, LOG_ZERO)
-        from_prev[1:] = delta[:-1] + net.fwd_logp[:-1]
-        from_prev[net.is_start] = LOG_ZERO
-        enter = np.where(net.is_start, entry_scores, LOG_ZERO)
-        best = stay
-        backptr = np.full(net.num_states, BP_SELF, dtype=np.int8)
-        better = from_prev > best
-        best = np.where(better, from_prev, best)
-        backptr[better] = BP_FORWARD
-        better = enter > best
-        best = np.where(better, enter, best)
-        backptr[better] = BP_ENTRY
-        new_delta = best + obs_vec
-        new_delta[best <= _DEAD] = LOG_ZERO
-        new_delta[obs_vec <= _DEAD] = LOG_ZERO
-        return new_delta, backptr
+        return chain_update_reference(
+            self.delta.astype(np.float64),
+            net.self_logp,
+            net.fwd_logp,
+            obs_vec,
+            entry_scores,
+            net.is_start,
+        )
 
     # ------------------------------------------------------------------
     # Word exits and LM-weighted entries
@@ -258,95 +474,39 @@ class WordDecodeStage:
     def _record_exits(self, t: int) -> list[int]:
         """Append this frame's word exits to the lattice."""
         net = self.network
-        cfg = self.config
         end_delta = self.delta[net.end_state].astype(np.float64)
         exit_scores = end_delta + net.fwd_logp[net.end_state]
         viable = end_delta > _DEAD
-        if not viable.any():
-            return []
-        best = float(exit_scores[viable].max())
-        threshold = best - cfg.beam.word_beam
-        candidates = np.flatnonzero(viable & (exit_scores >= threshold))
-        if candidates.size > cfg.max_exits_per_frame:
-            order = np.argsort(exit_scores[candidates])[::-1]
-            candidates = candidates[order[: cfg.max_exits_per_frame]]
-        new_exits: list[int] = []
-        for w in candidates.tolist():
-            end_state = int(net.end_state[w])
-            predecessor = int(self.payload[end_state])
-            if w == net.silence_word:
-                lm_history = (
-                    self.lattice.exit(predecessor).lm_history
-                    if predecessor >= 0
-                    else -1
-                )
-            else:
-                lm_history = w  # network order == vocabulary order
-            index = self.lattice.add(
-                word=w,
-                entry_frame=int(self.entry_frame[end_state]),
-                exit_frame=t,
-                predecessor=predecessor,
-                score=float(exit_scores[w]),
-                lm_history=lm_history,
-            )
-            new_exits.append(index)
-        return new_exits
+        return record_exits(
+            net,
+            self.config,
+            self.lattice,
+            self.payload,
+            self.entry_frame,
+            t,
+            exit_scores,
+            viable,
+        )
 
     def _last_real_exit(self, index: int):
         """Nearest non-silence exit at or before ``index`` (None = BOS)."""
-        while index >= 0:
-            record = self.lattice.exit(index)
-            if record.word != self.network.silence_word:
-                return record
-            index = record.predecessor
-        return None
+        return last_real_exit(self.lattice, self.network, index)
 
     def _lm_history_of(self, record) -> tuple[int, ...]:
-        """The LM context a lattice exit exposes.
-
-        For bigram models this is the last real word; for trigram
-        models the last two.  Silence records are transparent: the
-        walk skips them, so "w1 <sil> w2" exposes ``(w1, w2)``.
-        ``<s>`` fills missing positions.
-        """
-        vocab = self.lm.vocabulary
-        first = (
-            record
-            if record.word != self.network.silence_word
-            else self._last_real_exit(record.predecessor)
-        )
-        if first is None:
-            return (vocab.bos_id,)
-        if self.lm.order < 3:
-            return (first.lm_history,)
-        second = self._last_real_exit(first.predecessor)
-        prev = vocab.bos_id if second is None else second.lm_history
-        return (prev, first.lm_history)
+        """The LM context a lattice exit exposes (see :func:`lm_history_of`)."""
+        return lm_history_of(self.lattice, self.network, self.lm, record)
 
     def _compute_pending_entries(self, exit_indices: list[int]) -> None:
         """Turn this frame's exits into next frame's word entries."""
-        net = self.network
-        cfg = self.config
-        self.pending_entry.fill(LOG_ZERO)
-        self.pending_src.fill(-1)
-        for index in exit_indices:
-            record = self.lattice.exit(index)
-            history = self._lm_history_of(record)
-            row = cfg.lm_scale * self.lm.log_prob_row(history)
-            candidate = record.score + row + cfg.word_insertion_penalty
-            better = candidate > self.pending_entry[: net.num_words]
-            self.pending_entry[: net.num_words] = np.where(
-                better, candidate, self.pending_entry[: net.num_words]
-            )
-            self.pending_src[: net.num_words] = np.where(
-                better, index, self.pending_src[: net.num_words]
-            )
-            if net.has_silence:
-                sil_candidate = record.score + cfg.silence_penalty
-                if sil_candidate > self.pending_entry[net.silence_word]:
-                    self.pending_entry[net.silence_word] = sil_candidate
-                    self.pending_src[net.silence_word] = index
+        compute_pending_entries(
+            self.network,
+            self.config,
+            self.lm,
+            self.lattice,
+            exit_indices,
+            self.pending_entry,
+            self.pending_src,
+        )
 
     # ------------------------------------------------------------------
     @property

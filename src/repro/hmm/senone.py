@@ -65,6 +65,11 @@ class SenonePool:
             raise ValueError("each senone's weights must sum to 1")
         with np.errstate(divide="ignore"):
             self._log_weights = np.log(self.weights)
+        # Scoring constants, precomputed once: the per-frame hot path
+        # only gathers (parameters are immutable after construction;
+        # training/adaptation build new pools).
+        self._precisions = precision_halves(self.variances)
+        self._log_norm = log_normalizer(self.variances)
 
     # ------------------------------------------------------------------
     @property
@@ -91,6 +96,72 @@ class SenonePool:
     # ------------------------------------------------------------------
     # Reference scoring
     # ------------------------------------------------------------------
+    def score_senones(
+        self, observation: np.ndarray, senones: np.ndarray
+    ) -> np.ndarray:
+        """Compact exact log scores: shape ``(len(senones),)``.
+
+        The allocation-light core of :meth:`score_frame` — gathers the
+        precomputed precision/normalizer tables instead of recomputing
+        logs every frame, and returns only the requested scores so the
+        caller can scatter into its own dense buffer.
+        """
+        obs = np.asarray(observation, dtype=np.float64)
+        if obs.shape != (self.dim,):
+            raise ValueError(f"observation shape {obs.shape} != ({self.dim},)")
+        idx = np.asarray(senones, dtype=np.int64)
+        diff = obs[None, None, :] - self.means[idx]
+        quad = (diff * diff * self._precisions[idx]).sum(axis=-1)
+        comp = quad + self._log_norm[idx] + self._log_weights[idx]
+        peak = comp.max(axis=-1)
+        return peak + np.log(np.exp(comp - peak[..., None]).sum(axis=-1))
+
+    def score_pairs(
+        self,
+        observations: np.ndarray,
+        pair_rows: np.ndarray,
+        pair_senones: np.ndarray,
+    ) -> np.ndarray:
+        """Pooled exact scores for explicit (frame-row, senone) pairs.
+
+        One evaluation covers a whole batch of utterances: row
+        ``pair_rows[p]`` of the ``(B, L)`` observation block is scored
+        against senone ``pair_senones[p]``.  Per pair the arithmetic is
+        the exact sequence of :meth:`score_frame`, so pooling does not
+        change a single bit of any utterance's scores.  The hot path
+        allocates only the parameter gathers (reused in place for every
+        intermediate).
+        """
+        obs = np.asarray(observations, dtype=np.float64)
+        if obs.ndim != 2 or obs.shape[1] != self.dim:
+            raise ValueError(f"observations must be (B, {self.dim}), got {obs.shape}")
+        rows = np.asarray(pair_rows, dtype=np.int64)
+        idx = np.asarray(pair_senones, dtype=np.int64)
+        if rows.shape != idx.shape:
+            raise ValueError(f"pair shapes differ: {rows.shape} vs {idx.shape}")
+        if idx.size == 0:
+            return np.empty(0)
+        if idx.min() < 0 or idx.max() >= self.num_senones:
+            raise IndexError("pair senone index out of range")
+        if rows.min() < 0 or rows.max() >= obs.shape[0]:
+            raise IndexError("pair feature row out of range")
+        # diff^2 * precision, summed over dims — the exact op order of
+        # score_frame, computed in place on the gathered block.
+        work = self.means.take(idx, axis=0)  # (P, M, L)
+        np.subtract(obs.take(rows, axis=0)[:, None, :], work, out=work)
+        np.multiply(work, work, out=work)
+        np.multiply(work, self._precisions.take(idx, axis=0), out=work)
+        comp = work.sum(axis=-1)  # (P, M)
+        np.add(comp, self._log_norm.take(idx, axis=0), out=comp)
+        np.add(comp, self._log_weights.take(idx, axis=0), out=comp)
+        peak = comp.max(axis=-1)
+        np.subtract(comp, peak[:, None], out=comp)
+        np.exp(comp, out=comp)
+        acc = comp.sum(axis=-1)
+        np.log(acc, out=acc)
+        np.add(peak, acc, out=acc)
+        return acc
+
     def score_frame(
         self, observation: np.ndarray, senones: np.ndarray | None = None
     ) -> np.ndarray:
@@ -100,34 +171,52 @@ class SenonePool:
         scores of ``senones`` (default: all); unscored entries are
         ``-inf``.
         """
-        obs = np.asarray(observation, dtype=np.float64)
-        if obs.shape != (self.dim,):
-            raise ValueError(f"observation shape {obs.shape} != ({self.dim},)")
         if senones is None:
-            idx = slice(None)
+            idx = np.arange(self.num_senones)
             out = np.empty(self.num_senones)
         else:
             idx = np.asarray(senones, dtype=np.int64)
             out = np.full(self.num_senones, -np.inf)
-        means = self.means[idx]
-        variances = self.variances[idx]
-        diff = obs[None, None, :] - means
-        quad = (diff * diff * precision_halves(variances)).sum(axis=-1)
-        comp = quad + log_normalizer(variances) + self._log_weights[idx]
-        peak = comp.max(axis=-1)
-        out[idx] = peak + np.log(np.exp(comp - peak[..., None]).sum(axis=-1))
+        out[idx] = self.score_senones(observation, idx)
         return out
 
-    def score_frames(self, observations: np.ndarray) -> np.ndarray:
-        """Exact log scores for many frames: shape (T, num_senones)."""
+    #: Scratch budget for blocked multi-frame scoring: the largest
+    #: (block, N, M, L) temporary may hold this many float64 elements
+    #: (32 MB) — long utterances against big pools no longer
+    #: materialize the full (T, N, M, L) tensor.
+    SCORE_SCRATCH_ELEMENTS = 4_000_000
+
+    def score_frames(
+        self, observations: np.ndarray, block_frames: int | None = None
+    ) -> np.ndarray:
+        """Exact log scores for many frames: shape (T, num_senones).
+
+        Frames are evaluated in blocks of ``block_frames`` (default:
+        sized so scratch stays under :attr:`SCORE_SCRATCH_ELEMENTS`);
+        per-frame rows are independent, so blocking returns exactly the
+        same scores as one giant evaluation.
+        """
         obs = np.asarray(observations, dtype=np.float64)
         if obs.ndim != 2 or obs.shape[1] != self.dim:
             raise ValueError(f"observations must be (T, {self.dim}), got {obs.shape}")
-        diff = obs[:, None, None, :] - self.means[None]
-        quad = (diff * diff * precision_halves(self.variances)[None]).sum(axis=-1)
-        comp = quad + (log_normalizer(self.variances) + self._log_weights)[None]
-        peak = comp.max(axis=-1)
-        return peak + np.log(np.exp(comp - peak[..., None]).sum(axis=-1))
+        per_frame = self.num_senones * self.num_components * self.dim
+        if block_frames is None:
+            block_frames = max(1, self.SCORE_SCRATCH_ELEMENTS // max(per_frame, 1))
+        elif block_frames < 1:
+            raise ValueError(f"block_frames must be >= 1, got {block_frames}")
+        t = obs.shape[0]
+        out = np.empty((t, self.num_senones))
+        consts = self._log_norm + self._log_weights
+        for lo in range(0, t, block_frames):
+            hi = min(lo + block_frames, t)
+            diff = obs[lo:hi, None, None, :] - self.means[None]
+            quad = (diff * diff * self._precisions[None]).sum(axis=-1)
+            comp = quad + consts[None]
+            peak = comp.max(axis=-1)
+            out[lo:hi] = peak + np.log(
+                np.exp(comp - peak[..., None]).sum(axis=-1)
+            )
+        return out
 
     # ------------------------------------------------------------------
     # Views and exports

@@ -42,6 +42,7 @@ class NGramModel:
         ]
         self._trained = False
         self._row_cache: dict[tuple[int, ...], np.ndarray] = {}
+        self._log_row_cache: dict[tuple[int, ...], np.ndarray] = {}
         self._row_cache_limit = 512
 
     # ------------------------------------------------------------------
@@ -59,6 +60,7 @@ class NGramModel:
                     self._counts[n - 1][history][ids[i]] += 1
         self._trained = True
         self._row_cache.clear()
+        self._log_row_cache.clear()
 
     def _require_trained(self) -> None:
         if not self._trained:
@@ -183,12 +185,22 @@ class NGramModel:
     def log_prob_row(self, history: tuple[int, ...] = ()) -> np.ndarray:
         """``log P(w | history)`` for every regular word, shape (V,).
 
-        Rows are cached (the decoder queries the same exiting words
-        every frame); the cache is bounded and cleared on retrain.
+        Log rows are cached (the decoder queries the same exiting words
+        every frame, and the ``np.log`` over a dense V-sized row is the
+        expensive part); the cache is bounded and cleared on retrain.
+        Returned rows are shared — treat them as read-only.
         """
         self._require_trained()
         history = tuple(history)[-(self.order - 1) :] if self.order > 1 else ()
-        return np.log(self._dense_prob(history)[: self.vocabulary.size])
+        cached = self._log_row_cache.get(history)
+        if cached is not None:
+            return cached
+        with np.errstate(divide="ignore"):
+            row = np.log(self._dense_prob(history)[: self.vocabulary.size])
+        if len(self._log_row_cache) >= self._row_cache_limit:
+            self._log_row_cache.pop(next(iter(self._log_row_cache)))
+        self._log_row_cache[history] = row
+        return row
 
     def eos_log_prob(self, history: tuple[int, ...] = ()) -> float:
         """``log P(</s> | history)`` for utterance-final scoring."""

@@ -1,0 +1,23 @@
+"""The serving runtime: batched, frame-synchronous decoding.
+
+Scales the single-microphone architecture of the paper to many
+simultaneous audio streams: :class:`BatchRecognizer` advances B
+utterances through one shared compiled lexicon with one pooled senone
+evaluation and one chain update per frame, producing outputs identical
+to sequential decoding (see :mod:`repro.runtime.batch`).
+"""
+
+from repro.runtime.batch import BatchDecodeResult, BatchRecognizer
+from repro.runtime.scoring import (
+    BatchHardwareScorer,
+    BatchReferenceScorer,
+    BatchScoringBackend,
+)
+
+__all__ = [
+    "BatchRecognizer",
+    "BatchDecodeResult",
+    "BatchReferenceScorer",
+    "BatchHardwareScorer",
+    "BatchScoringBackend",
+]

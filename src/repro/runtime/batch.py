@@ -1,0 +1,439 @@
+"""Frame-synchronous multi-utterance decoding (the batched runtime).
+
+The paper's architecture serves ONE microphone; the ROADMAP's north
+star is heavy traffic.  This module closes that gap: a
+:class:`BatchRecognizer` decodes ``B`` utterances *simultaneously*
+against one shared compiled lexicon, advancing every live utterance by
+one frame per step:
+
+* the word-decode state (``delta``, ``payload``, ``entry_frame``) is
+  stacked into ``(B, S)`` banks advanced by ONE chain update per frame
+  — :func:`~repro.decoder.word_decode.chain_update_reference` over the
+  2-D bank in reference mode, or
+  :meth:`~repro.core.viterbi_unit.ViterbiUnit.update_chain_bank`
+  through the hardware model;
+* senone scoring fans the ``(B, L)`` observation block through a
+  single pooled GMM evaluation (:mod:`repro.runtime.scoring`) covering
+  the union of every utterance's feedback list, instead of ``B``
+  separate broadcasts;
+* pruning runs row-wise in one pass
+  (:func:`~repro.decoder.beam.apply_beam_batch`).
+
+Everything per-utterance — lattices, word exits, LM-weighted pending
+entries, per-frame statistics — runs through the same shared kernels
+as :class:`~repro.decoder.word_decode.WordDecodeStage`, on row views
+of the stacked arrays.  Because every batched operation is elementwise
+or a per-row reduction, each utterance's word sequence, path score and
+frame statistics are IDENTICAL to a sequential
+:class:`~repro.decoder.recognizer.Recognizer.decode` of the same
+features, in both reference and hardware modes; ragged batches simply
+retire lanes as their audio ends (a retired lane's state is frozen at
+``LOG_ZERO`` so no padding frame ever reaches its lattice or stats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.opunit import OpUnit, OpUnitSpec
+from repro.core.scratch import DenseScratch
+from repro.core.viterbi_unit import BP_FORWARD, BP_SELF, ViterbiUnit, ViterbiUnitSpec
+from repro.decoder.beam import apply_beam_batch, make_beam_scratch
+from repro.decoder.best_path import find_best_path
+from repro.decoder.lattice import WordLattice
+from repro.decoder.network import FlatLexiconNetwork
+from repro.decoder.recognizer import (
+    RecognitionResult,
+    Recognizer,
+    resolve_storage_pool,
+    validate_decoder_models,
+)
+from repro.decoder.scorer import ScoringStats
+from repro.decoder.word_decode import (
+    DecoderConfig,
+    FrameStats,
+    chain_update_reference,
+    compute_pending_entries,
+    make_chain_scratch,
+    prime_entries,
+    record_exits,
+)
+from repro.hmm.senone import SenonePool
+from repro.hmm.topology import HmmTopology
+from repro.lexicon.dictionary import PronunciationDictionary
+from repro.lexicon.triphone import SenoneTying
+from repro.lm.ngram import NGramModel
+from repro.quant.float_formats import IEEE_SINGLE, FloatFormat
+from repro.runtime.scoring import BatchHardwareScorer, BatchReferenceScorer
+
+__all__ = ["BatchRecognizer", "BatchDecodeResult"]
+
+LOG_ZERO = -1.0e30
+_DEAD = LOG_ZERO / 2
+
+
+@dataclass
+class BatchDecodeResult:
+    """One batched decode: per-utterance results plus pooled accounting."""
+
+    results: list[RecognitionResult]
+    frames_processed: int  # real (non-padding) frames across the batch
+    steps: int  # frame-synchronous steps taken (= longest utterance)
+    op_unit_activities: list[dict[str, float]] | None = None
+    viterbi_activity: dict[str, float] | None = None
+    frame_critical_cycles: list[int] | None = None
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> RecognitionResult:
+        return self.results[index]
+
+    @property
+    def words(self) -> list[tuple[str, ...]]:
+        return [r.words for r in self.results]
+
+    @property
+    def audio_seconds(self) -> float:
+        return float(sum(r.audio_seconds for r in self.results))
+
+
+class BatchRecognizer:
+    """Decode batches of utterances against one compiled lexicon.
+
+    Parameters mirror :class:`~repro.decoder.recognizer.Recognizer`;
+    supported modes are ``"reference"`` (double precision) and
+    ``"hardware"`` (quantized parameters, logadd SRAM, Viterbi unit).
+    The recognizer is reusable: each :meth:`decode_batch` call is an
+    independent batch, and batches of any size (including 1) produce
+    sequential-identical outputs.
+    """
+
+    def __init__(
+        self,
+        network: FlatLexiconNetwork,
+        pool: SenonePool,
+        lm: NGramModel,
+        config: DecoderConfig | None = None,
+        mode: str = "reference",
+        storage_format: FloatFormat = IEEE_SINGLE,
+        num_unit_pairs: int = 2,
+        frame_period_s: float = 0.010,
+    ) -> None:
+        if mode not in ("reference", "hardware"):
+            raise ValueError(
+                f"unknown batch mode {mode!r} (use 'reference' or 'hardware')"
+            )
+        validate_decoder_models(network, pool, lm)
+        self.network = network
+        self.pool = pool
+        self.lm = lm
+        self.mode = mode
+        self.storage_format = storage_format
+        self.config = config or DecoderConfig()
+        self.frame_period_s = frame_period_s
+        self.op_units: list[OpUnit] = []
+        self.viterbi_unit: ViterbiUnit | None = None
+
+        if mode == "hardware":
+            if num_unit_pairs < 1:
+                raise ValueError(f"num_unit_pairs must be >= 1, got {num_unit_pairs}")
+            spec = OpUnitSpec(feature_dim=pool.dim)
+            self.op_units = [OpUnit(spec) for _ in range(num_unit_pairs)]
+            table = pool.gaussian_table(storage_format)
+            self.scorer = BatchHardwareScorer(self.op_units, table)
+            self.viterbi_unit = ViterbiUnit(ViterbiUnitSpec())
+        else:
+            self.scorer = BatchReferenceScorer(
+                resolve_storage_pool(pool, storage_format)
+            )
+        self._dtype = np.float32 if mode == "hardware" else np.float64
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        dictionary: PronunciationDictionary,
+        pool: SenonePool,
+        lm: NGramModel,
+        tying: SenoneTying,
+        topology: HmmTopology | None = None,
+        **kwargs,
+    ) -> "BatchRecognizer":
+        """Build the network from a dictionary and wire everything."""
+        network = FlatLexiconNetwork.build(dictionary, tying, topology)
+        return cls(network=network, pool=pool, lm=lm, **kwargs)
+
+    @classmethod
+    def from_recognizer(cls, recognizer: Recognizer) -> "BatchRecognizer":
+        """A batched twin sharing a sequential recognizer's models."""
+        return cls(
+            network=recognizer.network,
+            pool=recognizer.pool,
+            lm=recognizer.lm,
+            config=recognizer.config,
+            mode=recognizer.mode,
+            storage_format=recognizer.storage_format,
+            num_unit_pairs=max(len(recognizer.op_units), 1),
+            frame_period_s=recognizer.frame_period_s,
+        )
+
+    # ------------------------------------------------------------------
+    def decode_batch(self, features: list[np.ndarray]) -> BatchDecodeResult:
+        """Decode ``B`` utterances frame-synchronously.
+
+        ``features`` holds one ``(T_b, L)`` matrix per utterance;
+        lengths may be ragged.  Returns per-utterance
+        :class:`RecognitionResult` records (sequential-identical words,
+        scores and statistics) plus the batch-level hardware
+        accounting.
+        """
+        if not features:
+            raise ValueError("cannot decode an empty batch")
+        feats = [np.asarray(f, dtype=np.float64) for f in features]
+        dim = self.pool.dim
+        for i, f in enumerate(feats):
+            if f.ndim != 2 or f.shape[1] != dim:
+                raise ValueError(
+                    f"utterance {i}: features must be (T, {dim}), got {f.shape}"
+                )
+            if f.shape[0] == 0:
+                raise ValueError(f"utterance {i}: cannot decode an empty utterance")
+        net = self.network
+        cfg = self.config
+        lm = self.lm
+        batch = len(feats)
+        lengths = np.array([f.shape[0] for f in feats], dtype=np.int64)
+        t_max = int(lengths.max())
+        num_states = net.num_states
+        num_senones = self.scorer.num_senones
+        total_words = net.num_words + (1 if net.has_silence else 0)
+        dtype = self._dtype
+        hardware = self.mode == "hardware"
+
+        self.scorer.reset()
+        if self.viterbi_unit is not None:
+            self.viterbi_unit.reset_counters()
+
+        # One padded observation bank up front: padded[t] is the (B, L)
+        # block frame t consumes (rows past a lane's length are zeros
+        # that no live computation ever reads).
+        padded = np.zeros((t_max, batch, dim))
+        for b, f in enumerate(feats):
+            padded[: f.shape[0], b] = f
+
+        # Stacked word-decode state: one row per utterance.
+        delta = np.full((batch, num_states), LOG_ZERO, dtype=dtype)
+        entry_frame = np.full((batch, num_states), -1, dtype=np.int64)
+        payload = np.full((batch, num_states), -1, dtype=np.int64)
+        pending_entry = np.full((batch, total_words), LOG_ZERO)
+        pending_src = np.full((batch, total_words), -1, dtype=np.int64)
+        prime_entries(net, cfg, lm, pending_entry, pending_src)
+
+        lattices = [WordLattice() for _ in range(batch)]
+        frame_stats: list[list[FrameStats]] = [[] for _ in range(batch)]
+        lane_stats = [
+            ScoringStats(senone_budget=self.pool.num_senones) for _ in range(batch)
+        ]
+
+        # Frame scratch (allocated once per batch, reused every frame).
+        score_mat = DenseScratch((batch, num_senones), LOG_ZERO)
+        entry_scores = np.full((batch, num_states), LOG_ZERO, dtype=dtype)
+        entry_payload = np.full((batch, num_states), -1, dtype=np.int64)
+        candidates = np.empty((batch, num_states), dtype=bool)
+        shifted = np.empty((batch, num_states), dtype=bool)
+        cand_mask = np.zeros((batch, num_senones), dtype=bool)
+        prev_payload = np.empty((batch, num_states), dtype=np.int64)
+        prev_entry_frame = np.empty((batch, num_states), dtype=np.int64)
+        payload_next = np.empty((batch, num_states), dtype=np.int64)
+        entry_frame_next = np.empty((batch, num_states), dtype=np.int64)
+        took_self = np.empty((batch, num_states), dtype=bool)
+        took_fwd = np.empty((batch, num_states), dtype=bool)
+        chain_scratch = (
+            make_chain_scratch((batch, num_states))
+            if self.viterbi_unit is None
+            else None
+        )
+        beam_scratch = make_beam_scratch((batch, num_states))
+        fwd_end = net.fwd_logp[net.end_state]
+        # Per-step statistics, materialised into FrameStats at the end
+        # (padding steps of shorter lanes are never recorded).
+        stat_active = np.zeros((t_max, batch), dtype=np.int64)
+        stat_requested = np.zeros((t_max, batch), dtype=np.int64)
+        stat_exits = np.zeros((t_max, batch), dtype=np.int64)
+        frames_processed = int(lengths.sum())
+        # Lane liveness, maintained incrementally: lanes retire exactly
+        # when their audio ends.
+        active = np.ones(batch, dtype=bool)
+        retire_at: dict[int, np.ndarray] = {}
+        for step in np.unique(lengths):
+            retire_at[int(step) - 1] = np.flatnonzero(lengths == step)
+
+        for t in range(t_max):
+            obs_block = padded[t]
+
+            # 1. Candidate states (alive, right neighbours, pending
+            #    entries) — the per-lane feedback lists, batched.
+            #    Retired lanes are frozen at LOG_ZERO, so their rows
+            #    stay empty without extra masking.
+            np.greater(delta, _DEAD, out=candidates)  # alive
+            shifted[:, 0] = False
+            shifted[:, 1:] = candidates[:, :-1]
+            shifted[:, net.is_start] = False
+            candidates |= shifted
+            entry_b, entry_w = np.nonzero(pending_entry > _DEAD)
+            candidates[entry_b, net.start_state[entry_w]] = True
+
+            # 2. The union of per-lane unique senone requests, as
+            #    (lane, senone) work items for one pooled evaluation.
+            if cfg.use_feedback:
+                cand_mask[:] = False
+                cand_b, cand_s = np.nonzero(candidates)
+                cand_mask[cand_b, net.senone_id[cand_s]] = True
+            else:
+                cand_mask[:] = active[:, None]
+            pair_b, pair_s = np.nonzero(cand_mask)
+            scored_counts = np.count_nonzero(cand_mask, axis=1)
+
+            # 3. One pooled GMM pass for the whole batch.
+            scores = score_mat.clean()
+            compact = self.scorer.score_pairs(obs_block, pair_b, pair_s)
+            scores[pair_b, pair_s] = compact
+            score_mat.publish((pair_b, pair_s))
+            obs_bank = scores.take(net.senone_id, axis=1)
+            obs = obs_bank if dtype == np.float64 else obs_bank.astype(dtype)
+            entry_scores[:, net.start_state] = pending_entry
+
+            # 4. One chain update advances every lane's token bank.
+            if self.viterbi_unit is not None:
+                result = self.viterbi_unit.update_chain_bank(
+                    delta, net.self_logp, net.fwd_logp, obs, entry_scores,
+                    net.is_start,
+                )
+                new_delta, backptr = result.delta, result.backpointer
+                delta = new_delta.astype(dtype)
+            else:
+                # out=delta is safe (old bank fully consumed first);
+                # entry_scores is LOG_ZERO off the start states by
+                # construction, so the masking pass is skipped.
+                _, backptr = chain_update_reference(
+                    delta, net.self_logp, net.fwd_logp,
+                    obs, entry_scores, net.is_start,
+                    out=delta, scratch=chain_scratch, entry_premasked=True,
+                )
+
+            # 5. Token payload propagation along the winning arcs
+            #    (same selection as the sequential np.select, via
+            #    disjoint masks into double buffers).
+            prev_payload[:, 0] = -1
+            prev_payload[:, 1:] = payload[:, :-1]
+            prev_entry_frame[:, 0] = -1
+            prev_entry_frame[:, 1:] = entry_frame[:, :-1]
+            entry_payload[:, net.start_state] = pending_src
+            np.equal(backptr, BP_SELF, out=took_self)
+            np.equal(backptr, BP_FORWARD, out=took_fwd)
+            np.copyto(payload_next, entry_payload)
+            np.copyto(payload_next, prev_payload, where=took_fwd)
+            np.copyto(payload_next, payload, where=took_self)
+            payload, payload_next = payload_next, payload
+            entry_frame_next[:] = t
+            np.copyto(entry_frame_next, prev_entry_frame, where=took_fwd)
+            np.copyto(entry_frame_next, entry_frame, where=took_self)
+            entry_frame, entry_frame_next = entry_frame_next, entry_frame
+
+            # 6. Row-wise beam prune, then per-lane exits and entries.
+            _, n_active = apply_beam_batch(delta, cfg.beam, beam_scratch)
+            end_delta = delta[:, net.end_state]
+            if end_delta.dtype != np.float64:
+                end_delta = end_delta.astype(np.float64)
+            exit_scores = end_delta + fwd_end
+            viable = end_delta > _DEAD
+            exit_lanes = np.flatnonzero(viable.any(axis=1))
+            for b in exit_lanes:
+                exits = record_exits(
+                    net, cfg, lattices[b], payload[b], entry_frame[b], t,
+                    exit_scores[b], viable[b],
+                )
+                stat_exits[t, b] = len(exits)
+                compute_pending_entries(
+                    net, cfg, lm, lattices[b], exits,
+                    pending_entry[b], pending_src[b],
+                )
+            no_exit = active.copy()
+            no_exit[exit_lanes] = False
+            pending_entry[no_exit] = LOG_ZERO
+            pending_src[no_exit] = -1
+
+            stat_active[t] = n_active
+            stat_requested[t] = scored_counts
+
+            # 7. Retire lanes whose audio just ended: freeze their
+            #    state at LOG_ZERO so padding frames cannot touch their
+            #    lattices or statistics.
+            retiring = retire_at.get(t)
+            if retiring is not None:
+                active[retiring] = False
+                delta[retiring] = LOG_ZERO
+                pending_entry[retiring] = LOG_ZERO
+                pending_src[retiring] = -1
+
+        for b in range(batch):
+            stats = lane_stats[b]
+            lane_frames = frame_stats[b]
+            for t in range(int(lengths[b])):
+                requested = int(stat_requested[t, b])
+                stats.record(requested)
+                lane_frames.append(
+                    FrameStats(
+                        frame=t,
+                        active_states=int(stat_active[t, b]),
+                        requested_senones=requested,
+                        word_exits=int(stat_exits[t, b]),
+                    )
+                )
+
+        results = [
+            self._lane_result(
+                lattices[b], int(lengths[b]), frame_stats[b], lane_stats[b]
+            )
+            for b in range(batch)
+        ]
+        return BatchDecodeResult(
+            results=results,
+            frames_processed=frames_processed,
+            steps=t_max,
+            op_unit_activities=(
+                [u.activity() for u in self.op_units] if self.op_units else None
+            ),
+            viterbi_activity=(
+                self.viterbi_unit.activity() if self.viterbi_unit else None
+            ),
+            frame_critical_cycles=(
+                list(self.scorer.frame_critical_cycles) if hardware else None
+            ),
+        )
+
+    def _lane_result(
+        self,
+        lattice: WordLattice,
+        frames: int,
+        stats: list[FrameStats],
+        scoring: ScoringStats,
+    ) -> RecognitionResult:
+        best = find_best_path(
+            lattice, self.lm, self.network, frames - 1, lm_scale=self.config.lm_scale
+        )
+        return RecognitionResult(
+            words=best.words if best is not None else (),
+            score=best.score if best is not None else float("-inf"),
+            frames=frames,
+            frame_stats=stats,
+            scoring_stats=scoring,
+            lattice_size=len(lattice),
+            frame_period_s=self.frame_period_s,
+        )

@@ -1,0 +1,129 @@
+"""Pooled senone scoring for the batched runtime.
+
+The sequential decoder scores one utterance's active senones per call,
+paying the numpy dispatch cost ``B`` times per frame when serving a
+batch.  The backends here take the whole batch at once: a ``(B, L)``
+observation block plus explicit ``(pair_rows, pair_senones)`` work
+items — the union of every utterance's feedback list — and evaluate
+them in ONE pooled GMM pass.  Per work item the arithmetic is the
+exact sequence of the sequential backends (see
+:meth:`repro.hmm.senone.SenonePool.score_pairs` and
+:meth:`repro.core.opunit.OpUnit.score_pairs`), so pooling changes no
+utterance's scores by a single bit.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.opunit import GaussianTable, OpUnit
+from repro.hmm.senone import SenonePool
+
+__all__ = [
+    "BatchScoringBackend",
+    "BatchReferenceScorer",
+    "BatchHardwareScorer",
+    "LOG_ZERO",
+]
+
+LOG_ZERO = -1.0e30
+
+
+class BatchScoringBackend(Protocol):
+    """Contract between the batch frame loop and a pooled backend."""
+
+    num_senones: int
+
+    def score_pairs(
+        self,
+        observations: np.ndarray,
+        pair_rows: np.ndarray,
+        pair_senones: np.ndarray,
+    ) -> np.ndarray:
+        """Compact scores for (batch-row, senone) work items."""
+        ...  # pragma: no cover - protocol definition
+
+    def reset(self) -> None:
+        """Clear per-decode accounting."""
+        ...  # pragma: no cover - protocol definition
+
+
+class BatchReferenceScorer:
+    """Double-precision pooled scorer (matches :class:`ReferenceScorer`)."""
+
+    def __init__(self, pool: SenonePool) -> None:
+        self.pool = pool
+        self.num_senones = pool.num_senones
+
+    def score_pairs(
+        self,
+        observations: np.ndarray,
+        pair_rows: np.ndarray,
+        pair_senones: np.ndarray,
+    ) -> np.ndarray:
+        if pair_senones.size == 0:
+            return np.empty(0)
+        compact = self.pool.score_pairs(observations, pair_rows, pair_senones)
+        # Same clamp the sequential ReferenceScorer applies.
+        compact[np.isneginf(compact)] = LOG_ZERO
+        return compact
+
+    def reset(self) -> None:  # stateless
+        pass
+
+
+class BatchHardwareScorer:
+    """Pooled scoring through the OP-unit models.
+
+    Work items are split evenly across the available units (the
+    paper's parallel dedicated structures); because every item is
+    independent, the split changes accounting, never scores.  The
+    per-frame critical path is the maximum unit cycle count over the
+    pooled block — the figure that decides whether the hardware keeps
+    up with ``B`` simultaneous audio streams.
+    """
+
+    def __init__(self, units: list[OpUnit], table: GaussianTable) -> None:
+        if not units:
+            raise ValueError("need at least one OP unit")
+        dims = {u.spec.feature_dim for u in units}
+        if dims != {table.feature_dim}:
+            raise ValueError(
+                f"unit feature dims {dims} != table dim {table.feature_dim}"
+            )
+        self.units = units
+        self.table = table
+        self.num_senones = table.num_senones
+        self.frame_critical_cycles: list[int] = []
+
+    def score_pairs(
+        self,
+        observations: np.ndarray,
+        pair_rows: np.ndarray,
+        pair_senones: np.ndarray,
+    ) -> np.ndarray:
+        p = int(pair_senones.size)
+        if p == 0:
+            self.frame_critical_cycles.append(0)
+            return np.empty(0)
+        feats32 = np.asarray(observations, dtype=np.float32)
+        out = np.empty(p)
+        shares = np.array_split(np.arange(p), len(self.units))
+        worst = 0
+        for unit, share in zip(self.units, shares):
+            if share.size == 0:
+                continue
+            scores, cycles = unit.score_pairs(
+                self.table, feats32, pair_rows[share], pair_senones[share]
+            )
+            out[share] = scores
+            worst = max(worst, cycles)
+        self.frame_critical_cycles.append(worst)
+        return out
+
+    def reset(self) -> None:
+        self.frame_critical_cycles = []
+        for unit in self.units:
+            unit.reset_counters()

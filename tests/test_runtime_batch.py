@@ -1,0 +1,184 @@
+"""Tests for repro.runtime — batch-vs-sequential equivalence.
+
+The batched runtime's whole contract is that stacking utterances
+changes nothing: every lane's words, path score, per-frame statistics
+and lattice must be identical to a sequential decode of the same
+features, in reference and hardware modes, including ragged batches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.logadd import LogAddTable
+from repro.decoder.beam import BeamConfig, apply_beam, apply_beam_batch
+from repro.decoder.recognizer import Recognizer
+from repro.runtime import BatchRecognizer
+
+
+@pytest.fixture(scope="module", params=["reference", "hardware"])
+def pair(request, task):
+    """A sequential recognizer and its batched twin, per mode."""
+    rec = Recognizer.create(
+        task.dictionary, task.pool, task.lm, task.tying, mode=request.param
+    )
+    return rec, rec.as_batch()
+
+
+def _assert_lane_equal(seq, lane):
+    assert lane.words == seq.words
+    assert lane.score == seq.score  # bit-identical, not approx
+    assert lane.frames == seq.frames
+    assert lane.lattice_size == seq.lattice_size
+    assert [f.__dict__ for f in lane.frame_stats] == [
+        f.__dict__ for f in seq.frame_stats
+    ]
+    assert lane.scoring_stats.active_per_frame == seq.scoring_stats.active_per_frame
+
+
+class TestEquivalence:
+    def test_batch_matches_sequential(self, pair, task):
+        rec, batch = pair
+        utts = task.corpus.test[:6]
+        sequential = [rec.decode(u.features) for u in utts]
+        result = batch.decode_batch([u.features for u in utts])
+        assert len(result) == len(utts)
+        for seq, lane in zip(sequential, result):
+            _assert_lane_equal(seq, lane)
+
+    def test_ragged_lengths_do_not_leak(self, pair, task):
+        """Padding frames must not touch short lanes' stats/lattices."""
+        rec, batch = pair
+        feats = [u.features for u in task.corpus.test[:4]]
+        # Force very ragged lengths: truncate two lanes hard.
+        feats[1] = feats[1][: feats[1].shape[0] // 3]
+        feats[3] = feats[3][:7]
+        sequential = [rec.decode(f) for f in feats]
+        result = batch.decode_batch(feats)
+        for f, seq, lane in zip(feats, sequential, result):
+            assert lane.frames == f.shape[0]
+            assert len(lane.frame_stats) == f.shape[0]
+            assert lane.scoring_stats.frames == f.shape[0]
+            _assert_lane_equal(seq, lane)
+
+    def test_batch_of_one(self, pair, task):
+        rec, batch = pair
+        utt = task.corpus.test[0]
+        seq = rec.decode(utt.features)
+        result = batch.decode_batch([utt.features])
+        _assert_lane_equal(seq, result[0])
+
+    def test_reusable_across_batches(self, pair, task):
+        _, batch = pair
+        feats = [u.features for u in task.corpus.test[:2]]
+        first = batch.decode_batch(feats)
+        second = batch.decode_batch(feats)
+        for a, b in zip(first, second):
+            assert a.words == b.words and a.score == b.score
+
+    def test_duplicate_utterances_agree(self, pair, task):
+        """Identical lanes must produce identical outputs."""
+        _, batch = pair
+        f = task.corpus.test[1].features
+        result = batch.decode_batch([f, f, f])
+        assert result[0].words == result[1].words == result[2].words
+        assert result[0].score == result[1].score == result[2].score
+
+
+class TestBatchResult:
+    def test_container_protocol(self, pair, task):
+        _, batch = pair
+        feats = [u.features for u in task.corpus.test[:3]]
+        result = batch.decode_batch(feats)
+        assert len(result) == 3
+        assert [r.words for r in result] == result.words
+        assert result.frames_processed == sum(f.shape[0] for f in feats)
+        assert result.steps == max(f.shape[0] for f in feats)
+        assert result.audio_seconds == pytest.approx(
+            sum(f.shape[0] for f in feats) * 0.010
+        )
+
+    def test_hardware_accounting_present(self, task):
+        rec = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying, mode="hardware"
+        )
+        batch = rec.as_batch()
+        feats = [u.features for u in task.corpus.test[:2]]
+        result = batch.decode_batch(feats)
+        assert result.op_unit_activities is not None
+        assert result.viterbi_activity is not None
+        assert result.frame_critical_cycles is not None
+        assert len(result.frame_critical_cycles) == result.steps
+        assert result.op_unit_activities[0]["cycles_busy"] > 0
+
+
+class TestValidation:
+    def test_rejects_fast_mode(self, task):
+        with pytest.raises(ValueError):
+            BatchRecognizer.create(
+                task.dictionary, task.pool, task.lm, task.tying, mode="fast"
+            )
+
+    def test_rejects_empty_batch(self, pair):
+        _, batch = pair
+        with pytest.raises(ValueError):
+            batch.decode_batch([])
+
+    def test_rejects_bad_shapes(self, pair, task):
+        _, batch = pair
+        good = task.corpus.test[0].features
+        with pytest.raises(ValueError):
+            batch.decode_batch([good, np.zeros((10, 7))])
+        with pytest.raises(ValueError):
+            batch.decode_batch([np.zeros((0, good.shape[1]))])
+
+
+class TestBatchedKernels:
+    def test_apply_beam_batch_matches_rows(self, rng):
+        cfg = BeamConfig(state_beam=5.0, word_beam=4.0)
+        bank = np.where(
+            rng.random((6, 40)) < 0.3, -1.0e30, rng.normal(scale=4.0, size=(6, 40))
+        )
+        bank[2, :] = -1.0e30  # a dead lane
+        rows = bank.copy()
+        expected_masks, expected_counts = [], []
+        for b in range(rows.shape[0]):
+            mask, count = apply_beam(rows[b], cfg)
+            expected_masks.append(mask)
+            expected_counts.append(count)
+        masks, counts = apply_beam_batch(bank, cfg)
+        assert np.array_equal(bank, rows)
+        assert np.array_equal(masks, np.stack(expected_masks))
+        assert counts.tolist() == expected_counts
+
+    def test_apply_beam_batch_histogram_cap(self, rng):
+        cfg = BeamConfig(state_beam=50.0, word_beam=4.0, max_active_states=3)
+        bank = rng.normal(size=(4, 20))
+        rows = bank.copy()
+        expected = [apply_beam(rows[b], cfg)[1] for b in range(4)]
+        _, counts = apply_beam_batch(bank, cfg)
+        assert counts.tolist() == expected
+        assert np.array_equal(bank, rows)
+
+    def test_logadd_fold_bit_identical(self, rng):
+        la_fold, la_serial = LogAddTable(), LogAddTable()
+        values = rng.normal(scale=40.0, size=(64, 5))
+        values[3] = -np.inf
+        values[7, 1:] = -np.inf
+        folded = la_fold.logadd_fold(values)
+        serial = np.array([la_serial.logadd_many(v) for v in values])
+        assert np.array_equal(folded, serial)
+        assert la_fold.reads == la_serial.reads
+
+    def test_score_pairs_matches_score_frame(self, small_pool, rng):
+        obs = rng.normal(size=(3, small_pool.dim))
+        pair_rows = np.array([0, 0, 1, 2, 2, 2])
+        pair_senones = np.array([1, 5, 2, 0, 7, 23])
+        pooled = small_pool.score_pairs(obs, pair_rows, pair_senones)
+        for p, (b, s) in enumerate(zip(pair_rows, pair_senones)):
+            assert pooled[p] == small_pool.score_frame(obs[b])[s]
+
+    def test_score_frames_blocked_identical(self, small_pool, rng):
+        frames = rng.normal(size=(11, small_pool.dim))
+        full = small_pool.score_frames(frames, block_frames=11)
+        blocked = small_pool.score_frames(frames, block_frames=2)
+        assert np.array_equal(full, blocked)
