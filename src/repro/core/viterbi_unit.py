@@ -305,6 +305,12 @@ class ViterbiUnit:
         that utterance alone.  Cycles/transitions account for the whole
         bank (B x S states per frame).
 
+        Both batched runtimes lean on this: a drained batch keeps
+        retired lanes as all-``LOG_ZERO`` rows, and the continuous
+        runtime swaps a row's CONTENT at lane refill — neither changes
+        ``B``, so the tiled-constant cache below persists for the whole
+        decode.
+
         Returns a :class:`ChainUpdateResult` whose ``delta`` and
         ``backpointer`` are reshaped back to ``(B, S)``.
         """

@@ -89,6 +89,11 @@ def apply_beam_batch(
     ``(B, S)`` live mask and the ``(B,)`` survivor counts.  Passing a
     :func:`make_beam_scratch` dict makes the per-frame call
     allocation-light; the returned mask then aliases the scratch.
+
+    Dead rows (all ``LOG_ZERO``) report zero survivors and are left
+    untouched, exactly like :func:`apply_beam` on an empty utterance —
+    which is what makes idle lanes free in the batched runtimes: a
+    retired or not-yet-refilled lane is just a dead row.
     """
     if delta.ndim != 2:
         raise ValueError(f"delta must be 2-D, got shape {delta.shape}")

@@ -188,6 +188,18 @@ class Recognizer:
 
         return BatchRecognizer.from_recognizer(self)
 
+    def as_continuous(self):
+        """A continuous-batching twin of this decoder.
+
+        Shares the compiled network and models; serves an utterance
+        queue with mid-decode lane refill
+        (:meth:`~repro.runtime.continuous.ContinuousBatchRecognizer.decode_stream`),
+        each utterance's output identical to sequential :meth:`decode`.
+        """
+        from repro.runtime.continuous import ContinuousBatchRecognizer
+
+        return ContinuousBatchRecognizer.from_recognizer(self)
+
     # ------------------------------------------------------------------
     def decode(self, features: np.ndarray) -> RecognitionResult:
         """Recognize one utterance from its feature matrix (T, L)."""

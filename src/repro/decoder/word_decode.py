@@ -93,9 +93,14 @@ class FrameStats:
 #
 # The per-frame recurrences below are written over the *trailing* state
 # axis so the same code drives the single-utterance stage (shape (S,))
-# and the batched runtime (shape (B, S) — one row per utterance in
-# :class:`repro.runtime.BatchRecognizer`).  Everything is elementwise or
-# a per-row reduction, so stacking utterances changes no value.
+# and the batched runtimes (shape (B, S) — one row per lane in
+# :class:`repro.runtime.LaneBank`, whether the bank is drained by
+# :class:`repro.runtime.BatchRecognizer` or continuously refilled by
+# :class:`repro.runtime.ContinuousBatchRecognizer`).  Everything is
+# elementwise or a per-row reduction, so stacking utterances changes no
+# value; the lattice/entry helpers take 1-D row views, so a freshly
+# admitted lane replays exactly the sequential per-utterance sequence
+# from its own frame 0.
 # ----------------------------------------------------------------------
 
 

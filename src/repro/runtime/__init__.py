@@ -1,13 +1,28 @@
 """The serving runtime: batched, frame-synchronous decoding.
 
 Scales the single-microphone architecture of the paper to many
-simultaneous audio streams: :class:`BatchRecognizer` advances B
-utterances through one shared compiled lexicon with one pooled senone
-evaluation and one chain update per frame, producing outputs identical
-to sequential decoding (see :mod:`repro.runtime.batch`).
+simultaneous audio streams.  Two runtimes share one lane engine
+(:class:`~repro.runtime.batch.LaneBank` — stacked ``(B, S)`` state,
+one pooled senone evaluation and one chain update per step):
+
+* :class:`BatchRecognizer` (:mod:`repro.runtime.batch`) decodes a
+  fixed batch drain-to-longest: all lanes are admitted up front and
+  the bank is stepped until the longest utterance finishes.
+* :class:`ContinuousBatchRecognizer` (:mod:`repro.runtime.continuous`)
+  serves a waiting queue with continuous batching: the moment a lane's
+  utterance finalizes, the next queued utterance is admitted into that
+  lane, so ragged lengths never idle the datapath.
+
+Both produce per-utterance outputs bit-identical to sequential
+:meth:`~repro.decoder.recognizer.Recognizer.decode` in reference and
+hardware modes (see ``tests/test_golden_parity.py``).
 """
 
-from repro.runtime.batch import BatchDecodeResult, BatchRecognizer
+from repro.runtime.batch import BatchDecodeResult, BatchRecognizer, LaneBank
+from repro.runtime.continuous import (
+    ContinuousBatchRecognizer,
+    ContinuousDecodeResult,
+)
 from repro.runtime.scoring import (
     BatchHardwareScorer,
     BatchReferenceScorer,
@@ -17,6 +32,9 @@ from repro.runtime.scoring import (
 __all__ = [
     "BatchRecognizer",
     "BatchDecodeResult",
+    "ContinuousBatchRecognizer",
+    "ContinuousDecodeResult",
+    "LaneBank",
     "BatchReferenceScorer",
     "BatchHardwareScorer",
     "BatchScoringBackend",

@@ -1,34 +1,36 @@
 """Frame-synchronous multi-utterance decoding (the batched runtime).
 
 The paper's architecture serves ONE microphone; the ROADMAP's north
-star is heavy traffic.  This module closes that gap: a
-:class:`BatchRecognizer` decodes ``B`` utterances *simultaneously*
-against one shared compiled lexicon, advancing every live utterance by
-one frame per step:
+star is heavy traffic.  This module closes that gap with a shared lane
+engine and the first runtime built on it:
 
-* the word-decode state (``delta``, ``payload``, ``entry_frame``) is
-  stacked into ``(B, S)`` banks advanced by ONE chain update per frame
-  — :func:`~repro.decoder.word_decode.chain_update_reference` over the
-  2-D bank in reference mode, or
-  :meth:`~repro.core.viterbi_unit.ViterbiUnit.update_chain_bank`
-  through the hardware model;
-* senone scoring fans the ``(B, L)`` observation block through a
-  single pooled GMM evaluation (:mod:`repro.runtime.scoring`) covering
-  the union of every utterance's feedback list, instead of ``B``
-  separate broadcasts;
-* pruning runs row-wise in one pass
-  (:func:`~repro.decoder.beam.apply_beam_batch`).
+* :class:`LaneBank` owns the stacked per-lane decode state — the
+  word-decode arrays (``delta``, ``payload``, ``entry_frame``) stacked
+  into ``(B, S)`` banks, per-lane pending word entries, lattices and
+  statistics — and the lane *lifecycle*: :meth:`LaneBank.admit` seeds a
+  free lane with a fresh utterance, :meth:`LaneBank.step` advances every
+  occupied lane by one frame (ONE pooled GMM evaluation, ONE chain
+  update, ONE row-wise beam pass for the whole bank), and
+  :meth:`LaneBank.retire` finalizes a finished lane and frees it.
+* :class:`BatchRecognizer` is the drain-to-longest runtime: it admits a
+  full batch up front and steps until every lane retires.  The
+  continuous-batching runtime (:mod:`repro.runtime.continuous`) drives
+  the SAME bank but refills retired lanes from a waiting queue
+  mid-decode.
 
-Everything per-utterance — lattices, word exits, LM-weighted pending
+Everything per-lane — lattices, word exits, LM-weighted pending
 entries, per-frame statistics — runs through the same shared kernels
 as :class:`~repro.decoder.word_decode.WordDecodeStage`, on row views
-of the stacked arrays.  Because every batched operation is elementwise
-or a per-row reduction, each utterance's word sequence, path score and
-frame statistics are IDENTICAL to a sequential
+of the stacked arrays, and every piece of per-lane bookkeeping is
+indexed by the lane's OWN frame counter (``lane_t``), never the global
+step.  Because every batched operation is elementwise or a per-row
+reduction, each utterance's word sequence, path score and frame
+statistics are IDENTICAL to a sequential
 :class:`~repro.decoder.recognizer.Recognizer.decode` of the same
-features, in both reference and hardware modes; ragged batches simply
-retire lanes as their audio ends (a retired lane's state is frozen at
-``LOG_ZERO`` so no padding frame ever reaches its lattice or stats).
+features, in both reference and hardware modes — regardless of batch
+composition, admission step or refill order.  A retired (or never
+admitted) lane's state is frozen at ``LOG_ZERO`` so no idle step ever
+reaches a lattice or a statistics record.
 """
 
 from __future__ import annotations
@@ -68,7 +70,7 @@ from repro.lm.ngram import NGramModel
 from repro.quant.float_formats import IEEE_SINGLE, FloatFormat
 from repro.runtime.scoring import BatchHardwareScorer, BatchReferenceScorer
 
-__all__ = ["BatchRecognizer", "BatchDecodeResult"]
+__all__ = ["BatchRecognizer", "BatchDecodeResult", "LaneBank"]
 
 LOG_ZERO = -1.0e30
 _DEAD = LOG_ZERO / 2
@@ -100,7 +102,347 @@ class BatchDecodeResult:
 
     @property
     def audio_seconds(self) -> float:
+        """Audio decoded, from each lane's TRUE length (never padding)."""
         return float(sum(r.audio_seconds for r in self.results))
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of lane-steps that decoded a real frame.
+
+        ``1.0`` means the datapath never idled; drain-to-longest
+        batches of ragged lengths sit below that, which is exactly the
+        gap continuous batching closes.
+        """
+        slots = self.steps * len(self.results)
+        return self.frames_processed / slots if slots else 0.0
+
+
+class LaneBank:
+    """Stacked ``(B, S)`` decode state with an admit/step/retire lifecycle.
+
+    One bank drives both runtimes: :class:`BatchRecognizer` admits a
+    full batch up front and drains it, while
+    :class:`~repro.runtime.continuous.ContinuousBatchRecognizer`
+    refills retired lanes mid-decode.  All per-frame math is
+    elementwise or a per-row reduction over the stacked state, and all
+    per-lane bookkeeping (entry frames, lattice exits, statistics) is
+    indexed by the lane's own frame counter, so each lane's outputs are
+    bit-identical to a sequential decode of the same features no
+    matter when the lane was (re)admitted or what its neighbours do.
+    """
+
+    def __init__(self, recognizer: "BatchRecognizer", num_lanes: int) -> None:
+        if num_lanes < 1:
+            raise ValueError(f"need at least one lane, got {num_lanes}")
+        net = recognizer.network
+        self.recognizer = recognizer
+        self.net = net
+        self.cfg = recognizer.config
+        self.lm = recognizer.lm
+        self.scorer = recognizer.scorer
+        self.viterbi_unit = recognizer.viterbi_unit
+        self.num_lanes = num_lanes
+        self._dtype = recognizer._dtype
+        num_states = net.num_states
+        num_senones = recognizer.scorer.num_senones
+        total_words = net.num_words + (1 if net.has_silence else 0)
+        shape = (num_lanes, num_states)
+
+        # Stacked word-decode state: one row per lane.
+        self.delta = np.full(shape, LOG_ZERO, dtype=self._dtype)
+        self.entry_frame = np.full(shape, -1, dtype=np.int64)
+        self.payload = np.full(shape, -1, dtype=np.int64)
+        self.pending_entry = np.full((num_lanes, total_words), LOG_ZERO)
+        self.pending_src = np.full((num_lanes, total_words), -1, dtype=np.int64)
+
+        # Lane lifecycle: occupancy, per-lane frame counters and the
+        # per-lane artifacts a retirement will package into a result.
+        self.active = np.zeros(num_lanes, dtype=bool)
+        self.lane_t = np.zeros(num_lanes, dtype=np.int64)
+        self.lane_len = np.zeros(num_lanes, dtype=np.int64)
+        self.lane_utt = np.full(num_lanes, -1, dtype=np.int64)
+        self.lane_feats: list[np.ndarray | None] = [None] * num_lanes
+        self.lattices: list[WordLattice | None] = [None] * num_lanes
+        self.lane_frame_stats: list[list[FrameStats]] = [[] for _ in range(num_lanes)]
+        self.lane_scoring: list[ScoringStats | None] = [None] * num_lanes
+
+        # Frame scratch (allocated once per bank, reused every step).
+        self._obs_block = np.zeros((num_lanes, recognizer.pool.dim))
+        self._score_mat = DenseScratch((num_lanes, num_senones), LOG_ZERO)
+        self._entry_scores = np.full(shape, LOG_ZERO, dtype=self._dtype)
+        self._entry_payload = np.full(shape, -1, dtype=np.int64)
+        self._candidates = np.empty(shape, dtype=bool)
+        self._shifted = np.empty(shape, dtype=bool)
+        self._cand_mask = np.zeros((num_lanes, num_senones), dtype=bool)
+        self._prev_payload = np.empty(shape, dtype=np.int64)
+        self._prev_entry_frame = np.empty(shape, dtype=np.int64)
+        self._payload_next = np.empty(shape, dtype=np.int64)
+        self._entry_frame_next = np.empty(shape, dtype=np.int64)
+        self._took_self = np.empty(shape, dtype=bool)
+        self._took_fwd = np.empty(shape, dtype=bool)
+        self._chain_scratch = (
+            make_chain_scratch(shape) if self.viterbi_unit is None else None
+        )
+        self._beam_scratch = make_beam_scratch(shape)
+        self._fwd_end = net.fwd_logp[net.end_state]
+        self._padded: np.ndarray | None = None
+
+        self.steps = 0
+        self.frames_processed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def any_active(self) -> bool:
+        return bool(self.active.any())
+
+    def free_lanes(self) -> list[int]:
+        """Lanes currently unoccupied (admission slots)."""
+        return [int(b) for b in np.flatnonzero(~self.active)]
+
+    # ------------------------------------------------------------------
+    def admit(self, lane: int, utt_id: int, features: np.ndarray) -> None:
+        """Seed ``lane`` with a fresh utterance, starting at ITS frame 0.
+
+        The lane's rows are reset exactly as
+        :meth:`~repro.decoder.word_decode.WordDecodeStage.reset` resets
+        the sequential stage, so the admitted utterance cannot observe
+        anything a previous occupant left behind.
+        """
+        if self.active[lane]:
+            raise RuntimeError(f"lane {lane} is still occupied")
+        if features.ndim != 2 or features.shape[0] == 0:
+            raise ValueError(f"lane {lane}: features must be non-empty (T, L)")
+        self.delta[lane] = LOG_ZERO
+        self.entry_frame[lane] = -1
+        self.payload[lane] = -1
+        prime_entries(
+            self.net, self.cfg, self.lm,
+            self.pending_entry[lane], self.pending_src[lane],
+        )
+        self.lane_feats[lane] = features
+        self.lane_len[lane] = features.shape[0]
+        self.lane_t[lane] = 0
+        self.lane_utt[lane] = utt_id
+        self.lattices[lane] = WordLattice()
+        self.lane_frame_stats[lane] = []
+        self.lane_scoring[lane] = ScoringStats(
+            senone_budget=self.recognizer.pool.num_senones
+        )
+        self.active[lane] = True
+        if self.steps > 0:
+            self._padded = None  # a mid-decode refill breaks step alignment
+
+    def preload_observations(self) -> None:
+        """Pre-gather every admitted lane's frames into one padded bank.
+
+        Only valid while all lanes are step-aligned (admitted before
+        the first step, as :meth:`BatchRecognizer.decode_batch` does) —
+        then the bank's slice at the global step IS each lane's own
+        frame, and the per-step gather loop disappears.  Rows past a
+        lane's length stay zero; nothing ever reads them, exactly like
+        the stale rows the gather path leaves for retired lanes.  Any
+        later mid-decode admission invalidates the preload.
+        """
+        if self.steps > 0:
+            raise RuntimeError("preload only valid before the first step")
+        t_max = int(self.lane_len.max())
+        padded = np.zeros((t_max, self.num_lanes, self._obs_block.shape[1]))
+        for b in np.flatnonzero(self.active):
+            feats = self.lane_feats[b]
+            assert feats is not None
+            padded[: feats.shape[0], b] = feats
+        self._padded = padded
+
+    # ------------------------------------------------------------------
+    def step(self) -> list[int]:
+        """Advance every occupied lane by one frame (its OWN next frame).
+
+        Returns the lanes whose utterance just consumed its final
+        frame; the caller retires them (and may re-admit into the freed
+        lanes) before the next step.
+        """
+        net, cfg = self.net, self.cfg
+        active = self.active
+        lanes = np.flatnonzero(active)
+        if lanes.size == 0:
+            raise RuntimeError("no occupied lanes to step")
+        delta = self.delta
+        payload, entry_frame = self.payload, self.entry_frame
+
+        # Each occupied lane contributes its own current frame; idle
+        # lanes keep zeros (or stale rows) that no live computation
+        # ever reads.  The scalar loops below run over plain ints —
+        # numpy scalar boxing is measurable at these batch sizes.
+        lane_list = lanes.tolist()
+        lane_t_list = self.lane_t.tolist()
+        if self._padded is not None:
+            obs_block = self._padded[self.steps]
+        else:
+            obs_block = self._obs_block
+            for b in lane_list:
+                obs_block[b] = self.lane_feats[b][lane_t_list[b]]
+
+        # 1. Candidate states (alive, right neighbours, pending
+        #    entries) — the per-lane feedback lists, batched.  Idle
+        #    lanes are frozen at LOG_ZERO, so their rows stay empty
+        #    without extra masking.
+        candidates = self._candidates
+        np.greater(delta, _DEAD, out=candidates)  # alive
+        shifted = self._shifted
+        shifted[:, 0] = False
+        shifted[:, 1:] = candidates[:, :-1]
+        shifted[:, net.is_start] = False
+        candidates |= shifted
+        entry_b, entry_w = np.nonzero(self.pending_entry > _DEAD)
+        candidates[entry_b, net.start_state[entry_w]] = True
+
+        # 2. The union of per-lane unique senone requests, as
+        #    (lane, senone) work items for one pooled evaluation.
+        cand_mask = self._cand_mask
+        if cfg.use_feedback:
+            cand_mask[:] = False
+            cand_b, cand_s = np.nonzero(candidates)
+            cand_mask[cand_b, net.senone_id[cand_s]] = True
+        else:
+            cand_mask[:] = active[:, None]
+        pair_b, pair_s = np.nonzero(cand_mask)
+        scored_counts = np.count_nonzero(cand_mask, axis=1)
+
+        # 3. One pooled GMM pass for the whole bank.
+        scores = self._score_mat.clean()
+        compact = self.scorer.score_pairs(obs_block, pair_b, pair_s)
+        scores[pair_b, pair_s] = compact
+        self._score_mat.publish((pair_b, pair_s))
+        obs_bank = scores.take(net.senone_id, axis=1)
+        obs = obs_bank if self._dtype == np.float64 else obs_bank.astype(self._dtype)
+        entry_scores = self._entry_scores
+        entry_scores[:, net.start_state] = self.pending_entry
+
+        # 4. One chain update advances every lane's token bank.
+        if self.viterbi_unit is not None:
+            result = self.viterbi_unit.update_chain_bank(
+                delta, net.self_logp, net.fwd_logp, obs, entry_scores,
+                net.is_start,
+            )
+            backptr = result.backpointer
+            delta = result.delta.astype(self._dtype)
+            self.delta = delta
+        else:
+            # out=delta is safe (old bank fully consumed first);
+            # entry_scores is LOG_ZERO off the start states by
+            # construction, so the masking pass is skipped.
+            _, backptr = chain_update_reference(
+                delta, net.self_logp, net.fwd_logp,
+                obs, entry_scores, net.is_start,
+                out=delta, scratch=self._chain_scratch, entry_premasked=True,
+            )
+
+        # 5. Token payload propagation along the winning arcs
+        #    (same selection as the sequential np.select, via
+        #    disjoint masks into double buffers).  Entry frames are
+        #    stamped with each lane's OWN frame counter.
+        prev_payload = self._prev_payload
+        prev_payload[:, 0] = -1
+        prev_payload[:, 1:] = payload[:, :-1]
+        prev_entry_frame = self._prev_entry_frame
+        prev_entry_frame[:, 0] = -1
+        prev_entry_frame[:, 1:] = entry_frame[:, :-1]
+        entry_payload = self._entry_payload
+        entry_payload[:, net.start_state] = self.pending_src
+        took_self, took_fwd = self._took_self, self._took_fwd
+        np.equal(backptr, BP_SELF, out=took_self)
+        np.equal(backptr, BP_FORWARD, out=took_fwd)
+        payload_next = self._payload_next
+        np.copyto(payload_next, entry_payload)
+        np.copyto(payload_next, prev_payload, where=took_fwd)
+        np.copyto(payload_next, payload, where=took_self)
+        self.payload, self._payload_next = payload_next, payload
+        entry_frame_next = self._entry_frame_next
+        entry_frame_next[:] = self.lane_t[:, None]
+        np.copyto(entry_frame_next, prev_entry_frame, where=took_fwd)
+        np.copyto(entry_frame_next, entry_frame, where=took_self)
+        self.entry_frame, self._entry_frame_next = entry_frame_next, entry_frame
+        payload, entry_frame = self.payload, self.entry_frame
+
+        # 6. Row-wise beam prune, then per-lane exits and entries.
+        _, n_active = apply_beam_batch(delta, cfg.beam, self._beam_scratch)
+        end_delta = delta[:, net.end_state]
+        if end_delta.dtype != np.float64:
+            end_delta = end_delta.astype(np.float64)
+        exit_scores = end_delta + self._fwd_end
+        viable = end_delta > _DEAD
+        exit_lanes = np.flatnonzero(viable.any(axis=1))
+        exit_counts = [0] * self.num_lanes
+        for b in exit_lanes.tolist():
+            exits = record_exits(
+                self.net, cfg, self.lattices[b], payload[b], entry_frame[b],
+                lane_t_list[b], exit_scores[b], viable[b],
+            )
+            exit_counts[b] = len(exits)
+            compute_pending_entries(
+                self.net, cfg, self.lm, self.lattices[b], exits,
+                self.pending_entry[b], self.pending_src[b],
+            )
+        no_exit = active.copy()
+        no_exit[exit_lanes] = False
+        self.pending_entry[no_exit] = LOG_ZERO
+        self.pending_src[no_exit] = -1
+
+        # 7. Per-lane bookkeeping at each lane's own frame counter;
+        #    collect lanes whose audio just ended.
+        finished: list[int] = []
+        lane_len_list = self.lane_len.tolist()
+        n_active_list = n_active.tolist()
+        scored_list = scored_counts.tolist()
+        for b in lane_list:
+            t_b = lane_t_list[b]
+            requested = scored_list[b]
+            self.lane_scoring[b].record(requested)
+            self.lane_frame_stats[b].append(
+                FrameStats(
+                    frame=t_b,
+                    active_states=n_active_list[b],
+                    requested_senones=requested,
+                    word_exits=exit_counts[b],
+                )
+            )
+            self.lane_t[b] = t_b + 1
+            if t_b + 1 == lane_len_list[b]:
+                finished.append(b)
+        self.steps += 1
+        self.frames_processed += len(lane_list)
+        return finished
+
+    # ------------------------------------------------------------------
+    def retire(self, lane: int) -> RecognitionResult:
+        """Finalize a finished lane and free it for re-admission.
+
+        The lane's state is frozen at ``LOG_ZERO`` so subsequent steps
+        cannot touch its (already packaged) lattice or statistics.
+        """
+        if not self.active[lane]:
+            raise RuntimeError(f"lane {lane} is not occupied")
+        if int(self.lane_t[lane]) != int(self.lane_len[lane]):
+            raise RuntimeError(
+                f"lane {lane} retired mid-utterance "
+                f"(frame {int(self.lane_t[lane])}/{int(self.lane_len[lane])})"
+            )
+        lattice = self.lattices[lane]
+        scoring = self.lane_scoring[lane]
+        assert lattice is not None and scoring is not None
+        result = self.recognizer._lane_result(
+            lattice, int(self.lane_len[lane]), self.lane_frame_stats[lane], scoring
+        )
+        self.active[lane] = False
+        self.delta[lane] = LOG_ZERO
+        self.pending_entry[lane] = LOG_ZERO
+        self.pending_src[lane] = -1
+        self.lane_feats[lane] = None
+        self.lattices[lane] = None
+        self.lane_scoring[lane] = None
+        self.lane_frame_stats[lane] = []
+        self.lane_utt[lane] = -1
+        return result
 
 
 class BatchRecognizer:
@@ -184,238 +526,72 @@ class BatchRecognizer:
         )
 
     # ------------------------------------------------------------------
+    def _validate_features(self, index: int, features: np.ndarray) -> np.ndarray:
+        """One utterance's features as the (T, L) float64 the bank expects."""
+        f = np.asarray(features, dtype=np.float64)
+        if f.ndim != 2 or f.shape[1] != self.pool.dim:
+            raise ValueError(
+                f"utterance {index}: features must be (T, {self.pool.dim}), "
+                f"got {f.shape}"
+            )
+        if f.shape[0] == 0:
+            raise ValueError(f"utterance {index}: cannot decode an empty utterance")
+        return f
+
+    def _reset_accounting(self) -> None:
+        """Clear pooled hardware accounting before a decode."""
+        self.scorer.reset()
+        if self.viterbi_unit is not None:
+            self.viterbi_unit.reset_counters()
+
+    def _pooled_accounting(self) -> dict:
+        """Batch-level hardware accounting, shared by both decode paths."""
+        return {
+            "op_unit_activities": (
+                [u.activity() for u in self.op_units] if self.op_units else None
+            ),
+            "viterbi_activity": (
+                self.viterbi_unit.activity() if self.viterbi_unit else None
+            ),
+            "frame_critical_cycles": (
+                list(self.scorer.frame_critical_cycles)
+                if self.mode == "hardware"
+                else None
+            ),
+        }
+
+    # ------------------------------------------------------------------
     def decode_batch(self, features: list[np.ndarray]) -> BatchDecodeResult:
-        """Decode ``B`` utterances frame-synchronously.
+        """Decode ``B`` utterances frame-synchronously (drain-to-longest).
 
         ``features`` holds one ``(T_b, L)`` matrix per utterance;
         lengths may be ragged.  Returns per-utterance
         :class:`RecognitionResult` records (sequential-identical words,
         scores and statistics) plus the batch-level hardware
-        accounting.
+        accounting.  Every lane is admitted up front and the bank is
+        stepped until the longest utterance finishes; shorter lanes sit
+        retired (frozen at ``LOG_ZERO``) in the meantime — the idle
+        time :class:`~repro.runtime.continuous.ContinuousBatchRecognizer`
+        reclaims.
         """
         if not features:
             raise ValueError("cannot decode an empty batch")
-        feats = [np.asarray(f, dtype=np.float64) for f in features]
-        dim = self.pool.dim
-        for i, f in enumerate(feats):
-            if f.ndim != 2 or f.shape[1] != dim:
-                raise ValueError(
-                    f"utterance {i}: features must be (T, {dim}), got {f.shape}"
-                )
-            if f.shape[0] == 0:
-                raise ValueError(f"utterance {i}: cannot decode an empty utterance")
-        net = self.network
-        cfg = self.config
-        lm = self.lm
-        batch = len(feats)
-        lengths = np.array([f.shape[0] for f in feats], dtype=np.int64)
-        t_max = int(lengths.max())
-        num_states = net.num_states
-        num_senones = self.scorer.num_senones
-        total_words = net.num_words + (1 if net.has_silence else 0)
-        dtype = self._dtype
-        hardware = self.mode == "hardware"
-
-        self.scorer.reset()
-        if self.viterbi_unit is not None:
-            self.viterbi_unit.reset_counters()
-
-        # One padded observation bank up front: padded[t] is the (B, L)
-        # block frame t consumes (rows past a lane's length are zeros
-        # that no live computation ever reads).
-        padded = np.zeros((t_max, batch, dim))
-        for b, f in enumerate(feats):
-            padded[: f.shape[0], b] = f
-
-        # Stacked word-decode state: one row per utterance.
-        delta = np.full((batch, num_states), LOG_ZERO, dtype=dtype)
-        entry_frame = np.full((batch, num_states), -1, dtype=np.int64)
-        payload = np.full((batch, num_states), -1, dtype=np.int64)
-        pending_entry = np.full((batch, total_words), LOG_ZERO)
-        pending_src = np.full((batch, total_words), -1, dtype=np.int64)
-        prime_entries(net, cfg, lm, pending_entry, pending_src)
-
-        lattices = [WordLattice() for _ in range(batch)]
-        frame_stats: list[list[FrameStats]] = [[] for _ in range(batch)]
-        lane_stats = [
-            ScoringStats(senone_budget=self.pool.num_senones) for _ in range(batch)
-        ]
-
-        # Frame scratch (allocated once per batch, reused every frame).
-        score_mat = DenseScratch((batch, num_senones), LOG_ZERO)
-        entry_scores = np.full((batch, num_states), LOG_ZERO, dtype=dtype)
-        entry_payload = np.full((batch, num_states), -1, dtype=np.int64)
-        candidates = np.empty((batch, num_states), dtype=bool)
-        shifted = np.empty((batch, num_states), dtype=bool)
-        cand_mask = np.zeros((batch, num_senones), dtype=bool)
-        prev_payload = np.empty((batch, num_states), dtype=np.int64)
-        prev_entry_frame = np.empty((batch, num_states), dtype=np.int64)
-        payload_next = np.empty((batch, num_states), dtype=np.int64)
-        entry_frame_next = np.empty((batch, num_states), dtype=np.int64)
-        took_self = np.empty((batch, num_states), dtype=bool)
-        took_fwd = np.empty((batch, num_states), dtype=bool)
-        chain_scratch = (
-            make_chain_scratch((batch, num_states))
-            if self.viterbi_unit is None
-            else None
-        )
-        beam_scratch = make_beam_scratch((batch, num_states))
-        fwd_end = net.fwd_logp[net.end_state]
-        # Per-step statistics, materialised into FrameStats at the end
-        # (padding steps of shorter lanes are never recorded).
-        stat_active = np.zeros((t_max, batch), dtype=np.int64)
-        stat_requested = np.zeros((t_max, batch), dtype=np.int64)
-        stat_exits = np.zeros((t_max, batch), dtype=np.int64)
-        frames_processed = int(lengths.sum())
-        # Lane liveness, maintained incrementally: lanes retire exactly
-        # when their audio ends.
-        active = np.ones(batch, dtype=bool)
-        retire_at: dict[int, np.ndarray] = {}
-        for step in np.unique(lengths):
-            retire_at[int(step) - 1] = np.flatnonzero(lengths == step)
-
-        for t in range(t_max):
-            obs_block = padded[t]
-
-            # 1. Candidate states (alive, right neighbours, pending
-            #    entries) — the per-lane feedback lists, batched.
-            #    Retired lanes are frozen at LOG_ZERO, so their rows
-            #    stay empty without extra masking.
-            np.greater(delta, _DEAD, out=candidates)  # alive
-            shifted[:, 0] = False
-            shifted[:, 1:] = candidates[:, :-1]
-            shifted[:, net.is_start] = False
-            candidates |= shifted
-            entry_b, entry_w = np.nonzero(pending_entry > _DEAD)
-            candidates[entry_b, net.start_state[entry_w]] = True
-
-            # 2. The union of per-lane unique senone requests, as
-            #    (lane, senone) work items for one pooled evaluation.
-            if cfg.use_feedback:
-                cand_mask[:] = False
-                cand_b, cand_s = np.nonzero(candidates)
-                cand_mask[cand_b, net.senone_id[cand_s]] = True
-            else:
-                cand_mask[:] = active[:, None]
-            pair_b, pair_s = np.nonzero(cand_mask)
-            scored_counts = np.count_nonzero(cand_mask, axis=1)
-
-            # 3. One pooled GMM pass for the whole batch.
-            scores = score_mat.clean()
-            compact = self.scorer.score_pairs(obs_block, pair_b, pair_s)
-            scores[pair_b, pair_s] = compact
-            score_mat.publish((pair_b, pair_s))
-            obs_bank = scores.take(net.senone_id, axis=1)
-            obs = obs_bank if dtype == np.float64 else obs_bank.astype(dtype)
-            entry_scores[:, net.start_state] = pending_entry
-
-            # 4. One chain update advances every lane's token bank.
-            if self.viterbi_unit is not None:
-                result = self.viterbi_unit.update_chain_bank(
-                    delta, net.self_logp, net.fwd_logp, obs, entry_scores,
-                    net.is_start,
-                )
-                new_delta, backptr = result.delta, result.backpointer
-                delta = new_delta.astype(dtype)
-            else:
-                # out=delta is safe (old bank fully consumed first);
-                # entry_scores is LOG_ZERO off the start states by
-                # construction, so the masking pass is skipped.
-                _, backptr = chain_update_reference(
-                    delta, net.self_logp, net.fwd_logp,
-                    obs, entry_scores, net.is_start,
-                    out=delta, scratch=chain_scratch, entry_premasked=True,
-                )
-
-            # 5. Token payload propagation along the winning arcs
-            #    (same selection as the sequential np.select, via
-            #    disjoint masks into double buffers).
-            prev_payload[:, 0] = -1
-            prev_payload[:, 1:] = payload[:, :-1]
-            prev_entry_frame[:, 0] = -1
-            prev_entry_frame[:, 1:] = entry_frame[:, :-1]
-            entry_payload[:, net.start_state] = pending_src
-            np.equal(backptr, BP_SELF, out=took_self)
-            np.equal(backptr, BP_FORWARD, out=took_fwd)
-            np.copyto(payload_next, entry_payload)
-            np.copyto(payload_next, prev_payload, where=took_fwd)
-            np.copyto(payload_next, payload, where=took_self)
-            payload, payload_next = payload_next, payload
-            entry_frame_next[:] = t
-            np.copyto(entry_frame_next, prev_entry_frame, where=took_fwd)
-            np.copyto(entry_frame_next, entry_frame, where=took_self)
-            entry_frame, entry_frame_next = entry_frame_next, entry_frame
-
-            # 6. Row-wise beam prune, then per-lane exits and entries.
-            _, n_active = apply_beam_batch(delta, cfg.beam, beam_scratch)
-            end_delta = delta[:, net.end_state]
-            if end_delta.dtype != np.float64:
-                end_delta = end_delta.astype(np.float64)
-            exit_scores = end_delta + fwd_end
-            viable = end_delta > _DEAD
-            exit_lanes = np.flatnonzero(viable.any(axis=1))
-            for b in exit_lanes:
-                exits = record_exits(
-                    net, cfg, lattices[b], payload[b], entry_frame[b], t,
-                    exit_scores[b], viable[b],
-                )
-                stat_exits[t, b] = len(exits)
-                compute_pending_entries(
-                    net, cfg, lm, lattices[b], exits,
-                    pending_entry[b], pending_src[b],
-                )
-            no_exit = active.copy()
-            no_exit[exit_lanes] = False
-            pending_entry[no_exit] = LOG_ZERO
-            pending_src[no_exit] = -1
-
-            stat_active[t] = n_active
-            stat_requested[t] = scored_counts
-
-            # 7. Retire lanes whose audio just ended: freeze their
-            #    state at LOG_ZERO so padding frames cannot touch their
-            #    lattices or statistics.
-            retiring = retire_at.get(t)
-            if retiring is not None:
-                active[retiring] = False
-                delta[retiring] = LOG_ZERO
-                pending_entry[retiring] = LOG_ZERO
-                pending_src[retiring] = -1
-
-        for b in range(batch):
-            stats = lane_stats[b]
-            lane_frames = frame_stats[b]
-            for t in range(int(lengths[b])):
-                requested = int(stat_requested[t, b])
-                stats.record(requested)
-                lane_frames.append(
-                    FrameStats(
-                        frame=t,
-                        active_states=int(stat_active[t, b]),
-                        requested_senones=requested,
-                        word_exits=int(stat_exits[t, b]),
-                    )
-                )
-
-        results = [
-            self._lane_result(
-                lattices[b], int(lengths[b]), frame_stats[b], lane_stats[b]
-            )
-            for b in range(batch)
-        ]
+        feats = [self._validate_features(i, f) for i, f in enumerate(features)]
+        self._reset_accounting()
+        bank = LaneBank(self, len(feats))
+        for lane, f in enumerate(feats):
+            bank.admit(lane, lane, f)
+        bank.preload_observations()  # all lanes step-aligned: no per-step gather
+        results: list[RecognitionResult | None] = [None] * len(feats)
+        while bank.any_active:
+            for lane in bank.step():
+                utt = int(bank.lane_utt[lane])
+                results[utt] = bank.retire(lane)
         return BatchDecodeResult(
-            results=results,
-            frames_processed=frames_processed,
-            steps=t_max,
-            op_unit_activities=(
-                [u.activity() for u in self.op_units] if self.op_units else None
-            ),
-            viterbi_activity=(
-                self.viterbi_unit.activity() if self.viterbi_unit else None
-            ),
-            frame_critical_cycles=(
-                list(self.scorer.frame_critical_cycles) if hardware else None
-            ),
+            results=[r for r in results if r is not None],
+            frames_processed=bank.frames_processed,
+            steps=bank.steps,
+            **self._pooled_accounting(),
         )
 
     def _lane_result(

@@ -10,6 +10,13 @@ exact sequence of the sequential backends (see
 :meth:`repro.hmm.senone.SenonePool.score_pairs` and
 :meth:`repro.core.opunit.OpUnit.score_pairs`), so pooling changes no
 utterance's scores by a single bit.
+
+Because each work item is self-contained, the pooled pass is also
+indifferent to WHICH lanes contribute items: drained batches, ragged
+retirement and continuous mid-decode refill
+(:mod:`repro.runtime.continuous`) all present the same contract — a
+row either has work items this step or contributes nothing — and a
+lane's scores never depend on its neighbours' occupancy.
 """
 
 from __future__ import annotations

@@ -1,0 +1,87 @@
+"""Regenerate the committed golden sequential-decode fixtures.
+
+The golden suite (``tests/test_golden_parity.py``) pins the repo's
+core invariant — every runtime produces bit-identical per-utterance
+outputs — to COMMITTED sequential ``Recognizer.decode`` outputs, so a
+regression in the shared kernels cannot hide behind "batch and
+sequential changed together".
+
+Run from the repo root after an INTENTIONAL decoder behaviour change
+(and say so in the commit message):
+
+    PYTHONPATH=src python tests/golden/generate_golden.py
+
+Scores are stored as ``float.hex()`` so the comparison is bit-exact,
+not approximate.  The utterances are drawn from the deterministic
+synthetic command-and-control task (the benchmark workload), chosen
+for a strong length spread so the drained and continuous runtimes both
+exercise ragged retirement against the same fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+
+from repro.decoder.recognizer import Recognizer  # noqa: E402
+from repro.workloads.tasks import command_task  # noqa: E402
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+TASK_SEED = 19
+#: Test-corpus indices with a strong length spread (83..321 frames).
+UTTERANCE_INDICES = [14, 11, 4, 1, 2, 6]
+MODES = ("reference", "hardware")
+
+
+def fixture_path(mode: str) -> Path:
+    return GOLDEN_DIR / f"command_{mode}.json"
+
+
+def generate(mode: str, task) -> dict:
+    rec = Recognizer.create(
+        task.dictionary, task.pool, task.lm, task.tying, mode=mode
+    )
+    utterances = []
+    for index in UTTERANCE_INDICES:
+        features = task.corpus.test[index].features
+        result = rec.decode(features)
+        utterances.append(
+            {
+                "index": index,
+                "frames": result.frames,
+                "words": list(result.words),
+                "score_hex": float(result.score).hex(),
+                "score": result.score,  # human-readable; score_hex is the oracle
+                "lattice_size": result.lattice_size,
+                "active_states": [s.active_states for s in result.frame_stats],
+                "requested_senones": [
+                    s.requested_senones for s in result.frame_stats
+                ],
+                "word_exits": [s.word_exits for s in result.frame_stats],
+            }
+        )
+    return {
+        "task": f"command_task(seed={TASK_SEED})",
+        "mode": mode,
+        "utterance_indices": UTTERANCE_INDICES,
+        "utterances": utterances,
+    }
+
+
+def main() -> int:
+    print(f"building command_task(seed={TASK_SEED})...")
+    task = command_task(seed=TASK_SEED)
+    for mode in MODES:
+        fixture = generate(mode, task)
+        path = fixture_path(mode)
+        path.write_text(json.dumps(fixture, indent=2) + "\n")
+        lengths = [u["frames"] for u in fixture["utterances"]]
+        print(f"wrote {path.name}: {len(lengths)} utterances, frames {lengths}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

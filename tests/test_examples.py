@@ -21,7 +21,11 @@ def _run(name: str, capsys) -> str:
         ("hardware_trace.py", ["logadd SRAM: 512 bytes", "add&compare", "senone[0]"]),
         ("streaming_demo.py", ["endpoint", "final:", "correct"]),
         ("model_persistence.py", ["round trip", "identical"]),
-        ("batch_throughput.py", ["speedup:", "outputs identical: True"]),
+        (
+            "batch_throughput.py",
+            ["speedup:", "outputs identical: True",
+             "continuous outputs identical: True"],
+        ),
     ],
 )
 def test_example_runs(script, expectations, capsys):

@@ -177,6 +177,89 @@ class TestActivityExport:
         assert scorer.stats.frames == 0
 
 
+class TestStatsInvariants:
+    """Guards the sequential-only fast path before it is ever batched:
+    the work fractions must be true fractions, and ``reset()`` must
+    leave no cross-utterance reuse state behind."""
+
+    def _all_layers(self, pool, tying):
+        cfg = FastGmmConfig(
+            cds_enabled=True,
+            cds_distance=12.0,
+            ci_selection_enabled=True,
+            ci_margin=5.0,
+            gaussian_selection_enabled=True,
+            gs_shortlist=2,
+            pde_enabled=True,
+            pde_margin=4.0,
+            pde_chunk=4,
+        )
+        return FastGmmScorer(pool, tying=tying, config=cfg)
+
+    def test_fractions_stay_in_unit_interval(self, pool_and_tying, rng):
+        pool, tying = pool_and_tying
+        scorer = self._all_layers(pool, tying)
+        senones = np.arange(100, 400)
+        for t in range(8):
+            obs = rng.normal(size=pool.dim) * (0.1 if t % 3 else 5.0)
+            scorer.score(t, obs, senones)
+            s = scorer.fast_stats
+            for frac in (s.skip_fraction, s.gaussian_fraction, s.dim_fraction):
+                assert 0.0 <= frac <= 1.0
+            assert s.frames_skipped <= s.frames
+            assert s.gaussians_evaluated <= s.gaussians_possible
+            assert s.dims_evaluated <= s.dims_possible
+
+    def test_fractions_zero_before_any_frame(self, small_pool):
+        scorer = FastGmmScorer(small_pool, config=FastGmmConfig())
+        s = scorer.fast_stats
+        assert (s.skip_fraction, s.gaussian_fraction, s.dim_fraction) == (0, 0, 0)
+
+    def test_reset_clears_reuse_state(self, small_pool, rng):
+        """After reset the CDS cache is gone: the next frame is scored
+        in full even if it is identical to the last one seen."""
+        cfg = FastGmmConfig(cds_enabled=True, cds_distance=1e9)
+        scorer = FastGmmScorer(small_pool, config=cfg)
+        senones = np.arange(small_pool.num_senones)
+        obs = rng.normal(size=small_pool.dim)
+        scorer.score(0, obs, senones)
+        scorer.score(1, obs, senones)  # skipped (reuse)
+        assert scorer.fast_stats.frames_skipped == 1
+        scorer.reset()
+        assert scorer._last_obs is None
+        assert scorer._last_scores is None
+        assert scorer._skip_run == 0
+        scorer.score(0, obs, senones)  # same frame, fresh utterance
+        assert scorer.fast_stats.frames == 1
+        assert scorer.fast_stats.frames_skipped == 0
+
+    def test_reset_makes_utterances_independent(self, small_pool, rng):
+        """Score -> reset -> score the same frames: identical outputs
+        and identical work counters (no state leaks across utterances)."""
+        cfg = FastGmmConfig(cds_enabled=True, cds_distance=1e9, cds_max_run=1)
+        scorer = FastGmmScorer(small_pool, config=cfg)
+        senones = np.arange(small_pool.num_senones)
+        frames = rng.normal(size=(4, small_pool.dim))
+
+        def run():
+            out = [scorer.score(t, f, senones).copy() for t, f in enumerate(frames)]
+            counters = (
+                scorer.fast_stats.frames,
+                scorer.fast_stats.frames_skipped,
+                scorer.fast_stats.gaussians_evaluated,
+                scorer.fast_stats.dims_evaluated,
+                scorer.stats.active_per_frame,
+            )
+            return out, counters
+
+        first, counters_a = run()
+        scorer.reset()
+        second, counters_b = run()
+        assert counters_a == counters_b
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+
 class TestConfigValidation:
     def test_bad_values_rejected(self):
         with pytest.raises(ValueError):

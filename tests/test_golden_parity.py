@@ -1,0 +1,109 @@
+"""Golden-parity suite: every runtime vs COMMITTED sequential outputs.
+
+``tests/golden/`` holds committed ``Recognizer.decode`` outputs (words,
+bit-exact path scores, per-frame statistics) for command-task
+utterances in reference and hardware modes.  Every decoding runtime —
+sequential :class:`Recognizer`, drained :class:`BatchRecognizer`, and
+the continuous-batching :class:`ContinuousBatchRecognizer` — must
+reproduce them exactly, so any future runtime change is automatically
+checked against a fixed oracle rather than against a moving sequential
+implementation.  Regenerate fixtures (intentional behaviour changes
+only) with ``PYTHONPATH=src python tests/golden/generate_golden.py``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.decoder.recognizer import Recognizer
+from repro.workloads.tasks import command_task
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+MODES = ("reference", "hardware")
+
+
+@pytest.fixture(scope="module")
+def golden_task():
+    """The benchmark command task the fixtures were generated from."""
+    return command_task(seed=19)
+
+
+def _load(mode: str) -> dict:
+    return json.loads((GOLDEN_DIR / f"command_{mode}.json").read_text())
+
+
+@pytest.fixture(scope="module", params=MODES)
+def golden(request, golden_task):
+    fixture = _load(request.param)
+    rec = Recognizer.create(
+        golden_task.dictionary,
+        golden_task.pool,
+        golden_task.lm,
+        golden_task.tying,
+        mode=request.param,
+    )
+    feats = [
+        golden_task.corpus.test[u["index"]].features for u in fixture["utterances"]
+    ]
+    return rec, fixture, feats
+
+
+def _assert_matches_golden(result, expected):
+    assert result.words == tuple(expected["words"])
+    assert result.frames == expected["frames"]
+    # Bit-exact score comparison through the committed hex encoding.
+    assert result.score == float.fromhex(expected["score_hex"])
+    assert result.lattice_size == expected["lattice_size"]
+    assert [s.active_states for s in result.frame_stats] == expected["active_states"]
+    assert [s.requested_senones for s in result.frame_stats] == (
+        expected["requested_senones"]
+    )
+    assert [s.word_exits for s in result.frame_stats] == expected["word_exits"]
+    assert result.scoring_stats.active_per_frame == expected["requested_senones"]
+
+
+class TestGoldenFixtures:
+    def test_fixture_files_are_committed(self):
+        for mode in MODES:
+            assert (GOLDEN_DIR / f"command_{mode}.json").exists()
+
+    def test_fixture_lengths_are_ragged(self):
+        """The fixtures must keep exercising ragged retirement."""
+        for mode in MODES:
+            frames = [u["frames"] for u in _load(mode)["utterances"]]
+            assert len(frames) >= 4
+            assert max(frames) >= 2 * min(frames)
+
+
+class TestSequentialGolden:
+    def test_sequential_decode_matches_golden(self, golden):
+        rec, fixture, feats = golden
+        for expected, f in zip(fixture["utterances"], feats):
+            _assert_matches_golden(rec.decode(f), expected)
+
+
+class TestBatchGolden:
+    def test_drained_batch_matches_golden(self, golden):
+        rec, fixture, feats = golden
+        result = rec.as_batch().decode_batch(feats)
+        assert len(result) == len(feats)
+        for expected, lane in zip(fixture["utterances"], result):
+            _assert_matches_golden(lane, expected)
+
+
+class TestContinuousGolden:
+    def test_continuous_stream_matches_golden(self, golden):
+        """Few lanes + ragged lengths forces mid-decode refill."""
+        rec, fixture, feats = golden
+        result = rec.as_continuous().decode_stream(feats, max_lanes=2)
+        assert max(result.admit_steps) > 0  # refill actually happened
+        for expected, lane in zip(fixture["utterances"], result):
+            _assert_matches_golden(lane, expected)
+
+    def test_continuous_reversed_arrival_matches_golden(self, golden):
+        """Admission order must not change any utterance's output."""
+        rec, fixture, feats = golden
+        result = rec.as_continuous().decode_stream(feats[::-1], max_lanes=3)
+        for expected, lane in zip(fixture["utterances"][::-1], result):
+            _assert_matches_golden(lane, expected)

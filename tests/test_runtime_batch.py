@@ -111,6 +111,40 @@ class TestBatchResult:
         assert result.op_unit_activities[0]["cycles_busy"] > 0
 
 
+class TestLaneRetirementAccounting:
+    """Lane accounting must come from each lane's TRUE length — never
+    the padded batch length (regression guard for drain-to-longest)."""
+
+    def test_strongly_ragged_accounting(self, pair, task):
+        _, batch = pair
+        base = [u.features for u in task.corpus.test[:4]]
+        # One full-length lane next to lanes cut to a handful of frames.
+        feats = [base[0], base[1][:5], base[2][:9], base[3][:6]]
+        result = batch.decode_batch(feats)
+        true_frames = [f.shape[0] for f in feats]
+        assert result.steps == max(true_frames)
+        assert result.frames_processed == sum(true_frames)
+        # audio_seconds from true lengths, NOT steps * lanes * period.
+        assert result.audio_seconds == pytest.approx(sum(true_frames) * 0.010)
+        assert result.audio_seconds < result.steps * len(feats) * 0.010
+        for f, lane in zip(feats, result):
+            assert lane.frames == f.shape[0]
+            assert len(lane.frame_stats) == f.shape[0]
+            assert lane.scoring_stats.frames == f.shape[0]
+            assert [s.frame for s in lane.frame_stats] == list(range(f.shape[0]))
+
+    def test_utilization_reflects_padding_waste(self, pair, task):
+        _, batch = pair
+        base = [u.features for u in task.corpus.test[:2]]
+        ragged = batch.decode_batch([base[0], base[1][:5]])
+        assert 0.0 < ragged.utilization < 1.0
+        expected = ragged.frames_processed / (ragged.steps * 2)
+        assert ragged.utilization == pytest.approx(expected)
+        # A rectangular batch wastes nothing.
+        square = batch.decode_batch([base[0], base[0]])
+        assert square.utilization == 1.0
+
+
 class TestValidation:
     def test_rejects_fast_mode(self, task):
         with pytest.raises(ValueError):

@@ -1,0 +1,227 @@
+"""Property tests for continuous batching (mid-decode lane refill).
+
+The scheduler only decides WHEN a lane is reseeded; it must never
+change WHAT a lane computes.  These tests drive
+``ContinuousBatchRecognizer.decode_stream`` with seeded-random ragged
+lengths, arrival orders and lane budgets (1..8) and require every
+utterance's words, path score, per-frame statistics and lattice size
+to be bit-identical to a sequential ``Recognizer.decode`` of the same
+features — in reference and hardware modes, including the degenerate
+single-lane queue.
+"""
+
+import numpy as np
+import pytest
+
+from repro.decoder.recognizer import Recognizer
+from repro.runtime import ContinuousBatchRecognizer, LaneBank
+
+N_TRIALS = 3
+MIN_FRAMES = 5
+
+
+@pytest.fixture(scope="module", params=["reference", "hardware"])
+def trio(request, task):
+    """A sequential recognizer, its continuous twin, and a decode cache.
+
+    The cache maps ``(utterance_index, length)`` to the sequential
+    result so repeated trials don't re-decode identical truncations.
+    """
+    rec = Recognizer.create(
+        task.dictionary, task.pool, task.lm, task.tying, mode=request.param
+    )
+    return rec, rec.as_continuous(), {}
+
+
+def _sequential(rec, base, cache, utt_index, length):
+    key = (utt_index, length)
+    if key not in cache:
+        cache[key] = rec.decode(base[utt_index][:length])
+    return cache[key]
+
+
+def _assert_lane_equal(seq, lane):
+    assert lane.words == seq.words
+    assert lane.score == seq.score  # bit-identical, not approx
+    assert lane.frames == seq.frames
+    assert lane.lattice_size == seq.lattice_size
+    assert [f.__dict__ for f in lane.frame_stats] == [
+        f.__dict__ for f in seq.frame_stats
+    ]
+    assert lane.scoring_stats.active_per_frame == seq.scoring_stats.active_per_frame
+
+
+class TestContinuousEquivalence:
+    def test_random_ragged_arrival_orders(self, trio, task):
+        """Random lengths x arrival orders x lane budgets == sequential."""
+        rec, cont, cache = trio
+        base = [u.features for u in task.corpus.test]
+        rng = np.random.default_rng(2024)
+        for _ in range(N_TRIALS):
+            order = rng.permutation(len(base))
+            lengths = [
+                int(rng.integers(MIN_FRAMES, base[i].shape[0] + 1)) for i in order
+            ]
+            feats = [base[i][:n] for i, n in zip(order, lengths)]
+            max_lanes = int(rng.integers(1, 9))
+            result = cont.decode_stream(feats, max_lanes=max_lanes)
+            assert len(result) == len(feats)
+            for (i, n), lane in zip(zip(order, lengths), result):
+                _assert_lane_equal(_sequential(rec, base, cache, int(i), n), lane)
+
+    def test_single_lane_queue_degenerates_to_sequential(self, trio, task):
+        """max_lanes=1 is pure sequential decoding through the bank."""
+        rec, cont, cache = trio
+        base = [u.features for u in task.corpus.test[:4]]
+        result = cont.decode_stream(base, max_lanes=1)
+        assert result.max_lanes == 1
+        assert result.steps == sum(f.shape[0] for f in base)
+        assert result.utilization == 1.0
+        for i, lane in enumerate(result):
+            _assert_lane_equal(
+                _sequential(rec, base, cache, i, base[i].shape[0]), lane
+            )
+
+    def test_generator_queue_is_consumed_lazily(self, trio, task):
+        """The waiting queue may be a generator; admission pulls from it."""
+        rec, cont, cache = trio
+        base = [u.features for u in task.corpus.test[:5]]
+        pulled = []
+
+        def queue():
+            for i, f in enumerate(base):
+                pulled.append(i)
+                yield f
+
+        result = cont.decode_stream(queue(), max_lanes=2)
+        assert pulled == list(range(5))
+        for i, lane in enumerate(result):
+            _assert_lane_equal(
+                _sequential(rec, base, cache, i, base[i].shape[0]), lane
+            )
+
+    def test_duplicate_utterances_any_lane_agree(self, trio, task):
+        """The same features produce the same output in every lane."""
+        _, cont, _ = trio
+        f = task.corpus.test[1].features
+        result = cont.decode_stream([f] * 5, max_lanes=2)
+        first = result[0]
+        for lane in result:
+            assert lane.words == first.words and lane.score == first.score
+
+    def test_reusable_across_streams(self, trio, task):
+        _, cont, _ = trio
+        feats = [u.features for u in task.corpus.test[:3]]
+        a = cont.decode_stream(feats, max_lanes=2)
+        b = cont.decode_stream(feats, max_lanes=3)
+        for x, y in zip(a, b):
+            assert x.words == y.words and x.score == y.score
+
+
+class TestScheduling:
+    def test_refill_happens_mid_decode(self, trio, task):
+        """With fewer lanes than utterances, lanes must be refilled."""
+        _, cont, _ = trio
+        feats = [u.features for u in task.corpus.test]
+        result = cont.decode_stream(feats, max_lanes=2)
+        assert result.max_lanes == 2
+        assert len(result.admit_steps) == len(feats)
+        assert len(result.lane_of) == len(feats)
+        late = [s for s in result.admit_steps if s > 0]
+        assert len(late) == len(feats) - 2  # everything past the seed pair
+        assert result.admit_steps == sorted(result.admit_steps)  # FIFO
+        assert set(result.lane_of) <= {0, 1}
+
+    def test_results_in_submission_order(self, trio, task):
+        """A long utterance first must not displace later short ones."""
+        rec, cont, cache = trio
+        base = [u.features for u in task.corpus.test[:4]]
+        order = sorted(range(4), key=lambda i: -base[i].shape[0])
+        feats = [base[i] for i in order]
+        result = cont.decode_stream(feats, max_lanes=2)
+        for i, lane in zip(order, result):
+            _assert_lane_equal(
+                _sequential(rec, base, cache, i, base[i].shape[0]), lane
+            )
+            assert lane.frames == base[i].shape[0]
+
+    def test_more_lanes_than_utterances_shrinks_bank(self, trio, task):
+        _, cont, _ = trio
+        feats = [u.features for u in task.corpus.test[:3]]
+        result = cont.decode_stream(feats, max_lanes=8)
+        assert result.max_lanes == 3
+        assert result.admit_steps == [0, 0, 0]
+
+    def test_continuous_beats_drain_utilization(self, trio, task):
+        """Refilled lanes waste fewer slots than drain-to-longest."""
+        _, cont, _ = trio
+        base = [u.features for u in task.corpus.test]
+        # Strongly ragged: a long utterance next to heavily cut ones.
+        feats = [f if i % 2 else f[: max(5, f.shape[0] // 4)] for i, f in enumerate(base)]
+        stream = cont.decode_stream(feats, max_lanes=4)
+        drained = cont.decode_batch(feats[:4])
+        assert stream.utilization > drained.utilization
+        assert stream.frames_processed == sum(f.shape[0] for f in feats)
+
+    def test_hardware_accounting_present(self, task):
+        rec = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying, mode="hardware"
+        )
+        cont = rec.as_continuous()
+        feats = [u.features for u in task.corpus.test[:4]]
+        result = cont.decode_stream(feats, max_lanes=2)
+        assert result.op_unit_activities is not None
+        assert result.viterbi_activity is not None
+        assert result.frame_critical_cycles is not None
+        assert len(result.frame_critical_cycles) == result.steps
+
+
+class TestValidationAndLifecycle:
+    def test_rejects_empty_stream(self, trio):
+        _, cont, _ = trio
+        with pytest.raises(ValueError):
+            cont.decode_stream([], max_lanes=4)
+
+    def test_rejects_bad_lane_budget(self, trio, task):
+        _, cont, _ = trio
+        with pytest.raises(ValueError):
+            cont.decode_stream([task.corpus.test[0].features], max_lanes=0)
+
+    def test_rejects_bad_shapes_mid_stream(self, trio, task):
+        _, cont, _ = trio
+        good = task.corpus.test[0].features
+        with pytest.raises(ValueError):
+            cont.decode_stream([good, np.zeros((10, 7))], max_lanes=1)
+        with pytest.raises(ValueError):
+            cont.decode_stream([np.zeros((0, good.shape[1]))], max_lanes=2)
+
+    def test_rejects_none_in_queue(self, trio, task):
+        """A None element must error, not be silently dropped."""
+        _, cont, _ = trio
+        good = task.corpus.test[0].features
+        with pytest.raises(ValueError):
+            cont.decode_stream([good, None, good], max_lanes=1)
+
+    def test_rejects_fast_mode(self, task):
+        with pytest.raises(ValueError):
+            ContinuousBatchRecognizer.create(
+                task.dictionary, task.pool, task.lm, task.tying, mode="fast"
+            )
+
+    def test_lane_bank_lifecycle_guards(self, trio, task):
+        """admit/step/retire enforce the lane lifecycle contract."""
+        _, cont, _ = trio
+        f = np.asarray(task.corpus.test[0].features, dtype=np.float64)
+        bank = LaneBank(cont, 2)
+        with pytest.raises(RuntimeError):
+            bank.step()  # nothing admitted
+        with pytest.raises(RuntimeError):
+            bank.retire(0)  # nothing to retire
+        bank.admit(0, 0, f)
+        with pytest.raises(RuntimeError):
+            bank.admit(0, 1, f)  # occupied
+        with pytest.raises(RuntimeError):
+            bank.retire(0)  # mid-utterance
+        assert bank.free_lanes() == [1]
+        with pytest.raises(ValueError):
+            LaneBank(cont, 0)
