@@ -3,7 +3,13 @@
 from repro.decoder.beam import BeamConfig, apply_beam
 from repro.decoder.best_path import BestPath, find_best_path, n_best_paths
 from repro.decoder.confidence import WordConfidence, score_confidence
-from repro.decoder.fast_gmm import FastGmmConfig, FastGmmScorer, FastGmmStats
+from repro.decoder.fast_gmm import (
+    FastGmmConfig,
+    FastGmmLaneState,
+    FastGmmModel,
+    FastGmmScorer,
+    FastGmmStats,
+)
 from repro.decoder.lattice import WordExit, WordLattice
 from repro.decoder.lattice_tools import (
     LatticeReport,
@@ -45,6 +51,8 @@ __all__ = [
     "ReferenceScorer",
     "HardwareScorer",
     "FastGmmConfig",
+    "FastGmmLaneState",
+    "FastGmmModel",
     "FastGmmScorer",
     "FastGmmStats",
     "viterbi_decode",

@@ -22,14 +22,36 @@ The four layers, each independently switchable here:
    sum can no longer reach the current best is abandoned (this is the
    ``>?`` comparator feeding the ``Max '-ve'`` register in Figure 2).
 
-The scorer tracks *work* — Gaussians touched, dimensions multiplied,
-frames skipped — and can synthesise an OP-unit activity snapshot so
-the power model prices each layer's savings (ablation A1).
+The scheme is split along the serving axis:
+
+* :class:`FastGmmModel` is the READ-ONLY part — the VQ codebook,
+  per-(codeword, senone) shortlists, CI parent maps and the scoring
+  kernels over explicit ``(row, senone)`` work items.  Built once,
+  shared by every decode lane (sequential or batched).
+* :class:`FastGmmLaneState` is the PER-LANE selection state — the CDS
+  previous-frame feature/score cache, the skip-run counter and the
+  lane's :class:`FastGmmStats` work counters.
+* :class:`FastGmmScorer` composes one model with one lane state and
+  satisfies the sequential :class:`~repro.decoder.scorer.SenoneScorer`
+  protocol; the batched twin
+  (:class:`~repro.runtime.scoring.BatchFastGmmScorer`) drives the SAME
+  model kernels over the pooled union of every lane's demanded
+  senones, with one state per lane.
+
+Because every kernel is elementwise per work item or a per-item
+reduction, pooling work items from many lanes changes no item's score
+or work accounting by a single bit — the invariant the batched
+fast-mode parity suite pins (``tests/test_runtime_fast.py``,
+``tests/golden/command_fast.json``).
+
+The per-lane counters track *work* — Gaussians touched, dimensions
+multiplied, frames skipped — and can synthesise an OP-unit activity
+snapshot so the power model prices each layer's savings (ablation A1).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -39,7 +61,13 @@ from repro.hmm.senone import SenonePool
 from repro.hmm.train import kmeans
 from repro.lexicon.triphone import SenoneTying
 
-__all__ = ["FastGmmConfig", "FastGmmStats", "FastGmmScorer"]
+__all__ = [
+    "FastGmmConfig",
+    "FastGmmStats",
+    "FastGmmModel",
+    "FastGmmLaneState",
+    "FastGmmScorer",
+]
 
 
 @dataclass(frozen=True)
@@ -72,6 +100,28 @@ class FastGmmConfig:
         if self.pde_chunk < 1:
             raise ValueError(f"pde_chunk must be >= 1, got {self.pde_chunk}")
 
+    @classmethod
+    def all_layers(cls, **overrides) -> "FastGmmConfig":
+        """The canonical serving preset: every layer on.
+
+        Thresholds follow the module defaults except the VQ shortlist,
+        which keeps only each codeword's TOP component per senone — the
+        most aggressive layer-3 setting, safe because the shortlist
+        retains the dominant component (scores are a tight lower
+        bound).  The golden fast-mode fixtures and the throughput
+        benchmark both use this preset, so "fast mode" means the same
+        thing everywhere unless a caller overrides a threshold.
+        """
+        base: dict = dict(
+            cds_enabled=True,
+            ci_selection_enabled=True,
+            gaussian_selection_enabled=True,
+            gs_shortlist=1,
+            pde_enabled=True,
+        )
+        base.update(overrides)
+        return cls(**base)
+
 
 @dataclass
 class FastGmmStats:
@@ -103,13 +153,40 @@ class FastGmmStats:
         return self.dims_evaluated / self.dims_possible
 
 
-class FastGmmScorer:
-    """Senone scorer implementing the four-layer scheme.
+class FastGmmLaneState:
+    """Per-lane mutable selection state of the four-layer scheme.
 
-    Satisfies the :class:`~repro.decoder.scorer.SenoneScorer` protocol.
-    Scoring is double precision (this is an algorithmic layer; the
-    quantization story is carried by the OP-unit scorer), but all work
-    counters reflect what the hardware would have executed.
+    One instance per decode lane: the CDS layer's previous-frame
+    feature vector and dense score cache, the consecutive-skip run
+    counter, and the lane's work counters.  Everything an utterance
+    must NOT share with its neighbours lives here; everything it may
+    share lives in :class:`FastGmmModel`.
+    """
+
+    __slots__ = ("last_obs", "last_scores", "skip_run", "fast_stats")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget the previous utterance entirely (fresh admission)."""
+        self.last_obs: np.ndarray | None = None
+        self.last_scores: np.ndarray | None = None
+        self.skip_run: int = 0
+        self.fast_stats = FastGmmStats()
+
+
+class FastGmmModel:
+    """The shared read-only model half of the four-layer scheme.
+
+    Holds the derived scoring tables (mixture offsets, precision
+    halves), the layer-3 VQ codebook with its per-(codeword, senone)
+    component shortlists, and the layer-2 CI parent map.  All scoring
+    entry points take explicit ``(row, senone)`` work items against a
+    ``(B, L)`` observation block, so one model instance serves any
+    number of lanes concurrently — per item the arithmetic only ever
+    reads that item's row, which is what makes pooled evaluation
+    bit-identical to per-lane evaluation.
     """
 
     def __init__(
@@ -126,25 +203,22 @@ class FastGmmScorer:
         if self.config.ci_selection_enabled and tying is None:
             raise ValueError("CI selection requires the senone tying")
         self.num_senones = pool.num_senones
-        self.stats = ScoringStats(senone_budget=pool.num_senones)
-        self.fast_stats = FastGmmStats()
         self._rng = np.random.default_rng(seed)
-        self._last_obs: np.ndarray | None = None
-        self._last_scores: np.ndarray | None = None
-        self._skip_run = 0
-        self._offsets = (
+        self.offsets = (
             np.log(pool.weights)
             - 0.5 * (pool.dim * np.log(2 * np.pi) + np.log(pool.variances).sum(axis=2))
         )
-        self._precisions = -0.5 / pool.variances
+        self.precisions = -0.5 / pool.variances
+        self.codebook: np.ndarray | None = None
+        self.shortlist: np.ndarray | None = None
         if self.config.gaussian_selection_enabled:
             self._build_codebook(codebook_data)
+        self.ci_parent: np.ndarray | None = None
         if self.config.ci_selection_enabled:
             assert tying is not None
-            self._ci_parent = np.array(
+            self.ci_parent = np.array(
                 [tying.ci_parent(s) for s in range(pool.num_senones)], dtype=np.int64
             )
-            self._ci_ids = np.arange(tying.ci_senones, dtype=np.int64)
 
     # ------------------------------------------------------------------
     def _build_codebook(self, data: np.ndarray | None) -> None:
@@ -154,135 +228,210 @@ class FastGmmScorer:
             # Fall back to clustering the senone means themselves.
             data = self.pool.means.reshape(-1, self.pool.dim)
         codewords = min(cfg.gs_codebook_size, data.shape[0])
-        self._codebook = kmeans(data, codewords, self._rng, iterations=6)
+        self.codebook = kmeans(data, codewords, self._rng, iterations=6)
         # Component density of each codeword centre, per senone.
-        diff = self._codebook[:, None, None, :] - self.pool.means[None]
-        quad = (diff * diff * self._precisions[None]).sum(axis=-1)
-        comp = quad + self._offsets[None]  # (C, N, M)
+        diff = self.codebook[:, None, None, :] - self.pool.means[None]
+        quad = (diff * diff * self.precisions[None]).sum(axis=-1)
+        comp = quad + self.offsets[None]  # (C, N, M)
         g = min(cfg.gs_shortlist, self.pool.num_components)
-        self._shortlist = np.argsort(comp, axis=-1)[..., ::-1][..., :g]
+        self.shortlist = np.argsort(comp, axis=-1)[..., ::-1][..., :g]
 
     # ------------------------------------------------------------------
-    def score(
-        self, frame_index: int, observation: np.ndarray, senones: np.ndarray
-    ) -> np.ndarray:
-        obs = np.asarray(observation, dtype=np.float64)
-        senones = np.asarray(senones, dtype=np.int64)
-        self.stats.record(int(senones.size))
-        self.fast_stats.frames += 1
-        cfg = self.config
-        # Layer 1: conditional down-sampling.
-        if cfg.cds_enabled and self._last_obs is not None:
-            distance = float(np.mean((obs - self._last_obs) ** 2))
-            if distance < cfg.cds_distance and self._skip_run < cfg.cds_max_run:
-                self._skip_run += 1
-                self.fast_stats.frames_skipped += 1
-                return self._reuse_scores(obs, senones)
-        self._skip_run = 0
-        scores = np.full(self.num_senones, LOG_ZERO)
-        if senones.size:
-            scores[senones] = self._score_subset(obs, senones)
-        self._last_obs = obs.copy()
-        self._last_scores = scores.copy()
-        return scores
+    def codewords_for(self, observations: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Nearest VQ codeword for each requested observation row.
 
-    def _reuse_scores(self, obs: np.ndarray, senones: np.ndarray) -> np.ndarray:
-        """CDS skip: reuse cached scores, fill senones never scored."""
-        assert self._last_scores is not None
-        scores = self._last_scores
-        missing = senones[scores[senones] <= LOG_ZERO / 2]
-        if missing.size:
-            scores[missing] = self._score_subset(obs, missing)
-        self._last_scores = scores
-        return scores.copy()
-
-    # ------------------------------------------------------------------
-    def _score_subset(self, obs: np.ndarray, senones: np.ndarray) -> np.ndarray:
-        """Layers 2-4 for one frame's senone subset."""
-        cfg = self.config
-        if not cfg.ci_selection_enabled:
-            return self._evaluate(obs, senones)
-        # Layer 2: evaluate CI parents, select CD senones to expand.
-        parents = self._ci_parent[senones]
-        unique_parents = np.unique(parents)
-        parent_scores = np.full(self.num_senones, LOG_ZERO)
-        parent_scores[unique_parents] = self._evaluate(obs, unique_parents)
-        best_ci = float(parent_scores[unique_parents].max())
-        expand = parent_scores[parents] >= best_ci - cfg.ci_margin
-        is_ci = senones == parents  # CI senones were already evaluated
-        out = parent_scores[parents].copy()  # approximation by CI parent
-        out[is_ci] = parent_scores[senones[is_ci]]
-        cd_to_expand = senones[expand & ~is_ci]
-        if cd_to_expand.size:
-            out[expand & ~is_ci] = self._evaluate(obs, cd_to_expand)
-        self.fast_stats.senones_full += int(cd_to_expand.size) + int(is_ci.sum())
-        self.fast_stats.senones_approximated += int((~expand & ~is_ci).sum())
+        Returns a ``(B,)`` map filled at ``rows`` (and ``-1`` elsewhere)
+        so downstream shortlist gathers can index by row id directly.
+        """
+        assert self.codebook is not None
+        out = np.full(observations.shape[0], -1, dtype=np.int64)
+        if rows.size:
+            diff = self.codebook[None, :, :] - observations[rows][:, None, :]
+            out[rows] = np.argmin((diff * diff).sum(axis=2), axis=1)
         return out
 
-    def _evaluate(self, obs: np.ndarray, senones: np.ndarray) -> np.ndarray:
-        """Layers 3-4: actual Gaussian computation for a senone set."""
+    # ------------------------------------------------------------------
+    def score_requests(
+        self,
+        observations: np.ndarray,
+        requests: list[tuple[int, np.ndarray]],
+        stats_by_row: dict[int, FastGmmStats],
+    ) -> list[np.ndarray]:
+        """Layers 2-4 over independent per-row senone subsets, pooled.
+
+        ``requests`` holds ``(row, senones)`` items — each a lane's
+        demanded subset for this frame (a full feedback list, or the
+        missing senones of a CDS skip).  All subsets are scored in at
+        most two pooled Gaussian passes (CI parents, then the selected
+        CD senones), with each request's CI margin applied against its
+        OWN frame-best parent.  Returns one compact score array per
+        request; work is accounted to ``stats_by_row[row]``.
+        """
         cfg = self.config
-        n = int(senones.size)
-        m = self.pool.num_components
-        dim = self.pool.dim
-        self.fast_stats.gaussians_possible += n * m
-        self.fast_stats.dims_possible += n * m * dim
-        means = self.pool.means[senones]  # (n, M, L)
-        precisions = self._precisions[senones]
-        offsets = self._offsets[senones]  # (n, M)
+        results: list[np.ndarray] = [np.empty(0)] * len(requests)
+        live = [(i, row, sen) for i, (row, sen) in enumerate(requests) if sen.size]
+        if not live:
+            return results
+        codewords = None
         if cfg.gaussian_selection_enabled:
-            codeword = int(
-                np.argmin(((self._codebook - obs[None, :]) ** 2).sum(axis=1))
+            rows_active = np.unique(np.array([r for _, r, _ in live], dtype=np.int64))
+            codewords = self.codewords_for(observations, rows_active)
+
+        if not cfg.ci_selection_enabled:
+            item_rows = np.concatenate(
+                [np.full(sen.size, row, dtype=np.int64) for _, row, sen in live]
             )
-            shortlist = self._shortlist[codeword, senones]  # (n, G)
-            take = shortlist
-            rows = np.arange(n)[:, None]
-            means = means[rows, take]
-            precisions = precisions[rows, take]
-            offsets = offsets[rows, take]
+            item_sen = np.concatenate([sen for _, _, sen in live])
+            scores = self.evaluate_pairs(
+                observations, item_rows, item_sen, codewords, stats_by_row
+            )
+            offset = 0
+            for i, _, sen in live:
+                results[i] = scores[offset : offset + sen.size]
+                offset += sen.size
+            return results
+
+        # Layer 2: pooled CI-parent pass, then per-request selection.
+        assert self.ci_parent is not None
+        metas = []
+        parent_rows, parent_sen = [], []
+        for i, row, sen in live:
+            parents = self.ci_parent[sen]
+            unique_parents, inverse = np.unique(parents, return_inverse=True)
+            metas.append((i, row, sen, parents, inverse, unique_parents.size))
+            parent_rows.append(np.full(unique_parents.size, row, dtype=np.int64))
+            parent_sen.append(unique_parents)
+        parent_scores = self.evaluate_pairs(
+            observations,
+            np.concatenate(parent_rows),
+            np.concatenate(parent_sen),
+            codewords,
+            stats_by_row,
+        )
+        cd_rows, cd_sen, pending = [], [], []
+        offset = 0
+        for i, row, sen, parents, inverse, n_parents in metas:
+            pvals = parent_scores[offset : offset + n_parents]
+            offset += n_parents
+            best_ci = float(pvals.max())
+            psen = pvals[inverse]  # each senone's own CI-parent score
+            expand = psen >= best_ci - cfg.ci_margin
+            is_ci = sen == parents  # CI senones were already evaluated
+            out = psen.copy()  # approximation by CI parent
+            cd_mask = expand & ~is_ci
+            cd = sen[cd_mask]
+            stats = stats_by_row[row]
+            stats.senones_full += int(cd.size) + int(is_ci.sum())
+            stats.senones_approximated += int((~expand & ~is_ci).sum())
+            results[i] = out
+            if cd.size:
+                cd_rows.append(np.full(cd.size, row, dtype=np.int64))
+                cd_sen.append(cd)
+                pending.append((out, cd_mask, cd.size))
+        if cd_rows:
+            cd_scores = self.evaluate_pairs(
+                observations,
+                np.concatenate(cd_rows),
+                np.concatenate(cd_sen),
+                codewords,
+                stats_by_row,
+            )
+            offset = 0
+            for out, cd_mask, n in pending:
+                out[cd_mask] = cd_scores[offset : offset + n]
+                offset += n
+        return results
+
+    # ------------------------------------------------------------------
+    def evaluate_pairs(
+        self,
+        observations: np.ndarray,
+        rows: np.ndarray,
+        senones: np.ndarray,
+        codewords: np.ndarray | None,
+        stats_by_row: dict[int, FastGmmStats],
+    ) -> np.ndarray:
+        """Layers 3-4: pooled Gaussian computation for (row, senone) items.
+
+        Every arithmetic step is elementwise per item or a reduction
+        along that item's component/dimension axes, so the scores and
+        the per-row work counters are independent of which other rows
+        share the pooled call.
+        """
+        cfg = self.config
+        p = int(senones.size)
+        m_full = self.pool.num_components
+        dim = self.pool.dim
+        means = self.pool.means[senones]  # (P, M, L)
+        precisions = self.precisions[senones]
+        offsets = self.offsets[senones]  # (P, M)
+        obs_rows = observations[rows]  # (P, L)
+        m = m_full
+        if cfg.gaussian_selection_enabled:
+            assert self.shortlist is not None and codewords is not None
+            take = self.shortlist[codewords[rows], senones]  # (P, G)
+            ridx = np.arange(p)[:, None]
+            means = means[ridx, take]
+            precisions = precisions[ridx, take]
+            offsets = offsets[ridx, take]
             m = take.shape[1]
-        self.fast_stats.gaussians_evaluated += n * m
         if cfg.pde_enabled:
-            comp, dims_done = self._pde_evaluate(obs, means, precisions, offsets)
-            self.fast_stats.dims_evaluated += dims_done
+            comp, dims_item = self._pde_pairs(obs_rows, means, precisions, offsets)
         else:
-            diff = obs[None, None, :] - means
+            diff = obs_rows[:, None, :] - means
             comp = (diff * diff * precisions).sum(axis=-1) + offsets
-            self.fast_stats.dims_evaluated += n * m * dim
+            dims_item = None
+        # Work accounting, attributed to each item's own row.
+        unique_rows, counts = np.unique(rows, return_counts=True)
+        if dims_item is not None:
+            dims_by_row = np.bincount(
+                rows, weights=dims_item, minlength=int(unique_rows[-1]) + 1
+            )
+        for row, count in zip(unique_rows.tolist(), counts.tolist()):
+            stats = stats_by_row[row]
+            stats.gaussians_possible += count * m_full
+            stats.dims_possible += count * m_full * dim
+            stats.gaussians_evaluated += count * m
+            if dims_item is None:
+                stats.dims_evaluated += count * m * dim
+            else:
+                stats.dims_evaluated += int(dims_by_row[row])
         peak = comp.max(axis=-1)
         return peak + np.log(np.exp(comp - peak[:, None]).sum(axis=-1))
 
-    def _pde_evaluate(
+    def _pde_pairs(
         self,
-        obs: np.ndarray,
+        obs_rows: np.ndarray,
         means: np.ndarray,
         precisions: np.ndarray,
         offsets: np.ndarray,
-    ) -> tuple[np.ndarray, int]:
-        """Chunked partial distance elimination over the dim loop.
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized chunked partial distance elimination.
 
         Components whose partial log-score falls more than
-        ``pde_margin`` below the running per-senone best are frozen at
+        ``pde_margin`` below the running per-item best are frozen at
         ``LOG_ZERO`` (they cannot influence the 16-bit logadd result).
-        Returns the (n, M) component scores and dimensions evaluated.
+        Each item's elimination race involves only its own components,
+        so pooling items from many lanes is exact.  Returns the (P, M)
+        component scores and the (P,) dimensions evaluated per item.
         """
         cfg = self.config
-        n, m, dim = means.shape
+        p, m, dim = means.shape
         partial = offsets.copy()  # quad terms only make this smaller
-        alive = np.ones((n, m), dtype=bool)
-        dims_done = 0
+        alive = np.ones((p, m), dtype=bool)
+        dims_comp = np.zeros((p, m), dtype=np.int64)
+        item_of_comp = np.repeat(np.arange(p), m)  # component -> its item row
         for start in range(0, dim, cfg.pde_chunk):
             stop = min(start + cfg.pde_chunk, dim)
             idx = np.flatnonzero(alive.ravel())
             if idx.size == 0:
                 break
-            flat_means = means.reshape(n * m, dim)[idx, start:stop]
-            flat_prec = precisions.reshape(n * m, dim)[idx, start:stop]
-            chunk = ((obs[start:stop][None, :] - flat_means) ** 2 * flat_prec).sum(
-                axis=1
-            )
+            flat_means = means.reshape(p * m, dim)[idx, start:stop]
+            flat_prec = precisions.reshape(p * m, dim)[idx, start:stop]
+            obs_chunk = obs_rows[item_of_comp[idx], start:stop]
+            chunk = ((obs_chunk - flat_means) ** 2 * flat_prec).sum(axis=1)
             partial.ravel()[idx] += chunk
-            dims_done += idx.size * (stop - start)
+            dims_comp.ravel()[idx] += stop - start
             # The bound must come from live components only: a killed
             # component's stale partial stops decreasing and would
             # otherwise overtake the true best as chunks accumulate.
@@ -292,15 +441,85 @@ class FastGmmScorer:
         # Surviving components hold complete sums; abandoned ones are
         # dropped entirely (the PDE approximation).
         comp = np.where(alive, partial, LOG_ZERO)
-        return comp, dims_done
+        return comp, dims_comp.sum(axis=1)
+
+
+class FastGmmScorer:
+    """Sequential senone scorer implementing the four-layer scheme.
+
+    One :class:`FastGmmModel` plus one :class:`FastGmmLaneState`,
+    satisfying the :class:`~repro.decoder.scorer.SenoneScorer`
+    protocol.  Scoring is double precision (this is an algorithmic
+    layer; the quantization story is carried by the OP-unit scorer),
+    but all work counters reflect what the hardware would have
+    executed.  Pass ``model`` to share an already-built model (the
+    batched runtimes do this so the VQ codebook is clustered once).
+    """
+
+    def __init__(
+        self,
+        pool: SenonePool,
+        tying: SenoneTying | None = None,
+        config: FastGmmConfig | None = None,
+        codebook_data: np.ndarray | None = None,
+        seed: int = 11,
+        model: FastGmmModel | None = None,
+    ) -> None:
+        self.model = model or FastGmmModel(
+            pool, tying=tying, config=config, codebook_data=codebook_data, seed=seed
+        )
+        self.pool = self.model.pool
+        self.config = self.model.config
+        self.tying = self.model.tying
+        self.num_senones = self.model.num_senones
+        self.stats = ScoringStats(senone_budget=self.num_senones)
+        self.lane = FastGmmLaneState()
+
+    @property
+    def fast_stats(self) -> FastGmmStats:
+        """The lane's work counters (the selection state lives in ``lane``)."""
+        return self.lane.fast_stats
+
+    # ------------------------------------------------------------------
+    def score(
+        self, frame_index: int, observation: np.ndarray, senones: np.ndarray
+    ) -> np.ndarray:
+        obs = np.asarray(observation, dtype=np.float64)
+        senones = np.asarray(senones, dtype=np.int64)
+        self.stats.record(int(senones.size))
+        lane = self.lane
+        lane.fast_stats.frames += 1
+        cfg = self.config
+        stats = {0: lane.fast_stats}
+        # Layer 1: conditional down-sampling.
+        if cfg.cds_enabled and lane.last_obs is not None:
+            distance = float(np.mean((obs - lane.last_obs) ** 2))
+            if distance < cfg.cds_distance and lane.skip_run < cfg.cds_max_run:
+                lane.skip_run += 1
+                lane.fast_stats.frames_skipped += 1
+                # CDS skip: reuse cached scores, fill senones never scored.
+                scores = lane.last_scores
+                assert scores is not None
+                missing = senones[scores[senones] <= LOG_ZERO / 2]
+                if missing.size:
+                    scores[missing] = self.model.score_requests(
+                        obs[None, :], [(0, missing)], stats
+                    )[0]
+                return scores.copy()
+        lane.skip_run = 0
+        scores = np.full(self.num_senones, LOG_ZERO)
+        if senones.size:
+            scores[senones] = self.model.score_requests(
+                obs[None, :], [(0, senones)], stats
+            )[0]
+        lane.last_obs = obs.copy()
+        lane.last_scores = scores.copy()
+        return scores
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
         self.stats = ScoringStats(senone_budget=self.num_senones)
-        self.fast_stats = FastGmmStats()
-        self._last_obs = None
-        self._last_scores = None
-        self._skip_run = 0
+        self.lane.reset()
 
     # ------------------------------------------------------------------
     def equivalent_activity(self, spec: OpUnitSpec | None = None) -> dict[str, float]:

@@ -24,7 +24,7 @@ import numpy as np
 from repro.core.opunit import OpUnit, OpUnitSpec
 from repro.core.viterbi_unit import ViterbiUnit, ViterbiUnitSpec
 from repro.decoder.best_path import BestPath, find_best_path
-from repro.decoder.fast_gmm import FastGmmConfig, FastGmmScorer
+from repro.decoder.fast_gmm import FastGmmConfig, FastGmmScorer, FastGmmStats
 from repro.decoder.network import FlatLexiconNetwork
 from repro.decoder.phone_decode import PhoneDecodeStage
 from repro.decoder.scorer import HardwareScorer, ReferenceScorer, ScoringStats
@@ -82,6 +82,9 @@ class RecognitionResult:
     op_unit_activities: list[dict[str, float]] | None = None
     viterbi_activity: dict[str, float] | None = None
     frame_critical_cycles: list[int] | None = None
+    #: Four-layer work counters (fast mode only): frames skipped,
+    #: Gaussians touched, dimensions multiplied, senones approximated.
+    fast_stats: FastGmmStats | None = None
 
     @property
     def audio_seconds(self) -> float:
@@ -128,6 +131,7 @@ class Recognizer:
         self.storage_format = storage_format
         self.config = config or DecoderConfig()
         self.frame_period_s = frame_period_s
+        self.tying = tying
         self.op_units: list[OpUnit] = []
         self.viterbi_unit: ViterbiUnit | None = None
 
@@ -180,9 +184,10 @@ class Recognizer:
     def as_batch(self):
         """A :class:`~repro.runtime.BatchRecognizer` twin of this decoder.
 
-        Shares the compiled network and models; decodes B utterances
-        frame-synchronously with outputs identical to sequential
-        :meth:`decode` calls (reference and hardware modes).
+        Shares the compiled network and models (including the fast-GMM
+        model in fast mode); decodes B utterances frame-synchronously
+        with outputs identical to sequential :meth:`decode` calls in
+        every mode (reference, hardware and fast).
         """
         from repro.runtime.batch import BatchRecognizer
 
@@ -191,10 +196,12 @@ class Recognizer:
     def as_continuous(self):
         """A continuous-batching twin of this decoder.
 
-        Shares the compiled network and models; serves an utterance
-        queue with mid-decode lane refill
+        Shares the compiled network and models (including the fast-GMM
+        model in fast mode); serves an utterance queue with mid-decode
+        lane refill
         (:meth:`~repro.runtime.continuous.ContinuousBatchRecognizer.decode_stream`),
-        each utterance's output identical to sequential :meth:`decode`.
+        each utterance's output identical to sequential :meth:`decode`
+        in every mode (reference, hardware and fast).
         """
         from repro.runtime.continuous import ContinuousBatchRecognizer
 
@@ -242,6 +249,11 @@ class Recognizer:
             frame_critical_cycles=(
                 list(self.scorer.frame_critical_cycles)
                 if isinstance(self.scorer, HardwareScorer)
+                else None
+            ),
+            fast_stats=(
+                self.scorer.fast_stats
+                if isinstance(self.scorer, FastGmmScorer)
                 else None
             ),
         )

@@ -14,8 +14,9 @@ one pooled senone evaluation and one chain update per step):
   lane, so ragged lengths never idle the datapath.
 
 Both produce per-utterance outputs bit-identical to sequential
-:meth:`~repro.decoder.recognizer.Recognizer.decode` in reference and
-hardware modes (see ``tests/test_golden_parity.py``).
+:meth:`~repro.decoder.recognizer.Recognizer.decode` in reference,
+hardware and fast modes (see ``tests/test_golden_parity.py`` and
+``tests/test_runtime_fast.py``).
 """
 
 from repro.runtime.batch import BatchDecodeResult, BatchRecognizer, LaneBank
@@ -24,6 +25,7 @@ from repro.runtime.continuous import (
     ContinuousDecodeResult,
 )
 from repro.runtime.scoring import (
+    BatchFastGmmScorer,
     BatchHardwareScorer,
     BatchReferenceScorer,
     BatchScoringBackend,
@@ -37,5 +39,6 @@ __all__ = [
     "LaneBank",
     "BatchReferenceScorer",
     "BatchHardwareScorer",
+    "BatchFastGmmScorer",
     "BatchScoringBackend",
 ]

@@ -23,14 +23,17 @@ entries, per-frame statistics — runs through the same shared kernels
 as :class:`~repro.decoder.word_decode.WordDecodeStage`, on row views
 of the stacked arrays, and every piece of per-lane bookkeeping is
 indexed by the lane's OWN frame counter (``lane_t``), never the global
-step.  Because every batched operation is elementwise or a per-row
-reduction, each utterance's word sequence, path score and frame
-statistics are IDENTICAL to a sequential
-:class:`~repro.decoder.recognizer.Recognizer.decode` of the same
-features, in both reference and hardware modes — regardless of batch
-composition, admission step or refill order.  A retired (or never
-admitted) lane's state is frozen at ``LOG_ZERO`` so no idle step ever
-reaches a lattice or a statistics record.
+step.  Scoring backends with per-lane state (the four-layer fast-GMM
+scheme's CDS cache and work counters) participate in the lifecycle
+through admit/retire/compact hooks, so a reseeded lane can never
+observe a previous occupant's selection state.  Because every batched
+operation is elementwise or a per-row reduction, each utterance's word
+sequence, path score and frame statistics are IDENTICAL to a
+sequential :class:`~repro.decoder.recognizer.Recognizer.decode` of the
+same features, in reference, hardware and fast modes — regardless of
+batch composition, admission step or refill order.  A retired (or
+never admitted) lane's state is frozen at ``LOG_ZERO`` so no idle step
+ever reaches a lattice or a statistics record.
 """
 
 from __future__ import annotations
@@ -52,6 +55,7 @@ from repro.decoder.recognizer import (
     resolve_storage_pool,
     validate_decoder_models,
 )
+from repro.decoder.fast_gmm import FastGmmConfig, FastGmmModel, FastGmmStats
 from repro.decoder.scorer import ScoringStats
 from repro.decoder.word_decode import (
     DecoderConfig,
@@ -68,7 +72,11 @@ from repro.lexicon.dictionary import PronunciationDictionary
 from repro.lexicon.triphone import SenoneTying
 from repro.lm.ngram import NGramModel
 from repro.quant.float_formats import IEEE_SINGLE, FloatFormat
-from repro.runtime.scoring import BatchHardwareScorer, BatchReferenceScorer
+from repro.runtime.scoring import (
+    BatchFastGmmScorer,
+    BatchHardwareScorer,
+    BatchReferenceScorer,
+)
 
 __all__ = ["BatchRecognizer", "BatchDecodeResult", "LaneBank"]
 
@@ -212,6 +220,7 @@ class LaneBank:
             raise RuntimeError(f"lane {lane} is still occupied")
         if features.ndim != 2 or features.shape[0] == 0:
             raise ValueError(f"lane {lane}: features must be non-empty (T, L)")
+        self.scorer.admit_lane(lane)
         self.delta[lane] = LOG_ZERO
         self.entry_frame[lane] = -1
         self.payload[lane] = -1
@@ -310,7 +319,7 @@ class LaneBank:
 
         # 3. One pooled GMM pass for the whole bank.
         scores = self._score_mat.clean()
-        compact = self.scorer.score_pairs(obs_block, pair_b, pair_s)
+        compact = self.scorer.score_pairs(obs_block, pair_b, pair_s, lanes=lanes)
         scores[pair_b, pair_s] = compact
         self._score_mat.publish((pair_b, pair_s))
         obs_bank = scores.take(net.senone_id, axis=1)
@@ -430,8 +439,13 @@ class LaneBank:
         lattice = self.lattices[lane]
         scoring = self.lane_scoring[lane]
         assert lattice is not None and scoring is not None
+        fast_stats = self.scorer.retire_lane(lane)
         result = self.recognizer._lane_result(
-            lattice, int(self.lane_len[lane]), self.lane_frame_stats[lane], scoring
+            lattice,
+            int(self.lane_len[lane]),
+            self.lane_frame_stats[lane],
+            scoring,
+            fast_stats=fast_stats,
         )
         self.active[lane] = False
         self.delta[lane] = LOG_ZERO
@@ -444,17 +458,77 @@ class LaneBank:
         self.lane_utt[lane] = -1
         return result
 
+    # ------------------------------------------------------------------
+    def compact(self) -> int:
+        """Shrink the bank to its occupied lanes; returns the new size.
+
+        Called by the continuous runtime once the waiting queue is
+        drained, so the tail of a stream stops paying per-step
+        vectorized work for lanes that can never be refilled.  Live
+        lanes are relocated to the low rows (preserving relative
+        order) and every stacked array and scratch buffer is rebuilt
+        at the new width.  All per-frame math is elementwise or a
+        per-row reduction, so relocating a row changes nothing about
+        that lane's decode — the parity suite covers compacted tails.
+        """
+        keep = np.flatnonzero(self.active)
+        n = int(keep.size)
+        if n == self.num_lanes or n == 0:
+            return self.num_lanes
+        keep_list = keep.tolist()
+        self.delta = self.delta[keep]
+        self.entry_frame = self.entry_frame[keep]
+        self.payload = self.payload[keep]
+        self.pending_entry = self.pending_entry[keep]
+        self.pending_src = self.pending_src[keep]
+        self.active = np.ones(n, dtype=bool)
+        self.lane_t = self.lane_t[keep]
+        self.lane_len = self.lane_len[keep]
+        self.lane_utt = self.lane_utt[keep]
+        self.lane_feats = [self.lane_feats[b] for b in keep_list]
+        self.lattices = [self.lattices[b] for b in keep_list]
+        self.lane_frame_stats = [self.lane_frame_stats[b] for b in keep_list]
+        self.lane_scoring = [self.lane_scoring[b] for b in keep_list]
+        self.num_lanes = n
+        shape = (n, self.net.num_states)
+        num_senones = self.scorer.num_senones
+        self._obs_block = np.zeros((n, self._obs_block.shape[1]))
+        self._score_mat = DenseScratch((n, num_senones), LOG_ZERO)
+        self._entry_scores = np.full(shape, LOG_ZERO, dtype=self._dtype)
+        self._entry_payload = np.full(shape, -1, dtype=np.int64)
+        self._candidates = np.empty(shape, dtype=bool)
+        self._shifted = np.empty(shape, dtype=bool)
+        self._cand_mask = np.zeros((n, num_senones), dtype=bool)
+        self._prev_payload = np.empty(shape, dtype=np.int64)
+        self._prev_entry_frame = np.empty(shape, dtype=np.int64)
+        self._payload_next = np.empty(shape, dtype=np.int64)
+        self._entry_frame_next = np.empty(shape, dtype=np.int64)
+        self._took_self = np.empty(shape, dtype=bool)
+        self._took_fwd = np.empty(shape, dtype=bool)
+        self._chain_scratch = (
+            make_chain_scratch(shape) if self.viterbi_unit is None else None
+        )
+        self._beam_scratch = make_beam_scratch(shape)
+        self._padded = None  # preload indexing assumed the old width
+        self.scorer.compact_lanes(keep_list)
+        return n
+
 
 class BatchRecognizer:
     """Decode batches of utterances against one compiled lexicon.
 
     Parameters mirror :class:`~repro.decoder.recognizer.Recognizer`;
-    supported modes are ``"reference"`` (double precision) and
-    ``"hardware"`` (quantized parameters, logadd SRAM, Viterbi unit).
-    The recognizer is reusable: each :meth:`decode_batch` call is an
-    independent batch, and batches of any size (including 1) produce
-    sequential-identical outputs.
+    supported modes are :data:`SUPPORTED_MODES` — ``"reference"``
+    (double precision), ``"hardware"`` (quantized parameters, logadd
+    SRAM, Viterbi unit) and ``"fast"`` (the four-layer fast-GMM scheme
+    with per-lane selection state; pass ``tying`` for CI selection and
+    ``fast_config`` for the layer thresholds).  The recognizer is
+    reusable: each :meth:`decode_batch` call is an independent batch,
+    and batches of any size (including 1) produce sequential-identical
+    outputs.
     """
+
+    SUPPORTED_MODES = ("reference", "hardware", "fast")
 
     def __init__(
         self,
@@ -466,10 +540,14 @@ class BatchRecognizer:
         storage_format: FloatFormat = IEEE_SINGLE,
         num_unit_pairs: int = 2,
         frame_period_s: float = 0.010,
+        tying: SenoneTying | None = None,
+        fast_config: FastGmmConfig | None = None,
+        fast_model: FastGmmModel | None = None,
     ) -> None:
-        if mode not in ("reference", "hardware"):
+        if mode not in self.SUPPORTED_MODES:
+            supported = ", ".join(repr(m) for m in self.SUPPORTED_MODES)
             raise ValueError(
-                f"unknown batch mode {mode!r} (use 'reference' or 'hardware')"
+                f"unknown batch mode {mode!r}; supported modes: {supported}"
             )
         validate_decoder_models(network, pool, lm)
         self.network = network
@@ -479,6 +557,7 @@ class BatchRecognizer:
         self.storage_format = storage_format
         self.config = config or DecoderConfig()
         self.frame_period_s = frame_period_s
+        self.tying = tying
         self.op_units: list[OpUnit] = []
         self.viterbi_unit: ViterbiUnit | None = None
 
@@ -490,6 +569,14 @@ class BatchRecognizer:
             table = pool.gaussian_table(storage_format)
             self.scorer = BatchHardwareScorer(self.op_units, table)
             self.viterbi_unit = ViterbiUnit(ViterbiUnitSpec())
+        elif mode == "fast":
+            if fast_model is None:
+                fast_model = FastGmmModel(
+                    resolve_storage_pool(pool, storage_format),
+                    tying=tying,
+                    config=fast_config,
+                )
+            self.scorer = BatchFastGmmScorer(fast_model)
         else:
             self.scorer = BatchReferenceScorer(
                 resolve_storage_pool(pool, storage_format)
@@ -509,11 +596,21 @@ class BatchRecognizer:
     ) -> "BatchRecognizer":
         """Build the network from a dictionary and wire everything."""
         network = FlatLexiconNetwork.build(dictionary, tying, topology)
-        return cls(network=network, pool=pool, lm=lm, **kwargs)
+        return cls(network=network, pool=pool, lm=lm, tying=tying, **kwargs)
 
     @classmethod
     def from_recognizer(cls, recognizer: Recognizer) -> "BatchRecognizer":
-        """A batched twin sharing a sequential recognizer's models."""
+        """A batched twin sharing a sequential recognizer's models.
+
+        In fast mode the twin shares the recognizer's OWN
+        :class:`~repro.decoder.fast_gmm.FastGmmModel`, so the VQ
+        codebook is clustered once and both decoders score through
+        identical shortlists and CI maps (a prerequisite for batch
+        outputs being bit-identical to the sequential ones).
+        """
+        fast_model = (
+            recognizer.scorer.model if recognizer.mode == "fast" else None
+        )
         return cls(
             network=recognizer.network,
             pool=recognizer.pool,
@@ -523,6 +620,8 @@ class BatchRecognizer:
             storage_format=recognizer.storage_format,
             num_unit_pairs=max(len(recognizer.op_units), 1),
             frame_period_s=recognizer.frame_period_s,
+            tying=recognizer.tying,
+            fast_model=fast_model,
         )
 
     # ------------------------------------------------------------------
@@ -600,6 +699,7 @@ class BatchRecognizer:
         frames: int,
         stats: list[FrameStats],
         scoring: ScoringStats,
+        fast_stats: FastGmmStats | None = None,
     ) -> RecognitionResult:
         best = find_best_path(
             lattice, self.lm, self.network, frames - 1, lm_scale=self.config.lm_scale
@@ -612,4 +712,5 @@ class BatchRecognizer:
             scoring_stats=scoring,
             lattice_size=len(lattice),
             frame_period_s=self.frame_period_s,
+            fast_stats=fast_stats,
         )

@@ -15,7 +15,10 @@ FIFO: the first ``max_lanes`` utterances are admitted at step 0; every
 retirement immediately pulls the next utterance from the queue into
 the freed lane (the new utterance's frame 0 is processed on the very
 next step).  Results are returned in submission order regardless of
-which lane served an utterance or when it finished.
+which lane served an utterance or when it finished.  Once the queue is
+DRAINED a freed lane can never be refilled, so the bank compacts to
+its occupied lanes (:meth:`~repro.runtime.batch.LaneBank.compact`)
+instead of stepping dead rows through the tail.
 
 Parity guarantee
 ----------------
@@ -23,12 +26,14 @@ The scheduler only decides WHEN a lane is (re)seeded; every per-frame
 operation runs through the same :class:`~repro.runtime.batch.LaneBank`
 kernels as the drained batch runtime — elementwise or per-row math
 over the stacked ``(B, S)`` state, per-lane frame counters, per-lane
-lattices.  Each utterance's words, path score and per-frame statistics
-are therefore bit-identical to a sequential
-:class:`~repro.decoder.recognizer.Recognizer.decode`, in reference and
-hardware modes, for any arrival order and any ``max_lanes`` (enforced
-by ``tests/test_golden_parity.py`` and
-``tests/test_runtime_continuous.py``).
+lattices; per-lane scorer state (fast mode's CDS cache) is reset
+through the backend lifecycle hooks at every reseed.  Each utterance's
+words, path score, per-frame statistics and fast-GMM work counters are
+therefore bit-identical to a sequential
+:class:`~repro.decoder.recognizer.Recognizer.decode`, in reference,
+hardware and fast modes, for any arrival order and any ``max_lanes``
+(enforced by ``tests/test_golden_parity.py``,
+``tests/test_runtime_continuous.py`` and ``tests/test_runtime_fast.py``).
 """
 
 from __future__ import annotations
@@ -116,6 +121,7 @@ class ContinuousBatchRecognizer(BatchRecognizer):
 
         self._reset_accounting()
         bank = LaneBank(self, len(first))
+        built_lanes = bank.num_lanes
         lane_of: list[int] = []
         admit_steps: list[int] = []
         for lane, f in enumerate(first):
@@ -125,22 +131,34 @@ class ContinuousBatchRecognizer(BatchRecognizer):
         admitted = len(first)
 
         finished: dict[int, RecognitionResult] = {}
+        drained = False
         while bank.any_active:
+            retired = False
             for lane in bank.step():
                 utt = int(bank.lane_utt[lane])
                 finished[utt] = bank.retire(lane)
+                retired = True
                 nxt = next(queue, _QUEUE_END)
-                if nxt is not _QUEUE_END:
+                if nxt is _QUEUE_END:
+                    drained = True
+                else:
                     bank.admit(lane, admitted, self._validate_features(admitted, nxt))
                     lane_of.append(lane)
                     admit_steps.append(bank.steps)
                     admitted += 1
+            # Lane compaction: once the waiting queue is drained a
+            # freed lane can never be refilled, so shrink the bank to
+            # its occupied lanes instead of stepping dead rows through
+            # the tail.  (lane_of/admit_steps keep the PRE-compaction
+            # lane ids each utterance was admitted into.)
+            if drained and retired and bank.any_active:
+                bank.compact()
 
         return ContinuousDecodeResult(
             results=[finished[i] for i in range(admitted)],
             frames_processed=bank.frames_processed,
             steps=bank.steps,
-            max_lanes=bank.num_lanes,
+            max_lanes=built_lanes,
             lane_of=lane_of,
             admit_steps=admit_steps,
             **self._pooled_accounting(),

@@ -7,9 +7,10 @@ observation block plus explicit ``(pair_rows, pair_senones)`` work
 items — the union of every utterance's feedback list — and evaluate
 them in ONE pooled GMM pass.  Per work item the arithmetic is the
 exact sequence of the sequential backends (see
-:meth:`repro.hmm.senone.SenonePool.score_pairs` and
-:meth:`repro.core.opunit.OpUnit.score_pairs`), so pooling changes no
-utterance's scores by a single bit.
+:meth:`repro.hmm.senone.SenonePool.score_pairs`,
+:meth:`repro.core.opunit.OpUnit.score_pairs` and
+:meth:`repro.decoder.fast_gmm.FastGmmModel.score_requests`), so
+pooling changes no utterance's scores by a single bit.
 
 Because each work item is self-contained, the pooled pass is also
 indifferent to WHICH lanes contribute items: drained batches, ragged
@@ -17,21 +18,31 @@ retirement and continuous mid-decode refill
 (:mod:`repro.runtime.continuous`) all present the same contract — a
 row either has work items this step or contributes nothing — and a
 lane's scores never depend on its neighbours' occupancy.
+
+The fast backend is the one with per-lane STATE (the CDS cache and
+work counters), so the protocol carries a lane lifecycle:
+:meth:`BatchScoringBackend.admit_lane` when a lane is (re)seeded,
+:meth:`BatchScoringBackend.retire_lane` when its utterance finalizes
+(returning the lane's fast-GMM work counters, if any), and
+:meth:`BatchScoringBackend.compact_lanes` when the bank shrinks to its
+occupied lanes.  The stateless backends implement them as no-ops.
 """
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import Protocol, Sequence
 
 import numpy as np
 
 from repro.core.opunit import GaussianTable, OpUnit
+from repro.decoder.fast_gmm import FastGmmLaneState, FastGmmModel, FastGmmStats
 from repro.hmm.senone import SenonePool
 
 __all__ = [
     "BatchScoringBackend",
     "BatchReferenceScorer",
     "BatchHardwareScorer",
+    "BatchFastGmmScorer",
     "LOG_ZERO",
 ]
 
@@ -48,16 +59,53 @@ class BatchScoringBackend(Protocol):
         observations: np.ndarray,
         pair_rows: np.ndarray,
         pair_senones: np.ndarray,
+        lanes: np.ndarray | None = None,
     ) -> np.ndarray:
-        """Compact scores for (batch-row, senone) work items."""
+        """Compact scores for (batch-row, senone) work items.
+
+        ``pair_rows`` must be row-major sorted (ascending rows), as
+        ``np.nonzero`` over the candidate mask produces — stateful
+        backends slice each lane's items out of the pooled arrays by
+        that order.  ``lanes`` lists every ACTIVE lane this step,
+        ascending — a superset of ``np.unique(pair_rows)``, since an
+        active lane may demand no senones on a frame.  Stateless
+        backends ignore it; the fast backend needs it to advance
+        per-lane frame state exactly as a sequential decode of that
+        lane would.
+        """
         ...  # pragma: no cover - protocol definition
 
     def reset(self) -> None:
         """Clear per-decode accounting."""
         ...  # pragma: no cover - protocol definition
 
+    def admit_lane(self, lane: int) -> None:
+        """A lane was (re)seeded; forget any previous occupant's state."""
+        ...  # pragma: no cover - protocol definition
 
-class BatchReferenceScorer:
+    def retire_lane(self, lane: int) -> FastGmmStats | None:
+        """A lane finalized; detach and return its work counters (if any)."""
+        ...  # pragma: no cover - protocol definition
+
+    def compact_lanes(self, keep: Sequence[int]) -> None:
+        """The bank shrank: old lane ``keep[i]`` is now lane ``i``."""
+        ...  # pragma: no cover - protocol definition
+
+
+class _StatelessLaneMixin:
+    """No-op lane lifecycle for backends without per-lane state."""
+
+    def admit_lane(self, lane: int) -> None:
+        pass
+
+    def retire_lane(self, lane: int) -> FastGmmStats | None:
+        return None
+
+    def compact_lanes(self, keep: Sequence[int]) -> None:
+        pass
+
+
+class BatchReferenceScorer(_StatelessLaneMixin):
     """Double-precision pooled scorer (matches :class:`ReferenceScorer`)."""
 
     def __init__(self, pool: SenonePool) -> None:
@@ -69,6 +117,7 @@ class BatchReferenceScorer:
         observations: np.ndarray,
         pair_rows: np.ndarray,
         pair_senones: np.ndarray,
+        lanes: np.ndarray | None = None,
     ) -> np.ndarray:
         if pair_senones.size == 0:
             return np.empty(0)
@@ -81,7 +130,7 @@ class BatchReferenceScorer:
         pass
 
 
-class BatchHardwareScorer:
+class BatchHardwareScorer(_StatelessLaneMixin):
     """Pooled scoring through the OP-unit models.
 
     Work items are split evenly across the available units (the
@@ -110,6 +159,7 @@ class BatchHardwareScorer:
         observations: np.ndarray,
         pair_rows: np.ndarray,
         pair_senones: np.ndarray,
+        lanes: np.ndarray | None = None,
     ) -> np.ndarray:
         p = int(pair_senones.size)
         if p == 0:
@@ -134,3 +184,117 @@ class BatchHardwareScorer:
         self.frame_critical_cycles = []
         for unit in self.units:
             unit.reset_counters()
+
+
+class BatchFastGmmScorer:
+    """Pooled four-layer fast-GMM scoring with per-lane selection state.
+
+    The shared :class:`~repro.decoder.fast_gmm.FastGmmModel` (VQ
+    codebook, shortlists, CI parents) is read-only and serves every
+    lane; each lane owns a
+    :class:`~repro.decoder.fast_gmm.FastGmmLaneState` created at
+    admission and detached at retirement.  Per step:
+
+    * layer 1 decides PER LANE whether the lane's own frame is close
+      enough to ITS previous frame to skip (different lanes skip
+      different steps — the per-lane CDS mask);
+    * the surviving demand — full feedback lists of scoring lanes plus
+      the cache-miss senones of skipping lanes — is pooled into at most
+      two shared Gaussian passes
+      (:meth:`~repro.decoder.fast_gmm.FastGmmModel.score_requests`),
+      with each lane's CI margin applied against its OWN frame-best
+      parent and all lanes sharing the VQ shortlist gathers and the
+      vectorized chunked PDE.
+
+    Every kernel is per-item, so each lane's scores and all four work
+    counters are bit-identical to a sequential
+    :class:`~repro.decoder.fast_gmm.FastGmmScorer` decode of the same
+    features, for any batch composition and arrival order.
+    """
+
+    def __init__(self, model: FastGmmModel) -> None:
+        self.model = model
+        self.num_senones = model.num_senones
+        self._lanes: dict[int, FastGmmLaneState] = {}
+
+    # -- lane lifecycle -------------------------------------------------
+    def admit_lane(self, lane: int) -> None:
+        self._lanes[lane] = FastGmmLaneState()
+
+    def retire_lane(self, lane: int) -> FastGmmStats | None:
+        state = self._lanes.pop(lane, None)
+        return state.fast_stats if state is not None else None
+
+    def compact_lanes(self, keep: Sequence[int]) -> None:
+        self._lanes = {new: self._lanes[old] for new, old in enumerate(keep)}
+
+    def lane_state(self, lane: int) -> FastGmmLaneState:
+        """The live selection state of an occupied lane (inspection)."""
+        return self._lanes[lane]
+
+    def reset(self) -> None:
+        self._lanes = {}
+
+    # ------------------------------------------------------------------
+    def score_pairs(
+        self,
+        observations: np.ndarray,
+        pair_rows: np.ndarray,
+        pair_senones: np.ndarray,
+        lanes: np.ndarray | None = None,
+    ) -> np.ndarray:
+        model = self.model
+        cfg = model.config
+        if lanes is None:
+            lanes = np.unique(pair_rows)
+        # Protocol precondition: row-major sorted items (np.nonzero
+        # order), so each lane's items form one contiguous slice.
+        assert pair_rows.size == 0 or np.all(np.diff(pair_rows) >= 0), (
+            "pair_rows must be sorted by row"
+        )
+        out = np.empty(pair_senones.size)
+        lo = np.searchsorted(pair_rows, lanes, side="left")
+        hi = np.searchsorted(pair_rows, lanes, side="right")
+        requests: list[tuple[int, np.ndarray]] = []
+        sinks: list[tuple[str, int, slice, np.ndarray, np.ndarray | None]] = []
+        stats_by_row: dict[int, FastGmmStats] = {}
+        for lane, a, b in zip(lanes.tolist(), lo.tolist(), hi.tolist()):
+            state = self._lanes[lane]
+            stats_by_row[lane] = state.fast_stats
+            state.fast_stats.frames += 1
+            senones = pair_senones[a:b]
+            sl = slice(a, b)
+            obs = observations[lane]
+            # Layer 1: this lane's own CDS decision.
+            if cfg.cds_enabled and state.last_obs is not None:
+                distance = float(np.mean((obs - state.last_obs) ** 2))
+                if distance < cfg.cds_distance and state.skip_run < cfg.cds_max_run:
+                    state.skip_run += 1
+                    state.fast_stats.frames_skipped += 1
+                    cache = state.last_scores
+                    assert cache is not None
+                    missing = senones[cache[senones] <= LOG_ZERO / 2]
+                    if missing.size:
+                        requests.append((lane, missing))
+                        sinks.append(("fill", lane, sl, senones, missing))
+                    else:
+                        out[sl] = cache[senones]
+                    continue
+            state.skip_run = 0
+            requests.append((lane, senones))
+            sinks.append(("full", lane, sl, senones, None))
+        # Layers 2-4, pooled across every demanding lane.
+        results = model.score_requests(observations, requests, stats_by_row)
+        for (kind, lane, sl, senones, missing), compact in zip(sinks, results):
+            state = self._lanes[lane]
+            if kind == "fill":
+                assert state.last_scores is not None and missing is not None
+                state.last_scores[missing] = compact
+                out[sl] = state.last_scores[senones]
+            else:
+                scores = np.full(self.num_senones, LOG_ZERO)
+                scores[senones] = compact
+                state.last_obs = observations[lane].copy()
+                state.last_scores = scores
+                out[sl] = compact
+        return out

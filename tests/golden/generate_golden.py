@@ -20,12 +20,14 @@ exercise ragged retirement against the same fixtures.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
 
+from repro.decoder.fast_gmm import FastGmmConfig, FastGmmStats  # noqa: E402
 from repro.decoder.recognizer import Recognizer  # noqa: E402
 from repro.workloads.tasks import command_task  # noqa: E402
 
@@ -33,7 +35,25 @@ GOLDEN_DIR = Path(__file__).resolve().parent
 TASK_SEED = 19
 #: Test-corpus indices with a strong length spread (83..321 frames).
 UTTERANCE_INDICES = [14, 11, 4, 1, 2, 6]
-MODES = ("reference", "hardware")
+MODES = ("reference", "hardware", "fast")
+
+#: Every four-layer work counter, straight from the dataclass, so a
+#: future counter is pinned the moment it exists.
+FAST_FIELDS = tuple(f.name for f in dataclasses.fields(FastGmmStats))
+
+
+def make_recognizer(mode: str, task) -> Recognizer:
+    """The canonical per-mode recognizer (fast = the all-layers preset).
+
+    Single-sourced: the golden-parity test imports THIS function, so
+    the fixtures and the parity checks cannot drift apart.
+    """
+    kwargs = {}
+    if mode == "fast":
+        kwargs["fast_config"] = FastGmmConfig.all_layers()
+    return Recognizer.create(
+        task.dictionary, task.pool, task.lm, task.tying, mode=mode, **kwargs
+    )
 
 
 def fixture_path(mode: str) -> Path:
@@ -41,28 +61,29 @@ def fixture_path(mode: str) -> Path:
 
 
 def generate(mode: str, task) -> dict:
-    rec = Recognizer.create(
-        task.dictionary, task.pool, task.lm, task.tying, mode=mode
-    )
+    rec = make_recognizer(mode, task)
     utterances = []
     for index in UTTERANCE_INDICES:
         features = task.corpus.test[index].features
         result = rec.decode(features)
-        utterances.append(
-            {
-                "index": index,
-                "frames": result.frames,
-                "words": list(result.words),
-                "score_hex": float(result.score).hex(),
-                "score": result.score,  # human-readable; score_hex is the oracle
-                "lattice_size": result.lattice_size,
-                "active_states": [s.active_states for s in result.frame_stats],
-                "requested_senones": [
-                    s.requested_senones for s in result.frame_stats
-                ],
-                "word_exits": [s.word_exits for s in result.frame_stats],
+        record = {
+            "index": index,
+            "frames": result.frames,
+            "words": list(result.words),
+            "score_hex": float(result.score).hex(),
+            "score": result.score,  # human-readable; score_hex is the oracle
+            "lattice_size": result.lattice_size,
+            "active_states": [s.active_states for s in result.frame_stats],
+            "requested_senones": [
+                s.requested_senones for s in result.frame_stats
+            ],
+            "word_exits": [s.word_exits for s in result.frame_stats],
+        }
+        if result.fast_stats is not None:
+            record["fast_stats"] = {
+                f: getattr(result.fast_stats, f) for f in FAST_FIELDS
             }
-        )
+        utterances.append(record)
     return {
         "task": f"command_task(seed={TASK_SEED})",
         "mode": mode,

@@ -226,9 +226,9 @@ class TestStatsInvariants:
         scorer.score(1, obs, senones)  # skipped (reuse)
         assert scorer.fast_stats.frames_skipped == 1
         scorer.reset()
-        assert scorer._last_obs is None
-        assert scorer._last_scores is None
-        assert scorer._skip_run == 0
+        assert scorer.lane.last_obs is None
+        assert scorer.lane.last_scores is None
+        assert scorer.lane.skip_run == 0
         scorer.score(0, obs, senones)  # same frame, fresh utterance
         assert scorer.fast_stats.frames == 1
         assert scorer.fast_stats.frames_skipped == 0

@@ -1,26 +1,37 @@
 """Golden-parity suite: every runtime vs COMMITTED sequential outputs.
 
 ``tests/golden/`` holds committed ``Recognizer.decode`` outputs (words,
-bit-exact path scores, per-frame statistics) for command-task
-utterances in reference and hardware modes.  Every decoding runtime —
-sequential :class:`Recognizer`, drained :class:`BatchRecognizer`, and
-the continuous-batching :class:`ContinuousBatchRecognizer` — must
+bit-exact path scores, per-frame statistics, and in fast mode the
+four-layer work counters) for command-task utterances in reference,
+hardware and fast modes.  Every decoding runtime — sequential
+:class:`Recognizer`, drained :class:`BatchRecognizer`, and the
+continuous-batching :class:`ContinuousBatchRecognizer` — must
 reproduce them exactly, so any future runtime change is automatically
 checked against a fixed oracle rather than against a moving sequential
 implementation.  Regenerate fixtures (intentional behaviour changes
 only) with ``PYTHONPATH=src python tests/golden/generate_golden.py``.
 """
 
+import importlib.util
 import json
 from pathlib import Path
 
 import pytest
 
-from repro.decoder.recognizer import Recognizer
 from repro.workloads.tasks import command_task
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
-MODES = ("reference", "hardware")
+
+# The generator module is the single source of truth for the fixture
+# recipe (modes, per-mode recognizer config); importing it here means
+# the fixtures and this parity check cannot drift apart.
+_spec = importlib.util.spec_from_file_location(
+    "golden_generate", GOLDEN_DIR / "generate_golden.py"
+)
+golden_generate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(golden_generate)
+
+MODES = golden_generate.MODES
 
 
 @pytest.fixture(scope="module")
@@ -36,13 +47,7 @@ def _load(mode: str) -> dict:
 @pytest.fixture(scope="module", params=MODES)
 def golden(request, golden_task):
     fixture = _load(request.param)
-    rec = Recognizer.create(
-        golden_task.dictionary,
-        golden_task.pool,
-        golden_task.lm,
-        golden_task.tying,
-        mode=request.param,
-    )
+    rec = golden_generate.make_recognizer(request.param, golden_task)
     feats = [
         golden_task.corpus.test[u["index"]].features for u in fixture["utterances"]
     ]
@@ -61,6 +66,11 @@ def _assert_matches_golden(result, expected):
     )
     assert [s.word_exits for s in result.frame_stats] == expected["word_exits"]
     assert result.scoring_stats.active_per_frame == expected["requested_senones"]
+    if "fast_stats" in expected:
+        # All four layers' work counters, per utterance.
+        assert result.fast_stats is not None
+        actual = {k: getattr(result.fast_stats, k) for k in expected["fast_stats"]}
+        assert actual == expected["fast_stats"]
 
 
 class TestGoldenFixtures:
@@ -74,6 +84,15 @@ class TestGoldenFixtures:
             frames = [u["frames"] for u in _load(mode)["utterances"]]
             assert len(frames) >= 4
             assert max(frames) >= 2 * min(frames)
+
+    def test_fast_fixture_pins_layer_savings(self):
+        """The committed fast fixture must show every counter live."""
+        for u in _load("fast")["utterances"]:
+            fs = u["fast_stats"]
+            assert fs["frames"] == u["frames"]
+            assert 0 < fs["frames_skipped"] < fs["frames"]
+            assert 0 < fs["gaussians_evaluated"] < fs["gaussians_possible"]
+            assert 0 < fs["dims_evaluated"] < fs["dims_possible"]
 
 
 class TestSequentialGolden:

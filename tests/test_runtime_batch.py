@@ -33,6 +33,7 @@ def _assert_lane_equal(seq, lane):
         f.__dict__ for f in seq.frame_stats
     ]
     assert lane.scoring_stats.active_per_frame == seq.scoring_stats.active_per_frame
+    assert lane.fast_stats == seq.fast_stats  # None outside fast mode
 
 
 class TestEquivalence:
@@ -146,11 +147,22 @@ class TestLaneRetirementAccounting:
 
 
 class TestValidation:
-    def test_rejects_fast_mode(self, task):
-        with pytest.raises(ValueError):
+    def test_unknown_mode_error_names_supported_modes(self, task):
+        """The error must be raised up front and teach the fix."""
+        with pytest.raises(ValueError) as err:
             BatchRecognizer.create(
-                task.dictionary, task.pool, task.lm, task.tying, mode="fast"
+                task.dictionary, task.pool, task.lm, task.tying, mode="turbo"
             )
+        message = str(err.value)
+        assert "turbo" in message
+        for mode in ("'reference'", "'hardware'", "'fast'"):
+            assert mode in message
+
+    def test_fast_mode_accepted(self, task):
+        batch = BatchRecognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying, mode="fast"
+        )
+        assert batch.mode == "fast"
 
     def test_rejects_empty_batch(self, pair):
         _, batch = pair

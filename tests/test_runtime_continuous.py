@@ -49,6 +49,7 @@ def _assert_lane_equal(seq, lane):
         f.__dict__ for f in seq.frame_stats
     ]
     assert lane.scoring_stats.active_per_frame == seq.scoring_stats.active_per_frame
+    assert lane.fast_stats == seq.fast_stats  # None outside fast mode
 
 
 class TestContinuousEquivalence:
@@ -202,11 +203,74 @@ class TestValidationAndLifecycle:
         with pytest.raises(ValueError):
             cont.decode_stream([good, None, good], max_lanes=1)
 
-    def test_rejects_fast_mode(self, task):
-        with pytest.raises(ValueError):
+    def test_unknown_mode_error_names_supported_modes(self, task):
+        with pytest.raises(ValueError) as err:
             ContinuousBatchRecognizer.create(
-                task.dictionary, task.pool, task.lm, task.tying, mode="fast"
+                task.dictionary, task.pool, task.lm, task.tying, mode="turbo"
             )
+        message = str(err.value)
+        assert "turbo" in message
+        for mode in ("'reference'", "'hardware'", "'fast'"):
+            assert mode in message
+
+    def test_drained_queue_compacts_bank(self, trio, task):
+        """Once the queue drains, the tail must not step dead lanes.
+
+        The bank width seen by the pooled scorer has to shrink to the
+        number of live lanes (down to 1 for the longest straggler),
+        and every utterance's output must be unchanged by the
+        relocations.
+        """
+        rec, cont, cache = trio
+        base = [u.features for u in task.corpus.test[:4]]
+        longest = max(range(4), key=lambda i: base[i].shape[0])
+        # One full-length straggler, three short lanes; queue == lanes,
+        # so it is drained immediately after seeding.
+        feats = [f if i == longest else f[:9] for i, f in enumerate(base)]
+        widths = []
+        orig = cont.scorer.score_pairs
+
+        def spy(observations, pair_rows, pair_senones, lanes=None):
+            widths.append(observations.shape[0])
+            return orig(observations, pair_rows, pair_senones, lanes=lanes)
+
+        cont.scorer.score_pairs = spy
+        try:
+            result = cont.decode_stream(feats, max_lanes=4)
+        finally:
+            cont.scorer.score_pairs = orig
+        assert widths[0] == 4
+        assert widths[-1] == 1  # the straggler finished in a 1-lane bank
+        assert all(a >= b for a, b in zip(widths, widths[1:]))  # monotone shrink
+        # Tail steps did exactly one lane's work, not max_lanes' worth.
+        assert widths.count(1) >= feats[longest].shape[0] - 10
+        for i, lane in enumerate(result):
+            _assert_lane_equal(
+                _sequential(rec, base, cache, i, feats[i].shape[0]), lane
+            )
+
+    def test_compact_shrinks_lane_bank_state(self, trio, task):
+        """Direct LaneBank lifecycle: retire -> compact -> keep decoding."""
+        rec, cont, cache = trio
+        feats = [
+            np.asarray(task.corpus.test[0].features, dtype=np.float64),
+            np.asarray(task.corpus.test[1].features[:6], dtype=np.float64),
+        ]
+        bank = LaneBank(cont, 2)
+        bank.admit(0, 0, feats[0])
+        bank.admit(1, 1, feats[1])
+        results = {}
+        while bank.any_active:
+            for lane in bank.step():
+                utt = int(bank.lane_utt[lane])
+                results[utt] = bank.retire(lane)
+            if bank.compact() == 1:
+                assert bank.delta.shape[0] == 1
+                assert bank.active.shape == (1,)
+                assert len(bank.lattices) == 1
+        assert bank.num_lanes == 1  # shrank once lane 1 finished
+        for i, f in enumerate(feats):
+            _assert_lane_equal(rec.decode(f), results[i])
 
     def test_lane_bank_lifecycle_guards(self, trio, task):
         """admit/step/retire enforce the lane lifecycle contract."""
