@@ -1,8 +1,9 @@
 """Serving throughput: batched and continuous decoding vs sequential.
 
 Measures utterances/sec and real-time factor for three runtimes on the
-synthetic command-and-control task, in reference, hardware and fast
-(four-layer CDS/CI/VQ/PDE) modes, verifying word-identical outputs:
+synthetic command-and-control task, in reference, hardware, fast
+(four-layer CDS/CI/VQ/PDE) and blas (matmul-form, ``exact=False``)
+modes, verifying word-identical outputs:
 
 * sequential :class:`~repro.decoder.recognizer.Recognizer`;
 * drained :class:`~repro.runtime.BatchRecognizer` (batch size 8,
@@ -24,8 +25,17 @@ standalone script so CI can track the perf trajectory:
 The JSON records utterances/sec, RTF, the batch-vs-sequential speedup
 and the continuous-vs-drain speedup per mode; the headline ``speedup``
 and ``continuous_speedup`` fields are the reference-mode (serving
-configuration) numbers, and ``fast_batch_speedup`` is the fast-mode
-batch-8 vs sequential-fast figure.
+configuration) numbers, ``fast_batch_speedup`` is the fast-mode
+batch-8 vs sequential-fast figure, and ``blas_batch_speedup`` is the
+matmul-form backend vs the GATHERED batch-reference backend, both at
+batch 8 in the DENSE-DEMAND serving configuration
+(``use_feedback=False`` — the paper's worst-case-bandwidth ablation,
+and the regime ASRPU-style dense scoring targets: every senone scored
+every frame).  Gate: >= 1.5x, word-identical.  With word-decode
+feedback ON the command task's demand is sparse (median ~8% of the
+rows x senones grid), where the blas backend's threshold deliberately
+falls back to the gathered kernel — the crossover table in the blas
+section records exactly that trade-off over active-set sizes.
 """
 
 from __future__ import annotations
@@ -44,6 +54,11 @@ _REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_REPO / "src"))
 
 from repro.decoder.fast_gmm import FastGmmStats  # noqa: E402
+from repro.decoder.scorer import BLAS_SCORE_ATOL  # noqa: E402
+from repro.runtime.scoring import (  # noqa: E402
+    BatchBlasScorer,
+    BatchReferenceScorer,
+)
 from repro.workloads.tasks import command_task  # noqa: E402
 
 # The golden-fixture generator is the single source of the per-mode
@@ -59,7 +74,9 @@ _spec.loader.exec_module(_golden_generate)
 BATCH_SIZE = 8
 FRAME_PERIOD_S = 0.010
 MIN_RAGGED_FRAMES = 20
-MODES = _golden_generate.MODES
+#: The golden (exact) modes plus the tolerance-mode matmul backend.
+MODES = _golden_generate.MODES + ("blas",)
+EXACT_MODES = _golden_generate.MODES
 
 
 def make_recognizer(task, mode: str):
@@ -131,12 +148,21 @@ def bench_mode(task, features, mode: str, repeats: int) -> dict:
     batched = [lane for g in batches for lane in batch.decode_batch(g).results]
 
     # Word-identity between the two paths (order-insensitive check via
-    # re-packing): compare against the sorted feature order.
+    # re-packing): compare against the sorted feature order.  Exact
+    # modes also pin bit-equal scores; blas pins the documented score
+    # tolerance instead.
     order = sorted(range(len(features)), key=lambda i: -features[i].shape[0])
-    word_identical = all(
-        sequential[i].words == lane.words and sequential[i].score == lane.score
-        for i, lane in zip(order, batched)
-    )
+    if mode in EXACT_MODES:
+        word_identical = all(
+            sequential[i].words == lane.words and sequential[i].score == lane.score
+            for i, lane in zip(order, batched)
+        )
+    else:
+        word_identical = all(
+            sequential[i].words == lane.words
+            and abs(sequential[i].score - lane.score) <= BLAS_SCORE_ATOL
+            for i, lane in zip(order, batched)
+        )
 
     t_seq = best_of(lambda: [rec.decode(f) for f in features], repeats)
     t_batch = best_of(
@@ -178,14 +204,22 @@ def bench_continuous(task, features: list[np.ndarray], mode: str, repeats: int) 
     cont = rec.as_continuous()
     chunks = arrival_batches(features, BATCH_SIZE)
 
-    # Warm up both runtimes and verify identical outputs lane-by-lane.
+    # Warm up both runtimes and verify identical outputs lane-by-lane
+    # (bit-equal scores in exact modes, documented tolerance in blas —
+    # the pooled demand unions differ between the two schedules).
     drained_runs = [batch.decode_batch(g) for g in chunks]
     drained = [lane for run in drained_runs for lane in run.results]
     stream = cont.decode_stream(features, max_lanes=BATCH_SIZE)
-    word_identical = all(
-        d.words == s.words and d.score == s.score
-        for d, s in zip(drained, stream.results)
-    )
+    if mode in EXACT_MODES:
+        word_identical = all(
+            d.words == s.words and d.score == s.score
+            for d, s in zip(drained, stream.results)
+        )
+    else:
+        word_identical = all(
+            d.words == s.words and abs(d.score - s.score) <= BLAS_SCORE_ATOL
+            for d, s in zip(drained, stream.results)
+        )
 
     t_drain = best_of(lambda: [batch.decode_batch(g) for g in chunks], repeats)
     t_cont = best_of(
@@ -211,6 +245,102 @@ def bench_continuous(task, features: list[np.ndarray], mode: str, repeats: int) 
         "speedup": round(t_drain / t_cont, 2),
         "word_identical": bool(word_identical),
     }
+
+
+def bench_dense_demand(task, features: list[np.ndarray], repeats: int) -> dict:
+    """The blas gate: matmul vs gathered scoring, full demand, batch 8.
+
+    Both recognizers decode the same length-sorted batches with
+    ``use_feedback=False`` (every senone scored every frame — the
+    paper's worst-case-bandwidth configuration and the regime dense
+    matrix scoring exists for), differing ONLY in the scoring backend.
+    Word outputs must be identical; scores agree within the documented
+    tolerance.
+    """
+    from repro.decoder.recognizer import Recognizer
+    from repro.decoder.word_decode import DecoderConfig
+
+    cfg = DecoderConfig(use_feedback=False)
+    kwargs = dict(config=cfg)
+    gathered = Recognizer.create(
+        task.dictionary, task.pool, task.lm, task.tying,
+        mode="reference", **kwargs,
+    ).as_batch()
+    matmul = Recognizer.create(
+        task.dictionary, task.pool, task.lm, task.tying,
+        mode="blas", **kwargs,
+    ).as_batch()
+    batches = pack_batches(features, BATCH_SIZE)
+    ref_lanes = [lane for g in batches for lane in gathered.decode_batch(g).results]
+    blas_lanes = [lane for g in batches for lane in matmul.decode_batch(g).results]
+    word_identical = all(
+        r.words == b.words and abs(r.score - b.score) <= BLAS_SCORE_ATOL
+        for r, b in zip(ref_lanes, blas_lanes)
+    )
+    t_ref = best_of(lambda: [gathered.decode_batch(g) for g in batches], repeats)
+    t_blas = best_of(lambda: [matmul.decode_batch(g) for g in batches], repeats)
+    n = len(features)
+    return {
+        "config": "use_feedback=False (full senone demand), batch 8",
+        "gathered_reference": {
+            "seconds": round(t_ref, 4),
+            "utterances_per_sec": round(n / t_ref, 2),
+        },
+        "blas": {
+            "seconds": round(t_blas, 4),
+            "utterances_per_sec": round(n / t_blas, 2),
+        },
+        "speedup": round(t_ref / t_blas, 2),
+        "word_identical": bool(word_identical),
+    }
+
+
+def bench_crossover(task, features, repeats: int) -> list[dict]:
+    """Gathered-vs-matmul kernel crossover over active-set sizes.
+
+    Times one pooled scoring step (``BATCH_SIZE`` rows, each demanding
+    ``k`` senones) through the gathered reference kernel and the dense
+    matmul kernel, from sparse demand (where the gather wins — the
+    regime the fallback threshold protects) to the full pool (where
+    the dense products win).
+    """
+    pool = task.pool
+    rng = np.random.default_rng(23)
+    obs = np.stack([f[0] for f in features[:BATCH_SIZE]])
+    gathered = BatchReferenceScorer(pool)
+    # Force the dense kernel so the crossover itself is visible.
+    matmul = BatchBlasScorer(pool, min_pairs=0, min_density=0.0)
+    sizes = sorted({2, 8, 32, pool.num_senones // 2, pool.num_senones})
+    rows = []
+    for k in sizes:
+        pair_rows = np.repeat(np.arange(BATCH_SIZE), k)
+        pair_senones = np.concatenate([
+            np.sort(rng.choice(pool.num_senones, k, replace=False))
+            for _ in range(BATCH_SIZE)
+        ])
+        calls = 50 if k < pool.num_senones else 20
+        t_gather = best_of(
+            lambda: [
+                gathered.score_pairs(obs, pair_rows, pair_senones)
+                for _ in range(calls)
+            ],
+            repeats,
+        )
+        t_matmul = best_of(
+            lambda: [
+                matmul.score_pairs(obs, pair_rows, pair_senones)
+                for _ in range(calls)
+            ],
+            repeats,
+        )
+        rows.append({
+            "active_per_row": int(k),
+            "pairs": int(pair_rows.size),
+            "gathered_us": round(t_gather / calls * 1e6, 2),
+            "matmul_us": round(t_matmul / calls * 1e6, 2),
+            "matmul_speedup": round(t_gather / t_matmul, 2),
+        })
+    return rows
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -287,30 +417,60 @@ def main(argv: list[str] | None = None) -> int:
                 f"gaussians x{layers['gaussians_vs_reference']:.2f}, "
                 f"dims x{layers['dims_vs_reference']:.2f}"
             )
+        if mode == "blas":
+            result["crossover"] = bench_crossover(task, features, timing_repeats)
+            for row in result["crossover"]:
+                print(
+                    f"crossover @ {row['active_per_row']:4d} senones/row: "
+                    f"gathered {row['gathered_us']:7.1f} us vs matmul "
+                    f"{row['matmul_us']:7.1f} us "
+                    f"({row['matmul_speedup']:.2f}x)"
+                )
+            result["dense_demand"] = bench_dense_demand(
+                task, features, timing_repeats
+            )
+            dd = result["dense_demand"]
+            print(
+                f"dense demand (no feedback, B={BATCH_SIZE}): gathered "
+                f"{dd['gathered_reference']['utterances_per_sec']:.1f} utt/s "
+                f"vs blas {dd['blas']['utterances_per_sec']:.1f} utt/s "
+                f"({dd['speedup']:.2f}x, word-identical: "
+                f"{dd['word_identical']})"
+            )
 
-    # Headline: the reference (serving) configuration, plus the
-    # fast-mode batch figure the four-layer serving story rides on.
+    # Headline: the reference (serving) configuration, the fast-mode
+    # batch figure the four-layer serving story rides on, and the
+    # matmul-vs-gathered dense-demand figure (both backends at batch 8,
+    # full senone demand).
     report["speedup"] = report["modes"]["reference"]["speedup"]
     report["continuous_speedup"] = (
         report["modes"]["reference"]["continuous_vs_drain"]["speedup"]
     )
     report["fast_batch_speedup"] = report["modes"]["fast"]["speedup"]
+    report["blas_batch_speedup"] = (
+        report["modes"]["blas"]["dense_demand"]["speedup"]
+    )
     report["word_identical"] = all(
         m["word_identical"] and m["continuous_vs_drain"]["word_identical"]
         for m in report["modes"].values()
-    )
+    ) and report["modes"]["blas"]["dense_demand"]["word_identical"]
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {out_path}")
+    print(
+        f"blas batch-8 vs gathered reference batch-8 (dense demand): "
+        f"{report['blas_batch_speedup']:.2f}x"
+    )
     ok = (
         report["speedup"] >= 3.0
         and report["continuous_speedup"] >= 1.2
         and report["fast_batch_speedup"] >= 2.0
+        and report["blas_batch_speedup"] >= 1.5
         and report["word_identical"]
     )
     print(
         "PASS" if ok else "BELOW TARGET",
         "- target: >= 3x batch, >= 1.2x continuous, >= 2x fast batch, "
-        "word-identical",
+        ">= 1.5x blas batch vs gathered reference, word-identical",
     )
     return 0 if ok else 1
 

@@ -108,6 +108,15 @@ class GaussianTable:
       ``delta = -1/(2 sigma^2)`` (negative values)
     * ``offsets`` — shape (senones, components); holds ``C_jk`` =
       log mixture weight + Gaussian normalisation
+
+    Storage is senone-major: the canonical array is ``packed``, one
+    C-contiguous ``(senones, components, 2*dim + 1)`` block holding
+    ``[means | precisions | offset]`` per mixture row — the layout the
+    flash DMA streams, and the one that makes the per-frame active-set
+    gather touch a single contiguous block per senone.  ``means``,
+    ``precisions`` and ``offsets`` are views into it, so the values
+    (and every score computed from them) are bit-identical to the
+    previous three-array layout.
     """
 
     means: np.ndarray
@@ -116,22 +125,30 @@ class GaussianTable:
     storage_format: FloatFormat = IEEE_SINGLE
 
     def __post_init__(self) -> None:
-        self.means = np.asarray(self.means, dtype=np.float32)
-        self.precisions = np.asarray(self.precisions, dtype=np.float32)
-        self.offsets = np.asarray(self.offsets, dtype=np.float32)
-        if self.means.ndim != 3:
-            raise ValueError(f"means must be 3-D, got shape {self.means.shape}")
-        if self.precisions.shape != self.means.shape:
+        means = np.asarray(self.means, dtype=np.float32)
+        precisions = np.asarray(self.precisions, dtype=np.float32)
+        offsets = np.asarray(self.offsets, dtype=np.float32)
+        if means.ndim != 3:
+            raise ValueError(f"means must be 3-D, got shape {means.shape}")
+        if precisions.shape != means.shape:
             raise ValueError(
-                f"precisions shape {self.precisions.shape} != means {self.means.shape}"
+                f"precisions shape {precisions.shape} != means {means.shape}"
             )
-        expected = self.means.shape[:2]
-        if self.offsets.shape != expected:
+        expected = means.shape[:2]
+        if offsets.shape != expected:
             raise ValueError(
-                f"offsets shape {self.offsets.shape} != {expected}"
+                f"offsets shape {offsets.shape} != {expected}"
             )
-        if np.any(self.precisions > 0):
+        if np.any(precisions > 0):
             raise ValueError("precisions must be <= 0 (delta = -1/(2 sigma^2))")
+        n, m, dim = means.shape
+        self.packed = np.empty((n, m, 2 * dim + 1), dtype=np.float32)
+        self.packed[..., :dim] = means
+        self.packed[..., dim : 2 * dim] = precisions
+        self.packed[..., 2 * dim] = offsets
+        self.means = self.packed[..., :dim]
+        self.precisions = self.packed[..., dim : 2 * dim]
+        self.offsets = self.packed[..., 2 * dim]
 
     @property
     def num_senones(self) -> int:
@@ -393,14 +410,18 @@ class OpUnit:
         difference times precision, a float32 dimension reduction, the
         SWA offset, then the serial SRAM logadd fold — so scores are
         bit-identical however work items are pooled.  Only the
-        parameter gathers allocate; every intermediate reuses them.
+        parameter gather allocates; every intermediate reuses it.  The
+        gather is ONE take over the senone-major ``packed`` block, so
+        each work item's parameters arrive as one contiguous run.
         """
-        work = table.means.take(idx, axis=0)  # (n, M, L)
+        dim = table.feature_dim
+        blk = table.packed.take(idx, axis=0)  # (n, M, 2L+1)
+        work = blk[..., :dim]  # means view; rows are contiguous
         np.subtract(feature_rows, work, out=work)  # diff
         np.multiply(work, work, out=work)  # diff^2
-        np.multiply(work, table.precisions.take(idx, axis=0), out=work)  # terms
+        np.multiply(work, blk[..., dim : 2 * dim], out=work)  # terms
         comp = work.sum(axis=2, dtype=np.float32)  # (n, M)
-        np.add(comp, table.offsets.take(idx, axis=0), out=comp)
+        np.add(comp, blk[..., 2 * dim], out=comp)
         return self.logadd.logadd_fold(comp)
 
     def _account_block(self, table: GaussianTable, n: int) -> tuple[int, float]:

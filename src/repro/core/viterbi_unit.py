@@ -83,6 +83,23 @@ class ViterbiUnit:
         self._transitions = 0
         self._columns = 0
         self._bank_cache: dict | None = None
+        self._chain_scratch: dict | None = None
+
+    def _chain_buffers(self, k: int) -> dict:
+        """Per-step work arrays for :meth:`update_chain`, reused across
+        frames (reallocated only when the state count changes)."""
+        scratch = self._chain_scratch
+        if scratch is None or scratch["k"] != k:
+            scratch = self._chain_scratch = {
+                "k": k,
+                "best": np.empty(k, dtype=np.float32),
+                "from_prev": np.empty(k, dtype=np.float32),
+                "enter": np.empty(k, dtype=np.float32),
+                "delta": np.empty(k, dtype=np.float32),
+                "mask": np.empty(k, dtype=bool),
+                "backptr": np.empty(k, dtype=np.int8),
+            }
+        return scratch
 
     @property
     def cycles_busy(self) -> int:
@@ -227,7 +244,11 @@ class ViterbiUnit:
         -------
         ChainUpdateResult
             New deltas, backpointer codes (``BP_SELF``, ``BP_FORWARD``,
-            ``BP_ENTRY``), cycles consumed and transition count.
+            ``BP_ENTRY``), cycles consumed and transition count.  The
+            ``delta`` and ``backpointer`` arrays are unit-owned scratch
+            buffers reused every step (allocation-free frame loop);
+            consume or copy them before the next chain update on this
+            unit — both decoder frame loops already do.
         """
         prev = np.asarray(prev_delta, dtype=np.float32)
         k = prev.shape[0]
@@ -243,29 +264,38 @@ class ViterbiUnit:
             starts = np.asarray(chain_start, dtype=bool)
             if starts.shape != (k,):
                 raise ValueError(f"chain_start shape {starts.shape} != ({k},)")
-        stay = prev + self_lp
-        from_prev = np.empty(k, dtype=np.float32)
+        # Every op below is the float32 sequence of the original
+        # allocating implementation, landed in preallocated buffers;
+        # ``prev`` is fully consumed before the single write to the
+        # delta buffer, so even ``prev is result.delta`` is safe.
+        scratch = self._chain_buffers(k)
+        best = scratch["best"]
+        np.add(prev, self_lp, out=best)  # stay
+        from_prev = scratch["from_prev"]
         from_prev[0] = LOG_ZERO
         if k > 1:
-            from_prev[1:] = prev[:-1] + fwd_lp[:-1]
+            np.add(prev[:-1], fwd_lp[:-1], out=from_prev[1:])
         from_prev[starts] = LOG_ZERO
+        enter = scratch["enter"]
+        enter.fill(LOG_ZERO)
         if entry_scores is not None:
             entry = np.asarray(entry_scores, dtype=np.float32)
             if entry.shape != (k,):
                 raise ValueError(f"entry_scores shape {entry.shape} != ({k},)")
-            enter = np.where(starts, entry, np.float32(LOG_ZERO))
-        else:
-            enter = np.full(k, LOG_ZERO, dtype=np.float32)
-        best = stay
-        backptr = np.full(k, BP_SELF, dtype=np.int8)
-        better_fwd = from_prev > best
-        best = np.where(better_fwd, from_prev, best)
-        backptr[better_fwd] = BP_FORWARD
-        better_entry = enter > best
-        best = np.where(better_entry, enter, best)
-        backptr[better_entry] = BP_ENTRY
-        new_delta = (best + obs).astype(np.float32)
-        new_delta[best <= np.float32(LOG_ZERO)] = LOG_ZERO
+            np.copyto(enter, entry, where=starts)
+        backptr = scratch["backptr"]
+        backptr.fill(BP_SELF)
+        mask = scratch["mask"]
+        np.greater(from_prev, best, out=mask)
+        np.copyto(best, from_prev, where=mask)
+        backptr[mask] = BP_FORWARD
+        np.greater(enter, best, out=mask)
+        np.copyto(best, enter, where=mask)
+        backptr[mask] = BP_ENTRY
+        new_delta = scratch["delta"]
+        np.add(best, obs, out=new_delta)
+        np.less_equal(best, np.float32(LOG_ZERO), out=mask)
+        new_delta[mask] = LOG_ZERO
         # Activity: every state consumes a self arc and (if not a chain
         # start) a forward arc; entry candidates add one more compare.
         transitions = int(k + np.count_nonzero(~starts))

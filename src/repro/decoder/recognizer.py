@@ -9,7 +9,11 @@ over a chosen scoring backend:
 * ``mode="hardware"`` — senone scores flow through the OP-unit models
   (quantized parameters, logadd SRAM) and chain updates through the
   Viterbi-unit model, with cycles/activity/bandwidth accounted;
-* ``mode="fast"`` — the four-layer fast-GMM scorer (ablation A1).
+* ``mode="fast"`` — the four-layer fast-GMM scorer (ablation A1);
+* ``mode="blas"`` — matmul-form scoring: the Gaussian quadratic form
+  expanded into dense products against stacked senone-major tables
+  (``exact=False`` — words match the reference decode, scores agree
+  within :data:`~repro.decoder.scorer.BLAS_SCORE_ATOL`).
 
 The recognizer is reusable across utterances; per-utterance state is
 reset at each :meth:`Recognizer.decode`.
@@ -27,7 +31,12 @@ from repro.decoder.best_path import BestPath, find_best_path
 from repro.decoder.fast_gmm import FastGmmConfig, FastGmmScorer, FastGmmStats
 from repro.decoder.network import FlatLexiconNetwork
 from repro.decoder.phone_decode import PhoneDecodeStage
-from repro.decoder.scorer import HardwareScorer, ReferenceScorer, ScoringStats
+from repro.decoder.scorer import (
+    BlasScorer,
+    HardwareScorer,
+    ReferenceScorer,
+    ScoringStats,
+)
 from repro.decoder.word_decode import DecoderConfig, FrameStats, WordDecodeStage
 from repro.hmm.senone import SenonePool
 from repro.hmm.topology import HmmTopology
@@ -108,6 +117,8 @@ class RecognitionResult:
 class Recognizer:
     """Facade over the staged decoder (see module docstring)."""
 
+    SUPPORTED_MODES = ("reference", "hardware", "fast", "blas")
+
     def __init__(
         self,
         network: FlatLexiconNetwork,
@@ -121,8 +132,11 @@ class Recognizer:
         fast_config: FastGmmConfig | None = None,
         frame_period_s: float = 0.010,
     ) -> None:
-        if mode not in ("reference", "hardware", "fast"):
-            raise ValueError(f"unknown mode {mode!r}")
+        if mode not in self.SUPPORTED_MODES:
+            supported = ", ".join(repr(m) for m in self.SUPPORTED_MODES)
+            raise ValueError(
+                f"unknown mode {mode!r}; supported modes: {supported}"
+            )
         validate_decoder_models(network, pool, lm)
         self.network = network
         self.pool = pool
@@ -147,6 +161,8 @@ class Recognizer:
             scorer = FastGmmScorer(
                 self._storage_pool(), tying=tying, config=fast_config
             )
+        elif mode == "blas":
+            scorer = BlasScorer(self._storage_pool())
         else:
             scorer = ReferenceScorer(self._storage_pool())
         self.scorer = scorer
@@ -186,8 +202,9 @@ class Recognizer:
 
         Shares the compiled network and models (including the fast-GMM
         model in fast mode); decodes B utterances frame-synchronously
-        with outputs identical to sequential :meth:`decode` calls in
-        every mode (reference, hardware and fast).
+        with outputs bit-identical to sequential :meth:`decode` calls
+        in every exact mode (reference, hardware and fast), and
+        word-identical with rounding-tolerance scores in blas mode.
         """
         from repro.runtime.batch import BatchRecognizer
 
@@ -200,8 +217,10 @@ class Recognizer:
         model in fast mode); serves an utterance queue with mid-decode
         lane refill
         (:meth:`~repro.runtime.continuous.ContinuousBatchRecognizer.decode_stream`),
-        each utterance's output identical to sequential :meth:`decode`
-        in every mode (reference, hardware and fast).
+        each utterance's output bit-identical to sequential
+        :meth:`decode` in every exact mode (reference, hardware and
+        fast), and word-identical with rounding-tolerance scores in
+        blas mode.
         """
         from repro.runtime.continuous import ContinuousBatchRecognizer
 

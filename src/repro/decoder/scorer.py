@@ -12,7 +12,14 @@ backends satisfy that contract:
   bandwidth and activity accounting;
 * :class:`~repro.decoder.fast_gmm.FastGmmScorer` — wraps either of the
   above with the four-layer fast-GMM scheme (defined in its own
-  module).
+  module);
+* :class:`BlasScorer` — matmul-form scoring: the quadratic form is
+  expanded into two dense products against stacked senone-major
+  tables (:meth:`~repro.hmm.senone.SenonePool.score_block_blas`).
+  Word outputs match the reference decode; scores agree only to
+  rounding (``exact = False``, tolerance :data:`BLAS_SCORE_ATOL`)
+  because the dot-product summation order differs from the reference
+  elementwise fold.
 
 All backends return a dense ``(num_senones,)`` array holding real
 scores at the requested indices and ``LOG_ZERO`` elsewhere, and track
@@ -28,11 +35,26 @@ import numpy as np
 
 from repro.core.opunit import GaussianTable, OpUnit
 from repro.core.scratch import DenseScratch
-from repro.hmm.senone import SenonePool
+from repro.hmm.senone import BLAS_FULL_TABLE_ELEMENTS, SenonePool
 
-__all__ = ["SenoneScorer", "ScoringStats", "ReferenceScorer", "HardwareScorer", "LOG_ZERO"]
+__all__ = [
+    "SenoneScorer",
+    "ScoringStats",
+    "ReferenceScorer",
+    "HardwareScorer",
+    "BlasScorer",
+    "LOG_ZERO",
+    "BLAS_SCORE_ATOL",
+]
 
 LOG_ZERO = -1.0e30
+
+#: Documented absolute tolerance between matmul-form (``mode="blas"``)
+#: and reference scores.  Both are float64 over the same parameters;
+#: only the summation order of the quadratic form differs, so the
+#: drift is rounding-level — orders of magnitude below this bound,
+#: which the parity suite pins.
+BLAS_SCORE_ATOL = 1e-6
 
 
 @dataclass
@@ -171,3 +193,101 @@ class HardwareScorer:
         self.frame_critical_cycles = []
         for unit in self.units:
             unit.reset_counters()
+
+
+class BlasScorer:
+    """Matmul-form (BLAS) sequential scorer.
+
+    Scores a frame's active set through two dense products against
+    the stacked senone-major tables plus a vectorized log-sum-exp
+    fold, instead of the reference backend's gathered elementwise
+    kernel.  Pools whose full table fits ``full_table_elements``
+    stream the WHOLE table through one pair of products and fold only
+    the requested senones
+    (:meth:`~repro.hmm.senone.SenonePool.score_pairs_blas` — cheapest
+    at small scale, where dispatch dominates); larger pools gather the
+    requested senone-major row blocks first
+    (:meth:`~repro.hmm.senone.SenonePool.score_block_blas`), so a
+    paper-scale pool never streams 10x the demanded parameters.
+    Demand sets smaller than ``dense_threshold`` senones or below
+    ``min_density`` pool coverage fall back to the gathered reference
+    kernel (:meth:`~repro.hmm.senone.SenonePool.score_senones`): there
+    the dense products cannot win.
+
+    ``exact = False``: words match the reference decode, scores agree
+    within :data:`BLAS_SCORE_ATOL` (summation-order rounding only).
+    ``dense_frames`` / ``fallback_frames`` count which kernel served
+    each frame.
+    """
+
+    exact = False
+
+    #: Table sizes (senones x components x dims) up to this many
+    #: elements score through the full-table products; bigger pools
+    #: gather the requested subset instead.  Shared with the pooled
+    #: backend via :data:`repro.hmm.senone.BLAS_FULL_TABLE_ELEMENTS`.
+    FULL_TABLE_ELEMENTS = BLAS_FULL_TABLE_ELEMENTS
+
+    def __init__(
+        self,
+        pool: SenonePool,
+        dense_threshold: int = 16,
+        min_density: float = 0.1,
+        full_table_elements: int | None = None,
+    ) -> None:
+        if dense_threshold < 0:
+            raise ValueError(
+                f"dense_threshold must be >= 0, got {dense_threshold}"
+            )
+        if not 0.0 <= min_density <= 1.0:
+            raise ValueError(
+                f"min_density must be in [0, 1], got {min_density}"
+            )
+        self.pool = pool
+        self.dense_threshold = dense_threshold
+        self.min_density = min_density
+        self.num_senones = pool.num_senones
+        self.stats = ScoringStats(senone_budget=pool.num_senones)
+        self.dense_frames = 0
+        self.fallback_frames = 0
+        if full_table_elements is None:
+            full_table_elements = self.FULL_TABLE_ELEMENTS
+        self._full_table = (
+            pool.num_senones * pool.num_components * pool.dim
+            <= full_table_elements
+        )
+        self._out = DenseScratch(pool.num_senones, LOG_ZERO)
+        pool.blas_tables()  # build once up front, not on the first frame
+
+    def score(
+        self, frame_index: int, observation: np.ndarray, senones: np.ndarray
+    ) -> np.ndarray:
+        senones = np.asarray(senones, dtype=np.int64)
+        self.stats.record(int(senones.size))
+        out = self._out.clean()
+        if senones.size == 0:
+            return out
+        obs = np.asarray(observation, dtype=np.float64)
+        if (
+            senones.size < self.dense_threshold
+            or senones.size < self.min_density * self.num_senones
+        ):
+            self.fallback_frames += 1
+            compact = self.pool.score_senones(obs, senones)
+        elif self._full_table:
+            self.dense_frames += 1
+            compact = self.pool.score_pairs_blas(
+                obs[None, :], np.zeros(senones.size, dtype=np.int64), senones
+            )
+        else:
+            self.dense_frames += 1
+            compact = self.pool.score_block_blas(obs[None, :], senones)[0]
+        compact[np.isneginf(compact)] = LOG_ZERO
+        out[senones] = compact
+        self._out.publish(senones)
+        return out
+
+    def reset(self) -> None:
+        self.stats = ScoringStats(senone_budget=self.num_senones)
+        self.dense_frames = 0
+        self.fallback_frames = 0

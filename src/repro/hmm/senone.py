@@ -13,6 +13,8 @@ paper's memory arithmetic: 6000 senones x 8 components x (39 means +
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.opunit import GaussianTable
@@ -24,7 +26,42 @@ from repro.hmm.gaussian import (
 from repro.hmm.gmm import GaussianMixture
 from repro.quant.float_formats import IEEE_SINGLE, FloatFormat
 
-__all__ = ["SenonePool"]
+__all__ = ["SenonePool", "BlasTables", "BLAS_FULL_TABLE_ELEMENTS"]
+
+#: Table sizes (senones x components x dims) up to this many elements
+#: are cheapest to score by streaming the WHOLE stacked table through
+#: the dense products (dispatch dominates at small scale); bigger
+#: pools should gather the demanded senone-major row blocks first.
+#: Single-sourced here so the sequential and pooled blas scorers can
+#: never disagree about which kernel serves a given pool.
+BLAS_FULL_TABLE_ELEMENTS = 262_144
+
+
+@dataclass(frozen=True)
+class BlasTables:
+    """Senone-major stacked tables for matmul-form (BLAS) scoring.
+
+    Expanding the diagonal-Gaussian quadratic form
+
+        -1/2 sum_i (x_i - mu_i)^2 / sigma_i^2
+            = -1/2 sum_i x_i^2 p_i  +  sum_i x_i (mu_i p_i)
+              - 1/2 sum_i mu_i^2 p_i          with  p = 1/sigma^2
+
+    turns per-frame scoring into two dense products against fixed
+    matrices: ``obs^2 @ prec.T`` and ``obs @ mu_prec.T``, plus a
+    per-mixture constant that folds the Gaussian normalizer, the log
+    mixture weight and the ``mu^2`` term.  Rows are senone-major
+    (senone index slowest, mixture fastest) and C-contiguous, so the
+    active-set gather touches one contiguous block per senone and the
+    products hit BLAS directly.
+    """
+
+    #: ``1 / sigma^2`` — shape (N*M, L), C-contiguous, senone-major.
+    prec: np.ndarray
+    #: ``mu / sigma^2`` — shape (N*M, L), C-contiguous, senone-major.
+    mu_prec: np.ndarray
+    #: ``log w + log normalizer - 1/2 sum mu^2/sigma^2`` — shape (N, M).
+    const: np.ndarray
 
 
 class SenonePool:
@@ -70,6 +107,7 @@ class SenonePool:
         # training/adaptation build new pools).
         self._precisions = precision_halves(self.variances)
         self._log_norm = log_normalizer(self.variances)
+        self._blas: BlasTables | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -161,6 +199,126 @@ class SenonePool:
         np.log(acc, out=acc)
         np.add(peak, acc, out=acc)
         return acc
+
+    # ------------------------------------------------------------------
+    # Matmul-form (BLAS) scoring
+    # ------------------------------------------------------------------
+    def blas_tables(self) -> BlasTables:
+        """The stacked senone-major tables for matmul-form scoring.
+
+        Built lazily on first use (the exact backends never pay for
+        them) and cached — parameters are immutable after construction,
+        so the tables are too.
+        """
+        if self._blas is None:
+            n, m, dim = self.num_senones, self.num_components, self.dim
+            prec = np.ascontiguousarray(
+                (1.0 / self.variances).reshape(n * m, dim)
+            )
+            mu_prec = np.ascontiguousarray(
+                (self.means / self.variances).reshape(n * m, dim)
+            )
+            const = (
+                self._log_norm
+                + self._log_weights
+                - 0.5 * (self.means * self.means / self.variances).sum(axis=-1)
+            )
+            self._blas = BlasTables(prec=prec, mu_prec=mu_prec, const=const)
+        return self._blas
+
+    @staticmethod
+    def _dense_quadratic(
+        obs: np.ndarray, prec: np.ndarray, mu_prec: np.ndarray
+    ) -> np.ndarray:
+        """``-1/2 (obs^2 @ prec.T) + obs @ mu_prec.T`` — the shared
+        dense-product core of both matmul-form entry points (one
+        numerics definition, so a future format change cannot split
+        them)."""
+        comp = (obs * obs) @ prec.T
+        comp *= -0.5
+        comp += obs @ mu_prec.T
+        return comp
+
+    def score_block_blas(
+        self, observations: np.ndarray, senones: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Dense matmul-form scores: shape ``(B, len(senones))``.
+
+        Every observation row is scored against every requested senone
+        through two dense products (``obs^2 @ prec.T`` and
+        ``obs @ mu_prec.T``) and a vectorized log-sum-exp mixture fold.
+        ``senones=None`` scores the full pool with no gather at all.
+
+        The float summation order inside the dot products differs from
+        :meth:`score_senones`'s elementwise fold, so results agree with
+        the reference backend only to rounding (the ``mode="blas"``
+        backends document this as ``exact=False``); the values are
+        otherwise the same log-likelihoods.
+        """
+        obs = np.asarray(observations, dtype=np.float64)
+        if obs.ndim != 2 or obs.shape[1] != self.dim:
+            raise ValueError(f"observations must be (B, {self.dim}), got {obs.shape}")
+        tables = self.blas_tables()
+        m = self.num_components
+        if senones is None:
+            prec, mu_prec, const = tables.prec, tables.mu_prec, tables.const
+            count = self.num_senones
+        else:
+            idx = np.asarray(senones, dtype=np.int64)
+            if idx.size and (idx.min() < 0 or idx.max() >= self.num_senones):
+                raise IndexError("senone index out of range")
+            count = int(idx.size)
+            if count == 0:
+                return np.empty((obs.shape[0], 0))
+            # One senone-major row gather per table: rows of senone s
+            # are the contiguous block [s*M, (s+1)*M).
+            rows = (idx[:, None] * m + np.arange(m)).ravel()
+            prec = tables.prec.take(rows, axis=0)
+            mu_prec = tables.mu_prec.take(rows, axis=0)
+            const = tables.const.take(idx, axis=0)
+        # The two dense products the whole mode exists for, then a
+        # stable log-sum-exp mixture fold (one ufunc reduction).
+        comp = self._dense_quadratic(obs, prec, mu_prec)
+        comp = comp.reshape(obs.shape[0], count, m)
+        comp += const.reshape(1, count, m)
+        return np.logaddexp.reduce(comp, axis=-1)
+
+    def score_pairs_blas(
+        self,
+        observations: np.ndarray,
+        pair_rows: np.ndarray,
+        pair_senones: np.ndarray,
+    ) -> np.ndarray:
+        """Matmul-form scores for explicit (row, senone) work items.
+
+        The dense twin of :meth:`score_pairs`, shaped for the batched
+        runtime's pooled demand: the two dense products cover EVERY
+        (row, senone) cell of the full pool, but the mixture constant
+        add and the log-sum-exp fold touch only the ``P`` requested
+        pairs — with per-step demand well below the full grid, the
+        fold (the transcendental-heavy part) scales with ``P`` while
+        the matmuls stay one BLAS call each.  Same ``exact=False``
+        contract as :meth:`score_block_blas`.
+        """
+        obs = np.asarray(observations, dtype=np.float64)
+        if obs.ndim != 2 or obs.shape[1] != self.dim:
+            raise ValueError(f"observations must be (B, {self.dim}), got {obs.shape}")
+        rows = np.asarray(pair_rows, dtype=np.int64)
+        idx = np.asarray(pair_senones, dtype=np.int64)
+        if rows.shape != idx.shape:
+            raise ValueError(f"pair shapes differ: {rows.shape} vs {idx.shape}")
+        if idx.size == 0:
+            return np.empty(0)
+        if idx.min() < 0 or idx.max() >= self.num_senones:
+            raise IndexError("pair senone index out of range")
+        if rows.min() < 0 or rows.max() >= obs.shape[0]:
+            raise IndexError("pair feature row out of range")
+        tables = self.blas_tables()
+        m = self.num_components
+        comp = self._dense_quadratic(obs, tables.prec, tables.mu_prec)
+        items = comp.reshape(obs.shape[0], self.num_senones, m)[rows, idx]
+        items += tables.const[idx]
+        return np.logaddexp.reduce(items, axis=-1)
 
     def score_frame(
         self, observation: np.ndarray, senones: np.ndarray | None = None

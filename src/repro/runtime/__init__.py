@@ -16,7 +16,9 @@ one pooled senone evaluation and one chain update per step):
 Both produce per-utterance outputs bit-identical to sequential
 :meth:`~repro.decoder.recognizer.Recognizer.decode` in reference,
 hardware and fast modes (see ``tests/test_golden_parity.py`` and
-``tests/test_runtime_fast.py``).
+``tests/test_runtime_fast.py``); the matmul-form ``blas`` mode is
+word-identical with rounding-tolerance scores
+(``tests/test_runtime_blas.py``).
 """
 
 from repro.runtime.batch import BatchDecodeResult, BatchRecognizer, LaneBank
@@ -25,6 +27,7 @@ from repro.runtime.continuous import (
     ContinuousDecodeResult,
 )
 from repro.runtime.scoring import (
+    BatchBlasScorer,
     BatchFastGmmScorer,
     BatchHardwareScorer,
     BatchReferenceScorer,
@@ -40,5 +43,6 @@ __all__ = [
     "BatchReferenceScorer",
     "BatchHardwareScorer",
     "BatchFastGmmScorer",
+    "BatchBlasScorer",
     "BatchScoringBackend",
 ]

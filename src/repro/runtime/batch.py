@@ -73,6 +73,7 @@ from repro.lexicon.triphone import SenoneTying
 from repro.lm.ngram import NGramModel
 from repro.quant.float_formats import IEEE_SINGLE, FloatFormat
 from repro.runtime.scoring import (
+    BatchBlasScorer,
     BatchFastGmmScorer,
     BatchHardwareScorer,
     BatchReferenceScorer,
@@ -520,15 +521,17 @@ class BatchRecognizer:
     Parameters mirror :class:`~repro.decoder.recognizer.Recognizer`;
     supported modes are :data:`SUPPORTED_MODES` — ``"reference"``
     (double precision), ``"hardware"`` (quantized parameters, logadd
-    SRAM, Viterbi unit) and ``"fast"`` (the four-layer fast-GMM scheme
+    SRAM, Viterbi unit), ``"fast"`` (the four-layer fast-GMM scheme
     with per-lane selection state; pass ``tying`` for CI selection and
-    ``fast_config`` for the layer thresholds).  The recognizer is
-    reusable: each :meth:`decode_batch` call is an independent batch,
-    and batches of any size (including 1) produce sequential-identical
-    outputs.
+    ``fast_config`` for the layer thresholds) and ``"blas"``
+    (matmul-form pooled scoring; ``exact=False`` — words match the
+    reference decode, scores to rounding tolerance).  The recognizer
+    is reusable: each :meth:`decode_batch` call is an independent
+    batch, and batches of any size (including 1) produce
+    sequential-identical outputs.
     """
 
-    SUPPORTED_MODES = ("reference", "hardware", "fast")
+    SUPPORTED_MODES = ("reference", "hardware", "fast", "blas")
 
     def __init__(
         self,
@@ -577,6 +580,10 @@ class BatchRecognizer:
                     config=fast_config,
                 )
             self.scorer = BatchFastGmmScorer(fast_model)
+        elif mode == "blas":
+            self.scorer = BatchBlasScorer(
+                resolve_storage_pool(pool, storage_format)
+            )
         else:
             self.scorer = BatchReferenceScorer(
                 resolve_storage_pool(pool, storage_format)

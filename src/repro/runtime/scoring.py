@@ -10,7 +10,11 @@ exact sequence of the sequential backends (see
 :meth:`repro.hmm.senone.SenonePool.score_pairs`,
 :meth:`repro.core.opunit.OpUnit.score_pairs` and
 :meth:`repro.decoder.fast_gmm.FastGmmModel.score_requests`), so
-pooling changes no utterance's scores by a single bit.
+pooling changes no utterance's scores by a single bit.  The one
+deliberate exception is :class:`BatchBlasScorer` (``mode="blas"``),
+which recasts the pooled pass as dense matrix products — words still
+match the reference decode, but scores agree only to rounding
+(``exact = False``).
 
 Because each work item is self-contained, the pooled pass is also
 indifferent to WHICH lanes contribute items: drained batches, ragged
@@ -36,13 +40,14 @@ import numpy as np
 
 from repro.core.opunit import GaussianTable, OpUnit
 from repro.decoder.fast_gmm import FastGmmLaneState, FastGmmModel, FastGmmStats
-from repro.hmm.senone import SenonePool
+from repro.hmm.senone import BLAS_FULL_TABLE_ELEMENTS, SenonePool
 
 __all__ = [
     "BatchScoringBackend",
     "BatchReferenceScorer",
     "BatchHardwareScorer",
     "BatchFastGmmScorer",
+    "BatchBlasScorer",
     "LOG_ZERO",
 ]
 
@@ -184,6 +189,120 @@ class BatchHardwareScorer(_StatelessLaneMixin):
         self.frame_critical_cycles = []
         for unit in self.units:
             unit.reset_counters()
+
+
+class BatchBlasScorer(_StatelessLaneMixin):
+    """Pooled matmul-form (BLAS) scoring for the batched runtimes.
+
+    Instead of gathering per-(row, senone) parameter blocks, the whole
+    step's demand is served DENSELY.  Pools whose full table fits
+    ``full_table_elements`` stream the WHOLE stacked tables through
+    one pair of products, with the mixture-constant add and
+    log-sum-exp fold touching only the requested pairs
+    (:meth:`~repro.hmm.senone.SenonePool.score_pairs_blas`); larger
+    pools first gather the demanded senones' senone-major row blocks
+    and run the products on the union
+    (:meth:`~repro.hmm.senone.SenonePool.score_block_blas`), so a
+    paper-scale pool never streams parameters nobody asked for.  The
+    matmuls compute ``rows x union`` quadratic forms to answer ``P``
+    work items, so the dense kernel only wins when the demand covers
+    enough of that grid; steps below ``min_pairs`` items or below
+    ``min_density`` grid coverage fall back to the gathered kernel
+    (:meth:`~repro.hmm.senone.SenonePool.score_pairs`).
+    ``dense_steps`` / ``fallback_steps`` count which kernel served
+    each step.
+
+    Like the reference backend the scorer is stateless per lane (the
+    no-op lifecycle), so any batch composition, retirement pattern or
+    continuous refill order presents the same contract.  ``exact =
+    False``: words match the reference decode, scores agree within
+    :data:`~repro.decoder.scorer.BLAS_SCORE_ATOL` (dot-product
+    summation order only; both kernels are float64 over the same
+    parameters).
+    """
+
+    exact = False
+
+    #: Table sizes (senones x components x dims) up to this many
+    #: elements score through the full-table products; bigger pools
+    #: gather the demanded union first.  Shared with the sequential
+    #: backend via :data:`repro.hmm.senone.BLAS_FULL_TABLE_ELEMENTS`.
+    FULL_TABLE_ELEMENTS = BLAS_FULL_TABLE_ELEMENTS
+
+    def __init__(
+        self,
+        pool: SenonePool,
+        min_pairs: int = 32,
+        min_density: float = 0.25,
+        full_table_elements: int | None = None,
+    ) -> None:
+        if min_pairs < 0:
+            raise ValueError(f"min_pairs must be >= 0, got {min_pairs}")
+        if not 0.0 <= min_density <= 1.0:
+            raise ValueError(
+                f"min_density must be in [0, 1], got {min_density}"
+            )
+        self.pool = pool
+        self.num_senones = pool.num_senones
+        self.min_pairs = min_pairs
+        self.min_density = min_density
+        self.dense_steps = 0
+        self.fallback_steps = 0
+        if full_table_elements is None:
+            full_table_elements = self.FULL_TABLE_ELEMENTS
+        self._full_table = (
+            pool.num_senones * pool.num_components * pool.dim
+            <= full_table_elements
+        )
+        pool.blas_tables()  # build once up front, not on the first step
+
+    def score_pairs(
+        self,
+        observations: np.ndarray,
+        pair_rows: np.ndarray,
+        pair_senones: np.ndarray,
+        lanes: np.ndarray | None = None,
+    ) -> np.ndarray:
+        p = int(pair_senones.size)
+        if p == 0:
+            return np.empty(0)
+        obs = np.asarray(observations, dtype=np.float64)
+        if p < self.min_pairs:
+            self.fallback_steps += 1
+            compact = self.pool.score_pairs(obs, pair_rows, pair_senones)
+            compact[np.isneginf(compact)] = LOG_ZERO
+            return compact
+        # Demanded rows and senone union via masks (no sorts).
+        row_mask = np.zeros(obs.shape[0], dtype=bool)
+        row_mask[pair_rows] = True
+        num_rows = int(np.count_nonzero(row_mask))
+        sen_mask = np.zeros(self.num_senones, dtype=bool)
+        sen_mask[pair_senones] = True
+        union_size = int(np.count_nonzero(sen_mask))
+        if p < self.min_density * num_rows * union_size:
+            self.fallback_steps += 1
+            compact = self.pool.score_pairs(obs, pair_rows, pair_senones)
+        else:
+            self.dense_steps += 1
+            rows = np.flatnonzero(row_mask)
+            row_pos = np.empty(obs.shape[0], dtype=np.int64)
+            row_pos[rows] = np.arange(rows.size)
+            if self._full_table:
+                compact = self.pool.score_pairs_blas(
+                    obs[rows], row_pos[pair_rows], pair_senones
+                )
+            else:
+                union = np.flatnonzero(sen_mask)
+                col_pos = np.empty(self.num_senones, dtype=np.int64)
+                col_pos[union] = np.arange(union_size)
+                dense = self.pool.score_block_blas(obs[rows], union)
+                compact = dense[row_pos[pair_rows], col_pos[pair_senones]]
+        compact[np.isneginf(compact)] = LOG_ZERO
+        return compact
+
+    def reset(self) -> None:
+        self.dense_steps = 0
+        self.fallback_steps = 0
 
 
 class BatchFastGmmScorer:

@@ -111,6 +111,57 @@ class TestBatchGolden:
             _assert_matches_golden(lane, expected)
 
 
+class TestBlasGolden:
+    """The ``exact=False`` matmul-form mode vs the REFERENCE fixtures.
+
+    ``mode="blas"`` must reproduce the committed reference decode's
+    words exactly, with path scores within the documented tolerance
+    (:data:`~repro.decoder.scorer.BLAS_SCORE_ATOL`), in all three
+    runtimes — the acceptance contract of the BLAS backend.
+    """
+
+    @pytest.fixture(scope="class")
+    def blas_golden(self, golden_task):
+        from repro.decoder.recognizer import Recognizer
+
+        fixture = _load("reference")
+        rec = Recognizer.create(
+            golden_task.dictionary, golden_task.pool, golden_task.lm,
+            golden_task.tying, mode="blas",
+        )
+        feats = [
+            golden_task.corpus.test[u["index"]].features
+            for u in fixture["utterances"]
+        ]
+        return rec, fixture, feats
+
+    def _assert_blas_matches(self, result, expected):
+        from repro.decoder.scorer import BLAS_SCORE_ATOL
+
+        assert result.words == tuple(expected["words"])
+        assert result.frames == expected["frames"]
+        reference_score = float.fromhex(expected["score_hex"])
+        assert abs(result.score - reference_score) <= BLAS_SCORE_ATOL
+
+    def test_sequential_blas_matches_reference_golden(self, blas_golden):
+        rec, fixture, feats = blas_golden
+        for expected, f in zip(fixture["utterances"], feats):
+            self._assert_blas_matches(rec.decode(f), expected)
+
+    def test_batch_blas_matches_reference_golden(self, blas_golden):
+        rec, fixture, feats = blas_golden
+        result = rec.as_batch().decode_batch(feats)
+        for expected, lane in zip(fixture["utterances"], result):
+            self._assert_blas_matches(lane, expected)
+
+    def test_continuous_blas_matches_reference_golden(self, blas_golden):
+        rec, fixture, feats = blas_golden
+        result = rec.as_continuous().decode_stream(feats, max_lanes=2)
+        assert max(result.admit_steps) > 0  # refill actually happened
+        for expected, lane in zip(fixture["utterances"], result):
+            self._assert_blas_matches(lane, expected)
+
+
 class TestContinuousGolden:
     def test_continuous_stream_matches_golden(self, golden):
         """Few lanes + ragged lengths forces mid-decode refill."""

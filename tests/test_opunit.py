@@ -76,6 +76,28 @@ class TestGaussianTable:
         assert narrow.storage_format is MANTISSA_12
         assert narrow.senone_bytes() == table.values_per_senone * 21 / 8
 
+    def test_senone_major_packed_relayout(self, small_pool):
+        """means/precisions/offsets are views into one contiguous block."""
+        table = small_pool.gaussian_table()
+        dim = table.feature_dim
+        assert table.packed.flags["C_CONTIGUOUS"]
+        assert table.packed.shape == (
+            table.num_senones, table.num_components, 2 * dim + 1
+        )
+        for view in (table.means, table.precisions, table.offsets):
+            assert view.base is table.packed
+        np.testing.assert_array_equal(table.packed[..., :dim], table.means)
+        np.testing.assert_array_equal(
+            table.packed[..., dim : 2 * dim], table.precisions
+        )
+        np.testing.assert_array_equal(table.packed[..., 2 * dim], table.offsets)
+
+    def test_packed_relayout_preserves_values(self, small_pool):
+        """Round-tripping the views through a new table changes nothing."""
+        table = small_pool.gaussian_table()
+        rebuilt = GaussianTable(table.means, table.precisions, table.offsets)
+        np.testing.assert_array_equal(rebuilt.packed, table.packed)
+
 
 class TestSerialScoring:
     def test_matches_reference_within_logadd_error(self, small_pool, rng):

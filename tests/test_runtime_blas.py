@@ -1,0 +1,237 @@
+"""Tolerance-parity suite for the matmul-form (BLAS) scoring backend.
+
+``mode="blas"`` recasts Gaussian scoring as dense matrix products, so
+it is the repo's one deliberately ``exact=False`` family: for every
+runtime (sequential, drained batch, continuous) the contract is
+
+* WORDS identical to the sequential reference decode, and
+* SCORES within :data:`~repro.decoder.scorer.BLAS_SCORE_ATOL` of it
+
+across batch sizes 1-8, ragged lengths and continuous arrival orders.
+The sparse-demand fallback (gathered kernel below the density
+threshold) is unit-tested directly against the pooled reference
+kernel.  The command-task acceptance run lives in
+``tests/test_golden_parity.py`` (``TestBlasGolden``), pinned to the
+committed golden fixtures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.decoder.recognizer import Recognizer
+from repro.decoder.scorer import BLAS_SCORE_ATOL, BlasScorer, ReferenceScorer
+from repro.runtime.batch import BatchRecognizer
+from repro.runtime.scoring import BatchBlasScorer
+
+
+@pytest.fixture(scope="module")
+def reference(task):
+    return Recognizer.create(
+        task.dictionary, task.pool, task.lm, task.tying, mode="reference"
+    )
+
+
+@pytest.fixture(scope="module")
+def blas(task):
+    return Recognizer.create(
+        task.dictionary, task.pool, task.lm, task.tying, mode="blas"
+    )
+
+
+@pytest.fixture(scope="module")
+def expected(reference, task):
+    """Sequential reference decodes of every test utterance (the oracle)."""
+    return [reference.decode(u.features) for u in task.corpus.test]
+
+
+def _assert_tolerance_parity(result, oracle):
+    assert result.words == oracle.words
+    assert result.frames == oracle.frames
+    assert abs(result.score - oracle.score) <= BLAS_SCORE_ATOL
+
+
+class TestSequentialBlas:
+    def test_words_match_reference_scores_within_tolerance(
+        self, blas, expected, task
+    ):
+        for utt, oracle in zip(task.corpus.test, expected):
+            _assert_tolerance_parity(blas.decode(utt.features), oracle)
+
+    def test_dense_kernel_served_the_decode(self, blas, task):
+        blas.decode(task.corpus.test[0].features)
+        assert blas.scorer.dense_frames > 0
+
+    def test_documented_as_inexact(self, blas):
+        assert blas.scorer.exact is False
+        assert BlasScorer.exact is False
+        assert BatchBlasScorer.exact is False
+
+    def test_scorer_reset_clears_kernel_counters(self, task):
+        rec = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying, mode="blas"
+        )
+        rec.decode(task.corpus.test[0].features)
+        assert rec.scorer.dense_frames + rec.scorer.fallback_frames > 0
+        rec.scorer.reset()
+        assert rec.scorer.dense_frames == 0
+        assert rec.scorer.fallback_frames == 0
+
+
+class TestBatchBlas:
+    @pytest.mark.parametrize("batch_size", [1, 2, 3, 5, 8])
+    def test_batch_sizes_match_reference(self, blas, expected, task, batch_size):
+        feats = [u.features for u in task.corpus.test[:batch_size]]
+        result = blas.as_batch().decode_batch(feats)
+        assert len(result) == batch_size
+        for lane, oracle in zip(result, expected[:batch_size]):
+            _assert_tolerance_parity(lane, oracle)
+
+    def test_ragged_lengths_match_reference(self, blas, reference, task, rng):
+        feats = [
+            u.features[: int(rng.integers(15, u.features.shape[0] + 1))]
+            for u in task.corpus.test
+        ]
+        oracles = [reference.decode(f) for f in feats]
+        for lane, oracle in zip(blas.as_batch().decode_batch(feats), oracles):
+            _assert_tolerance_parity(lane, oracle)
+
+    def test_batch_mode_uses_pooled_blas_backend(self, blas):
+        batch = blas.as_batch()
+        assert batch.mode == "blas"
+        assert isinstance(batch.scorer, BatchBlasScorer)
+
+
+class TestContinuousBlas:
+    @pytest.mark.parametrize("max_lanes", [1, 2, 3, 8])
+    def test_lane_budgets_match_reference(self, blas, expected, task, max_lanes):
+        feats = [u.features for u in task.corpus.test]
+        result = blas.as_continuous().decode_stream(feats, max_lanes=max_lanes)
+        for lane, oracle in zip(result, expected):
+            _assert_tolerance_parity(lane, oracle)
+
+    def test_arrival_orders_match_reference(self, blas, expected, task, rng):
+        feats = [u.features for u in task.corpus.test]
+        for order in (
+            list(range(len(feats)))[::-1],
+            list(rng.permutation(len(feats))),
+        ):
+            result = blas.as_continuous().decode_stream(
+                [feats[i] for i in order], max_lanes=3
+            )
+            for lane, i in zip(result, order):
+                _assert_tolerance_parity(lane, expected[i])
+
+    def test_generator_queue(self, blas, expected, task):
+        feats = (u.features for u in task.corpus.test)
+        result = blas.as_continuous().decode_stream(feats, max_lanes=2)
+        for lane, oracle in zip(result, expected):
+            _assert_tolerance_parity(lane, oracle)
+
+
+class TestSparseDemandFallback:
+    """The active-set threshold between the dense and gathered kernels."""
+
+    def _demand(self, small_pool, rng, rows, senones_per_row):
+        obs = rng.normal(0.0, 1.0, size=(rows, small_pool.dim))
+        pair_rows, pair_senones = [], []
+        for r in range(rows):
+            picks = rng.choice(small_pool.num_senones, senones_per_row, replace=False)
+            pair_rows.extend([r] * senones_per_row)
+            pair_senones.extend(sorted(int(s) for s in picks))
+        return obs, np.array(pair_rows), np.array(pair_senones)
+
+    def test_sparse_demand_falls_back_to_gathered_kernel(self, small_pool, rng):
+        scorer = BatchBlasScorer(small_pool, min_pairs=32)
+        obs, pair_rows, pair_senones = self._demand(small_pool, rng, 2, 3)
+        compact = scorer.score_pairs(obs, pair_rows, pair_senones)
+        assert scorer.fallback_steps == 1 and scorer.dense_steps == 0
+        # The fallback IS the reference kernel — bit-identical.
+        np.testing.assert_array_equal(
+            compact, small_pool.score_pairs(obs, pair_rows, pair_senones)
+        )
+
+    def test_low_density_falls_back(self, small_pool, rng):
+        # Plenty of pairs, but spread thin over the rows x union grid.
+        scorer = BatchBlasScorer(small_pool, min_pairs=0, min_density=0.9)
+        obs, pair_rows, pair_senones = self._demand(small_pool, rng, 8, 6)
+        scorer.score_pairs(obs, pair_rows, pair_senones)
+        assert scorer.fallback_steps == 1 and scorer.dense_steps == 0
+
+    def test_dense_demand_takes_matmul_kernel(self, small_pool, rng):
+        scorer = BatchBlasScorer(small_pool, min_pairs=8, min_density=0.25)
+        obs, pair_rows, pair_senones = self._demand(
+            small_pool, rng, 4, small_pool.num_senones
+        )
+        compact = scorer.score_pairs(obs, pair_rows, pair_senones)
+        assert scorer.dense_steps == 1 and scorer.fallback_steps == 0
+        reference = small_pool.score_pairs(obs, pair_rows, pair_senones)
+        np.testing.assert_allclose(compact, reference, atol=BLAS_SCORE_ATOL)
+
+    def test_large_pool_gathers_subset_instead_of_full_table(
+        self, small_pool, rng
+    ):
+        """Past the full-table budget the dense path gathers rows."""
+        full = BlasScorer(small_pool)
+        subset = BlasScorer(small_pool, full_table_elements=0)
+        assert full._full_table and not subset._full_table
+        obs = rng.normal(0.0, 1.0, size=small_pool.dim)
+        senones = np.arange(small_pool.num_senones)
+        a = full.score(0, obs, senones).copy()
+        b = subset.score(0, obs, senones).copy()
+        assert subset.dense_frames == 1
+        np.testing.assert_allclose(a, b, atol=BLAS_SCORE_ATOL)
+
+    def test_sequential_threshold_falls_back(self, small_pool, rng):
+        blas = BlasScorer(small_pool, dense_threshold=small_pool.num_senones + 1)
+        ref = ReferenceScorer(small_pool)
+        obs = rng.normal(0.0, 1.0, size=small_pool.dim)
+        senones = np.arange(0, small_pool.num_senones, 2)
+        out = blas.score(0, obs, senones).copy()
+        assert blas.fallback_frames == 1 and blas.dense_frames == 0
+        np.testing.assert_array_equal(out, ref.score(0, obs, senones))
+
+    def test_large_pool_batch_gathers_union_instead_of_full_table(
+        self, small_pool, rng
+    ):
+        """Past the full-table budget the pooled dense path gathers the
+        demanded union's senone-major blocks."""
+        full = BatchBlasScorer(small_pool, min_pairs=0, min_density=0.0)
+        subset = BatchBlasScorer(
+            small_pool, min_pairs=0, min_density=0.0, full_table_elements=0
+        )
+        assert full._full_table and not subset._full_table
+        obs, pair_rows, pair_senones = self._demand(small_pool, rng, 4, 12)
+        a = full.score_pairs(obs, pair_rows, pair_senones)
+        b = subset.score_pairs(obs, pair_rows, pair_senones)
+        assert subset.dense_steps == 1 and subset.fallback_steps == 0
+        np.testing.assert_allclose(a, b, atol=BLAS_SCORE_ATOL)
+        reference = small_pool.score_pairs(obs, pair_rows, pair_senones)
+        np.testing.assert_allclose(b, reference, atol=BLAS_SCORE_ATOL)
+
+    def test_empty_demand(self, small_pool):
+        scorer = BatchBlasScorer(small_pool)
+        out = scorer.score_pairs(
+            np.zeros((2, small_pool.dim)), np.empty(0, np.int64), np.empty(0, np.int64)
+        )
+        assert out.size == 0
+        assert scorer.dense_steps == 0 and scorer.fallback_steps == 0
+
+
+class TestModeRegistration:
+    def test_sequential_unknown_mode_names_supported_modes(self, task):
+        with pytest.raises(ValueError) as err:
+            Recognizer.create(
+                task.dictionary, task.pool, task.lm, task.tying, mode="quantum"
+            )
+        message = str(err.value)
+        for mode in Recognizer.SUPPORTED_MODES:
+            assert repr(mode) in message
+
+    def test_batch_supported_modes_include_blas(self):
+        assert "blas" in BatchRecognizer.SUPPORTED_MODES
+        assert "blas" in Recognizer.SUPPORTED_MODES
+
+    def test_continuous_twin_keeps_blas_mode(self, blas):
+        cont = blas.as_continuous()
+        assert cont.mode == "blas"
+        assert isinstance(cont.scorer, BatchBlasScorer)

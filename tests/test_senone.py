@@ -61,6 +61,50 @@ class TestScoring:
             small_pool.mixture(small_pool.num_senones)
 
 
+class TestBlasScoring:
+    def test_tables_are_senone_major_contiguous(self, small_pool):
+        tables = small_pool.blas_tables()
+        n, m, dim = (
+            small_pool.num_senones, small_pool.num_components, small_pool.dim
+        )
+        assert tables.prec.shape == (n * m, dim)
+        assert tables.mu_prec.shape == (n * m, dim)
+        assert tables.const.shape == (n, m)
+        assert tables.prec.flags["C_CONTIGUOUS"]
+        assert tables.mu_prec.flags["C_CONTIGUOUS"]
+        assert small_pool.blas_tables() is tables  # cached
+
+    def test_full_block_matches_gathered_scores(self, small_pool, rng):
+        frames = rng.normal(size=(4, small_pool.dim))
+        dense = small_pool.score_block_blas(frames)
+        gathered = small_pool.score_frames(frames)
+        np.testing.assert_allclose(dense, gathered, atol=1e-9)
+
+    def test_subset_block_matches_full_columns(self, small_pool, rng):
+        frames = rng.normal(size=(3, small_pool.dim))
+        subset = np.array([1, 5, 9, 20])
+        dense = small_pool.score_block_blas(frames, subset)
+        full = small_pool.score_block_blas(frames)
+        # Same dot products; gathered vs full matrices may block
+        # differently inside BLAS, so compare to rounding only.
+        np.testing.assert_allclose(dense, full[:, subset], rtol=0, atol=1e-10)
+
+    def test_empty_subset(self, small_pool, rng):
+        out = small_pool.score_block_blas(
+            rng.normal(size=(2, small_pool.dim)), np.empty(0, np.int64)
+        )
+        assert out.shape == (2, 0)
+
+    def test_validation(self, small_pool):
+        with pytest.raises(ValueError):
+            small_pool.score_block_blas(np.zeros((2, small_pool.dim + 1)))
+        with pytest.raises(IndexError):
+            small_pool.score_block_blas(
+                np.zeros((1, small_pool.dim)),
+                np.array([small_pool.num_senones]),
+            )
+
+
 class TestStorage:
     def test_paper_full_scale_size(self):
         """6000 senones x 8 comp x 39 dims = 15.168 MB (Section IV-B)."""

@@ -208,6 +208,91 @@ class TestChainUpdate:
         assert unit.activity()["transitions"] == 0
 
 
+def _chain_update_oracle(prev, self_lp, fwd_lp, obs, entry, starts):
+    """Freshly-allocating float32 chain update (the pre-scratch math)."""
+    stay = prev + self_lp
+    from_prev = np.empty_like(prev)
+    from_prev[0] = LOG_ZERO
+    from_prev[1:] = prev[:-1] + fwd_lp[:-1]
+    from_prev[starts] = LOG_ZERO
+    enter = np.where(starts, entry, np.float32(LOG_ZERO))
+    best = stay
+    backptr = np.full(prev.shape, BP_SELF, dtype=np.int8)
+    better = from_prev > best
+    best = np.where(better, from_prev, best)
+    backptr[better] = BP_FORWARD
+    better = enter > best
+    best = np.where(better, enter, best)
+    backptr[better] = BP_ENTRY
+    new_delta = (best + obs).astype(np.float32)
+    new_delta[best <= np.float32(LOG_ZERO)] = LOG_ZERO
+    return new_delta, backptr
+
+
+class TestChainScratchReuse:
+    """update_chain reuses per-step work arrays; outputs must not change."""
+
+    def _random_inputs(self, rng, k=12):
+        prev = rng.normal(-5, 2, size=k).astype(np.float32)
+        prev[rng.random(k) < 0.3] = LOG_ZERO
+        self_lp = rng.normal(-0.5, 0.1, size=k).astype(np.float32)
+        fwd_lp = rng.normal(-0.9, 0.1, size=k).astype(np.float32)
+        obs = rng.normal(-2, 1, size=k).astype(np.float32)
+        entry = np.full(k, LOG_ZERO, dtype=np.float32)
+        starts = np.zeros(k, dtype=bool)
+        starts[::4] = True
+        entry[starts] = rng.normal(
+            -3, 1, size=int(np.count_nonzero(starts))
+        ).astype(np.float32)
+        return prev, self_lp, fwd_lp, obs, entry, starts
+
+    def test_repeated_calls_bit_identical_to_oracle(self, rng):
+        unit = ViterbiUnit()
+        for _ in range(5):
+            inputs = self._random_inputs(rng)
+            result = unit.update_chain(
+                inputs[0], inputs[1], inputs[2], inputs[3],
+                entry_scores=inputs[4], chain_start=inputs[5],
+            )
+            delta, backptr = _chain_update_oracle(*inputs)
+            np.testing.assert_array_equal(result.delta, delta)
+            np.testing.assert_array_equal(result.backpointer, backptr)
+
+    def test_buffers_are_reused_across_frames(self, rng):
+        unit = ViterbiUnit()
+        first = unit.update_chain(*self._random_inputs(rng)[:4])
+        second = unit.update_chain(*self._random_inputs(rng)[:4])
+        assert first.delta is second.delta  # unit-owned scratch
+        assert first.backpointer is second.backpointer
+
+    def test_size_change_reallocates(self, rng):
+        unit = ViterbiUnit()
+        small = unit.update_chain(*self._random_inputs(rng, k=8)[:4])
+        assert small.delta.shape == (8,)
+        large = unit.update_chain(*self._random_inputs(rng, k=16)[:4])
+        assert large.delta.shape == (16,)
+
+    def test_prev_may_alias_the_delta_scratch(self, rng):
+        """Feeding the returned delta straight back in must be safe."""
+        unit, fresh = ViterbiUnit(), ViterbiUnit()
+        inputs = self._random_inputs(rng)
+        result = unit.update_chain(
+            inputs[0], inputs[1], inputs[2], inputs[3],
+            entry_scores=inputs[4], chain_start=inputs[5],
+        )
+        expected_prev = result.delta.copy()
+        chained = unit.update_chain(
+            result.delta, inputs[1], inputs[2], inputs[3],
+            entry_scores=inputs[4], chain_start=inputs[5],
+        )
+        oracle = fresh.update_chain(
+            expected_prev, inputs[1], inputs[2], inputs[3],
+            entry_scores=inputs[4], chain_start=inputs[5],
+        )
+        np.testing.assert_array_equal(chained.delta, oracle.delta)
+        np.testing.assert_array_equal(chained.backpointer, oracle.backpointer)
+
+
 class TestSpecValidation:
     def test_rejects_bad_clock(self):
         with pytest.raises(ValueError):
