@@ -454,6 +454,12 @@ def main(argv: list[str] | None = None) -> int:
         m["word_identical"] and m["continuous_vs_drain"]["word_identical"]
         for m in report["modes"].values()
     ) and report["modes"]["blas"]["dense_demand"]["word_identical"]
+    # The serving front-door section is owned by bench_serving.py;
+    # carry it over instead of clobbering it.
+    if out_path.exists():
+        previous = json.loads(out_path.read_text())
+        if "serving" in previous:
+            report["serving"] = previous["serving"]
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {out_path}")
     print(

@@ -1,23 +1,95 @@
-"""Streaming recognition with endpointing — the mobile use case.
+"""The serving front door, end to end — streaming sessions with
+admission control and deadlines.
 
-Feeds an utterance to the recognizer frame by frame (as a device
-would), printing partial hypotheses as they stabilise; the utterance
-ends when the decoder-driven endpointer sees 300 ms of best-path
-silence, and the frontend VAD shows how many frames the dedicated
-units could have been gated off entirely.
+Two clients talk to one async :class:`repro.serve.Server`
+concurrently:
+
+* session A streams an utterance frame by frame (as a device would),
+  printing partial hypotheses from the streaming decoder as they
+  stabilise; the decoder-driven endpointer fires after 300 ms of
+  best-path silence and auto-finishes the session, whose authoritative
+  result then comes from the batched lane engine — bit-identical to a
+  sequential decode;
+* session B submits a second utterance with a generous deadline and
+  completes normally alongside A;
+* session C carries an already-exhausted latency budget and is shed
+  with a typed TIMEOUT result — without disturbing A or B by a bit.
 
 Run:  python examples/streaming_demo.py
 """
 
+import asyncio
+
 import numpy as np
 
-from repro.decoder import Recognizer, StreamingRecognizer
-from repro.frontend import Frontend, frame_log_energy
-from repro.frontend.dsp import frame_signal
-from repro.frontend.vad import EnergyVad, speech_bounds
+from repro.decoder import Recognizer
+from repro.frontend import Frontend
+from repro.serve import Server, ServeStatus
 from repro.workloads import tiny_task
 from repro.workloads.corpus import _realize_sentence
 from repro.workloads.synthesizer import PhoneSynthesizer
+
+
+async def run_front_door(task, recognizer) -> None:
+    # Session A's audio: a synthesized utterance with generous trailing
+    # silence, so the endpointer has something to fire on.
+    rng = np.random.default_rng(17)
+    synth = PhoneSynthesizer(task.corpus.phone_set)
+    words_a = list(task.corpus.test[0].words)
+    waveform, _ = _realize_sentence(words_a, task.dictionary, synth, rng)
+    silence = synth.synthesize_phone("SIL", 0.5, rng)
+    features_a = Frontend().extract(np.concatenate([waveform, silence]))
+
+    utt_b = task.corpus.test[1]
+
+    async with Server(recognizer, num_workers=1, max_lanes=2) as server:
+        # Session A: push-style frame streaming with partial callbacks
+        # (printed only when the hypothesis actually changes).
+        last_partial: list[tuple[str, ...] | None] = [None]
+
+        def on_partial(words: tuple[str, ...], frame: int) -> None:
+            if words != last_partial[0]:
+                last_partial[0] = words
+                print(f"  A t={frame * 10:4d} ms  partial: {' '.join(words)}")
+
+        session_a = server.open_session(
+            on_partial=on_partial,
+            partial_interval=15,
+            endpoint_silence_frames=30,
+        )
+        # Session B: a whole utterance with a generous deadline.
+        session_b = server.submit(utt_b.features, deadline_s=30.0)
+        # Session C: its latency budget is already spent -> shed with a
+        # typed TIMEOUT, costing no lane.
+        session_c = server.submit(utt_b.features, deadline_s=0.0)
+
+        print(f"A says: {' '.join(words_a)!r}")
+        for frame in features_a:
+            if session_a.send_frames(frame):
+                print("  A  << endpoint (300 ms of best-path silence)")
+                break
+            await asyncio.sleep(0)  # yield: B and C resolve concurrently
+
+        result_a = await session_a.result()
+        result_b = await session_b.result()
+        result_c = await session_c.result()
+
+        ok_a = list(result_a.words) == words_a
+        ok_b = result_b.words == tuple(utt_b.words)
+        print(f"A final: {' '.join(result_a.words)!r}  "
+              f"({'correct' if ok_a else 'ERROR'})")
+        print(f"B final: {' '.join(result_b.words)!r}  "
+              f"({'correct' if ok_b else 'ERROR'})")
+        assert result_c.status is ServeStatus.TIMEOUT
+        print(f"C: deadline miss -> typed {result_c.status.value} "
+              f"(stage: {result_c.detail})")
+
+        metrics = server.metrics()
+        print(f"\nserver metrics: {metrics.completed} completed, "
+              f"{metrics.timeouts} timeout(s), "
+              f"p95 latency {metrics.latency_p95_s * 1000:.0f} ms, "
+              f"RTF {metrics.rtf:.3f}, "
+              f"lane utilization {metrics.lane_utilization:.2f}")
 
 
 def main() -> None:
@@ -26,42 +98,7 @@ def main() -> None:
     recognizer = Recognizer.create(
         task.dictionary, task.pool, task.lm, task.tying, mode="reference"
     )
-
-    # Synthesize an utterance with generous trailing silence.
-    rng = np.random.default_rng(17)
-    synth = PhoneSynthesizer(task.corpus.phone_set)
-    words = list(task.corpus.test[0].words)
-    waveform, _ = _realize_sentence(words, task.dictionary, synth, rng)
-    silence = synth.synthesize_phone("SIL", 0.5, rng)
-    waveform = np.concatenate([waveform, silence])
-
-    # Frontend VAD: how much of the audio is speech at all?
-    frames = frame_signal(waveform, 400, 160)
-    vad = EnergyVad()
-    flags = vad.classify(frame_log_energy(frames))
-    bounds = speech_bounds(flags)
-    print(f"VAD: {flags.sum()}/{flags.size} frames are speech "
-          f"(bounds {bounds}); silent frames keep the units clock-gated")
-
-    features = Frontend().extract(waveform)
-    streaming = StreamingRecognizer(
-        recognizer, partial_interval=15, endpoint_silence_frames=30
-    )
-    print(f"\nsaid: {' '.join(words)!r}")
-    last_partial: tuple[str, ...] | None = None
-    for frame in features:
-        event = streaming.feed(frame)
-        if event.partial is not None and event.partial != last_partial:
-            last_partial = event.partial
-            print(f"  t={event.frame * 10:4d} ms  partial: {' '.join(event.partial)}")
-        if event.endpoint:
-            print(f"  t={event.frame * 10:4d} ms  << endpoint "
-                  f"(300 ms of best-path silence)")
-            break
-    final = streaming.finalize()
-    assert final is not None
-    print(f"final: {' '.join(final.words)!r}  "
-          f"({'correct' if list(final.words) == words else 'ERROR'})")
+    asyncio.run(run_front_door(task, recognizer))
 
 
 if __name__ == "__main__":

@@ -21,7 +21,8 @@ reset at each :meth:`Recognizer.decode`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -46,11 +47,33 @@ from repro.lm.ngram import NGramModel
 from repro.quant.float_formats import IEEE_SINGLE, FloatFormat
 
 __all__ = [
+    "DecodeTiming",
     "Recognizer",
     "RecognitionResult",
     "resolve_storage_pool",
     "validate_decoder_models",
+    "validate_utterance_features",
 ]
+
+
+def validate_utterance_features(
+    dim: int, index: int | None, features: np.ndarray
+) -> np.ndarray:
+    """One utterance's features as the ``(T, dim)`` float64 every
+    decoder front end expects — the single validator behind the
+    sequential recognizer, the batched runtimes, the serve loop and
+    the server's submit, so the accepted shape rules cannot drift
+    apart.  ``index`` labels the utterance in multi-utterance error
+    messages (None for a lone decode)."""
+    prefix = "" if index is None else f"utterance {index}: "
+    f = np.asarray(features, dtype=np.float64)
+    if f.ndim != 2 or f.shape[1] != dim:
+        raise ValueError(
+            f"{prefix}features must be (T, {dim}), got {f.shape}"
+        )
+    if f.shape[0] == 0:
+        raise ValueError(f"{prefix}cannot decode an empty utterance")
+    return f
 
 
 def resolve_storage_pool(pool: SenonePool, storage_format: FloatFormat) -> SenonePool:
@@ -77,6 +100,44 @@ def validate_decoder_models(
         raise ValueError("LM vocabulary order must match network words")
 
 
+@dataclass(frozen=True)
+class DecodeTiming:
+    """Wall-clock milestones of one utterance's decode.
+
+    All stamps come from one monotonic clock (``time.monotonic``, which
+    is system-wide on Linux, so stamps taken in different worker
+    processes of a sharded server remain comparable).  ``enqueued_at``
+    is when the utterance entered a waiting queue (for a sequential
+    decode it equals ``admitted_at``), ``admitted_at`` is when a lane
+    started decoding it, ``finished_at`` when its result was packaged.
+    Populated by all three runtimes, so serving metrics (queue wait,
+    decode latency, real-time factor) need no side tables.
+    """
+
+    enqueued_at: float
+    admitted_at: float
+    finished_at: float
+
+    @property
+    def wait_s(self) -> float:
+        """Enqueue-to-admission wait (0 for a sequential decode)."""
+        return self.admitted_at - self.enqueued_at
+
+    @property
+    def decode_s(self) -> float:
+        """Admission-to-result decode wall time."""
+        return self.finished_at - self.admitted_at
+
+    @property
+    def total_s(self) -> float:
+        """Enqueue-to-result latency."""
+        return self.finished_at - self.enqueued_at
+
+    def rtf(self, audio_seconds: float) -> float:
+        """Real-time factor: decode wall time per second of audio."""
+        return self.decode_s / audio_seconds if audio_seconds > 0 else 0.0
+
+
 @dataclass
 class RecognitionResult:
     """Everything one decode produced."""
@@ -94,10 +155,21 @@ class RecognitionResult:
     #: Four-layer work counters (fast mode only): frames skipped,
     #: Gaussians touched, dimensions multiplied, senones approximated.
     fast_stats: FastGmmStats | None = None
+    #: Wall-clock milestones (enqueue wait, decode time) stamped by the
+    #: runtime that produced this result; excluded from equality so two
+    #: decodes of the same utterance still compare equal.
+    timing: DecodeTiming | None = field(default=None, compare=False)
 
     @property
     def audio_seconds(self) -> float:
         return self.frames * self.frame_period_s
+
+    @property
+    def rtf(self) -> float | None:
+        """Real-time factor of this decode (None without timing)."""
+        if self.timing is None:
+            return None
+        return self.timing.rtf(self.audio_seconds)
 
     @property
     def mean_active_senone_fraction(self) -> float:
@@ -229,13 +301,8 @@ class Recognizer:
     # ------------------------------------------------------------------
     def decode(self, features: np.ndarray) -> RecognitionResult:
         """Recognize one utterance from its feature matrix (T, L)."""
-        feats = np.asarray(features, dtype=np.float64)
-        if feats.ndim != 2 or feats.shape[1] != self.pool.dim:
-            raise ValueError(
-                f"features must be (T, {self.pool.dim}), got {feats.shape}"
-            )
-        if feats.shape[0] == 0:
-            raise ValueError("cannot decode an empty utterance")
+        feats = validate_utterance_features(self.pool.dim, None, features)
+        started_at = time.monotonic()
         self.word_stage.reset()
         if self.viterbi_unit is not None:
             self.viterbi_unit.reset_counters()
@@ -274,5 +341,10 @@ class Recognizer:
                 self.scorer.fast_stats
                 if isinstance(self.scorer, FastGmmScorer)
                 else None
+            ),
+            timing=DecodeTiming(
+                enqueued_at=started_at,
+                admitted_at=started_at,
+                finished_at=time.monotonic(),
             ),
         )

@@ -20,6 +20,7 @@ decoder:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -53,6 +54,14 @@ class StreamingRecognizer:
     endpoint_silence_frames:
         Consecutive frames the best state must sit in the silence
         model before an endpoint fires (30 frames = 300 ms).
+    on_partial:
+        Optional callback invoked as ``on_partial(words, frame)``
+        whenever a partial hypothesis is computed — the push-style hook
+        the serving front door's sessions attach to, so callers that
+        drive :meth:`feed` from a queue need not inspect every event.
+    on_endpoint:
+        Optional callback invoked as ``on_endpoint(frame)`` the moment
+        the endpointer fires.
     """
 
     def __init__(
@@ -60,6 +69,8 @@ class StreamingRecognizer:
         recognizer: Recognizer,
         partial_interval: int = 20,
         endpoint_silence_frames: int = 30,
+        on_partial: Callable[[tuple[str, ...], int], None] | None = None,
+        on_endpoint: Callable[[int], None] | None = None,
     ) -> None:
         if not recognizer.network.has_silence:
             raise ValueError("endpointing needs the silence word in the network")
@@ -70,6 +81,8 @@ class StreamingRecognizer:
         self.recognizer = recognizer
         self.partial_interval = partial_interval
         self.endpoint_silence_frames = endpoint_silence_frames
+        self.on_partial = on_partial
+        self.on_endpoint = on_endpoint
         self._silence_run = 0
         self._frames = 0
         self._saw_speech = False
@@ -101,6 +114,10 @@ class StreamingRecognizer:
         ):
             best = self._current_best()
             partial = best.words if best else ()
+            if self.on_partial is not None:
+                self.on_partial(partial, self._frames - 1)
+        if self._ended and self.on_endpoint is not None:
+            self.on_endpoint(self._frames - 1)
         return StreamingEvent(
             frame=self._frames - 1, partial=partial, endpoint=self._ended
         )

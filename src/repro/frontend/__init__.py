@@ -9,6 +9,7 @@ from repro.frontend.dsp import (
 from repro.frontend.features import (
     Frontend,
     FrontendConfig,
+    StreamingAudioBuffer,
     cepstral_mean_normalize,
     delta_features,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "speech_bounds",
     "Frontend",
     "FrontendConfig",
+    "StreamingAudioBuffer",
     "delta_features",
     "cepstral_mean_normalize",
     "pre_emphasis",

@@ -19,7 +19,13 @@ from repro.frontend.dsp import apply_window, frame_signal, hamming_window, pre_e
 from repro.frontend.filterbank import apply_filterbank, mel_filterbank
 from repro.frontend.mfcc import cepstra, lifter, power_spectrum
 
-__all__ = ["FrontendConfig", "Frontend", "delta_features", "cepstral_mean_normalize"]
+__all__ = [
+    "FrontendConfig",
+    "Frontend",
+    "StreamingAudioBuffer",
+    "delta_features",
+    "cepstral_mean_normalize",
+]
 
 
 @dataclass(frozen=True)
@@ -135,3 +141,50 @@ class Frontend:
         if num_samples < cfg.frame_samples:
             return 0
         return 1 + (num_samples - cfg.frame_samples) // cfg.shift_samples
+
+
+class StreamingAudioBuffer:
+    """Accumulate audio CHUNKS for one utterance, extract once at close.
+
+    The serving front door accepts raw audio in arbitrarily sized
+    chunks (a socket delivers whatever it delivers).  CMN and the
+    regression deltas are per-utterance operations, so features that
+    bit-match :meth:`Frontend.extract` of the concatenated waveform can
+    only be computed once the utterance is complete — this buffer makes
+    that contract explicit: :meth:`append` is cheap bookkeeping,
+    :meth:`extract` runs the full pipeline exactly once over the
+    stitched signal.  :attr:`num_frames` is live, so admission control
+    can bound utterance length before paying for extraction.
+    """
+
+    def __init__(self, frontend: Frontend | None = None) -> None:
+        self.frontend = frontend or Frontend()
+        self._chunks: list[np.ndarray] = []
+        self._num_samples = 0
+
+    def append(self, chunk: np.ndarray) -> None:
+        """Add one audio chunk (any length, 1-D)."""
+        samples = np.asarray(chunk, dtype=np.float64).ravel()
+        if samples.size:
+            self._chunks.append(samples)
+            self._num_samples += samples.size
+
+    @property
+    def num_samples(self) -> int:
+        return self._num_samples
+
+    @property
+    def num_frames(self) -> int:
+        """Feature frames the buffered audio will produce."""
+        return self.frontend.num_frames(self._num_samples)
+
+    @property
+    def seconds(self) -> float:
+        return self._num_samples / self.frontend.config.sample_rate
+
+    def extract(self) -> np.ndarray:
+        """Features of everything buffered, identical to a one-shot
+        :meth:`Frontend.extract` of the same waveform."""
+        if not self._chunks:
+            return np.empty((0, self.frontend.config.feature_dim))
+        return self.frontend.extract(np.concatenate(self._chunks))

@@ -19,12 +19,30 @@ hardware and fast modes (see ``tests/test_golden_parity.py`` and
 ``tests/test_runtime_fast.py``); the matmul-form ``blas`` mode is
 word-identical with rounding-tolerance scores
 (``tests/test_runtime_blas.py``).
+
+A third driver, :class:`~repro.runtime.serving.ServeLoop`
+(:mod:`repro.runtime.serving`), bridges the pull-style lane engine to
+a PUSH-style command queue for the async front door
+(:mod:`repro.serve`): jobs arrive asynchronously, deadlines early-
+retire lanes through :meth:`LaneBank.cancel`, and per-utterance events
+fire the moment each lane retires.
 """
 
 from repro.runtime.batch import BatchDecodeResult, BatchRecognizer, LaneBank
 from repro.runtime.continuous import (
     ContinuousBatchRecognizer,
     ContinuousDecodeResult,
+)
+from repro.runtime.serving import (
+    CancelJob,
+    DecodeJob,
+    JobCancelled,
+    JobDone,
+    JobFailed,
+    JobTimedOut,
+    LoopStats,
+    ServeLoop,
+    ServeStopped,
 )
 from repro.runtime.scoring import (
     BatchBlasScorer,
@@ -45,4 +63,13 @@ __all__ = [
     "BatchFastGmmScorer",
     "BatchBlasScorer",
     "BatchScoringBackend",
+    "ServeLoop",
+    "DecodeJob",
+    "CancelJob",
+    "JobDone",
+    "JobTimedOut",
+    "JobCancelled",
+    "JobFailed",
+    "LoopStats",
+    "ServeStopped",
 ]

@@ -38,6 +38,7 @@ ever reaches a lattice or a statistics record.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -50,10 +51,12 @@ from repro.decoder.best_path import find_best_path
 from repro.decoder.lattice import WordLattice
 from repro.decoder.network import FlatLexiconNetwork
 from repro.decoder.recognizer import (
+    DecodeTiming,
     RecognitionResult,
     Recognizer,
     resolve_storage_pool,
     validate_decoder_models,
+    validate_utterance_features,
 )
 from repro.decoder.fast_gmm import FastGmmConfig, FastGmmModel, FastGmmStats
 from repro.decoder.scorer import ScoringStats
@@ -171,6 +174,8 @@ class LaneBank:
         self.lane_len = np.zeros(num_lanes, dtype=np.int64)
         self.lane_utt = np.full(num_lanes, -1, dtype=np.int64)
         self.lane_feats: list[np.ndarray | None] = [None] * num_lanes
+        self.lane_enqueued: list[float] = [0.0] * num_lanes
+        self.lane_admitted: list[float] = [0.0] * num_lanes
         self.lattices: list[WordLattice | None] = [None] * num_lanes
         self.lane_frame_stats: list[list[FrameStats]] = [[] for _ in range(num_lanes)]
         self.lane_scoring: list[ScoringStats | None] = [None] * num_lanes
@@ -209,13 +214,22 @@ class LaneBank:
         return [int(b) for b in np.flatnonzero(~self.active)]
 
     # ------------------------------------------------------------------
-    def admit(self, lane: int, utt_id: int, features: np.ndarray) -> None:
+    def admit(
+        self,
+        lane: int,
+        utt_id: int,
+        features: np.ndarray,
+        enqueued_at: float | None = None,
+    ) -> None:
         """Seed ``lane`` with a fresh utterance, starting at ITS frame 0.
 
         The lane's rows are reset exactly as
         :meth:`~repro.decoder.word_decode.WordDecodeStage.reset` resets
         the sequential stage, so the admitted utterance cannot observe
-        anything a previous occupant left behind.
+        anything a previous occupant left behind.  ``enqueued_at`` (a
+        ``time.monotonic`` stamp) records when the utterance entered a
+        waiting queue; it defaults to the admission instant, so a
+        decode with no queue in front of it reports zero wait.
         """
         if self.active[lane]:
             raise RuntimeError(f"lane {lane} is still occupied")
@@ -230,6 +244,10 @@ class LaneBank:
             self.pending_entry[lane], self.pending_src[lane],
         )
         self.lane_feats[lane] = features
+        self.lane_admitted[lane] = time.monotonic()
+        self.lane_enqueued[lane] = (
+            enqueued_at if enqueued_at is not None else self.lane_admitted[lane]
+        )
         self.lane_len[lane] = features.shape[0]
         self.lane_t[lane] = 0
         self.lane_utt[lane] = utt_id
@@ -447,7 +465,38 @@ class LaneBank:
             self.lane_frame_stats[lane],
             scoring,
             fast_stats=fast_stats,
+            timing=DecodeTiming(
+                enqueued_at=self.lane_enqueued[lane],
+                admitted_at=self.lane_admitted[lane],
+                finished_at=time.monotonic(),
+            ),
         )
+        self._release(lane)
+        return result
+
+    def cancel(self, lane: int) -> int:
+        """Early-retire hook: free a lane MID-utterance, no result.
+
+        Serving uses this for deadline misses and client cancellations:
+        the lane's partial decode is discarded (its lattice, statistics
+        and scorer state are dropped, never packaged) and the lane is
+        immediately free for re-admission.  Returns the number of
+        frames the cancelled utterance had decoded.  Because every
+        per-frame operation is elementwise or a per-row reduction over
+        the stacked state, and the freed lane is frozen at
+        ``LOG_ZERO`` exactly as a normal retirement leaves it, a
+        cancellation cannot perturb any surviving lane's decode by a
+        single bit (pinned by ``tests/test_golden_parity.py``).
+        """
+        if not self.active[lane]:
+            raise RuntimeError(f"lane {lane} is not occupied")
+        frames_decoded = int(self.lane_t[lane])
+        self.scorer.retire_lane(lane)  # discard per-lane scorer state
+        self._release(lane)
+        return frames_decoded
+
+    def _release(self, lane: int) -> None:
+        """Freeze and free a lane (shared by retire and cancel)."""
         self.active[lane] = False
         self.delta[lane] = LOG_ZERO
         self.pending_entry[lane] = LOG_ZERO
@@ -457,7 +506,6 @@ class LaneBank:
         self.lane_scoring[lane] = None
         self.lane_frame_stats[lane] = []
         self.lane_utt[lane] = -1
-        return result
 
     # ------------------------------------------------------------------
     def compact(self) -> int:
@@ -487,6 +535,8 @@ class LaneBank:
         self.lane_len = self.lane_len[keep]
         self.lane_utt = self.lane_utt[keep]
         self.lane_feats = [self.lane_feats[b] for b in keep_list]
+        self.lane_enqueued = [self.lane_enqueued[b] for b in keep_list]
+        self.lane_admitted = [self.lane_admitted[b] for b in keep_list]
         self.lattices = [self.lattices[b] for b in keep_list]
         self.lane_frame_stats = [self.lane_frame_stats[b] for b in keep_list]
         self.lane_scoring = [self.lane_scoring[b] for b in keep_list]
@@ -634,15 +684,7 @@ class BatchRecognizer:
     # ------------------------------------------------------------------
     def _validate_features(self, index: int, features: np.ndarray) -> np.ndarray:
         """One utterance's features as the (T, L) float64 the bank expects."""
-        f = np.asarray(features, dtype=np.float64)
-        if f.ndim != 2 or f.shape[1] != self.pool.dim:
-            raise ValueError(
-                f"utterance {index}: features must be (T, {self.pool.dim}), "
-                f"got {f.shape}"
-            )
-        if f.shape[0] == 0:
-            raise ValueError(f"utterance {index}: cannot decode an empty utterance")
-        return f
+        return validate_utterance_features(self.pool.dim, index, features)
 
     def _reset_accounting(self) -> None:
         """Clear pooled hardware accounting before a decode."""
@@ -707,6 +749,7 @@ class BatchRecognizer:
         stats: list[FrameStats],
         scoring: ScoringStats,
         fast_stats: FastGmmStats | None = None,
+        timing: DecodeTiming | None = None,
     ) -> RecognitionResult:
         best = find_best_path(
             lattice, self.lm, self.network, frames - 1, lm_scale=self.config.lm_scale
@@ -720,4 +763,5 @@ class BatchRecognizer:
             lattice_size=len(lattice),
             frame_period_s=self.frame_period_s,
             fast_stats=fast_stats,
+            timing=timing,
         )

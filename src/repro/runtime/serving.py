@@ -1,0 +1,332 @@
+"""Push-queue serving bridge over the lane engine.
+
+:meth:`~repro.runtime.continuous.ContinuousBatchRecognizer.decode_stream`
+is PULL-style: it consumes a lazy iterable and returns once the stream
+drains — the right shape for offline workloads, the wrong one for a
+server, where requests arrive asynchronously, carry deadlines, and can
+be cancelled mid-decode.  :class:`ServeLoop` is the bridge: a
+synchronous, long-running engine loop (run it in a worker thread or a
+forked worker process — :mod:`repro.serve` does both) that
+
+* pulls :class:`DecodeJob` / :class:`CancelJob` / :data:`STOP` commands
+  from a push-style thread-safe queue,
+* admits jobs into a :class:`~repro.runtime.batch.LaneBank` as lanes
+  free up (FIFO, at most ``max_lanes`` decoding simultaneously),
+* enforces per-utterance deadlines — a job whose deadline passes while
+  QUEUED is shed without decoding; one that misses MID-DECODE is
+  early-retired through :meth:`~repro.runtime.batch.LaneBank.cancel`,
+  which frees the lane without perturbing any surviving lane's
+  bit-exact output,
+* emits typed events (:class:`JobDone`, :class:`JobTimedOut`,
+  :class:`JobCancelled`, :class:`JobFailed`, :class:`LoopStats`,
+  :class:`ServeStopped`) through a caller-supplied callback the moment
+  each utterance resolves — no waiting for the stream to drain.
+
+Parity: the loop only decides WHEN lanes are seeded and freed; every
+per-frame operation is the same :class:`~repro.runtime.batch.LaneBank`
+kernel the offline runtimes use, so completed utterances are
+bit-identical to a sequential decode (tolerance-scored in blas mode)
+for any arrival order, deadline pattern or cancellation interleaving.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.decoder.recognizer import RecognitionResult
+from repro.runtime.batch import BatchRecognizer, LaneBank
+
+__all__ = [
+    "STOP",
+    "CancelJob",
+    "DecodeJob",
+    "JobCancelled",
+    "JobDone",
+    "JobFailed",
+    "JobTimedOut",
+    "LoopStats",
+    "ServeLoop",
+    "ServeStopped",
+]
+
+
+class _Stop:
+    """Sentinel command: drain everything already submitted, then exit."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return "STOP"
+
+
+STOP = _Stop()
+
+
+# ----------------------------------------------------------------------
+# Commands (caller -> loop)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DecodeJob:
+    """One utterance to decode.
+
+    ``enqueued_at``/``deadline_at`` are ``time.monotonic`` stamps
+    (system-wide on Linux, so they survive the hop into a forked worker
+    process).  ``deadline_at is None`` means no deadline.
+    """
+
+    utt_id: int
+    features: np.ndarray
+    enqueued_at: float
+    deadline_at: float | None = None
+
+
+@dataclass(frozen=True)
+class CancelJob:
+    """Cancel a previously submitted job (queued or mid-decode)."""
+
+    utt_id: int
+
+
+# ----------------------------------------------------------------------
+# Events (loop -> caller)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobDone:
+    """An utterance finished normally; ``result`` carries its timing."""
+
+    utt_id: int
+    result: RecognitionResult
+
+
+@dataclass(frozen=True)
+class JobTimedOut:
+    """An utterance missed its deadline.
+
+    ``stage`` is ``"queued"`` (shed before a lane ever saw it) or
+    ``"decoding"`` (early-retired after ``frames_decoded`` frames).
+    """
+
+    utt_id: int
+    stage: str
+    frames_decoded: int
+    deadline_at: float
+    observed_at: float
+
+
+@dataclass(frozen=True)
+class JobCancelled:
+    """An utterance was cancelled on request; mirrors JobTimedOut."""
+
+    utt_id: int
+    stage: str
+    frames_decoded: int
+
+
+@dataclass(frozen=True)
+class JobFailed:
+    """A job could not be admitted (e.g. malformed features)."""
+
+    utt_id: int
+    error: str
+
+
+@dataclass(frozen=True)
+class LoopStats:
+    """Utilization counters, emitted periodically and at shutdown."""
+
+    steps: int
+    frames_processed: int
+    max_lanes: int
+    completed: int
+    timeouts: int
+    cancelled: int
+    failed: int
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of lane-steps that decoded a real frame."""
+        slots = self.steps * self.max_lanes
+        return self.frames_processed / slots if slots else 0.0
+
+
+@dataclass(frozen=True)
+class ServeStopped:
+    """The loop exited; final stats, plus the traceback if it crashed."""
+
+    stats: LoopStats
+    error: str | None = None
+
+
+class ServeLoop:
+    """Drive one lane bank from a push-style command queue.
+
+    Parameters
+    ----------
+    recognizer:
+        A :class:`~repro.runtime.batch.BatchRecognizer` (any scoring
+        mode); the loop builds one ``max_lanes``-wide bank from it.
+    max_lanes:
+        Simultaneously decoding utterances (the stacked state's ``B``).
+    poll_s:
+        Block this long on an empty inbox before re-checking (bounds
+        both idle wake-up latency and deadline-check granularity while
+        idle; while lanes are decoding, deadlines are checked every
+        frame-synchronous step).
+    clock:
+        Injectable monotonic clock (tests pin deadline interleavings).
+    """
+
+    STATS_EVERY = 64  # steps between periodic LoopStats events
+
+    def __init__(
+        self,
+        recognizer: BatchRecognizer,
+        max_lanes: int = 8,
+        poll_s: float = 0.002,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_lanes < 1:
+            raise ValueError(f"max_lanes must be >= 1, got {max_lanes}")
+        if poll_s <= 0:
+            raise ValueError(f"poll_s must be positive, got {poll_s}")
+        self.recognizer = recognizer
+        self.max_lanes = max_lanes
+        self.poll_s = poll_s
+        self.clock = clock
+
+    # ------------------------------------------------------------------
+    def run(self, inbox: "queue_mod.Queue", emit: Callable[[object], None]) -> LoopStats:
+        """Serve until :data:`STOP` arrives and all admitted work drains.
+
+        ``inbox`` is any object with the blocking ``Queue`` protocol
+        (``queue.Queue`` for a thread worker, ``multiprocessing``'s
+        queue for a forked worker).  ``emit`` receives every event; it
+        must be cheap and must not raise.  Always emits a final
+        :class:`ServeStopped` (with the traceback when the loop dies on
+        an internal error) and returns the final stats.
+        """
+        rec = self.recognizer
+        rec._reset_accounting()
+        bank = LaneBank(rec, self.max_lanes)
+        waiting: deque[DecodeJob] = deque()
+        cancels: set[int] = set()
+        lane_deadline: dict[int, float | None] = {}
+        stopping = False
+        completed = timeouts = cancelled = failed = 0
+
+        def stats() -> LoopStats:
+            return LoopStats(
+                steps=bank.steps,
+                frames_processed=bank.frames_processed,
+                max_lanes=self.max_lanes,
+                completed=completed,
+                timeouts=timeouts,
+                cancelled=cancelled,
+                failed=failed,
+            )
+
+        error: str | None = None
+        try:
+            while True:
+                # 1. Intake: drain the inbox; when fully idle, block
+                #    briefly instead of spinning.
+                block = not bank.any_active and not waiting and not stopping
+                while True:
+                    try:
+                        msg = (
+                            inbox.get(timeout=self.poll_s)
+                            if block
+                            else inbox.get_nowait()
+                        )
+                    except queue_mod.Empty:
+                        break
+                    block = False
+                    if isinstance(msg, _Stop):
+                        stopping = True
+                    elif isinstance(msg, CancelJob):
+                        cancels.add(msg.utt_id)
+                    else:
+                        waiting.append(msg)
+                now = self.clock()
+
+                # 2. Shed queued jobs that were cancelled or whose
+                #    deadline already passed — they never cost a lane.
+                if waiting:
+                    kept: deque[DecodeJob] = deque()
+                    for job in waiting:
+                        if job.utt_id in cancels:
+                            cancels.discard(job.utt_id)
+                            emit(JobCancelled(job.utt_id, "queued", 0))
+                            cancelled += 1
+                        elif job.deadline_at is not None and now >= job.deadline_at:
+                            emit(
+                                JobTimedOut(
+                                    job.utt_id, "queued", 0, job.deadline_at, now
+                                )
+                            )
+                            timeouts += 1
+                        else:
+                            kept.append(job)
+                    waiting = kept
+
+                # 3. Early-retire decoding lanes that were cancelled or
+                #    missed their deadline; the freed lanes re-admit
+                #    below, this very iteration.
+                for lane in np.flatnonzero(bank.active).tolist():
+                    utt = int(bank.lane_utt[lane])
+                    deadline = lane_deadline.get(lane)
+                    if utt in cancels:
+                        cancels.discard(utt)
+                        frames = bank.cancel(lane)
+                        lane_deadline.pop(lane, None)
+                        emit(JobCancelled(utt, "decoding", frames))
+                        cancelled += 1
+                    elif deadline is not None and now >= deadline:
+                        frames = bank.cancel(lane)
+                        lane_deadline.pop(lane, None)
+                        emit(JobTimedOut(utt, "decoding", frames, deadline, now))
+                        timeouts += 1
+                # Anything still unmatched was already resolved (the
+                # job preceded its cancel through the same FIFO inbox).
+                cancels.clear()
+
+                # 4. Admission: FIFO into free lanes.
+                while waiting and not bank.active.all():
+                    lane = bank.free_lanes()[0]
+                    job = waiting.popleft()
+                    try:
+                        feats = rec._validate_features(job.utt_id, job.features)
+                        bank.admit(
+                            lane, job.utt_id, feats, enqueued_at=job.enqueued_at
+                        )
+                    except (TypeError, ValueError) as exc:
+                        emit(JobFailed(job.utt_id, repr(exc)))
+                        failed += 1
+                        continue
+                    lane_deadline[lane] = job.deadline_at
+
+                # 5. Idle / exit.
+                if not bank.any_active:
+                    if stopping and not waiting:
+                        break
+                    continue
+
+                # 6. One frame-synchronous step; retire finishers.
+                for lane in bank.step():
+                    utt = int(bank.lane_utt[lane])
+                    lane_deadline.pop(lane, None)
+                    emit(JobDone(utt, bank.retire(lane)))
+                    completed += 1
+                if bank.steps % self.STATS_EVERY == 0:
+                    emit(stats())
+        except Exception:  # pragma: no cover - defensive: report, don't hang
+            import traceback
+
+            error = traceback.format_exc()
+        final = stats()
+        emit(ServeStopped(final, error=error))
+        return final

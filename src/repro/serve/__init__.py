@@ -1,0 +1,38 @@
+"""`repro.serve` — the async streaming front door.
+
+The subsystem that turns the batched/continuous runtimes into an
+actual service: clients open sessions and stream feature frames (or
+raw audio through the frontend); an asyncio :class:`Server` runs a
+bounded admission queue in front of one or more engine workers, each
+driving a :class:`~repro.runtime.serving.ServeLoop` over its own lane
+bank.  Admission control sheds load with a typed
+:class:`AdmissionRejected`; per-utterance deadlines early-retire lanes
+and resolve to typed ``TIMEOUT`` results without moving any surviving
+utterance's bit-exact output; the sharded mode forks N worker
+processes over the shared read-only senone pool and lexicon with
+round-robin + least-loaded dispatch.  Per-server metrics (queue depth,
+lane utilization, p50/p95 latency, RTF) ride on the wall-clock timing
+every runtime now stamps into its results.
+"""
+
+from repro.serve.metrics import ServerMetrics, WorkerMetrics, percentile
+from repro.serve.server import Server, Session, StreamSession
+from repro.serve.types import (
+    AdmissionRejected,
+    ServeResult,
+    ServeStatus,
+    ServerClosed,
+)
+
+__all__ = [
+    "AdmissionRejected",
+    "Server",
+    "ServerClosed",
+    "ServerMetrics",
+    "ServeResult",
+    "ServeStatus",
+    "Session",
+    "StreamSession",
+    "WorkerMetrics",
+    "percentile",
+]

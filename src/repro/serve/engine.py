@@ -1,0 +1,177 @@
+"""Engine workers: one :class:`~repro.runtime.serving.ServeLoop` each.
+
+Two transports behind one interface:
+
+* :class:`ThreadEngineWorker` runs the loop in a daemon thread of the
+  server's process — zero-copy job handoff, ideal for tests, demos and
+  single-core hosts.
+* :class:`ProcessEngineWorker` runs the loop in a FORKED worker
+  process — the sharded mode.  Fork is the model handoff: the compiled
+  lexicon network, the :class:`~repro.hmm.senone.SenonePool` and the
+  LM are built once in the parent and inherited read-only through
+  copy-on-write pages, so N shards share one copy of the acoustic
+  model exactly like the paper's single flash array feeding parallel
+  units.  Jobs and events cross the process boundary through
+  ``multiprocessing`` queues; all timestamps are ``time.monotonic``,
+  which is system-wide on Linux, so latency math stays coherent across
+  shards.
+
+Every worker pushes ``(worker_id, event)`` pairs at the server through
+a thread-safe ``emit`` callable; process workers share one outbox
+queue drained by a single pump thread (:func:`start_outbox_pump`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import threading
+from typing import Callable
+
+from repro.runtime.batch import BatchRecognizer
+from repro.runtime.serving import STOP, CancelJob, DecodeJob, ServeLoop
+
+__all__ = [
+    "ProcessEngineWorker",
+    "ThreadEngineWorker",
+    "start_outbox_pump",
+]
+
+_PUMP_STOP = ("__pump_stop__", None)
+
+
+class ThreadEngineWorker:
+    """A serve loop in a daemon thread of this process."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        recognizer: BatchRecognizer,
+        max_lanes: int,
+        poll_s: float,
+        emit: Callable[[int, object], None],
+    ) -> None:
+        self.worker_id = worker_id
+        self._inbox: "queue_mod.Queue" = queue_mod.Queue()
+        self._serve = ServeLoop(recognizer, max_lanes=max_lanes, poll_s=poll_s)
+        self._thread = threading.Thread(
+            target=self._serve.run,
+            args=(self._inbox, lambda event: emit(worker_id, event)),
+            name=f"serve-engine-{worker_id}",
+            daemon=True,
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def submit(self, job: DecodeJob) -> None:
+        self._inbox.put(job)
+
+    def cancel(self, utt_id: int) -> None:
+        self._inbox.put(CancelJob(utt_id))
+
+    def request_stop(self) -> None:
+        self._inbox.put(STOP)
+
+    def join(self, timeout: float) -> bool:
+        self._thread.join(timeout)
+        return not self._thread.is_alive()
+
+    def terminate(self) -> None:
+        """Threads cannot be killed; the daemon flag is the backstop."""
+
+
+def _process_worker_main(
+    worker_id: int,
+    recognizer: BatchRecognizer,
+    max_lanes: int,
+    poll_s: float,
+    inbox,
+    outbox,
+) -> None:
+    """Forked child entry point: serve until STOP, then exit."""
+    serve = ServeLoop(recognizer, max_lanes=max_lanes, poll_s=poll_s)
+    serve.run(inbox, lambda event: outbox.put((worker_id, event)))
+
+
+class ProcessEngineWorker:
+    """A serve loop in a forked worker process (one shard).
+
+    Must be constructed (and ideally started) before the parent spins
+    up helper threads: fork copies only the calling thread, so forking
+    early keeps the child single-threaded and the model pages shared.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        recognizer: BatchRecognizer,
+        max_lanes: int,
+        poll_s: float,
+        outbox,
+        ctx: multiprocessing.context.BaseContext,
+    ) -> None:
+        self.worker_id = worker_id
+        self._inbox = ctx.Queue()
+        # Fork passes args by copy-on-write inheritance, not pickling:
+        # the recognizer's pool/network/LM stay one shared copy.
+        self._proc = ctx.Process(
+            target=_process_worker_main,
+            args=(worker_id, recognizer, max_lanes, poll_s, self._inbox, outbox),
+            name=f"serve-shard-{worker_id}",
+            daemon=True,
+        )
+
+    def start(self) -> None:
+        self._proc.start()
+
+    def submit(self, job: DecodeJob) -> None:
+        self._inbox.put(job)
+
+    def cancel(self, utt_id: int) -> None:
+        self._inbox.put(CancelJob(utt_id))
+
+    def request_stop(self) -> None:
+        self._inbox.put(STOP)
+
+    def join(self, timeout: float) -> bool:
+        self._proc.join(timeout)
+        return self._proc.exitcode is not None
+
+    def terminate(self) -> None:
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(1.0)
+
+
+def start_outbox_pump(
+    outbox, emit: Callable[[int, object], None]
+) -> tuple[threading.Thread, Callable[[], None]]:
+    """Drain a shared worker outbox onto ``emit`` from a daemon thread.
+
+    Returns the pump thread and a ``stop()`` that unblocks and ends it
+    (by sending a sentinel through the queue itself, so no poll loop).
+    ``emit`` exceptions are swallowed: a closing event loop must not
+    kill the pump while late worker events are still in flight.
+    """
+
+    def pump() -> None:
+        while True:
+            try:
+                worker_id, event = outbox.get()
+            except (EOFError, OSError):  # queue torn down under us
+                return
+            if (worker_id, event) == _PUMP_STOP:
+                return
+            try:
+                emit(worker_id, event)
+            except RuntimeError:  # event loop already closed
+                pass
+
+    thread = threading.Thread(target=pump, name="serve-outbox-pump", daemon=True)
+    thread.start()
+
+    def stop() -> None:
+        outbox.put(_PUMP_STOP)
+
+    return thread, stop

@@ -1,0 +1,69 @@
+"""Per-server metrics: queue depth, lane utilization, latency, RTF.
+
+The engine loops emit :class:`~repro.runtime.serving.LoopStats`
+snapshots with their result events; the server folds those together
+with its own admission counters and completed-session latencies into
+one :class:`ServerMetrics` view — no side tables, no extra clocks (the
+per-utterance stamps ride on
+:class:`~repro.decoder.recognizer.DecodeTiming`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ServerMetrics", "WorkerMetrics", "percentile"]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The ``q``-quantile (0..1, linear interpolation); 0.0 if empty."""
+    if not values:
+        return 0.0
+    return float(np.quantile(values, q))
+
+
+@dataclass(frozen=True)
+class WorkerMetrics:
+    """One engine's live view."""
+
+    worker: int
+    in_flight: int  # jobs dispatched to it, not yet resolved
+    steps: int
+    frames_processed: int
+    max_lanes: int
+    alive: bool
+
+    @property
+    def lane_utilization(self) -> float:
+        slots = self.steps * self.max_lanes
+        return self.frames_processed / slots if slots else 0.0
+
+
+@dataclass(frozen=True)
+class ServerMetrics:
+    """The whole front door at a glance."""
+
+    submitted: int
+    completed: int
+    timeouts: int
+    cancelled: int
+    errors: int
+    rejections: int
+    queue_depth: int  # waiting in the server's admission queue
+    in_flight: int  # dispatched to workers, unresolved
+    workers: list[WorkerMetrics] = field(default_factory=list)
+    latency_p50_s: float = 0.0  # end-to-end, completed utterances
+    latency_p95_s: float = 0.0
+    wait_p50_s: float = 0.0  # enqueue -> lane admission
+    wait_p95_s: float = 0.0
+    rtf: float = 0.0  # total decode wall time / total audio decoded
+    audio_seconds: float = 0.0
+
+    @property
+    def lane_utilization(self) -> float:
+        """Frame-weighted utilization across every worker's lane bank."""
+        slots = sum(w.steps * w.max_lanes for w in self.workers)
+        frames = sum(w.frames_processed for w in self.workers)
+        return frames / slots if slots else 0.0

@@ -1,0 +1,739 @@
+"""The asyncio front door: sessions, admission control, sharding.
+
+One :class:`Server` owns a bounded admission queue and ``num_workers``
+engine workers (threads in-process, or forked worker processes in the
+sharded mode), each running a
+:class:`~repro.runtime.serving.ServeLoop` over its own
+``max_lanes``-wide :class:`~repro.runtime.batch.LaneBank`:
+
+    submit()/open_session()           asyncio event loop (this module)
+        │  AdmissionRejected when the bounded queue is full
+        ▼
+    admission queue ──dispatch──▶ worker 0 [lane bank, max_lanes]
+        │   round-robin +         worker 1 [lane bank, max_lanes]
+        │   least-loaded          ...
+        ▼
+    ServeResult futures  ◀─events── JobDone / JobTimedOut / ...
+
+Deadline semantics: a deadline is an ABSOLUTE budget from enqueue.  A
+job that expires while queued is shed without ever touching a lane; a
+job that expires mid-decode is early-retired
+(:meth:`~repro.runtime.batch.LaneBank.cancel`), freeing its lane on
+the very next engine iteration — in both cases the client's future
+resolves to a typed :class:`~repro.serve.types.ServeResult` with
+``status=TIMEOUT``, and no surviving utterance's output moves by a
+bit.
+
+All public methods must be called from the event-loop thread; worker
+events re-enter the loop through ``call_soon_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import multiprocessing
+import time
+from collections import deque
+
+import numpy as np
+
+from repro.decoder.recognizer import Recognizer, validate_utterance_features
+from repro.decoder.streaming import StreamingRecognizer
+from repro.frontend.features import Frontend, StreamingAudioBuffer
+from repro.runtime.batch import BatchRecognizer
+from repro.runtime.serving import (
+    DecodeJob,
+    JobCancelled,
+    JobDone,
+    JobFailed,
+    JobTimedOut,
+    LoopStats,
+    ServeStopped,
+)
+from repro.serve.engine import (
+    ProcessEngineWorker,
+    ThreadEngineWorker,
+    start_outbox_pump,
+)
+from repro.serve.metrics import ServerMetrics, WorkerMetrics, percentile
+from repro.serve.types import (
+    AdmissionRejected,
+    ServeResult,
+    ServeStatus,
+    ServerClosed,
+)
+
+__all__ = ["Server", "Session", "StreamSession"]
+
+_LATENCY_WINDOW = 4096  # completed-utterance latencies kept for p50/p95
+
+
+class Session:
+    """A ticket for one submitted utterance.
+
+    ``await session.result()`` resolves to the typed
+    :class:`~repro.serve.types.ServeResult` — a normal completion, a
+    deadline miss, a cancellation, or an engine error.  The future
+    never raises for those outcomes; only a torn-down server rejects
+    it.
+    """
+
+    def __init__(
+        self, server: "Server", utt_id: int, enqueued_at: float
+    ) -> None:
+        self._server = server
+        self.utt_id = utt_id
+        self.enqueued_at = enqueued_at
+        self.worker: int | None = None
+        self._future: asyncio.Future[ServeResult] = (
+            server._aio_loop.create_future()
+        )
+
+    @property
+    def done(self) -> bool:
+        return self._future.done()
+
+    async def result(self) -> ServeResult:
+        return await self._future
+
+    def cancel(self) -> bool:
+        """Request cancellation; True if the session was still live."""
+        return self._server._cancel_session(self)
+
+
+class StreamSession:
+    """A push-style client session: stream frames or audio, then decode.
+
+    Feature frames stream through :meth:`send_frames`; raw audio
+    chunks stream through :meth:`send_audio` (stitched and run through
+    the frontend at :meth:`finish`).  If ``on_partial`` is given (or
+    ``endpointing=True``), a per-session
+    :class:`~repro.decoder.streaming.StreamingRecognizer` (sharing the
+    server's models) follows the frame stream, invoking the callback
+    with refreshed partial hypotheses and auto-finishing the session
+    when its decoder-driven endpointer fires.  The
+    authoritative result always comes from the batched engine, so it is
+    bit-identical to a sequential decode regardless of how the frames
+    arrived.
+    """
+
+    def __init__(
+        self,
+        server: "Server",
+        deadline_s: float | None,
+        on_partial,
+        partial_interval: int,
+        endpoint_silence_frames: int,
+        auto_finish: bool,
+        endpointing: bool | None,
+    ) -> None:
+        self._server = server
+        self._deadline_s = deadline_s
+        self._auto_finish = auto_finish
+        self._frames: list[np.ndarray] = []
+        self._leftover: np.ndarray | None = None
+        self._audio: StreamingAudioBuffer | None = None
+        self._session: Session | None = None
+        self._streaming: StreamingRecognizer | None = None
+        # The endpointer IS the streaming decoder; running it costs a
+        # sequential decode alongside the engine's, so it is on only
+        # when the client asks for partials or for endpointing
+        # explicitly — a plain buffer-then-finish() session stays free.
+        if endpointing is None:
+            endpointing = on_partial is not None
+        if on_partial is not None or endpointing:
+            self._streaming = StreamingRecognizer(
+                server._partial_recognizer(),
+                partial_interval=partial_interval if on_partial else 0,
+                endpoint_silence_frames=endpoint_silence_frames,
+                on_partial=on_partial,
+            )
+
+    @property
+    def finished(self) -> bool:
+        return self._session is not None
+
+    @property
+    def endpointed(self) -> bool:
+        return self._streaming is not None and self._streaming.ended
+
+    def send_frames(self, frames: np.ndarray) -> bool:
+        """Push one frame ``(L,)`` or a block ``(n, L)``.
+
+        Returns True if the endpointer fired and the session
+        auto-finished.  Frames arriving AFTER the endpoint — in the
+        same block or any later call (``auto_finish=False``) — belong
+        to the next utterance: they are never decoded here but kept in
+        :attr:`leftover_frames` so the caller can seed its next
+        session with them instead of losing audio.
+        """
+        if self._session is not None:
+            raise RuntimeError("session already finished")
+        if self._audio is not None:
+            raise RuntimeError("session is streaming audio, not frames")
+        # Our own copy: streaming clients canonically refill one frame
+        # buffer per tick, so keeping views of the caller's memory
+        # would turn the whole utterance into N copies of its last
+        # frame by finish() time.
+        block = np.array(np.atleast_2d(frames), dtype=np.float64)
+        for i, frame in enumerate(block):
+            if self.endpointed:
+                rest = block[i:]
+                self._leftover = (
+                    rest
+                    if self._leftover is None
+                    else np.vstack([self._leftover, rest])
+                )
+                break
+            self._frames.append(frame)
+            if self._streaming is not None and not self._streaming.ended:
+                self._streaming.feed(frame)
+        if self._auto_finish and self.endpointed:
+            self.finish()
+            return True
+        return False
+
+    @property
+    def leftover_frames(self) -> np.ndarray | None:
+        """Frames received after the endpoint fired (next utterance's
+        opening frames), or None if the stream split cleanly."""
+        return self._leftover
+
+    def send_audio(self, chunk: np.ndarray) -> None:
+        """Push a raw audio chunk (any length); features at finish."""
+        if self._session is not None:
+            raise RuntimeError("session already finished")
+        if self._frames:
+            raise RuntimeError("session is streaming frames, not audio")
+        if self._streaming is not None:
+            # Partials/endpointing run on feature frames; silently
+            # ignoring them for an audio stream would leave a client
+            # waiting on an endpoint that can never fire.
+            raise RuntimeError(
+                "partial callbacks/endpointing need frame streaming "
+                "(send_frames); audio sessions buffer until finish()"
+            )
+        if self._audio is None:
+            self._audio = StreamingAudioBuffer(self._server._frontend())
+        self._audio.append(chunk)
+
+    def finish(self) -> Session:
+        """Close the stream and submit the utterance for decoding.
+
+        Admission control applies here (the decode request enters the
+        bounded queue now), so this can raise
+        :class:`~repro.serve.types.AdmissionRejected`.
+        """
+        if self._session is None:
+            if self._audio is not None:
+                features = self._audio.extract()
+            elif self._frames:
+                features = np.vstack(self._frames)
+            else:
+                raise ValueError("cannot finish an empty session")
+            self._session = self._server.submit(
+                features, deadline_s=self._deadline_s
+            )
+        return self._session
+
+    async def result(self) -> ServeResult:
+        return await self.finish().result()
+
+
+class Server:
+    """Async serving front door over one recognizer's models.
+
+    Parameters
+    ----------
+    recognizer:
+        A configured sequential :class:`Recognizer` (any scoring
+        mode).  Each worker gets its own batched twin via
+        :meth:`BatchRecognizer.from_recognizer`, so all engines share
+        the compiled network, senone pool and LM — and, in the process
+        mode, share them physically through fork's copy-on-write pages.
+    num_workers / max_lanes:
+        Engine count and lanes per engine; total decode concurrency is
+        their product.
+    max_queue:
+        Bound on the server-side admission queue; a submit that finds
+        it full raises :class:`AdmissionRejected` (load shedding).
+    use_processes:
+        True forks each worker (the sharded mode); False runs them as
+        threads of this process.
+    default_deadline_s:
+        Deadline applied when ``submit`` gets none (None = unbounded).
+    worker_backlog:
+        Jobs dispatched to a worker beyond its ``max_lanes`` so a
+        retiring lane refills without a round trip through the server
+        (default: ``max_lanes``).
+    """
+
+    def __init__(
+        self,
+        recognizer: Recognizer,
+        *,
+        num_workers: int = 1,
+        max_lanes: int = 8,
+        max_queue: int = 32,
+        use_processes: bool = False,
+        default_deadline_s: float | None = None,
+        worker_backlog: int | None = None,
+        poll_s: float = 0.002,
+        sweep_s: float = 0.02,
+        frontend: Frontend | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if max_lanes < 1:
+            raise ValueError(f"max_lanes must be >= 1, got {max_lanes}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if worker_backlog is None:
+            worker_backlog = max_lanes
+        if worker_backlog < 0:
+            raise ValueError(f"worker_backlog must be >= 0, got {worker_backlog}")
+        self.recognizer = recognizer
+        self.num_workers = num_workers
+        self.max_lanes = max_lanes
+        self.max_queue = max_queue
+        self.use_processes = use_processes
+        self.default_deadline_s = default_deadline_s
+        self._capacity = max_lanes + worker_backlog
+        self._poll_s = poll_s
+        self._sweep_s = sweep_s
+        self._frontend_obj = frontend
+
+        self._state = "new"  # new -> running -> stopping -> stopped
+        self._ids = itertools.count()
+        self._pick_seq = itertools.count()
+        self._pending: deque[tuple[DecodeJob, Session]] = deque()
+        self._sessions: dict[int, Session] = {}
+        self._workers: list = []
+        self._worker_alive: list[bool] = []
+        self._worker_last_pick: list[int] = []
+        self._in_flight: list[int] = []
+        self._worker_stats: dict[int, LoopStats] = {}
+        self._stopped_events: dict[int, asyncio.Event] = {}
+        self._pump_stop = None
+        self._pump_thread = None
+        self._sweeper: asyncio.Task | None = None
+        self._aio_loop: asyncio.AbstractEventLoop | None = None
+
+        # Counters and latency windows for metrics().
+        self._submitted = 0
+        self._completed = 0
+        self._timeouts = 0
+        self._cancelled = 0
+        self._errors = 0
+        self._rejections = 0
+        self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self._waits: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self._decode_s_total = 0.0
+        self._audio_s_total = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "Server":
+        if self._state != "new":
+            raise RuntimeError(f"cannot start a {self._state} server")
+        self._aio_loop = asyncio.get_running_loop()
+        loop = self._aio_loop
+
+        def emit(worker_id: int, event: object) -> None:
+            try:
+                loop.call_soon_threadsafe(self._on_event, worker_id, event)
+            except RuntimeError:
+                pass  # loop already closed; late events have no audience
+
+        twins = [
+            BatchRecognizer.from_recognizer(self.recognizer)
+            for _ in range(self.num_workers)
+        ]
+        if self.use_processes:
+            # Fork FIRST, before any helper thread exists, so each
+            # child is single-threaded and inherits the models through
+            # copy-on-write pages (the fork-friendly model handoff).
+            ctx = multiprocessing.get_context("fork")
+            outbox = ctx.Queue()
+            self._workers = [
+                ProcessEngineWorker(
+                    i, twins[i], self.max_lanes, self._poll_s, outbox, ctx
+                )
+                for i in range(self.num_workers)
+            ]
+            for worker in self._workers:
+                worker.start()
+            self._pump_thread, self._pump_stop = start_outbox_pump(outbox, emit)
+        else:
+            self._workers = [
+                ThreadEngineWorker(i, twins[i], self.max_lanes, self._poll_s, emit)
+                for i in range(self.num_workers)
+            ]
+            for worker in self._workers:
+                worker.start()
+        self._worker_alive = [True] * self.num_workers
+        self._worker_last_pick = [-1] * self.num_workers
+        self._in_flight = [0] * self.num_workers
+        self._stopped_events = {
+            i: asyncio.Event() for i in range(self.num_workers)
+        }
+        self._sweeper = loop.create_task(self._sweep_deadlines())
+        self._state = "running"
+        return self
+
+    async def stop(self, drain: bool = True, timeout: float = 60.0) -> None:
+        """Shut down: ``drain`` finishes accepted work first, else it
+        is cancelled.  Idempotent."""
+        if self._state in ("stopped", "new"):
+            self._state = "stopped"
+            return
+        if self._state == "running":
+            self._state = "stopping"
+        if not drain:
+            for job, session in list(self._pending):
+                self._resolve(session, ServeStatus.CANCELLED, detail="server stop")
+            self._pending.clear()
+            for session in list(self._sessions.values()):
+                if session.worker is not None:
+                    self._workers[session.worker].cancel(session.utt_id)
+        futures = [s._future for s in self._sessions.values()]
+        if futures:
+            await asyncio.wait(futures, timeout=timeout)
+        for worker in self._workers:
+            worker.request_stop()
+        stop_waits = [
+            asyncio.wait_for(event.wait(), timeout=timeout)
+            for event in self._stopped_events.values()
+        ]
+        await asyncio.gather(*stop_waits, return_exceptions=True)
+        loop = asyncio.get_running_loop()
+        for worker in self._workers:
+            joined = await loop.run_in_executor(None, worker.join, 5.0)
+            if not joined:
+                worker.terminate()
+        if self._pump_stop is not None:
+            self._pump_stop()
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            self._sweeper = None
+        # Anything still unresolved (a worker died mid-stop) errors out.
+        for session in list(self._sessions.values()):
+            self._resolve(
+                session, ServeStatus.ERROR, detail="server stopped"
+            )
+        self._pending.clear()
+        self._state = "stopped"
+
+    async def __aenter__(self) -> "Server":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop(drain=not any(exc))
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        features: np.ndarray,
+        *,
+        deadline_s: float | None = None,
+        enqueued_at: float | None = None,
+    ) -> Session:
+        """Enqueue one utterance; returns its :class:`Session` ticket.
+
+        Raises :class:`AdmissionRejected` when the bounded queue is
+        full (load shedding — nothing was enqueued), ValueError for
+        malformed features, :class:`ServerClosed` when not running.
+        """
+        if self._state != "running":
+            raise ServerClosed(f"server is {self._state}")
+        if not any(self._worker_alive):
+            # Nothing can ever dispatch this job; refusing beats
+            # handing back a future that would never resolve.
+            raise ServerClosed("all workers have exited")
+        # Shed BEFORE validating: rejection is the hot path under
+        # overload and must stay O(1), not pay a feature-matrix copy.
+        if len(self._pending) >= self.max_queue:
+            self._rejections += 1
+            raise AdmissionRejected(len(self._pending), self.max_queue)
+        feats = validate_utterance_features(
+            self.recognizer.pool.dim, self._submitted, features
+        )
+        now = time.monotonic()
+        if enqueued_at is None:
+            enqueued_at = now
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        deadline_at = None if deadline_s is None else enqueued_at + deadline_s
+        utt_id = next(self._ids)
+        job = DecodeJob(utt_id, feats, enqueued_at, deadline_at)
+        session = Session(self, utt_id, enqueued_at)
+        self._sessions[utt_id] = session
+        self._submitted += 1
+        self._pending.append((job, session))
+        self._dispatch()
+        return session
+
+    def submit_audio(self, waveform: np.ndarray, **kwargs) -> Session:
+        """Run a raw waveform through the frontend, then :meth:`submit`."""
+        return self.submit(
+            self._frontend().extract(np.asarray(waveform, dtype=np.float64)),
+            **kwargs,
+        )
+
+    async def decode(self, features: np.ndarray, **kwargs) -> ServeResult:
+        """Submit and await in one call."""
+        return await self.submit(features, **kwargs).result()
+
+    def open_session(
+        self,
+        *,
+        deadline_s: float | None = None,
+        on_partial=None,
+        partial_interval: int = 20,
+        endpoint_silence_frames: int = 30,
+        auto_finish: bool = True,
+        endpointing: bool | None = None,
+    ) -> StreamSession:
+        """Open a push-style streaming session (see :class:`StreamSession`).
+
+        The decoder-driven endpointer (and with it ``auto_finish``)
+        runs when ``on_partial`` is given or ``endpointing=True``;
+        otherwise the session simply buffers until :meth:`finish`.
+        """
+        if self._state != "running":
+            raise ServerClosed(f"server is {self._state}")
+        return StreamSession(
+            self,
+            deadline_s,
+            on_partial,
+            partial_interval,
+            endpoint_silence_frames,
+            auto_finish,
+            endpointing,
+        )
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def metrics(self) -> ServerMetrics:
+        workers = []
+        for i in range(len(self._workers)):
+            stats = self._worker_stats.get(i)
+            workers.append(
+                WorkerMetrics(
+                    worker=i,
+                    in_flight=self._in_flight[i] if self._in_flight else 0,
+                    steps=stats.steps if stats else 0,
+                    frames_processed=stats.frames_processed if stats else 0,
+                    max_lanes=self.max_lanes,
+                    alive=bool(self._worker_alive and self._worker_alive[i]),
+                )
+            )
+        latencies = list(self._latencies)
+        waits = list(self._waits)
+        return ServerMetrics(
+            submitted=self._submitted,
+            completed=self._completed,
+            timeouts=self._timeouts,
+            cancelled=self._cancelled,
+            errors=self._errors,
+            rejections=self._rejections,
+            queue_depth=len(self._pending),
+            in_flight=sum(self._in_flight) if self._in_flight else 0,
+            workers=workers,
+            latency_p50_s=percentile(latencies, 0.50),
+            latency_p95_s=percentile(latencies, 0.95),
+            wait_p50_s=percentile(waits, 0.50),
+            wait_p95_s=percentile(waits, 0.95),
+            rtf=(
+                self._decode_s_total / self._audio_s_total
+                if self._audio_s_total
+                else 0.0
+            ),
+            audio_seconds=self._audio_s_total,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _frontend(self) -> Frontend:
+        if self._frontend_obj is None:
+            self._frontend_obj = Frontend()
+        return self._frontend_obj
+
+    def _partial_recognizer(self) -> Recognizer:
+        """A lightweight per-session recognizer for partial hypotheses.
+
+        Always reference mode (exact, no per-lane state) over the
+        SHARED network/pool/LM — only the per-session decode state is
+        new.  The engine's authoritative result is unaffected.
+        """
+        rec = self.recognizer
+        return Recognizer(
+            network=rec.network,
+            pool=rec.pool,
+            lm=rec.lm,
+            config=rec.config,
+            mode="reference",
+            tying=rec.tying,
+            frame_period_s=rec.frame_period_s,
+        )
+
+    def _pick_worker(self) -> int | None:
+        """Least-loaded worker with spare capacity; round-robin ties."""
+        best = None
+        best_key = None
+        for i in range(len(self._workers)):
+            if not self._worker_alive[i] or self._in_flight[i] >= self._capacity:
+                continue
+            key = (self._in_flight[i], self._worker_last_pick[i])
+            if best_key is None or key < best_key:
+                best, best_key = i, key
+        return best
+
+    def _dispatch(self) -> None:
+        while self._pending:
+            worker_id = self._pick_worker()
+            if worker_id is None:
+                return
+            job, session = self._pending.popleft()
+            if (
+                job.deadline_at is not None
+                and time.monotonic() >= job.deadline_at
+            ):
+                self._resolve(
+                    session,
+                    ServeStatus.TIMEOUT,
+                    detail="queued (shed before dispatch)",
+                )
+                continue
+            session.worker = worker_id
+            self._in_flight[worker_id] += 1
+            self._worker_last_pick[worker_id] = next(self._pick_seq)
+            self._workers[worker_id].submit(job)
+
+    def _cancel_session(self, session: Session) -> bool:
+        if session.utt_id not in self._sessions:
+            return False
+        if session.worker is None:
+            for i, (job, pending_session) in enumerate(self._pending):
+                if pending_session is session:
+                    del self._pending[i]
+                    break
+            self._resolve(session, ServeStatus.CANCELLED, detail="queued")
+        else:
+            self._workers[session.worker].cancel(session.utt_id)
+        return True
+
+    def _resolve(
+        self,
+        session: Session,
+        status: ServeStatus,
+        *,
+        result=None,
+        frames_decoded: int = 0,
+        detail: str = "",
+    ) -> None:
+        self._sessions.pop(session.utt_id, None)
+        if session._future.done():
+            return
+        finished_at = time.monotonic()
+        serve_result = ServeResult(
+            utt_id=session.utt_id,
+            status=status,
+            result=result,
+            worker=session.worker,
+            enqueued_at=session.enqueued_at,
+            finished_at=finished_at,
+            frames_decoded=frames_decoded,
+            detail=detail,
+        )
+        session._future.set_result(serve_result)
+        if status is ServeStatus.OK:
+            self._completed += 1
+            self._latencies.append(serve_result.latency_s)
+            if result is not None and result.timing is not None:
+                self._waits.append(result.timing.wait_s)
+                self._decode_s_total += result.timing.decode_s
+                self._audio_s_total += result.audio_seconds
+        elif status is ServeStatus.TIMEOUT:
+            self._timeouts += 1
+        elif status is ServeStatus.CANCELLED:
+            self._cancelled += 1
+        else:
+            self._errors += 1
+
+    def _on_event(self, worker_id: int, event: object) -> None:
+        if isinstance(event, (JobDone, JobTimedOut, JobCancelled, JobFailed)):
+            session = self._sessions.get(event.utt_id)
+            if session is None:
+                # Late event for a session already resolved locally
+                # (e.g. failed at stop() after terminating a wedged
+                # worker) — its in-flight slot was already released.
+                return
+            self._in_flight[worker_id] -= 1
+            if isinstance(event, JobDone):
+                self._resolve(session, ServeStatus.OK, result=event.result)
+            elif isinstance(event, JobTimedOut):
+                self._resolve(
+                    session,
+                    ServeStatus.TIMEOUT,
+                    frames_decoded=event.frames_decoded,
+                    detail=event.stage,
+                )
+            elif isinstance(event, JobCancelled):
+                self._resolve(
+                    session,
+                    ServeStatus.CANCELLED,
+                    frames_decoded=event.frames_decoded,
+                    detail=event.stage,
+                )
+            else:
+                self._resolve(session, ServeStatus.ERROR, detail=event.error)
+        elif isinstance(event, LoopStats):
+            self._worker_stats[worker_id] = event
+        elif isinstance(event, ServeStopped):
+            self._worker_stats[worker_id] = event.stats
+            self._worker_alive[worker_id] = False
+            stopped = self._stopped_events.get(worker_id)
+            if stopped is not None:
+                stopped.set()
+            if event.error is not None or self._state == "running":
+                # The worker died (crash, or exited while we were
+                # still serving): fail everything it was holding.
+                detail = event.error or "worker exited"
+                for session in [
+                    s
+                    for s in self._sessions.values()
+                    if s.worker == worker_id
+                ]:
+                    self._resolve(session, ServeStatus.ERROR, detail=detail)
+                self._in_flight[worker_id] = 0
+            if not any(self._worker_alive):
+                for job, session in list(self._pending):
+                    self._resolve(
+                        session, ServeStatus.ERROR, detail="no live workers"
+                    )
+                self._pending.clear()
+        self._dispatch()
+
+    async def _sweep_deadlines(self) -> None:
+        """Shed queued jobs whose deadline passed before dispatch."""
+        while True:
+            await asyncio.sleep(self._sweep_s)
+            if not self._pending:
+                continue
+            now = time.monotonic()
+            kept: deque[tuple[DecodeJob, Session]] = deque()
+            for job, session in self._pending:
+                if job.deadline_at is not None and now >= job.deadline_at:
+                    self._resolve(
+                        session, ServeStatus.TIMEOUT, detail="queued"
+                    )
+                else:
+                    kept.append((job, session))
+            self._pending = kept

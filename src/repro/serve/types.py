@@ -1,0 +1,87 @@
+"""Typed results and rejections of the serving front door.
+
+Admission failures are EXCEPTIONS (raised at ``submit`` time — the
+client never gets a ticket), while deadline misses, cancellations and
+worker errors are RESULTS (the client holds a ticket; it resolves to a
+:class:`ServeResult` whose ``status`` says what happened).  That split
+mirrors the two control points of the tentpole: load shedding at the
+door, deadlines inside the engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.decoder.recognizer import RecognitionResult
+
+__all__ = [
+    "AdmissionRejected",
+    "ServeResult",
+    "ServeStatus",
+    "ServerClosed",
+]
+
+
+class ServeStatus(enum.Enum):
+    """How a submitted utterance resolved."""
+
+    OK = "ok"  # decoded; ``result`` holds the RecognitionResult
+    TIMEOUT = "timeout"  # missed its deadline (queued or mid-decode)
+    CANCELLED = "cancelled"  # client cancelled it
+    ERROR = "error"  # rejected by the engine or its worker died
+
+
+class AdmissionRejected(RuntimeError):
+    """Load shed at the door: the bounded admission queue is full.
+
+    Carries the observed depth so callers can implement backpressure
+    (retry with jitter, spill to another server, degrade).
+    """
+
+    def __init__(self, queue_depth: int, max_queue: int) -> None:
+        super().__init__(
+            f"admission queue full ({queue_depth}/{max_queue} waiting)"
+        )
+        self.queue_depth = queue_depth
+        self.max_queue = max_queue
+
+
+class ServerClosed(RuntimeError):
+    """Submitted to a server that is not running."""
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """What one submitted utterance resolved to.
+
+    ``result`` is populated only for :attr:`ServeStatus.OK`; its
+    embedded :class:`~repro.decoder.recognizer.DecodeTiming` carries
+    the queue-wait / decode-time / RTF breakdown.  ``latency_s`` is the
+    end-to-end enqueue-to-resolution wall time and is populated for
+    every status (a timeout's latency is how long the client waited to
+    learn of it).  ``detail`` disambiguates non-OK statuses (timeout
+    stage, error text); ``frames_decoded`` counts work discarded by a
+    mid-decode timeout or cancellation.
+    """
+
+    utt_id: int
+    status: ServeStatus
+    result: RecognitionResult | None
+    worker: int | None
+    enqueued_at: float
+    finished_at: float
+    frames_decoded: int = 0
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ServeStatus.OK
+
+    @property
+    def words(self) -> tuple[str, ...] | None:
+        return self.result.words if self.result is not None else None
+
+    @property
+    def latency_s(self) -> float:
+        return self.finished_at - self.enqueued_at

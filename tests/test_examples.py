@@ -19,7 +19,11 @@ def _run(name: str, capsys) -> str:
     [
         ("quickstart.py", ["WER", "active senones"]),
         ("hardware_trace.py", ["logadd SRAM: 512 bytes", "add&compare", "senone[0]"]),
-        ("streaming_demo.py", ["endpoint", "final:", "correct"]),
+        (
+            "streaming_demo.py",
+            ["partial:", "endpoint", "final:", "correct",
+             "deadline miss -> typed timeout", "server metrics:"],
+        ),
         ("model_persistence.py", ["round trip", "identical"]),
         (
             "batch_throughput.py",

@@ -162,6 +162,73 @@ class TestBlasGolden:
             self._assert_blas_matches(lane, expected)
 
 
+class TestCancellationGolden:
+    """Early-retire (serving deadlines/cancellation) vs the fixtures.
+
+    A lane cancelled MID-decode must not perturb any surviving lane's
+    bit-exact output — the invariant the serving front door's deadline
+    enforcement rests on.  Decodes every golden utterance alongside a
+    victim lane that is cancelled partway through, in every golden
+    mode (the fast mode exercises the scorer's per-lane state teardown
+    on cancel), then checks each survivor against the committed
+    fixture.
+    """
+
+    def _drive_with_cancellation(self, rec, feats, victim_feats, reseed=None):
+        from repro.runtime.batch import LaneBank
+
+        batch = rec.as_batch()
+        batch._reset_accounting()
+        bank = LaneBank(batch, len(feats) + 1)
+        for lane, f in enumerate(feats):
+            bank.admit(lane, lane, batch._validate_features(lane, f))
+        victim_lane = len(feats)
+        bank.admit(
+            victim_lane, 900, batch._validate_features(victim_lane, victim_feats)
+        )
+        cancel_at = min(f.shape[0] for f in feats) // 2  # everyone mid-decode
+        assert 0 < cancel_at < victim_feats.shape[0]
+        results = {}
+        cancelled = False
+        while bank.any_active:
+            if not cancelled and bank.steps == cancel_at:
+                frames_done = bank.cancel(victim_lane)
+                assert frames_done == cancel_at
+                cancelled = True
+                if reseed is not None:
+                    bank.admit(
+                        victim_lane,
+                        901,
+                        batch._validate_features(victim_lane, reseed),
+                    )
+            for lane in bank.step():
+                utt = int(bank.lane_utt[lane])
+                results[utt] = bank.retire(lane)
+        assert cancelled
+        return results
+
+    def test_cancelled_lane_does_not_perturb_survivors(self, golden):
+        rec, fixture, feats = golden
+        results = self._drive_with_cancellation(rec, feats, feats[0])
+        assert 900 not in results  # the victim never produced a result
+        for utt, expected in enumerate(fixture["utterances"]):
+            _assert_matches_golden(results[utt], expected)
+
+    def test_reseeded_lane_after_cancel_matches_golden(self, golden):
+        """A lane freed by cancellation and immediately re-admitted
+        decodes its new utterance exactly as a sequential decode —
+        no state from the cancelled occupant leaks through."""
+        rec, fixture, feats = golden
+        results = self._drive_with_cancellation(
+            rec, feats, feats[0], reseed=feats[1]
+        )
+        for utt, expected in enumerate(fixture["utterances"]):
+            _assert_matches_golden(results[utt], expected)
+        # The reseeded utterance re-used feats[1]'s features, so it
+        # must match that fixture bit for bit as well.
+        _assert_matches_golden(results[901], fixture["utterances"][1])
+
+
 class TestContinuousGolden:
     def test_continuous_stream_matches_golden(self, golden):
         """Few lanes + ragged lengths forces mid-decode refill."""

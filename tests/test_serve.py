@@ -1,0 +1,645 @@
+"""The async serving front door (`repro.serve`) + its runtime bridge.
+
+Covers, per the PR's acceptance criteria:
+
+* the push-queue :class:`~repro.runtime.serving.ServeLoop` bridge
+  (deterministic deadline interleavings via an injected clock);
+* wall-clock timing metadata populated by ALL THREE runtimes;
+* admission control (typed :class:`AdmissionRejected` load shedding),
+  typed deadline timeouts (queued and mid-decode), cancellation;
+* streaming sessions (frames + raw audio through the frontend,
+  partial-hypothesis callbacks, endpoint auto-finish);
+* the headline integration: >= 16 concurrent sessions through a
+  2-worker SHARDED (forked) server at ``max_lanes=4`` per engine, in
+  reference and blas modes, with per-utterance outputs bit-identical
+  (reference) / word-identical within tolerance (blas) to sequential
+  decode, deadline-missed sessions resolving to typed timeouts and
+  over-capacity submits raising typed rejections.
+
+No pytest-asyncio dependency: async tests run under ``asyncio.run``.
+"""
+
+import asyncio
+import queue
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.decoder import Recognizer
+from repro.decoder.scorer import BLAS_SCORE_ATOL
+from repro.runtime.serving import (
+    STOP,
+    CancelJob,
+    DecodeJob,
+    JobCancelled,
+    JobDone,
+    JobTimedOut,
+    LoopStats,
+    ServeLoop,
+    ServeStopped,
+)
+from repro.serve import AdmissionRejected, ServeStatus, Server, ServerClosed
+
+
+def make_recognizer(task, mode="reference"):
+    return Recognizer.create(
+        task.dictionary, task.pool, task.lm, task.tying, mode=mode
+    )
+
+
+@pytest.fixture(scope="module")
+def recognizer(task):
+    return make_recognizer(task)
+
+
+@pytest.fixture(scope="module")
+def workload(task):
+    """16+ ragged utterances (full + truncated variants) and their
+    sequential-decode baselines."""
+    rec = make_recognizer(task)
+    features = []
+    for utt in task.corpus.test:
+        features.append(utt.features)
+        features.append(utt.features[: max(40, utt.features.shape[0] // 2)])
+    baselines = [rec.decode(f) for f in features]
+    return features, baselines
+
+
+def run_loop_inline(rec, jobs_and_commands, max_lanes=2, clock=None):
+    """Preload the inbox (commands + STOP) and run the loop to drain."""
+    inbox = queue.Queue()
+    for item in jobs_and_commands:
+        inbox.put(item)
+    inbox.put(STOP)
+    events = []
+    kwargs = {} if clock is None else {"clock": clock}
+    serve = ServeLoop(rec.as_batch(), max_lanes=max_lanes, **kwargs)
+    serve.run(inbox, events.append)
+    return events
+
+
+class FakeClock:
+    """One tick per call — deadline interleavings become step counts."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+# ----------------------------------------------------------------------
+# ServeLoop: the pull->push bridge, no asyncio involved
+# ----------------------------------------------------------------------
+class TestServeLoop:
+    def test_drains_jobs_with_sequential_parity(self, task, workload):
+        features, baselines = workload
+        rec = make_recognizer(task)
+        jobs = [
+            DecodeJob(i, f, enqueued_at=0.0) for i, f in enumerate(features[:6])
+        ]
+        events = run_loop_inline(rec, jobs, max_lanes=3)
+        done = {e.utt_id: e.result for e in events if isinstance(e, JobDone)}
+        assert sorted(done) == list(range(6))
+        for i, result in done.items():
+            assert result.words == baselines[i].words
+            assert result.score == baselines[i].score  # bit-identical
+            assert result.timing is not None
+            assert result.timing.wait_s >= 0.0
+        stopped = [e for e in events if isinstance(e, ServeStopped)]
+        assert len(stopped) == 1 and stopped[0].error is None
+        assert stopped[0].stats.completed == 6
+
+    def test_queued_deadline_is_shed_without_decoding(self, task, workload):
+        features, baselines = workload
+        rec = make_recognizer(task)
+        clock = FakeClock()
+        jobs = [
+            DecodeJob(0, features[0], enqueued_at=0.0),
+            # Deadline already in the past on the first clock read.
+            DecodeJob(1, features[1], enqueued_at=0.0, deadline_at=0.5),
+        ]
+        events = run_loop_inline(rec, jobs, max_lanes=1, clock=clock)
+        timeouts = [e for e in events if isinstance(e, JobTimedOut)]
+        assert [t.utt_id for t in timeouts] == [1]
+        assert timeouts[0].stage == "queued"
+        assert timeouts[0].frames_decoded == 0
+        done = {e.utt_id: e.result for e in events if isinstance(e, JobDone)}
+        assert done[0].words == baselines[0].words
+
+    def test_mid_decode_deadline_early_retires_without_perturbing(
+        self, task, workload
+    ):
+        """The victim is cancelled mid-utterance; the survivor sharing
+        the bank must stay bit-identical to its sequential decode."""
+        features, baselines = workload
+        rec = make_recognizer(task)
+        clock = FakeClock()
+        survivor, victim = features[0], features[2]  # victim is longer
+        assert victim.shape[0] > 40
+        jobs = [
+            DecodeJob(0, survivor, enqueued_at=0.0),
+            # ~one clock tick per loop iteration: expires mid-decode.
+            DecodeJob(1, victim, enqueued_at=0.0, deadline_at=40.0),
+        ]
+        events = run_loop_inline(rec, jobs, max_lanes=2, clock=clock)
+        timeouts = [e for e in events if isinstance(e, JobTimedOut)]
+        assert [t.utt_id for t in timeouts] == [1]
+        assert timeouts[0].stage == "decoding"
+        assert 0 < timeouts[0].frames_decoded < victim.shape[0]
+        done = {e.utt_id: e.result for e in events if isinstance(e, JobDone)}
+        assert list(done) == [0]
+        assert done[0].words == baselines[0].words
+        assert done[0].score == baselines[0].score  # bit-identical
+
+    def test_freed_lane_is_reused_after_timeout(self, task, workload):
+        """A deadline-miss frees its lane for the next waiting job."""
+        features, baselines = workload
+        rec = make_recognizer(task)
+        clock = FakeClock()
+        jobs = [
+            DecodeJob(0, features[2], enqueued_at=0.0, deadline_at=30.0),
+            DecodeJob(1, features[0], enqueued_at=0.0),  # waits for the lane
+        ]
+        events = run_loop_inline(rec, jobs, max_lanes=1, clock=clock)
+        timeouts = [e for e in events if isinstance(e, JobTimedOut)]
+        assert [t.utt_id for t in timeouts] == [0]
+        done = {e.utt_id: e.result for e in events if isinstance(e, JobDone)}
+        assert done[1].words == baselines[0].words
+        assert done[1].score == baselines[0].score
+
+    def test_queued_cancel_never_costs_a_lane(self, task, workload):
+        features, _ = workload
+        rec = make_recognizer(task)
+        jobs = [
+            DecodeJob(0, features[0], enqueued_at=0.0),
+            DecodeJob(1, features[1], enqueued_at=0.0),
+            CancelJob(1),
+        ]
+        events = run_loop_inline(rec, jobs, max_lanes=1)
+        cancelled = [e for e in events if isinstance(e, JobCancelled)]
+        assert [c.utt_id for c in cancelled] == [1]
+        assert cancelled[0].stage == "queued"
+        assert [e.utt_id for e in events if isinstance(e, JobDone)] == [0]
+
+    def test_malformed_features_fail_typed(self, task, workload):
+        features, baselines = workload
+        rec = make_recognizer(task)
+        jobs = [
+            DecodeJob(0, np.zeros((5, 3)), enqueued_at=0.0),  # wrong dim
+            DecodeJob(1, features[0], enqueued_at=0.0),
+        ]
+        events = run_loop_inline(rec, jobs, max_lanes=1)
+        failed = [e for e in events if e.__class__.__name__ == "JobFailed"]
+        assert [f.utt_id for f in failed] == [0]
+        done = {e.utt_id: e.result for e in events if isinstance(e, JobDone)}
+        assert done[1].words == baselines[0].words
+
+    def test_periodic_stats_events(self, task, workload):
+        features, _ = workload
+        rec = make_recognizer(task)
+        jobs = [DecodeJob(i, features[i], enqueued_at=0.0) for i in range(4)]
+        events = run_loop_inline(rec, jobs, max_lanes=2)
+        stats = [e for e in events if isinstance(e, LoopStats)]
+        assert stats, "expected periodic LoopStats"
+        assert 0.0 < stats[-1].utilization <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Satellite: timing metadata from all three runtimes
+# ----------------------------------------------------------------------
+class TestDecodeTiming:
+    def test_sequential_decode_stamps_timing(self, recognizer, task):
+        result = recognizer.decode(task.corpus.test[0].features)
+        assert result.timing is not None
+        assert result.timing.wait_s == 0.0  # no queue in front
+        assert result.timing.decode_s > 0.0
+        assert result.timing.total_s == result.timing.decode_s
+        assert result.rtf == result.timing.decode_s / result.audio_seconds
+
+    def test_batch_runtime_stamps_timing(self, recognizer, task):
+        feats = [u.features for u in task.corpus.test[:3]]
+        batch = recognizer.as_batch().decode_batch(feats)
+        for lane in batch:
+            assert lane.timing is not None
+            assert lane.timing.decode_s > 0.0
+            assert lane.timing.wait_s == 0.0  # admitted at step 0
+
+    def test_continuous_runtime_stamps_timing(self, recognizer, task):
+        feats = [u.features for u in task.corpus.test[:4]]
+        stream = recognizer.as_continuous().decode_stream(feats, max_lanes=2)
+        for lane in stream:
+            assert lane.timing is not None
+            assert lane.timing.decode_s > 0.0
+            assert lane.timing.wait_s >= 0.0
+
+    def test_timing_excluded_from_equality(self, recognizer, task):
+        f = task.corpus.test[0].features
+        a, b = recognizer.decode(f), recognizer.decode(f)
+        assert a.timing is not None and b.timing is not None
+        assert a.timing != b.timing  # different wall clocks...
+        assert a == b  # ...same decode
+
+
+# ----------------------------------------------------------------------
+# Server: admission control, deadlines, cancellation, metrics
+# ----------------------------------------------------------------------
+class TestServer:
+    def test_submit_parity_and_metrics(self, recognizer, workload):
+        features, baselines = workload
+
+        async def scenario():
+            async with Server(
+                recognizer, num_workers=1, max_lanes=4, max_queue=64
+            ) as server:
+                sessions = [server.submit(f) for f in features[:8]]
+                results = [await s.result() for s in sessions]
+                for result, base in zip(results, baselines):
+                    assert result.status is ServeStatus.OK
+                    assert result.words == base.words
+                    assert result.result.score == base.score
+                    assert result.result.timing.wait_s >= 0.0
+                metrics = server.metrics()
+                assert metrics.submitted == 8
+                assert metrics.completed == 8
+                assert metrics.queue_depth == 0 and metrics.in_flight == 0
+                assert metrics.latency_p95_s >= metrics.latency_p50_s > 0.0
+                assert metrics.rtf > 0.0
+                assert 0.0 < metrics.lane_utilization <= 1.0
+
+        asyncio.run(scenario())
+
+    def test_admission_rejection_is_typed_and_counted(
+        self, recognizer, workload
+    ):
+        features, _ = workload
+
+        async def scenario():
+            async with Server(
+                recognizer,
+                num_workers=1,
+                max_lanes=1,
+                worker_backlog=0,
+                max_queue=1,
+            ) as server:
+                first = server.submit(features[0])  # dispatched
+                second = server.submit(features[1])  # queued (depth 1)
+                with pytest.raises(AdmissionRejected) as err:
+                    server.submit(features[2])  # over capacity
+                assert err.value.queue_depth == 1
+                assert err.value.max_queue == 1
+                assert (await first.result()).ok
+                assert (await second.result()).ok
+                assert server.metrics().rejections == 1
+
+        asyncio.run(scenario())
+
+    def test_deadline_miss_resolves_typed_timeout(self, recognizer, workload):
+        features, baselines = workload
+
+        async def scenario():
+            async with Server(
+                recognizer, num_workers=1, max_lanes=2
+            ) as server:
+                doomed = server.submit(features[0], deadline_s=0.0)
+                fine = server.submit(features[1])
+                timeout = await doomed.result()
+                assert timeout.status is ServeStatus.TIMEOUT
+                assert timeout.result is None
+                ok = await fine.result()
+                assert ok.ok and ok.words == baselines[1].words
+                assert server.metrics().timeouts == 1
+
+        asyncio.run(scenario())
+
+    def test_cancel_resolves_typed_cancellation(self, recognizer, workload):
+        features, _ = workload
+
+        async def scenario():
+            async with Server(
+                recognizer, num_workers=1, max_lanes=1, worker_backlog=0
+            ) as server:
+                running = server.submit(features[1])
+                queued = server.submit(features[0])
+                assert queued.cancel()
+                result = await queued.result()
+                assert result.status is ServeStatus.CANCELLED
+                assert (await running.result()).ok
+                assert not queued.cancel()  # already resolved
+
+        asyncio.run(scenario())
+
+    def test_submit_validation_and_closed_server(self, recognizer, workload):
+        features, _ = workload
+
+        async def scenario():
+            server = Server(recognizer)
+            with pytest.raises(ServerClosed):
+                server.submit(features[0])
+            async with server:
+                with pytest.raises(ValueError):
+                    server.submit(np.zeros((0, recognizer.pool.dim)))
+                with pytest.raises(ValueError):
+                    server.submit(np.zeros((5, 2)))
+            with pytest.raises(ServerClosed):
+                server.submit(features[0])
+
+        asyncio.run(scenario())
+
+    def test_submit_refused_when_all_workers_died(self, recognizer, workload):
+        """A dead fleet must refuse jobs, not hand out futures that
+        can never resolve."""
+        features, _ = workload
+
+        async def scenario():
+            async with Server(recognizer, num_workers=1) as server:
+                # Simulate the worker dying out from under the server.
+                server._workers[0].request_stop()
+                for _ in range(200):
+                    if not server._worker_alive[0]:
+                        break
+                    await asyncio.sleep(0.01)
+                assert not server._worker_alive[0]
+                with pytest.raises(ServerClosed):
+                    server.submit(features[0])
+
+        asyncio.run(scenario())
+
+    def test_default_deadline_applies(self, recognizer, workload):
+        features, _ = workload
+
+        async def scenario():
+            async with Server(
+                recognizer, num_workers=1, max_lanes=1, default_deadline_s=0.0
+            ) as server:
+                result = await server.submit(features[0]).result()
+                assert result.status is ServeStatus.TIMEOUT
+                # An explicit deadline overrides the default.
+                result = await server.submit(
+                    features[0], deadline_s=30.0
+                ).result()
+                assert result.ok
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Streaming sessions: frames, audio chunks, partials, endpointing
+# ----------------------------------------------------------------------
+class TestStreamSession:
+    def test_frame_streaming_matches_sequential(self, recognizer, workload):
+        features, baselines = workload
+
+        async def scenario():
+            async with Server(recognizer, num_workers=1, max_lanes=2) as server:
+                session = server.open_session()
+                feats = features[0]
+                for start in range(0, feats.shape[0], 25):
+                    session.send_frames(feats[start : start + 25])
+                result = await session.result()
+                assert result.ok
+                assert result.words == baselines[0].words
+                assert result.result.score == baselines[0].score
+
+        asyncio.run(scenario())
+
+    def test_partials_and_endpoint_auto_finish(self, task, recognizer):
+        utt = task.corpus.test[0]
+        sil = task.pool.means[task.tying.ci_senone("SIL", 0), 0]
+        feats = np.vstack([utt.features, np.tile(sil, (60, 1))])
+        partials = []
+
+        async def scenario():
+            async with Server(recognizer, num_workers=1, max_lanes=2) as server:
+                session = server.open_session(
+                    on_partial=lambda words, frame: partials.append(words),
+                    partial_interval=15,
+                    endpoint_silence_frames=25,
+                )
+                finished = False
+                for frame in feats:
+                    if session.send_frames(frame):
+                        finished = True
+                        break
+                assert finished, "endpoint never auto-finished the session"
+                assert session.endpointed
+                result = await session.result()
+                assert result.ok
+                assert result.words == tuple(utt.words)
+
+        asyncio.run(scenario())
+        assert partials, "expected partial-hypothesis callbacks"
+
+    def test_endpointing_without_partials(self, task, recognizer):
+        """`endpointing=True` runs the endpointer (and auto-finish)
+        even when no partial callback is wanted."""
+        utt = task.corpus.test[0]
+        sil = task.pool.means[task.tying.ci_senone("SIL", 0), 0]
+        feats = np.vstack([utt.features, np.tile(sil, (60, 1))])
+
+        async def scenario():
+            async with Server(recognizer, num_workers=1, max_lanes=2) as server:
+                session = server.open_session(
+                    endpointing=True, endpoint_silence_frames=25
+                )
+                finished = session.send_frames(feats)
+                assert finished and session.endpointed
+                result = await session.result()
+                assert result.ok and result.words == tuple(utt.words)
+
+        asyncio.run(scenario())
+
+    def test_reused_frame_buffer_is_copied(self, recognizer, workload):
+        """A client refilling ONE buffer per tick must not alias every
+        stored frame to its last value."""
+        features, baselines = workload
+
+        async def scenario():
+            async with Server(recognizer, num_workers=1, max_lanes=2) as server:
+                session = server.open_session()
+                buffer = np.empty(features[0].shape[1])
+                for frame in features[0]:
+                    buffer[:] = frame  # canonical mic-loop reuse
+                    session.send_frames(buffer)
+                result = await session.result()
+                assert result.ok
+                assert result.words == baselines[0].words
+                assert result.result.score == baselines[0].score
+
+        asyncio.run(scenario())
+
+    def test_post_endpoint_frames_are_kept_as_leftover(self, task, recognizer):
+        """Frames arriving in the same block after the endpoint belong
+        to the next utterance — preserved, not silently dropped."""
+        utt = task.corpus.test[0]
+        sil = task.pool.means[task.tying.ci_senone("SIL", 0), 0]
+        next_opening = np.tile(np.arange(sil.size, dtype=np.float64), (7, 1))
+        feats = np.vstack([utt.features, np.tile(sil, (60, 1)), next_opening])
+
+        async def scenario():
+            async with Server(recognizer, num_workers=1, max_lanes=2) as server:
+                session = server.open_session(
+                    on_partial=lambda words, frame: None,
+                    endpoint_silence_frames=25,
+                )
+                finished = session.send_frames(feats)  # one big block
+                assert finished and session.endpointed
+                leftover = session.leftover_frames
+                assert leftover is not None and leftover.shape[0] >= 7
+                # Everything the client sent is accounted for: decoded
+                # frames + leftover == the full block.
+                decoded = (await session.result()).result.frames
+                assert decoded + leftover.shape[0] == feats.shape[0]
+                # The tail end of the leftover is the next utterance's
+                # opening block, bit for bit.
+                np.testing.assert_array_equal(leftover[-7:], next_opening)
+
+        asyncio.run(scenario())
+
+    def test_frames_after_endpoint_across_calls_become_leftover(
+        self, task, recognizer
+    ):
+        """With auto_finish off, frames sent in LATER calls after the
+        endpoint also land in leftover_frames — never in this decode."""
+        utt = task.corpus.test[0]
+        sil = task.pool.means[task.tying.ci_senone("SIL", 0), 0]
+        feats = np.vstack([utt.features, np.tile(sil, (60, 1))])
+
+        async def scenario():
+            async with Server(recognizer, num_workers=1, max_lanes=2) as server:
+                session = server.open_session(
+                    on_partial=lambda words, frame: None,
+                    endpoint_silence_frames=25,
+                    auto_finish=False,
+                )
+                for frame in feats:
+                    session.send_frames(frame)
+                    if session.endpointed:
+                        break
+                assert session.endpointed and not session.finished
+                decoded_frames = len(session._frames)
+                next_opening = task.corpus.test[1].features[:5]
+                for frame in next_opening:  # next utterance starts
+                    session.send_frames(frame)
+                leftover = session.leftover_frames
+                assert leftover is not None and leftover.shape[0] == 5
+                np.testing.assert_array_equal(leftover, next_opening)
+                result = await session.result()
+                assert result.ok
+                assert result.result.frames == decoded_frames  # not 5 more
+
+        asyncio.run(scenario())
+
+    def test_audio_chunks_match_one_shot_extraction(self, task, recognizer):
+        from repro.frontend import Frontend, StreamingAudioBuffer
+
+        rng = np.random.default_rng(5)
+        waveform = rng.normal(size=16000)
+        frontend = Frontend()
+        buffered = StreamingAudioBuffer(frontend)
+        for start in range(0, waveform.size, 1234):
+            buffered.append(waveform[start : start + 1234])
+        assert buffered.num_samples == waveform.size
+        assert buffered.num_frames == frontend.num_frames(waveform.size)
+        np.testing.assert_array_equal(
+            buffered.extract(), frontend.extract(waveform)
+        )
+
+    def test_empty_and_mixed_sessions_rejected(self, recognizer, workload):
+        features, _ = workload
+
+        async def scenario():
+            async with Server(recognizer, num_workers=1) as server:
+                with pytest.raises(ValueError):
+                    server.open_session().finish()
+                session = server.open_session()
+                session.send_frames(features[0][0])
+                with pytest.raises(RuntimeError):
+                    session.send_audio(np.zeros(100))
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# THE acceptance test: 2-worker sharded server, >= 16 concurrent
+# sessions, max_lanes=4 per engine, reference + blas
+# ----------------------------------------------------------------------
+class TestShardedServerIntegration:
+    @pytest.mark.parametrize("mode", ["reference", "blas"])
+    def test_sharded_parity_deadlines_and_shedding(self, task, mode):
+        rec = make_recognizer(task, mode=mode)
+        features = []
+        for utt in task.corpus.test:
+            features.append(utt.features)
+            features.append(utt.features[: max(40, utt.features.shape[0] // 2)])
+        assert len(features) >= 16
+        baselines = [rec.decode(f) for f in features]
+
+        async def scenario():
+            async with Server(
+                rec,
+                num_workers=2,
+                max_lanes=4,
+                max_queue=4,
+                use_processes=True,  # forked shards over the shared pool
+            ) as server:
+                # All submits land before the loop yields, so dispatch
+                # is deterministic: 2 workers x (4 lanes + 4 backlog)
+                # = 16 in flight, then 4 queued, and every further
+                # submit is shed with a typed rejection.
+                sessions, rejections = [], 0
+                for f in features + features[:8]:
+                    try:
+                        sessions.append(server.submit(f))
+                    except AdmissionRejected as err:
+                        rejections += 1
+                        assert err.max_queue == 4
+                        assert err.queue_depth == 4
+                assert len(sessions) == 20
+                assert rejections == 4
+                assert server.metrics().rejections == rejections
+
+                results = await asyncio.gather(
+                    *[s.result() for s in sessions]
+                )
+                used_workers = set()
+                for i, result in enumerate(results):
+                    base = baselines[i % len(features)]
+                    assert result.status is ServeStatus.OK
+                    used_workers.add(result.worker)
+                    if mode == "blas":
+                        assert result.words == base.words
+                        assert (
+                            abs(result.result.score - base.score)
+                            <= BLAS_SCORE_ATOL
+                        )
+                    else:
+                        assert result.words == base.words
+                        assert result.result.score == base.score  # bit-exact
+                assert used_workers == {0, 1}  # both shards decoded
+
+                # Deadline-missed sessions resolve to typed timeouts
+                # (deadline 0 = already expired at enqueue) without
+                # disturbing a healthy neighbour submitted after them.
+                doomed = [
+                    server.submit(f, deadline_s=0.0) for f in features[:3]
+                ]
+                healthy = server.submit(features[0])
+                for session in doomed:
+                    result = await session.result()
+                    assert result.status is ServeStatus.TIMEOUT
+                    assert result.result is None
+                survivor = await healthy.result()
+                assert survivor.ok
+                assert survivor.words == baselines[0].words
+
+                metrics = server.metrics()
+                assert metrics.completed == 21
+                assert metrics.timeouts == 3
+                assert len(metrics.workers) == 2
+                assert metrics.latency_p95_s > 0.0
+
+        asyncio.run(scenario())
