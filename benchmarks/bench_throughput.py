@@ -454,12 +454,14 @@ def main(argv: list[str] | None = None) -> int:
         m["word_identical"] and m["continuous_vs_drain"]["word_identical"]
         for m in report["modes"].values()
     ) and report["modes"]["blas"]["dense_demand"]["word_identical"]
-    # The serving front-door section is owned by bench_serving.py;
-    # carry it over instead of clobbering it.
+    # The serving front-door section is owned by bench_serving.py and
+    # the quantized-tables sections by bench_quant_tables.py; carry
+    # them over instead of clobbering them.
     if out_path.exists():
         previous = json.loads(out_path.read_text())
-        if "serving" in previous:
-            report["serving"] = previous["serving"]
+        for key in ("serving", "quantized", "quantized_speedup"):
+            if key in previous:
+                report[key] = previous[key]
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {out_path}")
     print(

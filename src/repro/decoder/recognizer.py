@@ -13,7 +13,12 @@ over a chosen scoring backend:
 * ``mode="blas"`` — matmul-form scoring: the Gaussian quadratic form
   expanded into dense products against stacked senone-major tables
   (``exact=False`` — words match the reference decode, scores agree
-  within :data:`~repro.decoder.scorer.BLAS_SCORE_ATOL`).
+  within :data:`~repro.decoder.scorer.BLAS_SCORE_ATOL`).  The
+  ``precision`` knob selects the stored tables: ``"float64"`` (the
+  default), ``"float32"`` (half the table bandwidth, drift within
+  :data:`~repro.decoder.scorer.FLOAT32_SCORE_ATOL`) or ``"int8"``
+  (symmetric per-row codes, ~1/7 the table bytes, drift within
+  :data:`~repro.decoder.scorer.INT8_SCORE_ATOL`).
 
 The recognizer is reusable across utterances; per-utterance state is
 reset at each :meth:`Recognizer.decode`.
@@ -39,7 +44,7 @@ from repro.decoder.scorer import (
     ScoringStats,
 )
 from repro.decoder.word_decode import DecoderConfig, FrameStats, WordDecodeStage
-from repro.hmm.senone import SenonePool
+from repro.hmm.senone import BLAS_PRECISIONS, SenonePool
 from repro.hmm.topology import HmmTopology
 from repro.lexicon.dictionary import PronunciationDictionary
 from repro.lexicon.triphone import SenoneTying
@@ -52,8 +57,31 @@ __all__ = [
     "RecognitionResult",
     "resolve_storage_pool",
     "validate_decoder_models",
+    "validate_precision",
     "validate_utterance_features",
 ]
+
+
+def validate_precision(mode: str, precision: str) -> None:
+    """Reject precision/mode combinations no backend implements.
+
+    The ``precision`` knob selects reduced-precision BLAS tables
+    (:data:`~repro.hmm.senone.BLAS_PRECISIONS`), so it only has meaning
+    in ``mode="blas"``; asking any other backend for float32/int8
+    tables would be silently ignored — error out instead.  Shared by
+    the sequential and batched recognizers so the accepted surface
+    cannot drift apart.
+    """
+    if precision not in BLAS_PRECISIONS:
+        supported = ", ".join(repr(p) for p in BLAS_PRECISIONS)
+        raise ValueError(
+            f"unknown precision {precision!r}; supported: {supported}"
+        )
+    if precision != "float64" and mode != "blas":
+        raise ValueError(
+            f"precision={precision!r} requires mode='blas' "
+            f"(the {mode!r} backend has no reduced-precision tables)"
+        )
 
 
 def validate_utterance_features(
@@ -203,12 +231,14 @@ class Recognizer:
         tying: SenoneTying | None = None,
         fast_config: FastGmmConfig | None = None,
         frame_period_s: float = 0.010,
+        precision: str = "float64",
     ) -> None:
         if mode not in self.SUPPORTED_MODES:
             supported = ", ".join(repr(m) for m in self.SUPPORTED_MODES)
             raise ValueError(
                 f"unknown mode {mode!r}; supported modes: {supported}"
             )
+        validate_precision(mode, precision)
         validate_decoder_models(network, pool, lm)
         self.network = network
         self.pool = pool
@@ -218,6 +248,7 @@ class Recognizer:
         self.config = config or DecoderConfig()
         self.frame_period_s = frame_period_s
         self.tying = tying
+        self.precision = precision
         self.op_units: list[OpUnit] = []
         self.viterbi_unit: ViterbiUnit | None = None
 
@@ -234,7 +265,7 @@ class Recognizer:
                 self._storage_pool(), tying=tying, config=fast_config
             )
         elif mode == "blas":
-            scorer = BlasScorer(self._storage_pool())
+            scorer = BlasScorer(self._storage_pool(), precision=precision)
         else:
             scorer = ReferenceScorer(self._storage_pool())
         self.scorer = scorer

@@ -35,7 +35,11 @@ import numpy as np
 
 from repro.core.opunit import GaussianTable, OpUnit
 from repro.core.scratch import DenseScratch
-from repro.hmm.senone import BLAS_FULL_TABLE_ELEMENTS, SenonePool
+from repro.hmm.senone import (
+    BLAS_FULL_TABLE_ELEMENTS,
+    BLAS_PRECISIONS,
+    SenonePool,
+)
 
 __all__ = [
     "SenoneScorer",
@@ -45,6 +49,8 @@ __all__ = [
     "BlasScorer",
     "LOG_ZERO",
     "BLAS_SCORE_ATOL",
+    "FLOAT32_SCORE_ATOL",
+    "INT8_SCORE_ATOL",
 ]
 
 LOG_ZERO = -1.0e30
@@ -55,6 +61,30 @@ LOG_ZERO = -1.0e30
 #: drift is rounding-level — orders of magnitude below this bound,
 #: which the parity suite pins.
 BLAS_SCORE_ATOL = 1e-6
+
+#: Documented absolute path-score tolerance of ``precision="float32"``
+#: blas tables vs the float64 blas backend.  The quadratic form, the
+#: mixture-constant add and the log-sum-exp fold all run in float32
+#: over float32-stored parameters; on the command-task test set the
+#: measured path-score drift tops out near 1.1e-3 (batch 8, dense
+#: demand) and word outputs are identical across batch 1-8 and ragged
+#: continuous arrivals (pinned by the quantized-parity suite).  The
+#: bound carries ~10x margin over the measured worst case.
+FLOAT32_SCORE_ATOL = 1e-2
+
+#: Documented absolute path-score tolerance of ``precision="int8"``
+#: blas tables vs the float64 blas backend.  Per-row symmetric int8
+#: storage bounds each parameter's error by half a grid step (row max
+#: / 254), but the quadratic term multiplies that error by the squared
+#: observation — on high-energy frames the per-frame drift reaches
+#: thousands of log-units, and path scores on the command golden set
+#: drift up to ~7.7e3 while word outputs stay identical (the drift is
+#: strongly correlated across senones within a frame, so the Viterbi
+#: ranking survives there; on the broader command test corpus a few
+#: utterances do flip words).  int8 trades accuracy headroom for ~7x
+#: table density; its WER drift is REPORTED by
+#: ``benchmarks/bench_quant_tables.py`` rather than assumed away.
+INT8_SCORE_ATOL = 1.0e4
 
 
 @dataclass
@@ -214,8 +244,19 @@ class BlasScorer:
     kernel (:meth:`~repro.hmm.senone.SenonePool.score_senones`): there
     the dense products cannot win.
 
+    ``precision`` selects the stored table format
+    (:data:`~repro.hmm.senone.BLAS_PRECISIONS`): ``"float64"`` keeps
+    the original exact-rounding tables, ``"float32"`` halves table
+    bandwidth (drift within :data:`FLOAT32_SCORE_ATOL` of the float64
+    backend), ``"int8"`` stores symmetric per-row codes (~1/7 the
+    bytes, drift within :data:`INT8_SCORE_ATOL`).  The sparse-demand
+    fallback always scores through the exact gathered kernel, whatever
+    the table precision — reduced precision buys bandwidth exactly
+    where the dense products run.
+
     ``exact = False``: words match the reference decode, scores agree
-    within :data:`BLAS_SCORE_ATOL` (summation-order rounding only).
+    within :data:`BLAS_SCORE_ATOL` (summation-order rounding only) at
+    float64 precision, within the per-precision bounds above otherwise.
     ``dense_frames`` / ``fallback_frames`` count which kernel served
     each frame.
     """
@@ -234,6 +275,7 @@ class BlasScorer:
         dense_threshold: int = 16,
         min_density: float = 0.1,
         full_table_elements: int | None = None,
+        precision: str = "float64",
     ) -> None:
         if dense_threshold < 0:
             raise ValueError(
@@ -243,9 +285,15 @@ class BlasScorer:
             raise ValueError(
                 f"min_density must be in [0, 1], got {min_density}"
             )
+        if precision not in BLAS_PRECISIONS:
+            supported = ", ".join(repr(p) for p in BLAS_PRECISIONS)
+            raise ValueError(
+                f"unknown blas precision {precision!r}; supported: {supported}"
+            )
         self.pool = pool
         self.dense_threshold = dense_threshold
         self.min_density = min_density
+        self.precision = precision
         self.num_senones = pool.num_senones
         self.stats = ScoringStats(senone_budget=pool.num_senones)
         self.dense_frames = 0
@@ -257,7 +305,7 @@ class BlasScorer:
             <= full_table_elements
         )
         self._out = DenseScratch(pool.num_senones, LOG_ZERO)
-        pool.blas_tables()  # build once up front, not on the first frame
+        pool.blas_tables(precision)  # build once up front, not on the first frame
 
     def score(
         self, frame_index: int, observation: np.ndarray, senones: np.ndarray
@@ -277,11 +325,16 @@ class BlasScorer:
         elif self._full_table:
             self.dense_frames += 1
             compact = self.pool.score_pairs_blas(
-                obs[None, :], np.zeros(senones.size, dtype=np.int64), senones
+                obs[None, :],
+                np.zeros(senones.size, dtype=np.int64),
+                senones,
+                precision=self.precision,
             )
         else:
             self.dense_frames += 1
-            compact = self.pool.score_block_blas(obs[None, :], senones)[0]
+            compact = self.pool.score_block_blas(
+                obs[None, :], senones, precision=self.precision
+            )[0]
         compact[np.isneginf(compact)] = LOG_ZERO
         out[senones] = compact
         self._out.publish(senones)

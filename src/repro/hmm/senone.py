@@ -24,9 +24,15 @@ from repro.hmm.gaussian import (
     precision_halves,
 )
 from repro.hmm.gmm import GaussianMixture
+from repro.quant.fixed_point import dequantize_rows_int8, quantize_rows_int8
 from repro.quant.float_formats import IEEE_SINGLE, FloatFormat
 
-__all__ = ["SenonePool", "BlasTables", "BLAS_FULL_TABLE_ELEMENTS"]
+__all__ = [
+    "SenonePool",
+    "BlasTables",
+    "BLAS_FULL_TABLE_ELEMENTS",
+    "BLAS_PRECISIONS",
+]
 
 #: Table sizes (senones x components x dims) up to this many elements
 #: are cheapest to score by streaming the WHOLE stacked table through
@@ -35,6 +41,27 @@ __all__ = ["SenonePool", "BlasTables", "BLAS_FULL_TABLE_ELEMENTS"]
 #: Single-sourced here so the sequential and pooled blas scorers can
 #: never disagree about which kernel serves a given pool.
 BLAS_FULL_TABLE_ELEMENTS = 262_144
+
+#: Storage precisions :meth:`SenonePool.blas_tables` can build, widest
+#: first.  ``float64`` is the original exact-rounding backend;
+#: ``float32`` halves table bandwidth (products run as sgemm);
+#: ``int8`` stores per-row symmetric codes with per-row float32 scales
+#: (~1/7 the float64 table bytes) and dequantizes into float32 just
+#: ahead of the products.
+BLAS_PRECISIONS = ("float64", "float32", "int8")
+
+
+def _fold_components(items: np.ndarray) -> np.ndarray:
+    """Log-sum-exp over the trailing mixture-component axis.
+
+    ``logaddexp.reduce`` pays ufunc-reduce machinery on every call;
+    the common two-component case goes ~2.5x faster through the
+    direct binary ufunc — bit-identically, since reducing a length-2
+    axis IS one ``logaddexp``.
+    """
+    if items.shape[-1] == 2:
+        return np.logaddexp(items[..., 0], items[..., 1])
+    return np.logaddexp.reduce(items, axis=-1)
 
 
 @dataclass(frozen=True)
@@ -54,14 +81,36 @@ class BlasTables:
     (senone index slowest, mixture fastest) and C-contiguous, so the
     active-set gather touches one contiguous block per senone and the
     products hit BLAS directly.
+
+    ``precision`` selects the storage dtype of ``prec``/``mu_prec``
+    (one of :data:`BLAS_PRECISIONS`).  In ``"int8"`` the two matrices
+    hold symmetric per-row codes and ``prec_scale``/``mu_prec_scale``
+    hold the per-row float32 dequantization scales; ``const`` is never
+    quantized below float32 (it is tiny and added after the products).
     """
 
     #: ``1 / sigma^2`` — shape (N*M, L), C-contiguous, senone-major.
+    #: float64 / float32 values, or int8 codes in the ``"int8"`` tables.
     prec: np.ndarray
     #: ``mu / sigma^2`` — shape (N*M, L), C-contiguous, senone-major.
     mu_prec: np.ndarray
     #: ``log w + log normalizer - 1/2 sum mu^2/sigma^2`` — shape (N, M).
     const: np.ndarray
+    #: Storage precision of the stacked matrices (:data:`BLAS_PRECISIONS`).
+    precision: str = "float64"
+    #: Per-row float32 dequantization scales, shape (N*M, 1) — int8 only.
+    prec_scale: np.ndarray | None = None
+    mu_prec_scale: np.ndarray | None = None
+
+    @property
+    def table_bytes(self) -> int:
+        """Resident bytes of everything a scoring call reads."""
+        total = self.prec.nbytes + self.mu_prec.nbytes + self.const.nbytes
+        if self.prec_scale is not None:
+            total += self.prec_scale.nbytes
+        if self.mu_prec_scale is not None:
+            total += self.mu_prec_scale.nbytes
+        return int(total)
 
 
 class SenonePool:
@@ -107,7 +156,7 @@ class SenonePool:
         # training/adaptation build new pools).
         self._precisions = precision_halves(self.variances)
         self._log_norm = log_normalizer(self.variances)
-        self._blas: BlasTables | None = None
+        self._blas: dict[str, BlasTables] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -203,14 +252,26 @@ class SenonePool:
     # ------------------------------------------------------------------
     # Matmul-form (BLAS) scoring
     # ------------------------------------------------------------------
-    def blas_tables(self) -> BlasTables:
+    def blas_tables(self, precision: str = "float64") -> BlasTables:
         """The stacked senone-major tables for matmul-form scoring.
 
         Built lazily on first use (the exact backends never pay for
-        them) and cached — parameters are immutable after construction,
-        so the tables are too.
+        them) and cached per ``precision`` — parameters are immutable
+        after construction, so the tables are too.  Reduced precisions
+        derive from the float64 tables: ``"float32"`` is a dtype
+        narrowing (round-to-nearest), ``"int8"`` is per-row symmetric
+        quantization (:func:`repro.quant.fixed_point.quantize_rows_int8`)
+        with per-row float32 scales; ``const`` stays float32 in both.
         """
-        if self._blas is None:
+        if precision not in BLAS_PRECISIONS:
+            supported = ", ".join(repr(p) for p in BLAS_PRECISIONS)
+            raise ValueError(
+                f"unknown blas precision {precision!r}; supported: {supported}"
+            )
+        tables = self._blas.get(precision)
+        if tables is not None:
+            return tables
+        if "float64" not in self._blas:
             n, m, dim = self.num_senones, self.num_components, self.dim
             prec = np.ascontiguousarray(
                 (1.0 / self.variances).reshape(n * m, dim)
@@ -223,24 +284,94 @@ class SenonePool:
                 + self._log_weights
                 - 0.5 * (self.means * self.means / self.variances).sum(axis=-1)
             )
-            self._blas = BlasTables(prec=prec, mu_prec=mu_prec, const=const)
-        return self._blas
+            self._blas["float64"] = BlasTables(
+                prec=prec, mu_prec=mu_prec, const=const
+            )
+        if precision not in self._blas:
+            full = self._blas["float64"]
+            const32 = full.const.astype(np.float32)
+            if precision == "float32":
+                self._blas[precision] = BlasTables(
+                    prec=full.prec.astype(np.float32),
+                    mu_prec=full.mu_prec.astype(np.float32),
+                    const=const32,
+                    precision=precision,
+                )
+            else:  # int8
+                prec_q, prec_scale = quantize_rows_int8(full.prec)
+                mu_q, mu_scale = quantize_rows_int8(full.mu_prec)
+                self._blas[precision] = BlasTables(
+                    prec=prec_q,
+                    mu_prec=mu_q,
+                    const=const32,
+                    precision=precision,
+                    prec_scale=prec_scale,
+                    mu_prec_scale=mu_scale,
+                )
+        return self._blas[precision]
+
+    def table_bytes(self, precision: str = "float64") -> int:
+        """Resident bytes of the matmul-form tables at ``precision``.
+
+        Computed from shapes and dtypes alone (same arithmetic idiom
+        as :func:`repro.hmm.acoustic_model.memory_bandwidth_table`), so
+        asking for a footprint never builds 10s of MB of tables; the
+        quantized-parity suite pins it against the built tables'
+        actual ``nbytes``.
+        """
+        if precision not in BLAS_PRECISIONS:
+            supported = ", ".join(repr(p) for p in BLAS_PRECISIONS)
+            raise ValueError(
+                f"unknown blas precision {precision!r}; supported: {supported}"
+            )
+        rows = self.num_senones * self.num_components
+        matrix = 2 * rows * self.dim  # prec + mu_prec elements
+        if precision == "float64":
+            return matrix * 8 + rows * 8  # float64 const
+        if precision == "float32":
+            return matrix * 4 + rows * 4  # float32 const
+        # int8 codes + two (rows, 1) float32 scale columns + f32 const.
+        return matrix * 1 + 2 * rows * 4 + rows * 4
 
     @staticmethod
     def _dense_quadratic(
-        obs: np.ndarray, prec: np.ndarray, mu_prec: np.ndarray
+        obs: np.ndarray,
+        prec: np.ndarray,
+        mu_prec: np.ndarray,
+        prec_scale: np.ndarray | None = None,
+        mu_prec_scale: np.ndarray | None = None,
     ) -> np.ndarray:
         """``-1/2 (obs^2 @ prec.T) + obs @ mu_prec.T`` — the shared
         dense-product core of both matmul-form entry points (one
         numerics definition, so a future format change cannot split
-        them)."""
+        them).
+
+        The products run in the tables' storage precision: float64
+        tables keep the original dgemm path bit-for-bit; float32
+        tables cast the (tiny) observation block and accumulate in
+        float32 sgemm; int8 tables are dequantized to float32 right
+        here (codes x per-row scale) and then take the float32 path.
+        The call sites keep the mixture-constant add and the
+        log-sum-exp fold in the same storage precision (their const
+        tables match this dtype) and upcast only the final scores, so
+        a reduced-precision call never touches a full-width
+        intermediate.
+        """
+        if prec_scale is not None:
+            prec = dequantize_rows_int8(prec, prec_scale)
+            mu_prec = dequantize_rows_int8(mu_prec, mu_prec_scale)
+        if prec.dtype != np.float64:
+            obs = obs.astype(np.float32)
         comp = (obs * obs) @ prec.T
         comp *= -0.5
         comp += obs @ mu_prec.T
         return comp
 
     def score_block_blas(
-        self, observations: np.ndarray, senones: np.ndarray | None = None
+        self,
+        observations: np.ndarray,
+        senones: np.ndarray | None = None,
+        precision: str = "float64",
     ) -> np.ndarray:
         """Dense matmul-form scores: shape ``(B, len(senones))``.
 
@@ -248,20 +379,33 @@ class SenonePool:
         through two dense products (``obs^2 @ prec.T`` and
         ``obs @ mu_prec.T``) and a vectorized log-sum-exp mixture fold.
         ``senones=None`` scores the full pool with no gather at all.
+        ``precision`` selects the stored tables
+        (:data:`BLAS_PRECISIONS`); the gather, the products and (for
+        int8) the dequantization all touch only the narrow storage, so
+        a reduced-precision table moves proportionally fewer bytes per
+        scoring call.
 
         The float summation order inside the dot products differs from
         :meth:`score_senones`'s elementwise fold, so results agree with
         the reference backend only to rounding (the ``mode="blas"``
         backends document this as ``exact=False``); the values are
-        otherwise the same log-likelihoods.
+        otherwise the same log-likelihoods.  Reduced precisions add
+        their documented drift on top
+        (:data:`~repro.decoder.scorer.FLOAT32_SCORE_ATOL` /
+        :data:`~repro.decoder.scorer.INT8_SCORE_ATOL`): the quadratic
+        form, the mixture-constant add and the log-sum-exp fold all
+        run in the narrow storage; only the returned scores are
+        float64.
         """
         obs = np.asarray(observations, dtype=np.float64)
         if obs.ndim != 2 or obs.shape[1] != self.dim:
             raise ValueError(f"observations must be (B, {self.dim}), got {obs.shape}")
-        tables = self.blas_tables()
+        tables = self.blas_tables(precision)
         m = self.num_components
         if senones is None:
             prec, mu_prec, const = tables.prec, tables.mu_prec, tables.const
+            prec_scale = tables.prec_scale
+            mu_scale = tables.mu_prec_scale
             count = self.num_senones
         else:
             idx = np.asarray(senones, dtype=np.int64)
@@ -276,18 +420,34 @@ class SenonePool:
             prec = tables.prec.take(rows, axis=0)
             mu_prec = tables.mu_prec.take(rows, axis=0)
             const = tables.const.take(idx, axis=0)
+            prec_scale = (
+                tables.prec_scale.take(rows, axis=0)
+                if tables.prec_scale is not None
+                else None
+            )
+            mu_scale = (
+                tables.mu_prec_scale.take(rows, axis=0)
+                if tables.mu_prec_scale is not None
+                else None
+            )
         # The two dense products the whole mode exists for, then a
-        # stable log-sum-exp mixture fold (one ufunc reduction).
-        comp = self._dense_quadratic(obs, prec, mu_prec)
+        # stable log-sum-exp mixture fold in the storage precision
+        # (the const tables match the comp dtype by construction);
+        # only the final scores are upcast to float64.
+        comp = self._dense_quadratic(obs, prec, mu_prec, prec_scale, mu_scale)
         comp = comp.reshape(obs.shape[0], count, m)
         comp += const.reshape(1, count, m)
-        return np.logaddexp.reduce(comp, axis=-1)
+        out = _fold_components(comp)
+        if out.dtype != np.float64:
+            out = out.astype(np.float64)
+        return out
 
     def score_pairs_blas(
         self,
         observations: np.ndarray,
         pair_rows: np.ndarray,
         pair_senones: np.ndarray,
+        precision: str = "float64",
     ) -> np.ndarray:
         """Matmul-form scores for explicit (row, senone) work items.
 
@@ -298,7 +458,9 @@ class SenonePool:
         pairs — with per-step demand well below the full grid, the
         fold (the transcendental-heavy part) scales with ``P`` while
         the matmuls stay one BLAS call each.  Same ``exact=False``
-        contract as :meth:`score_block_blas`.
+        contract and ``precision`` semantics as
+        :meth:`score_block_blas` (fold in the storage precision,
+        float64 scores out).
         """
         obs = np.asarray(observations, dtype=np.float64)
         if obs.ndim != 2 or obs.shape[1] != self.dim:
@@ -313,12 +475,21 @@ class SenonePool:
             raise IndexError("pair senone index out of range")
         if rows.min() < 0 or rows.max() >= obs.shape[0]:
             raise IndexError("pair feature row out of range")
-        tables = self.blas_tables()
+        tables = self.blas_tables(precision)
         m = self.num_components
-        comp = self._dense_quadratic(obs, tables.prec, tables.mu_prec)
+        comp = self._dense_quadratic(
+            obs,
+            tables.prec,
+            tables.mu_prec,
+            tables.prec_scale,
+            tables.mu_prec_scale,
+        )
         items = comp.reshape(obs.shape[0], self.num_senones, m)[rows, idx]
         items += tables.const[idx]
-        return np.logaddexp.reduce(items, axis=-1)
+        out = _fold_components(items)
+        if out.dtype != np.float64:
+            out = out.astype(np.float64)
+        return out
 
     def score_frame(
         self, observation: np.ndarray, senones: np.ndarray | None = None

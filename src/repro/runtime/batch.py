@@ -56,6 +56,7 @@ from repro.decoder.recognizer import (
     Recognizer,
     resolve_storage_pool,
     validate_decoder_models,
+    validate_precision,
     validate_utterance_features,
 )
 from repro.decoder.fast_gmm import FastGmmConfig, FastGmmModel, FastGmmStats
@@ -183,6 +184,14 @@ class LaneBank:
         # Frame scratch (allocated once per bank, reused every step).
         self._obs_block = np.zeros((num_lanes, recognizer.pool.dim))
         self._score_mat = DenseScratch((num_lanes, num_senones), LOG_ZERO)
+        self._obs_bank = np.empty(shape)
+        # Cast target for narrow-dtype token banks (hardware mode):
+        # without it every step paid an `astype` allocation.
+        self._obs_cast = (
+            None
+            if self._dtype == np.float64
+            else np.empty(shape, dtype=self._dtype)
+        )
         self._entry_scores = np.full(shape, LOG_ZERO, dtype=self._dtype)
         self._entry_payload = np.full(shape, -1, dtype=np.int64)
         self._candidates = np.empty(shape, dtype=bool)
@@ -341,8 +350,12 @@ class LaneBank:
         compact = self.scorer.score_pairs(obs_block, pair_b, pair_s, lanes=lanes)
         scores[pair_b, pair_s] = compact
         self._score_mat.publish((pair_b, pair_s))
-        obs_bank = scores.take(net.senone_id, axis=1)
-        obs = obs_bank if self._dtype == np.float64 else obs_bank.astype(self._dtype)
+        obs_bank = scores.take(net.senone_id, axis=1, out=self._obs_bank)
+        if self._obs_cast is None:
+            obs = obs_bank
+        else:
+            obs = self._obs_cast
+            obs[...] = obs_bank
         entry_scores = self._entry_scores
         entry_scores[:, net.start_state] = self.pending_entry
 
@@ -544,6 +557,12 @@ class LaneBank:
         shape = (n, self.net.num_states)
         num_senones = self.scorer.num_senones
         self._obs_block = np.zeros((n, self._obs_block.shape[1]))
+        self._obs_bank = np.empty(shape)
+        self._obs_cast = (
+            None
+            if self._dtype == np.float64
+            else np.empty(shape, dtype=self._dtype)
+        )
         self._score_mat = DenseScratch((n, num_senones), LOG_ZERO)
         self._entry_scores = np.full(shape, LOG_ZERO, dtype=self._dtype)
         self._entry_payload = np.full(shape, -1, dtype=np.int64)
@@ -596,12 +615,14 @@ class BatchRecognizer:
         tying: SenoneTying | None = None,
         fast_config: FastGmmConfig | None = None,
         fast_model: FastGmmModel | None = None,
+        precision: str = "float64",
     ) -> None:
         if mode not in self.SUPPORTED_MODES:
             supported = ", ".join(repr(m) for m in self.SUPPORTED_MODES)
             raise ValueError(
                 f"unknown batch mode {mode!r}; supported modes: {supported}"
             )
+        validate_precision(mode, precision)
         validate_decoder_models(network, pool, lm)
         self.network = network
         self.pool = pool
@@ -611,6 +632,7 @@ class BatchRecognizer:
         self.config = config or DecoderConfig()
         self.frame_period_s = frame_period_s
         self.tying = tying
+        self.precision = precision
         self.op_units: list[OpUnit] = []
         self.viterbi_unit: ViterbiUnit | None = None
 
@@ -632,7 +654,8 @@ class BatchRecognizer:
             self.scorer = BatchFastGmmScorer(fast_model)
         elif mode == "blas":
             self.scorer = BatchBlasScorer(
-                resolve_storage_pool(pool, storage_format)
+                resolve_storage_pool(pool, storage_format),
+                precision=precision,
             )
         else:
             self.scorer = BatchReferenceScorer(
@@ -679,6 +702,7 @@ class BatchRecognizer:
             frame_period_s=recognizer.frame_period_s,
             tying=recognizer.tying,
             fast_model=fast_model,
+            precision=recognizer.precision,
         )
 
     # ------------------------------------------------------------------

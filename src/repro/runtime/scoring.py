@@ -40,7 +40,11 @@ import numpy as np
 
 from repro.core.opunit import GaussianTable, OpUnit
 from repro.decoder.fast_gmm import FastGmmLaneState, FastGmmModel, FastGmmStats
-from repro.hmm.senone import BLAS_FULL_TABLE_ELEMENTS, SenonePool
+from repro.hmm.senone import (
+    BLAS_FULL_TABLE_ELEMENTS,
+    BLAS_PRECISIONS,
+    SenonePool,
+)
 
 __all__ = [
     "BatchScoringBackend",
@@ -212,13 +216,25 @@ class BatchBlasScorer(_StatelessLaneMixin):
     ``dense_steps`` / ``fallback_steps`` count which kernel served
     each step.
 
+    ``precision`` selects the stored table format
+    (:data:`~repro.hmm.senone.BLAS_PRECISIONS`): ``"float64"`` keeps
+    the original tables, ``"float32"`` halves the bytes every dense
+    step gathers and streams (drift within
+    :data:`~repro.decoder.scorer.FLOAT32_SCORE_ATOL` of the float64
+    backend), ``"int8"`` stores symmetric per-row codes with per-row
+    float32 scales (~1/7 the bytes, drift within
+    :data:`~repro.decoder.scorer.INT8_SCORE_ATOL`).  The sparse-step
+    fallback always runs the exact gathered kernel regardless of table
+    precision.
+
     Like the reference backend the scorer is stateless per lane (the
     no-op lifecycle), so any batch composition, retirement pattern or
     continuous refill order presents the same contract.  ``exact =
     False``: words match the reference decode, scores agree within
     :data:`~repro.decoder.scorer.BLAS_SCORE_ATOL` (dot-product
     summation order only; both kernels are float64 over the same
-    parameters).
+    parameters) at float64 precision, within the per-precision bounds
+    above otherwise.
     """
 
     exact = False
@@ -235,6 +251,7 @@ class BatchBlasScorer(_StatelessLaneMixin):
         min_pairs: int = 32,
         min_density: float = 0.25,
         full_table_elements: int | None = None,
+        precision: str = "float64",
     ) -> None:
         if min_pairs < 0:
             raise ValueError(f"min_pairs must be >= 0, got {min_pairs}")
@@ -242,10 +259,16 @@ class BatchBlasScorer(_StatelessLaneMixin):
             raise ValueError(
                 f"min_density must be in [0, 1], got {min_density}"
             )
+        if precision not in BLAS_PRECISIONS:
+            supported = ", ".join(repr(p) for p in BLAS_PRECISIONS)
+            raise ValueError(
+                f"unknown blas precision {precision!r}; supported: {supported}"
+            )
         self.pool = pool
         self.num_senones = pool.num_senones
         self.min_pairs = min_pairs
         self.min_density = min_density
+        self.precision = precision
         self.dense_steps = 0
         self.fallback_steps = 0
         if full_table_elements is None:
@@ -254,7 +277,7 @@ class BatchBlasScorer(_StatelessLaneMixin):
             pool.num_senones * pool.num_components * pool.dim
             <= full_table_elements
         )
-        pool.blas_tables()  # build once up front, not on the first step
+        pool.blas_tables(precision)  # build once up front, not on the first step
 
     def score_pairs(
         self,
@@ -289,14 +312,24 @@ class BatchBlasScorer(_StatelessLaneMixin):
             row_pos[rows] = np.arange(rows.size)
             if self._full_table:
                 compact = self.pool.score_pairs_blas(
-                    obs[rows], row_pos[pair_rows], pair_senones
+                    obs[rows],
+                    row_pos[pair_rows],
+                    pair_senones,
+                    precision=self.precision,
                 )
             else:
                 union = np.flatnonzero(sen_mask)
                 col_pos = np.empty(self.num_senones, dtype=np.int64)
                 col_pos[union] = np.arange(union_size)
-                dense = self.pool.score_block_blas(obs[rows], union)
-                compact = dense[row_pos[pair_rows], col_pos[pair_senones]]
+                dense = self.pool.score_block_blas(
+                    obs[rows], union, precision=self.precision
+                )
+                if p == num_rows * union_size:
+                    # Full-density demand in np.nonzero order IS the
+                    # dense block, row-major — skip the fancy gather.
+                    compact = dense.ravel()
+                else:
+                    compact = dense[row_pos[pair_rows], col_pos[pair_senones]]
         compact[np.isneginf(compact)] = LOG_ZERO
         return compact
 

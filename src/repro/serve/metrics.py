@@ -60,6 +60,9 @@ class ServerMetrics:
     wait_p95_s: float = 0.0
     rtf: float = 0.0  # total decode wall time / total audio decoded
     audio_seconds: float = 0.0
+    scoring_mode: str = "reference"  # the workers' scoring backend
+    scoring_precision: str = "float64"  # blas table precision in use
+    model_table_bytes: int = 0  # scoring-table footprint per worker
 
     @property
     def lane_utilization(self) -> float:

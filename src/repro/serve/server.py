@@ -248,7 +248,8 @@ class Server:
     ----------
     recognizer:
         A configured sequential :class:`Recognizer` (any scoring
-        mode).  Each worker gets its own batched twin via
+        mode; a blas recognizer's reduced-precision table choice
+        rides along too).  Each worker gets its own batched twin via
         :meth:`BatchRecognizer.from_recognizer`, so all engines share
         the compiled network, senone pool and LM — and, in the process
         mode, share them physically through fork's copy-on-write pages.
@@ -535,6 +536,13 @@ class Server:
             )
         latencies = list(self._latencies)
         waits = list(self._waits)
+        rec = self.recognizer
+        if rec.mode == "blas":
+            # Analytic (shapes x itemsizes), so a metrics poll never
+            # forces table construction on a worker's behalf.
+            table_bytes = rec.pool.table_bytes(rec.precision)
+        else:
+            table_bytes = int(rec.pool.storage_bytes(rec.storage_format))
         return ServerMetrics(
             submitted=self._submitted,
             completed=self._completed,
@@ -555,6 +563,9 @@ class Server:
                 else 0.0
             ),
             audio_seconds=self._audio_s_total,
+            scoring_mode=rec.mode,
+            scoring_precision=rec.precision,
+            model_table_bytes=table_bytes,
         )
 
     # ------------------------------------------------------------------

@@ -228,3 +228,55 @@ class TestBatchedKernels:
         full = small_pool.score_frames(frames, block_frames=11)
         blocked = small_pool.score_frames(frames, block_frames=2)
         assert np.array_equal(full, blocked)
+
+
+class TestObsBankScratch:
+    """``LaneBank.step`` must reuse its observation-bank scratch.
+
+    The hardware mode's narrow token banks previously paid a fresh
+    ``astype`` allocation per frame to cast the gathered senone scores;
+    the cast now lands in a preallocated buffer.  Pinned by buffer
+    identity across steps — and the existing equivalence suite keeps
+    the cast bit-exact."""
+
+    def _bank(self, task, mode, num_lanes=2):
+        from repro.runtime.batch import LaneBank
+
+        rec = Recognizer.create(
+            task.dictionary, task.pool, task.lm, task.tying, mode=mode
+        )
+        batch = rec.as_batch()
+        batch._reset_accounting()
+        bank = LaneBank(batch, num_lanes)
+        for lane, utt in enumerate(task.corpus.test[:num_lanes]):
+            bank.admit(lane, lane, batch._validate_features(lane, utt.features))
+        return bank
+
+    def test_hardware_cast_scratch_reused_across_steps(self, task):
+        bank = self._bank(task, "hardware")
+        assert bank._obs_cast is not None
+        assert bank._obs_cast.dtype == bank._dtype != np.float64
+        bank_ptr = bank._obs_bank.ctypes.data
+        cast_ptr = bank._obs_cast.ctypes.data
+        for _ in range(5):
+            bank.step()
+            assert bank._obs_bank.ctypes.data == bank_ptr
+            assert bank._obs_cast.ctypes.data == cast_ptr
+
+    def test_reference_mode_needs_no_cast_scratch(self, task):
+        bank = self._bank(task, "reference")
+        assert bank._obs_cast is None
+        bank_ptr = bank._obs_bank.ctypes.data
+        for _ in range(3):
+            bank.step()
+            assert bank._obs_bank.ctypes.data == bank_ptr
+
+    def test_compact_rebuilds_scratch_at_new_width(self, task):
+        bank = self._bank(task, "hardware", num_lanes=3)
+        bank.cancel(2)  # free a lane so compact() has something to drop
+        n = bank.compact()
+        assert n == 2
+        assert bank._obs_bank.shape[0] == 2
+        assert bank._obs_cast is not None
+        assert bank._obs_cast.shape[0] == 2
+        bank.step()  # still steps cleanly at the new width
