@@ -16,9 +16,21 @@ Drives the async :class:`repro.serve.Server` (reference mode,
   (the ratio hovers near 1x — two shards time-slicing one core) or a
   quick CI smoke on a shared noisy runner still records the ratio,
   with ``gate_enforced: false`` so the trajectory stays honest.
+* **Wire overload sweep** — Poisson arrivals through a REAL localhost
+  socket (:class:`WireServer` + :class:`ServeClient`) against a
+  2-worker forked-shard server, offered at >= 2x the measured
+  single-worker saturation rate, with per-utterance deadlines and a
+  small bounded queue so the door genuinely sheds.  The HARD gates
+  (enforced on every host, including ``--quick``): zero silent drops
+  (offered == accepted + typed rejections, and every accepted submit
+  resolves to a typed status) and every OK decode bit-identical to its
+  sequential baseline after the round trip.  Reported: p50/p95
+  resolution latency, server wait-p95 INCLUDING shed traffic, steals
+  and the autotuned worker backlog.
 
 Results merge into the committed ``BENCH_throughput.json`` under the
-``"serving"`` key (the rest of the file is bench_throughput.py's):
+``"serving"`` and ``"serving_wire"`` keys (the rest of the file is
+bench_throughput.py's):
 
     python benchmarks/bench_serving.py --quick --out BENCH_throughput.json
 """
@@ -39,12 +51,20 @@ _REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_REPO / "src"))
 
 from repro.decoder import Recognizer  # noqa: E402
-from repro.serve import AdmissionRejected, ServeStatus, Server  # noqa: E402
+from repro.serve import (  # noqa: E402
+    AdmissionRejected,
+    ServeClient,
+    ServeStatus,
+    Server,
+    WireServer,
+)
 from repro.serve.metrics import percentile  # noqa: E402
 from repro.workloads.tasks import command_task  # noqa: E402
 
 MAX_LANES = 8
 SHARDING_GATE = 1.5
+WIRE_OVERLOAD_FACTOR = 2.0  # offered load vs single-worker saturation
+WIRE_MAX_QUEUE = 8
 
 
 def make_recognizer(task) -> Recognizer:
@@ -121,6 +141,100 @@ async def run_poisson(
     return summary
 
 
+async def run_wire_overload(
+    recognizer,
+    features,
+    baselines,
+    rate_utts_per_sec: float,
+    deadline_s: float,
+    seed: int,
+) -> dict:
+    """Poisson arrivals OVER A SOCKET at ``rate_utts_per_sec`` against
+    a 2-worker sharded server with a deliberately small queue.
+
+    Every offered utterance is accounted for: it either raises a typed
+    :class:`AdmissionRejected` at the door or resolves to a typed
+    status over the wire.  Anything else is a silent drop — the one
+    outcome the front door must never produce.
+    """
+    # Cycle the corpus so the overload SUSTAINS long enough to fill
+    # lanes + backlogs + the bounded queue — otherwise a short burst
+    # is absorbed whole and the door never has to shed anything.
+    offered = features * max(2, (16 * MAX_LANES) // len(features))
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_utts_per_sec, size=len(offered))
+    rejected = {"queue_full": 0, "client_quota": 0}
+    accepted: list[tuple[int, object]] = []
+    async with Server(
+        recognizer,
+        num_workers=2,
+        max_lanes=MAX_LANES,
+        max_queue=WIRE_MAX_QUEUE,
+        worker_backlog="auto",
+        use_processes=True,
+    ) as server:
+        async with WireServer(server) as wire:
+            client = await ServeClient.connect(
+                wire.host, wire.port, client="bench"
+            )
+            t0 = time.perf_counter()
+            for i, (gap, f) in enumerate(zip(gaps, offered)):
+                await asyncio.sleep(gap)
+                try:
+                    ticket = await client.submit(f, deadline_s=deadline_s)
+                except AdmissionRejected as err:
+                    rejected[err.reason] = rejected.get(err.reason, 0) + 1
+                else:
+                    accepted.append((i, ticket))
+            results = [(i, await t.result()) for i, t in accepted]
+            elapsed = time.perf_counter() - t0
+            metrics = server.metrics()
+            await client.close()
+
+    statuses: dict[str, int] = {}
+    ok_latencies, word_identical = [], True
+    for i, result in results:
+        statuses[result.status.value] = statuses.get(result.status.value, 0) + 1
+        if result.status.value == "ok":
+            ok_latencies.append(result.latency_s)
+            base = baselines[i % len(baselines)]
+            if result.words != base.words or result.score != base.score:
+                word_identical = False
+    rejections_total = sum(rejected.values())
+    # Zero silent drops: the offered traffic is fully partitioned into
+    # typed rejections and typed resolutions.
+    no_silent_drops = (
+        len(accepted) + rejections_total == len(offered)
+        and len(results) == len(accepted)
+        and sum(statuses.values()) == len(accepted)
+    )
+    return {
+        "offered_utts_per_sec": round(rate_utts_per_sec, 2),
+        "offered": len(offered),
+        "accepted": len(accepted),
+        "rejected": rejected,
+        "statuses": statuses,
+        "deadline_s": deadline_s,
+        "max_queue": WIRE_MAX_QUEUE,
+        "workers": 2,
+        "elapsed_s": round(elapsed, 3),
+        "no_silent_drops": bool(no_silent_drops),
+        "word_identical": bool(word_identical),
+        "latency_p50_ms": round(percentile(ok_latencies, 0.50) * 1000, 2),
+        "latency_p95_ms": round(percentile(ok_latencies, 0.95) * 1000, 2),
+        "server": {
+            # wait percentiles include shed traffic (see ServerMetrics)
+            "wait_p95_ms": round(metrics.wait_p95_s * 1000, 2),
+            "shed_wait_p95_ms": round(metrics.shed_wait_p95_s * 1000, 2),
+            "timeouts": metrics.timeouts,
+            "rejections": metrics.rejections,
+            "steals": metrics.steals,
+            "worker_backlog": metrics.worker_backlog,
+            "lane_utilization": round(metrics.lane_utilization, 4),
+        },
+    }
+
+
 async def bench(features, baselines, recognizer, quick: bool) -> dict:
     cpu_count = os.cpu_count() or 1
 
@@ -165,7 +279,33 @@ async def bench(features, baselines, recognizer, quick: bool) -> dict:
             f"wait-p95 {row['wait_p95_ms']:.0f} ms"
         )
 
-    return {
+    wire_rate = WIRE_OVERLOAD_FACTOR * single["utterances_per_sec"]
+    wire_deadline = 2.0 if quick else 4.0
+    print(
+        f"wire overload @ {wire_rate:.1f} utt/s offered over a socket "
+        f"({WIRE_OVERLOAD_FACTOR:.0f}x single-worker saturation) ..."
+    )
+    wire = await run_wire_overload(
+        recognizer, features, baselines, wire_rate, wire_deadline, seed=47
+    )
+    wire["benchmark"] = (
+        "wire transport: Poisson overload at "
+        f">= {WIRE_OVERLOAD_FACTOR:.0f}x single-worker saturation "
+        "through a localhost socket"
+    )
+    wire["offered_fraction_of_saturation"] = WIRE_OVERLOAD_FACTOR
+    wire["quick"] = quick
+    print(
+        f"  accepted {wire['accepted']}/{wire['offered']}  "
+        f"rejected {sum(wire['rejected'].values())}  "
+        f"statuses {wire['statuses']}  "
+        f"p95 {wire['latency_p95_ms']:.0f} ms  "
+        f"wait-p95 {wire['server']['wait_p95_ms']:.0f} ms (incl. shed)  "
+        f"steals {wire['server']['steals']}  "
+        f"backlog {wire['server']['worker_backlog']}"
+    )
+
+    serving = {
         "benchmark": "async front door: Poisson offered-load sweep + sharding",
         "task": "command_task(seed=19)",
         "mode": "reference",
@@ -184,6 +324,7 @@ async def bench(features, baselines, recognizer, quick: bool) -> dict:
         },
         "poisson_sweep": sweep,
     }
+    return serving, wire
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -209,7 +350,9 @@ def main(argv: list[str] | None = None) -> int:
     print(f"{len(features)} utterances; sequential baselines ...")
     baselines = [recognizer.decode(f) for f in features]
 
-    serving = asyncio.run(bench(features, baselines, recognizer, args.quick))
+    serving, wire = asyncio.run(
+        bench(features, baselines, recognizer, args.quick)
+    )
 
     # Merge into the committed throughput report; never clobber the
     # rest of the file (bench_throughput.py owns the other sections).
@@ -217,8 +360,9 @@ def main(argv: list[str] | None = None) -> int:
     if out_path.exists():
         report = json.loads(out_path.read_text())
     report["serving"] = serving
+    report["serving_wire"] = wire
     out_path.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"\nwrote 'serving' section of {out_path}")
+    print(f"\nwrote 'serving' + 'serving_wire' sections of {out_path}")
 
     sat = serving["saturation"]
     print(
@@ -226,7 +370,18 @@ def main(argv: list[str] | None = None) -> int:
         f"{sat['speedup']:.2f}x (gate {sat['gate']}, "
         f"{'ENFORCED' if sat['gate_enforced'] else 'informational: single core'})"
     )
-    ok = serving["word_identical"] and (sat["pass"] is not False)
+    # The wire gates hold on every host: shedding is TYPED and decodes
+    # survive the socket bit-identically, or the bench fails.
+    print(
+        f"wire overload: no_silent_drops={wire['no_silent_drops']} "
+        f"word_identical={wire['word_identical']}"
+    )
+    ok = (
+        serving["word_identical"]
+        and (sat["pass"] is not False)
+        and wire["no_silent_drops"]
+        and wire["word_identical"]
+    )
     print("PASS" if ok else "BELOW TARGET")
     return 0 if ok else 1
 

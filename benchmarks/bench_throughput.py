@@ -459,7 +459,12 @@ def main(argv: list[str] | None = None) -> int:
     # them over instead of clobbering them.
     if out_path.exists():
         previous = json.loads(out_path.read_text())
-        for key in ("serving", "quantized", "quantized_speedup"):
+        for key in (
+            "serving",
+            "serving_wire",
+            "quantized",
+            "quantized_speedup",
+        ):
             if key in previous:
                 report[key] = previous[key]
     out_path.write_text(json.dumps(report, indent=2) + "\n")

@@ -49,10 +49,12 @@ __all__ = [
     "JobCancelled",
     "JobDone",
     "JobFailed",
+    "JobStolen",
     "JobTimedOut",
     "LoopStats",
     "ServeLoop",
     "ServeStopped",
+    "StealJob",
 ]
 
 
@@ -87,6 +89,20 @@ class DecodeJob:
 @dataclass(frozen=True)
 class CancelJob:
     """Cancel a previously submitted job (queued or mid-decode)."""
+
+    utt_id: int
+
+
+@dataclass(frozen=True)
+class StealJob:
+    """Reclaim a job that is still WAITING in this loop's backlog.
+
+    Work stealing: when another shard goes idle while this one has
+    jobs queued behind its busy lanes, the server asks for one back.
+    The request is best-effort — a job that already entered a lane (or
+    already resolved) is simply left alone, and no event is emitted;
+    the server learns the steal succeeded only from :class:`JobStolen`.
+    """
 
     utt_id: int
 
@@ -132,6 +148,14 @@ class JobFailed:
 
     utt_id: int
     error: str
+
+
+@dataclass(frozen=True)
+class JobStolen:
+    """A :class:`StealJob` succeeded: the job left this loop's backlog
+    without being decoded and is the server's to re-dispatch."""
+
+    utt_id: int
 
 
 @dataclass(frozen=True)
@@ -214,6 +238,7 @@ class ServeLoop:
         bank = LaneBank(rec, self.max_lanes)
         waiting: deque[DecodeJob] = deque()
         cancels: set[int] = set()
+        steals: set[int] = set()
         lane_deadline: dict[int, float | None] = {}
         stopping = False
         completed = timeouts = cancelled = failed = 0
@@ -249,12 +274,15 @@ class ServeLoop:
                         stopping = True
                     elif isinstance(msg, CancelJob):
                         cancels.add(msg.utt_id)
+                    elif isinstance(msg, StealJob):
+                        steals.add(msg.utt_id)
                     else:
                         waiting.append(msg)
                 now = self.clock()
 
-                # 2. Shed queued jobs that were cancelled or whose
-                #    deadline already passed — they never cost a lane.
+                # 2. Shed queued jobs that were cancelled, stolen back
+                #    by the server, or whose deadline already passed —
+                #    they never cost a lane.
                 if waiting:
                     kept: deque[DecodeJob] = deque()
                     for job in waiting:
@@ -262,6 +290,9 @@ class ServeLoop:
                             cancels.discard(job.utt_id)
                             emit(JobCancelled(job.utt_id, "queued", 0))
                             cancelled += 1
+                        elif job.utt_id in steals:
+                            steals.discard(job.utt_id)
+                            emit(JobStolen(job.utt_id))
                         elif job.deadline_at is not None and now >= job.deadline_at:
                             emit(
                                 JobTimedOut(
@@ -292,7 +323,11 @@ class ServeLoop:
                         timeouts += 1
                 # Anything still unmatched was already resolved (the
                 # job preceded its cancel through the same FIFO inbox).
+                # Unmatched steals additionally cover jobs that made it
+                # into a lane first: a steal never interrupts a decode,
+                # so they are dropped without an event.
                 cancels.clear()
+                steals.clear()
 
                 # 4. Admission: FIFO into free lanes.
                 while waiting and not bank.active.all():

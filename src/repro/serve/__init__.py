@@ -13,10 +13,22 @@ processes over the shared read-only senone pool and lexicon with
 round-robin + least-loaded dispatch.  Per-server metrics (queue depth,
 lane utilization, p50/p95 latency, RTF) ride on the wall-clock timing
 every runtime now stamps into its results.
+
+The admission queue is earliest-deadline-first with per-client
+fair-share quotas; the dispatcher steals waiting jobs back from a
+skewed shard's backlog, re-dispatches a dead worker's jobs to the
+survivors, and (``worker_backlog="auto"``) tunes the over-dispatch
+depth from its own miss/occupancy metrics.  :class:`WireServer` /
+:class:`ServeClient` put the whole session API on a TCP socket with a
+length-prefixed binary frame protocol (see
+:mod:`repro.serve.transport`) so other processes and hosts get the
+same typed rejections, deadlines and bit-identical decodes.
 """
 
+from repro.serve.client import ServeClient, WireResult, WireStream, WireTicket
 from repro.serve.metrics import ServerMetrics, WorkerMetrics, percentile
 from repro.serve.server import Server, Session, StreamSession
+from repro.serve.transport import WireServer
 from repro.serve.types import (
     AdmissionRejected,
     ServeResult,
@@ -26,6 +38,7 @@ from repro.serve.types import (
 
 __all__ = [
     "AdmissionRejected",
+    "ServeClient",
     "Server",
     "ServerClosed",
     "ServerMetrics",
@@ -33,6 +46,10 @@ __all__ = [
     "ServeStatus",
     "Session",
     "StreamSession",
+    "WireResult",
+    "WireServer",
+    "WireStream",
+    "WireTicket",
     "WorkerMetrics",
     "percentile",
 ]

@@ -1,0 +1,406 @@
+"""Thin asyncio client for the wire transport.
+
+:class:`ServeClient` speaks the length-prefixed frame protocol of
+:mod:`repro.serve.transport` and mirrors the in-process session API:
+
+    client = await ServeClient.connect(host, port)
+    result = await client.decode(features, deadline_s=0.5)   # WireResult
+    ticket = await client.submit(features)                   # pipelined
+    ...
+    result = await ticket.result()
+    stream = await client.open_stream(on_partial=print)
+    await stream.send_frames(block)
+    result = await (await stream.finish()).result()
+    await client.close()
+
+``submit``/``finish`` raise the same typed
+:class:`~repro.serve.types.AdmissionRejected` the in-process API
+raises (rebuilt from the ``rejected`` event), so a remote caller's
+backpressure logic is identical to a local one's.  Deadline misses,
+cancellations and server errors arrive as :class:`WireResult` values
+with the corresponding :class:`~repro.serve.types.ServeStatus` — a
+submitted utterance ALWAYS resolves; silence is a protocol bug, not a
+shedding mechanism.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.serve.transport import (
+    PROTOCOL_VERSION,
+    encode_array,
+    read_frame,
+    write_frame,
+)
+from repro.serve.types import AdmissionRejected, ServeStatus
+
+__all__ = ["ServeClient", "WireResult", "WireStream", "WireTicket"]
+
+
+@dataclass(frozen=True)
+class WireResult:
+    """A :class:`~repro.serve.types.ServeResult` rebuilt client-side."""
+
+    utt_id: int
+    status: ServeStatus
+    words: tuple[str, ...] | None
+    score: float | None
+    worker: int | None
+    latency_s: float
+    wait_s: float | None
+    decode_s: float | None
+    audio_seconds: float | None
+    frames: int | None
+    frames_decoded: int
+    detail: str
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ServeStatus.OK
+
+    @classmethod
+    def from_event(cls, event: dict) -> "WireResult":
+        words = event.get("words")
+        return cls(
+            utt_id=event["utt_id"],
+            status=ServeStatus(event["status"]),
+            words=None if words is None else tuple(words),
+            score=event.get("score"),
+            worker=event.get("worker"),
+            latency_s=event.get("latency_s", 0.0),
+            wait_s=event.get("wait_s"),
+            decode_s=event.get("decode_s"),
+            audio_seconds=event.get("audio_seconds"),
+            frames=event.get("frames"),
+            frames_decoded=event.get("frames_decoded", 0),
+            detail=event.get("detail", ""),
+        )
+
+
+class WireProtocolError(RuntimeError):
+    """The server replied with an ``error`` event or broke protocol."""
+
+
+def _quiet(future: asyncio.Future) -> None:
+    """Retrieve a future's exception so an unobserved rejection (or a
+    teardown-time ConnectionError) doesn't log a warning at GC."""
+    if not future.cancelled():
+        future.exception()
+
+
+class WireTicket:
+    """One accepted submission; resolves exactly once."""
+
+    def __init__(self, client: "ServeClient", req_id: int) -> None:
+        self._client = client
+        self.req_id = req_id
+        self.future: asyncio.Future = client._loop.create_future()
+        self.future.add_done_callback(_quiet)
+
+    async def result(self) -> WireResult:
+        outcome = await asyncio.shield(self.future)
+        self._client._tickets.pop(self.req_id, None)
+        return outcome
+
+    async def cancel(self) -> None:
+        """Request cancellation; the result event still arrives."""
+        await self._client._send({"op": "cancel", "id": self.req_id})
+
+
+class WireStream:
+    """A push-style streaming session over the wire."""
+
+    def __init__(self, client: "ServeClient", req_id: int) -> None:
+        self._client = client
+        self.req_id = req_id
+        self.endpointed = False
+        self._ticket: WireTicket | None = None
+
+    async def send_frames(self, frames: np.ndarray) -> bool:
+        """Push one frame or a block; True once the endpointer fired
+        (the session is then already finished server-side)."""
+        if self._ticket is not None:
+            raise RuntimeError("stream already finished")
+        meta, payload = encode_array(np.atleast_2d(np.asarray(frames)))
+        header = {"op": "frames", "id": self.req_id, **meta}
+        await self._client._send(header, payload)
+        # send_frames stays pipelined (no per-block ack); the endpoint
+        # and admission events arrive through the reader task.
+        if self.req_id in self._client._endpointed:
+            self._client._endpointed.discard(self.req_id)
+            self.endpointed = True
+            self._ticket = await self._client._claim_ticket(self.req_id)
+        return self.endpointed
+
+    async def finish(self) -> WireTicket:
+        """Submit the streamed utterance; raises
+        :class:`AdmissionRejected` if the door sheds it."""
+        if self._ticket is None:
+            client = self._client
+            admission = client._admissions.get(self.req_id)
+            if self.req_id in client._endpointed or (
+                admission is not None and admission.done()
+            ):
+                # The server already auto-finished at the endpoint
+                # (accepted or rejected); a finish op would be stale.
+                client._endpointed.discard(self.req_id)
+                self.endpointed = True
+            else:
+                await client._send({"op": "finish", "id": self.req_id})
+            self._ticket = await client._claim_ticket(self.req_id)
+        return self._ticket
+
+    async def result(self) -> WireResult:
+        return await (await self.finish()).result()
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.transport.WireServer`."""
+
+    def __init__(self) -> None:
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._ids = itertools.count()
+        self._tickets: dict[int, WireTicket] = {}
+        self._admissions: dict[int, asyncio.Future] = {}
+        self._partials: dict[int, Callable] = {}
+        self._endpointed: set[int] = set()
+        self._metrics_waiters: dict[int, asyncio.Future] = {}
+        self.hello: dict = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, client: str | None = None
+    ) -> "ServeClient":
+        self = cls()
+        self._loop = asyncio.get_running_loop()
+        self._reader, self._writer = await asyncio.open_connection(host, port)
+        self._reader_task = self._loop.create_task(self._read_loop())
+        hello_future = self._loop.create_future()
+        self._hello_future = hello_future
+        await self._send({"op": "hello", "client": client})
+        self.hello = await hello_future
+        if self.hello.get("protocol") != PROTOCOL_VERSION:
+            raise WireProtocolError(
+                f"server speaks protocol {self.hello.get('protocol')}, "
+                f"client speaks {PROTOCOL_VERSION}"
+            )
+        return self
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def submit(
+        self, features: np.ndarray, *, deadline_s: float | None = None
+    ) -> WireTicket:
+        """Submit one utterance; raises :class:`AdmissionRejected` on a
+        typed shed, returns a :class:`WireTicket` once accepted."""
+        req_id = next(self._ids)
+        self._register(req_id)
+        meta, payload = encode_array(
+            np.asarray(features, dtype=np.float64)
+        )
+        header = {"op": "submit", "id": req_id, **meta}
+        if deadline_s is not None:
+            header["deadline_s"] = deadline_s
+        await self._send(header, payload)
+        return await self._claim_ticket(req_id)
+
+    async def decode(
+        self, features: np.ndarray, *, deadline_s: float | None = None
+    ) -> WireResult:
+        """Submit and await in one call."""
+        ticket = await self.submit(features, deadline_s=deadline_s)
+        return await ticket.result()
+
+    async def submit_audio(
+        self, waveform: np.ndarray, *, deadline_s: float | None = None
+    ) -> WireTicket:
+        """Ship a raw waveform; the server featurizes it off-loop."""
+        req_id = next(self._ids)
+        self._register(req_id)
+        meta, payload = encode_array(np.asarray(waveform, dtype=np.float64))
+        header = {"op": "submit_audio", "id": req_id, **meta}
+        if deadline_s is not None:
+            header["deadline_s"] = deadline_s
+        await self._send(header, payload)
+        return await self._claim_ticket(req_id)
+
+    async def open_stream(
+        self,
+        *,
+        deadline_s: float | None = None,
+        on_partial: Callable | None = None,
+        partial_interval: int = 20,
+        endpoint_silence_frames: int = 30,
+        endpointing: bool | None = None,
+    ) -> WireStream:
+        """Open a streaming session (frames pushed with
+        :meth:`WireStream.send_frames`)."""
+        req_id = next(self._ids)
+        self._register(req_id)
+        header = {
+            "op": "open",
+            "id": req_id,
+            "partials": on_partial is not None,
+            "partial_interval": partial_interval,
+            "endpoint_silence_frames": endpoint_silence_frames,
+        }
+        if deadline_s is not None:
+            header["deadline_s"] = deadline_s
+        if endpointing is not None:
+            header["endpointing"] = endpointing
+        if on_partial is not None:
+            self._partials[req_id] = on_partial
+        await self._send(header)
+        return WireStream(self, req_id)
+
+    async def metrics(self) -> dict:
+        """A :class:`~repro.serve.metrics.ServerMetrics` snapshot."""
+        req_id = next(self._ids)
+        future = self._loop.create_future()
+        self._metrics_waiters[req_id] = future
+        await self._send({"op": "metrics", "id": req_id})
+        return await future
+
+    # ------------------------------------------------------------------
+    async def _send(self, header: dict, payload: bytes = b"") -> None:
+        if self._writer is None:
+            raise WireProtocolError("client is not connected")
+        write_frame(self._writer, header, payload)
+        await self._writer.drain()
+
+    def _register(self, req_id: int) -> WireTicket:
+        """Create the ticket + admission future for a request.
+
+        Called BEFORE the request frame is sent (and defensively from
+        event handlers), so the reader task always finds a future to
+        resolve no matter how it interleaves with the sender.
+        """
+        ticket = self._tickets.get(req_id)
+        if ticket is None:
+            ticket = WireTicket(self, req_id)
+            self._tickets[req_id] = ticket
+        if req_id not in self._admissions:
+            admission = self._loop.create_future()
+            admission.add_done_callback(_quiet)
+            self._admissions[req_id] = admission
+        return ticket
+
+    async def _claim_ticket(self, req_id: int) -> WireTicket:
+        """Await the admission decision for ``req_id``: returns the
+        ticket on ``accepted``, raises the rebuilt
+        :class:`AdmissionRejected` on ``rejected``.
+
+        The ticket is captured before awaiting — a result event racing
+        in behind the acceptance pops it from ``_tickets``.
+        """
+        ticket = self._register(req_id)
+        admission = self._admissions[req_id]
+        try:
+            await asyncio.shield(admission)
+        finally:
+            self._admissions.pop(req_id, None)
+        return ticket
+
+    def _fail_all(self, exc: Exception) -> None:
+        for future in self._admissions.values():
+            if not future.done():
+                future.set_exception(exc)
+        for ticket in self._tickets.values():
+            if not ticket.future.done():
+                ticket.future.set_exception(exc)
+        for future in self._metrics_waiters.values():
+            if not future.done():
+                future.set_exception(exc)
+        if getattr(self, "_hello_future", None) and not self._hello_future.done():
+            self._hello_future.set_exception(exc)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                header, _payload = await read_frame(self._reader)
+                self._on_event(header)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            self._fail_all(ConnectionError("server closed the connection"))
+        except asyncio.CancelledError:
+            self._fail_all(ConnectionError("client closed"))
+            raise
+
+    def _on_event(self, event: dict) -> None:
+        kind = event.get("event")
+        req_id = event.get("id")
+        if kind == "hello":
+            if not self._hello_future.done():
+                self._hello_future.set_result(event)
+        elif kind == "accepted":
+            self._register(req_id)
+            admission = self._admissions[req_id]
+            if not admission.done():
+                admission.set_result(True)
+        elif kind == "rejected":
+            exc = AdmissionRejected(
+                event.get("queue_depth", 0),
+                event.get("max_queue", 0),
+                reason=event.get("reason", "queue_full"),
+            )
+            self._register(req_id)
+            admission = self._admissions[req_id]
+            if not admission.done():
+                admission.set_exception(exc)
+            # A rejected request never resolves; retire its ticket so
+            # teardown doesn't flag it as abandoned.
+            ticket = self._tickets.pop(req_id, None)
+            if ticket is not None and not ticket.future.done():
+                ticket.future.cancel()
+            self._partials.pop(req_id, None)
+        elif kind == "result":
+            # The ticket stays registered until its holder consumes it
+            # (WireTicket.result) — popping here would strand a stream
+            # whose endpoint result outraces the client's finish().
+            ticket = self._tickets.get(req_id)
+            if ticket is not None and not ticket.future.done():
+                ticket.future.set_result(WireResult.from_event(event))
+            self._partials.pop(req_id, None)
+        elif kind == "partial":
+            callback = self._partials.get(req_id)
+            if callback is not None:
+                callback(tuple(event.get("words", ())), event.get("frame"))
+        elif kind == "endpoint":
+            self._endpointed.add(req_id)
+        elif kind == "metrics":
+            future = self._metrics_waiters.pop(req_id, None)
+            if future is not None and not future.done():
+                future.set_result(event.get("metrics", {}))
+        elif kind == "error":
+            exc = WireProtocolError(event.get("error", "unknown error"))
+            admission = self._admissions.get(req_id)
+            if admission is not None and not admission.done():
+                admission.set_exception(exc)
+            else:
+                ticket = self._tickets.get(req_id)
+                if ticket is not None and not ticket.future.done():
+                    ticket.future.set_exception(exc)

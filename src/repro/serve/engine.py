@@ -29,7 +29,7 @@ import threading
 from typing import Callable
 
 from repro.runtime.batch import BatchRecognizer
-from repro.runtime.serving import STOP, CancelJob, DecodeJob, ServeLoop
+from repro.runtime.serving import STOP, CancelJob, DecodeJob, ServeLoop, StealJob
 
 __all__ = [
     "ProcessEngineWorker",
@@ -70,8 +70,14 @@ class ThreadEngineWorker:
     def cancel(self, utt_id: int) -> None:
         self._inbox.put(CancelJob(utt_id))
 
+    def steal(self, utt_id: int) -> None:
+        self._inbox.put(StealJob(utt_id))
+
     def request_stop(self) -> None:
         self._inbox.put(STOP)
+
+    def alive(self) -> bool:
+        return self._thread.is_alive()
 
     def join(self, timeout: float) -> bool:
         self._thread.join(timeout)
@@ -131,17 +137,29 @@ class ProcessEngineWorker:
     def cancel(self, utt_id: int) -> None:
         self._inbox.put(CancelJob(utt_id))
 
+    def steal(self, utt_id: int) -> None:
+        self._inbox.put(StealJob(utt_id))
+
     def request_stop(self) -> None:
         self._inbox.put(STOP)
 
+    def alive(self) -> bool:
+        return self._proc.is_alive()
+
     def join(self, timeout: float) -> bool:
         self._proc.join(timeout)
+        if self._proc.exitcode is not None:
+            # A dead shard can never drain its inbox; without this the
+            # queue's feeder thread blocks interpreter exit trying to
+            # flush jobs nobody will ever read.
+            self._inbox.cancel_join_thread()
         return self._proc.exitcode is not None
 
     def terminate(self) -> None:
         if self._proc.is_alive():
             self._proc.terminate()
             self._proc.join(1.0)
+        self._inbox.cancel_join_thread()
 
 
 def start_outbox_pump(

@@ -56,8 +56,17 @@ class ServerMetrics:
     workers: list[WorkerMetrics] = field(default_factory=list)
     latency_p50_s: float = 0.0  # end-to-end, completed utterances
     latency_p95_s: float = 0.0
-    wait_p50_s: float = 0.0  # enqueue -> lane admission
+    # Queue-wait percentiles cover ALL resolved traffic: completed
+    # utterances contribute their enqueue->lane-admission wait, shed
+    # (timed-out) utterances contribute their enqueue->shed wait.
+    # Counting only survivors would flatter exactly the overload knee
+    # these numbers exist to expose — under saturation the longest
+    # waits belong to the jobs that never made it.
+    wait_p50_s: float = 0.0
     wait_p95_s: float = 0.0
+    shed_wait_p95_s: float = 0.0  # the shed series alone
+    steals: int = 0  # jobs reclaimed from a busy shard's backlog
+    worker_backlog: int = 0  # current per-worker over-dispatch depth
     rtf: float = 0.0  # total decode wall time / total audio decoded
     audio_seconds: float = 0.0
     scoring_mode: str = "reference"  # the workers' scoring backend

@@ -8,12 +8,34 @@ sharded mode), each running a
 
     submit()/open_session()           asyncio event loop (this module)
         │  AdmissionRejected when the bounded queue is full
+        │  (or the client is over its fair share of it)
         ▼
-    admission queue ──dispatch──▶ worker 0 [lane bank, max_lanes]
-        │   round-robin +         worker 1 [lane bank, max_lanes]
-        │   least-loaded          ...
-        ▼
-    ServeResult futures  ◀─events── JobDone / JobTimedOut / ...
+    EDF admission queue ──dispatch──▶ worker 0 [lane bank, max_lanes]
+        │   earliest deadline         worker 1 [lane bank, max_lanes]
+        │   first; least-loaded       ...
+        │   worker; work stealing
+        ▼   when in-flight skews
+    ServeResult futures  ◀─events── JobDone / JobTimedOut / JobStolen
+
+Admission is production-shaped along four axes:
+
+* **EDF ordering** — the queue dispatches by earliest absolute
+  deadline (FIFO among equals; deadline-free jobs go last), so under
+  backlog the jobs with the least slack reach a lane first and
+  already-dead jobs cluster at the head where they are shed for free.
+* **Per-client fair share** — ``submit(..., client=...)`` tags each
+  job; when several clients hold queued jobs at once, each is capped
+  at ``max_queue // #active-clients`` queued entries, so one hot
+  client cannot starve the rest of the door.
+* **Work stealing** — a worker that goes idle while a sibling still
+  has jobs waiting BEHIND its busy lanes reclaims one
+  (:class:`~repro.runtime.serving.StealJob`); the job re-enters the
+  EDF queue and immediately re-dispatches to the idle worker.
+* **Backlog autotuning** — ``worker_backlog="auto"`` adapts how many
+  jobs are pushed to a worker beyond its lanes: deadline misses and
+  rejections shrink it (jobs held at the server stay EDF-orderable
+  and shed-able — backpressure), sustained packed-and-healthy load
+  grows it (hiding lane-refill latency).
 
 Deadline semantics: a deadline is an ABSOLUTE budget from enqueue.  A
 job that expires while queued is shed without ever touching a lane; a
@@ -24,6 +46,12 @@ resolves to a typed :class:`~repro.serve.types.ServeResult` with
 ``status=TIMEOUT``, and no surviving utterance's output moves by a
 bit.
 
+Worker failure: a worker process that dies (detected by the sweeper's
+liveness poll, or via its crash event) has its unresolved jobs
+re-dispatched to the surviving workers — decode is deterministic, so
+a re-run is bit-identical — and only a fleet with no survivors fails
+jobs outright.
+
 All public methods must be called from the event-loop thread; worker
 events re-enter the loop through ``call_soon_threadsafe``.
 """
@@ -31,7 +59,9 @@ events re-enter the loop through ``call_soon_threadsafe``.
 from __future__ import annotations
 
 import asyncio
+import heapq
 import itertools
+import math
 import multiprocessing
 import time
 from collections import deque
@@ -47,6 +77,7 @@ from repro.runtime.serving import (
     JobCancelled,
     JobDone,
     JobFailed,
+    JobStolen,
     JobTimedOut,
     LoopStats,
     ServeStopped,
@@ -69,6 +100,85 @@ __all__ = ["Server", "Session", "StreamSession"]
 _LATENCY_WINDOW = 4096  # completed-utterance latencies kept for p50/p95
 
 
+class _EdfQueue:
+    """Earliest-deadline-first admission queue with O(log n) ops.
+
+    Entries order by ``(deadline_at, arrival)`` — deadline-free jobs
+    sort last (``inf``), FIFO breaks ties — so the head is always the
+    most urgent job AND, once expired jobs exist, they form a prefix
+    of the order (their deadlines are the smallest), which is what
+    lets dispatch shed the dead for free before spending a worker
+    pick.  Removal (client cancel, steal re-queue bookkeeping) is a
+    lazy tombstone; per-client live counts back the fair-share quota.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, list]] = []
+        self._entries: dict[int, list] = {}  # utt_id -> live entry
+        self._arrival = itertools.count()
+        self._client_queued: dict[str | None, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, job: DecodeJob, session: "Session") -> None:
+        key = math.inf if job.deadline_at is None else job.deadline_at
+        entry = [job, session, True]
+        heapq.heappush(self._heap, (key, next(self._arrival), entry))
+        self._entries[job.utt_id] = entry
+        client = session.client
+        self._client_queued[client] = self._client_queued.get(client, 0) + 1
+
+    def peek(self) -> tuple[DecodeJob, "Session"] | None:
+        while self._heap:
+            entry = self._heap[0][2]
+            if entry[2]:
+                return entry[0], entry[1]
+            heapq.heappop(self._heap)
+        return None
+
+    def pop(self) -> tuple[DecodeJob, "Session"] | None:
+        while self._heap:
+            entry = heapq.heappop(self._heap)[2]
+            if entry[2]:
+                self._drop(entry)
+                return entry[0], entry[1]
+        return None
+
+    def remove(self, utt_id: int) -> bool:
+        """Tombstone a queued job; False if it was not queued here."""
+        entry = self._entries.get(utt_id)
+        if entry is None:
+            return False
+        self._drop(entry)
+        return True
+
+    def _drop(self, entry: list) -> None:
+        entry[2] = False
+        del self._entries[entry[0].utt_id]
+        client = entry[1].client
+        count = self._client_queued[client] - 1
+        if count:
+            self._client_queued[client] = count
+        else:
+            del self._client_queued[client]
+
+    def queued_for(self, client: str | None) -> int:
+        return self._client_queued.get(client, 0)
+
+    def active_clients(self) -> int:
+        """Clients currently holding at least one queued job."""
+        return len(self._client_queued)
+
+    def drain(self):
+        """Pop every live entry, most urgent first."""
+        while True:
+            item = self.pop()
+            if item is None:
+                return
+            yield item
+
+
 class Session:
     """A ticket for one submitted utterance.
 
@@ -80,11 +190,16 @@ class Session:
     """
 
     def __init__(
-        self, server: "Server", utt_id: int, enqueued_at: float
+        self,
+        server: "Server",
+        utt_id: int,
+        enqueued_at: float,
+        client: str | None = None,
     ) -> None:
         self._server = server
         self.utt_id = utt_id
         self.enqueued_at = enqueued_at
+        self.client = client
         self.worker: int | None = None
         self._future: asyncio.Future[ServeResult] = (
             server._aio_loop.create_future()
@@ -127,9 +242,11 @@ class StreamSession:
         endpoint_silence_frames: int,
         auto_finish: bool,
         endpointing: bool | None,
+        client: str | None = None,
     ) -> None:
         self._server = server
         self._deadline_s = deadline_s
+        self._client = client
         self._auto_finish = auto_finish
         self._frames: list[np.ndarray] = []
         self._leftover: np.ndarray | None = None
@@ -233,11 +350,20 @@ class StreamSession:
             else:
                 raise ValueError("cannot finish an empty session")
             self._session = self._server.submit(
-                features, deadline_s=self._deadline_s
+                features, deadline_s=self._deadline_s, client=self._client
             )
         return self._session
 
     async def result(self) -> ServeResult:
+        if self._session is None and self._audio is not None:
+            # Feature extraction for a buffered-audio session runs in
+            # an executor so one client's waveform never stalls the
+            # event loop (and with it every other session's dispatch).
+            loop = asyncio.get_running_loop()
+            features = await loop.run_in_executor(None, self._audio.extract)
+            self._session = self._server.submit(
+                features, deadline_s=self._deadline_s, client=self._client
+            )
         return await self.finish().result()
 
 
@@ -259,6 +385,8 @@ class Server:
     max_queue:
         Bound on the server-side admission queue; a submit that finds
         it full raises :class:`AdmissionRejected` (load shedding).
+        When several clients hold queued jobs at once, each is also
+        capped at its fair share ``max_queue // #active-clients``.
     use_processes:
         True forks each worker (the sharded mode); False runs them as
         threads of this process.
@@ -267,8 +395,15 @@ class Server:
     worker_backlog:
         Jobs dispatched to a worker beyond its ``max_lanes`` so a
         retiring lane refills without a round trip through the server
-        (default: ``max_lanes``).
+        (default: ``max_lanes``).  Pass ``"auto"`` for the
+        backpressure-aware autotuner: starting at ``max_lanes``, the
+        depth halves whenever a metrics window saw deadline misses or
+        rejections (holding jobs at the server keeps them EDF-ordered
+        and shed-able) and creeps up by one, to at most
+        ``4 * max_lanes``, while the fleet is packed but healthy.
     """
+
+    AUTOTUNE_INTERVAL_S = 0.25  # metrics window between autotune steps
 
     def __init__(
         self,
@@ -279,7 +414,7 @@ class Server:
         max_queue: int = 32,
         use_processes: bool = False,
         default_deadline_s: float | None = None,
-        worker_backlog: int | None = None,
+        worker_backlog: int | str | None = None,
         poll_s: float = 0.002,
         sweep_s: float = 0.02,
         frontend: Frontend | None = None,
@@ -290,17 +425,22 @@ class Server:
             raise ValueError(f"max_lanes must be >= 1, got {max_lanes}")
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
-        if worker_backlog is None:
+        self._autotune = worker_backlog == "auto"
+        if worker_backlog is None or self._autotune:
             worker_backlog = max_lanes
-        if worker_backlog < 0:
-            raise ValueError(f"worker_backlog must be >= 0, got {worker_backlog}")
+        if not isinstance(worker_backlog, int) or worker_backlog < 0:
+            raise ValueError(
+                f"worker_backlog must be >= 0 or 'auto', got {worker_backlog!r}"
+            )
         self.recognizer = recognizer
         self.num_workers = num_workers
         self.max_lanes = max_lanes
         self.max_queue = max_queue
         self.use_processes = use_processes
         self.default_deadline_s = default_deadline_s
-        self._capacity = max_lanes + worker_backlog
+        self._backlog = worker_backlog
+        self._backlog_max = 4 * max_lanes
+        self._autotune_last_misses = 0
         self._poll_s = poll_s
         self._sweep_s = sweep_s
         self._frontend_obj = frontend
@@ -308,7 +448,7 @@ class Server:
         self._state = "new"  # new -> running -> stopping -> stopped
         self._ids = itertools.count()
         self._pick_seq = itertools.count()
-        self._pending: deque[tuple[DecodeJob, Session]] = deque()
+        self._pending = _EdfQueue()
         self._sessions: dict[int, Session] = {}
         self._workers: list = []
         self._worker_alive: list[bool] = []
@@ -316,6 +456,12 @@ class Server:
         self._in_flight: list[int] = []
         self._worker_stats: dict[int, LoopStats] = {}
         self._stopped_events: dict[int, asyncio.Event] = {}
+        # Dispatched-but-unresolved jobs, kept so a steal or a worker
+        # death can re-dispatch without a round trip to the client.
+        self._live_jobs: dict[int, DecodeJob] = {}
+        self._worker_jobs: list[list[int]] = []  # dispatch order per worker
+        self._steal_pending: set[int] = set()
+        self._redispatched: set[int] = set()
         self._pump_stop = None
         self._pump_thread = None
         self._sweeper: asyncio.Task | None = None
@@ -328,10 +474,17 @@ class Server:
         self._cancelled = 0
         self._errors = 0
         self._rejections = 0
+        self._steals = 0
         self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
         self._waits: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self._shed_waits: deque[float] = deque(maxlen=_LATENCY_WINDOW)
         self._decode_s_total = 0.0
         self._audio_s_total = 0.0
+
+    @property
+    def _capacity(self) -> int:
+        """Jobs a worker may hold at once (lanes + current backlog)."""
+        return self.max_lanes + self._backlog
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -377,6 +530,7 @@ class Server:
         self._worker_alive = [True] * self.num_workers
         self._worker_last_pick = [-1] * self.num_workers
         self._in_flight = [0] * self.num_workers
+        self._worker_jobs = [[] for _ in range(self.num_workers)]
         self._stopped_events = {
             i: asyncio.Event() for i in range(self.num_workers)
         }
@@ -393,9 +547,8 @@ class Server:
         if self._state == "running":
             self._state = "stopping"
         if not drain:
-            for job, session in list(self._pending):
+            for job, session in self._pending.drain():
                 self._resolve(session, ServeStatus.CANCELLED, detail="server stop")
-            self._pending.clear()
             for session in list(self._sessions.values()):
                 if session.worker is not None:
                     self._workers[session.worker].cancel(session.utt_id)
@@ -424,7 +577,8 @@ class Server:
             self._resolve(
                 session, ServeStatus.ERROR, detail="server stopped"
             )
-        self._pending.clear()
+        for _ in self._pending.drain():
+            pass
         self._state = "stopped"
 
     async def __aenter__(self) -> "Server":
@@ -442,12 +596,15 @@ class Server:
         *,
         deadline_s: float | None = None,
         enqueued_at: float | None = None,
+        client: str | None = None,
     ) -> Session:
         """Enqueue one utterance; returns its :class:`Session` ticket.
 
         Raises :class:`AdmissionRejected` when the bounded queue is
-        full (load shedding — nothing was enqueued), ValueError for
-        malformed features, :class:`ServerClosed` when not running.
+        full, or when ``client`` is already at its fair share of it
+        while other clients hold queued jobs (load shedding — nothing
+        was enqueued), ValueError for malformed features,
+        :class:`ServerClosed` when not running.
         """
         if self._state != "running":
             raise ServerClosed(f"server is {self._state}")
@@ -457,9 +614,15 @@ class Server:
             raise ServerClosed("all workers have exited")
         # Shed BEFORE validating: rejection is the hot path under
         # overload and must stay O(1), not pay a feature-matrix copy.
-        if len(self._pending) >= self.max_queue:
+        depth = len(self._pending)
+        if depth >= self.max_queue:
             self._rejections += 1
-            raise AdmissionRejected(len(self._pending), self.max_queue)
+            raise AdmissionRejected(depth, self.max_queue, client=client)
+        if self._pending.queued_for(client) >= self._fair_share(client):
+            self._rejections += 1
+            raise AdmissionRejected(
+                depth, self.max_queue, reason="client_quota", client=client
+            )
         feats = validate_utterance_features(
             self.recognizer.pool.dim, self._submitted, features
         )
@@ -471,19 +634,41 @@ class Server:
         deadline_at = None if deadline_s is None else enqueued_at + deadline_s
         utt_id = next(self._ids)
         job = DecodeJob(utt_id, feats, enqueued_at, deadline_at)
-        session = Session(self, utt_id, enqueued_at)
+        session = Session(self, utt_id, enqueued_at, client=client)
         self._sessions[utt_id] = session
         self._submitted += 1
-        self._pending.append((job, session))
+        self._pending.push(job, session)
         self._dispatch()
         return session
 
-    def submit_audio(self, waveform: np.ndarray, **kwargs) -> Session:
-        """Run a raw waveform through the frontend, then :meth:`submit`."""
-        return self.submit(
-            self._frontend().extract(np.asarray(waveform, dtype=np.float64)),
-            **kwargs,
-        )
+    def _fair_share(self, client: str | None) -> int:
+        """This client's cap on queued jobs, under current contention.
+
+        A lone client may use the whole queue; once ``n`` distinct
+        clients hold queued jobs, each is capped at ``max_queue // n``
+        (at least 1).  The cap is advisory-fair, not an eviction
+        policy: jobs already queued over a newly shrunk share stay.
+        """
+        active = self._pending.active_clients()
+        if self._pending.queued_for(client) == 0:
+            active += 1  # this client is about to become active
+        if active <= 1:
+            return self.max_queue
+        return max(1, self.max_queue // active)
+
+    async def submit_audio(self, waveform: np.ndarray, **kwargs) -> Session:
+        """Run a raw waveform through the frontend, then :meth:`submit`.
+
+        Feature extraction runs in an executor thread: a full MFCC
+        pass over a long waveform takes tens of milliseconds, and on
+        the event loop that would stall dispatch, the deadline sweep
+        and every other session's partials while one client's audio
+        is featurized — fatal once requests arrive over a socket.
+        """
+        wave = np.asarray(waveform, dtype=np.float64)
+        loop = asyncio.get_running_loop()
+        features = await loop.run_in_executor(None, self._frontend().extract, wave)
+        return self.submit(features, **kwargs)
 
     async def decode(self, features: np.ndarray, **kwargs) -> ServeResult:
         """Submit and await in one call."""
@@ -498,6 +683,7 @@ class Server:
         endpoint_silence_frames: int = 30,
         auto_finish: bool = True,
         endpointing: bool | None = None,
+        client: str | None = None,
     ) -> StreamSession:
         """Open a push-style streaming session (see :class:`StreamSession`).
 
@@ -515,6 +701,7 @@ class Server:
             endpoint_silence_frames,
             auto_finish,
             endpointing,
+            client=client,
         )
 
     # ------------------------------------------------------------------
@@ -535,7 +722,11 @@ class Server:
                 )
             )
         latencies = list(self._latencies)
-        waits = list(self._waits)
+        shed_waits = list(self._shed_waits)
+        # Shed traffic counts: a saturated door's longest waits belong
+        # to the jobs that timed out, and a percentile computed over
+        # survivors only would flatter exactly that knee.
+        waits = list(self._waits) + shed_waits
         rec = self.recognizer
         if rec.mode == "blas":
             # Analytic (shapes x itemsizes), so a metrics poll never
@@ -557,6 +748,9 @@ class Server:
             latency_p95_s=percentile(latencies, 0.95),
             wait_p50_s=percentile(waits, 0.50),
             wait_p95_s=percentile(waits, 0.95),
+            shed_wait_p95_s=percentile(shed_waits, 0.95),
+            steals=self._steals,
+            worker_backlog=self._backlog,
             rtf=(
                 self._decode_s_total / self._audio_s_total
                 if self._audio_s_total
@@ -606,35 +800,83 @@ class Server:
                 best, best_key = i, key
         return best
 
-    def _dispatch(self) -> None:
-        while self._pending:
-            worker_id = self._pick_worker()
-            if worker_id is None:
+    def _shed_expired(self, now: float) -> None:
+        """Shed every expired job at the EDF head — they sort first,
+        so this never scans live entries and never costs a worker
+        pick."""
+        while True:
+            head = self._pending.peek()
+            if head is None:
                 return
-            job, session = self._pending.popleft()
-            if (
-                job.deadline_at is not None
-                and time.monotonic() >= job.deadline_at
-            ):
-                self._resolve(
-                    session,
-                    ServeStatus.TIMEOUT,
-                    detail="queued (shed before dispatch)",
-                )
+            job, session = head
+            if job.deadline_at is None or now < job.deadline_at:
+                return
+            self._pending.pop()
+            self._resolve(
+                session,
+                ServeStatus.TIMEOUT,
+                detail="queued (shed before dispatch)",
+            )
+
+    def _dispatch(self) -> None:
+        if len(self._pending):
+            # ONE clock read per drain: with EDF ordering the expired
+            # jobs form a prefix, so shedding happens up front instead
+            # of burning a _pick_worker pass per dead job.
+            now = time.monotonic()
+            self._shed_expired(now)
+            while len(self._pending):
+                worker_id = self._pick_worker()
+                if worker_id is None:
+                    break
+                job, session = self._pending.pop()
+                session.worker = worker_id
+                self._in_flight[worker_id] += 1
+                self._worker_last_pick[worker_id] = next(self._pick_seq)
+                self._live_jobs[job.utt_id] = job
+                self._worker_jobs[worker_id].append(job.utt_id)
+                self._workers[worker_id].submit(job)
+        self._maybe_steal()
+
+    def _maybe_steal(self) -> None:
+        """Reclaim one backlogged job for an idle worker.
+
+        Fires when the admission queue is empty (otherwise plain
+        dispatch feeds the idle worker) but in-flight counts skew: some
+        worker has spare LANES while another holds jobs beyond its
+        lanes — jobs that are, in all likelihood, still waiting in its
+        loop's backlog.  The steal is best-effort and race-free: the
+        victim only gives a job back if it has not entered a lane, and
+        the server re-dispatches on the :class:`JobStolen` event.
+        """
+        if len(self._pending):
+            return
+        if not any(
+            self._worker_alive[i] and self._in_flight[i] < self.max_lanes
+            for i in range(len(self._workers))
+        ):
+            return
+        victim = None
+        for i in range(len(self._workers)):
+            if not self._worker_alive[i] or self._in_flight[i] <= self.max_lanes:
                 continue
-            session.worker = worker_id
-            self._in_flight[worker_id] += 1
-            self._worker_last_pick[worker_id] = next(self._pick_seq)
-            self._workers[worker_id].submit(job)
+            if victim is None or self._in_flight[i] > self._in_flight[victim]:
+                victim = i
+        if victim is None:
+            return
+        # Newest dispatched first: the most recent job is the least
+        # likely to have reached a lane yet.
+        for utt_id in reversed(self._worker_jobs[victim]):
+            if utt_id in self._steal_pending:
+                continue
+            self._steal_pending.add(utt_id)
+            self._workers[victim].steal(utt_id)
+            return
 
     def _cancel_session(self, session: Session) -> bool:
         if session.utt_id not in self._sessions:
             return False
         if session.worker is None:
-            for i, (job, pending_session) in enumerate(self._pending):
-                if pending_session is session:
-                    del self._pending[i]
-                    break
             self._resolve(session, ServeStatus.CANCELLED, detail="queued")
         else:
             self._workers[session.worker].cancel(session.utt_id)
@@ -650,6 +892,15 @@ class Server:
         detail: str = "",
     ) -> None:
         self._sessions.pop(session.utt_id, None)
+        self._pending.remove(session.utt_id)
+        self._live_jobs.pop(session.utt_id, None)
+        self._steal_pending.discard(session.utt_id)
+        self._redispatched.discard(session.utt_id)
+        if session.worker is not None and session.worker < len(self._worker_jobs):
+            try:
+                self._worker_jobs[session.worker].remove(session.utt_id)
+            except ValueError:
+                pass
         if session._future.done():
             return
         finished_at = time.monotonic()
@@ -673,18 +924,48 @@ class Server:
                 self._audio_s_total += result.audio_seconds
         elif status is ServeStatus.TIMEOUT:
             self._timeouts += 1
+            # The shed-wait series: how long this job sat (queued, or
+            # queued + partially decoded) before the door gave up on
+            # it.  Folded into wait_p50/p95 so overload percentiles
+            # include exactly the traffic overload victimizes.
+            self._shed_waits.append(serve_result.latency_s)
         elif status is ServeStatus.CANCELLED:
             self._cancelled += 1
         else:
             self._errors += 1
 
     def _on_event(self, worker_id: int, event: object) -> None:
+        if isinstance(event, JobStolen):
+            session = self._sessions.get(event.utt_id)
+            if session is None or session.worker != worker_id:
+                return  # resolved (or re-homed) while the steal flew
+            self._in_flight[worker_id] -= 1
+            try:
+                self._worker_jobs[worker_id].remove(event.utt_id)
+            except ValueError:
+                pass
+            self._steal_pending.discard(event.utt_id)
+            job = self._live_jobs.pop(event.utt_id, None)
+            session.worker = None
+            self._steals += 1
+            if job is not None:
+                # Back into the EDF queue (original deadline intact);
+                # the dispatch below hands it to the idle worker that
+                # triggered the steal.
+                self._pending.push(job, session)
+            self._dispatch()
+            return
         if isinstance(event, (JobDone, JobTimedOut, JobCancelled, JobFailed)):
             session = self._sessions.get(event.utt_id)
             if session is None:
                 # Late event for a session already resolved locally
                 # (e.g. failed at stop() after terminating a wedged
                 # worker) — its in-flight slot was already released.
+                return
+            if session.worker != worker_id:
+                # Stale event from a previous owner (the job was
+                # re-dispatched after its worker died); the current
+                # owner's event is the one that counts.
                 return
             self._in_flight[worker_id] -= 1
             if isinstance(event, JobDone):
@@ -715,36 +996,93 @@ class Server:
                 stopped.set()
             if event.error is not None or self._state == "running":
                 # The worker died (crash, or exited while we were
-                # still serving): fail everything it was holding.
+                # still serving).  Decode is deterministic and the
+                # server still holds every dispatched job, so its
+                # unresolved work re-queues for the survivors —
+                # bit-identical on the re-run.  Only a job that
+                # already burned its one retry, or a fleet with no
+                # survivors, fails outright.
                 detail = event.error or "worker exited"
+                survivors = any(self._worker_alive)
                 for session in [
                     s
                     for s in self._sessions.values()
                     if s.worker == worker_id
                 ]:
-                    self._resolve(session, ServeStatus.ERROR, detail=detail)
+                    job = self._live_jobs.pop(session.utt_id, None)
+                    self._steal_pending.discard(session.utt_id)
+                    if (
+                        survivors
+                        and job is not None
+                        and session.utt_id not in self._redispatched
+                    ):
+                        self._redispatched.add(session.utt_id)
+                        session.worker = None
+                        self._pending.push(job, session)
+                    else:
+                        self._resolve(
+                            session, ServeStatus.ERROR, detail=detail
+                        )
+                self._worker_jobs[worker_id] = []
                 self._in_flight[worker_id] = 0
             if not any(self._worker_alive):
-                for job, session in list(self._pending):
+                for job, session in self._pending.drain():
                     self._resolve(
                         session, ServeStatus.ERROR, detail="no live workers"
                     )
-                self._pending.clear()
         self._dispatch()
 
     async def _sweep_deadlines(self) -> None:
-        """Shed queued jobs whose deadline passed before dispatch."""
+        """Periodic housekeeping off the hot path: shed queued jobs
+        whose deadline passed before dispatch (an O(expired) pop of
+        the EDF prefix), poll worker liveness so a SIGKILLed shard is
+        noticed even though it could not emit its own death event,
+        and step the backlog autotuner."""
+        autotune_every = max(1, round(self.AUTOTUNE_INTERVAL_S / self._sweep_s))
+        ticks = 0
         while True:
             await asyncio.sleep(self._sweep_s)
-            if not self._pending:
-                continue
-            now = time.monotonic()
-            kept: deque[tuple[DecodeJob, Session]] = deque()
-            for job, session in self._pending:
-                if job.deadline_at is not None and now >= job.deadline_at:
-                    self._resolve(
-                        session, ServeStatus.TIMEOUT, detail="queued"
-                    )
-                else:
-                    kept.append((job, session))
-            self._pending = kept
+            ticks += 1
+            self._check_worker_liveness()
+            if self._autotune and ticks % autotune_every == 0:
+                self._autotune_tick()
+            if len(self._pending):
+                self._shed_expired(time.monotonic())
+
+    def _check_worker_liveness(self) -> None:
+        """Synthesize the death event a killed worker never sent."""
+        if self._state != "running":
+            return  # stop() owns worker teardown
+        for i, worker in enumerate(self._workers):
+            if self._worker_alive[i] and not worker.alive():
+                stats = self._worker_stats.get(i) or LoopStats(
+                    0, 0, self.max_lanes, 0, 0, 0, 0
+                )
+                self._on_event(
+                    i, ServeStopped(stats, error="worker process died")
+                )
+
+    def _autotune_tick(self) -> None:
+        """One backpressure-aware step of the worker_backlog depth.
+
+        Misses (timeouts + rejections) in the window mean jobs
+        committed to worker backlogs were the wrong call — held at the
+        server they would have stayed EDF-ordered, steal-able and
+        shed-able — so the depth halves.  A packed-but-healthy window
+        (every live worker at capacity, jobs still queued, zero
+        misses) grows it by one to hide lane-refill latency.
+        """
+        misses = self._timeouts + self._rejections
+        window_misses = misses - self._autotune_last_misses
+        self._autotune_last_misses = misses
+        if window_misses > 0:
+            self._backlog //= 2
+            return
+        live = [
+            self._in_flight[i]
+            for i in range(len(self._workers))
+            if self._worker_alive[i]
+        ]
+        packed = bool(live) and all(n >= self._capacity for n in live)
+        if packed and len(self._pending) > 0:
+            self._backlog = min(self._backlog_max, self._backlog + 1)

@@ -1,0 +1,510 @@
+"""Wire transport: the front door over an actual socket.
+
+:class:`WireServer` puts an asyncio-streams TCP listener in front of
+an already-running :class:`~repro.serve.server.Server`, so clients in
+other processes (or on other hosts) reach the same session API —
+``submit``/``decode``, streamed frames with partial hypotheses, typed
+rejections and deadline semantics — that in-process callers get.
+
+Frame format (length-prefixed, not JSON-lines, so feature matrices
+cross the wire as raw float64 bytes and decode stays BIT-identical):
+
+    uint32 header_len | uint32 payload_len | header JSON | payload
+
+both lengths big-endian.  The header is a UTF-8 JSON object; the
+payload is an optional raw ndarray buffer described by the header's
+``shape``/``dtype`` (C order).  Every client->server header carries an
+``op`` and, for session-scoped ops, a client-chosen request ``id``;
+every server->client header carries an ``event`` echoing that ``id``.
+
+Client->server ops:
+
+===============  ======================================================
+``hello``        optional first frame: ``{"client": name}`` names the
+                 fair-share principal (default: one per connection)
+``submit``       features payload; optional ``deadline_s``
+``submit_audio`` 1-D waveform payload, featurized server-side (off
+                 the event loop); optional ``deadline_s``
+``open``         open a streaming session (``partials``,
+                 ``partial_interval``, ``endpoint_silence_frames``,
+                 ``endpointing``, ``deadline_s``)
+``frames``       feature-frame block payload for an open stream
+``finish``       close the stream and submit it for decoding
+``cancel``       cancel a submitted or streaming session
+``metrics``      request a :class:`ServerMetrics` snapshot
+===============  ======================================================
+
+Server->client events:
+
+==============  =======================================================
+``hello``       handshake reply (protocol version, scoring mode)
+``accepted``    the submit/finish passed admission; a ``result`` event
+                will follow for the same ``id``
+``rejected``    typed load shed — mirrors :class:`AdmissionRejected`
+                (``reason``, ``queue_depth``, ``max_queue``)
+``partial``     streaming partial hypothesis (``words``, ``frame``)
+``endpoint``    the stream's endpointer fired and auto-finished it
+``result``      terminal status for ``id``: ``status`` is the
+                :class:`ServeStatus` value plus ``words``/``score``
+                (OK only), timing, ``detail``
+``error``       malformed request (bad features, unknown op/id)
+``metrics``     metrics snapshot as a JSON object
+==============  =======================================================
+
+Deadline semantics over the network are unchanged from in-process
+serving: ``deadline_s`` is an absolute budget starting when the submit
+passes admission ON THE SERVER (enqueue), so client-side network time
+before that instant does not count against it, and a miss resolves to
+a ``result`` event with ``status="timeout"`` — never a dropped
+connection, never silence.
+
+A client that disconnects mid-stream has its unresolved sessions
+cancelled (freeing queue slots and lanes for everyone else) and its
+open streams discarded; the server itself is unaffected.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import itertools
+import json
+import struct
+
+import numpy as np
+
+from repro.serve.server import Server, Session, StreamSession
+from repro.serve.types import AdmissionRejected, ServeResult, ServerClosed
+
+__all__ = [
+    "FrameError",
+    "PROTOCOL_VERSION",
+    "WireServer",
+    "decode_array",
+    "encode_array",
+    "read_frame",
+    "result_payload",
+    "write_frame",
+]
+
+PROTOCOL_VERSION = 1
+_PREFIX = struct.Struct("!II")  # header_len, payload_len (big-endian)
+MAX_FRAME_BYTES = 64 * 1024 * 1024  # refuse absurd frames before allocating
+
+
+class FrameError(RuntimeError):
+    """A malformed or oversized wire frame."""
+
+
+def encode_array(arr: np.ndarray) -> tuple[dict, bytes]:
+    """Describe ``arr`` for a frame header; payload is its raw bytes."""
+    arr = np.ascontiguousarray(arr)
+    meta = {"shape": list(arr.shape), "dtype": arr.dtype.str}
+    return meta, arr.tobytes()
+
+
+def decode_array(meta: dict, payload: bytes) -> np.ndarray:
+    """Rebuild the ndarray a peer described; bit-exact round trip."""
+    try:
+        shape = tuple(int(n) for n in meta["shape"])
+        dtype = np.dtype(meta["dtype"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise FrameError(f"bad array description: {exc!r}") from None
+    expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    if expected != len(payload):
+        raise FrameError(
+            f"array payload is {len(payload)} bytes, shape/dtype say {expected}"
+        )
+    return np.frombuffer(payload, dtype=dtype).reshape(shape).copy()
+
+
+async def read_frame(reader: asyncio.StreamReader) -> tuple[dict, bytes]:
+    """Read one length-prefixed frame; raises ``IncompleteReadError``
+    at EOF and :class:`FrameError` on garbage."""
+    prefix = await reader.readexactly(_PREFIX.size)
+    header_len, payload_len = _PREFIX.unpack(prefix)
+    if header_len + payload_len > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {header_len + payload_len} bytes exceeds "
+            f"MAX_FRAME_BYTES={MAX_FRAME_BYTES}"
+        )
+    header_bytes = await reader.readexactly(header_len)
+    payload = await reader.readexactly(payload_len) if payload_len else b""
+    try:
+        header = json.loads(header_bytes)
+    except ValueError as exc:
+        raise FrameError(f"bad frame header: {exc}") from None
+    if not isinstance(header, dict):
+        raise FrameError(f"frame header must be an object, got {header!r}")
+    return header, payload
+
+
+def write_frame(
+    writer: asyncio.StreamWriter, header: dict, payload: bytes = b""
+) -> None:
+    """Queue one frame on ``writer`` (caller drains)."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode()
+    writer.write(_PREFIX.pack(len(header_bytes), len(payload)))
+    writer.write(header_bytes)
+    if payload:
+        writer.write(payload)
+
+
+def result_payload(req_id, result: ServeResult) -> dict:
+    """The ``result`` event for one resolved session.
+
+    ``score`` survives JSON bit-exactly: Python serializes floats via
+    ``repr``, which round-trips every finite float64.
+    """
+    header = {
+        "event": "result",
+        "id": req_id,
+        "utt_id": result.utt_id,
+        "status": result.status.value,
+        "worker": result.worker,
+        "latency_s": result.latency_s,
+        "frames_decoded": result.frames_decoded,
+        "detail": result.detail,
+    }
+    if result.result is not None:
+        rec = result.result
+        header["words"] = list(rec.words)
+        header["score"] = rec.score
+        header["frames"] = rec.frames
+        header["audio_seconds"] = rec.audio_seconds
+        if rec.timing is not None:
+            header["wait_s"] = rec.timing.wait_s
+            header["decode_s"] = rec.timing.decode_s
+    return header
+
+
+class _Connection:
+    """One client connection: reader loop + serialized writer queue.
+
+    All writes funnel through ``self._outq`` and a single writer task,
+    so result-waiter tasks, partial callbacks (invoked synchronously
+    inside ``send_frames``) and the reader loop never interleave
+    partial frames on the socket.
+    """
+
+    def __init__(self, wire: "WireServer", conn_id: int, reader, writer):
+        self.wire = wire
+        self.client = f"conn-{conn_id}"
+        self.reader = reader
+        self.writer = writer
+        self._outq: asyncio.Queue = asyncio.Queue()
+        self._sessions: dict = {}  # req id -> Session (submitted)
+        self._streams: dict = {}  # req id -> StreamSession (open)
+        self._endpointed: set = set()  # streams closed by their endpointer
+        self._waiters: set[asyncio.Task] = set()
+        self._writer_task: asyncio.Task | None = None
+
+    # -- writing -------------------------------------------------------
+    def send(self, header: dict, payload: bytes = b"") -> None:
+        self._outq.put_nowait((header, payload))
+
+    async def _write_loop(self) -> None:
+        while True:
+            header, payload = await self._outq.get()
+            write_frame(self.writer, header, payload)
+            await self.writer.drain()
+
+    # -- session plumbing ----------------------------------------------
+    def _watch(self, req_id, session: Session) -> None:
+        self._sessions[req_id] = session
+
+        async def wait() -> None:
+            result = await session.result()
+            self._sessions.pop(req_id, None)
+            self.send(result_payload(req_id, result))
+
+        task = asyncio.get_running_loop().create_task(wait())
+        self._waiters.add(task)
+        task.add_done_callback(self._waiters.discard)
+
+    def _submit_outcome(self, req_id, submit) -> None:
+        """Run an admission attempt; emit accepted/rejected/error."""
+        try:
+            session = submit()
+        except AdmissionRejected as err:
+            self.send(
+                {
+                    "event": "rejected",
+                    "id": req_id,
+                    "reason": err.reason,
+                    "queue_depth": err.queue_depth,
+                    "max_queue": err.max_queue,
+                }
+            )
+        except (ValueError, TypeError, ServerClosed) as err:
+            self.send({"event": "error", "id": req_id, "error": str(err)})
+        else:
+            self.send({"event": "accepted", "id": req_id})
+            self._watch(req_id, session)
+
+    # -- op handlers ---------------------------------------------------
+    async def handle(self, header: dict, payload: bytes) -> None:
+        op = header.get("op")
+        req_id = header.get("id")
+        server = self.wire.server
+        if op == "hello":
+            if header.get("client"):
+                self.client = str(header["client"])
+            self.send(
+                {
+                    "event": "hello",
+                    "protocol": PROTOCOL_VERSION,
+                    "scoring_mode": server.recognizer.mode,
+                    "max_queue": server.max_queue,
+                }
+            )
+        elif op == "submit":
+            try:
+                features = decode_array(header, payload)
+            except FrameError as err:
+                self.send({"event": "error", "id": req_id, "error": str(err)})
+                return
+            self._submit_outcome(
+                req_id,
+                lambda: server.submit(
+                    features,
+                    deadline_s=header.get("deadline_s"),
+                    client=self.client,
+                ),
+            )
+        elif op == "submit_audio":
+            try:
+                waveform = decode_array(header, payload)
+            except FrameError as err:
+                self.send({"event": "error", "id": req_id, "error": str(err)})
+                return
+            # Featurization runs in an executor (Server.submit_audio);
+            # admission happens after it, on the loop.
+            try:
+                session = await server.submit_audio(
+                    waveform,
+                    deadline_s=header.get("deadline_s"),
+                    client=self.client,
+                )
+            except AdmissionRejected as err:
+                self.send(
+                    {
+                        "event": "rejected",
+                        "id": req_id,
+                        "reason": err.reason,
+                        "queue_depth": err.queue_depth,
+                        "max_queue": err.max_queue,
+                    }
+                )
+            except (ValueError, TypeError, ServerClosed) as err:
+                self.send({"event": "error", "id": req_id, "error": str(err)})
+            else:
+                self.send({"event": "accepted", "id": req_id})
+                self._watch(req_id, session)
+        elif op == "open":
+            wants_partials = bool(header.get("partials"))
+            on_partial = None
+            if wants_partials:
+                def on_partial(words, frame, req_id=req_id):
+                    self.send(
+                        {
+                            "event": "partial",
+                            "id": req_id,
+                            "words": list(words),
+                            "frame": frame,
+                        }
+                    )
+            try:
+                stream = server.open_session(
+                    deadline_s=header.get("deadline_s"),
+                    on_partial=on_partial,
+                    partial_interval=int(header.get("partial_interval", 20)),
+                    endpoint_silence_frames=int(
+                        header.get("endpoint_silence_frames", 30)
+                    ),
+                    endpointing=header.get("endpointing"),
+                    auto_finish=True,
+                    client=self.client,
+                )
+            except ServerClosed as err:
+                self.send({"event": "error", "id": req_id, "error": str(err)})
+                return
+            self._streams[req_id] = stream
+        elif op == "frames":
+            stream = self._streams.get(req_id)
+            if stream is None:
+                # Blocks pipelined behind the endpoint cross the wire
+                # after the stream auto-finished; the endpoint event
+                # (already sent) tells the client where the cut was,
+                # so these belong to its next utterance — ignored, not
+                # an error.
+                if req_id not in self._endpointed:
+                    self.send(
+                        {
+                            "event": "error",
+                            "id": req_id,
+                            "error": "no open stream",
+                        }
+                    )
+                return
+            try:
+                block = decode_array(header, payload)
+            except FrameError as err:
+                self.send({"event": "error", "id": req_id, "error": str(err)})
+                return
+            try:
+                endpointed = stream.send_frames(block)
+            except AdmissionRejected as err:
+                # The endpointer fired and auto-finish hit a full door.
+                self._streams.pop(req_id, None)
+                self._endpointed.add(req_id)
+                self.send(
+                    {
+                        "event": "rejected",
+                        "id": req_id,
+                        "reason": err.reason,
+                        "queue_depth": err.queue_depth,
+                        "max_queue": err.max_queue,
+                    }
+                )
+                return
+            except (ValueError, RuntimeError) as err:
+                self.send({"event": "error", "id": req_id, "error": str(err)})
+                return
+            if endpointed:
+                self._streams.pop(req_id, None)
+                self._endpointed.add(req_id)
+                leftover = stream.leftover_frames
+                self.send(
+                    {
+                        "event": "endpoint",
+                        "id": req_id,
+                        "leftover_frames": (
+                            0 if leftover is None else int(leftover.shape[0])
+                        ),
+                    }
+                )
+                self.send({"event": "accepted", "id": req_id})
+                self._watch(req_id, stream.finish())
+        elif op == "finish":
+            stream = self._streams.pop(req_id, None)
+            if stream is None:
+                # A finish can cross an endpoint auto-finish on the
+                # wire; if the session is already submitted (or even
+                # already resolved) the redundant finish is benign.
+                if req_id not in self._sessions and req_id not in self._endpointed:
+                    self.send(
+                        {
+                            "event": "error",
+                            "id": req_id,
+                            "error": "no open stream",
+                        }
+                    )
+                return
+            self._submit_outcome(req_id, stream.finish)
+        elif op == "cancel":
+            session = self._sessions.get(req_id)
+            if session is not None:
+                session.cancel()
+            else:
+                self._streams.pop(req_id, None)
+        elif op == "metrics":
+            metrics = self.wire.server.metrics()
+            snapshot = dataclasses.asdict(metrics)
+            snapshot["lane_utilization"] = metrics.lane_utilization
+            self.send({"event": "metrics", "id": req_id, "metrics": snapshot})
+        else:
+            self.send(
+                {"event": "error", "id": req_id, "error": f"unknown op {op!r}"}
+            )
+
+    # -- lifecycle -----------------------------------------------------
+    async def run(self) -> None:
+        self._writer_task = asyncio.get_running_loop().create_task(
+            self._write_loop()
+        )
+        try:
+            while True:
+                try:
+                    header, payload = await read_frame(self.reader)
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                    FrameError,
+                ):
+                    break
+                await self.handle(header, payload)
+        finally:
+            await self.close()
+
+    async def close(self) -> None:
+        # A disconnecting client's unresolved work is cancelled so it
+        # stops holding queue slots and lanes; open streams (never
+        # submitted) are simply discarded.
+        for task in list(self._waiters):
+            task.cancel()
+        for session in list(self._sessions.values()):
+            session.cancel()
+        self._sessions.clear()
+        self._streams.clear()
+        if self._writer_task is not None:
+            self._writer_task.cancel()
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class WireServer:
+    """TCP front of a running :class:`~repro.serve.server.Server`.
+
+    ``port=0`` (the default) binds an ephemeral port; read the bound
+    address back from :attr:`host` / :attr:`port` after :meth:`start`.
+    Each connection is one fair-share client unless it names itself in
+    a ``hello`` op.
+    """
+
+    def __init__(
+        self, server: Server, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.server = server
+        self.host = host
+        self.port = port
+        self._listener: asyncio.AbstractServer | None = None
+        self._conn_ids = itertools.count()
+        self._connections: set[_Connection] = set()
+
+    async def start(self) -> "WireServer":
+        if self._listener is not None:
+            raise RuntimeError("wire server already started")
+        self._listener = await asyncio.start_server(
+            self._accept, self.host, self.port
+        )
+        sock = self._listener.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self
+
+    async def _accept(self, reader, writer) -> None:
+        conn = _Connection(self, next(self._conn_ids), reader, writer)
+        self._connections.add(conn)
+        try:
+            await conn.run()
+        finally:
+            self._connections.discard(conn)
+
+    async def stop(self) -> None:
+        if self._listener is None:
+            return
+        self._listener.close()
+        await self._listener.wait_closed()
+        self._listener = None
+        for conn in list(self._connections):
+            await conn.close()
+        self._connections.clear()
+
+    async def __aenter__(self) -> "WireServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()

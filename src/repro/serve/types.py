@@ -33,18 +33,35 @@ class ServeStatus(enum.Enum):
 
 
 class AdmissionRejected(RuntimeError):
-    """Load shed at the door: the bounded admission queue is full.
+    """Load shed at the door.
 
-    Carries the observed depth so callers can implement backpressure
-    (retry with jitter, spill to another server, degrade).
+    ``reason`` says which policy fired: ``"queue_full"`` (the bounded
+    admission queue has no room for anyone) or ``"client_quota"``
+    (the queue has room, but this client already holds its fair share
+    of it while other clients are waiting).  Carries the observed
+    depth so callers can implement backpressure (retry with jitter,
+    spill to another server, degrade).
     """
 
-    def __init__(self, queue_depth: int, max_queue: int) -> None:
-        super().__init__(
-            f"admission queue full ({queue_depth}/{max_queue} waiting)"
-        )
+    def __init__(
+        self,
+        queue_depth: int,
+        max_queue: int,
+        reason: str = "queue_full",
+        client: str | None = None,
+    ) -> None:
+        if reason == "client_quota":
+            message = (
+                f"client {client!r} is over its fair share of the "
+                f"admission queue ({queue_depth}/{max_queue} waiting)"
+            )
+        else:
+            message = f"admission queue full ({queue_depth}/{max_queue} waiting)"
+        super().__init__(message)
         self.queue_depth = queue_depth
         self.max_queue = max_queue
+        self.reason = reason
+        self.client = client
 
 
 class ServerClosed(RuntimeError):

@@ -26,6 +26,12 @@ def _run(name: str, capsys) -> str:
         ),
         ("model_persistence.py", ["round trip", "identical"]),
         (
+            "wire_demo.py",
+            ["wire decode bit-identical to sequential: True",
+             "typed rejection", "badge still admitted",
+             "partial updates", "server metrics over the wire:"],
+        ),
+        (
             "batch_throughput.py",
             ["speedup:", "outputs identical: True",
              "continuous outputs identical: True"],

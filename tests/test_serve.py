@@ -643,3 +643,326 @@ class TestShardedServerIntegration:
                 assert metrics.latency_p95_s > 0.0
 
         asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Admission policy: EDF ordering, fair-share quotas, shed-wait
+# percentiles, backlog autotuning
+# ----------------------------------------------------------------------
+class TestAdmissionPolicy:
+    def test_edf_queue_orders_by_deadline_then_arrival(self):
+        from types import SimpleNamespace
+
+        from repro.serve.server import _EdfQueue
+
+        q = _EdfQueue()
+        jobs = [
+            DecodeJob(0, np.zeros((1, 2)), 0.0, deadline_at=None),
+            DecodeJob(1, np.zeros((1, 2)), 0.0, deadline_at=10.0),
+            DecodeJob(2, np.zeros((1, 2)), 0.0, deadline_at=1.0),
+            DecodeJob(3, np.zeros((1, 2)), 0.0, deadline_at=None),
+        ]
+        for i, job in enumerate(jobs):
+            q.push(job, SimpleNamespace(client="a" if i % 2 else "b"))
+        # Tightest deadline first; deadline-free jobs last, FIFO.
+        assert [q.pop()[0].utt_id for _ in range(len(q))] == [2, 1, 0, 3]
+        assert q.pop() is None and len(q) == 0
+
+    def test_edf_queue_remove_and_client_accounting(self):
+        from types import SimpleNamespace
+
+        from repro.serve.server import _EdfQueue
+
+        q = _EdfQueue()
+        for i in range(4):
+            q.push(
+                DecodeJob(i, np.zeros((1, 2)), 0.0, deadline_at=float(i)),
+                SimpleNamespace(client="a" if i < 3 else "b"),
+            )
+        assert q.queued_for("a") == 3 and q.queued_for("b") == 1
+        assert q.active_clients() == 2
+        assert q.remove(1) and not q.remove(1)  # tombstoned once
+        assert q.queued_for("a") == 2
+        assert [q.pop()[0].utt_id for _ in range(len(q))] == [0, 2, 3]
+        assert q.active_clients() == 0
+
+    def test_dispatch_follows_deadline_order_not_fifo(
+        self, recognizer, workload
+    ):
+        """Jobs queued behind a busy worker dispatch earliest-deadline
+        first: submit order A(10s) B(1s) C(none), completion order
+        B, A, C."""
+        features, _ = workload
+
+        async def scenario():
+            async with Server(
+                recognizer,
+                num_workers=1,
+                max_lanes=1,
+                worker_backlog=0,
+                max_queue=8,
+            ) as server:
+                blocker = server.submit(features[0])  # occupies the lane
+                a = server.submit(features[1], deadline_s=10.0)
+                b = server.submit(features[1], deadline_s=1.0)
+                c = server.submit(features[1])
+                results = {
+                    name: await s.result()
+                    for name, s in [("a", a), ("b", b), ("c", c)]
+                }
+                assert (await blocker.result()).ok
+                for name, result in results.items():
+                    assert result.ok, f"{name}: {result}"
+                assert (
+                    results["b"].finished_at
+                    < results["a"].finished_at
+                    < results["c"].finished_at
+                )
+
+        asyncio.run(scenario())
+
+    def test_client_quota_rejection_is_typed(self, recognizer, workload):
+        """With two clients contending, each is capped at its fair
+        share of the queue — the over-quota client gets a typed
+        ``client_quota`` rejection while the other still has room."""
+        features, _ = workload
+
+        async def scenario():
+            async with Server(
+                recognizer,
+                num_workers=1,
+                max_lanes=1,
+                worker_backlog=0,
+                max_queue=4,
+            ) as server:
+                blocker = server.submit(features[0], client="a")
+                queued = [
+                    server.submit(features[1], client="a"),
+                    server.submit(features[1], client="a"),
+                    server.submit(features[1], client="b"),
+                ]
+                # Two active clients -> fair share is 4 // 2 = 2 each.
+                with pytest.raises(AdmissionRejected) as err:
+                    server.submit(features[1], client="a")
+                assert err.value.reason == "client_quota"
+                assert err.value.client == "a"
+                assert err.value.max_queue == 4
+                # "b" is under its share; the queue itself has room.
+                queued.append(server.submit(features[1], client="b"))
+                for session in [blocker, *queued]:
+                    assert (await session.result()).ok
+                assert server.metrics().rejections == 1
+
+        asyncio.run(scenario())
+
+    def test_wait_percentiles_include_shed_traffic(
+        self, recognizer, workload
+    ):
+        """Queue-saturation metrics must not be survivorship-biased:
+        jobs shed at their deadline contribute their full queue wait
+        to wait_p95, so overload shows up where it hurt."""
+        features, _ = workload
+
+        async def scenario():
+            async with Server(
+                recognizer, num_workers=1, max_lanes=2, max_queue=16
+            ) as server:
+                survivors = [server.submit(features[0]) for _ in range(3)]
+                for s in survivors:
+                    assert (await s.result()).ok
+                # Survivor waits are tiny on an idle server.
+                healthy = server.metrics()
+                assert healthy.wait_p95_s < 0.2
+                assert healthy.shed_wait_p95_s == 0.0
+
+                # Jobs that (by injected enqueue stamp) sat queued for
+                # ~0.5s before their deadline passed: all shed, typed.
+                now = time.monotonic()
+                doomed = [
+                    server.submit(
+                        features[1],
+                        enqueued_at=now - 0.5,
+                        deadline_s=0.25,
+                    )
+                    for _ in range(4)
+                ]
+                for s in doomed:
+                    result = await s.result()
+                    assert result.status is ServeStatus.TIMEOUT
+                    assert "shed before dispatch" in result.detail
+
+                saturated = server.metrics()
+                assert saturated.timeouts == 4
+                assert saturated.shed_wait_p95_s >= 0.4
+                # The combined percentile now reflects the shed jobs'
+                # waits, which survivors alone would have hidden.
+                assert saturated.wait_p95_s >= 0.4
+                assert saturated.wait_p95_s > healthy.wait_p95_s
+
+        asyncio.run(scenario())
+
+    def test_autotune_halves_on_misses_and_grows_when_packed(
+        self, recognizer
+    ):
+        """Unit-step the backlog autotuner: misses in the window halve
+        the depth; a packed-and-healthy fleet with queued work grows
+        it by one, up to the cap."""
+        from types import SimpleNamespace
+
+        server = Server(
+            recognizer, num_workers=1, max_lanes=2, worker_backlog="auto"
+        )
+        assert server._autotune and server._backlog == 2
+
+        # Window with a timeout: depth halves.
+        server._timeouts = 1
+        server._autotune_tick()
+        assert server._backlog == 1
+
+        # Quiet window, fleet not packed: unchanged.
+        server._workers = [object()]
+        server._worker_alive = [True]
+        server._in_flight = [0]
+        server._autotune_tick()
+        assert server._backlog == 1
+
+        # Packed and healthy with queued work: grows by one per window.
+        server._pending.push(
+            DecodeJob(0, np.zeros((1, 2)), 0.0, None),
+            SimpleNamespace(client=None),
+        )
+        for expected in (2, 3, 4, 5, 6, 7, 8):
+            server._in_flight = [server._capacity]
+            server._autotune_tick()
+            assert server._backlog == expected
+        # Capped at 4 * max_lanes.
+        server._in_flight = [server._capacity]
+        server._autotune_tick()
+        assert server._backlog == 8 == server._backlog_max
+
+        # A rejection in the window halves it again.
+        server._rejections = 3
+        server._autotune_tick()
+        assert server._backlog == 4
+
+
+# ----------------------------------------------------------------------
+# Fleet behaviour: work stealing between skewed shards, worker-death
+# re-dispatch to survivors
+# ----------------------------------------------------------------------
+class TestFleetResilience:
+    def test_work_stealing_rebalances_skewed_shards(self, task, workload):
+        """One shard drains its short jobs while the other sits on a
+        backlog of long ones: the server steals the waiting jobs back
+        and re-runs them on the idle shard, bit-identically."""
+        features, baselines = workload
+        rec = make_recognizer(task)
+        short = features[1][:40]
+        short_base = rec.decode(short)
+
+        async def scenario():
+            async with Server(
+                rec,
+                num_workers=2,
+                max_lanes=1,
+                worker_backlog=2,
+                max_queue=16,
+            ) as server:
+                # Alternating submit + least-loaded dispatch gives
+                # worker 0 the shorts and worker 1 the longs.
+                sessions = []
+                for i in range(6):
+                    f = short if i % 2 == 0 else features[0]
+                    sessions.append(server.submit(f))
+                results = await asyncio.gather(
+                    *[s.result() for s in sessions]
+                )
+                for i, result in enumerate(results):
+                    base = short_base if i % 2 == 0 else baselines[0]
+                    assert result.ok, result
+                    assert result.words == base.words
+                    assert result.result.score == base.score  # bit-exact
+                metrics = server.metrics()
+                assert metrics.steals >= 1
+                # A stolen job ran on the shard that stole it.
+                assert {r.worker for r in results} == {0, 1}
+
+        asyncio.run(scenario())
+
+    def test_worker_death_redispatches_queued_jobs(self, task, workload):
+        """SIGKILL one of two forked shards mid-burst: the sweeper
+        notices the silent death and every job it held (in lanes or
+        backlog) re-runs on the survivor — same words, same scores,
+        no silent drops."""
+        features, baselines = workload
+        rec = make_recognizer(task)
+
+        async def scenario():
+            async with Server(
+                rec,
+                num_workers=2,
+                max_lanes=1,
+                worker_backlog=2,
+                max_queue=16,
+                use_processes=True,
+            ) as server:
+                sessions = [server.submit(features[0]) for _ in range(6)]
+                # Both shards hold dispatched jobs.
+                assert server._in_flight[0] > 0 and server._in_flight[1] > 0
+                server._workers[0]._proc.kill()  # no goodbye event
+                results = await asyncio.gather(
+                    *[s.result() for s in sessions]
+                )
+                for result in results:
+                    assert result.status is ServeStatus.OK, result
+                    assert result.words == baselines[0].words
+                    assert result.result.score == baselines[0].score
+                    assert result.worker == 1  # survivor decoded it...
+                # ...including jobs first dispatched to the dead shard.
+                assert not server._worker_alive[0]
+                assert server.metrics().errors == 0
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# submit_audio featurizes off the event loop
+# ----------------------------------------------------------------------
+class TestSubmitAudioOffLoop:
+    def test_large_submit_audio_does_not_stall_loop(self, recognizer):
+        """A big MFCC pass must run in the executor: while one client's
+        waveform is featurized, the event loop keeps ticking (serving
+        other sessions' partials, dispatch, deadline sweeps)."""
+        rng = np.random.default_rng(11)
+        waveform = rng.normal(size=16000 * 60)  # ~a minute of audio
+
+        async def scenario():
+            async with Server(recognizer, num_workers=1, max_lanes=2) as server:
+                ticks = 0
+
+                async def heartbeat():
+                    nonlocal ticks
+                    while True:
+                        await asyncio.sleep(0.001)
+                        ticks += 1
+
+                beat = asyncio.get_running_loop().create_task(heartbeat())
+                await asyncio.sleep(0.01)
+                ticks = 0
+                # Expired deadline: featurization cost is what we're
+                # measuring; the decode itself is shed at dispatch.
+                session = await server.submit_audio(
+                    waveform, deadline_s=0.0
+                )
+                ticks_during = ticks
+                beat.cancel()
+                assert (
+                    await session.result()
+                ).status is ServeStatus.TIMEOUT
+                # The loop ran concurrently with feature extraction.
+                assert ticks_during >= 2, (
+                    f"event loop stalled during submit_audio "
+                    f"({ticks_during} heartbeats)"
+                )
+
+        asyncio.run(scenario())

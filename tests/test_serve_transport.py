@@ -1,0 +1,492 @@
+"""The wire transport (`repro.serve.transport` + `repro.serve.client`).
+
+Covers, per the PR's acceptance criteria:
+
+* the frame codec (length-prefixed JSON header + raw ndarray payload)
+  round-trips arrays BIT-exactly and rejects malformed frames;
+* loopback client/server: decode parity with sequential baselines,
+  pipelined submits, typed `AdmissionRejected` (queue_full and
+  client_quota across two connections), streaming sessions with
+  partials and endpoint auto-finish over the socket, the metrics op;
+* a client disconnecting mid-stream has its unresolved work cancelled
+  without disturbing other connections;
+* THE cross-process integration: a child process connects to a
+  sharded (forked) server through a real socket, decodes bit-identical
+  to sequential, and over-capacity submits come back as typed
+  rejections — never silence.
+
+No pytest-asyncio dependency: async tests run under ``asyncio.run``.
+"""
+
+import asyncio
+import json
+import os
+import sys
+
+import numpy as np
+import pytest
+
+from repro.decoder import Recognizer
+from repro.serve import AdmissionRejected, ServeClient, Server, WireServer
+from repro.serve.transport import (
+    FrameError,
+    decode_array,
+    encode_array,
+    read_frame,
+    write_frame,
+)
+
+
+@pytest.fixture(scope="module")
+def recognizer(task):
+    return Recognizer.create(
+        task.dictionary, task.pool, task.lm, task.tying
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(task, recognizer):
+    features = []
+    for utt in task.corpus.test:
+        features.append(utt.features)
+        features.append(utt.features[: max(40, utt.features.shape[0] // 2)])
+    baselines = [recognizer.decode(f) for f in features]
+    return features, baselines
+
+
+class _BufferWriter:
+    """Just enough of a StreamWriter for write_frame."""
+
+    def __init__(self):
+        self.buf = b""
+
+    def write(self, data: bytes) -> None:
+        self.buf += data
+
+
+# ----------------------------------------------------------------------
+# Frame codec: bit-exact arrays, malformed-frame rejection
+# ----------------------------------------------------------------------
+class TestFrameCodec:
+    @pytest.mark.parametrize(
+        "arr",
+        [
+            np.linspace(-1e9, 1e9, 39, dtype=np.float64).reshape(3, 13),
+            np.arange(7, dtype=np.int16),
+            np.array([[np.pi]], dtype=np.float32),
+            np.zeros((0, 13)),
+        ],
+    )
+    def test_array_roundtrip_is_bit_exact(self, arr):
+        meta, payload = encode_array(arr)
+        back = decode_array(meta, payload)
+        assert back.dtype == arr.dtype and back.shape == arr.shape
+        np.testing.assert_array_equal(
+            back.view(np.uint8), arr.view(np.uint8)
+        )
+
+    def test_noncontiguous_array_roundtrip(self):
+        arr = np.arange(24, dtype=np.float64).reshape(4, 6)[:, ::2]
+        meta, payload = encode_array(arr)
+        np.testing.assert_array_equal(decode_array(meta, payload), arr)
+
+    def test_bad_array_descriptions_raise_frame_error(self):
+        meta, payload = encode_array(np.zeros((2, 3)))
+        with pytest.raises(FrameError):
+            decode_array({"shape": [2, 3]}, payload)  # no dtype
+        with pytest.raises(FrameError):
+            decode_array({"shape": [2, 4], "dtype": "<f8"}, payload)
+        with pytest.raises(FrameError):
+            decode_array({"shape": [2, 3], "dtype": "nope"}, payload)
+        assert decode_array(meta, payload).shape == (2, 3)
+
+    def test_frame_roundtrip_and_garbage_rejection(self):
+        async def scenario():
+            meta, payload = encode_array(np.arange(6, dtype=np.float64))
+            header = {"op": "submit", "id": 3, **meta}
+            writer = _BufferWriter()
+            write_frame(writer, header, payload)
+
+            reader = asyncio.StreamReader()
+            reader.feed_data(writer.buf)
+            got_header, got_payload = await read_frame(reader)
+            assert got_header == json.loads(json.dumps(header))
+            assert got_payload == payload
+
+            # Garbage JSON in the header is a FrameError, not a crash.
+            bad = asyncio.StreamReader()
+            junk = b"\x00\x00\x00\x04\x00\x00\x00\x00...."[:8] + b"@#$%"
+            bad.feed_data(junk)
+            with pytest.raises(FrameError):
+                await read_frame(bad)
+
+            # An absurd announced size is refused before allocation.
+            huge = asyncio.StreamReader()
+            huge.feed_data(b"\x7f\xff\xff\xff\x7f\xff\xff\xff")
+            with pytest.raises(FrameError):
+                await read_frame(huge)
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Loopback: one process, real sockets
+# ----------------------------------------------------------------------
+class TestWireLoopback:
+    def test_decode_parity_and_pipelining(self, recognizer, workload):
+        features, baselines = workload
+
+        async def scenario():
+            async with Server(
+                recognizer, num_workers=1, max_lanes=4, max_queue=64
+            ) as server:
+                async with WireServer(server) as wire:
+                    async with await ServeClient.connect(
+                        wire.host, wire.port
+                    ) as client:
+                        assert client.hello["protocol"] == 1
+                        tickets = [
+                            await client.submit(f) for f in features[:8]
+                        ]
+                        results = [await t.result() for t in tickets]
+                        for result, base in zip(results, baselines):
+                            assert result.ok
+                            assert result.words == base.words
+                            assert result.score == base.score  # bit-exact
+                            assert result.latency_s > 0.0
+
+        asyncio.run(scenario())
+
+    def test_rejection_is_typed_over_the_wire(self, recognizer, workload):
+        features, _ = workload
+
+        async def scenario():
+            async with Server(
+                recognizer,
+                num_workers=1,
+                max_lanes=1,
+                worker_backlog=0,
+                max_queue=1,
+            ) as server:
+                async with WireServer(server) as wire:
+                    async with await ServeClient.connect(
+                        wire.host, wire.port
+                    ) as client:
+                        first = await client.submit(features[0])
+                        second = await client.submit(features[1])
+                        with pytest.raises(AdmissionRejected) as err:
+                            await client.submit(features[2])
+                        assert err.value.reason == "queue_full"
+                        assert err.value.queue_depth == 1
+                        assert err.value.max_queue == 1
+                        assert (await first.result()).ok
+                        assert (await second.result()).ok
+
+        asyncio.run(scenario())
+
+    def test_client_quota_across_connections(self, recognizer, workload):
+        """Two named connections contend for the queue; the greedy one
+        is shed with a typed client_quota rejection while the other
+        still gets in."""
+        features, _ = workload
+
+        async def scenario():
+            async with Server(
+                recognizer,
+                num_workers=1,
+                max_lanes=1,
+                worker_backlog=0,
+                max_queue=4,
+            ) as server:
+                async with WireServer(server) as wire:
+                    a = await ServeClient.connect(
+                        wire.host, wire.port, client="tenant-a"
+                    )
+                    b = await ServeClient.connect(
+                        wire.host, wire.port, client="tenant-b"
+                    )
+                    blocker = await a.submit(features[0])
+                    held = [
+                        await a.submit(features[1]),
+                        await a.submit(features[1]),
+                        await b.submit(features[1]),
+                    ]
+                    with pytest.raises(AdmissionRejected) as err:
+                        await a.submit(features[1])
+                    assert err.value.reason == "client_quota"
+                    held.append(await b.submit(features[1]))
+                    for ticket in [blocker, *held]:
+                        assert (await ticket.result()).ok
+                    await a.close()
+                    await b.close()
+
+        asyncio.run(scenario())
+
+    def test_streaming_partials_and_endpoint(self, task, recognizer):
+        utt = task.corpus.test[0]
+        sil = task.pool.means[task.tying.ci_senone("SIL", 0), 0]
+        feats = np.vstack([utt.features, np.tile(sil, (60, 1))])
+        partials = []
+
+        async def scenario():
+            async with Server(
+                recognizer, num_workers=1, max_lanes=2
+            ) as server:
+                async with WireServer(server) as wire:
+                    async with await ServeClient.connect(
+                        wire.host, wire.port
+                    ) as client:
+                        stream = await client.open_stream(
+                            on_partial=lambda words, frame: partials.append(
+                                (frame, words)
+                            ),
+                            partial_interval=15,
+                            endpoint_silence_frames=25,
+                        )
+                        for start in range(0, feats.shape[0], 20):
+                            if await stream.send_frames(
+                                feats[start : start + 20]
+                            ):
+                                break
+                        result = await stream.result()
+                        assert result.ok
+                        assert result.words == tuple(utt.words)
+
+        asyncio.run(scenario())
+        assert partials, "expected partial hypotheses over the wire"
+
+    def test_stream_without_endpointing_finishes_explicitly(
+        self, recognizer, workload
+    ):
+        features, baselines = workload
+
+        async def scenario():
+            async with Server(
+                recognizer, num_workers=1, max_lanes=2
+            ) as server:
+                async with WireServer(server) as wire:
+                    async with await ServeClient.connect(
+                        wire.host, wire.port
+                    ) as client:
+                        stream = await client.open_stream()
+                        feats = features[0]
+                        for start in range(0, feats.shape[0], 25):
+                            await stream.send_frames(
+                                feats[start : start + 25]
+                            )
+                        result = await stream.result()
+                        assert result.ok
+                        assert result.words == baselines[0].words
+                        assert result.score == baselines[0].score
+
+        asyncio.run(scenario())
+
+    def test_metrics_op_reports_server_state(self, recognizer, workload):
+        features, _ = workload
+
+        async def scenario():
+            async with Server(
+                recognizer, num_workers=1, max_lanes=2
+            ) as server:
+                async with WireServer(server) as wire:
+                    async with await ServeClient.connect(
+                        wire.host, wire.port
+                    ) as client:
+                        for f in features[:3]:
+                            assert (await client.decode(f)).ok
+                        snapshot = await client.metrics()
+                        assert snapshot["submitted"] == 3
+                        assert snapshot["completed"] == 3
+                        assert snapshot["scoring_mode"] == "reference"
+                        assert snapshot["worker_backlog"] >= 0
+                        assert len(snapshot["workers"]) == 1
+                        assert snapshot["latency_p95_s"] > 0.0
+
+        asyncio.run(scenario())
+
+    def test_deadline_miss_is_a_typed_result(self, recognizer, workload):
+        features, _ = workload
+
+        async def scenario():
+            async with Server(
+                recognizer, num_workers=1, max_lanes=2
+            ) as server:
+                async with WireServer(server) as wire:
+                    async with await ServeClient.connect(
+                        wire.host, wire.port
+                    ) as client:
+                        result = await client.decode(
+                            features[0], deadline_s=0.0
+                        )
+                        assert result.status.value == "timeout"
+                        assert result.words is None
+
+        asyncio.run(scenario())
+
+    def test_disconnect_mid_stream_cancels_server_side(
+        self, recognizer, workload
+    ):
+        """A client that vanishes mid-stream (and with a submitted job
+        outstanding) must not leak sessions: its work is cancelled and
+        other connections keep decoding."""
+        features, baselines = workload
+
+        async def scenario():
+            async with Server(
+                recognizer,
+                num_workers=1,
+                max_lanes=1,
+                worker_backlog=0,
+                max_queue=8,
+            ) as server:
+                async with WireServer(server) as wire:
+                    rude = await ServeClient.connect(wire.host, wire.port)
+                    stream = await rude.open_stream()
+                    await stream.send_frames(features[0][:30])
+                    queued = await rude.submit(features[0])
+                    assert queued is not None
+                    await rude.close()  # mid-stream, job unresolved
+
+                    # The server notices EOF and cancels the leftovers.
+                    for _ in range(400):
+                        m = server.metrics()
+                        if (
+                            m.cancelled + m.completed >= 1
+                            and m.queue_depth == 0
+                            and not server._sessions
+                        ):
+                            break
+                        await asyncio.sleep(0.01)
+                    assert not server._sessions
+                    assert server.metrics().queue_depth == 0
+
+                    # A polite neighbour is unaffected.
+                    async with await ServeClient.connect(
+                        wire.host, wire.port
+                    ) as polite:
+                        result = await polite.decode(features[1])
+                        assert result.ok
+                        assert result.words == baselines[1].words
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# THE cross-process acceptance test: child process -> socket -> sharded
+# server; bit-identical words, typed shedding
+# ----------------------------------------------------------------------
+CHILD_SCRIPT = """
+import asyncio, json, sys
+import numpy as np
+from repro.serve import AdmissionRejected, ServeClient
+
+async def main(host, port, npz_path):
+    data = np.load(npz_path)
+    feats = [data[f"utt_{i}"] for i in range(len(data.files))]
+    out = {"results": [], "rejection": None}
+    client = await ServeClient.connect(host, int(port), client="child")
+    tickets = [await client.submit(f) for f in feats]
+
+    # Burst duplicates at the saturated door until one is shed.  Every
+    # accepted submit is awaited below -- nothing resolves silently.
+    extras = []
+    for _ in range(64):
+        try:
+            extras.append(await client.submit(feats[0]))
+        except AdmissionRejected as err:
+            out["rejection"] = {
+                "reason": err.reason,
+                "queue_depth": err.queue_depth,
+                "max_queue": err.max_queue,
+            }
+            break
+
+    for ticket in tickets:
+        r = await ticket.result()
+        out["results"].append(
+            {
+                "status": r.status.value,
+                "words": list(r.words or ()),
+                "score": r.score,
+                "worker": r.worker,
+            }
+        )
+    out["extras"] = [
+        (await t.result()).status.value for t in extras
+    ]
+    await client.close()
+    print(json.dumps(out))
+
+asyncio.run(main(*sys.argv[1:]))
+"""
+
+
+class TestCrossProcessWire:
+    def test_child_process_decodes_bit_identical(
+        self, task, recognizer, workload, tmp_path
+    ):
+        features, baselines = workload
+        parity_count = 4
+        npz_path = tmp_path / "utts.npz"
+        np.savez(
+            npz_path,
+            **{f"utt_{i}": features[i] for i in range(parity_count)},
+        )
+
+        async def scenario():
+            async with Server(
+                recognizer,
+                num_workers=2,
+                max_lanes=2,
+                worker_backlog=0,
+                max_queue=2,
+                use_processes=True,  # forked shards, shared model pages
+            ) as server:
+                async with WireServer(server) as wire:
+                    import repro
+
+                    env = dict(os.environ)
+                    env["PYTHONPATH"] = os.path.dirname(
+                        os.path.dirname(repro.__file__)
+                    )
+                    child = await asyncio.create_subprocess_exec(
+                        sys.executable,
+                        "-c",
+                        CHILD_SCRIPT,
+                        wire.host,
+                        str(wire.port),
+                        str(npz_path),
+                        env=env,
+                        stdout=asyncio.subprocess.PIPE,
+                        stderr=asyncio.subprocess.PIPE,
+                    )
+                    stdout, stderr = await asyncio.wait_for(
+                        child.communicate(), timeout=120
+                    )
+                    assert child.returncode == 0, stderr.decode()
+                    return json.loads(stdout.decode())
+
+        report = asyncio.run(scenario())
+
+        # Bit-identical across process + socket: words AND float64
+        # scores survive the wire exactly.
+        assert len(report["results"]) == parity_count
+        workers_used = set()
+        for got, base in zip(report["results"], baselines):
+            assert got["status"] == "ok"
+            assert tuple(got["words"]) == base.words
+            assert got["score"] == base.score
+            workers_used.add(got["worker"])
+        assert workers_used == {0, 1}, "both shards should have decoded"
+
+        # The saturated door shed with a typed rejection...
+        assert report["rejection"] is not None
+        assert report["rejection"]["reason"] in (
+            "queue_full",
+            "client_quota",
+        )
+        assert report["rejection"]["max_queue"] == 2
+        # ...and every accepted extra resolved to a typed status.
+        assert all(
+            status in ("ok", "timeout") for status in report["extras"]
+        )
