@@ -36,6 +36,16 @@ feedback ON the command task's demand is sparse (median ~8% of the
 rows x senones grid), where the blas backend's threshold deliberately
 falls back to the gathered kernel — the crossover table in the blas
 section records exactly that trade-off over active-set sizes.
+
+The TREE section measures the batched prefix-tree runtime
+(``network="tree"``) on the triphone-tied dictation workload
+(``dictation_cd_task``) in fast mode — the large-vocabulary serving
+configuration the lane bank exists for, where pooled senone demand
+across lanes is what the four-layer scorer amortizes.  It reports
+sequential vs drain batch-8 vs the 8-lane continuous bank, with
+bit-exact word/score/work-counter identity verified; the headline
+``tree_batch_speedup`` is the continuous lane bank vs sequential.
+Gate: >= 2x, word-identical.
 """
 
 from __future__ import annotations
@@ -53,13 +63,14 @@ import numpy as np
 _REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_REPO / "src"))
 
-from repro.decoder.fast_gmm import FastGmmStats  # noqa: E402
+from repro.decoder.fast_gmm import FastGmmConfig, FastGmmStats  # noqa: E402
+from repro.decoder.recognizer import Recognizer  # noqa: E402
 from repro.decoder.scorer import BLAS_SCORE_ATOL  # noqa: E402
 from repro.runtime.scoring import (  # noqa: E402
     BatchBlasScorer,
     BatchReferenceScorer,
 )
-from repro.workloads.tasks import command_task  # noqa: E402
+from repro.workloads.tasks import command_task, dictation_cd_task  # noqa: E402
 
 # The golden-fixture generator is the single source of the per-mode
 # recognizer recipe (which fast preset "fast mode" means); importing it
@@ -343,6 +354,101 @@ def bench_crossover(task, features, repeats: int) -> list[dict]:
     return rows
 
 
+#: The tree-section workload: triphone-tied synthetic dictation,
+#: scaled so the benchmark builds in seconds but the senone inventory
+#: is large enough that pooled scoring (not token bookkeeping)
+#: dominates — the regime large-vocabulary serving actually runs in.
+TREE_DICTATION_KWARGS = dict(
+    vocabulary_size=300,
+    train_sentences=60,
+    test_sentences=12,
+    seed=31,
+    num_senones=3000,
+)
+
+
+def bench_tree(repeats: int) -> dict:
+    """Tree-lexicon dictation: sequential vs batch-8 vs 8-lane bank.
+
+    All three runtimes share one fast-mode tree recognizer, so the
+    comparison isolates the runtime (and its pooled scoring) rather
+    than model differences.  Identity is the exact-mode contract:
+    words, bit-equal path scores AND the four-layer work counters.
+    """
+    kwargs = ", ".join(f"{k}={v}" for k, v in TREE_DICTATION_KWARGS.items())
+    print(f"building dictation_cd_task({kwargs})...")
+    task = dictation_cd_task(**TREE_DICTATION_KWARGS)
+    rec = Recognizer.create(
+        task.dictionary, task.pool, task.lm, task.tying,
+        mode="fast", network="tree",
+        fast_config=FastGmmConfig.all_layers(),
+    )
+    batch = rec.as_batch()
+    cont = rec.as_continuous()
+    features = [u.features for u in task.corpus.test]
+    batches = pack_batches(features, BATCH_SIZE)
+
+    # Warm up all three runtimes and verify the parity contract.
+    sequential = [rec.decode(f) for f in features]
+    batched = [lane for g in batches for lane in batch.decode_batch(g).results]
+    stream = cont.decode_stream(features, max_lanes=BATCH_SIZE)
+    order = sorted(range(len(features)), key=lambda i: -features[i].shape[0])
+    batch_identical = all(
+        sequential[i].words == lane.words
+        and sequential[i].score == lane.score
+        and sequential[i].fast_stats == lane.fast_stats
+        for i, lane in zip(order, batched)
+    )
+    cont_identical = all(
+        s.words == lane.words
+        and s.score == lane.score
+        and s.fast_stats == lane.fast_stats
+        for s, lane in zip(sequential, stream.results)
+    )
+
+    t_seq = best_of(lambda: [rec.decode(f) for f in features], repeats)
+    t_batch = best_of(lambda: [batch.decode_batch(g) for g in batches], repeats)
+    t_cont = best_of(
+        lambda: cont.decode_stream(features, max_lanes=BATCH_SIZE), repeats
+    )
+    n = len(features)
+    audio_s = sum(f.shape[0] for f in features) * FRAME_PERIOD_S
+    net = rec.network
+    return {
+        "task": f"dictation_cd_task({kwargs})",
+        "config": (
+            f"fast mode (all four layers), network='tree', "
+            f"batch/max_lanes {BATCH_SIZE}"
+        ),
+        "utterances": n,
+        "audio_seconds": round(audio_s, 2),
+        "vocabulary": TREE_DICTATION_KWARGS["vocabulary_size"],
+        "num_senones": int(task.tying.num_senones),
+        "sharing_factor": round(net.sharing_factor, 4),
+        "tree_states": int(net.num_states),
+        "sequential": {
+            "seconds": round(t_seq, 4),
+            "utterances_per_sec": round(n / t_seq, 2),
+            "rtf": round(t_seq / audio_s, 4),
+        },
+        "batch": {
+            "seconds": round(t_batch, 4),
+            "utterances_per_sec": round(n / t_batch, 2),
+            "rtf": round(t_batch / audio_s, 4),
+            "speedup": round(t_seq / t_batch, 2),
+        },
+        "continuous": {
+            "seconds": round(t_cont, 4),
+            "utterances_per_sec": round(n / t_cont, 2),
+            "rtf": round(t_cont / audio_s, 4),
+            "utilization": round(stream.utilization, 4),
+            "speedup": round(t_seq / t_cont, 2),
+        },
+        "speedup": round(t_seq / t_cont, 2),
+        "word_identical": bool(batch_identical and cont_identical),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -438,10 +544,34 @@ def main(argv: list[str] | None = None) -> int:
                 f"{dd['word_identical']})"
             )
 
+    print("\n--- tree lexicon (large-vocabulary dictation) ---")
+    tree = bench_tree(timing_repeats)
+    report["tree"] = tree
+    print(
+        f"sequential: {tree['sequential']['utterances_per_sec']:7.1f} utt/s "
+        f"(RTF {tree['sequential']['rtf']:.3f})"
+    )
+    print(
+        f"batch(B={BATCH_SIZE}): {tree['batch']['utterances_per_sec']:7.1f} utt/s "
+        f"({tree['batch']['speedup']:.2f}x)"
+    )
+    print(
+        f"continuous({BATCH_SIZE} lanes): "
+        f"{tree['continuous']['utterances_per_sec']:7.1f} utt/s "
+        f"({tree['continuous']['speedup']:.2f}x, "
+        f"util {tree['continuous']['utilization']:.2f})"
+    )
+    print(
+        f"sharing factor {tree['sharing_factor']:.2f} "
+        f"({tree['tree_states']} tree states), "
+        f"word-identical: {tree['word_identical']}"
+    )
+
     # Headline: the reference (serving) configuration, the fast-mode
-    # batch figure the four-layer serving story rides on, and the
+    # batch figure the four-layer serving story rides on, the
     # matmul-vs-gathered dense-demand figure (both backends at batch 8,
-    # full senone demand).
+    # full senone demand), and the tree lane bank vs sequential on the
+    # dictation workload.
     report["speedup"] = report["modes"]["reference"]["speedup"]
     report["continuous_speedup"] = (
         report["modes"]["reference"]["continuous_vs_drain"]["speedup"]
@@ -450,10 +580,15 @@ def main(argv: list[str] | None = None) -> int:
     report["blas_batch_speedup"] = (
         report["modes"]["blas"]["dense_demand"]["speedup"]
     )
-    report["word_identical"] = all(
-        m["word_identical"] and m["continuous_vs_drain"]["word_identical"]
-        for m in report["modes"].values()
-    ) and report["modes"]["blas"]["dense_demand"]["word_identical"]
+    report["tree_batch_speedup"] = report["tree"]["speedup"]
+    report["word_identical"] = (
+        all(
+            m["word_identical"] and m["continuous_vs_drain"]["word_identical"]
+            for m in report["modes"].values()
+        )
+        and report["modes"]["blas"]["dense_demand"]["word_identical"]
+        and report["tree"]["word_identical"]
+    )
     # The serving front-door section is owned by bench_serving.py and
     # the quantized-tables sections by bench_quant_tables.py; carry
     # them over instead of clobbering them.
@@ -473,17 +608,23 @@ def main(argv: list[str] | None = None) -> int:
         f"blas batch-8 vs gathered reference batch-8 (dense demand): "
         f"{report['blas_batch_speedup']:.2f}x"
     )
+    print(
+        f"tree lane bank ({BATCH_SIZE} lanes) vs sequential dictation: "
+        f"{report['tree_batch_speedup']:.2f}x"
+    )
     ok = (
         report["speedup"] >= 3.0
         and report["continuous_speedup"] >= 1.2
         and report["fast_batch_speedup"] >= 2.0
         and report["blas_batch_speedup"] >= 1.5
+        and report["tree_batch_speedup"] >= 2.0
         and report["word_identical"]
     )
     print(
         "PASS" if ok else "BELOW TARGET",
         "- target: >= 3x batch, >= 1.2x continuous, >= 2x fast batch, "
-        ">= 1.5x blas batch vs gathered reference, word-identical",
+        ">= 1.5x blas batch vs gathered reference, >= 2x tree lane bank, "
+        "word-identical",
     )
     return 0 if ok else 1
 

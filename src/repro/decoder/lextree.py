@@ -39,10 +39,97 @@ from repro.lexicon.phones import SILENCE
 from repro.lexicon.triphone import SenoneTying, Triphone
 from repro.lm.ngram import NGramModel
 
-__all__ = ["TreeLexiconNetwork", "TreeWordDecodeStage"]
+__all__ = [
+    "TreeLexiconNetwork",
+    "TreeWordDecodeStage",
+    "prime_tree_entry",
+    "record_tree_exits",
+]
 
 LOG_ZERO = -1.0e30
 _DEAD = LOG_ZERO / 2
+
+
+def prime_tree_entry(config: DecoderConfig) -> tuple[float, int]:
+    """Initial root-entry state of a tree decode.
+
+    BOS context, no LM mass yet (the LM is applied at the leaf), so the
+    entry score is just the word insertion penalty with no source exit.
+    Shared by the sequential stage and the lane bank so a freshly
+    admitted lane starts from the exact sequential state.
+    """
+    return float(config.word_insertion_penalty), -1
+
+
+def record_tree_exits(
+    network: TreeLexiconNetwork,
+    config: DecoderConfig,
+    lm: NGramModel,
+    lattice: WordLattice,
+    payload: np.ndarray,
+    entry_frame: np.ndarray,
+    t: int,
+    raw_scores: np.ndarray,
+    viable: np.ndarray,
+    leaves: np.ndarray,
+) -> tuple[list[int], float, int]:
+    """LM-weighted word exits at leaf states for one utterance-frame.
+
+    ``raw_scores``/``viable`` are the per-leaf exit scores (float64,
+    ``leaf_delta + exit_logp``) and liveness mask; ``payload`` and
+    ``entry_frame`` are the utterance's full (K,) token-payload rows.
+    Returns ``(new_exit_indices, pending_entry, pending_src)`` — the
+    root re-entry score/source for the next frame (``LOG_ZERO``/-1 when
+    no leaf is viable).
+
+    This is the single source of truth for exit ordering and capping:
+    the word-beam threshold and the (non-stable) ``argsort`` top-N cut
+    must tie-break identically in the sequential stage and the lane
+    bank for per-lane bit-identity, so both delegate here.
+    """
+    if not viable.any():
+        return [], LOG_ZERO, -1
+    vocab = lm.vocabulary
+    best_raw = float(raw_scores[viable].max())
+    threshold = best_raw - config.beam.word_beam
+    order = np.flatnonzero(viable & (raw_scores >= threshold))
+    if order.size > config.max_exits_per_frame:
+        top = np.argsort(raw_scores[order])[::-1][: config.max_exits_per_frame]
+        order = order[top]
+    new_exits: list[int] = []
+    best_entry, best_src = LOG_ZERO, -1
+    for leaf_pos in order.tolist():
+        state = int(leaves[leaf_pos])
+        word = int(network.leaf_word[state])
+        predecessor = int(payload[state])
+        if word == network.silence_word:
+            lm_history = (
+                lattice.exit(predecessor).lm_history if predecessor >= 0 else -1
+            )
+            lm_term = config.silence_penalty
+        else:
+            lm_history = word
+            history = (
+                (vocab.bos_id,)
+                if predecessor < 0
+                else (lattice.exit(predecessor).lm_history,)
+            )
+            history = (vocab.bos_id,) if history[0] < 0 else history
+            lm_term = config.lm_scale * float(lm.log_prob_row(history)[word])
+        score = float(raw_scores[leaf_pos]) + lm_term
+        index = lattice.add(
+            word=word,
+            entry_frame=int(entry_frame[state]),
+            exit_frame=t,
+            predecessor=predecessor,
+            score=score,
+            lm_history=lm_history,
+        )
+        new_exits.append(index)
+        entry_candidate = score + config.word_insertion_penalty
+        if entry_candidate > best_entry:
+            best_entry, best_src = entry_candidate, index
+    return new_exits, best_entry, best_src
 
 
 @dataclass
@@ -194,6 +281,25 @@ class TreeWordDecodeStage:
         config: DecoderConfig | None = None,
         viterbi_unit: ViterbiUnit | None = None,
     ) -> None:
+        if not isinstance(network, TreeLexiconNetwork):
+            raise TypeError(
+                f"network must be a TreeLexiconNetwork, got "
+                f"{type(network).__name__}"
+            )
+        if config is not None and not isinstance(config, DecoderConfig):
+            raise TypeError(
+                f"config must be a DecoderConfig, got {type(config).__name__}"
+            )
+        if config is not None and not isinstance(config.beam, BeamConfig):
+            raise TypeError(
+                f"config.beam must be a BeamConfig, got "
+                f"{type(config.beam).__name__}"
+            )
+        if viterbi_unit is not None and not isinstance(viterbi_unit, ViterbiUnit):
+            raise TypeError(
+                f"viterbi_unit must be a ViterbiUnit, got "
+                f"{type(viterbi_unit).__name__}"
+            )
         if lm.vocabulary.size != network.num_words:
             raise ValueError(
                 f"LM vocabulary ({lm.vocabulary.size}) != network words "
@@ -215,9 +321,7 @@ class TreeWordDecodeStage:
         self.lattice = WordLattice()
         self.frame_stats: list[FrameStats] = []
         self._frame = 0
-        # Root entry: BOS context, no LM yet (applied at the leaf).
-        self._pending_entry = float(self.config.word_insertion_penalty)
-        self._pending_src = -1
+        self._pending_entry, self._pending_src = prime_tree_entry(self.config)
 
     # ------------------------------------------------------------------
     def process_frame(self, observation: np.ndarray) -> FrameStats:
@@ -288,61 +392,22 @@ class TreeWordDecodeStage:
     def _record_exits(self, t: int) -> list[int]:
         """LM-weighted exits at leaf states; refresh the root entry."""
         net = self.network
-        cfg = self.config
-        vocab = self.lm.vocabulary
         leaves = self._leaf_states
         leaf_delta = self.delta[leaves].astype(np.float64)
         viable = leaf_delta > _DEAD
-        if not viable.any():
-            self._pending_entry = LOG_ZERO
-            self._pending_src = -1
-            return []
         raw_scores = leaf_delta + net.exit_logp[leaves]
-        best_raw = float(raw_scores[viable].max())
-        threshold = best_raw - cfg.beam.word_beam
-        order = np.flatnonzero(viable & (raw_scores >= threshold))
-        if order.size > cfg.max_exits_per_frame:
-            top = np.argsort(raw_scores[order])[::-1][: cfg.max_exits_per_frame]
-            order = order[top]
-        new_exits: list[int] = []
-        best_entry, best_src = LOG_ZERO, -1
-        for leaf_pos in order.tolist():
-            state = int(leaves[leaf_pos])
-            word = int(net.leaf_word[state])
-            predecessor = int(self.payload[state])
-            if word == net.silence_word:
-                lm_history = (
-                    self.lattice.exit(predecessor).lm_history
-                    if predecessor >= 0
-                    else -1
-                )
-                lm_term = cfg.silence_penalty
-            else:
-                lm_history = word
-                history = (
-                    (vocab.bos_id,)
-                    if predecessor < 0
-                    else (self.lattice.exit(predecessor).lm_history,)
-                )
-                history = (vocab.bos_id,) if history[0] < 0 else history
-                lm_term = cfg.lm_scale * float(
-                    self.lm.log_prob_row(history)[word]
-                )
-            score = float(raw_scores[leaf_pos]) + lm_term
-            index = self.lattice.add(
-                word=word,
-                entry_frame=int(self.entry_frame[state]),
-                exit_frame=t,
-                predecessor=predecessor,
-                score=score,
-                lm_history=lm_history,
-            )
-            new_exits.append(index)
-            entry_candidate = score + cfg.word_insertion_penalty
-            if entry_candidate > best_entry:
-                best_entry, best_src = entry_candidate, index
-        self._pending_entry = best_entry
-        self._pending_src = best_src
+        new_exits, self._pending_entry, self._pending_src = record_tree_exits(
+            net,
+            self.config,
+            self.lm,
+            self.lattice,
+            self.payload,
+            self.entry_frame,
+            t,
+            raw_scores,
+            viable,
+            leaves,
+        )
         return new_exits
 
     # ------------------------------------------------------------------

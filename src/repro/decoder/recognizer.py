@@ -35,6 +35,7 @@ from repro.core.opunit import OpUnit, OpUnitSpec
 from repro.core.viterbi_unit import ViterbiUnit, ViterbiUnitSpec
 from repro.decoder.best_path import BestPath, find_best_path
 from repro.decoder.fast_gmm import FastGmmConfig, FastGmmScorer, FastGmmStats
+from repro.decoder.lextree import TreeLexiconNetwork, TreeWordDecodeStage
 from repro.decoder.network import FlatLexiconNetwork
 from repro.decoder.phone_decode import PhoneDecodeStage
 from repro.decoder.scorer import (
@@ -55,11 +56,50 @@ __all__ = [
     "DecodeTiming",
     "Recognizer",
     "RecognitionResult",
+    "SUPPORTED_NETWORKS",
+    "build_network",
+    "network_kind_of",
     "resolve_storage_pool",
     "validate_decoder_models",
     "validate_precision",
     "validate_utterance_features",
 ]
+
+#: The lexicon-network families every decoder front end can search:
+#: ``"flat"`` (one HMM chain per word) and ``"tree"`` (the shared
+#: prefix tree, the paper's large-vocabulary path).
+SUPPORTED_NETWORKS = ("flat", "tree")
+
+#: Either compiled network family (the ``network=`` object surface).
+AnyLexiconNetwork = FlatLexiconNetwork | TreeLexiconNetwork
+
+
+def build_network(
+    network: str,
+    dictionary: PronunciationDictionary,
+    tying: SenoneTying,
+    topology: HmmTopology | None = None,
+) -> AnyLexiconNetwork:
+    """Compile the dictionary into the chosen network family.
+
+    The single ``network=`` validator behind ``Recognizer.create`` and
+    ``BatchRecognizer.create``, mirroring the ``SUPPORTED_MODES``
+    contract: unknown values raise a :class:`ValueError` naming the
+    supported networks.
+    """
+    if network not in SUPPORTED_NETWORKS:
+        supported = ", ".join(repr(n) for n in SUPPORTED_NETWORKS)
+        raise ValueError(
+            f"unknown network {network!r}; supported networks: {supported}"
+        )
+    if network == "tree":
+        return TreeLexiconNetwork.build(dictionary, tying, topology)
+    return FlatLexiconNetwork.build(dictionary, tying, topology)
+
+
+def network_kind_of(network: AnyLexiconNetwork) -> str:
+    """The ``network=`` axis value a compiled network belongs to."""
+    return "tree" if isinstance(network, TreeLexiconNetwork) else "flat"
 
 
 def validate_precision(mode: str, precision: str) -> None:
@@ -116,7 +156,7 @@ def resolve_storage_pool(pool: SenonePool, storage_format: FloatFormat) -> Senon
 
 
 def validate_decoder_models(
-    network: FlatLexiconNetwork, pool: SenonePool, lm: NGramModel
+    network: AnyLexiconNetwork, pool: SenonePool, lm: NGramModel
 ) -> None:
     """The invariants every decoder front end relies on."""
     if pool.num_senones != network.num_senones:
@@ -218,10 +258,11 @@ class Recognizer:
     """Facade over the staged decoder (see module docstring)."""
 
     SUPPORTED_MODES = ("reference", "hardware", "fast", "blas")
+    SUPPORTED_NETWORKS = SUPPORTED_NETWORKS
 
     def __init__(
         self,
-        network: FlatLexiconNetwork,
+        network: AnyLexiconNetwork,
         pool: SenonePool,
         lm: NGramModel,
         config: DecoderConfig | None = None,
@@ -241,6 +282,7 @@ class Recognizer:
         validate_precision(mode, precision)
         validate_decoder_models(network, pool, lm)
         self.network = network
+        self.network_kind = network_kind_of(network)
         self.pool = pool
         self.lm = lm
         self.mode = mode
@@ -272,13 +314,25 @@ class Recognizer:
         self.phone_stage = PhoneDecodeStage(
             scorer, use_feedback=self.config.use_feedback
         )
-        self.word_stage = WordDecodeStage(
-            network=network,
-            lm=lm,
-            phone_decode=self.phone_stage,
-            config=self.config,
-            viterbi_unit=self.viterbi_unit,
-        )
+        if self.network_kind == "tree":
+            # The tree stage always runs its token bank through a
+            # ViterbiUnit (float32 token arithmetic in every mode); the
+            # hardware unit is shared so its activity is accounted.
+            self.word_stage = TreeWordDecodeStage(
+                network=network,
+                lm=lm,
+                phone_decode=self.phone_stage,
+                config=self.config,
+                viterbi_unit=self.viterbi_unit,
+            )
+        else:
+            self.word_stage = WordDecodeStage(
+                network=network,
+                lm=lm,
+                phone_decode=self.phone_stage,
+                config=self.config,
+                viterbi_unit=self.viterbi_unit,
+            )
 
     def _storage_pool(self) -> SenonePool:
         """The pool as stored in flash (quantized when narrow)."""
@@ -293,11 +347,17 @@ class Recognizer:
         lm: NGramModel,
         tying: SenoneTying,
         topology: HmmTopology | None = None,
+        network: str = "flat",
         **kwargs,
     ) -> "Recognizer":
-        """Build the network from a dictionary and wire everything."""
-        network = FlatLexiconNetwork.build(dictionary, tying, topology)
-        return cls(network=network, pool=pool, lm=lm, tying=tying, **kwargs)
+        """Build the network from a dictionary and wire everything.
+
+        ``network`` selects the lexicon family next to ``mode=``:
+        ``"flat"`` (per-word HMM chains) or ``"tree"`` (the shared
+        prefix tree — the large-vocabulary path).
+        """
+        net = build_network(network, dictionary, tying, topology)
+        return cls(network=net, pool=pool, lm=lm, tying=tying, **kwargs)
 
     # ------------------------------------------------------------------
     def as_batch(self):

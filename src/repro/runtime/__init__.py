@@ -2,8 +2,13 @@
 
 Scales the single-microphone architecture of the paper to many
 simultaneous audio streams.  Two runtimes share one lane engine
-(:class:`~repro.runtime.batch.LaneBank` — stacked ``(B, S)`` state,
-one pooled senone evaluation and one chain update per step):
+(stacked ``(B, S)`` state, one pooled senone evaluation and one
+bank-wide token update per step) with one bank per lexicon family:
+:class:`~repro.runtime.batch.LaneBank` over the flat per-word network
+and :class:`~repro.runtime.lextree.TreeLaneBank` over the lexicon
+prefix tree (``network="tree"`` — the large-vocabulary dictation
+path), both built through
+:meth:`~repro.runtime.batch.BatchRecognizer.make_bank`:
 
 * :class:`BatchRecognizer` (:mod:`repro.runtime.batch`) decodes a
   fixed batch drain-to-longest: all lanes are admitted up front and
@@ -28,7 +33,13 @@ retire lanes through :meth:`LaneBank.cancel`, and per-utterance events
 fire the moment each lane retires.
 """
 
-from repro.runtime.batch import BatchDecodeResult, BatchRecognizer, LaneBank
+from repro.runtime.batch import (
+    BatchDecodeResult,
+    BatchRecognizer,
+    LaneBank,
+    LaneBankBase,
+)
+from repro.runtime.lextree import TreeLaneBank
 from repro.runtime.continuous import (
     ContinuousBatchRecognizer,
     ContinuousDecodeResult,
@@ -58,6 +69,8 @@ __all__ = [
     "ContinuousBatchRecognizer",
     "ContinuousDecodeResult",
     "LaneBank",
+    "LaneBankBase",
+    "TreeLaneBank",
     "BatchReferenceScorer",
     "BatchHardwareScorer",
     "BatchFastGmmScorer",

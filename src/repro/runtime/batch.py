@@ -49,11 +49,14 @@ from repro.core.viterbi_unit import BP_FORWARD, BP_SELF, ViterbiUnit, ViterbiUni
 from repro.decoder.beam import apply_beam_batch, make_beam_scratch
 from repro.decoder.best_path import find_best_path
 from repro.decoder.lattice import WordLattice
-from repro.decoder.network import FlatLexiconNetwork
 from repro.decoder.recognizer import (
+    SUPPORTED_NETWORKS,
+    AnyLexiconNetwork,
     DecodeTiming,
     RecognitionResult,
     Recognizer,
+    build_network,
+    network_kind_of,
     resolve_storage_pool,
     validate_decoder_models,
     validate_precision,
@@ -83,7 +86,7 @@ from repro.runtime.scoring import (
     BatchReferenceScorer,
 )
 
-__all__ = ["BatchRecognizer", "BatchDecodeResult", "LaneBank"]
+__all__ = ["BatchRecognizer", "BatchDecodeResult", "LaneBank", "LaneBankBase"]
 
 LOG_ZERO = -1.0e30
 _DEAD = LOG_ZERO / 2
@@ -130,43 +133,31 @@ class BatchDecodeResult:
         return self.frames_processed / slots if slots else 0.0
 
 
-class LaneBank:
-    """Stacked ``(B, S)`` decode state with an admit/step/retire lifecycle.
+class LaneBankBase:
+    """The shared admit/step/retire/cancel/compact lane lifecycle.
 
-    One bank drives both runtimes: :class:`BatchRecognizer` admits a
-    full batch up front and drains it, while
-    :class:`~repro.runtime.continuous.ContinuousBatchRecognizer`
-    refills retired lanes mid-decode.  All per-frame math is
-    elementwise or a per-row reduction over the stacked state, and all
-    per-lane bookkeeping (entry frames, lattice exits, statistics) is
-    indexed by the lane's own frame counter, so each lane's outputs are
-    bit-identical to a sequential decode of the same features no
-    matter when the lane was (re)admitted or what its neighbours do.
+    Subclasses own the stacked search state of one network family —
+    :class:`LaneBank` runs the flat chain bank,
+    :class:`~repro.runtime.lextree.TreeLaneBank` the lexical-tree token
+    bank — through the ``_alloc_state``/``_advance``/... hooks below.
+    Everything lane-lifecycle (occupancy, per-lane frame counters,
+    feature gather/preload, lattices, statistics, scorer lifecycle
+    hooks, result packaging) lives here and is identical for both, so
+    the continuous runtime and the serve loop drive either bank
+    through one interface.
     """
 
     def __init__(self, recognizer: "BatchRecognizer", num_lanes: int) -> None:
         if num_lanes < 1:
             raise ValueError(f"need at least one lane, got {num_lanes}")
-        net = recognizer.network
         self.recognizer = recognizer
-        self.net = net
+        self.net = recognizer.network
         self.cfg = recognizer.config
         self.lm = recognizer.lm
         self.scorer = recognizer.scorer
         self.viterbi_unit = recognizer.viterbi_unit
         self.num_lanes = num_lanes
-        self._dtype = recognizer._dtype
-        num_states = net.num_states
-        num_senones = recognizer.scorer.num_senones
-        total_words = net.num_words + (1 if net.has_silence else 0)
-        shape = (num_lanes, num_states)
-
-        # Stacked word-decode state: one row per lane.
-        self.delta = np.full(shape, LOG_ZERO, dtype=self._dtype)
-        self.entry_frame = np.full(shape, -1, dtype=np.int64)
-        self.payload = np.full(shape, -1, dtype=np.int64)
-        self.pending_entry = np.full((num_lanes, total_words), LOG_ZERO)
-        self.pending_src = np.full((num_lanes, total_words), -1, dtype=np.int64)
+        self._dtype = self._bank_dtype()
 
         # Lane lifecycle: occupancy, per-lane frame counters and the
         # per-lane artifacts a retirement will package into a result.
@@ -181,37 +172,51 @@ class LaneBank:
         self.lane_frame_stats: list[list[FrameStats]] = [[] for _ in range(num_lanes)]
         self.lane_scoring: list[ScoringStats | None] = [None] * num_lanes
 
-        # Frame scratch (allocated once per bank, reused every step).
-        self._obs_block = np.zeros((num_lanes, recognizer.pool.dim))
-        self._score_mat = DenseScratch((num_lanes, num_senones), LOG_ZERO)
-        self._obs_bank = np.empty(shape)
-        # Cast target for narrow-dtype token banks (hardware mode):
-        # without it every step paid an `astype` allocation.
-        self._obs_cast = (
-            None
-            if self._dtype == np.float64
-            else np.empty(shape, dtype=self._dtype)
-        )
-        self._entry_scores = np.full(shape, LOG_ZERO, dtype=self._dtype)
-        self._entry_payload = np.full(shape, -1, dtype=np.int64)
-        self._candidates = np.empty(shape, dtype=bool)
-        self._shifted = np.empty(shape, dtype=bool)
-        self._cand_mask = np.zeros((num_lanes, num_senones), dtype=bool)
-        self._prev_payload = np.empty(shape, dtype=np.int64)
-        self._prev_entry_frame = np.empty(shape, dtype=np.int64)
-        self._payload_next = np.empty(shape, dtype=np.int64)
-        self._entry_frame_next = np.empty(shape, dtype=np.int64)
-        self._took_self = np.empty(shape, dtype=bool)
-        self._took_fwd = np.empty(shape, dtype=bool)
-        self._chain_scratch = (
-            make_chain_scratch(shape) if self.viterbi_unit is None else None
-        )
-        self._beam_scratch = make_beam_scratch(shape)
-        self._fwd_end = net.fwd_logp[net.end_state]
+        self._alloc_state()
+        self._alloc_scratch()
         self._padded: np.ndarray | None = None
 
         self.steps = 0
         self.frames_processed = 0
+
+    # -- network-family hooks ------------------------------------------
+    def _bank_dtype(self) -> np.dtype:
+        """Dtype of the stacked token bank."""
+        raise NotImplementedError
+
+    def _alloc_state(self) -> None:
+        """Allocate the stacked search state and network constants."""
+        raise NotImplementedError
+
+    def _alloc_scratch(self) -> None:
+        """(Re)allocate per-step scratch at the current lane width."""
+        raise NotImplementedError
+
+    def _reset_lane_state(self, lane: int) -> None:
+        """Reset one lane's search rows to the sequential start state."""
+        raise NotImplementedError
+
+    def _freeze_lane_state(self, lane: int) -> None:
+        """Seal one lane's search rows so idle steps cannot revive it."""
+        raise NotImplementedError
+
+    def _compact_state(self, keep: np.ndarray) -> None:
+        """Keep only ``keep``'s rows of the stacked search state."""
+        raise NotImplementedError
+
+    def _advance(
+        self,
+        obs_block: np.ndarray,
+        lanes: np.ndarray,
+        lane_list: list[int],
+        lane_t_list: list[int],
+    ) -> tuple[np.ndarray, np.ndarray, list[int]]:
+        """Advance the search state one frame for every occupied lane.
+
+        Returns ``(active_states, scored_counts, exit_counts)`` per
+        lane for the bookkeeping pass.
+        """
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     @property
@@ -245,13 +250,7 @@ class LaneBank:
         if features.ndim != 2 or features.shape[0] == 0:
             raise ValueError(f"lane {lane}: features must be non-empty (T, L)")
         self.scorer.admit_lane(lane)
-        self.delta[lane] = LOG_ZERO
-        self.entry_frame[lane] = -1
-        self.payload[lane] = -1
-        prime_entries(
-            self.net, self.cfg, self.lm,
-            self.pending_entry[lane], self.pending_src[lane],
-        )
+        self._reset_lane_state(lane)
         self.lane_feats[lane] = features
         self.lane_admitted[lane] = time.monotonic()
         self.lane_enqueued[lane] = (
@@ -298,13 +297,9 @@ class LaneBank:
         frame; the caller retires them (and may re-admit into the freed
         lanes) before the next step.
         """
-        net, cfg = self.net, self.cfg
-        active = self.active
-        lanes = np.flatnonzero(active)
+        lanes = np.flatnonzero(self.active)
         if lanes.size == 0:
             raise RuntimeError("no occupied lanes to step")
-        delta = self.delta
-        payload, entry_frame = self.payload, self.entry_frame
 
         # Each occupied lane contributes its own current frame; idle
         # lanes keep zeros (or stale rows) that no live computation
@@ -318,6 +313,230 @@ class LaneBank:
             obs_block = self._obs_block
             for b in lane_list:
                 obs_block[b] = self.lane_feats[b][lane_t_list[b]]
+
+        n_active, scored_counts, exit_counts = self._advance(
+            obs_block, lanes, lane_list, lane_t_list
+        )
+
+        # Per-lane bookkeeping at each lane's own frame counter;
+        # collect lanes whose audio just ended.
+        finished: list[int] = []
+        lane_len_list = self.lane_len.tolist()
+        n_active_list = n_active.tolist()
+        scored_list = scored_counts.tolist()
+        for b in lane_list:
+            t_b = lane_t_list[b]
+            requested = scored_list[b]
+            self.lane_scoring[b].record(requested)
+            self.lane_frame_stats[b].append(
+                FrameStats(
+                    frame=t_b,
+                    active_states=n_active_list[b],
+                    requested_senones=requested,
+                    word_exits=exit_counts[b],
+                )
+            )
+            self.lane_t[b] = t_b + 1
+            if t_b + 1 == lane_len_list[b]:
+                finished.append(b)
+        self.steps += 1
+        self.frames_processed += len(lane_list)
+        return finished
+
+    # ------------------------------------------------------------------
+    def retire(self, lane: int) -> RecognitionResult:
+        """Finalize a finished lane and free it for re-admission.
+
+        The lane's state is frozen at ``LOG_ZERO`` so subsequent steps
+        cannot touch its (already packaged) lattice or statistics.
+        """
+        if not self.active[lane]:
+            raise RuntimeError(f"lane {lane} is not occupied")
+        if int(self.lane_t[lane]) != int(self.lane_len[lane]):
+            raise RuntimeError(
+                f"lane {lane} retired mid-utterance "
+                f"(frame {int(self.lane_t[lane])}/{int(self.lane_len[lane])})"
+            )
+        lattice = self.lattices[lane]
+        scoring = self.lane_scoring[lane]
+        assert lattice is not None and scoring is not None
+        fast_stats = self.scorer.retire_lane(lane)
+        result = self.recognizer._lane_result(
+            lattice,
+            int(self.lane_len[lane]),
+            self.lane_frame_stats[lane],
+            scoring,
+            fast_stats=fast_stats,
+            timing=DecodeTiming(
+                enqueued_at=self.lane_enqueued[lane],
+                admitted_at=self.lane_admitted[lane],
+                finished_at=time.monotonic(),
+            ),
+        )
+        self._release(lane)
+        return result
+
+    def cancel(self, lane: int) -> int:
+        """Early-retire hook: free a lane MID-utterance, no result.
+
+        Serving uses this for deadline misses and client cancellations:
+        the lane's partial decode is discarded (its lattice, statistics
+        and scorer state are dropped, never packaged) and the lane is
+        immediately free for re-admission.  Returns the number of
+        frames the cancelled utterance had decoded.  Because every
+        per-frame operation is elementwise or a per-row reduction over
+        the stacked state, and the freed lane is frozen at
+        ``LOG_ZERO`` exactly as a normal retirement leaves it, a
+        cancellation cannot perturb any surviving lane's decode by a
+        single bit (pinned by ``tests/test_golden_parity.py``).
+        """
+        if not self.active[lane]:
+            raise RuntimeError(f"lane {lane} is not occupied")
+        frames_decoded = int(self.lane_t[lane])
+        self.scorer.retire_lane(lane)  # discard per-lane scorer state
+        self._release(lane)
+        return frames_decoded
+
+    def _release(self, lane: int) -> None:
+        """Freeze and free a lane (shared by retire and cancel)."""
+        self.active[lane] = False
+        self._freeze_lane_state(lane)
+        self.lane_feats[lane] = None
+        self.lattices[lane] = None
+        self.lane_scoring[lane] = None
+        self.lane_frame_stats[lane] = []
+        self.lane_utt[lane] = -1
+
+    # ------------------------------------------------------------------
+    def compact(self) -> int:
+        """Shrink the bank to its occupied lanes; returns the new size.
+
+        Called by the continuous runtime once the waiting queue is
+        drained, so the tail of a stream stops paying per-step
+        vectorized work for lanes that can never be refilled.  Live
+        lanes are relocated to the low rows (preserving relative
+        order) and every stacked array and scratch buffer is rebuilt
+        at the new width.  All per-frame math is elementwise or a
+        per-row reduction, so relocating a row changes nothing about
+        that lane's decode — the parity suite covers compacted tails.
+        """
+        keep = np.flatnonzero(self.active)
+        n = int(keep.size)
+        if n == self.num_lanes or n == 0:
+            return self.num_lanes
+        keep_list = keep.tolist()
+        self._compact_state(keep)
+        self.active = np.ones(n, dtype=bool)
+        self.lane_t = self.lane_t[keep]
+        self.lane_len = self.lane_len[keep]
+        self.lane_utt = self.lane_utt[keep]
+        self.lane_feats = [self.lane_feats[b] for b in keep_list]
+        self.lane_enqueued = [self.lane_enqueued[b] for b in keep_list]
+        self.lane_admitted = [self.lane_admitted[b] for b in keep_list]
+        self.lattices = [self.lattices[b] for b in keep_list]
+        self.lane_frame_stats = [self.lane_frame_stats[b] for b in keep_list]
+        self.lane_scoring = [self.lane_scoring[b] for b in keep_list]
+        self.num_lanes = n
+        self._alloc_scratch()
+        self._padded = None  # preload indexing assumed the old width
+        self.scorer.compact_lanes(keep_list)
+        return n
+
+
+class LaneBank(LaneBankBase):
+    """Stacked ``(B, S)`` decode state over the FLAT lexicon network.
+
+    One bank drives both runtimes: :class:`BatchRecognizer` admits a
+    full batch up front and drains it, while
+    :class:`~repro.runtime.continuous.ContinuousBatchRecognizer`
+    refills retired lanes mid-decode.  All per-frame math is
+    elementwise or a per-row reduction over the stacked state, and all
+    per-lane bookkeeping (entry frames, lattice exits, statistics) is
+    indexed by the lane's own frame counter, so each lane's outputs are
+    bit-identical to a sequential decode of the same features no
+    matter when the lane was (re)admitted or what its neighbours do.
+    """
+
+    def _bank_dtype(self) -> np.dtype:
+        return self.recognizer._dtype
+
+    def _alloc_state(self) -> None:
+        net = self.net
+        shape = (self.num_lanes, net.num_states)
+        total_words = net.num_words + (1 if net.has_silence else 0)
+        # Stacked word-decode state: one row per lane.
+        self.delta = np.full(shape, LOG_ZERO, dtype=self._dtype)
+        self.entry_frame = np.full(shape, -1, dtype=np.int64)
+        self.payload = np.full(shape, -1, dtype=np.int64)
+        self.pending_entry = np.full((self.num_lanes, total_words), LOG_ZERO)
+        self.pending_src = np.full(
+            (self.num_lanes, total_words), -1, dtype=np.int64
+        )
+        self._fwd_end = net.fwd_logp[net.end_state]
+
+    def _alloc_scratch(self) -> None:
+        # Frame scratch (allocated once per bank width, reused every step).
+        num_lanes = self.num_lanes
+        shape = (num_lanes, self.net.num_states)
+        num_senones = self.scorer.num_senones
+        self._obs_block = np.zeros((num_lanes, self.recognizer.pool.dim))
+        self._score_mat = DenseScratch((num_lanes, num_senones), LOG_ZERO)
+        self._obs_bank = np.empty(shape)
+        # Cast target for narrow-dtype token banks (hardware mode):
+        # without it every step paid an `astype` allocation.
+        self._obs_cast = (
+            None
+            if self._dtype == np.float64
+            else np.empty(shape, dtype=self._dtype)
+        )
+        self._entry_scores = np.full(shape, LOG_ZERO, dtype=self._dtype)
+        self._entry_payload = np.full(shape, -1, dtype=np.int64)
+        self._candidates = np.empty(shape, dtype=bool)
+        self._shifted = np.empty(shape, dtype=bool)
+        self._cand_mask = np.zeros((num_lanes, num_senones), dtype=bool)
+        self._prev_payload = np.empty(shape, dtype=np.int64)
+        self._prev_entry_frame = np.empty(shape, dtype=np.int64)
+        self._payload_next = np.empty(shape, dtype=np.int64)
+        self._entry_frame_next = np.empty(shape, dtype=np.int64)
+        self._took_self = np.empty(shape, dtype=bool)
+        self._took_fwd = np.empty(shape, dtype=bool)
+        self._chain_scratch = (
+            make_chain_scratch(shape) if self.viterbi_unit is None else None
+        )
+        self._beam_scratch = make_beam_scratch(shape)
+
+    def _reset_lane_state(self, lane: int) -> None:
+        self.delta[lane] = LOG_ZERO
+        self.entry_frame[lane] = -1
+        self.payload[lane] = -1
+        prime_entries(
+            self.net, self.cfg, self.lm,
+            self.pending_entry[lane], self.pending_src[lane],
+        )
+
+    def _freeze_lane_state(self, lane: int) -> None:
+        self.delta[lane] = LOG_ZERO
+        self.pending_entry[lane] = LOG_ZERO
+        self.pending_src[lane] = -1
+
+    def _compact_state(self, keep: np.ndarray) -> None:
+        self.delta = self.delta[keep]
+        self.entry_frame = self.entry_frame[keep]
+        self.payload = self.payload[keep]
+        self.pending_entry = self.pending_entry[keep]
+        self.pending_src = self.pending_src[keep]
+
+    def _advance(
+        self,
+        obs_block: np.ndarray,
+        lanes: np.ndarray,
+        lane_list: list[int],
+        lane_t_list: list[int],
+    ) -> tuple[np.ndarray, np.ndarray, list[int]]:
+        net, cfg = self.net, self.cfg
+        active = self.active
+        delta = self.delta
+        payload, entry_frame = self.payload, self.entry_frame
 
         # 1. Candidate states (alive, right neighbours, pending
         #    entries) — the per-lane feedback lists, batched.  Idle
@@ -429,159 +648,7 @@ class LaneBank:
         self.pending_entry[no_exit] = LOG_ZERO
         self.pending_src[no_exit] = -1
 
-        # 7. Per-lane bookkeeping at each lane's own frame counter;
-        #    collect lanes whose audio just ended.
-        finished: list[int] = []
-        lane_len_list = self.lane_len.tolist()
-        n_active_list = n_active.tolist()
-        scored_list = scored_counts.tolist()
-        for b in lane_list:
-            t_b = lane_t_list[b]
-            requested = scored_list[b]
-            self.lane_scoring[b].record(requested)
-            self.lane_frame_stats[b].append(
-                FrameStats(
-                    frame=t_b,
-                    active_states=n_active_list[b],
-                    requested_senones=requested,
-                    word_exits=exit_counts[b],
-                )
-            )
-            self.lane_t[b] = t_b + 1
-            if t_b + 1 == lane_len_list[b]:
-                finished.append(b)
-        self.steps += 1
-        self.frames_processed += len(lane_list)
-        return finished
-
-    # ------------------------------------------------------------------
-    def retire(self, lane: int) -> RecognitionResult:
-        """Finalize a finished lane and free it for re-admission.
-
-        The lane's state is frozen at ``LOG_ZERO`` so subsequent steps
-        cannot touch its (already packaged) lattice or statistics.
-        """
-        if not self.active[lane]:
-            raise RuntimeError(f"lane {lane} is not occupied")
-        if int(self.lane_t[lane]) != int(self.lane_len[lane]):
-            raise RuntimeError(
-                f"lane {lane} retired mid-utterance "
-                f"(frame {int(self.lane_t[lane])}/{int(self.lane_len[lane])})"
-            )
-        lattice = self.lattices[lane]
-        scoring = self.lane_scoring[lane]
-        assert lattice is not None and scoring is not None
-        fast_stats = self.scorer.retire_lane(lane)
-        result = self.recognizer._lane_result(
-            lattice,
-            int(self.lane_len[lane]),
-            self.lane_frame_stats[lane],
-            scoring,
-            fast_stats=fast_stats,
-            timing=DecodeTiming(
-                enqueued_at=self.lane_enqueued[lane],
-                admitted_at=self.lane_admitted[lane],
-                finished_at=time.monotonic(),
-            ),
-        )
-        self._release(lane)
-        return result
-
-    def cancel(self, lane: int) -> int:
-        """Early-retire hook: free a lane MID-utterance, no result.
-
-        Serving uses this for deadline misses and client cancellations:
-        the lane's partial decode is discarded (its lattice, statistics
-        and scorer state are dropped, never packaged) and the lane is
-        immediately free for re-admission.  Returns the number of
-        frames the cancelled utterance had decoded.  Because every
-        per-frame operation is elementwise or a per-row reduction over
-        the stacked state, and the freed lane is frozen at
-        ``LOG_ZERO`` exactly as a normal retirement leaves it, a
-        cancellation cannot perturb any surviving lane's decode by a
-        single bit (pinned by ``tests/test_golden_parity.py``).
-        """
-        if not self.active[lane]:
-            raise RuntimeError(f"lane {lane} is not occupied")
-        frames_decoded = int(self.lane_t[lane])
-        self.scorer.retire_lane(lane)  # discard per-lane scorer state
-        self._release(lane)
-        return frames_decoded
-
-    def _release(self, lane: int) -> None:
-        """Freeze and free a lane (shared by retire and cancel)."""
-        self.active[lane] = False
-        self.delta[lane] = LOG_ZERO
-        self.pending_entry[lane] = LOG_ZERO
-        self.pending_src[lane] = -1
-        self.lane_feats[lane] = None
-        self.lattices[lane] = None
-        self.lane_scoring[lane] = None
-        self.lane_frame_stats[lane] = []
-        self.lane_utt[lane] = -1
-
-    # ------------------------------------------------------------------
-    def compact(self) -> int:
-        """Shrink the bank to its occupied lanes; returns the new size.
-
-        Called by the continuous runtime once the waiting queue is
-        drained, so the tail of a stream stops paying per-step
-        vectorized work for lanes that can never be refilled.  Live
-        lanes are relocated to the low rows (preserving relative
-        order) and every stacked array and scratch buffer is rebuilt
-        at the new width.  All per-frame math is elementwise or a
-        per-row reduction, so relocating a row changes nothing about
-        that lane's decode — the parity suite covers compacted tails.
-        """
-        keep = np.flatnonzero(self.active)
-        n = int(keep.size)
-        if n == self.num_lanes or n == 0:
-            return self.num_lanes
-        keep_list = keep.tolist()
-        self.delta = self.delta[keep]
-        self.entry_frame = self.entry_frame[keep]
-        self.payload = self.payload[keep]
-        self.pending_entry = self.pending_entry[keep]
-        self.pending_src = self.pending_src[keep]
-        self.active = np.ones(n, dtype=bool)
-        self.lane_t = self.lane_t[keep]
-        self.lane_len = self.lane_len[keep]
-        self.lane_utt = self.lane_utt[keep]
-        self.lane_feats = [self.lane_feats[b] for b in keep_list]
-        self.lane_enqueued = [self.lane_enqueued[b] for b in keep_list]
-        self.lane_admitted = [self.lane_admitted[b] for b in keep_list]
-        self.lattices = [self.lattices[b] for b in keep_list]
-        self.lane_frame_stats = [self.lane_frame_stats[b] for b in keep_list]
-        self.lane_scoring = [self.lane_scoring[b] for b in keep_list]
-        self.num_lanes = n
-        shape = (n, self.net.num_states)
-        num_senones = self.scorer.num_senones
-        self._obs_block = np.zeros((n, self._obs_block.shape[1]))
-        self._obs_bank = np.empty(shape)
-        self._obs_cast = (
-            None
-            if self._dtype == np.float64
-            else np.empty(shape, dtype=self._dtype)
-        )
-        self._score_mat = DenseScratch((n, num_senones), LOG_ZERO)
-        self._entry_scores = np.full(shape, LOG_ZERO, dtype=self._dtype)
-        self._entry_payload = np.full(shape, -1, dtype=np.int64)
-        self._candidates = np.empty(shape, dtype=bool)
-        self._shifted = np.empty(shape, dtype=bool)
-        self._cand_mask = np.zeros((n, num_senones), dtype=bool)
-        self._prev_payload = np.empty(shape, dtype=np.int64)
-        self._prev_entry_frame = np.empty(shape, dtype=np.int64)
-        self._payload_next = np.empty(shape, dtype=np.int64)
-        self._entry_frame_next = np.empty(shape, dtype=np.int64)
-        self._took_self = np.empty(shape, dtype=bool)
-        self._took_fwd = np.empty(shape, dtype=bool)
-        self._chain_scratch = (
-            make_chain_scratch(shape) if self.viterbi_unit is None else None
-        )
-        self._beam_scratch = make_beam_scratch(shape)
-        self._padded = None  # preload indexing assumed the old width
-        self.scorer.compact_lanes(keep_list)
-        return n
+        return n_active, scored_counts, exit_counts
 
 
 class BatchRecognizer:
@@ -601,10 +668,11 @@ class BatchRecognizer:
     """
 
     SUPPORTED_MODES = ("reference", "hardware", "fast", "blas")
+    SUPPORTED_NETWORKS = SUPPORTED_NETWORKS
 
     def __init__(
         self,
-        network: FlatLexiconNetwork,
+        network: AnyLexiconNetwork,
         pool: SenonePool,
         lm: NGramModel,
         config: DecoderConfig | None = None,
@@ -625,6 +693,7 @@ class BatchRecognizer:
         validate_precision(mode, precision)
         validate_decoder_models(network, pool, lm)
         self.network = network
+        self.network_kind = network_kind_of(network)
         self.pool = pool
         self.lm = lm
         self.mode = mode
@@ -672,11 +741,17 @@ class BatchRecognizer:
         lm: NGramModel,
         tying: SenoneTying,
         topology: HmmTopology | None = None,
+        network: str = "flat",
         **kwargs,
     ) -> "BatchRecognizer":
-        """Build the network from a dictionary and wire everything."""
-        network = FlatLexiconNetwork.build(dictionary, tying, topology)
-        return cls(network=network, pool=pool, lm=lm, tying=tying, **kwargs)
+        """Build the network from a dictionary and wire everything.
+
+        ``network`` selects the lexicon family next to ``mode=``:
+        ``"flat"`` (per-word HMM chains) or ``"tree"`` (the shared
+        prefix tree — the large-vocabulary path).
+        """
+        net = build_network(network, dictionary, tying, topology)
+        return cls(network=net, pool=pool, lm=lm, tying=tying, **kwargs)
 
     @classmethod
     def from_recognizer(cls, recognizer: Recognizer) -> "BatchRecognizer":
@@ -706,6 +781,21 @@ class BatchRecognizer:
         )
 
     # ------------------------------------------------------------------
+    def make_bank(self, num_lanes: int) -> LaneBankBase:
+        """A lane bank matched to this recognizer's network family.
+
+        The single bank factory behind :meth:`decode_batch`,
+        :meth:`~repro.runtime.continuous.ContinuousBatchRecognizer.decode_stream`
+        and the serve loop, so every runtime picks up the tree token
+        bank automatically when the recognizer was built with
+        ``network="tree"``.
+        """
+        if self.network_kind == "tree":
+            from repro.runtime.lextree import TreeLaneBank
+
+            return TreeLaneBank(self, num_lanes)
+        return LaneBank(self, num_lanes)
+
     def _validate_features(self, index: int, features: np.ndarray) -> np.ndarray:
         """One utterance's features as the (T, L) float64 the bank expects."""
         return validate_utterance_features(self.pool.dim, index, features)
@@ -750,7 +840,7 @@ class BatchRecognizer:
             raise ValueError("cannot decode an empty batch")
         feats = [self._validate_features(i, f) for i, f in enumerate(features)]
         self._reset_accounting()
-        bank = LaneBank(self, len(feats))
+        bank = self.make_bank(len(feats))
         for lane, f in enumerate(feats):
             bank.admit(lane, lane, f)
         bank.preload_observations()  # all lanes step-aligned: no per-step gather

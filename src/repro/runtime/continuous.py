@@ -44,7 +44,7 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from repro.decoder.recognizer import RecognitionResult
-from repro.runtime.batch import BatchDecodeResult, BatchRecognizer, LaneBank
+from repro.runtime.batch import BatchDecodeResult, BatchRecognizer
 
 __all__ = ["ContinuousBatchRecognizer", "ContinuousDecodeResult"]
 
@@ -120,7 +120,7 @@ class ContinuousBatchRecognizer(BatchRecognizer):
             raise ValueError("cannot decode an empty stream")
 
         self._reset_accounting()
-        bank = LaneBank(self, len(first))
+        bank = self.make_bank(len(first))
         built_lanes = bank.num_lanes
         lane_of: list[int] = []
         admit_steps: list[int] = []

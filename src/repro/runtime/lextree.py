@@ -1,0 +1,267 @@
+"""Batched token passing over the lexicon prefix tree.
+
+:class:`TreeLaneBank` is the tree twin of the flat
+:class:`~repro.runtime.batch.LaneBank`: stacked ``(B, num_states)``
+token state over one shared
+:class:`~repro.decoder.lextree.TreeLexiconNetwork`, advanced one frame
+per step through a banked
+:meth:`~repro.core.viterbi_unit.ViterbiUnit.update_token_bank` (the
+batched analogue of the sequential stage's ``update_tokens``), with
+pooled senone demand across all lanes' active tree nodes feeding the
+same :class:`~repro.runtime.scoring.BatchScoringBackend` family as the
+flat bank — so reference/hardware/fast/blas (all precisions) all work
+over the tree unchanged.
+
+Parity contract
+---------------
+Per-lane outputs are bit-identical to a sequential
+:class:`~repro.decoder.lextree.TreeWordDecodeStage` decode of the same
+features, for any batch composition, admission step or refill order:
+
+* the sequential tree stage ALWAYS runs its token arithmetic through a
+  :class:`~repro.core.viterbi_unit.ViterbiUnit` in float32 (unlike the
+  flat stage, which is float64 without a unit), so the stacked token
+  bank here is float32 in every mode;
+* every per-frame operation is elementwise or a within-row gather
+  (predecessor indices are offset per row inside
+  ``update_token_bank``), so no lane's arithmetic can observe another
+  lane;
+* word-exit ordering and capping run through the shared
+  :func:`~repro.decoder.lextree.record_tree_exits` kernel on row
+  views, so the (non-stable) top-N tie-breaking is single-sourced with
+  the sequential stage;
+* idle lanes are frozen at ``LOG_ZERO`` — float32 rounding keeps
+  ``LOG_ZERO + logp`` at ``LOG_ZERO`` and the update re-seals dead
+  states, so an unoccupied row can never produce a candidate, an exit
+  or a statistics record.
+
+The lane lifecycle (admit/step/retire/cancel/compact, scorer
+admit/retire/compact hooks, per-lane frame counters and result
+packaging) is inherited from
+:class:`~repro.runtime.batch.LaneBankBase` unchanged, which is what
+lets :class:`~repro.runtime.batch.BatchRecognizer.decode_batch`,
+:meth:`~repro.runtime.continuous.ContinuousBatchRecognizer.decode_stream`
+and the serve loop drive the tree through the same interface as the
+flat network (``tests/test_runtime_lextree.py`` pins all of it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.scratch import DenseScratch
+from repro.core.viterbi_unit import BP_FORWARD, BP_SELF, ViterbiUnit
+from repro.decoder.beam import apply_beam_batch, make_beam_scratch
+from repro.decoder.lextree import prime_tree_entry, record_tree_exits
+from repro.runtime.batch import LaneBankBase
+
+__all__ = ["TreeLaneBank"]
+
+LOG_ZERO = -1.0e30
+_DEAD = LOG_ZERO / 2
+
+
+class TreeLaneBank(LaneBankBase):
+    """Stacked ``(B, K)`` tree-token state with the shared lane lifecycle.
+
+    Built by :meth:`~repro.runtime.batch.BatchRecognizer.make_bank`
+    when the recognizer holds a
+    :class:`~repro.decoder.lextree.TreeLexiconNetwork`; see the module
+    docstring for the parity contract.
+    """
+
+    def _bank_dtype(self) -> np.dtype:
+        # The sequential tree stage runs float32 token arithmetic in
+        # EVERY mode (its ViterbiUnit is unconditional), so the bank
+        # must too for bit-identity.
+        return np.float32
+
+    def _alloc_state(self) -> None:
+        net = self.net
+        num_lanes = self.num_lanes
+        shape = (num_lanes, net.num_states)
+        # Stacked token state: one row per lane.  Payload values are
+        # lattice indices and frame numbers, far inside int32 range;
+        # the narrower dtype halves the bandwidth of the six (B, K)
+        # propagation passes each step (values, and therefore outputs,
+        # are unchanged vs the sequential stage's int64).
+        self.delta = np.full(shape, LOG_ZERO, dtype=np.float32)
+        self.entry_frame = np.full(shape, -1, dtype=np.int32)
+        self.payload = np.full(shape, -1, dtype=np.int32)
+        # Root re-entry is one scalar per lane (all roots receive the
+        # best LM'd exit), unlike the flat bank's per-word rows.
+        self.pending_entry = np.full(num_lanes, LOG_ZERO)
+        self.pending_src = np.full(num_lanes, -1, dtype=np.int64)
+        # Static tree index helpers.
+        self._has_pred = net.pred_state >= 0
+        self._safe = np.where(self._has_pred, net.pred_state, 0)
+        self._roots = np.flatnonzero(net.is_root_start)
+        self._leaves = np.flatnonzero(net.leaf_word >= 0)
+        self._exit_lp = net.exit_logp[self._leaves]
+        # The sequential stage makes its own unit when the recognizer
+        # has none; sharing the hardware unit keeps cycle accounting in
+        # one place.
+        self._token_unit = self.viterbi_unit or ViterbiUnit()
+
+    def _alloc_scratch(self) -> None:
+        num_lanes = self.num_lanes
+        shape = (num_lanes, self.net.num_states)
+        num_senones = self.scorer.num_senones
+        self._obs_block = np.zeros((num_lanes, self.recognizer.pool.dim))
+        self._score_mat = DenseScratch((num_lanes, num_senones), LOG_ZERO)
+        # The pooled scores are cast to float32 BEFORE the per-state
+        # gather: same values as gathering float64 then casting (the
+        # sequential stage's astype), one full (B, K) pass cheaper.
+        self._score_cast = np.empty((num_lanes, num_senones), dtype=np.float32)
+        self._obs_cast = np.empty(shape, dtype=np.float32)
+        self._entry_scores = np.full(shape, LOG_ZERO, dtype=np.float32)
+        self._candidates = np.empty(shape, dtype=bool)
+        self._pred_alive = np.empty(shape, dtype=bool)
+        self._cand_mask = np.zeros((num_lanes, num_senones), dtype=bool)
+        self._prev_payload = np.empty(shape, dtype=np.int32)
+        self._prev_entry_frame = np.empty(shape, dtype=np.int32)
+        self._payload_next = np.empty(shape, dtype=np.int32)
+        self._entry_frame_next = np.empty(shape, dtype=np.int32)
+        self._took_self = np.empty(shape, dtype=bool)
+        self._took_fwd = np.empty(shape, dtype=bool)
+        self._beam_scratch = make_beam_scratch(shape)
+
+    def _reset_lane_state(self, lane: int) -> None:
+        self.delta[lane] = LOG_ZERO
+        self.entry_frame[lane] = -1
+        self.payload[lane] = -1
+        self.pending_entry[lane], self.pending_src[lane] = prime_tree_entry(
+            self.cfg
+        )
+
+    def _freeze_lane_state(self, lane: int) -> None:
+        self.delta[lane] = LOG_ZERO
+        self.pending_entry[lane] = LOG_ZERO
+        self.pending_src[lane] = -1
+
+    def _compact_state(self, keep: np.ndarray) -> None:
+        self.delta = self.delta[keep]
+        self.entry_frame = self.entry_frame[keep]
+        self.payload = self.payload[keep]
+        self.pending_entry = self.pending_entry[keep]
+        self.pending_src = self.pending_src[keep]
+        # The token unit's tiled-constant cache is keyed on B and
+        # refreshes itself at the new width on the next update.
+
+    def _advance(
+        self,
+        obs_block: np.ndarray,
+        lanes: np.ndarray,
+        lane_list: list[int],
+        lane_t_list: list[int],
+    ) -> tuple[np.ndarray, np.ndarray, list[int]]:
+        net, cfg = self.net, self.cfg
+        active = self.active
+        delta = self.delta
+        payload, entry_frame = self.payload, self.entry_frame
+
+        # 1. Candidate states (alive, children of alive, pending root
+        #    entries) — the sequential feedback set, batched.  Idle
+        #    lanes are frozen at LOG_ZERO with LOG_ZERO pending
+        #    entries, so their rows stay empty without extra masking.
+        candidates = self._candidates
+        np.greater(delta, _DEAD, out=candidates)  # alive
+        pred_alive = self._pred_alive
+        np.take(candidates, self._safe, axis=1, out=pred_alive)
+        pred_alive &= self._has_pred
+        candidates |= pred_alive
+        candidates[:, self._roots] |= (self.pending_entry > _DEAD)[:, None]
+
+        # 2. The union of per-lane unique senone requests, as
+        #    (lane, senone) work items for one pooled evaluation.
+        cand_mask = self._cand_mask
+        if cfg.use_feedback:
+            cand_mask[:] = False
+            cand_b, cand_s = np.nonzero(candidates)
+            cand_mask[cand_b, net.senone_id[cand_s]] = True
+        else:
+            cand_mask[:] = active[:, None]
+        pair_b, pair_s = np.nonzero(cand_mask)
+        scored_counts = np.count_nonzero(cand_mask, axis=1)
+
+        # 3. One pooled GMM pass for the whole bank, then the cast to
+        #    the float32 observation bank the token update consumes
+        #    (matching the sequential stage's astype).
+        scores = self._score_mat.clean()
+        compact = self.scorer.score_pairs(obs_block, pair_b, pair_s, lanes=lanes)
+        scores[pair_b, pair_s] = compact
+        self._score_mat.publish((pair_b, pair_s))
+        score_cast = self._score_cast
+        score_cast[...] = scores  # float64 -> float32 on (B, senones)
+        obs = score_cast.take(net.senone_id, axis=1, out=self._obs_cast)
+        entry_scores = self._entry_scores
+        entry_scores[:, self._roots] = self.pending_entry[:, None]
+
+        # 4. One banked token update advances every lane.
+        result = self._token_unit.update_token_bank(
+            delta,
+            net.self_logp,
+            net.pred_state,
+            net.pred_logp,
+            obs,
+            entry_scores,
+            net.is_root_start,
+        )
+        backptr = result.backpointer
+
+        # 5. Token payload propagation along the winning arcs.  The
+        #    sequential np.select defaults to the pending source / the
+        #    current frame at BP_ENTRY states; writing those as the
+        #    base buffer then overlaying the disjoint BP_FORWARD and
+        #    BP_SELF masks selects identically.
+        prev_payload = np.take(payload, self._safe, axis=1, out=self._prev_payload)
+        prev_entry_frame = np.take(
+            entry_frame, self._safe, axis=1, out=self._prev_entry_frame
+        )
+        took_self, took_fwd = self._took_self, self._took_fwd
+        np.equal(backptr, BP_SELF, out=took_self)
+        np.equal(backptr, BP_FORWARD, out=took_fwd)
+        payload_next = self._payload_next
+        payload_next[:] = self.pending_src[:, None]
+        np.copyto(payload_next, prev_payload, where=took_fwd)
+        np.copyto(payload_next, payload, where=took_self)
+        self.payload, self._payload_next = payload_next, payload
+        entry_frame_next = self._entry_frame_next
+        entry_frame_next[:] = self.lane_t[:, None]
+        np.copyto(entry_frame_next, prev_entry_frame, where=took_fwd)
+        np.copyto(entry_frame_next, entry_frame, where=took_self)
+        self.entry_frame, self._entry_frame_next = entry_frame_next, entry_frame
+        payload, entry_frame = self.payload, self.entry_frame
+        delta = result.delta
+        self.delta = delta
+
+        # 6. Row-wise beam prune, then per-lane LM-weighted word exits
+        #    through the shared tree-exit kernel.
+        _, n_active = apply_beam_batch(delta, cfg.beam, self._beam_scratch)
+        leaf_delta = delta[:, self._leaves].astype(np.float64)
+        viable = leaf_delta > _DEAD
+        raw_scores = leaf_delta + self._exit_lp
+        exit_lanes = np.flatnonzero(viable.any(axis=1))
+        exit_counts = [0] * self.num_lanes
+        for b in exit_lanes.tolist():
+            exits, best_entry, best_src = record_tree_exits(
+                net,
+                cfg,
+                self.lm,
+                self.lattices[b],
+                payload[b],
+                entry_frame[b],
+                lane_t_list[b],
+                raw_scores[b],
+                viable[b],
+                self._leaves,
+            )
+            exit_counts[b] = len(exits)
+            self.pending_entry[b] = best_entry
+            self.pending_src[b] = best_src
+        no_exit = active.copy()
+        no_exit[exit_lanes] = False
+        self.pending_entry[no_exit] = LOG_ZERO
+        self.pending_src[no_exit] = -1
+
+        return n_active, scored_counts, exit_counts

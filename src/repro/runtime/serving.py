@@ -40,7 +40,7 @@ from typing import Callable
 import numpy as np
 
 from repro.decoder.recognizer import RecognitionResult
-from repro.runtime.batch import BatchRecognizer, LaneBank
+from repro.runtime.batch import BatchRecognizer
 
 __all__ = [
     "STOP",
@@ -235,7 +235,7 @@ class ServeLoop:
         """
         rec = self.recognizer
         rec._reset_accounting()
-        bank = LaneBank(rec, self.max_lanes)
+        bank = rec.make_bank(self.max_lanes)
         waiting: deque[DecodeJob] = deque()
         cancels: set[int] = set()
         steals: set[int] = set()

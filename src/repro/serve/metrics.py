@@ -72,6 +72,7 @@ class ServerMetrics:
     scoring_mode: str = "reference"  # the workers' scoring backend
     scoring_precision: str = "float64"  # blas table precision in use
     model_table_bytes: int = 0  # scoring-table footprint per worker
+    network: str = "flat"  # lexicon family the lanes search (flat|tree)
 
     @property
     def lane_utilization(self) -> float:

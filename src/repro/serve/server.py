@@ -760,6 +760,7 @@ class Server:
             scoring_mode=rec.mode,
             scoring_precision=rec.precision,
             model_table_bytes=table_bytes,
+            network=rec.network_kind,
         )
 
     # ------------------------------------------------------------------

@@ -255,6 +255,7 @@ class _Connection:
                     "event": "hello",
                     "protocol": PROTOCOL_VERSION,
                     "scoring_mode": server.recognizer.mode,
+                    "network": server.recognizer.network_kind,
                     "max_queue": server.max_queue,
                 }
             )

@@ -9,6 +9,9 @@ Presets for the paper's evaluation scenarios, each returning a trained
   scenario of the Nedevschi et al. baseline (Section V).
 * :func:`dictation_task` — the WSJ5K-like large-vocabulary dictation
   task behind the WER-vs-mantissa experiment (R1).
+* :func:`dictation_cd_task` — the triphone-tied dictation variant
+  (CD senone budget, maximal tying), the workload that exercises the
+  fast-GMM CI layer end to end at batch scale.
 * :func:`wsj_sizing_dictionary` — a 20,000-word dictionary with ~9
   phones per word, audio-free, for the paper's memory arithmetic (R5).
 """
@@ -32,6 +35,7 @@ __all__ = [
     "tiny_task",
     "command_task",
     "dictation_task",
+    "dictation_cd_task",
     "wsj_sizing_dictionary",
     "expand_to_context_dependent",
 ]
@@ -154,6 +158,37 @@ def dictation_task(
     )
     return _train_task(
         corpus, num_components=3, em_iterations=5, realignment_passes=1, seed=seed
+    )
+
+
+def dictation_cd_task(
+    vocabulary_size: int = 5000,
+    train_sentences: int = 150,
+    test_sentences: int = 20,
+    seed: int = 31,
+    num_senones: int = 6000,
+) -> TrainedTask:
+    """The triphone-tied dictation variant: CD senones over dictation.
+
+    :func:`expand_to_context_dependent` applied to
+    :func:`dictation_task` — every context-dependent senone inherits
+    its CI parent's parameters (maximal tying, recognition unchanged),
+    so the decoder addresses the paper's full CD senone budget on the
+    open-vocabulary workload.  This is the task that exercises the
+    fast-GMM CI layer end to end: with thousands of CD senones mapping
+    onto a small CI parent set, the CI-mask layer prunes real work at
+    batch scale (the flat command task never had enough senones for it
+    to bite).  Decode it with ``network="tree"`` for the paper's
+    large-vocabulary configuration.
+    """
+    return expand_to_context_dependent(
+        dictation_task(
+            vocabulary_size=vocabulary_size,
+            train_sentences=train_sentences,
+            test_sentences=test_sentences,
+            seed=seed,
+        ),
+        num_senones=num_senones,
     )
 
 

@@ -16,6 +16,11 @@ not approximate.  The utterances are drawn from the deterministic
 synthetic command-and-control task (the benchmark workload), chosen
 for a strong length spread so the drained and continuous runtimes both
 exercise ragged retirement against the same fixtures.
+
+A second fixture family pins the TREE-LEXICON path
+(``dictation_reference.json``): sequential ``network="tree"`` decodes
+of a scaled-down large-vocabulary dictation task, the oracle for the
+batched prefix-tree runtime (:mod:`repro.runtime.lextree`).
 """
 
 from __future__ import annotations
@@ -29,13 +34,22 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
 
 from repro.decoder.fast_gmm import FastGmmConfig, FastGmmStats  # noqa: E402
 from repro.decoder.recognizer import Recognizer  # noqa: E402
-from repro.workloads.tasks import command_task  # noqa: E402
+from repro.workloads.tasks import command_task, dictation_task  # noqa: E402
 
 GOLDEN_DIR = Path(__file__).resolve().parent
 TASK_SEED = 19
 #: Test-corpus indices with a strong length spread (83..321 frames).
 UTTERANCE_INDICES = [14, 11, 4, 1, 2, 6]
 MODES = ("reference", "hardware", "fast")
+
+#: The tree-lexicon fixture workload: a scaled-down dictation task
+#: (same recipe as ``dictation_task``, smaller vocabulary) that builds
+#: in seconds yet still has real prefix sharing to exercise.
+DICTATION_KWARGS = dict(
+    vocabulary_size=300, train_sentences=60, test_sentences=12, seed=31
+)
+#: Dictation test-corpus indices with a strong spread (163..560 frames).
+DICTATION_INDICES = [4, 1, 6, 3, 10]
 
 #: Every four-layer work counter, straight from the dataclass, so a
 #: future counter is pinned the moment it exists.
@@ -53,6 +67,24 @@ def make_recognizer(mode: str, task) -> Recognizer:
         kwargs["fast_config"] = FastGmmConfig.all_layers()
     return Recognizer.create(
         task.dictionary, task.pool, task.lm, task.tying, mode=mode, **kwargs
+    )
+
+
+def make_dictation_task():
+    """The dictation workload the tree fixture was generated from."""
+    return dictation_task(**DICTATION_KWARGS)
+
+
+def make_tree_recognizer(task) -> Recognizer:
+    """The canonical tree-lexicon recognizer the fixture pins.
+
+    Reference mode over ``network="tree"``; the committed sequential
+    outputs are the bit-exact oracle the sequential, drained-batch and
+    continuous tree runtimes are all checked against.
+    """
+    return Recognizer.create(
+        task.dictionary, task.pool, task.lm, task.tying,
+        mode="reference", network="tree",
     )
 
 
@@ -92,6 +124,36 @@ def generate(mode: str, task) -> dict:
     }
 
 
+def generate_dictation(task) -> dict:
+    rec = make_tree_recognizer(task)
+    utterances = []
+    for index in DICTATION_INDICES:
+        features = task.corpus.test[index].features
+        result = rec.decode(features)
+        utterances.append({
+            "index": index,
+            "frames": result.frames,
+            "words": list(result.words),
+            "score_hex": float(result.score).hex(),
+            "score": result.score,  # human-readable; score_hex is the oracle
+            "lattice_size": result.lattice_size,
+            "active_states": [s.active_states for s in result.frame_stats],
+            "requested_senones": [
+                s.requested_senones for s in result.frame_stats
+            ],
+            "word_exits": [s.word_exits for s in result.frame_stats],
+        })
+    kwargs = ", ".join(f"{k}={v}" for k, v in DICTATION_KWARGS.items())
+    return {
+        "task": f"dictation_task({kwargs})",
+        "mode": "reference",
+        "network": "tree",
+        "sharing_factor": round(rec.network.sharing_factor, 4),
+        "utterance_indices": DICTATION_INDICES,
+        "utterances": utterances,
+    }
+
+
 def main() -> int:
     print(f"building command_task(seed={TASK_SEED})...")
     task = command_task(seed=TASK_SEED)
@@ -101,6 +163,12 @@ def main() -> int:
         path.write_text(json.dumps(fixture, indent=2) + "\n")
         lengths = [u["frames"] for u in fixture["utterances"]]
         print(f"wrote {path.name}: {len(lengths)} utterances, frames {lengths}")
+    print("building the dictation tree-fixture task...")
+    fixture = generate_dictation(make_dictation_task())
+    path = GOLDEN_DIR / "dictation_reference.json"
+    path.write_text(json.dumps(fixture, indent=2) + "\n")
+    lengths = [u["frames"] for u in fixture["utterances"]]
+    print(f"wrote {path.name}: {len(lengths)} utterances, frames {lengths}")
     return 0
 
 

@@ -229,6 +229,59 @@ class TestCancellationGolden:
         _assert_matches_golden(results[901], fixture["utterances"][1])
 
 
+class TestDictationGolden:
+    """The tree-lexicon path vs COMMITTED dictation fixtures.
+
+    ``dictation_reference.json`` pins sequential ``network="tree"``
+    decodes of the scaled-down dictation task; the sequential, drained
+    batch and continuous runtimes must all reproduce them bit for bit,
+    so a regression in the banked tree kernel cannot hide behind
+    "batch and sequential changed together".
+    """
+
+    @pytest.fixture(scope="class")
+    def dictation_golden(self):
+        fixture = json.loads(
+            (GOLDEN_DIR / "dictation_reference.json").read_text()
+        )
+        task = golden_generate.make_dictation_task()
+        rec = golden_generate.make_tree_recognizer(task)
+        feats = [
+            task.corpus.test[u["index"]].features for u in fixture["utterances"]
+        ]
+        return rec, fixture, feats
+
+    def test_fixture_is_committed_and_ragged(self):
+        fixture = json.loads(
+            (GOLDEN_DIR / "dictation_reference.json").read_text()
+        )
+        assert fixture["network"] == "tree"
+        assert fixture["sharing_factor"] >= 1.0
+        frames = [u["frames"] for u in fixture["utterances"]]
+        assert len(frames) >= 4
+        assert max(frames) >= 2 * min(frames)
+
+    def test_sequential_tree_matches_golden(self, dictation_golden):
+        rec, fixture, feats = dictation_golden
+        for expected, f in zip(fixture["utterances"], feats):
+            _assert_matches_golden(rec.decode(f), expected)
+
+    def test_drained_batch_tree_matches_golden(self, dictation_golden):
+        rec, fixture, feats = dictation_golden
+        result = rec.as_batch().decode_batch(feats)
+        assert len(result) == len(feats)
+        for expected, lane in zip(fixture["utterances"], result):
+            _assert_matches_golden(lane, expected)
+
+    def test_continuous_tree_matches_golden(self, dictation_golden):
+        """Few lanes + the 163..560-frame spread forces refill."""
+        rec, fixture, feats = dictation_golden
+        result = rec.as_continuous().decode_stream(feats, max_lanes=2)
+        assert max(result.admit_steps) > 0  # refill actually happened
+        for expected, lane in zip(fixture["utterances"], result):
+            _assert_matches_golden(lane, expected)
+
+
 class TestContinuousGolden:
     def test_continuous_stream_matches_golden(self, golden):
         """Few lanes + ragged lengths forces mid-decode refill."""

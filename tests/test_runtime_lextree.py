@@ -1,0 +1,416 @@
+"""Batched tree-lexicon search vs the sequential prefix-tree decoder.
+
+The tree lane bank (:class:`~repro.runtime.lextree.TreeLaneBank`) is
+the large-vocabulary analogue of the flat lane engine: stacked
+``(B, num_states)`` token state over one shared
+:class:`~repro.decoder.lextree.TreeLexiconNetwork`.  The contract is
+the same as the flat runtime's — the scheduler decides WHEN a lane is
+stepped, never WHAT it computes:
+
+* reference, hardware and fast modes: every lane's words, path score,
+  per-frame statistics, lattice size and fast-GMM work counters are
+  BIT-IDENTICAL to a sequential ``network="tree"``
+  :meth:`~repro.decoder.recognizer.Recognizer.decode`;
+* blas mode: word-identical with scores inside the documented
+  :data:`~repro.decoder.scorer.BLAS_SCORE_ATOL`;
+* the property sweep drives ragged lengths x arrival orders x lane
+  budgets 1..8 through the continuous runtime, including mid-decode
+  :meth:`~repro.runtime.batch.LaneBankBase.cancel`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.decoder.fast_gmm import FastGmmConfig
+from repro.decoder.lextree import TreeLexiconNetwork, TreeWordDecodeStage
+from repro.decoder.recognizer import Recognizer
+from repro.decoder.scorer import BLAS_SCORE_ATOL
+from repro.decoder.word_decode import DecoderConfig
+from repro.runtime import (
+    BatchRecognizer,
+    ContinuousBatchRecognizer,
+    LaneBank,
+    TreeLaneBank,
+)
+from repro.workloads.tasks import dictation_cd_task, expand_to_context_dependent
+
+EXACT_MODES = ("reference", "hardware", "fast")
+N_TRIALS = 3
+MIN_FRAMES = 5
+
+
+def make_tree_recognizer(task, mode: str, **kwargs) -> Recognizer:
+    if mode == "fast":
+        kwargs.setdefault("fast_config", FastGmmConfig.all_layers())
+    return Recognizer.create(
+        task.dictionary, task.pool, task.lm, task.tying,
+        mode=mode, network="tree", **kwargs,
+    )
+
+
+@pytest.fixture(scope="module", params=EXACT_MODES)
+def tree_trio(request, task):
+    """Sequential tree recognizer, its two batched twins, decode cache."""
+    rec = make_tree_recognizer(task, request.param)
+    return rec, rec.as_batch(), rec.as_continuous(), {}
+
+
+def _sequential(rec, base, cache, utt_index, length):
+    key = (utt_index, length)
+    if key not in cache:
+        cache[key] = rec.decode(base[utt_index][:length])
+    return cache[key]
+
+
+def _assert_lane_equal(seq, lane):
+    assert lane.words == seq.words
+    assert lane.score == seq.score  # bit-identical, not approx
+    assert lane.frames == seq.frames
+    assert lane.lattice_size == seq.lattice_size
+    assert [f.__dict__ for f in lane.frame_stats] == [
+        f.__dict__ for f in seq.frame_stats
+    ]
+    assert lane.scoring_stats.active_per_frame == seq.scoring_stats.active_per_frame
+    assert lane.fast_stats == seq.fast_stats  # None outside fast mode
+
+
+class TestTreeBatchParity:
+    """Drained batches vs sequential, bit for bit, batch sizes 1..8."""
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 3, 5, 8])
+    def test_batch_sizes_match_sequential(self, tree_trio, task, batch_size):
+        rec, batch, _, cache = tree_trio
+        base = [u.features for u in task.corpus.test]
+        feats = [base[i % len(base)] for i in range(batch_size)]
+        result = batch.decode_batch(feats)
+        assert len(result) == batch_size
+        for i, lane in enumerate(result):
+            seq = _sequential(
+                rec, base, cache, i % len(base), feats[i].shape[0]
+            )
+            _assert_lane_equal(seq, lane)
+
+    def test_ragged_batch_matches_sequential(self, tree_trio, task):
+        """Heavily ragged lengths: retired lanes stay frozen."""
+        rec, batch, _, cache = tree_trio
+        base = [u.features for u in task.corpus.test]
+        rng = np.random.default_rng(77)
+        lengths = [
+            int(rng.integers(MIN_FRAMES, f.shape[0] + 1)) for f in base
+        ]
+        feats = [f[:n] for f, n in zip(base, lengths)]
+        result = batch.decode_batch(feats)
+        for i, lane in enumerate(result):
+            _assert_lane_equal(_sequential(rec, base, cache, i, lengths[i]), lane)
+
+    def test_bank_is_tree_family(self, tree_trio):
+        _, batch, cont, _ = tree_trio
+        assert batch.network_kind == "tree"
+        assert isinstance(batch.make_bank(2), TreeLaneBank)
+        assert isinstance(cont.make_bank(2), TreeLaneBank)
+
+
+class TestTreeContinuousSweep:
+    """Ragged lengths x arrival orders x max_lanes 1..8 == sequential."""
+
+    def test_random_ragged_arrival_orders(self, tree_trio, task):
+        rec, _, cont, cache = tree_trio
+        base = [u.features for u in task.corpus.test]
+        rng = np.random.default_rng(2024)
+        for _ in range(N_TRIALS):
+            order = rng.permutation(len(base))
+            lengths = [
+                int(rng.integers(MIN_FRAMES, base[i].shape[0] + 1)) for i in order
+            ]
+            feats = [base[i][:n] for i, n in zip(order, lengths)]
+            max_lanes = int(rng.integers(1, 9))
+            result = cont.decode_stream(feats, max_lanes=max_lanes)
+            assert len(result) == len(feats)
+            for (i, n), lane in zip(zip(order, lengths), result):
+                _assert_lane_equal(_sequential(rec, base, cache, int(i), n), lane)
+
+    @pytest.mark.parametrize("max_lanes", list(range(1, 9)))
+    def test_every_lane_budget_matches_sequential(
+        self, tree_trio, task, max_lanes
+    ):
+        """Each budget 1..8 explicitly, reversed arrival, fixed rag."""
+        rec, _, cont, cache = tree_trio
+        base = [u.features for u in task.corpus.test]
+        order = list(range(len(base)))[::-1]
+        lengths = [
+            max(MIN_FRAMES, base[i].shape[0] // (2 if i % 2 else 1))
+            for i in order
+        ]
+        feats = [base[i][:n] for i, n in zip(order, lengths)]
+        result = cont.decode_stream(feats, max_lanes=max_lanes)
+        for (i, n), lane in zip(zip(order, lengths), result):
+            _assert_lane_equal(_sequential(rec, base, cache, i, n), lane)
+
+    def test_compact_shrinks_tree_bank_state(self, tree_trio, task):
+        """Direct TreeLaneBank lifecycle: retire -> compact -> decode on."""
+        rec, _, cont, _ = tree_trio
+        feats = [
+            np.asarray(task.corpus.test[0].features, dtype=np.float64),
+            np.asarray(task.corpus.test[1].features[:6], dtype=np.float64),
+        ]
+        bank = cont.make_bank(2)
+        assert isinstance(bank, TreeLaneBank)
+        bank.admit(0, 0, feats[0])
+        bank.admit(1, 1, feats[1])
+        results = {}
+        while bank.any_active:
+            for lane in bank.step():
+                utt = int(bank.lane_utt[lane])
+                results[utt] = bank.retire(lane)
+            if bank.compact() == 1:
+                assert bank.delta.shape[0] == 1
+                assert bank.active.shape == (1,)
+                assert len(bank.lattices) == 1
+        assert bank.num_lanes == 1
+        for i, f in enumerate(feats):
+            _assert_lane_equal(rec.decode(f), results[i])
+
+
+class TestTreeCancellation:
+    """Mid-decode ``LaneBank.cancel`` must not perturb tree survivors."""
+
+    def _drive_with_cancellation(self, batch, feats, victim_feats, reseed=None):
+        batch._reset_accounting()
+        bank = batch.make_bank(len(feats) + 1)
+        assert isinstance(bank, TreeLaneBank)
+        for lane, f in enumerate(feats):
+            bank.admit(lane, lane, batch._validate_features(lane, f))
+        victim_lane = len(feats)
+        bank.admit(
+            victim_lane, 900, batch._validate_features(victim_lane, victim_feats)
+        )
+        cancel_at = min(f.shape[0] for f in feats) // 2  # everyone mid-decode
+        assert 0 < cancel_at < victim_feats.shape[0]
+        results = {}
+        cancelled = False
+        while bank.any_active:
+            if not cancelled and bank.steps == cancel_at:
+                frames_done = bank.cancel(victim_lane)
+                assert frames_done == cancel_at
+                cancelled = True
+                if reseed is not None:
+                    bank.admit(
+                        victim_lane,
+                        901,
+                        batch._validate_features(victim_lane, reseed),
+                    )
+            for lane in bank.step():
+                utt = int(bank.lane_utt[lane])
+                results[utt] = bank.retire(lane)
+        assert cancelled
+        return results
+
+    def test_cancelled_lane_does_not_perturb_survivors(self, tree_trio, task):
+        rec, batch, _, cache = tree_trio
+        base = [u.features for u in task.corpus.test]
+        feats = base[:4]
+        results = self._drive_with_cancellation(batch, feats, feats[0])
+        assert 900 not in results  # the victim never produced a result
+        for utt in range(4):
+            seq = _sequential(rec, base, cache, utt, feats[utt].shape[0])
+            _assert_lane_equal(seq, results[utt])
+
+    def test_reseeded_lane_after_cancel_matches_sequential(self, tree_trio, task):
+        rec, batch, _, cache = tree_trio
+        base = [u.features for u in task.corpus.test]
+        feats = base[:4]
+        results = self._drive_with_cancellation(
+            batch, feats, feats[0], reseed=feats[1]
+        )
+        for utt in range(4):
+            seq = _sequential(rec, base, cache, utt, feats[utt].shape[0])
+            _assert_lane_equal(seq, results[utt])
+        # The reseeded lane re-used feats[1], so it must match too.
+        seq = _sequential(rec, base, cache, 1, feats[1].shape[0])
+        _assert_lane_equal(seq, results[901])
+
+
+class TestTreeBlasParity:
+    """Matmul-form scoring over the tree: words exact, scores in tol."""
+
+    @pytest.fixture(scope="class")
+    def blas_pair(self, task):
+        rec = make_tree_recognizer(task, "blas")
+        seq = [rec.decode(u.features) for u in task.corpus.test]
+        return rec, seq
+
+    def _assert_blas_lane(self, seq, lane):
+        assert lane.words == seq.words
+        assert abs(lane.score - seq.score) <= BLAS_SCORE_ATOL
+        assert lane.frames == seq.frames
+
+    def test_batch_blas_matches_sequential(self, blas_pair, task):
+        rec, seq = blas_pair
+        feats = [u.features for u in task.corpus.test]
+        result = rec.as_batch().decode_batch(feats)
+        for s, lane in zip(seq, result):
+            self._assert_blas_lane(s, lane)
+
+    def test_continuous_blas_matches_sequential(self, blas_pair, task):
+        rec, seq = blas_pair
+        feats = [u.features for u in task.corpus.test]
+        result = rec.as_continuous().decode_stream(feats, max_lanes=3)
+        assert max(result.admit_steps) > 0  # refill actually happened
+        for s, lane in zip(seq, result):
+            self._assert_blas_lane(s, lane)
+
+
+class TestNetworkAxis:
+    """The ``network=`` selection axis next to ``mode=``."""
+
+    def test_unknown_network_names_supported_networks(self, task):
+        for factory in (
+            Recognizer.create,
+            BatchRecognizer.create,
+            ContinuousBatchRecognizer.create,
+        ):
+            with pytest.raises(ValueError) as err:
+                factory(
+                    task.dictionary, task.pool, task.lm, task.tying,
+                    network="trellis",
+                )
+            message = str(err.value)
+            assert "trellis" in message
+            for network in ("'flat'", "'tree'"):
+                assert network in message
+
+    def test_supported_networks_exposed(self):
+        for cls in (Recognizer, BatchRecognizer, ContinuousBatchRecognizer):
+            assert cls.SUPPORTED_NETWORKS == ("flat", "tree")
+
+    def test_flat_default_unchanged(self, task):
+        rec = Recognizer.create(task.dictionary, task.pool, task.lm, task.tying)
+        assert rec.network_kind == "flat"
+        assert isinstance(rec.as_batch().make_bank(1), LaneBank)
+
+    def test_twins_carry_the_network_axis(self, task):
+        rec = make_tree_recognizer(task, "reference")
+        assert rec.network_kind == "tree"
+        assert rec.as_batch().network_kind == "tree"
+        assert rec.as_continuous().network_kind == "tree"
+        assert isinstance(rec.word_stage, TreeWordDecodeStage)
+
+
+class TestTreeStageValidation:
+    """Typed validation of TreeWordDecodeStage construction args."""
+
+    @pytest.fixture(scope="class")
+    def parts(self, task):
+        rec = make_tree_recognizer(task, "reference")
+        stage = rec.word_stage
+        return stage.network, stage.lm, stage.phone_decode
+
+    def test_network_type_checked(self, task, parts):
+        _, lm, phone = parts
+        with pytest.raises(TypeError) as err:
+            TreeWordDecodeStage(network=task.dictionary, lm=lm, phone_decode=phone)
+        assert "TreeLexiconNetwork" in str(err.value)
+
+    def test_config_type_checked(self, parts):
+        net, lm, phone = parts
+        with pytest.raises(TypeError) as err:
+            TreeWordDecodeStage(
+                network=net, lm=lm, phone_decode=phone, config={"beam": 100.0}
+            )
+        assert "DecoderConfig" in str(err.value)
+
+    def test_beam_type_checked(self, parts):
+        net, lm, phone = parts
+        cfg = DecoderConfig(beam=100.0)  # a raw float, not BeamConfig
+        with pytest.raises(TypeError) as err:
+            TreeWordDecodeStage(network=net, lm=lm, phone_decode=phone, config=cfg)
+        assert "BeamConfig" in str(err.value)
+
+    def test_viterbi_unit_type_checked(self, parts):
+        net, lm, phone = parts
+        with pytest.raises(TypeError) as err:
+            TreeWordDecodeStage(
+                network=net, lm=lm, phone_decode=phone, viterbi_unit="hw"
+            )
+        assert "ViterbiUnit" in str(err.value)
+
+
+class TestContextDependentDictation:
+    """The triphone-tied dictation variant over the tree runtime.
+
+    ``expand_to_context_dependent`` gives every CD senone its CI
+    parent's parameters, so recognition is unchanged while the fast-GMM
+    CI layer finally has a real CD->CI reduction to exploit.  The
+    batched tree runtime must preserve bit-exact parity INCLUDING the
+    four-layer work counters.
+    """
+
+    @pytest.fixture(scope="class")
+    def cd_task(self, task):
+        return expand_to_context_dependent(task, num_senones=600)
+
+    def test_cd_tree_fast_batch_parity(self, cd_task):
+        rec = make_tree_recognizer(cd_task, "fast")
+        feats = [u.features for u in cd_task.corpus.test[:4]]
+        seq = [rec.decode(f) for f in feats]
+        result = rec.as_batch().decode_batch(feats)
+        for s, lane in zip(seq, result):
+            _assert_lane_equal(s, lane)
+        # The CI layer must be live on the CD pool (real approximation).
+        stats = seq[0].fast_stats
+        assert stats.senones_approximated > 0
+        assert stats.gaussians_evaluated < stats.gaussians_possible
+
+    def test_cd_recognition_matches_ci_parent(self, cd_task, task):
+        """Maximal tying: the CD expansion changes no recognition."""
+        cd = make_tree_recognizer(cd_task, "reference")
+        ci = make_tree_recognizer(task, "reference")
+        f = task.corpus.test[0].features
+        assert cd.decode(f).words == ci.decode(f).words
+
+    def test_dictation_cd_task_recipe(self):
+        """The first-class preset builds the CD variant end to end."""
+        small = dictation_cd_task(
+            vocabulary_size=30,
+            train_sentences=12,
+            test_sentences=2,
+            seed=31,
+            num_senones=500,
+        )
+        assert small.tying.num_senones == 500
+        rec = make_tree_recognizer(small, "fast")
+        f = small.corpus.test[0].features
+        seq = rec.decode(f)
+        lane = rec.as_batch().decode_batch([f]).results[0]
+        _assert_lane_equal(seq, lane)
+
+
+class TestTreeServing:
+    """The serving front door over a tree recognizer."""
+
+    def test_server_and_wire_report_tree_network(self, task):
+        import asyncio
+
+        from repro.serve import ServeClient, Server, WireServer
+
+        rec = make_tree_recognizer(task, "reference")
+        feats = [u.features for u in task.corpus.test[:3]]
+        baselines = [rec.decode(f) for f in feats]
+
+        async def scenario():
+            async with Server(rec, num_workers=1, max_lanes=2) as server:
+                async with WireServer(server) as wire:
+                    async with await ServeClient.connect(
+                        wire.host, wire.port
+                    ) as client:
+                        assert client.hello["network"] == "tree"
+                        for f, base in zip(feats, baselines):
+                            result = await client.decode(f)
+                            assert result.ok
+                            assert result.words == base.words
+                            assert result.score == base.score  # bit-exact
+                        snapshot = await client.metrics()
+                        assert snapshot["network"] == "tree"
+                assert server.metrics().network == "tree"
+
+        asyncio.run(scenario())

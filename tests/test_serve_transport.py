@@ -145,6 +145,7 @@ class TestWireLoopback:
                         wire.host, wire.port
                     ) as client:
                         assert client.hello["protocol"] == 1
+                        assert client.hello["network"] == "flat"
                         tickets = [
                             await client.submit(f) for f in features[:8]
                         ]
@@ -298,6 +299,7 @@ class TestWireLoopback:
                         assert snapshot["submitted"] == 3
                         assert snapshot["completed"] == 3
                         assert snapshot["scoring_mode"] == "reference"
+                        assert snapshot["network"] == "flat"
                         assert snapshot["worker_backlog"] >= 0
                         assert len(snapshot["workers"]) == 1
                         assert snapshot["latency_p95_s"] > 0.0
