@@ -28,11 +28,22 @@ Drives the async :class:`repro.serve.Server` (reference mode,
   resolution latency, server wait-p95 INCLUDING shed traffic, steals
   and the autotuned worker backlog.
 
+* **Fault sweep** (``--faults``) — a seeded chaos schedule (worker
+  SIGKILL, slow shard, mid-pipeline socket drop) over a live socket
+  with a retrying client; HARD gates on every host: all jobs resolve
+  typed, all OK, bit-identical to fault-free baselines, full plan
+  fired.  Plus a brownout A/B at 2x single-worker saturation with
+  identical seeded arrivals: the :class:`BrownoutPolicy` arm must
+  strictly improve p95 latency AND shed rate (enforced like the
+  sharding gate: >= 2 CPUs, full run) and must fully restore the
+  base scoring precision once the load drops (enforced everywhere).
+
 Results merge into the committed ``BENCH_throughput.json`` under the
-``"serving"`` and ``"serving_wire"`` keys (the rest of the file is
+``"serving"``, ``"serving_wire"`` and (with ``--faults``) the
+``"serving_faults"`` keys (the rest of the file is
 bench_throughput.py's):
 
-    python benchmarks/bench_serving.py --quick --out BENCH_throughput.json
+    python benchmarks/bench_serving.py --quick --faults --out BENCH_throughput.json
 """
 
 from __future__ import annotations
@@ -53,6 +64,10 @@ sys.path.insert(0, str(_REPO / "src"))
 from repro.decoder import Recognizer  # noqa: E402
 from repro.serve import (  # noqa: E402
     AdmissionRejected,
+    BrownoutPolicy,
+    Fault,
+    FaultPlan,
+    RetryPolicy,
     ServeClient,
     ServeStatus,
     Server,
@@ -65,6 +80,9 @@ MAX_LANES = 8
 SHARDING_GATE = 1.5
 WIRE_OVERLOAD_FACTOR = 2.0  # offered load vs single-worker saturation
 WIRE_MAX_QUEUE = 8
+CHAOS_JOBS = 24
+BROWNOUT_OVERLOAD_FACTOR = 2.0
+BROWNOUT_LANES = 4  # a deliberately small shard so 2x saturation bites
 
 
 def make_recognizer(task) -> Recognizer:
@@ -87,13 +105,13 @@ def latency_summary(results) -> dict:
 
 
 async def run_saturation(
-    recognizer, features, num_workers: int
+    recognizer, features, num_workers: int, max_lanes: int = MAX_LANES
 ) -> tuple[dict, list]:
     """Everything arrives at t=0: measures peak utterances/sec."""
     async with Server(
         recognizer,
         num_workers=num_workers,
-        max_lanes=MAX_LANES,
+        max_lanes=max_lanes,
         max_queue=len(features) + 1,
         use_processes=True,
     ) as server:
@@ -235,6 +253,275 @@ async def run_wire_overload(
     }
 
 
+def chaos_plan(seed: int) -> FaultPlan:
+    """The bench's explicit fault schedule: a slow shard, a worker
+    SIGKILL and a mid-submit socket drop, all within the first few
+    event windows so every fault is guaranteed to fire regardless of
+    how fast the host drains the pipeline."""
+    return FaultPlan(
+        [
+            Fault(
+                "dispatch", 2, "slow_shard",
+                worker=1, stall_s=0.002, stall_steps=50,
+            ),
+            Fault("dispatch", 5, "worker_kill", worker=0),
+            Fault("wire_rx", 9, "disconnect"),
+        ],
+        seed=seed,
+    )
+
+
+async def run_fault_sweep(recognizer, features, baselines, seed: int) -> dict:
+    """Seeded chaos over a live socket: CHAOS_JOBS pipelined submits
+    against a 2-shard process server while the plan kills a worker,
+    stalls the other and drops the client's connection mid-pipeline.
+
+    HARD gates (every host, including ``--quick``): every job resolves
+    to a typed status, every one of them OK, every OK bit-identical to
+    its sequential baseline, and the full plan actually fired.
+    """
+    offered = [features[i % len(features)] for i in range(CHAOS_JOBS)]
+    plan = chaos_plan(seed)
+    retry = RetryPolicy(
+        max_reconnects=4, backoff_base_s=0.01, backoff_cap_s=0.1,
+        jitter=0.5, seed=seed,
+    )
+    async with Server(
+        recognizer,
+        num_workers=2,
+        max_lanes=4,
+        max_queue=len(offered) + 2,
+        worker_backlog=2,
+        use_processes=True,
+        fault_plan=plan,
+    ) as server:
+        async with WireServer(server) as wire:
+            client = await ServeClient.connect(
+                wire.host, wire.port, client="chaos-bench",
+                retry=retry, fault_plan=plan,
+            )
+            t0 = time.perf_counter()
+            tickets = [await client.submit(f) for f in offered]
+            results = await asyncio.gather(*[t.result() for t in tickets])
+            elapsed = time.perf_counter() - t0
+            metrics = server.metrics()
+            client_counters = {
+                "retries": client.retries,
+                "reconnects": client.reconnects,
+            }
+            await client.close()
+
+    statuses: dict[str, int] = {}
+    word_identical = True
+    for i, result in enumerate(results):
+        statuses[result.status.value] = statuses.get(result.status.value, 0) + 1
+        base = baselines[i % len(baselines)]
+        if (
+            result.status is not ServeStatus.OK
+            or result.words != base.words
+            or result.score != base.score
+        ):
+            word_identical = False
+    all_ok = statuses.get("ok", 0) == len(offered)
+    faults_fired = metrics.faults_injected == len(plan.faults)
+    return {
+        "benchmark": (
+            "seeded chaos: worker kill + slow shard + socket drop "
+            "over a live socket, typed outcomes only"
+        ),
+        "seed": seed,
+        "jobs": len(offered),
+        "plan": [f"{f.site}@{f.at}:{f.kind}" for f in plan.faults],
+        "statuses": statuses,
+        "all_ok": bool(all_ok),
+        "word_identical": bool(word_identical),
+        "faults_injected": metrics.faults_injected,
+        "elapsed_s": round(elapsed, 3),
+        "client": client_counters,
+        "server": {
+            "submitted": metrics.submitted,
+            "completed": metrics.completed,
+            "errors": metrics.errors,
+            "timeouts": metrics.timeouts,
+            "retries": metrics.retries,
+            "reconnects": metrics.reconnects,
+            "steals": metrics.steals,
+            "worker_health": [w.health for w in metrics.workers],
+            "stalled_steps": sum(w.stalled_steps for w in metrics.workers),
+        },
+        "pass": bool(all_ok and word_identical and faults_fired),
+    }
+
+
+async def run_brownout(
+    recognizer,
+    features,
+    rate_utts_per_sec: float,
+    deadline_s: float,
+    brownout: BrownoutPolicy | None,
+    seed: int,
+) -> dict:
+    """One Poisson overload run, with or without a brownout policy.
+
+    The identical seed produces the identical arrival sequence for
+    both arms, so the on/off comparison isolates the policy.  After
+    the load drops the brownout arm waits for the hysteresis release
+    and records whether the serving precision was fully restored.
+    """
+    offered = features * max(4, (16 * MAX_LANES) // len(features))
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_utts_per_sec, size=len(offered))
+    rejections = 0
+    sessions = []
+    # worker_backlog=0 keeps every waiting job in the server's own
+    # bounded EDF queue — shed-able, and the queue-fullness pressure
+    # the brownout hysteresis watches — instead of parked invisibly
+    # in a worker backlog.
+    async with Server(
+        recognizer,
+        num_workers=1,
+        max_lanes=BROWNOUT_LANES,
+        max_queue=WIRE_MAX_QUEUE,
+        worker_backlog=0,
+        use_processes=True,
+        brownout=brownout,
+    ) as server:
+        t0 = time.perf_counter()
+        for gap, f in zip(gaps, offered):
+            await asyncio.sleep(gap)
+            try:
+                sessions.append(server.submit(f, deadline_s=deadline_s))
+            except AdmissionRejected:
+                rejections += 1
+        results = await asyncio.gather(*[s.result() for s in sessions])
+        elapsed = time.perf_counter() - t0
+        restoration = None
+        if brownout is not None:
+            # The load is gone; the policy must cool through its
+            # release windows and put the base precision back.
+            give_up = time.monotonic() + 10.0
+            while time.monotonic() < give_up:
+                m = server.metrics()
+                if (
+                    not m.brownout_active
+                    and m.scoring_precision == recognizer.precision
+                ):
+                    break
+                await asyncio.sleep(0.05)
+            m = server.metrics()
+            restoration = {
+                "scoring_precision": m.scoring_precision,
+                "brownout_active": m.brownout_active,
+                "transitions": m.brownout_transitions,
+                "restored": bool(
+                    not m.brownout_active
+                    and m.scoring_precision == recognizer.precision
+                    and m.brownout_transitions >= 2
+                ),
+            }
+        metrics = server.metrics()
+
+    ok = [r for r in results if r.status is ServeStatus.OK]
+    timeouts = sum(1 for r in results if r.status is ServeStatus.TIMEOUT)
+    shed = timeouts + rejections
+    latencies = [r.latency_s for r in ok]
+    return {
+        "brownout": brownout is not None,
+        "offered": len(offered),
+        "ok": len(ok),
+        "timeouts": timeouts,
+        "rejections": rejections,
+        "shed_rate": round(shed / len(offered), 4),
+        "p50_ms": round(percentile(latencies, 0.50) * 1000, 2),
+        "p95_ms": round(percentile(latencies, 0.95) * 1000, 2),
+        "brownout_transitions": metrics.brownout_transitions,
+        "restoration": restoration,
+        "elapsed_s": round(elapsed, 3),
+    }
+
+
+async def bench_faults(task, features, baselines, quick: bool) -> dict:
+    """The ``--faults`` section: seeded chaos sweep + brownout A/B."""
+    cpu_count = os.cpu_count() or 1
+
+    print("fault sweep: seeded chaos over a live socket ...")
+    chaos = await run_fault_sweep(
+        make_recognizer(task), features, baselines, seed=61
+    )
+    print(
+        f"  statuses {chaos['statuses']}  "
+        f"faults {chaos['faults_injected']}  "
+        f"retries {chaos['server']['retries']}  "
+        f"reconnects {chaos['server']['reconnects']}  "
+        f"word_identical={chaos['word_identical']}"
+    )
+
+    # Precision downshift needs blas scoring tables, so the brownout
+    # arms run a blas recognizer (word-identical to reference per the
+    # throughput bench's own gate).
+    blas = Recognizer.create(
+        task.dictionary, task.pool, task.lm, task.tying, mode="blas"
+    )
+    print("brownout A/B: measuring blas single-worker saturation ...")
+    sat, _ = await run_saturation(blas, features, 1, max_lanes=BROWNOUT_LANES)
+    rate = max(1.0, BROWNOUT_OVERLOAD_FACTOR * sat["utterances_per_sec"])
+    deadline = 1.0 if quick else 2.0
+    policy = BrownoutPolicy(
+        engage_windows=1,
+        release_windows=2,
+        downshift_precision=True,
+        precision="float32",
+        admission_factor=1.0,
+    )
+    print(f"brownout A/B @ {rate:.1f} utt/s offered (2x saturation) ...")
+    off = await run_brownout(blas, features, rate, deadline, None, seed=53)
+    on = await run_brownout(blas, features, rate, deadline, policy, seed=53)
+    for label, row in (("off", off), ("on ", on)):
+        print(
+            f"  brownout {label}: p95 {row['p95_ms']:.0f} ms  "
+            f"shed {row['shed_rate']:.1%}  "
+            f"(timeouts {row['timeouts']}, rejections {row['rejections']})"
+        )
+
+    # Strictly-improving gates need real parallelism and a quiet,
+    # full-length run — same enforcement policy as the sharding gate.
+    # Restoration is enforced EVERYWHERE: precision must come back.
+    gate_enforced = cpu_count >= 2 and not quick
+    improved = on["p95_ms"] < off["p95_ms"] and on["shed_rate"] < off["shed_rate"]
+    restored = bool(on["restoration"] and on["restoration"]["restored"])
+    return {
+        "benchmark": (
+            "fault sweep + brownout A/B at "
+            f"{BROWNOUT_OVERLOAD_FACTOR:.0f}x single-worker saturation"
+        ),
+        "task": "command_task(seed=19)",
+        "quick": quick,
+        "chaos": chaos,
+        "brownout": {
+            "policy": {
+                "engage_windows": policy.engage_windows,
+                "release_windows": policy.release_windows,
+                "precision": policy.precision,
+                "admission_factor": policy.admission_factor,
+            },
+            "offered_utts_per_sec": round(rate, 2),
+            "deadline_s": deadline,
+            "disabled": off,
+            "enabled": on,
+            "improved": bool(improved),
+            "restored": restored,
+            "cpu_count": cpu_count,
+            "gate_enforced": gate_enforced,
+            "pass": (improved and restored) if gate_enforced else None,
+        },
+        "pass": bool(
+            chaos["pass"]
+            and restored
+            and (improved or not gate_enforced)
+        ),
+    }
+
+
 async def bench(features, baselines, recognizer, quick: bool) -> dict:
     cpu_count = os.cpu_count() or 1
 
@@ -337,6 +624,11 @@ def main(argv: list[str] | None = None) -> int:
         "--out", default="BENCH_throughput.json",
         help="JSON report to merge the 'serving' section into",
     )
+    parser.add_argument(
+        "--faults", action="store_true",
+        help="also run the seeded chaos sweep + brownout A/B and merge "
+             "the 'serving_faults' section",
+    )
     args = parser.parse_args(argv)
     out_path = Path(args.out)
     out_path.parent.mkdir(parents=True, exist_ok=True)
@@ -353,6 +645,11 @@ def main(argv: list[str] | None = None) -> int:
     serving, wire = asyncio.run(
         bench(features, baselines, recognizer, args.quick)
     )
+    faults = None
+    if args.faults:
+        faults = asyncio.run(
+            bench_faults(task, features, baselines, args.quick)
+        )
 
     # Merge into the committed throughput report; never clobber the
     # rest of the file (bench_throughput.py owns the other sections).
@@ -361,8 +658,12 @@ def main(argv: list[str] | None = None) -> int:
         report = json.loads(out_path.read_text())
     report["serving"] = serving
     report["serving_wire"] = wire
+    sections = "'serving' + 'serving_wire'"
+    if faults is not None:
+        report["serving_faults"] = faults
+        sections += " + 'serving_faults'"
     out_path.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"\nwrote 'serving' + 'serving_wire' sections of {out_path}")
+    print(f"\nwrote {sections} sections of {out_path}")
 
     sat = serving["saturation"]
     print(
@@ -382,6 +683,16 @@ def main(argv: list[str] | None = None) -> int:
         and wire["no_silent_drops"]
         and wire["word_identical"]
     )
+    if faults is not None:
+        print(
+            f"fault sweep: all_ok={faults['chaos']['all_ok']} "
+            f"word_identical={faults['chaos']['word_identical']} "
+            f"faults_injected={faults['chaos']['faults_injected']}; "
+            f"brownout improved={faults['brownout']['improved']} "
+            f"restored={faults['brownout']['restored']} "
+            f"({'ENFORCED' if faults['brownout']['gate_enforced'] else 'informational'})"
+        )
+        ok = ok and faults["pass"]
     print("PASS" if ok else "BELOW TARGET")
     return 0 if ok else 1
 

@@ -45,6 +45,7 @@ from repro.runtime.batch import BatchRecognizer
 __all__ = [
     "STOP",
     "CancelJob",
+    "CrashWorker",
     "DecodeJob",
     "JobCancelled",
     "JobDone",
@@ -54,6 +55,8 @@ __all__ = [
     "LoopStats",
     "ServeLoop",
     "ServeStopped",
+    "SetPrecision",
+    "SlowShard",
     "StealJob",
 ]
 
@@ -91,6 +94,45 @@ class CancelJob:
     """Cancel a previously submitted job (queued or mid-decode)."""
 
     utt_id: int
+
+
+@dataclass(frozen=True)
+class CrashWorker:
+    """Fault injection: die mid-serve as if the shard hit a hard fault.
+
+    The loop raises from its own core, so the caller sees exactly what
+    a real crash produces — a :class:`ServeStopped` with a traceback
+    (thread workers) or a dead process (the forked transport injects
+    the crash as a SIGKILL instead, which is even less polite).
+    """
+
+    reason: str = "injected crash"
+
+
+@dataclass(frozen=True)
+class SlowShard:
+    """Fault injection: stall ``stall_s`` before each of the next
+    ``steps`` engine steps — a thermally throttled / page-faulting
+    shard that is alive but late.  Decoded output is untouched; only
+    timing degrades, which is what deadline and steal logic must
+    absorb."""
+
+    stall_s: float
+    steps: int
+
+
+@dataclass(frozen=True)
+class SetPrecision:
+    """Brownout control: swap the blas scoring tables to ``precision``.
+
+    Only meaningful for ``mode="blas"`` recognizers (ignored
+    otherwise): the blas scorer keeps no per-lane state, so swapping it
+    between frame-synchronous steps is safe mid-decode — in-flight
+    utterances finish on the new tables.  The loop reports the active
+    precision in every subsequent :class:`LoopStats`.
+    """
+
+    precision: str
 
 
 @dataclass(frozen=True)
@@ -169,6 +211,11 @@ class LoopStats:
     timeouts: int
     cancelled: int
     failed: int
+    # Trailing defaults: Server constructs LoopStats positionally with
+    # the original seven fields when synthesizing stats for a dead
+    # worker, so new fields must default.
+    precision: str | None = None
+    stalled_steps: int = 0
 
     @property
     def utilization(self) -> float:
@@ -223,6 +270,29 @@ class ServeLoop:
         self.clock = clock
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _apply_precision(rec: BatchRecognizer, bank, precision: str) -> bool:
+        """Swap the blas scoring tables in place; True if changed.
+
+        Safe mid-serve because :class:`BatchBlasScorer` is stateless
+        per lane; the bank holds a direct scorer reference, so BOTH
+        ``rec.scorer`` and ``bank.scorer`` must be updated.  Non-blas
+        recognizers have no precision axis and ignore the command.
+        """
+        if rec.mode != "blas" or precision == rec.precision:
+            return False
+        old = rec.scorer
+        new = type(old)(
+            old.pool,
+            min_pairs=old.min_pairs,
+            min_density=old.min_density,
+            precision=precision,
+        )
+        rec.scorer = new
+        rec.precision = precision
+        bank.scorer = new
+        return True
+
     def run(self, inbox: "queue_mod.Queue", emit: Callable[[object], None]) -> LoopStats:
         """Serve until :data:`STOP` arrives and all admitted work drains.
 
@@ -242,6 +312,9 @@ class ServeLoop:
         lane_deadline: dict[int, float | None] = {}
         stopping = False
         completed = timeouts = cancelled = failed = 0
+        stall_s = 0.0
+        stall_steps = 0
+        stalled_steps = 0
 
         def stats() -> LoopStats:
             return LoopStats(
@@ -252,6 +325,8 @@ class ServeLoop:
                 timeouts=timeouts,
                 cancelled=cancelled,
                 failed=failed,
+                precision=getattr(rec, "precision", None),
+                stalled_steps=stalled_steps,
             )
 
         error: str | None = None
@@ -276,6 +351,14 @@ class ServeLoop:
                         cancels.add(msg.utt_id)
                     elif isinstance(msg, StealJob):
                         steals.add(msg.utt_id)
+                    elif isinstance(msg, CrashWorker):
+                        raise RuntimeError(msg.reason)
+                    elif isinstance(msg, SlowShard):
+                        stall_s = msg.stall_s
+                        stall_steps = msg.steps
+                    elif isinstance(msg, SetPrecision):
+                        if self._apply_precision(rec, bank, msg.precision):
+                            emit(stats())
                     else:
                         waiting.append(msg)
                 now = self.clock()
@@ -350,7 +433,13 @@ class ServeLoop:
                         break
                     continue
 
-                # 6. One frame-synchronous step; retire finishers.
+                # 6. One frame-synchronous step; retire finishers.  An
+                #    injected slow-shard fault stalls before the step —
+                #    the shard stays alive and correct, just late.
+                if stall_steps > 0:
+                    stall_steps -= 1
+                    stalled_steps += 1
+                    time.sleep(stall_s)
                 for lane in bank.step():
                     utt = int(bank.lane_utt[lane])
                     lane_deadline.pop(lane, None)

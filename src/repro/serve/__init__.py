@@ -23,14 +23,30 @@ depth from its own miss/occupancy metrics.  :class:`WireServer` /
 length-prefixed binary frame protocol (see
 :mod:`repro.serve.transport`) so other processes and hosts get the
 same typed rejections, deadlines and bit-identical decodes.
+
+Resilience is first-class: a seeded :class:`FaultPlan`
+(:mod:`repro.serve.faults`) injects worker kills, slow shards and wire
+failures deterministically so chaos runs are ordinary CI tests; the
+client reconnects with capped, jittered backoff per
+:class:`RetryPolicy` and retries idempotent submits exactly once
+(typed :class:`ConnectionLost` / :class:`RetriesExhausted` otherwise);
+and a declared :class:`BrownoutPolicy` lets the server degrade
+gracefully under sustained pressure — blas precision downshift and/or
+tightened admission, with hysteresis and full restoration — instead of
+shedding blindly.
 """
 
 from repro.serve.client import ServeClient, WireResult, WireStream, WireTicket
+from repro.serve.faults import FAULT_KINDS, FAULT_SITES, Fault, FaultPlan
 from repro.serve.metrics import ServerMetrics, WorkerMetrics, percentile
 from repro.serve.server import Server, Session, StreamSession
 from repro.serve.transport import WireServer
 from repro.serve.types import (
     AdmissionRejected,
+    BrownoutPolicy,
+    ConnectionLost,
+    RetriesExhausted,
+    RetryPolicy,
     ServeResult,
     ServeStatus,
     ServerClosed,
@@ -38,6 +54,14 @@ from repro.serve.types import (
 
 __all__ = [
     "AdmissionRejected",
+    "BrownoutPolicy",
+    "ConnectionLost",
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "Fault",
+    "FaultPlan",
+    "RetriesExhausted",
+    "RetryPolicy",
     "ServeClient",
     "Server",
     "ServerClosed",

@@ -21,12 +21,28 @@ cancellations and server errors arrive as :class:`WireResult` values
 with the corresponding :class:`~repro.serve.types.ServeStatus` — a
 submitted utterance ALWAYS resolves; silence is a protocol bug, not a
 shedding mechanism.
+
+Resilience (opt-in via ``connect(..., retry=RetryPolicy())``): on a
+connection loss the client reconnects with capped exponential backoff
+plus seeded jitter.  What survives the blip is exactly the idempotent
+work: every ``submit`` carries a client-unique idempotency ``key`` the
+server deduplicates, so an in-flight submit is replayed AT MOST ONCE
+after reconnecting — the server re-attaches it to the live session or
+answers from its parked result, never decoding twice.  Everything
+non-idempotent fails fast and typed instead of hanging: open streams
+(their server-side state died with the connection) raise
+:class:`~repro.serve.types.ConnectionLost` from ``send_frames`` /
+``finish`` / pending results, metrics polls fail likewise, and a
+submit that burned its one replay fails with
+:class:`~repro.serve.types.RetriesExhausted`.  Without a retry
+policy the old fail-everything-on-loss behavior is unchanged.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import uuid
 from dataclasses import dataclass
 from typing import Callable
 
@@ -34,11 +50,18 @@ import numpy as np
 
 from repro.serve.transport import (
     PROTOCOL_VERSION,
+    FrameError,
     encode_array,
     read_frame,
     write_frame,
 )
-from repro.serve.types import AdmissionRejected, ServeStatus
+from repro.serve.types import (
+    AdmissionRejected,
+    ConnectionLost,
+    RetriesExhausted,
+    RetryPolicy,
+    ServeStatus,
+)
 
 __all__ = ["ServeClient", "WireResult", "WireStream", "WireTicket"]
 
@@ -114,7 +137,15 @@ class WireTicket:
 
 
 class WireStream:
-    """A push-style streaming session over the wire."""
+    """A push-style streaming session over the wire.
+
+    Streams are NOT idempotent: the server-side session accumulates
+    state per frame, so if the connection dies mid-stream there is
+    nothing safe to replay.  Every method raises the connection's
+    typed :class:`~repro.serve.types.ConnectionLost` once the client
+    marks this stream dead — surfacing the failure instead of letting
+    a ``result()`` hang on a session the server already discarded.
+    """
 
     def __init__(self, client: "ServeClient", req_id: int) -> None:
         self._client = client
@@ -122,11 +153,17 @@ class WireStream:
         self.endpointed = False
         self._ticket: WireTicket | None = None
 
+    def _check_alive(self) -> None:
+        exc = self._client._dead_streams.get(self.req_id)
+        if exc is not None:
+            raise exc
+
     async def send_frames(self, frames: np.ndarray) -> bool:
         """Push one frame or a block; True once the endpointer fired
         (the session is then already finished server-side)."""
         if self._ticket is not None:
             raise RuntimeError("stream already finished")
+        self._check_alive()
         meta, payload = encode_array(np.atleast_2d(np.asarray(frames)))
         header = {"op": "frames", "id": self.req_id, **meta}
         await self._client._send(header, payload)
@@ -135,6 +172,7 @@ class WireStream:
         if self.req_id in self._client._endpointed:
             self._client._endpointed.discard(self.req_id)
             self.endpointed = True
+            self._client._open_streams.discard(self.req_id)
             self._ticket = await self._client._claim_ticket(self.req_id)
         return self.endpointed
 
@@ -142,6 +180,7 @@ class WireStream:
         """Submit the streamed utterance; raises
         :class:`AdmissionRejected` if the door sheds it."""
         if self._ticket is None:
+            self._check_alive()
             client = self._client
             admission = client._admissions.get(self.req_id)
             if self.req_id in client._endpointed or (
@@ -153,6 +192,7 @@ class WireStream:
                 self.endpointed = True
             else:
                 await client._send({"op": "finish", "id": self.req_id})
+            client._open_streams.discard(self.req_id)
             self._ticket = await client._claim_ticket(self.req_id)
         return self._ticket
 
@@ -161,7 +201,16 @@ class WireStream:
 
 
 class ServeClient:
-    """One connection to a :class:`~repro.serve.transport.WireServer`."""
+    """One connection to a :class:`~repro.serve.transport.WireServer`.
+
+    With a :class:`~repro.serve.types.RetryPolicy` the "one
+    connection" is logical: the client transparently re-dials after a
+    loss and replays idempotent submits exactly once (see the module
+    docstring for what is and is not retried).  ``fault_plan`` arms
+    the ``client_tx`` injection site — the connection is aborted right
+    after scheduled outgoing frames, which is how chaos tests exercise
+    the reconnect path deterministically.
+    """
 
     def __init__(self) -> None:
         self._reader: asyncio.StreamReader | None = None
@@ -174,15 +223,50 @@ class ServeClient:
         self._partials: dict[int, Callable] = {}
         self._endpointed: set[int] = set()
         self._metrics_waiters: dict[int, asyncio.Future] = {}
+        self._open_streams: set[int] = set()  # req ids of unfinished streams
+        self._dead_streams: dict[int, Exception] = {}
         self.hello: dict = {}
+        # Resilience state.
+        self._retry: RetryPolicy | None = None
+        self._rng = None
+        self._fault_plan = None
+        self._host: str | None = None
+        self._port: int | None = None
+        self._client_name: str | None = None
+        self._key_prefix = uuid.uuid4().hex  # idempotency-key namespace
+        self._closed = False
+        self._conn_exc: Exception | None = None  # terminal connection loss
+        # Idempotent submits in flight: req id -> (header, payload),
+        # replayable at most once after a reconnect.
+        self._pending_submits: dict[int, tuple[dict, bytes]] = {}
+        self._replayed: set[int] = set()
+        self.retries = 0  # submits replayed after a reconnect
+        self.reconnects = 0  # successful re-dials
 
     # ------------------------------------------------------------------
     @classmethod
     async def connect(
-        cls, host: str, port: int, client: str | None = None
+        cls,
+        host: str,
+        port: int,
+        client: str | None = None,
+        *,
+        retry: RetryPolicy | None = None,
+        fault_plan=None,
     ) -> "ServeClient":
         self = cls()
         self._loop = asyncio.get_running_loop()
+        self._retry = retry
+        self._fault_plan = fault_plan
+        self._host, self._port = host, port
+        if retry is not None:
+            self._rng = np.random.default_rng(retry.seed)
+            # Reconnects must present a stable identity or the server
+            # sees a parade of strangers: fair-share state and the
+            # reconnect counter both key on the hello name.
+            if client is None:
+                client = f"client-{self._key_prefix[:12]}"
+        self._client_name = client
         self._reader, self._writer = await asyncio.open_connection(host, port)
         self._reader_task = self._loop.create_task(self._read_loop())
         hello_future = self._loop.create_future()
@@ -197,6 +281,7 @@ class ServeClient:
         return self
 
     async def close(self) -> None:
+        self._closed = True
         if self._reader_task is not None:
             self._reader_task.cancel()
         if self._writer is not None:
@@ -217,7 +302,14 @@ class ServeClient:
         self, features: np.ndarray, *, deadline_s: float | None = None
     ) -> WireTicket:
         """Submit one utterance; raises :class:`AdmissionRejected` on a
-        typed shed, returns a :class:`WireTicket` once accepted."""
+        typed shed, returns a :class:`WireTicket` once accepted.
+
+        With a retry policy the submit is idempotent: its frame
+        carries a server-deduplicated key and is buffered until its
+        result arrives, so one connection loss is absorbed (replayed
+        once after reconnect) instead of surfaced.
+        """
+        self._check_usable()
         req_id = next(self._ids)
         self._register(req_id)
         meta, payload = encode_array(
@@ -226,7 +318,18 @@ class ServeClient:
         header = {"op": "submit", "id": req_id, **meta}
         if deadline_s is not None:
             header["deadline_s"] = deadline_s
-        await self._send(header, payload)
+        if self._retry is not None:
+            header["key"] = f"{self._key_prefix}:{req_id}"
+            self._pending_submits[req_id] = (header, payload)
+        try:
+            await self._send(header, payload)
+        except (ConnectionError, OSError):
+            # The socket died under the send.  An idempotent submit is
+            # already buffered — the reader task's reconnect will
+            # replay it and the admission future below resolves as
+            # usual.  Anything else fails typed.
+            if req_id not in self._pending_submits:
+                raise ConnectionLost("connection lost during submit") from None
         return await self._claim_ticket(req_id)
 
     async def decode(
@@ -239,7 +342,12 @@ class ServeClient:
     async def submit_audio(
         self, waveform: np.ndarray, *, deadline_s: float | None = None
     ) -> WireTicket:
-        """Ship a raw waveform; the server featurizes it off-loop."""
+        """Ship a raw waveform; the server featurizes it off-loop.
+
+        Not retried on connection loss (no idempotency key yet):
+        resolves or raises typed like any non-retryable op.
+        """
+        self._check_usable()
         req_id = next(self._ids)
         self._register(req_id)
         meta, payload = encode_array(np.asarray(waveform, dtype=np.float64))
@@ -260,8 +368,10 @@ class ServeClient:
     ) -> WireStream:
         """Open a streaming session (frames pushed with
         :meth:`WireStream.send_frames`)."""
+        self._check_usable()
         req_id = next(self._ids)
         self._register(req_id)
+        self._open_streams.add(req_id)
         header = {
             "op": "open",
             "id": req_id,
@@ -279,7 +389,12 @@ class ServeClient:
         return WireStream(self, req_id)
 
     async def metrics(self) -> dict:
-        """A :class:`~repro.serve.metrics.ServerMetrics` snapshot."""
+        """A :class:`~repro.serve.metrics.ServerMetrics` snapshot.
+
+        Not retried on connection loss (a stale snapshot is worse
+        than a typed failure): raises :class:`ConnectionLost`.
+        """
+        self._check_usable()
         req_id = next(self._ids)
         future = self._loop.create_future()
         self._metrics_waiters[req_id] = future
@@ -287,11 +402,26 @@ class ServeClient:
         return await future
 
     # ------------------------------------------------------------------
+    def _check_usable(self) -> None:
+        """Refuse new work once the connection is terminally gone."""
+        if self._conn_exc is not None:
+            raise self._conn_exc
+        if self._closed:
+            raise ConnectionLost("client is closed")
+
     async def _send(self, header: dict, payload: bytes = b"") -> None:
         if self._writer is None:
             raise WireProtocolError("client is not connected")
         write_frame(self._writer, header, payload)
         await self._writer.drain()
+        if self._fault_plan is not None:
+            for fault in self._fault_plan.fire("client_tx"):
+                if fault.kind == "disconnect":
+                    # The frame was flushed; the socket dies before any
+                    # reply — the client cannot know whether the server
+                    # acted on it.  Exactly the ambiguity idempotent
+                    # retry exists to resolve.
+                    self._writer.transport.abort()
 
     def _register(self, req_id: int) -> WireTicket:
         """Create the ticket + admission future for a request.
@@ -326,29 +456,142 @@ class ServeClient:
             self._admissions.pop(req_id, None)
         return ticket
 
+    def _fail_nonretryable(self, exc: Exception) -> None:
+        """Fail every op the reconnect machinery will NOT carry over.
+
+        Open streams are swept here too (they used to hang: only
+        registered tickets were failed, but a stream that never called
+        ``finish()`` still holds server state that died with the
+        connection) — their tickets, admissions and any later
+        ``send_frames``/``finish`` all surface the typed error.
+        Idempotent pending submits are spared: their replay resolves
+        them.
+        """
+        for req_id in list(self._open_streams):
+            self._dead_streams[req_id] = exc
+            self._partials.pop(req_id, None)
+            self._endpointed.discard(req_id)
+        self._open_streams.clear()
+        for req_id, future in list(self._admissions.items()):
+            if req_id not in self._pending_submits and not future.done():
+                future.set_exception(exc)
+        for req_id, ticket in list(self._tickets.items()):
+            if req_id not in self._pending_submits and not ticket.future.done():
+                ticket.future.set_exception(exc)
+        for future in self._metrics_waiters.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._metrics_waiters.clear()
+        if getattr(self, "_hello_future", None) and not self._hello_future.done():
+            self._hello_future.set_exception(exc)
+
     def _fail_all(self, exc: Exception) -> None:
-        for future in self._admissions.values():
+        """Terminal: no reconnect is coming; everything fails typed."""
+        self._conn_exc = exc if not self._closed else None
+        self._fail_nonretryable(exc)
+        for req_id, future in list(self._admissions.items()):
             if not future.done():
                 future.set_exception(exc)
         for ticket in self._tickets.values():
             if not ticket.future.done():
                 ticket.future.set_exception(exc)
-        for future in self._metrics_waiters.values():
-            if not future.done():
-                future.set_exception(exc)
-        if getattr(self, "_hello_future", None) and not self._hello_future.done():
-            self._hello_future.set_exception(exc)
+        self._pending_submits.clear()
 
     async def _read_loop(self) -> None:
         try:
             while True:
-                header, _payload = await read_frame(self._reader)
+                try:
+                    header, _payload = await read_frame(self._reader)
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                    OSError,
+                    FrameError,
+                ):
+                    if self._closed or self._retry is None:
+                        self._fail_all(
+                            ConnectionLost("server closed the connection")
+                        )
+                        return
+                    if await self._reconnect():
+                        continue
+                    self._fail_all(
+                        RetriesExhausted(
+                            f"gave up after {self._retry.max_reconnects} "
+                            "reconnect attempts"
+                        )
+                    )
+                    return
                 self._on_event(header)
-        except (asyncio.IncompleteReadError, ConnectionError, OSError):
-            self._fail_all(ConnectionError("server closed the connection"))
         except asyncio.CancelledError:
-            self._fail_all(ConnectionError("client closed"))
+            self._fail_all(ConnectionLost("client closed"))
             raise
+
+    async def _reconnect(self) -> bool:
+        """Re-dial with capped, jittered backoff; replay what is safe.
+
+        Runs INSIDE the reader task, so the fresh hello frame is read
+        inline here (awaiting a future the reader resolves would
+        deadlock the reader against itself).
+        """
+        # Non-idempotent work dies now, typed — not after N backoffs.
+        self._fail_nonretryable(
+            ConnectionLost("connection lost; idempotent submits retrying")
+        )
+        if self._writer is not None:
+            self._writer.close()
+        for attempt in range(self._retry.max_reconnects):
+            if self._closed:
+                return False
+            await asyncio.sleep(self._retry.backoff_s(attempt, self._rng))
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self._host, self._port
+                )
+                write_frame(
+                    writer, {"op": "hello", "client": self._client_name}
+                )
+                await writer.drain()
+                hello, _ = await read_frame(reader)
+            except (ConnectionError, OSError, asyncio.IncompleteReadError, FrameError):
+                continue
+            if hello.get("event") != "hello":
+                continue
+            self._reader, self._writer = reader, writer
+            self.hello = hello
+            self.reconnects += 1
+            await self._replay_pending()
+            return True
+        return False
+
+    async def _replay_pending(self) -> None:
+        """Re-send idempotent submits exactly once each.
+
+        A submit that already spent its replay on a previous
+        reconnect fails with :class:`RetriesExhausted` — it may have
+        executed server-side, so a second blind replay is the
+        caller's call to make, not ours.
+        """
+        for req_id in sorted(self._pending_submits):
+            header, payload = self._pending_submits[req_id]
+            if req_id in self._replayed:
+                exc = RetriesExhausted(
+                    f"submit {req_id} already replayed once"
+                )
+                self._pending_submits.pop(req_id, None)
+                admission = self._admissions.get(req_id)
+                if admission is not None and not admission.done():
+                    admission.set_exception(exc)
+                ticket = self._tickets.get(req_id)
+                if ticket is not None and not ticket.future.done():
+                    ticket.future.set_exception(exc)
+                continue
+            self._replayed.add(req_id)
+            self.retries += 1
+            try:
+                await self._send(header, payload)
+            except (ConnectionError, OSError):
+                return  # this connection died too; the loop re-enters
 
     def _on_event(self, event: dict) -> None:
         kind = event.get("event")
@@ -377,6 +620,8 @@ class ServeClient:
             if ticket is not None and not ticket.future.done():
                 ticket.future.cancel()
             self._partials.pop(req_id, None)
+            self._pending_submits.pop(req_id, None)
+            self._replayed.discard(req_id)
         elif kind == "result":
             # The ticket stays registered until its holder consumes it
             # (WireTicket.result) — popping here would strand a stream
@@ -385,6 +630,8 @@ class ServeClient:
             if ticket is not None and not ticket.future.done():
                 ticket.future.set_result(WireResult.from_event(event))
             self._partials.pop(req_id, None)
+            self._pending_submits.pop(req_id, None)
+            self._replayed.discard(req_id)
         elif kind == "partial":
             callback = self._partials.get(req_id)
             if callback is not None:
@@ -397,6 +644,8 @@ class ServeClient:
                 future.set_result(event.get("metrics", {}))
         elif kind == "error":
             exc = WireProtocolError(event.get("error", "unknown error"))
+            self._pending_submits.pop(req_id, None)
+            self._replayed.discard(req_id)
             admission = self._admissions.get(req_id)
             if admission is not None and not admission.done():
                 admission.set_exception(exc)

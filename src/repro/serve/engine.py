@@ -29,7 +29,16 @@ import threading
 from typing import Callable
 
 from repro.runtime.batch import BatchRecognizer
-from repro.runtime.serving import STOP, CancelJob, DecodeJob, ServeLoop, StealJob
+from repro.runtime.serving import (
+    STOP,
+    CancelJob,
+    CrashWorker,
+    DecodeJob,
+    ServeLoop,
+    SetPrecision,
+    SlowShard,
+    StealJob,
+)
 
 __all__ = [
     "ProcessEngineWorker",
@@ -72,6 +81,16 @@ class ThreadEngineWorker:
 
     def steal(self, utt_id: int) -> None:
         self._inbox.put(StealJob(utt_id))
+
+    def set_precision(self, precision: str) -> None:
+        self._inbox.put(SetPrecision(precision))
+
+    def slow(self, stall_s: float, steps: int) -> None:
+        self._inbox.put(SlowShard(stall_s, steps))
+
+    def inject_crash(self) -> None:
+        """Fault injection: the loop raises and dies with ServeStopped."""
+        self._inbox.put(CrashWorker())
 
     def request_stop(self) -> None:
         self._inbox.put(STOP)
@@ -139,6 +158,19 @@ class ProcessEngineWorker:
 
     def steal(self, utt_id: int) -> None:
         self._inbox.put(StealJob(utt_id))
+
+    def set_precision(self, precision: str) -> None:
+        self._inbox.put(SetPrecision(precision))
+
+    def slow(self, stall_s: float, steps: int) -> None:
+        self._inbox.put(SlowShard(stall_s, steps))
+
+    def inject_crash(self) -> None:
+        """Fault injection: SIGKILL the shard — no goodbye event, the
+        server must notice through liveness polling exactly as it
+        would for a real hardware death."""
+        if self._proc.is_alive():
+            self._proc.kill()
 
     def request_stop(self) -> None:
         self._inbox.put(STOP)

@@ -1,0 +1,243 @@
+"""Deterministic fault injection for the serving stack.
+
+Chaos testing only earns its keep when a failing run can be replayed:
+a fault schedule derived from wall-clock timers or an unseeded RNG
+turns every red CI run into an unreproducible shrug.  This module
+makes faults REGULAR TEST INPUTS instead — a :class:`FaultPlan` is a
+list of :class:`Fault` records, each pinned to the Nth occurrence of a
+named injection *site*, and the whole plan can be generated from one
+RNG seed (:meth:`FaultPlan.seeded`).  Sites count events, never
+seconds, so the same plan against the same request sequence injects
+the same faults in the same places, run after run.
+
+Injection sites (the component that owns each site calls
+:meth:`FaultPlan.fire` once per event and applies whatever comes
+back):
+
+==============  ========================================================
+``dispatch``    :class:`~repro.serve.server.Server`, once per job
+                handed to a worker.  Kinds: ``worker_kill`` (SIGKILL a
+                forked shard / crash a thread worker's loop),
+                ``slow_shard`` (the target worker sleeps ``stall_s``
+                before each of its next ``stall_steps`` engine steps).
+``wire_tx``     :class:`~repro.serve.transport.WireServer`, once per
+                outgoing frame on any connection.  Kinds: ``delay``
+                (sleep ``delay_s`` before the write), ``truncate``
+                (write a partial frame, then cut the connection),
+                ``disconnect`` (cut the connection instead of writing).
+``wire_rx``     ``WireServer``, once per incoming frame.  Kind:
+                ``disconnect`` (cut the connection after reading the
+                frame, before handling it — the request is lost, which
+                is exactly what idempotent client retry must survive).
+``client_tx``   :class:`~repro.serve.client.ServeClient`, once per
+                frame it sends.  Kind: ``disconnect`` (abort the
+                client's transport right after the write — the socket
+                dies under an in-flight request and the client's
+                reconnect/backoff/retry machinery takes over).
+==============  ========================================================
+
+Every fault consumed by a component is recorded in
+:attr:`FaultPlan.injected` (surfaced as ``faults_injected`` in
+:meth:`Server.metrics`), so a chaos test can assert the plan actually
+fired rather than silently passing on a schedule that never matched.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Fault", "FaultPlan", "FAULT_SITES", "FAULT_KINDS"]
+
+FAULT_SITES = ("dispatch", "wire_tx", "wire_rx", "client_tx")
+
+#: Kinds legal at each site (validated at plan construction, so a
+#: typo'd chaos schedule fails loudly instead of never firing).
+FAULT_KINDS = {
+    "dispatch": ("worker_kill", "slow_shard"),
+    "wire_tx": ("delay", "truncate", "disconnect"),
+    "wire_rx": ("disconnect",),
+    "client_tx": ("disconnect",),
+}
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault: fire at the ``at``-th event of ``site``.
+
+    ``at`` is 1-based (``at=1`` fires on the first event).  ``worker``
+    targets a shard for dispatch-site kinds; ``delay_s`` /
+    ``stall_s`` / ``stall_steps`` parameterize the slow kinds.
+    """
+
+    site: str
+    at: int
+    kind: str
+    worker: int | None = None
+    delay_s: float = 0.0
+    stall_s: float = 0.0
+    stall_steps: int = 0
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            sites = ", ".join(repr(s) for s in FAULT_SITES)
+            raise ValueError(f"unknown fault site {self.site!r}; sites: {sites}")
+        if self.kind not in FAULT_KINDS[self.site]:
+            kinds = ", ".join(repr(k) for k in FAULT_KINDS[self.site])
+            raise ValueError(
+                f"fault kind {self.kind!r} is not valid at site "
+                f"{self.site!r}; valid kinds: {kinds}"
+            )
+        if self.at < 1:
+            raise ValueError(f"fault 'at' is 1-based, got {self.at}")
+        if self.kind == "worker_kill" or self.kind == "slow_shard":
+            if self.worker is None:
+                raise ValueError(f"{self.kind} fault needs a target worker")
+
+
+class FaultPlan:
+    """A deterministic schedule of faults over named injection sites.
+
+    The plan holds one monotonically increasing counter per site;
+    :meth:`fire` advances the site's counter and returns every fault
+    scheduled at exactly that count.  No clocks, no randomness at fire
+    time — determinism lives entirely in the schedule, which either
+    came from an explicit fault list or from :meth:`seeded` (same
+    seed, same schedule).
+
+    Thread-safe: the server's event loop, worker threads and a client
+    in another task may all fire sites concurrently.
+    """
+
+    def __init__(self, faults: list[Fault] | tuple[Fault, ...] = (), seed: int | None = None):
+        self.faults = tuple(faults)
+        self.seed = seed
+        self._by_site: dict[str, dict[int, list[Fault]]] = {}
+        for fault in self.faults:
+            self._by_site.setdefault(fault.site, {}).setdefault(
+                fault.at, []
+            ).append(fault)
+        self._counts: dict[str, int] = {site: 0 for site in FAULT_SITES}
+        self.injected: list[Fault] = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        num_workers: int = 2,
+        jobs: int = 24,
+        worker_kills: int = 0,
+        slow_shards: int = 0,
+        wire_disconnects: int = 0,
+        wire_delays: int = 0,
+        client_disconnects: int = 0,
+        stall_s: float = 0.02,
+        stall_steps: int = 40,
+        delay_s: float = 0.02,
+    ) -> "FaultPlan":
+        """Generate a randomized-but-reproducible chaos schedule.
+
+        All positions derive from ``numpy.random.default_rng(seed)``:
+        dispatch-site faults land uniformly in the job window, wire
+        faults in a frame window sized to the job count.  The same
+        seed and knobs always produce the identical schedule.
+        """
+        rng = np.random.default_rng(seed)
+        faults: list[Fault] = []
+        # Dispatch-site faults: positions within the job burst.  Sort
+        # so injection order is stable and kills land after the plan's
+        # slow shards have had a chance to bite.
+        lo, hi = 2, max(3, jobs)
+        for _ in range(slow_shards):
+            faults.append(
+                Fault(
+                    site="dispatch",
+                    at=int(rng.integers(lo, max(lo + 1, hi // 2))),
+                    kind="slow_shard",
+                    worker=int(rng.integers(0, num_workers)),
+                    stall_s=stall_s,
+                    stall_steps=stall_steps,
+                )
+            )
+        for _ in range(worker_kills):
+            faults.append(
+                Fault(
+                    site="dispatch",
+                    at=int(rng.integers(lo, hi)),
+                    kind="worker_kill",
+                    worker=int(rng.integers(0, num_workers)),
+                )
+            )
+        # Wire faults: the op stream is roughly hello + one frame per
+        # submit plus stream traffic; spread them over that window.
+        frame_hi = max(4, 2 * jobs)
+        for _ in range(wire_disconnects):
+            faults.append(
+                Fault(
+                    site="wire_rx",
+                    at=int(rng.integers(2, frame_hi)),
+                    kind="disconnect",
+                )
+            )
+        for _ in range(wire_delays):
+            faults.append(
+                Fault(
+                    site="wire_tx",
+                    at=int(rng.integers(2, frame_hi)),
+                    kind="delay",
+                    delay_s=delay_s,
+                )
+            )
+        for _ in range(client_disconnects):
+            faults.append(
+                Fault(
+                    site="client_tx",
+                    at=int(rng.integers(2, frame_hi)),
+                    kind="disconnect",
+                )
+            )
+        return cls(faults, seed=seed)
+
+    # ------------------------------------------------------------------
+    def fire(self, site: str) -> list[Fault]:
+        """Advance ``site``'s event counter; return the faults due now.
+
+        Components apply every returned fault immediately.  Unknown
+        sites raise — a misspelled site in a component would otherwise
+        silently disable a whole fault class.
+        """
+        if site not in FAULT_SITES:
+            sites = ", ".join(repr(s) for s in FAULT_SITES)
+            raise ValueError(f"unknown fault site {site!r}; sites: {sites}")
+        with self._lock:
+            self._counts[site] += 1
+            due = self._by_site.get(site, {}).get(self._counts[site], [])
+            if due:
+                self.injected.extend(due)
+            return list(due)
+
+    def count(self, site: str) -> int:
+        """Events seen at ``site`` so far."""
+        with self._lock:
+            return self._counts[site]
+
+    @property
+    def faults_injected(self) -> int:
+        """Faults actually consumed by components (for metrics/tests)."""
+        with self._lock:
+            return len(self.injected)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"FaultPlan(seed={self.seed}, faults={len(self.faults)}, "
+            f"injected={self.faults_injected})"
+        )

@@ -34,6 +34,12 @@ class WorkerMetrics:
     frames_processed: int
     max_lanes: int
     alive: bool
+    # Steal-aware health score in [0.25, 1.0]: losing work to steals
+    # cuts it (and with it the shard's dispatch backlog share — a soft
+    # circuit breaker); steal-free windows recover it.
+    health: float = 1.0
+    precision: str | None = None  # blas table precision this shard serves at
+    stalled_steps: int = 0  # engine steps delayed by injected stalls
 
     @property
     def lane_utilization(self) -> float:
@@ -73,6 +79,16 @@ class ServerMetrics:
     scoring_precision: str = "float64"  # blas table precision in use
     model_table_bytes: int = 0  # scoring-table footprint per worker
     network: str = "flat"  # lexicon family the lanes search (flat|tree)
+    # Resilience counters (trailing defaults keep positional callers
+    # working).  `retries` counts jobs re-dispatched after a worker
+    # death; `reconnects` counts wire clients that re-attached under a
+    # known name; `faults_injected` counts FaultPlan faults actually
+    # consumed; `brownout_transitions` counts engage+release edges.
+    retries: int = 0
+    reconnects: int = 0
+    faults_injected: int = 0
+    brownout_transitions: int = 0
+    brownout_active: bool = False
 
     @property
     def lane_utilization(self) -> float:

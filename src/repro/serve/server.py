@@ -87,9 +87,11 @@ from repro.serve.engine import (
     ThreadEngineWorker,
     start_outbox_pump,
 )
+from repro.serve.faults import FaultPlan
 from repro.serve.metrics import ServerMetrics, WorkerMetrics, percentile
 from repro.serve.types import (
     AdmissionRejected,
+    BrownoutPolicy,
     ServeResult,
     ServeStatus,
     ServerClosed,
@@ -418,6 +420,8 @@ class Server:
         poll_s: float = 0.002,
         sweep_s: float = 0.02,
         frontend: Frontend | None = None,
+        brownout: BrownoutPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -444,6 +448,25 @@ class Server:
         self._poll_s = poll_s
         self._sweep_s = sweep_s
         self._frontend_obj = frontend
+        self.fault_plan = fault_plan
+
+        # Brownout: declared policy + hysteresis state.  The serving
+        # precision can differ from the recognizer's own while engaged.
+        self.brownout = brownout
+        self._brownout_active = False
+        self._brownout_transitions = 0
+        self._brownout_hot = 0  # consecutive windows over engage_pressure
+        self._brownout_cool = 0  # consecutive windows under release_pressure
+        self._brownout_last_misses = 0
+        self._base_precision = recognizer.precision
+        self._serving_precision = recognizer.precision
+
+        # Steal-aware shard health (populated at start()): a shard that
+        # keeps losing queued work to steals is slow — its dispatch
+        # backlog share is cut until it runs steal-free again.
+        self._worker_health: list[float] = []
+        self._worker_stolen: list[int] = []
+        self._worker_stolen_last: list[int] = []
 
         self._state = "new"  # new -> running -> stopping -> stopped
         self._ids = itertools.count()
@@ -463,6 +486,7 @@ class Server:
         self._steal_pending: set[int] = set()
         self._redispatched: set[int] = set()
         self._pump_stop = None
+        self._outbox = None
         self._pump_thread = None
         self._sweeper: asyncio.Task | None = None
         self._aio_loop: asyncio.AbstractEventLoop | None = None
@@ -475,6 +499,8 @@ class Server:
         self._errors = 0
         self._rejections = 0
         self._steals = 0
+        self._retries = 0  # jobs re-dispatched after a worker death
+        self._reconnects = 0  # wire clients re-attaching (WireServer bumps)
         self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
         self._waits: deque[float] = deque(maxlen=_LATENCY_WINDOW)
         self._shed_waits: deque[float] = deque(maxlen=_LATENCY_WINDOW)
@@ -485,6 +511,20 @@ class Server:
     def _capacity(self) -> int:
         """Jobs a worker may hold at once (lanes + current backlog)."""
         return self.max_lanes + self._backlog
+
+    def _capacity_for(self, worker_id: int) -> int:
+        """Per-shard capacity, scaled by steal-aware health.
+
+        A shard at health ``h`` gets ``max_lanes + int(backlog * h)``:
+        its lanes are always dispatchable (a lone survivor must still
+        take everything), but a shard that keeps losing backlogged
+        work to steals stops being handed a deep backlog it cannot
+        drain — the soft circuit breaker.
+        """
+        health = (
+            self._worker_health[worker_id] if self._worker_health else 1.0
+        )
+        return self.max_lanes + int(self._backlog * health)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -511,6 +551,7 @@ class Server:
             # copy-on-write pages (the fork-friendly model handoff).
             ctx = multiprocessing.get_context("fork")
             outbox = ctx.Queue()
+            self._outbox = outbox
             self._workers = [
                 ProcessEngineWorker(
                     i, twins[i], self.max_lanes, self._poll_s, outbox, ctx
@@ -530,6 +571,9 @@ class Server:
         self._worker_alive = [True] * self.num_workers
         self._worker_last_pick = [-1] * self.num_workers
         self._in_flight = [0] * self.num_workers
+        self._worker_health = [1.0] * self.num_workers
+        self._worker_stolen = [0] * self.num_workers
+        self._worker_stolen_last = [0] * self.num_workers
         self._worker_jobs = [[] for _ in range(self.num_workers)]
         self._stopped_events = {
             i: asyncio.Event() for i in range(self.num_workers)
@@ -569,6 +613,14 @@ class Server:
                 worker.terminate()
         if self._pump_stop is not None:
             self._pump_stop()
+        if self._outbox is not None:
+            # A SIGKILLed shard can die mid-write into the shared
+            # outbox pipe; a truncated frame wedges the pump past the
+            # stop sentinel and the pipe may hold undrained events.
+            # Nothing in the outbox matters after stop, so never let
+            # its feeder thread gate interpreter exit.
+            self._outbox.cancel_join_thread()
+            self._outbox = None
         if self._sweeper is not None:
             self._sweeper.cancel()
             self._sweeper = None
@@ -615,9 +667,11 @@ class Server:
         # Shed BEFORE validating: rejection is the hot path under
         # overload and must stay O(1), not pay a feature-matrix copy.
         depth = len(self._pending)
-        if depth >= self.max_queue:
+        bound = self._effective_max_queue()
+        if depth >= bound:
             self._rejections += 1
-            raise AdmissionRejected(depth, self.max_queue, client=client)
+            reason = "brownout" if bound < self.max_queue else "queue_full"
+            raise AdmissionRejected(depth, bound, reason=reason, client=client)
         if self._pending.queued_for(client) >= self._fair_share(client):
             self._rejections += 1
             raise AdmissionRejected(
@@ -640,6 +694,17 @@ class Server:
         self._pending.push(job, session)
         self._dispatch()
         return session
+
+    def _effective_max_queue(self) -> int:
+        """The admission bound currently in force.
+
+        Equal to ``max_queue`` except while a brownout with
+        ``admission_factor < 1.0`` is engaged, when the bound tightens
+        so queued latency shrinks along with precision.
+        """
+        if self._brownout_active and self.brownout.admission_factor < 1.0:
+            return max(1, int(self.max_queue * self.brownout.admission_factor))
+        return self.max_queue
 
     def _fair_share(self, client: str | None) -> int:
         """This client's cap on queued jobs, under current contention.
@@ -719,6 +784,11 @@ class Server:
                     frames_processed=stats.frames_processed if stats else 0,
                     max_lanes=self.max_lanes,
                     alive=bool(self._worker_alive and self._worker_alive[i]),
+                    health=(
+                        self._worker_health[i] if self._worker_health else 1.0
+                    ),
+                    precision=stats.precision if stats else None,
+                    stalled_steps=stats.stalled_steps if stats else 0,
                 )
             )
         latencies = list(self._latencies)
@@ -730,8 +800,10 @@ class Server:
         rec = self.recognizer
         if rec.mode == "blas":
             # Analytic (shapes x itemsizes), so a metrics poll never
-            # forces table construction on a worker's behalf.
-            table_bytes = rec.pool.table_bytes(rec.precision)
+            # forces table construction on a worker's behalf.  Reports
+            # the precision the shards are SERVING at, which under an
+            # engaged brownout differs from the recognizer's own.
+            table_bytes = rec.pool.table_bytes(self._serving_precision)
         else:
             table_bytes = int(rec.pool.storage_bytes(rec.storage_format))
         return ServerMetrics(
@@ -758,9 +830,18 @@ class Server:
             ),
             audio_seconds=self._audio_s_total,
             scoring_mode=rec.mode,
-            scoring_precision=rec.precision,
+            scoring_precision=self._serving_precision,
             model_table_bytes=table_bytes,
             network=rec.network_kind,
+            retries=self._retries,
+            reconnects=self._reconnects,
+            faults_injected=(
+                self.fault_plan.faults_injected
+                if self.fault_plan is not None
+                else 0
+            ),
+            brownout_transitions=self._brownout_transitions,
+            brownout_active=self._brownout_active,
         )
 
     # ------------------------------------------------------------------
@@ -790,11 +871,18 @@ class Server:
         )
 
     def _pick_worker(self) -> int | None:
-        """Least-loaded worker with spare capacity; round-robin ties."""
+        """Least-loaded worker with spare capacity; round-robin ties.
+
+        Capacity is per-shard (:meth:`_capacity_for`): health cuts a
+        struggling shard's backlog share before load balancing runs.
+        """
         best = None
         best_key = None
         for i in range(len(self._workers)):
-            if not self._worker_alive[i] or self._in_flight[i] >= self._capacity:
+            if (
+                not self._worker_alive[i]
+                or self._in_flight[i] >= self._capacity_for(i)
+            ):
                 continue
             key = (self._in_flight[i], self._worker_last_pick[i])
             if best_key is None or key < best_key:
@@ -837,7 +925,26 @@ class Server:
                 self._live_jobs[job.utt_id] = job
                 self._worker_jobs[worker_id].append(job.utt_id)
                 self._workers[worker_id].submit(job)
+                if self.fault_plan is not None:
+                    self._fire_dispatch_faults()
         self._maybe_steal()
+
+    def _fire_dispatch_faults(self) -> None:
+        """One dispatch-site FaultPlan event: kill or stall shards.
+
+        Fired once per job handed to a worker, AFTER the submit, so
+        the server already tracks the job and a kill that races it
+        exercises the real redispatch path.  Faults may target any
+        worker, not just the one that took this job.
+        """
+        for fault in self.fault_plan.fire("dispatch"):
+            target = fault.worker % len(self._workers)
+            if not self._worker_alive[target]:
+                continue
+            if fault.kind == "worker_kill":
+                self._workers[target].inject_crash()
+            elif fault.kind == "slow_shard":
+                self._workers[target].slow(fault.stall_s, fault.stall_steps)
 
     def _maybe_steal(self) -> None:
         """Reclaim one backlogged job for an idle worker.
@@ -949,6 +1056,13 @@ class Server:
             job = self._live_jobs.pop(event.utt_id, None)
             session.worker = None
             self._steals += 1
+            # Losing queued work to a steal is the health signal: the
+            # victim was too slow to reach this job.  Cut its backlog
+            # share now; steal-free windows grow it back.
+            self._worker_stolen[worker_id] += 1
+            self._worker_health[worker_id] = max(
+                0.25, self._worker_health[worker_id] * 0.5
+            )
             if job is not None:
                 # Back into the EDF queue (original deadline intact);
                 # the dispatch below hands it to the idle worker that
@@ -1018,6 +1132,7 @@ class Server:
                         and session.utt_id not in self._redispatched
                     ):
                         self._redispatched.add(session.utt_id)
+                        self._retries += 1
                         session.worker = None
                         self._pending.push(job, session)
                     else:
@@ -1045,8 +1160,12 @@ class Server:
             await asyncio.sleep(self._sweep_s)
             ticks += 1
             self._check_worker_liveness()
-            if self._autotune and ticks % autotune_every == 0:
-                self._autotune_tick()
+            if ticks % autotune_every == 0:
+                if self._autotune:
+                    self._autotune_tick()
+                self._health_tick()
+                if self.brownout is not None:
+                    self._brownout_tick()
             if len(self._pending):
                 self._shed_expired(time.monotonic())
 
@@ -1062,6 +1181,70 @@ class Server:
                 self._on_event(
                     i, ServeStopped(stats, error="worker process died")
                 )
+
+    def _health_tick(self) -> None:
+        """Recover shard health after steal-free metrics windows.
+
+        The cut happens at steal time (:class:`JobStolen` handling);
+        recovery is +0.25 per window in which the shard lost nothing —
+        asymmetric on purpose, like TCP: back off fast, recover slow.
+        """
+        for i in range(len(self._worker_health)):
+            stolen = self._worker_stolen[i] - self._worker_stolen_last[i]
+            self._worker_stolen_last[i] = self._worker_stolen[i]
+            if stolen == 0 and self._worker_health[i] < 1.0:
+                self._worker_health[i] = min(1.0, self._worker_health[i] + 0.25)
+
+    def _brownout_pressure(self, window_misses: int) -> float:
+        """Pressure in [0, 1] for one metrics window.
+
+        The worst of: queue fullness, dead-shard fraction, and a
+        forced 1.0 when the window shed anything — shedding IS the
+        signal brownout exists to pre-empt.
+        """
+        if window_misses > 0:
+            return 1.0
+        pressure = len(self._pending) / self.max_queue
+        if self.num_workers > 1 and self._worker_alive:
+            dead = sum(1 for alive in self._worker_alive if not alive)
+            pressure = max(pressure, dead / self.num_workers)
+        return min(1.0, pressure)
+
+    def _brownout_tick(self) -> None:
+        """One hysteresis step of the declared :class:`BrownoutPolicy`."""
+        policy = self.brownout
+        misses = self._timeouts + self._rejections
+        window_misses = misses - self._brownout_last_misses
+        self._brownout_last_misses = misses
+        pressure = self._brownout_pressure(window_misses)
+        if pressure >= policy.engage_pressure:
+            self._brownout_hot += 1
+            self._brownout_cool = 0
+        elif pressure <= policy.release_pressure:
+            self._brownout_cool += 1
+            self._brownout_hot = 0
+        else:
+            self._brownout_hot = 0
+            self._brownout_cool = 0
+        if not self._brownout_active and self._brownout_hot >= policy.engage_windows:
+            self._set_brownout(True)
+        elif self._brownout_active and self._brownout_cool >= policy.release_windows:
+            self._set_brownout(False)
+
+    def _set_brownout(self, active: bool) -> None:
+        """Engage or release brownout; counts every transition edge."""
+        policy = self.brownout
+        self._brownout_active = active
+        self._brownout_transitions += 1
+        self._brownout_hot = 0
+        self._brownout_cool = 0
+        if policy.downshift_precision and self.recognizer.mode == "blas":
+            precision = policy.precision if active else self._base_precision
+            if precision != self._serving_precision:
+                self._serving_precision = precision
+                for i, worker in enumerate(self._workers):
+                    if self._worker_alive[i]:
+                        worker.set_precision(precision)
 
     def _autotune_tick(self) -> None:
         """One backpressure-aware step of the worker_backlog depth.

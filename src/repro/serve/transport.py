@@ -60,16 +60,35 @@ connection, never silence.
 
 A client that disconnects mid-stream has its unresolved sessions
 cancelled (freeing queue slots and lanes for everyone else) and its
-open streams discarded; the server itself is unaffected.
+open streams discarded; the server itself is unaffected.  The one
+exception is an IDEMPOTENT submit: a ``submit`` op carrying a ``key``
+survives its connection — the session keeps decoding, its result is
+parked server-side (bounded LRU), and a retried submit with the same
+key from any later connection re-attaches to the live session or is
+answered from the parked result instead of decoding twice.  That is
+what makes the client's retry-after-reconnect safe: at-most-once
+decode, at-least-once delivery.
+
+Robustness: a malformed, truncated or oversized frame arriving
+mid-stream gets a typed ``error`` event (``fatal: true``) before the
+connection is closed cleanly — the framing is length-prefixed, so
+there is no way to resynchronize past garbage, but the failure is
+diagnosable on the client instead of a bare reset, and a handler
+crash can never leave an unhandled task exception.  A
+:class:`~repro.serve.faults.FaultPlan` threads through both
+directions of the socket (``wire_tx``/``wire_rx`` sites) so exactly
+these failure paths are exercised deterministically in CI.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import dataclasses
 import itertools
 import json
 import struct
+from collections import OrderedDict
 
 import numpy as np
 
@@ -82,6 +101,7 @@ __all__ = [
     "WireServer",
     "decode_array",
     "encode_array",
+    "frame_bytes",
     "read_frame",
     "result_payload",
     "write_frame",
@@ -139,15 +159,17 @@ async def read_frame(reader: asyncio.StreamReader) -> tuple[dict, bytes]:
     return header, payload
 
 
+def frame_bytes(header: dict, payload: bytes = b"") -> bytes:
+    """Serialize one frame to its exact wire bytes."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode()
+    return _PREFIX.pack(len(header_bytes), len(payload)) + header_bytes + payload
+
+
 def write_frame(
     writer: asyncio.StreamWriter, header: dict, payload: bytes = b""
 ) -> None:
     """Queue one frame on ``writer`` (caller drains)."""
-    header_bytes = json.dumps(header, separators=(",", ":")).encode()
-    writer.write(_PREFIX.pack(len(header_bytes), len(payload)))
-    writer.write(header_bytes)
-    if payload:
-        writer.write(payload)
+    writer.write(frame_bytes(header, payload))
 
 
 def result_payload(req_id, result: ServeResult) -> dict:
@@ -196,6 +218,7 @@ class _Connection:
         self._sessions: dict = {}  # req id -> Session (submitted)
         self._streams: dict = {}  # req id -> StreamSession (open)
         self._endpointed: set = set()  # streams closed by their endpointer
+        self._keyed_reqs: set = set()  # req ids of idempotent submits
         self._waiters: set[asyncio.Task] = set()
         self._writer_task: asyncio.Task | None = None
 
@@ -206,23 +229,52 @@ class _Connection:
     async def _write_loop(self) -> None:
         while True:
             header, payload = await self._outq.get()
+            plan = self.wire.fault_plan
+            if plan is not None:
+                aborted = False
+                for fault in plan.fire("wire_tx"):
+                    if fault.kind == "delay":
+                        await asyncio.sleep(fault.delay_s)
+                    elif fault.kind == "truncate":
+                        # Half a frame, then a hard cut: the client's
+                        # reader sees an incomplete read, never garbage
+                        # accepted as a frame.
+                        raw = frame_bytes(header, payload)
+                        self.writer.write(raw[: max(1, len(raw) // 2)])
+                        with contextlib.suppress(ConnectionError, OSError):
+                            await self.writer.drain()
+                        self.writer.transport.abort()
+                        aborted = True
+                    elif fault.kind == "disconnect":
+                        self.writer.transport.abort()
+                        aborted = True
+                if aborted:
+                    return
             write_frame(self.writer, header, payload)
             await self.writer.drain()
 
     # -- session plumbing ----------------------------------------------
-    def _watch(self, req_id, session: Session) -> None:
+    def _watch(self, req_id, session: Session, keyed: bool = False) -> None:
         self._sessions[req_id] = session
+        if keyed:
+            self._keyed_reqs.add(req_id)
 
         async def wait() -> None:
-            result = await session.result()
+            # Shield the session future: cancelling this watcher (on
+            # connection close) must not propagate into the session —
+            # a keyed session outlives its connection by design, and
+            # non-keyed work is cancelled explicitly via
+            # ``session.cancel()`` so it resolves typed.
+            result = await asyncio.shield(session.result())
             self._sessions.pop(req_id, None)
+            self._keyed_reqs.discard(req_id)
             self.send(result_payload(req_id, result))
 
         task = asyncio.get_running_loop().create_task(wait())
         self._waiters.add(task)
         task.add_done_callback(self._waiters.discard)
 
-    def _submit_outcome(self, req_id, submit) -> None:
+    def _submit_outcome(self, req_id, submit, keyed: bool = False) -> None:
         """Run an admission attempt; emit accepted/rejected/error."""
         try:
             session = submit()
@@ -240,7 +292,7 @@ class _Connection:
             self.send({"event": "error", "id": req_id, "error": str(err)})
         else:
             self.send({"event": "accepted", "id": req_id})
-            self._watch(req_id, session)
+            self._watch(req_id, session, keyed=keyed)
 
     # -- op handlers ---------------------------------------------------
     async def handle(self, header: dict, payload: bytes) -> None:
@@ -250,6 +302,13 @@ class _Connection:
         if op == "hello":
             if header.get("client"):
                 self.client = str(header["client"])
+                # A name we have greeted before is a client coming
+                # back after a connection loss — the reconnect counter
+                # the resilience metrics surface.
+                if self.client in self.wire._seen_clients:
+                    server._reconnects += 1
+                else:
+                    self.wire._seen_clients.add(self.client)
             self.send(
                 {
                     "event": "hello",
@@ -260,19 +319,37 @@ class _Connection:
                 }
             )
         elif op == "submit":
+            key = header.get("key")
+            if key is not None:
+                # Idempotent submit: a key we already know is a retry
+                # after a connection loss, never a second decode.
+                parked = self.wire._key_results.get(key)
+                if parked is not None:
+                    self.send({"event": "accepted", "id": req_id})
+                    self.send(result_payload(req_id, parked))
+                    return
+                live = self.wire._keyed.get(key)
+                if live is not None:
+                    self.send({"event": "accepted", "id": req_id})
+                    self._watch(req_id, live, keyed=True)
+                    return
             try:
                 features = decode_array(header, payload)
             except FrameError as err:
                 self.send({"event": "error", "id": req_id, "error": str(err)})
                 return
-            self._submit_outcome(
-                req_id,
-                lambda: server.submit(
+
+            def submit() -> Session:
+                session = server.submit(
                     features,
                     deadline_s=header.get("deadline_s"),
                     client=self.client,
-                ),
-            )
+                )
+                if key is not None:
+                    self.wire._register_keyed(key, session)
+                return session
+
+            self._submit_outcome(req_id, submit, keyed=key is not None)
         elif op == "submit_audio":
             try:
                 waveform = decode_array(header, payload)
@@ -420,6 +497,17 @@ class _Connection:
             )
 
     # -- lifecycle -----------------------------------------------------
+    async def _send_fatal(self, message: str) -> None:
+        """Best-effort typed goodbye, written DIRECTLY (not queued):
+        the writer task is about to be cancelled, so the queue offers
+        no delivery guarantee for a frame we close right after."""
+        with contextlib.suppress(ConnectionError, OSError, RuntimeError):
+            write_frame(
+                self.writer,
+                {"event": "error", "id": None, "error": message, "fatal": True},
+            )
+            await self.writer.drain()
+
     async def run(self) -> None:
         self._writer_task = asyncio.get_running_loop().create_task(
             self._write_loop()
@@ -428,25 +516,52 @@ class _Connection:
             while True:
                 try:
                     header, payload = await read_frame(self.reader)
-                except (
-                    asyncio.IncompleteReadError,
-                    ConnectionError,
-                    FrameError,
-                ):
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break  # peer went away; nothing to tell it
+                except FrameError as err:
+                    # Malformed/oversized frame mid-stream: the length
+                    # prefix is the only sync mechanism, so there is no
+                    # recovering — but the client gets a typed error,
+                    # not a bare reset.
+                    await self._send_fatal(f"protocol error: {err}")
                     break
-                await self.handle(header, payload)
+                plan = self.wire.fault_plan
+                if plan is not None:
+                    dropped = False
+                    for fault in plan.fire("wire_rx"):
+                        if fault.kind == "disconnect":
+                            dropped = True
+                    if dropped:
+                        # The request was read but never handled — the
+                        # lost-submit case idempotent retry must cover.
+                        self.writer.transport.abort()
+                        break
+                try:
+                    await self.handle(header, payload)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - boundary: any
+                    # handler bug becomes a typed close, never an
+                    # unhandled task exception that strands the client.
+                    await self._send_fatal(f"internal error: {exc!r}")
+                    break
         finally:
             await self.close()
 
     async def close(self) -> None:
         # A disconnecting client's unresolved work is cancelled so it
         # stops holding queue slots and lanes; open streams (never
-        # submitted) are simply discarded.
+        # submitted) are simply discarded.  Keyed (idempotent) submits
+        # are the exception: they survive the connection so the client
+        # can reconnect and re-attach — the WireServer-level watcher
+        # parks their results.
         for task in list(self._waiters):
             task.cancel()
-        for session in list(self._sessions.values()):
-            session.cancel()
+        for req_id, session in list(self._sessions.items()):
+            if req_id not in self._keyed_reqs:
+                session.cancel()
         self._sessions.clear()
+        self._keyed_reqs.clear()
         self._streams.clear()
         if self._writer_task is not None:
             self._writer_task.cancel()
@@ -464,17 +579,60 @@ class WireServer:
     address back from :attr:`host` / :attr:`port` after :meth:`start`.
     Each connection is one fair-share client unless it names itself in
     a ``hello`` op.
+
+    ``fault_plan`` (default: the server's own) arms the ``wire_tx`` /
+    ``wire_rx`` injection sites.  Keyed-submit state (live sessions,
+    parked results) lives here, not on connections, because the whole
+    point is surviving the connection.
     """
 
+    #: Parked keyed results kept for late retries (bounded LRU).
+    KEY_RESULT_CAP = 1024
+
     def __init__(
-        self, server: Server, host: str = "127.0.0.1", port: int = 0
+        self,
+        server: Server,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        fault_plan=None,
     ) -> None:
         self.server = server
         self.host = host
         self.port = port
+        self.fault_plan = (
+            fault_plan if fault_plan is not None else server.fault_plan
+        )
         self._listener: asyncio.AbstractServer | None = None
         self._conn_ids = itertools.count()
         self._connections: set[_Connection] = set()
+        self._seen_clients: set[str] = set()
+        self._keyed: dict[str, Session] = {}  # key -> live session
+        self._key_results: OrderedDict[str, ServeResult] = OrderedDict()
+        self._keyed_tasks: set[asyncio.Task] = set()
+
+    def _register_keyed(self, key: str, session: Session) -> None:
+        """Track an idempotent submit independently of any connection.
+
+        The parking task outlives the submitting connection on
+        purpose: it moves the session's result into the LRU the moment
+        it resolves, so a client that lost its socket mid-decode can
+        reconnect, retry the same key, and get the SAME result without
+        a second decode.
+        """
+        self._keyed[key] = session
+
+        async def park() -> None:
+            result = await session.result()
+            # No await between these lines: pop+park is atomic on the
+            # loop, so a racing retry sees the key in exactly one map.
+            self._keyed.pop(key, None)
+            self._key_results[key] = result
+            while len(self._key_results) > self.KEY_RESULT_CAP:
+                self._key_results.popitem(last=False)
+
+        task = asyncio.get_running_loop().create_task(park())
+        self._keyed_tasks.add(task)
+        task.add_done_callback(self._keyed_tasks.discard)
 
     async def start(self) -> "WireServer":
         if self._listener is not None:
@@ -503,6 +661,10 @@ class WireServer:
         for conn in list(self._connections):
             await conn.close()
         self._connections.clear()
+        for task in list(self._keyed_tasks):
+            task.cancel()
+        self._keyed.clear()
+        self._key_results.clear()
 
     async def __aenter__(self) -> "WireServer":
         return await self.start()

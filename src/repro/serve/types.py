@@ -17,6 +17,10 @@ from repro.decoder.recognizer import RecognitionResult
 
 __all__ = [
     "AdmissionRejected",
+    "BrownoutPolicy",
+    "ConnectionLost",
+    "RetriesExhausted",
+    "RetryPolicy",
     "ServeResult",
     "ServeStatus",
     "ServerClosed",
@@ -55,6 +59,11 @@ class AdmissionRejected(RuntimeError):
                 f"client {client!r} is over its fair share of the "
                 f"admission queue ({queue_depth}/{max_queue} waiting)"
             )
+        elif reason == "brownout":
+            message = (
+                f"admission tightened under brownout "
+                f"({queue_depth}/{max_queue} effective slots)"
+            )
         else:
             message = f"admission queue full ({queue_depth}/{max_queue} waiting)"
         super().__init__(message)
@@ -66,6 +75,122 @@ class AdmissionRejected(RuntimeError):
 
 class ServerClosed(RuntimeError):
     """Submitted to a server that is not running."""
+
+
+class ConnectionLost(ConnectionError):
+    """The wire connection died with this operation in flight.
+
+    A :class:`ConnectionError` subclass, so code that already catches
+    connection failures keeps working — but typed, so resilient
+    clients can tell "the socket dropped, my request may or may not
+    have run" apart from every other failure.  Raised for operations
+    the client will NOT transparently retry: open streams (the
+    server-side session was cancelled with the connection), metrics
+    polls, and submits once reconnection is disabled or exhausted.
+    """
+
+
+class RetriesExhausted(ConnectionLost):
+    """Reconnect/retry budget spent without the operation resolving.
+
+    The subclass split matters for callers: plain
+    :class:`ConnectionLost` means "not retryable, never retried";
+    :class:`RetriesExhausted` means "retried per policy and still
+    failed" — the request may have executed server-side, so blind
+    resubmission risks duplicate work.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side reconnect/retry behavior for :class:`ServeClient`.
+
+    On connection loss the client reconnects up to ``max_reconnects``
+    times with capped exponential backoff: attempt ``k`` sleeps
+    ``min(backoff_cap_s, backoff_base_s * 2**k)`` scaled by up to
+    ``jitter`` of seeded random spread (deterministic for a fixed
+    ``seed`` — chaos tests stay reproducible).  Only idempotent work
+    is retried: submits carry a server-deduplicated idempotency key,
+    so an admitted-but-unacked submit is re-attached rather than
+    re-run.  Streams and metrics polls are never retried (their
+    futures fail typed with :class:`ConnectionLost`).
+    """
+
+    max_reconnects: int = 3
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    jitter: float = 0.5
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_reconnects < 0:
+            raise ValueError(
+                f"max_reconnects must be >= 0, got {self.max_reconnects}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff times must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff_s(self, attempt: int, rng) -> float:
+        """Sleep before reconnect ``attempt`` (0-based)."""
+        base = min(self.backoff_cap_s, self.backoff_base_s * (2.0**attempt))
+        if self.jitter and rng is not None:
+            base *= 1.0 + self.jitter * float(rng.random())
+        return base
+
+
+@dataclass(frozen=True)
+class BrownoutPolicy:
+    """Server-side graceful degradation under sustained pressure.
+
+    Pressure per metrics window is the worst of: admission-queue
+    fullness (``depth / max_queue``), dead-shard fraction, and a
+    forced 1.0 for any window that shed work (timeouts or
+    rejections).  Hysteresis keeps the server from flapping: brownout
+    ENGAGES after ``engage_windows`` consecutive windows at or above
+    ``engage_pressure`` and RELEASES (full restoration) only after
+    ``release_windows`` consecutive windows at or below
+    ``release_pressure``.
+
+    While engaged the server degrades instead of shedding blindly:
+
+    * ``downshift_precision`` swaps every live blas worker's scoring
+      tables to ``precision`` (float32 halves table bandwidth; decoded
+      words stay within the documented quantized-parity tolerances),
+      restored to the recognizer's own precision on release;
+    * ``admission_factor < 1.0`` tightens the effective admission
+      bound to ``max(1, int(max_queue * admission_factor))`` so the
+      queue — and with it worst-case queued latency — shrinks; those
+      rejections carry ``reason="brownout"``.
+
+    Non-blas recognizers simply skip the precision axis.
+    """
+
+    engage_pressure: float = 0.75
+    release_pressure: float = 0.25
+    engage_windows: int = 2
+    release_windows: int = 4
+    downshift_precision: bool = True
+    precision: str = "float32"
+    admission_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.engage_pressure <= 1.0:
+            raise ValueError(
+                f"engage_pressure must be in (0, 1], got {self.engage_pressure}"
+            )
+        if not 0.0 <= self.release_pressure < self.engage_pressure:
+            raise ValueError(
+                "release_pressure must be in [0, engage_pressure); got "
+                f"{self.release_pressure} vs {self.engage_pressure}"
+            )
+        if self.engage_windows < 1 or self.release_windows < 1:
+            raise ValueError("hysteresis window counts must be >= 1")
+        if not 0.0 < self.admission_factor <= 1.0:
+            raise ValueError(
+                f"admission_factor must be in (0, 1], got {self.admission_factor}"
+            )
 
 
 @dataclass(frozen=True)

@@ -924,6 +924,84 @@ class TestFleetResilience:
 
         asyncio.run(scenario())
 
+    def test_worker_death_during_streaming_session(self, task, workload):
+        """The shard holding a finished streaming session's decode is
+        SIGKILLed: the job re-runs on the survivor and the streamed
+        utterance still comes back OK and bit-identical."""
+        features, baselines = workload
+        rec = make_recognizer(task)
+
+        async def scenario():
+            async with Server(
+                rec,
+                num_workers=2,
+                max_lanes=1,
+                worker_backlog=2,
+                max_queue=16,
+                use_processes=True,
+            ) as server:
+                stream = server.open_session()
+                feats = features[0]
+                for start in range(0, feats.shape[0], 30):
+                    stream.send_frames(feats[start : start + 30])
+                session = stream.finish()
+                victim = session.worker
+                assert victim is not None
+                server._workers[victim]._proc.kill()
+                result = await session.result()
+                assert result.status is ServeStatus.OK, result
+                assert result.words == baselines[0].words
+                assert result.result.score == baselines[0].score
+                assert result.worker == 1 - victim
+                assert server.metrics().retries >= 1
+
+        asyncio.run(scenario())
+
+    def test_cancel_racing_worker_death_resolves_exactly_once(
+        self, task, workload
+    ):
+        """cancel() lands on a job whose shard was just SIGKILLed —
+        the cancel confirmation died with the worker, and the
+        redispatch machinery re-homes the job anyway.  The session
+        must resolve exactly once, typed, never hang: every submitted
+        job is accounted for in the outcome counters."""
+        features, baselines = workload
+        rec = make_recognizer(task)
+
+        async def scenario():
+            async with Server(
+                rec,
+                num_workers=2,
+                max_lanes=1,
+                worker_backlog=2,
+                max_queue=16,
+                use_processes=True,
+            ) as server:
+                sessions = [server.submit(features[0]) for _ in range(4)]
+                victim = sessions[0].worker
+                assert victim is not None
+                # Kill, then cancel, with no awaits in between: the
+                # CancelJob goes to a corpse and can never confirm.
+                server._workers[victim]._proc.kill()
+                assert sessions[0].cancel()
+                results = await asyncio.gather(
+                    *[s.result() for s in sessions]
+                )
+                for result in results:
+                    assert result.status is ServeStatus.OK, result
+                    assert result.words == baselines[0].words
+                    assert result.result.score == baselines[0].score
+                metrics = server.metrics()
+                # Exactly one typed outcome per job, nothing dropped.
+                assert (
+                    metrics.completed + metrics.cancelled + metrics.errors
+                    == 4
+                )
+                # Both of the dead shard's jobs burned their one retry.
+                assert metrics.retries == 2
+
+        asyncio.run(scenario())
+
 
 # ----------------------------------------------------------------------
 # submit_audio featurizes off the event loop

@@ -21,6 +21,7 @@ No pytest-asyncio dependency: async tests run under ``asyncio.run``.
 import asyncio
 import json
 import os
+import struct
 import sys
 
 import numpy as np
@@ -32,6 +33,7 @@ from repro.serve.transport import (
     FrameError,
     decode_array,
     encode_array,
+    frame_bytes,
     read_frame,
     write_frame,
 )
@@ -303,6 +305,13 @@ class TestWireLoopback:
                         assert snapshot["worker_backlog"] >= 0
                         assert len(snapshot["workers"]) == 1
                         assert snapshot["latency_p95_s"] > 0.0
+                        # The resilience counters ride the same op.
+                        assert snapshot["retries"] == 0
+                        assert snapshot["reconnects"] == 0
+                        assert snapshot["faults_injected"] == 0
+                        assert snapshot["brownout_transitions"] == 0
+                        assert snapshot["brownout_active"] is False
+                        assert snapshot["workers"][0]["health"] == 1.0
 
         asyncio.run(scenario())
 
@@ -369,6 +378,156 @@ class TestWireLoopback:
                         result = await polite.decode(features[1])
                         assert result.ok
                         assert result.words == baselines[1].words
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Raw-socket fuzz: a malformed frame gets ONE typed fatal error frame
+# and a clean close; the listener shrugs and keeps serving
+# ----------------------------------------------------------------------
+class TestWireFuzz:
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            # announced sizes far past MAX_FRAME_BYTES — refused before
+            # any allocation happens
+            b"\x7f\xff\xff\xff\x7f\xff\xff\xff",
+            # honest prefix, header bytes that are not JSON
+            struct.pack("!II", 4, 0) + b"@#$%",
+            # valid JSON, but not an object
+            struct.pack("!II", 7, 0) + b"[1,2,3]",
+        ],
+        ids=["oversized", "not-json", "not-a-dict"],
+    )
+    def test_malformed_frame_gets_typed_fatal_and_close(
+        self, recognizer, workload, raw
+    ):
+        features, baselines = workload
+
+        async def scenario():
+            async with Server(
+                recognizer, num_workers=1, max_lanes=2
+            ) as server:
+                async with WireServer(server) as wire:
+                    reader, writer = await asyncio.open_connection(
+                        wire.host, wire.port
+                    )
+                    writer.write(raw)
+                    await writer.drain()
+                    header, _ = await read_frame(reader)
+                    assert header["event"] == "error"
+                    assert header["fatal"] is True
+                    assert "protocol error" in header["error"]
+                    assert await reader.read() == b""  # clean close
+                    writer.close()
+
+                    # The listener survives fuzzed peers.
+                    async with await ServeClient.connect(
+                        wire.host, wire.port
+                    ) as client:
+                        result = await client.decode(features[0])
+                        assert result.ok
+                        assert result.words == baselines[0].words
+
+        asyncio.run(scenario())
+
+    def test_truncated_frame_then_close_is_silent(
+        self, recognizer, workload
+    ):
+        """A peer that dies mid-frame is an ordinary disconnect — no
+        error frame, no log spew, and the next connection is served."""
+        features, baselines = workload
+
+        async def scenario():
+            async with Server(
+                recognizer, num_workers=1, max_lanes=2
+            ) as server:
+                async with WireServer(server) as wire:
+                    reader, writer = await asyncio.open_connection(
+                        wire.host, wire.port
+                    )
+                    meta, payload = encode_array(
+                        np.asarray(features[0], dtype=np.float64)
+                    )
+                    whole = frame_bytes(
+                        {"op": "submit", "id": 0, **meta}, payload
+                    )
+                    writer.write(whole[: len(whole) // 2])
+                    await writer.drain()
+                    writer.close()
+                    # Half a frame is never parsed into a submit; the
+                    # server sends nothing back.
+                    assert await reader.read() == b""
+                    assert server.metrics().submitted == 0
+
+                    async with await ServeClient.connect(
+                        wire.host, wire.port
+                    ) as client:
+                        result = await client.decode(features[1])
+                        assert result.ok
+                        assert result.words == baselines[1].words
+
+        asyncio.run(scenario())
+
+    def test_keyed_submit_retry_replays_without_second_decode(
+        self, recognizer, workload
+    ):
+        """Raw-frame view of idempotent dedup: a second submit with the
+        same key (and no payload at all) gets the parked result back —
+        identical words and bit-identical score, one decode total."""
+        features, baselines = workload
+
+        async def scenario():
+            async with Server(
+                recognizer, num_workers=1, max_lanes=2
+            ) as server:
+                async with WireServer(server) as wire:
+                    reader, writer = await asyncio.open_connection(
+                        wire.host, wire.port
+                    )
+                    writer.write(
+                        frame_bytes({"op": "hello", "client": "dedup"})
+                    )
+                    await writer.drain()
+                    hello, _ = await read_frame(reader)
+                    assert hello["event"] == "hello"
+
+                    meta, payload = encode_array(
+                        np.asarray(features[0], dtype=np.float64)
+                    )
+                    writer.write(
+                        frame_bytes(
+                            {"op": "submit", "id": 0, "key": "k1", **meta},
+                            payload,
+                        )
+                    )
+                    await writer.drain()
+                    accepted, _ = await read_frame(reader)
+                    assert accepted["event"] == "accepted"
+                    first, _ = await read_frame(reader)
+                    assert first["event"] == "result"
+                    assert first["status"] == "ok"
+                    assert tuple(first["words"]) == baselines[0].words
+
+                    # The retry: same key, new request id, no payload.
+                    writer.write(
+                        frame_bytes({"op": "submit", "id": 1, "key": "k1"})
+                    )
+                    await writer.drain()
+                    accepted2, _ = await read_frame(reader)
+                    assert accepted2["event"] == "accepted"
+                    assert accepted2["id"] == 1
+                    second, _ = await read_frame(reader)
+                    assert second["event"] == "result"
+                    assert second["id"] == 1
+                    assert second["words"] == first["words"]
+                    assert second["score"] == first["score"]
+
+                    metrics = server.metrics()
+                    assert metrics.submitted == 1  # decoded exactly once
+                    assert metrics.completed == 1
+                    writer.close()
 
         asyncio.run(scenario())
 
