@@ -38,9 +38,14 @@ Drives the async :class:`repro.serve.Server` (reference mode,
   sharding gate: >= 2 CPUs, full run) and must fully restore the
   base scoring precision once the load drops (enforced everywhere).
 
+* **Tracing overhead A/B** — best-of-N interleaved saturation runs
+  with observability on vs off.  Tracing defaults on, so its cost is
+  gated on EVERY host: traced throughput >= 0.97x untraced, or the
+  bench fails.
+
 Results merge into the committed ``BENCH_throughput.json`` under the
-``"serving"``, ``"serving_wire"`` and (with ``--faults``) the
-``"serving_faults"`` keys (the rest of the file is
+``"serving"``, ``"serving_wire"``, ``"tracing_overhead"`` and (with
+``--faults``) the ``"serving_faults"`` keys (the rest of the file is
 bench_throughput.py's):
 
     python benchmarks/bench_serving.py --quick --faults --out BENCH_throughput.json
@@ -51,6 +56,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import math
 import os
 import sys
 import time
@@ -83,12 +89,25 @@ WIRE_MAX_QUEUE = 8
 CHAOS_JOBS = 24
 BROWNOUT_OVERLOAD_FACTOR = 2.0
 BROWNOUT_LANES = 4  # a deliberately small shard so 2x saturation bites
+TRACING_OVERHEAD_GATE = 0.97  # traced throughput vs untraced, best-of-N
 
 
 def make_recognizer(task) -> Recognizer:
     return Recognizer.create(
         task.dictionary, task.pool, task.lm, task.tying, mode="reference"
     )
+
+
+def _ms(values, q) -> float | None:
+    """A percentile in rounded ms; ``None`` (JSON ``null``) for an
+    empty series — ``percentile`` reports ``nan`` there, and the
+    committed report must stay strict-JSON parseable."""
+    p = percentile(values, q)
+    return None if math.isnan(p) else round(p * 1000, 2)
+
+
+def _show_ms(value: float | None) -> str:
+    return "n/a" if value is None else f"{value:.0f} ms"
 
 
 def latency_summary(results) -> dict:
@@ -98,9 +117,9 @@ def latency_summary(results) -> dict:
     return {
         "completed": len(ok),
         "timeouts": sum(1 for r in results if r.status is ServeStatus.TIMEOUT),
-        "p50_ms": round(percentile(latencies, 0.50) * 1000, 2),
-        "p95_ms": round(percentile(latencies, 0.95) * 1000, 2),
-        "wait_p95_ms": round(percentile(waits, 0.95) * 1000, 2),
+        "p50_ms": _ms(latencies, 0.50),
+        "p95_ms": _ms(latencies, 0.95),
+        "wait_p95_ms": _ms(waits, 0.95),
     }
 
 
@@ -238,12 +257,17 @@ async def run_wire_overload(
         "elapsed_s": round(elapsed, 3),
         "no_silent_drops": bool(no_silent_drops),
         "word_identical": bool(word_identical),
-        "latency_p50_ms": round(percentile(ok_latencies, 0.50) * 1000, 2),
-        "latency_p95_ms": round(percentile(ok_latencies, 0.95) * 1000, 2),
+        "latency_p50_ms": _ms(ok_latencies, 0.50),
+        "latency_p95_ms": _ms(ok_latencies, 0.95),
         "server": {
-            # wait percentiles include shed traffic (see ServerMetrics)
-            "wait_p95_ms": round(metrics.wait_p95_s * 1000, 2),
-            "shed_wait_p95_ms": round(metrics.shed_wait_p95_s * 1000, 2),
+            # wait percentiles include shed traffic (see ServerMetrics);
+            # an idle series is nan -> null, never a fake 0 ms
+            "wait_p95_ms": None
+            if math.isnan(metrics.wait_p95_s)
+            else round(metrics.wait_p95_s * 1000, 2),
+            "shed_wait_p95_ms": None
+            if math.isnan(metrics.shed_wait_p95_s)
+            else round(metrics.shed_wait_p95_s * 1000, 2),
             "timeouts": metrics.timeouts,
             "rejections": metrics.rejections,
             "steals": metrics.steals,
@@ -432,11 +456,74 @@ async def run_brownout(
         "timeouts": timeouts,
         "rejections": rejections,
         "shed_rate": round(shed / len(offered), 4),
-        "p50_ms": round(percentile(latencies, 0.50) * 1000, 2),
-        "p95_ms": round(percentile(latencies, 0.95) * 1000, 2),
+        "p50_ms": _ms(latencies, 0.50),
+        "p95_ms": _ms(latencies, 0.95),
         "brownout_transitions": metrics.brownout_transitions,
         "restoration": restoration,
         "elapsed_s": round(elapsed, 3),
+    }
+
+
+async def run_tracing_overhead(recognizer, features, quick: bool) -> dict:
+    """Best-of-N saturation throughput, tracing on vs off, interleaved.
+
+    Observability defaults ON, so its cost is a product number: the
+    traced arm must stay within ``TRACING_OVERHEAD_GATE`` of the
+    untraced arm's throughput.  The arms alternate round by round
+    (absorbing drift) and use in-process thread workers — identical
+    ServeLoop/lane-bank code paths, no per-run fork cost to launder
+    the measurement.  Each timed window runs the workload several
+    times over (sub-second windows on a shared runner measure noise,
+    not tracing), and an untimed warmup run absorbs first-touch costs
+    (allocator, numpy dispatch caches).  Each arm is also checked for
+    the behaviour it claims: traced results carry span trees,
+    untraced results none, and both decode every utterance OK.
+    """
+    rounds = 3 if quick else 5
+    workload = features * 4  # ~1 s per timed window at quick scale
+    best = {True: 0.0, False: 0.0}
+
+    async def one_run(tracing: bool) -> float:
+        async with Server(
+            recognizer,
+            num_workers=1,
+            max_lanes=MAX_LANES,
+            max_queue=len(workload) + 1,
+            tracing=tracing,
+        ) as server:
+            t0 = time.perf_counter()
+            sessions = [server.submit(f) for f in workload]
+            results = await asyncio.gather(*[s.result() for s in sessions])
+            elapsed = time.perf_counter() - t0
+        for r in results:
+            if r.status is not ServeStatus.OK:
+                raise RuntimeError(
+                    f"tracing-overhead arm saw {r.status.value}"
+                )
+            if tracing != (r.trace is not None):
+                raise RuntimeError(
+                    "tracing flag and result traces disagree "
+                    f"(tracing={tracing}, trace={r.trace!r})"
+                )
+        return len(workload) / elapsed
+
+    await one_run(True)  # warmup, untimed
+    for _ in range(rounds):
+        for tracing in (True, False):
+            best[tracing] = max(best[tracing], await one_run(tracing))
+    ratio = round(best[True] / best[False], 4)
+    return {
+        "benchmark": (
+            "tracing overhead: traced vs untraced saturation throughput "
+            "(best-of-N, arms interleaved)"
+        ),
+        "rounds": rounds,
+        "utterances": len(workload),
+        "traced_utts_per_sec": round(best[True], 2),
+        "untraced_utts_per_sec": round(best[False], 2),
+        "ratio": ratio,
+        "gate": f">= {TRACING_OVERHEAD_GATE}x untraced throughput",
+        "pass": bool(ratio >= TRACING_OVERHEAD_GATE),
     }
 
 
@@ -478,7 +565,7 @@ async def bench_faults(task, features, baselines, quick: bool) -> dict:
     on = await run_brownout(blas, features, rate, deadline, policy, seed=53)
     for label, row in (("off", off), ("on ", on)):
         print(
-            f"  brownout {label}: p95 {row['p95_ms']:.0f} ms  "
+            f"  brownout {label}: p95 {_show_ms(row['p95_ms'])}  "
             f"shed {row['shed_rate']:.1%}  "
             f"(timeouts {row['timeouts']}, rejections {row['rejections']})"
         )
@@ -487,7 +574,14 @@ async def bench_faults(task, features, baselines, quick: bool) -> dict:
     # full-length run — same enforcement policy as the sharding gate.
     # Restoration is enforced EVERYWHERE: precision must come back.
     gate_enforced = cpu_count >= 2 and not quick
-    improved = on["p95_ms"] < off["p95_ms"] and on["shed_rate"] < off["shed_rate"]
+    # An arm with zero OK decodes has no p95 (null, not 0 ms); the
+    # strict-improvement comparison then cannot hold.
+    improved = (
+        on["p95_ms"] is not None
+        and off["p95_ms"] is not None
+        and on["p95_ms"] < off["p95_ms"]
+        and on["shed_rate"] < off["shed_rate"]
+    )
     restored = bool(on["restoration"] and on["restoration"]["restored"])
     return {
         "benchmark": (
@@ -529,7 +623,7 @@ async def bench(features, baselines, recognizer, quick: bool) -> dict:
     single, single_results = await run_saturation(recognizer, features, 1)
     print(
         f"  {single['utterances_per_sec']:.1f} utt/s  "
-        f"p95 {single['p95_ms']:.0f} ms  util {single['lane_utilization']:.2f}"
+        f"p95 {_show_ms(single['p95_ms'])}  util {single['lane_utilization']:.2f}"
     )
     word_identical = all(
         r.status is ServeStatus.OK
@@ -542,7 +636,7 @@ async def bench(features, baselines, recognizer, quick: bool) -> dict:
     sharded, _ = await run_saturation(recognizer, features, 2)
     print(
         f"  {sharded['utterances_per_sec']:.1f} utt/s  "
-        f"p95 {sharded['p95_ms']:.0f} ms  util {sharded['lane_utilization']:.2f}"
+        f"p95 {_show_ms(sharded['p95_ms'])}  util {sharded['lane_utilization']:.2f}"
     )
     speedup = round(
         sharded["utterances_per_sec"] / single["utterances_per_sec"], 2
@@ -562,8 +656,8 @@ async def bench(features, baselines, recognizer, quick: bool) -> dict:
         sweep.append(row)
         print(
             f"  measured {row['measured_utts_per_sec']:.1f} utt/s  "
-            f"p50 {row['p50_ms']:.0f} ms  p95 {row['p95_ms']:.0f} ms  "
-            f"wait-p95 {row['wait_p95_ms']:.0f} ms"
+            f"p50 {_show_ms(row['p50_ms'])}  p95 {_show_ms(row['p95_ms'])}  "
+            f"wait-p95 {_show_ms(row['wait_p95_ms'])}"
         )
 
     wire_rate = WIRE_OVERLOAD_FACTOR * single["utterances_per_sec"]
@@ -586,10 +680,18 @@ async def bench(features, baselines, recognizer, quick: bool) -> dict:
         f"  accepted {wire['accepted']}/{wire['offered']}  "
         f"rejected {sum(wire['rejected'].values())}  "
         f"statuses {wire['statuses']}  "
-        f"p95 {wire['latency_p95_ms']:.0f} ms  "
-        f"wait-p95 {wire['server']['wait_p95_ms']:.0f} ms (incl. shed)  "
+        f"p95 {_show_ms(wire['latency_p95_ms'])}  "
+        f"wait-p95 {_show_ms(wire['server']['wait_p95_ms'])} (incl. shed)  "
         f"steals {wire['server']['steals']}  "
         f"backlog {wire['server']['worker_backlog']}"
+    )
+
+    print("tracing overhead A/B (traced vs untraced saturation) ...")
+    overhead = await run_tracing_overhead(recognizer, features, quick)
+    print(
+        f"  traced {overhead['traced_utts_per_sec']:.1f} utt/s vs "
+        f"untraced {overhead['untraced_utts_per_sec']:.1f} utt/s -> "
+        f"{overhead['ratio']:.3f}x (gate {overhead['gate']})"
     )
 
     serving = {
@@ -611,7 +713,7 @@ async def bench(features, baselines, recognizer, quick: bool) -> dict:
         },
         "poisson_sweep": sweep,
     }
-    return serving, wire
+    return serving, wire, overhead
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -642,7 +744,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"{len(features)} utterances; sequential baselines ...")
     baselines = [recognizer.decode(f) for f in features]
 
-    serving, wire = asyncio.run(
+    serving, wire, overhead = asyncio.run(
         bench(features, baselines, recognizer, args.quick)
     )
     faults = None
@@ -658,7 +760,8 @@ def main(argv: list[str] | None = None) -> int:
         report = json.loads(out_path.read_text())
     report["serving"] = serving
     report["serving_wire"] = wire
-    sections = "'serving' + 'serving_wire'"
+    report["tracing_overhead"] = overhead
+    sections = "'serving' + 'serving_wire' + 'tracing_overhead'"
     if faults is not None:
         report["serving_faults"] = faults
         sections += " + 'serving_faults'"
@@ -677,11 +780,19 @@ def main(argv: list[str] | None = None) -> int:
         f"wire overload: no_silent_drops={wire['no_silent_drops']} "
         f"word_identical={wire['word_identical']}"
     )
+    # The tracing budget holds on every host: observability defaults
+    # on, so a regression here is a serving regression.
+    print(
+        f"tracing overhead: {overhead['ratio']:.3f}x untraced "
+        f"(gate {overhead['gate']}) -> "
+        f"{'PASS' if overhead['pass'] else 'FAIL'}"
+    )
     ok = (
         serving["word_identical"]
         and (sat["pass"] is not False)
         and wire["no_silent_drops"]
         and wire["word_identical"]
+        and overhead["pass"]
     )
     if faults is not None:
         print(

@@ -597,6 +597,8 @@ def main(argv: list[str] | None = None) -> int:
         for key in (
             "serving",
             "serving_wire",
+            "serving_faults",
+            "tracing_overhead",
             "quantized",
             "quantized_speedup",
         ):

@@ -1,0 +1,92 @@
+"""End-to-end request tracing and mergeable metrics, over a real wire.
+
+The observability stack is default-ON, so this demo only has to look
+at what every request already carries:
+
+* the client mints a ``trace_id`` at submit time and sends it in the
+  wire frame header; the ticket exposes it immediately;
+* the server and its FORKED workers each record their own spans
+  (wire receive, queue wait, dispatch, worker queue, decode stages)
+  against that id, and the server merges the cross-process timeline
+  onto the result — ``trace.render()`` prints the span tree;
+* every completed decode also carries :class:`DecodeTelemetry`
+  (frames, active states, senones scored per frame) rolled up per
+  shard and fleet-wide;
+* the ``metrics_text`` op returns the whole front door as Prometheus
+  text exposition — counters, latency/wait histograms with p50/p95/
+  p99 quantiles, per-worker gauges and decode-depth totals.
+
+Run:  python examples/trace_demo.py
+"""
+
+import asyncio
+
+from repro.decoder import Recognizer
+from repro.serve import ServeClient, Server, WireServer
+from repro.workloads import tiny_task
+
+
+async def run_traced(task, recognizer) -> None:
+    utts = task.corpus.test[:4]
+
+    async with Server(
+        recognizer,
+        num_workers=2,
+        max_lanes=2,
+        use_processes=True,  # forked shards: the trace merge is real
+        max_queue=8,
+    ) as server:
+        async with WireServer(server) as wire:
+            client = await ServeClient.connect(
+                wire.host, wire.port, client="demo"
+            )
+
+            # -- one traced request, end to end -----------------------
+            ticket = await client.submit(utts[0].features)
+            print(f"client-minted trace id: {ticket.trace_id}")
+            result = await ticket.result()
+            assert result.ok and result.trace is not None
+            assert result.trace.trace_id == ticket.trace_id
+            print(f"decoded on worker {result.worker}: "
+                  f"{' '.join(result.words)!r}\n")
+            print("cross-process span tree (client -> wire -> queue -> "
+                  "forked shard):")
+            print(result.trace.render())
+
+            # -- decode-depth telemetry rides the result --------------
+            tel = result.telemetry
+            print(f"\ndecode depth: {tel.frames} frames, "
+                  f"{tel.mean_active_states:.1f} mean active states, "
+                  f"{tel.mean_senones_scored:.1f} senones scored/frame")
+
+            # -- fan out, then read the fleet as Prometheus text ------
+            tickets = [await client.submit(u.features) for u in utts[1:]]
+            for t in tickets:
+                assert (await t.result()).ok
+
+            text = await client.metrics_text()
+            print("\nmetrics_text over the wire (excerpt):")
+            for line in text.splitlines():
+                if line.startswith((
+                    "repro_serve_completed_total",
+                    "repro_serve_latency_seconds{",
+                    "repro_serve_worker_alive",
+                    "repro_serve_decode_telemetry_total{worker=\"0\","
+                    "field=\"frames\"}",
+                )):
+                    print(f"  {line}")
+
+            await client.close()
+
+
+def main() -> None:
+    print("building the tiny task...")
+    task = tiny_task(seed=7)
+    recognizer = Recognizer.create(
+        task.dictionary, task.pool, task.lm, task.tying, mode="reference"
+    )
+    asyncio.run(run_traced(task, recognizer))
+
+
+if __name__ == "__main__":
+    main()

@@ -50,6 +50,8 @@ from repro.hmm.topology import HmmTopology
 from repro.lexicon.dictionary import PronunciationDictionary
 from repro.lexicon.triphone import SenoneTying
 from repro.lm.ngram import NGramModel
+from repro.obs.telemetry import DecodeTelemetry
+from repro.obs.trace import Trace
 from repro.quant.float_formats import IEEE_SINGLE, FloatFormat
 
 __all__ = [
@@ -227,6 +229,15 @@ class RecognitionResult:
     #: runtime that produced this result; excluded from equality so two
     #: decodes of the same utterance still compare equal.
     timing: DecodeTiming | None = field(default=None, compare=False)
+    #: Decode-depth work counters (active states, senones scored,
+    #: fast-layer hits, stage wall-clock split) packaged by the lane
+    #: bank at retirement.  Observability only: excluded from equality
+    #: like ``timing``.
+    telemetry: "DecodeTelemetry | None" = field(default=None, compare=False)
+    #: Request spans attached by the serving stack (worker-side spans
+    #: ride here across the process boundary before the server merges
+    #: them).  Observability only: excluded from equality.
+    trace: "Trace | None" = field(default=None, compare=False)
 
     @property
     def audio_seconds(self) -> float:

@@ -1,0 +1,48 @@
+"""Observability for the serving stack: traces, telemetry, histograms.
+
+The paper's whole argument is an accounting exercise — it wins power
+by measuring exactly where cycles, Gaussians and memory bandwidth go
+per frame.  This package applies the same discipline to the serving
+stack:
+
+* :mod:`repro.obs.trace` — request spans.  A ``trace_id`` minted at
+  the client (or at ``Server.submit``) rides the wire frame header,
+  the admission queue and the forked engine loop; worker-side spans
+  are serialized back with the result event and merged with the
+  server-side ones into one :class:`~repro.obs.trace.Trace` (all
+  stamps come from ``time.monotonic``, which is system-wide on Linux,
+  so cross-process merging needs no clock translation).
+* :mod:`repro.obs.telemetry` — per-frame decode-depth counters
+  (active states, senones scored, fast-GMM layer hits, blas
+  dense-vs-gathered dispatch) aggregated per lane into a mergeable
+  :class:`~repro.obs.telemetry.DecodeTelemetry` and rolled up per
+  shard.
+* :mod:`repro.obs.histogram` — bounded log-bucketed latency
+  histograms that merge across shards and export p50/p95/p99, the
+  fix for the unbounded per-request latency lists.
+* :mod:`repro.obs.flight` — a bounded ring buffer of recent serving
+  events per shard, dumped as an incident timeline on every timeout,
+  fault or brownout transition.
+* :mod:`repro.obs.exposition` — Prometheus-style text rendering of a
+  metrics snapshot (``Server.metrics_text`` / the ``metrics_text``
+  wire op).
+
+Everything here only OBSERVES: no module in this package imports the
+decoder, and no instrumentation writes decode state, so bit-exactness
+is untouched by construction.
+"""
+
+from repro.obs.flight import FlightRecorder, Incident
+from repro.obs.histogram import LogHistogram
+from repro.obs.telemetry import DecodeTelemetry
+from repro.obs.trace import Span, Trace, mint_trace_id
+
+__all__ = [
+    "DecodeTelemetry",
+    "FlightRecorder",
+    "Incident",
+    "LogHistogram",
+    "Span",
+    "Trace",
+    "mint_trace_id",
+]

@@ -1,0 +1,140 @@
+"""The flight recorder: recent serving events, dumped on incidents.
+
+A chaos-suite failure or a missed deadline used to come with one line
+of context ("status=timeout").  The :class:`FlightRecorder` keeps a
+bounded ring buffer of recent trace events PER SHARD (plus one ring
+for the server front door), and every timeout, worker death, injected
+fault or brownout transition dumps an :class:`Incident`: the trigger
+plus the merged, time-ordered recent history of the shards involved —
+a causal timeline instead of a lone status code.
+
+Memory is bounded twice over: each ring holds at most ``capacity``
+events and at most ``max_incidents`` dumps are retained (oldest
+evicted first), so a server under sustained fault load cannot leak
+through its own black box.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["FlightRecorder", "Incident", "SERVER_SHARD"]
+
+#: Ring index for front-door events (admission, dispatch, resolution).
+SERVER_SHARD = -1
+
+
+@dataclass
+class Incident:
+    """One dump: what fired, when, and the recent history around it."""
+
+    reason: str
+    at: float
+    shard: int | None = None
+    detail: str = ""
+    #: Time-ordered recent events (merged across the rings involved).
+    events: list[dict] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The timeline as text, newest last, for logs and demos."""
+        where = "" if self.shard is None else f" shard={self.shard}"
+        lines = [
+            f"incident: {self.reason}{where} at {self.at:.6f}"
+            + (f" ({self.detail})" if self.detail else "")
+        ]
+        for event in self.events:
+            extras = " ".join(
+                f"{k}={v}"
+                for k, v in event.items()
+                if k not in ("at", "kind", "shard")
+            )
+            shard = event.get("shard", SERVER_SHARD)
+            who = "server" if shard == SERVER_SHARD else f"shard {shard}"
+            lines.append(
+                f"  {event['at']:.6f} [{who}] {event['kind']}"
+                + (f" {extras}" if extras else "")
+            )
+        return "\n".join(lines)
+
+
+class FlightRecorder:
+    """Per-shard bounded rings of recent events + bounded incident log."""
+
+    def __init__(
+        self,
+        shards: int = 1,
+        capacity: int = 256,
+        max_incidents: int = 64,
+        clock=time.monotonic,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.clock = clock
+        self._rings: dict[int, deque[dict]] = {
+            SERVER_SHARD: deque(maxlen=capacity)
+        }
+        for shard in range(shards):
+            self._rings[shard] = deque(maxlen=capacity)
+        self._incidents: deque[Incident] = deque(maxlen=max_incidents)
+
+    # ------------------------------------------------------------------
+    def record(self, kind: str, shard: int = SERVER_SHARD, **info) -> None:
+        """Append one event to a shard's ring; O(1), bounded."""
+        ring = self._rings.get(shard)
+        if ring is None:  # a shard id we never provisioned: front door
+            ring = self._rings[SERVER_SHARD]
+        event = {"at": self.clock(), "kind": kind, "shard": shard}
+        if info:
+            event.update(info)
+        ring.append(event)
+
+    def events(self, shard: int | None = None) -> list[dict]:
+        """Recent events, time-ordered; one shard's ring or all merged."""
+        if shard is not None:
+            return list(self._rings.get(shard, ()))
+        merged: list[dict] = []
+        for ring in self._rings.values():
+            merged.extend(ring)
+        merged.sort(key=lambda e: e["at"])
+        return merged
+
+    # ------------------------------------------------------------------
+    def incident(
+        self,
+        reason: str,
+        shard: int | None = None,
+        detail: str = "",
+        context: int = 32,
+    ) -> Incident:
+        """Dump a timeline: the trigger plus recent history.
+
+        ``shard is None`` merges every ring (fleet-wide incidents like
+        a brownout transition); a specific shard merges that shard's
+        ring with the front door's, because the causal chain for a
+        shard incident almost always starts at dispatch.
+        """
+        if shard is None:
+            events = self.events()
+        else:
+            events = sorted(
+                [*self._rings.get(shard, ()), *self._rings[SERVER_SHARD]],
+                key=lambda e: e["at"],
+            )
+        dump = Incident(
+            reason=reason,
+            at=self.clock(),
+            shard=shard,
+            detail=detail,
+            events=events[-context:],
+        )
+        self._incidents.append(dump)
+        return dump
+
+    def incidents(self) -> list[Incident]:
+        """Retained incident dumps, oldest first (bounded)."""
+        return list(self._incidents)

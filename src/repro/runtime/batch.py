@@ -78,6 +78,7 @@ from repro.hmm.topology import HmmTopology
 from repro.lexicon.dictionary import PronunciationDictionary
 from repro.lexicon.triphone import SenoneTying
 from repro.lm.ngram import NGramModel
+from repro.obs.telemetry import DecodeTelemetry
 from repro.quant.float_formats import IEEE_SINGLE, FloatFormat
 from repro.runtime.scoring import (
     BatchBlasScorer,
@@ -172,6 +173,19 @@ class LaneBankBase:
         self.lane_frame_stats: list[list[FrameStats]] = [[] for _ in range(num_lanes)]
         self.lane_scoring: list[ScoringStats | None] = [None] * num_lanes
 
+        # Decode-stage wall-clock accounting (scoring vs token update
+        # vs word-exit recording), sampled inside `_advance` by the
+        # subclasses.  Bank-level totals; per-lane attribution is the
+        # delta between a lane's admission mark and its retirement, so
+        # concurrent lanes each observe the engine work of the steps
+        # they rode in.  `stage_timing=False` removes even the
+        # perf_counter reads (the untraced arm of the overhead gate).
+        self.stage_timing = True
+        self.stage_scoring_s = 0.0
+        self.stage_update_s = 0.0
+        self.stage_exit_s = 0.0
+        self._lane_marks: list[tuple | None] = [None] * num_lanes
+
         self._alloc_state()
         self._alloc_scratch()
         self._padded: np.ndarray | None = None
@@ -264,6 +278,7 @@ class LaneBankBase:
         self.lane_scoring[lane] = ScoringStats(
             senone_budget=self.recognizer.pool.num_senones
         )
+        self._lane_marks[lane] = self._observability_mark()
         self.active[lane] = True
         if self.steps > 0:
             self._padded = None  # a mid-decode refill breaks step alignment
@@ -372,9 +387,49 @@ class LaneBankBase:
                 admitted_at=self.lane_admitted[lane],
                 finished_at=time.monotonic(),
             ),
+            telemetry=self._lane_telemetry(lane, fast_stats),
         )
         self._release(lane)
         return result
+
+    # -- observability (reads counters, never touches decode state) ----
+    def _observability_mark(self) -> tuple:
+        """Snapshot of the bank-level counters at a lane's admission."""
+        scorer = self.scorer
+        return (
+            self.stage_scoring_s,
+            self.stage_update_s,
+            self.stage_exit_s,
+            getattr(scorer, "dense_steps", 0),
+            getattr(scorer, "fallback_steps", 0),
+        )
+
+    def _lane_telemetry(self, lane: int, fast_stats) -> DecodeTelemetry:
+        """Package one lane's decode-depth counters at retirement."""
+        tel = DecodeTelemetry(frames=int(self.lane_len[lane]))
+        for fs in self.lane_frame_stats[lane]:
+            tel.active_states += fs.active_states
+            tel.senones_scored += fs.requested_senones
+            tel.word_exits += fs.word_exits
+        if fast_stats is not None:
+            tel.fast_frames_skipped = fast_stats.frames_skipped
+            tel.fast_senones_full = fast_stats.senones_full
+            tel.fast_senones_approximated = fast_stats.senones_approximated
+            tel.fast_gaussians_evaluated = fast_stats.gaussians_evaluated
+            tel.fast_gaussians_possible = fast_stats.gaussians_possible
+            tel.fast_dims_evaluated = fast_stats.dims_evaluated
+            tel.fast_dims_possible = fast_stats.dims_possible
+        mark = self._lane_marks[lane]
+        if mark is not None:
+            tel.stage_scoring_s = self.stage_scoring_s - mark[0]
+            tel.stage_update_s = self.stage_update_s - mark[1]
+            tel.stage_exit_s = self.stage_exit_s - mark[2]
+            scorer = self.scorer
+            tel.blas_dense_steps = getattr(scorer, "dense_steps", 0) - mark[3]
+            tel.blas_gathered_steps = (
+                getattr(scorer, "fallback_steps", 0) - mark[4]
+            )
+        return tel
 
     def cancel(self, lane: int) -> int:
         """Early-retire hook: free a lane MID-utterance, no result.
@@ -406,6 +461,7 @@ class LaneBankBase:
         self.lane_scoring[lane] = None
         self.lane_frame_stats[lane] = []
         self.lane_utt[lane] = -1
+        self._lane_marks[lane] = None
 
     # ------------------------------------------------------------------
     def compact(self) -> int:
@@ -436,6 +492,7 @@ class LaneBankBase:
         self.lattices = [self.lattices[b] for b in keep_list]
         self.lane_frame_stats = [self.lane_frame_stats[b] for b in keep_list]
         self.lane_scoring = [self.lane_scoring[b] for b in keep_list]
+        self._lane_marks = [self._lane_marks[b] for b in keep_list]
         self.num_lanes = n
         self._alloc_scratch()
         self._padded = None  # preload indexing assumed the old width
@@ -538,6 +595,11 @@ class LaneBank(LaneBankBase):
         delta = self.delta
         payload, entry_frame = self.payload, self.entry_frame
 
+        # Stage timing (two extra clock reads per stage per STEP, not
+        # per lane — far under the tracing overhead budget).
+        timing = self.stage_timing
+        t0 = time.perf_counter() if timing else 0.0
+
         # 1. Candidate states (alive, right neighbours, pending
         #    entries) — the per-lane feedback lists, batched.  Idle
         #    lanes are frozen at LOG_ZERO, so their rows stay empty
@@ -577,6 +639,9 @@ class LaneBank(LaneBankBase):
             obs[...] = obs_bank
         entry_scores = self._entry_scores
         entry_scores[:, net.start_state] = self.pending_entry
+        if timing:
+            t1 = time.perf_counter()
+            self.stage_scoring_s += t1 - t0
 
         # 4. One chain update advances every lane's token bank.
         if self.viterbi_unit is not None:
@@ -623,6 +688,9 @@ class LaneBank(LaneBankBase):
         np.copyto(entry_frame_next, entry_frame, where=took_self)
         self.entry_frame, self._entry_frame_next = entry_frame_next, entry_frame
         payload, entry_frame = self.payload, self.entry_frame
+        if timing:
+            t2 = time.perf_counter()
+            self.stage_update_s += t2 - t1
 
         # 6. Row-wise beam prune, then per-lane exits and entries.
         _, n_active = apply_beam_batch(delta, cfg.beam, self._beam_scratch)
@@ -647,6 +715,8 @@ class LaneBank(LaneBankBase):
         no_exit[exit_lanes] = False
         self.pending_entry[no_exit] = LOG_ZERO
         self.pending_src[no_exit] = -1
+        if timing:
+            self.stage_exit_s += time.perf_counter() - t2
 
         return n_active, scored_counts, exit_counts
 
@@ -864,6 +934,7 @@ class BatchRecognizer:
         scoring: ScoringStats,
         fast_stats: FastGmmStats | None = None,
         timing: DecodeTiming | None = None,
+        telemetry: DecodeTelemetry | None = None,
     ) -> RecognitionResult:
         best = find_best_path(
             lattice, self.lm, self.network, frames - 1, lm_scale=self.config.lm_scale
@@ -878,4 +949,5 @@ class BatchRecognizer:
             frame_period_s=self.frame_period_s,
             fast_stats=fast_stats,
             timing=timing,
+            telemetry=telemetry,
         )

@@ -47,6 +47,8 @@ flat network (``tests/test_runtime_lextree.py`` pins all of it).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.scratch import DenseScratch
@@ -160,6 +162,11 @@ class TreeLaneBank(LaneBankBase):
         delta = self.delta
         payload, entry_frame = self.payload, self.entry_frame
 
+        # Stage timing: same boundaries as the flat bank's, so a
+        # tree-lexicon trace reads identically.
+        timing = self.stage_timing
+        t0 = time.perf_counter() if timing else 0.0
+
         # 1. Candidate states (alive, children of alive, pending root
         #    entries) — the sequential feedback set, batched.  Idle
         #    lanes are frozen at LOG_ZERO with LOG_ZERO pending
@@ -196,6 +203,9 @@ class TreeLaneBank(LaneBankBase):
         obs = score_cast.take(net.senone_id, axis=1, out=self._obs_cast)
         entry_scores = self._entry_scores
         entry_scores[:, self._roots] = self.pending_entry[:, None]
+        if timing:
+            t1 = time.perf_counter()
+            self.stage_scoring_s += t1 - t0
 
         # 4. One banked token update advances every lane.
         result = self._token_unit.update_token_bank(
@@ -234,6 +244,9 @@ class TreeLaneBank(LaneBankBase):
         payload, entry_frame = self.payload, self.entry_frame
         delta = result.delta
         self.delta = delta
+        if timing:
+            t2 = time.perf_counter()
+            self.stage_update_s += t2 - t1
 
         # 6. Row-wise beam prune, then per-lane LM-weighted word exits
         #    through the shared tree-exit kernel.
@@ -263,5 +276,7 @@ class TreeLaneBank(LaneBankBase):
         no_exit[exit_lanes] = False
         self.pending_entry[no_exit] = LOG_ZERO
         self.pending_src[no_exit] = -1
+        if timing:
+            self.stage_exit_s += time.perf_counter() - t2
 
         return n_active, scored_counts, exit_counts

@@ -34,12 +34,14 @@ from __future__ import annotations
 import queue as queue_mod
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 import numpy as np
 
 from repro.decoder.recognizer import RecognitionResult
+from repro.obs.telemetry import DecodeTelemetry
+from repro.obs.trace import Trace, mint_trace_id
 from repro.runtime.batch import BatchRecognizer
 
 __all__ = [
@@ -87,6 +89,10 @@ class DecodeJob:
     features: np.ndarray
     enqueued_at: float
     deadline_at: float | None = None
+    #: Request trace id (minted by the client or front door); the loop
+    #: tags its worker-side spans with it so the server can merge the
+    #: cross-process timeline.  ``None`` mints one worker-side.
+    trace_id: str | None = None
 
 
 @dataclass(frozen=True)
@@ -216,6 +222,9 @@ class LoopStats:
     # worker, so new fields must default.
     precision: str | None = None
     stalled_steps: int = 0
+    #: Shard-cumulative decode-depth rollup (every completed lane's
+    #: :class:`~repro.obs.telemetry.DecodeTelemetry` merged in).
+    telemetry: DecodeTelemetry | None = None
 
     @property
     def utilization(self) -> float:
@@ -249,6 +258,13 @@ class ServeLoop:
         frame-synchronous step).
     clock:
         Injectable monotonic clock (tests pin deadline interleavings).
+    worker_id:
+        Shard label stamped on worker-side spans (``None`` leaves the
+        spans unlabelled — the standalone / test configuration).
+    tracing:
+        Build per-job worker traces and per-step decode stage timings
+        (default on; the bench's untraced arm turns it off to measure
+        the overhead it is gating).
     """
 
     STATS_EVERY = 64  # steps between periodic LoopStats events
@@ -259,6 +275,8 @@ class ServeLoop:
         max_lanes: int = 8,
         poll_s: float = 0.002,
         clock: Callable[[], float] = time.monotonic,
+        worker_id: int | None = None,
+        tracing: bool = True,
     ) -> None:
         if max_lanes < 1:
             raise ValueError(f"max_lanes must be >= 1, got {max_lanes}")
@@ -268,6 +286,8 @@ class ServeLoop:
         self.max_lanes = max_lanes
         self.poll_s = poll_s
         self.clock = clock
+        self.worker_id = worker_id
+        self.tracing = tracing
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -293,6 +313,47 @@ class ServeLoop:
         bank.scorer = new
         return True
 
+    def _worker_trace(
+        self,
+        trace_id: str | None,
+        utt_id: int,
+        arrived_at: float,
+        result: RecognitionResult,
+    ) -> Trace:
+        """The shard-side half of a request's timeline.
+
+        ``worker.queue`` covers inbox arrival to lane admission;
+        ``decode`` covers the lane occupancy.  The decode stage
+        children come from the bank's stage clocks — those are
+        bank-scoped samples (concurrent lanes share each step), so
+        they are normalized to fit the lane's decode window and laid
+        end to end: relative proportions are exact, absolute child
+        timestamps are the lane's share of each step.
+        """
+        trace = Trace(trace_id=trace_id or mint_trace_id(), utt_id=utt_id)
+        timing = result.timing
+        admitted = timing.admitted_at if timing else arrived_at
+        finished = timing.finished_at if timing else self.clock()
+        wid = self.worker_id
+        trace.add(
+            "worker.queue", arrived_at, admitted, worker=wid, parent="request"
+        )
+        trace.add("decode", admitted, finished, worker=wid, parent="request")
+        tel = result.telemetry
+        if tel is not None and tel.stage_total_s > 0:
+            window = max(finished - admitted, 0.0)
+            scale = min(1.0, window / tel.stage_total_s)
+            at = admitted
+            for name, dur in (
+                ("decode.scoring", tel.stage_scoring_s),
+                ("decode.token_update", tel.stage_update_s),
+                ("decode.word_exit", tel.stage_exit_s),
+            ):
+                end = at + dur * scale
+                trace.add(name, at, end, worker=wid, parent="decode")
+                at = end
+        return trace
+
     def run(self, inbox: "queue_mod.Queue", emit: Callable[[object], None]) -> LoopStats:
         """Serve until :data:`STOP` arrives and all admitted work drains.
 
@@ -306,10 +367,18 @@ class ServeLoop:
         rec = self.recognizer
         rec._reset_accounting()
         bank = rec.make_bank(self.max_lanes)
+        tracing = self.tracing
+        # Stage clocks are the traced path's only per-step cost inside
+        # the kernel; the untraced bench arm turns them off with us.
+        bank.stage_timing = tracing
         waiting: deque[DecodeJob] = deque()
         cancels: set[int] = set()
         steals: set[int] = set()
         lane_deadline: dict[int, float | None] = {}
+        # Per-utt (arrived_at, trace_id), kept from intake to resolution
+        # on every exit path so the dict cannot grow past the backlog.
+        job_obs: dict[int, tuple[float, str | None]] = {}
+        shard_telemetry = DecodeTelemetry()
         stopping = False
         completed = timeouts = cancelled = failed = 0
         stall_s = 0.0
@@ -327,6 +396,7 @@ class ServeLoop:
                 failed=failed,
                 precision=getattr(rec, "precision", None),
                 stalled_steps=stalled_steps,
+                telemetry=replace(shard_telemetry),
             )
 
         error: str | None = None
@@ -361,6 +431,11 @@ class ServeLoop:
                             emit(stats())
                     else:
                         waiting.append(msg)
+                        if tracing:
+                            job_obs[msg.utt_id] = (
+                                self.clock(),
+                                getattr(msg, "trace_id", None),
+                            )
                 now = self.clock()
 
                 # 2. Shed queued jobs that were cancelled, stolen back
@@ -371,12 +446,15 @@ class ServeLoop:
                     for job in waiting:
                         if job.utt_id in cancels:
                             cancels.discard(job.utt_id)
+                            job_obs.pop(job.utt_id, None)
                             emit(JobCancelled(job.utt_id, "queued", 0))
                             cancelled += 1
                         elif job.utt_id in steals:
                             steals.discard(job.utt_id)
+                            job_obs.pop(job.utt_id, None)
                             emit(JobStolen(job.utt_id))
                         elif job.deadline_at is not None and now >= job.deadline_at:
+                            job_obs.pop(job.utt_id, None)
                             emit(
                                 JobTimedOut(
                                     job.utt_id, "queued", 0, job.deadline_at, now
@@ -397,11 +475,13 @@ class ServeLoop:
                         cancels.discard(utt)
                         frames = bank.cancel(lane)
                         lane_deadline.pop(lane, None)
+                        job_obs.pop(utt, None)
                         emit(JobCancelled(utt, "decoding", frames))
                         cancelled += 1
                     elif deadline is not None and now >= deadline:
                         frames = bank.cancel(lane)
                         lane_deadline.pop(lane, None)
+                        job_obs.pop(utt, None)
                         emit(JobTimedOut(utt, "decoding", frames, deadline, now))
                         timeouts += 1
                 # Anything still unmatched was already resolved (the
@@ -422,6 +502,7 @@ class ServeLoop:
                             lane, job.utt_id, feats, enqueued_at=job.enqueued_at
                         )
                     except (TypeError, ValueError) as exc:
+                        job_obs.pop(job.utt_id, None)
                         emit(JobFailed(job.utt_id, repr(exc)))
                         failed += 1
                         continue
@@ -440,12 +521,27 @@ class ServeLoop:
                     stall_steps -= 1
                     stalled_steps += 1
                     time.sleep(stall_s)
+                # A retire refreshes stats immediately: per-shard
+                # telemetry in the metrics snapshot must not go stale
+                # while the loop idles between jobs.
+                retired = False
                 for lane in bank.step():
                     utt = int(bank.lane_utt[lane])
                     lane_deadline.pop(lane, None)
-                    emit(JobDone(utt, bank.retire(lane)))
+                    result = bank.retire(lane)
+                    if result.telemetry is not None:
+                        shard_telemetry.merge(result.telemetry)
+                    if tracing:
+                        arrived_at, trace_id = job_obs.pop(
+                            utt, (result.timing.enqueued_at, None)
+                        )
+                        result.trace = self._worker_trace(
+                            trace_id, utt, arrived_at, result
+                        )
+                    emit(JobDone(utt, result))
                     completed += 1
-                if bank.steps % self.STATS_EVERY == 0:
+                    retired = True
+                if retired or bank.steps % self.STATS_EVERY == 0:
                     emit(stats())
         except Exception:  # pragma: no cover - defensive: report, don't hang
             import traceback

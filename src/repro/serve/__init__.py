@@ -34,6 +34,17 @@ and a declared :class:`BrownoutPolicy` lets the server degrade
 gracefully under sustained pressure — blas precision downshift and/or
 tightened admission, with hysteresis and full restoration — instead of
 shedding blindly.
+
+Observability (:mod:`repro.obs`) is default-on and observes-only:
+every request carries a ``trace_id`` from the client (or the front
+door) through admission, dispatch and the shard's decode, resolving
+with a merged cross-process span tree on
+:attr:`ServeResult.trace` / :attr:`WireResult.trace`; per-lane
+decode-depth telemetry rolls up per shard into the metrics snapshot;
+latency/wait series live in bounded mergeable histograms (p50/p95/p99
+and a Prometheus-style ``metrics_text`` exposition); and a bounded
+flight recorder dumps a causal timeline on every timeout, injected
+fault, worker death and brownout transition.
 """
 
 from repro.serve.client import ServeClient, WireResult, WireStream, WireTicket

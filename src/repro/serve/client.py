@@ -48,6 +48,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs.telemetry import DecodeTelemetry
+from repro.obs.trace import Trace, mint_trace_id
 from repro.serve.transport import (
     PROTOCOL_VERSION,
     FrameError,
@@ -82,6 +84,11 @@ class WireResult:
     frames: int | None
     frames_decoded: int
     detail: str
+    #: Merged cross-process span tree (server + shard), rebuilt from
+    #: the result event; None when the server ran with tracing off.
+    trace: Trace | None = None
+    #: The lane's decode-depth counters for this utterance.
+    telemetry: DecodeTelemetry | None = None
 
     @property
     def ok(self) -> bool:
@@ -90,6 +97,8 @@ class WireResult:
     @classmethod
     def from_event(cls, event: dict) -> "WireResult":
         words = event.get("words")
+        trace = event.get("trace")
+        telemetry = event.get("telemetry")
         return cls(
             utt_id=event["utt_id"],
             status=ServeStatus(event["status"]),
@@ -103,6 +112,12 @@ class WireResult:
             frames=event.get("frames"),
             frames_decoded=event.get("frames_decoded", 0),
             detail=event.get("detail", ""),
+            trace=None if trace is None else Trace.from_dict(trace),
+            telemetry=(
+                None
+                if telemetry is None
+                else DecodeTelemetry.from_dict(telemetry)
+            ),
         )
 
 
@@ -123,6 +138,9 @@ class WireTicket:
     def __init__(self, client: "ServeClient", req_id: int) -> None:
         self._client = client
         self.req_id = req_id
+        #: The trace id this submit minted (None for streams, which
+        #: trace from the finish).  The result's trace carries it back.
+        self.trace_id: str | None = None
         self.future: asyncio.Future = client._loop.create_future()
         self.future.add_done_callback(_quiet)
 
@@ -316,6 +334,10 @@ class ServeClient:
             np.asarray(features, dtype=np.float64)
         )
         header = {"op": "submit", "id": req_id, **meta}
+        # The trace starts HERE: the client mints the id, the server
+        # and its shard add their spans to it, and the result event
+        # carries the merged tree back under the same id.
+        header["trace_id"] = mint_trace_id()
         if deadline_s is not None:
             header["deadline_s"] = deadline_s
         if self._retry is not None:
@@ -330,7 +352,9 @@ class ServeClient:
             # usual.  Anything else fails typed.
             if req_id not in self._pending_submits:
                 raise ConnectionLost("connection lost during submit") from None
-        return await self._claim_ticket(req_id)
+        ticket = await self._claim_ticket(req_id)
+        ticket.trace_id = header["trace_id"]
+        return ticket
 
     async def decode(
         self, features: np.ndarray, *, deadline_s: float | None = None
@@ -399,6 +423,18 @@ class ServeClient:
         future = self._loop.create_future()
         self._metrics_waiters[req_id] = future
         await self._send({"op": "metrics", "id": req_id})
+        return await future
+
+    async def metrics_text(self) -> str:
+        """The server's Prometheus-style text exposition document.
+
+        Same non-retry semantics as :meth:`metrics`.
+        """
+        self._check_usable()
+        req_id = next(self._ids)
+        future = self._loop.create_future()
+        self._metrics_waiters[req_id] = future
+        await self._send({"op": "metrics_text", "id": req_id})
         return await future
 
     # ------------------------------------------------------------------
@@ -642,6 +678,10 @@ class ServeClient:
             future = self._metrics_waiters.pop(req_id, None)
             if future is not None and not future.done():
                 future.set_result(event.get("metrics", {}))
+        elif kind == "metrics_text":
+            future = self._metrics_waiters.pop(req_id, None)
+            if future is not None and not future.done():
+                future.set_result(event.get("text", ""))
         elif kind == "error":
             exc = WireProtocolError(event.get("error", "unknown error"))
             self._pending_submits.pop(req_id, None)

@@ -59,10 +59,17 @@ class ThreadEngineWorker:
         max_lanes: int,
         poll_s: float,
         emit: Callable[[int, object], None],
+        tracing: bool = True,
     ) -> None:
         self.worker_id = worker_id
         self._inbox: "queue_mod.Queue" = queue_mod.Queue()
-        self._serve = ServeLoop(recognizer, max_lanes=max_lanes, poll_s=poll_s)
+        self._serve = ServeLoop(
+            recognizer,
+            max_lanes=max_lanes,
+            poll_s=poll_s,
+            worker_id=worker_id,
+            tracing=tracing,
+        )
         self._thread = threading.Thread(
             target=self._serve.run,
             args=(self._inbox, lambda event: emit(worker_id, event)),
@@ -113,9 +120,16 @@ def _process_worker_main(
     poll_s: float,
     inbox,
     outbox,
+    tracing: bool = True,
 ) -> None:
     """Forked child entry point: serve until STOP, then exit."""
-    serve = ServeLoop(recognizer, max_lanes=max_lanes, poll_s=poll_s)
+    serve = ServeLoop(
+        recognizer,
+        max_lanes=max_lanes,
+        poll_s=poll_s,
+        worker_id=worker_id,
+        tracing=tracing,
+    )
     serve.run(inbox, lambda event: outbox.put((worker_id, event)))
 
 
@@ -135,6 +149,7 @@ class ProcessEngineWorker:
         poll_s: float,
         outbox,
         ctx: multiprocessing.context.BaseContext,
+        tracing: bool = True,
     ) -> None:
         self.worker_id = worker_id
         self._inbox = ctx.Queue()
@@ -142,7 +157,15 @@ class ProcessEngineWorker:
         # the recognizer's pool/network/LM stay one shared copy.
         self._proc = ctx.Process(
             target=_process_worker_main,
-            args=(worker_id, recognizer, max_lanes, poll_s, self._inbox, outbox),
+            args=(
+                worker_id,
+                recognizer,
+                max_lanes,
+                poll_s,
+                self._inbox,
+                outbox,
+                tracing,
+            ),
             name=f"serve-shard-{worker_id}",
             daemon=True,
         )

@@ -14,13 +14,21 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.telemetry import DecodeTelemetry
+
 __all__ = ["ServerMetrics", "WorkerMetrics", "percentile"]
 
 
 def percentile(values: list[float], q: float) -> float:
-    """The ``q``-quantile (0..1, linear interpolation); 0.0 if empty."""
+    """The ``q``-quantile (0..1, linear interpolation); NaN if empty.
+
+    An empty series has no quantiles.  Returning 0.0 (the old
+    behavior) made a server that had completed nothing look infinitely
+    fast — NaN is unambiguous and survives JSON, exposition text and
+    ``repr`` without masquerading as a latency.
+    """
     if not values:
-        return 0.0
+        return float("nan")
     return float(np.quantile(values, q))
 
 
@@ -40,6 +48,9 @@ class WorkerMetrics:
     health: float = 1.0
     precision: str | None = None  # blas table precision this shard serves at
     stalled_steps: int = 0  # engine steps delayed by injected stalls
+    #: Shard-cumulative decode-depth rollup (senones scored, beam
+    #: survivors, fast-GMM layer hits, stage seconds), from LoopStats.
+    telemetry: DecodeTelemetry | None = None
 
     @property
     def lane_utilization(self) -> float:
@@ -89,6 +100,18 @@ class ServerMetrics:
     faults_injected: int = 0
     brownout_transitions: int = 0
     brownout_active: bool = False
+    # Observability (trailing defaults again).  The percentile fields
+    # above now come from bounded log-bucketed histograms rather than
+    # unbounded sample lists; the sparse histogram snapshots ship here
+    # so remote consumers can merge across servers.
+    latency_p99_s: float = float("nan")
+    wait_p99_s: float = float("nan")
+    latency_hist: dict | None = None
+    wait_hist: dict | None = None
+    shed_wait_hist: dict | None = None
+    #: Fleet-wide decode-depth rollup (every live shard's telemetry
+    #: merged; dead shards keep their last reported rollup).
+    telemetry: DecodeTelemetry | None = None
 
     @property
     def lane_utilization(self) -> float:

@@ -64,13 +64,17 @@ import itertools
 import math
 import multiprocessing
 import time
-from collections import deque
 
 import numpy as np
 
 from repro.decoder.recognizer import Recognizer, validate_utterance_features
 from repro.decoder.streaming import StreamingRecognizer
 from repro.frontend.features import Frontend, StreamingAudioBuffer
+from repro.obs.exposition import render_metrics_text
+from repro.obs.flight import FlightRecorder, Incident
+from repro.obs.histogram import LogHistogram
+from repro.obs.telemetry import DecodeTelemetry
+from repro.obs.trace import Trace, mint_trace_id
 from repro.runtime.batch import BatchRecognizer
 from repro.runtime.serving import (
     DecodeJob,
@@ -88,7 +92,7 @@ from repro.serve.engine import (
     start_outbox_pump,
 )
 from repro.serve.faults import FaultPlan
-from repro.serve.metrics import ServerMetrics, WorkerMetrics, percentile
+from repro.serve.metrics import ServerMetrics, WorkerMetrics
 from repro.serve.types import (
     AdmissionRejected,
     BrownoutPolicy,
@@ -98,8 +102,6 @@ from repro.serve.types import (
 )
 
 __all__ = ["Server", "Session", "StreamSession"]
-
-_LATENCY_WINDOW = 4096  # completed-utterance latencies kept for p50/p95
 
 
 class _EdfQueue:
@@ -197,12 +199,18 @@ class Session:
         utt_id: int,
         enqueued_at: float,
         client: str | None = None,
+        trace_id: str | None = None,
+        received_at: float | None = None,
     ) -> None:
         self._server = server
         self.utt_id = utt_id
         self.enqueued_at = enqueued_at
         self.client = client
         self.worker: int | None = None
+        # Observability stamps for the merged request trace.
+        self.trace_id = trace_id
+        self.received_at = received_at  # wire arrival (None: in-process)
+        self.dispatched_at: float | None = None
         self._future: asyncio.Future[ServeResult] = (
             server._aio_loop.create_future()
         )
@@ -422,6 +430,7 @@ class Server:
         frontend: Frontend | None = None,
         brownout: BrownoutPolicy | None = None,
         fault_plan: FaultPlan | None = None,
+        tracing: bool = True,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -449,6 +458,10 @@ class Server:
         self._sweep_s = sweep_s
         self._frontend_obj = frontend
         self.fault_plan = fault_plan
+        self.tracing = tracing
+        #: Bounded per-shard ring of recent serving events; dumps an
+        #: :class:`Incident` timeline on timeout/fault/death/brownout.
+        self.flight = FlightRecorder(shards=num_workers)
 
         # Brownout: declared policy + hysteresis state.  The serving
         # precision can differ from the recognizer's own while engaged.
@@ -501,9 +514,14 @@ class Server:
         self._steals = 0
         self._retries = 0  # jobs re-dispatched after a worker death
         self._reconnects = 0  # wire clients re-attaching (WireServer bumps)
-        self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
-        self._waits: deque[float] = deque(maxlen=_LATENCY_WINDOW)
-        self._shed_waits: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        # Bounded log-bucketed histograms (O(1) memory for any traffic
+        # volume — the old unbounded sample lists grew forever): one
+        # for end-to-end latency, one for survivors' queue waits, one
+        # for shed jobs' waits.  They merge bucket-wise, so percentile
+        # views can combine series (and servers) exactly.
+        self._latency_hist = LogHistogram()
+        self._wait_hist = LogHistogram()
+        self._shed_wait_hist = LogHistogram()
         self._decode_s_total = 0.0
         self._audio_s_total = 0.0
 
@@ -554,7 +572,13 @@ class Server:
             self._outbox = outbox
             self._workers = [
                 ProcessEngineWorker(
-                    i, twins[i], self.max_lanes, self._poll_s, outbox, ctx
+                    i,
+                    twins[i],
+                    self.max_lanes,
+                    self._poll_s,
+                    outbox,
+                    ctx,
+                    tracing=self.tracing,
                 )
                 for i in range(self.num_workers)
             ]
@@ -563,7 +587,14 @@ class Server:
             self._pump_thread, self._pump_stop = start_outbox_pump(outbox, emit)
         else:
             self._workers = [
-                ThreadEngineWorker(i, twins[i], self.max_lanes, self._poll_s, emit)
+                ThreadEngineWorker(
+                    i,
+                    twins[i],
+                    self.max_lanes,
+                    self._poll_s,
+                    emit,
+                    tracing=self.tracing,
+                )
                 for i in range(self.num_workers)
             ]
             for worker in self._workers:
@@ -649,8 +680,16 @@ class Server:
         deadline_s: float | None = None,
         enqueued_at: float | None = None,
         client: str | None = None,
+        trace_id: str | None = None,
+        received_at: float | None = None,
     ) -> Session:
         """Enqueue one utterance; returns its :class:`Session` ticket.
+
+        ``trace_id`` continues a trace the client started (the wire
+        path passes the header's id through); ``received_at`` is the
+        wire-arrival stamp for the ``wire.receive`` span.  Both default
+        sensibly for in-process submits: a fresh id is minted and the
+        wire span is omitted.
 
         Raises :class:`AdmissionRejected` when the bounded queue is
         full, or when ``client`` is already at its fair share of it
@@ -687,11 +726,21 @@ class Server:
             deadline_s = self.default_deadline_s
         deadline_at = None if deadline_s is None else enqueued_at + deadline_s
         utt_id = next(self._ids)
-        job = DecodeJob(utt_id, feats, enqueued_at, deadline_at)
-        session = Session(self, utt_id, enqueued_at, client=client)
+        if self.tracing and trace_id is None:
+            trace_id = mint_trace_id()
+        job = DecodeJob(utt_id, feats, enqueued_at, deadline_at, trace_id)
+        session = Session(
+            self,
+            utt_id,
+            enqueued_at,
+            client=client,
+            trace_id=trace_id,
+            received_at=received_at,
+        )
         self._sessions[utt_id] = session
         self._submitted += 1
         self._pending.push(job, session)
+        self.flight.record("submit", utt=utt_id, client=client)
         self._dispatch()
         return session
 
@@ -774,8 +823,12 @@ class Server:
     # ------------------------------------------------------------------
     def metrics(self) -> ServerMetrics:
         workers = []
+        fleet_telemetry = DecodeTelemetry()
         for i in range(len(self._workers)):
             stats = self._worker_stats.get(i)
+            telemetry = getattr(stats, "telemetry", None)
+            if telemetry is not None:
+                fleet_telemetry.merge(telemetry)
             workers.append(
                 WorkerMetrics(
                     worker=i,
@@ -789,14 +842,14 @@ class Server:
                     ),
                     precision=stats.precision if stats else None,
                     stalled_steps=stats.stalled_steps if stats else 0,
+                    telemetry=telemetry,
                 )
             )
-        latencies = list(self._latencies)
-        shed_waits = list(self._shed_waits)
         # Shed traffic counts: a saturated door's longest waits belong
         # to the jobs that timed out, and a percentile computed over
-        # survivors only would flatter exactly that knee.
-        waits = list(self._waits) + shed_waits
+        # survivors only would flatter exactly that knee.  Bucket-wise
+        # histogram merge makes the combined view exact.
+        waits = self._wait_hist.merged(self._shed_wait_hist)
         rec = self.recognizer
         if rec.mode == "blas":
             # Analytic (shapes x itemsizes), so a metrics poll never
@@ -816,11 +869,11 @@ class Server:
             queue_depth=len(self._pending),
             in_flight=sum(self._in_flight) if self._in_flight else 0,
             workers=workers,
-            latency_p50_s=percentile(latencies, 0.50),
-            latency_p95_s=percentile(latencies, 0.95),
-            wait_p50_s=percentile(waits, 0.50),
-            wait_p95_s=percentile(waits, 0.95),
-            shed_wait_p95_s=percentile(shed_waits, 0.95),
+            latency_p50_s=self._latency_hist.percentile(0.50),
+            latency_p95_s=self._latency_hist.percentile(0.95),
+            wait_p50_s=waits.percentile(0.50),
+            wait_p95_s=waits.percentile(0.95),
+            shed_wait_p95_s=self._shed_wait_hist.percentile(0.95),
             steals=self._steals,
             worker_backlog=self._backlog,
             rtf=(
@@ -842,7 +895,28 @@ class Server:
             ),
             brownout_transitions=self._brownout_transitions,
             brownout_active=self._brownout_active,
+            latency_p99_s=self._latency_hist.percentile(0.99),
+            wait_p99_s=waits.percentile(0.99),
+            latency_hist=self._latency_hist.to_dict(),
+            wait_hist=self._wait_hist.to_dict(),
+            shed_wait_hist=self._shed_wait_hist.to_dict(),
+            telemetry=fleet_telemetry,
         )
+
+    def metrics_text(self) -> str:
+        """The metrics snapshot in Prometheus text exposition format."""
+        return render_metrics_text(
+            self.metrics(),
+            {
+                "latency": self._latency_hist,
+                "wait": self._wait_hist.merged(self._shed_wait_hist),
+                "shed_wait": self._shed_wait_hist,
+            },
+        )
+
+    def incidents(self) -> list[Incident]:
+        """Flight-recorder dumps captured so far (bounded, oldest first)."""
+        return self.flight.incidents()
 
     # ------------------------------------------------------------------
     # Internals
@@ -920,10 +994,12 @@ class Server:
                     break
                 job, session = self._pending.pop()
                 session.worker = worker_id
+                session.dispatched_at = time.monotonic()
                 self._in_flight[worker_id] += 1
                 self._worker_last_pick[worker_id] = next(self._pick_seq)
                 self._live_jobs[job.utt_id] = job
                 self._worker_jobs[worker_id].append(job.utt_id)
+                self.flight.record("dispatch", shard=worker_id, utt=job.utt_id)
                 self._workers[worker_id].submit(job)
                 if self.fault_plan is not None:
                     self._fire_dispatch_faults()
@@ -941,6 +1017,10 @@ class Server:
             target = fault.worker % len(self._workers)
             if not self._worker_alive[target]:
                 continue
+            self.flight.record("fault", shard=target, fault=fault.kind)
+            self.flight.incident(
+                "fault_injected", shard=target, detail=fault.kind
+            )
             if fault.kind == "worker_kill":
                 self._workers[target].inject_crash()
             elif fault.kind == "slow_shard":
@@ -1021,13 +1101,18 @@ class Server:
             finished_at=finished_at,
             frames_decoded=frames_decoded,
             detail=detail,
+            trace=self._request_trace(session, result, finished_at),
         )
         session._future.set_result(serve_result)
+        shard = session.worker if session.worker is not None else -1
+        self.flight.record(
+            "resolve", shard=shard, utt=session.utt_id, status=status.value
+        )
         if status is ServeStatus.OK:
             self._completed += 1
-            self._latencies.append(serve_result.latency_s)
+            self._latency_hist.record(serve_result.latency_s)
             if result is not None and result.timing is not None:
-                self._waits.append(result.timing.wait_s)
+                self._wait_hist.record(result.timing.wait_s)
                 self._decode_s_total += result.timing.decode_s
                 self._audio_s_total += result.audio_seconds
         elif status is ServeStatus.TIMEOUT:
@@ -1036,11 +1121,75 @@ class Server:
             # queued + partially decoded) before the door gave up on
             # it.  Folded into wait_p50/p95 so overload percentiles
             # include exactly the traffic overload victimizes.
-            self._shed_waits.append(serve_result.latency_s)
+            self._shed_wait_hist.record(serve_result.latency_s)
+            self.flight.incident(
+                "timeout",
+                shard=session.worker,
+                detail=f"utt {session.utt_id}: {detail}",
+            )
         elif status is ServeStatus.CANCELLED:
             self._cancelled += 1
         else:
             self._errors += 1
+            self.flight.incident(
+                "error",
+                shard=session.worker,
+                detail=f"utt {session.utt_id}: {detail}",
+            )
+
+    def _request_trace(
+        self, session: Session, result, finished_at: float
+    ) -> Trace | None:
+        """Merge the front door's spans with the shard's into one tree.
+
+        Both halves stamp ``time.monotonic`` (system-wide on Linux),
+        so a forked shard's timestamps land directly on the server's
+        timeline — no clock translation, no skew bookkeeping.
+        """
+        if not self.tracing or session.trace_id is None:
+            return None
+        trace = Trace(trace_id=session.trace_id, utt_id=session.utt_id)
+        started = (
+            session.received_at
+            if session.received_at is not None
+            else session.enqueued_at
+        )
+        trace.add("request", started, finished_at)
+        if session.received_at is not None:
+            trace.add(
+                "wire.receive",
+                session.received_at,
+                session.enqueued_at,
+                parent="request",
+            )
+        worker_trace = getattr(result, "trace", None)
+        if session.dispatched_at is not None:
+            trace.add(
+                "queue.wait",
+                session.enqueued_at,
+                session.dispatched_at,
+                parent="request",
+            )
+            # The dispatch span ends when the shard's intake saw the
+            # job (its worker.queue span starts there); without the
+            # worker half it degrades to a zero-length marker.
+            handed_off = session.dispatched_at
+            if worker_trace is not None:
+                queue_span = worker_trace.span("worker.queue")
+                if queue_span is not None:
+                    handed_off = max(handed_off, queue_span.start_s)
+            trace.add(
+                "dispatch",
+                session.dispatched_at,
+                handed_off,
+                parent="request",
+            )
+        if (
+            worker_trace is not None
+            and worker_trace.trace_id == trace.trace_id
+        ):
+            trace.merge(worker_trace)
+        return trace
 
     def _on_event(self, worker_id: int, event: object) -> None:
         if isinstance(event, JobStolen):
@@ -1056,6 +1205,7 @@ class Server:
             job = self._live_jobs.pop(event.utt_id, None)
             session.worker = None
             self._steals += 1
+            self.flight.record("steal", shard=worker_id, utt=event.utt_id)
             # Losing queued work to a steal is the health signal: the
             # victim was too slow to reach this job.  Cut its backlog
             # share now; steal-free windows grow it back.
@@ -1118,6 +1268,12 @@ class Server:
                 # already burned its one retry, or a fleet with no
                 # survivors, fails outright.
                 detail = event.error or "worker exited"
+                self.flight.record("worker_death", shard=worker_id)
+                self.flight.incident(
+                    "worker_death",
+                    shard=worker_id,
+                    detail=detail.strip().splitlines()[-1] if detail else "",
+                )
                 survivors = any(self._worker_alive)
                 for session in [
                     s
@@ -1238,6 +1394,9 @@ class Server:
         self._brownout_transitions += 1
         self._brownout_hot = 0
         self._brownout_cool = 0
+        edge = "brownout_engage" if active else "brownout_release"
+        self.flight.record(edge)
+        self.flight.incident(edge, detail=f"queue={len(self._pending)}")
         if policy.downshift_precision and self.recognizer.mode == "blas":
             precision = policy.precision if active else self._base_precision
             if precision != self._serving_precision:

@@ -32,7 +32,13 @@ Client->server ops:
 ``finish``       close the stream and submit it for decoding
 ``cancel``       cancel a submitted or streaming session
 ``metrics``      request a :class:`ServerMetrics` snapshot
+``metrics_text`` request the Prometheus text exposition document
 ===============  ======================================================
+
+A ``submit`` header may carry a client-minted ``trace_id``; the server
+threads it through admission, dispatch and the shard's decode so the
+``result`` event comes back with the merged cross-process span tree
+(``trace``) plus the lane's decode-depth counters (``telemetry``).
 
 Server->client events:
 
@@ -47,8 +53,9 @@ Server->client events:
 ``result``      terminal status for ``id``: ``status`` is the
                 :class:`ServeStatus` value plus ``words``/``score``
                 (OK only), timing, ``detail``
-``error``       malformed request (bad features, unknown op/id)
-``metrics``     metrics snapshot as a JSON object
+``error``        malformed request (bad features, unknown op/id)
+``metrics``      metrics snapshot as a JSON object
+``metrics_text`` exposition document as one string
 ==============  =======================================================
 
 Deadline semantics over the network are unchanged from in-process
@@ -88,6 +95,7 @@ import dataclasses
 import itertools
 import json
 import struct
+import time
 from collections import OrderedDict
 
 import numpy as np
@@ -197,6 +205,10 @@ def result_payload(req_id, result: ServeResult) -> dict:
         if rec.timing is not None:
             header["wait_s"] = rec.timing.wait_s
             header["decode_s"] = rec.timing.decode_s
+        if rec.telemetry is not None:
+            header["telemetry"] = rec.telemetry.to_dict()
+    if result.trace is not None:
+        header["trace"] = result.trace.to_dict()
     return header
 
 
@@ -319,6 +331,7 @@ class _Connection:
                 }
             )
         elif op == "submit":
+            received_at = time.monotonic()  # wire.receive span start
             key = header.get("key")
             if key is not None:
                 # Idempotent submit: a key we already know is a retry
@@ -344,6 +357,8 @@ class _Connection:
                     features,
                     deadline_s=header.get("deadline_s"),
                     client=self.client,
+                    trace_id=header.get("trace_id"),
+                    received_at=received_at,
                 )
                 if key is not None:
                     self.wire._register_keyed(key, session)
@@ -491,6 +506,14 @@ class _Connection:
             snapshot = dataclasses.asdict(metrics)
             snapshot["lane_utilization"] = metrics.lane_utilization
             self.send({"event": "metrics", "id": req_id, "metrics": snapshot})
+        elif op == "metrics_text":
+            self.send(
+                {
+                    "event": "metrics_text",
+                    "id": req_id,
+                    "text": server.metrics_text(),
+                }
+            )
         else:
             self.send(
                 {"event": "error", "id": req_id, "error": f"unknown op {op!r}"}

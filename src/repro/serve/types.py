@@ -11,9 +11,10 @@ door, deadlines inside the engine.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.decoder.recognizer import RecognitionResult
+from repro.obs.trace import Trace
 
 __all__ = [
     "AdmissionRejected",
@@ -215,6 +216,10 @@ class ServeResult:
     finished_at: float
     frames_decoded: int = 0
     detail: str = ""
+    #: Merged request timeline: the front door's spans (request,
+    #: wire.receive, queue.wait, dispatch) plus the shard's spans
+    #: (worker.queue, decode and its stage children), cross-process.
+    trace: Trace | None = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:

@@ -32,6 +32,12 @@ def _run(name: str, capsys) -> str:
              "partial updates", "server metrics over the wire:"],
         ),
         (
+            "trace_demo.py",
+            ["client-minted trace id:", "wire.receive", "decode.scoring",
+             "decode depth:", "repro_serve_completed_total",
+             "repro_serve_worker_alive"],
+        ),
+        (
             "batch_throughput.py",
             ["speedup:", "outputs identical: True",
              "continuous outputs identical: True"],

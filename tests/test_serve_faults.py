@@ -422,6 +422,18 @@ class TestDispatchFaults:
                     await asyncio.sleep(0.01)
                 assert server.metrics().workers[0].stalled_steps > 0
                 assert server.metrics().faults_injected == 1
+                # The flight recorder dumped the injection with the
+                # dispatch history that led up to it.
+                [dump] = [
+                    i
+                    for i in server.incidents()
+                    if i.reason == "fault_injected"
+                ]
+                assert dump.shard == 0
+                assert dump.detail == "slow_shard"
+                kinds = {e["kind"] for e in dump.events}
+                assert {"submit", "dispatch", "fault"} <= kinds
+                assert "incident: fault_injected shard=0" in dump.render()
 
         asyncio.run(scenario())
 
@@ -452,6 +464,63 @@ class TestDispatchFaults:
                 assert not server._worker_alive[0]
                 assert server.metrics().retries >= 1
                 assert server.metrics().errors == 0
+                # The death produced a timeline: the kill and the
+                # doomed job's dispatch are in the dump.
+                [death] = [
+                    i for i in server.incidents() if i.reason == "worker_death"
+                ]
+                assert death.shard == 0
+                kinds = {e["kind"] for e in death.events}
+                assert {"dispatch", "fault", "worker_death"} <= kinds
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Flight-recorder incidents outside injected faults
+# ----------------------------------------------------------------------
+class TestIncidentDumps:
+    def test_deadline_miss_dumps_a_timeline(self, recognizer, workload):
+        """A timeout is an incident, not a lone status code: the dump
+        names the utterance and carries the events that led to it."""
+        features, _ = workload
+
+        async def scenario():
+            async with Server(
+                recognizer, num_workers=1, max_lanes=2
+            ) as server:
+                fine = server.submit(features[0])
+                doomed = server.submit(features[1], deadline_s=0.0)
+                assert (await fine.result()).status is ServeStatus.OK
+                assert (await doomed.result()).status is ServeStatus.TIMEOUT
+                [dump] = [
+                    i for i in server.incidents() if i.reason == "timeout"
+                ]
+                assert f"utt {doomed.utt_id}" in dump.detail
+                kinds = [e["kind"] for e in dump.events]
+                assert "submit" in kinds
+                # The healthy neighbour produced no dump.
+                assert len(server.incidents()) == 1
+                rendered = dump.render()
+                assert rendered.startswith("incident: timeout")
+                assert "[server] submit" in rendered
+
+        asyncio.run(scenario())
+
+    def test_incident_log_is_bounded_under_fault_load(
+        self, recognizer, workload
+    ):
+        """Sustained timeouts cannot grow the black box without bound."""
+        features, _ = workload
+
+        async def scenario():
+            async with Server(
+                recognizer, num_workers=1, max_lanes=2
+            ) as server:
+                cap = server.flight._incidents.maxlen
+                for _ in range(cap + 10):
+                    server.flight.incident("timeout", detail="synthetic")
+                assert len(server.incidents()) == cap
 
         asyncio.run(scenario())
 
@@ -755,6 +824,18 @@ class TestChaosMatrix:
                 }
                 record["stalled"] = snapshot["workers"][1]["stalled_steps"]
                 record["client"] = (client.retries, client.reconnects)
+                # The flight recorder saw the whole story: each shard
+                # death dumped a timeline containing the injected kill
+                # and the doomed job's dispatch.
+                deaths = [
+                    i for i in server.incidents() if i.reason == "worker_death"
+                ]
+                for dump in deaths:
+                    kinds = {e["kind"] for e in dump.events}
+                    assert {"dispatch", "fault", "worker_death"} <= kinds
+                record["incidents"] = sorted(
+                    i.reason for i in server.incidents()
+                )
                 await client.close()
         return record
 
@@ -791,6 +872,18 @@ class TestChaosMatrix:
         assert m["reconnects"] == 1  # the client came back once
         assert first["client"] == (1, 1)  # one replay, one re-dial
         assert first["stalled"] > 0  # the slow shard really stalled
+
+        # The flight recorder dumped every non-wire incident: three
+        # injected dispatch faults, both shard deaths, and the
+        # sentinel's typed ERROR — and nothing else.
+        assert first["incidents"] == [
+            "error",
+            "fault_injected",
+            "fault_injected",
+            "fault_injected",
+            "worker_death",
+            "worker_death",
+        ]
 
         # Determinism: the same plan replays to the same outcomes.
         second = asyncio.run(self._run(recognizer, features))
